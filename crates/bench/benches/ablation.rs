@@ -1,0 +1,47 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! the §3.2.1 mutation cap and the lint-guided repair budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dda_core::repair::{break_verilog, RepairOptions};
+use dda_slm::fixer::try_fix;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const SRC: &str = "module counter(input clk, rst, en, output reg [3:0] count);
+always @(posedge clk)
+  if (rst) count <= 4'd0;
+  else if (en) count <= count + 4'd1;
+endmodule
+";
+
+fn bench_mutation_cap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mutation_cap");
+    for cap in [1usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, cap| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(21);
+                std::hint::black_box(break_verilog(
+                    SRC,
+                    &RepairOptions { max_mutations: *cap },
+                    &mut rng,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fix_budget(c: &mut Criterion) {
+    // Fixed single-fault input; budget is the ablated knob.
+    let wrong = SRC.replacen("4'd0;", "4'd0", 1);
+    let mut g = c.benchmark_group("fix_budget");
+    for budget in [50usize, 400, 1600] {
+        g.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, budget| {
+            b.iter(|| std::hint::black_box(try_fix("c.v", &wrong, *budget)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mutation_cap, bench_fix_budget);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Criterion benches for the augmentation pipeline: per-stage throughput
+//! over a fixed synthetic corpus (the cost of regenerating Table 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dda_core::completion::{completion_entries, CompletionOptions};
+use dda_core::pipeline::{augment, PipelineOptions, StageSet};
+use dda_core::repair::{repair_entries, RepairOptions};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn corpus() -> Vec<dda_corpus::CorpusModule> {
+    let mut rng = SmallRng::seed_from_u64(11);
+    dda_corpus::generate_corpus(32, &mut rng)
+}
+
+fn bench_alignment(c: &mut Criterion) {
+    let corpus = corpus();
+    c.bench_function("align_entries_32_modules", |b| {
+        b.iter(|| {
+            for m in &corpus {
+                std::hint::black_box(dda_core::align::align_entries(&m.source));
+            }
+        })
+    });
+}
+
+fn bench_completion(c: &mut Criterion) {
+    let corpus = corpus();
+    let opts = CompletionOptions {
+        max_statement_level: 64,
+        max_token_level: 256,
+    };
+    c.bench_function("completion_entries_32_modules", |b| {
+        b.iter(|| {
+            for m in &corpus {
+                std::hint::black_box(completion_entries(&m.source, &opts));
+            }
+        })
+    });
+}
+
+fn bench_repair(c: &mut Criterion) {
+    let corpus = corpus();
+    c.bench_function("repair_entries_32_modules", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(12);
+            for m in &corpus {
+                std::hint::black_box(repair_entries(
+                    "m.v",
+                    &m.source,
+                    2,
+                    &RepairOptions::default(),
+                    &mut rng,
+                ));
+            }
+        })
+    });
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let corpus = corpus();
+    c.bench_function("full_pipeline_32_modules", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(13);
+            std::hint::black_box(augment(&corpus, &PipelineOptions::default(), &mut rng))
+        })
+    });
+}
+
+fn bench_general_aug(c: &mut Criterion) {
+    let corpus = corpus();
+    c.bench_function("general_aug_32_modules", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(14);
+            std::hint::black_box(augment(
+                &corpus,
+                &PipelineOptions {
+                    stages: StageSet::GENERAL_AUG,
+                    ..PipelineOptions::default()
+                },
+                &mut rng,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_alignment,
+    bench_completion,
+    bench_repair,
+    bench_full_pipeline,
+    bench_general_aug
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion benches for the substrate crates: parser, linter, simulator,
+//! and retrieval index throughput. These characterise the cost floors under
+//! every table regeneration.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dda_sim::{SimOptions, Simulator};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const COUNTER_TB: &str = "module counter(input clk, rst, output reg [7:0] count);
+always @(posedge clk) if (rst) count <= 0; else count <= count + 1;
+endmodule
+module tb;
+reg clk = 0; reg rst = 1; wire [7:0] count;
+counter dut(.clk(clk), .rst(rst), .count(count));
+always #5 clk = ~clk;
+initial begin #12 rst = 0; #2000 $finish; end
+endmodule
+";
+
+fn bench_parse(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let corpus = dda_corpus::generate_corpus(64, &mut rng);
+    let blob: String = corpus.iter().map(|m| m.source.clone()).collect();
+    c.bench_function("parse_64_modules", |b| {
+        b.iter(|| dda_verilog::parse(std::hint::black_box(&blob)).unwrap())
+    });
+}
+
+fn bench_lint(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let corpus = dda_corpus::generate_corpus(32, &mut rng);
+    c.bench_function("lint_32_modules", |b| {
+        b.iter(|| {
+            for m in &corpus {
+                std::hint::black_box(dda_lint::check_source("m.v", &m.source));
+            }
+        })
+    });
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let sf = dda_verilog::parse(COUNTER_TB).unwrap();
+    c.bench_function("sim_counter_200_cycles", |b| {
+        b.iter_batched(
+            || Simulator::new(&sf, "tb").unwrap(),
+            |mut sim| sim.run(&SimOptions::default()).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_retrieval(c: &mut Criterion) {
+    let mut idx = dda_slm::TfIdfIndex::new();
+    let mut rng = SmallRng::seed_from_u64(3);
+    let corpus = dda_corpus::generate_corpus(256, &mut rng);
+    for m in &corpus {
+        for (_, e) in dda_core::align::align_entries(&m.source) {
+            idx.add(&e.input);
+        }
+    }
+    idx.finish();
+    c.bench_function("tfidf_query_256_docs", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                idx.query("a four bit counter with synchronous reset and enable", 8),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_lint, bench_sim, bench_retrieval);
+criterion_main!(benches);

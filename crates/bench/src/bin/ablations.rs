@@ -1,0 +1,41 @@
+//! Regenerates the extra design-choice ablations DESIGN.md §5 commits to:
+//! mutation cap (§3.2.1), progressive training order (§3.1), and the
+//! corpus-size sweep (the evaluation-level echo of Fig. 3).
+//!
+//! Usage: `cargo run --release -p dda-bench --bin ablations [--quick]`
+
+use dda_benchmarks::thakur_suite;
+use dda_eval::ablation::{corpus_size_sweep, mutation_cap_detection_rates, order_ablation};
+use dda_eval::report::pct;
+use dda_eval::GenProtocol;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let protocol = GenProtocol::default();
+    let suite = thakur_suite();
+
+    println!("Ablation A: mutation cap (paper keeps changes 'below five')");
+    println!("cap -> fraction of injected-fault files the checker flags");
+    for (cap, rate) in mutation_cap_detection_rates(&[1, 2, 4, 8, 12], 5) {
+        println!("  cap {cap:>2}: {}", pct(rate));
+    }
+    println!(
+        "  (detection saturates near the paper's cap; larger caps shred files\n   without adding distinct error classes)\n"
+    );
+
+    let modules = if quick { 48 } else { 128 };
+    println!("Ablation B: progressive training order (aligned data last)");
+    let (prog, rev) = order_ablation(&suite, modules, 17, &protocol);
+    println!("  progressive order: {}", pct(prog));
+    println!("  reversed order:    {}", pct(rev));
+    println!(
+        "  (recency-weighted retrieval favours the most recent training data;\n   the paper orders refined aligned data last for the same reason)\n"
+    );
+
+    println!("Ablation C: corpus-size sweep (full pipeline, Thakur suite)");
+    let sizes: &[usize] = if quick { &[16, 48, 96] } else { &[16, 48, 96, 192] };
+    for (n, rate) in corpus_size_sweep(&suite, sizes, 23, &protocol) {
+        println!("  {n:>4} modules: {}", pct(rate));
+    }
+    println!("  (success grows with augmented data volume — Fig. 3 at task level)");
+}

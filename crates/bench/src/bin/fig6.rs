@@ -1,0 +1,36 @@
+//! Regenerates the paper's **Fig. 6**: a repair-training pair — the broken
+//! LFSR, the EDA-tool feedback, and the corrected file.
+//!
+//! Usage: `cargo run -p dda-bench --bin fig6`
+
+use dda_core::repair::{feedback_repair_entry, BrokenVerilog};
+
+const RIGHT: &str = "module LFSR_3bit (
+input [2:0] SW,
+input [1:0] KEY,
+output reg [2:0] LEDR
+);
+always @(posedge KEY[0])
+LEDR <= KEY[1] ? SW : {LEDR[2] ^ LEDR[1], LEDR[0], LEDR[2]};
+endmodule
+";
+
+fn main() {
+    println!("Fig. 6: framework-generated Verilog repair data with EDA-tool feedback\n");
+    // The paper's exact fault: `KEY[0]` became `KEY0]`.
+    let wrong = RIGHT.replace("KEY[0]", "KEY0]");
+    println!("--- Input Verilog (wrong) ---\n{wrong}");
+    let report = dda_lint::check_source("111_3-bit LFSR.v", &wrong);
+    println!("--- Input Feedback ---\n{}", report.render());
+    println!("--- Output Verilog (right) ---\n{RIGHT}");
+    let entry = feedback_repair_entry(
+        "111_3-bit LFSR.v",
+        RIGHT,
+        &BrokenVerilog {
+            source: wrong,
+            mutations: vec![],
+        },
+    );
+    println!("--- Dataset entry (JSONL) ---");
+    println!("{}", dda_core::json::to_json_line(&entry));
+}

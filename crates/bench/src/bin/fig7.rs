@@ -1,0 +1,24 @@
+//! Regenerates the paper's **Fig. 7**: the ablation case study — the
+//! `right_shifter` request answered by models trained under three data
+//! regimes (completion-only, NL-only, full progressive).
+//!
+//! Usage: `cargo run --release -p dda-bench --bin fig7`
+
+use dda_eval::ablation::fig7_case_study;
+
+fn main() {
+    let prompt = "An 8-bit right shifter: on each rising clock edge the register q shifts right by one position and the serial input d enters at bit 7, so q becomes {d, q[7:1]}.\nModule name: right_shifter\nPorts: input clk, input d, output reg [7:0] q\n";
+    println!("Fig. 7: Ablation Study for the Data Augmentation Framework\n");
+    println!("Prompt:\n{prompt}");
+    for (regime, out) in fig7_case_study(prompt, 96, 11) {
+        println!("=== {} ===", regime.label());
+        println!("{out}");
+        let lint = dda_lint::check_source("gen.v", &out);
+        if lint.is_clean() {
+            println!("[lint] clean");
+        } else {
+            println!("[lint]\n{}", lint.render());
+        }
+        println!();
+    }
+}

@@ -1,0 +1,51 @@
+//! Regenerates the paper's **Table 1**: qualitative comparison of hardware
+//! generation large language models.
+//!
+//! Usage: `cargo run -p dda-bench --bin table1`
+
+use dda_eval::report::TextTable;
+
+fn main() {
+    println!("Table 1: Comparison of hardware generation large language models\n");
+    let mut t = TextTable::new([
+        "Works",
+        "Target Task",
+        "Pre-Trained Model",
+        "Target Language",
+        "Data",
+        "Auto Aug.",
+    ]);
+    t.row([
+        "ChipNeMo",
+        "Verilog Generation",
+        "Llama 2",
+        "Verilog",
+        "Private",
+        "x",
+    ]);
+    t.row([
+        "Thakur et al.",
+        "Verilog Completion",
+        "CodeGen",
+        "Verilog",
+        "Github etc.",
+        "x",
+    ]);
+    t.row([
+        "ChatEDA",
+        "EDA Script Generation",
+        "Llama 2",
+        "ChatEDA (Python DSL)",
+        "Custom",
+        "x",
+    ]);
+    t.row([
+        "Ours",
+        "Verilog Generation, Repair, EDA Script Generation",
+        "Llama 2",
+        "Verilog, SiliconCompiler (Python DSL)",
+        "Github etc.",
+        "YES",
+    ]);
+    println!("{}", t.render());
+}

@@ -1,0 +1,78 @@
+//! Regenerates the paper's **Table 3**: Verilog repair on the 29 RTLLM
+//! designs under pass@5, for Ours-13B, Ours-7B, GPT-3.5, and pretrained
+//! Llama2-13B.
+//!
+//! Usage: `cargo run --release -p dda-bench --bin table3 [--quick]`
+
+use dda_bench::zoo_from_args;
+use dda_benchmarks::rtllm_suite;
+use dda_eval::report::{pct, pct_short, TextTable};
+use dda_eval::repair_eval::{eval_repair_suite, repair_success_rate, RepairProtocol};
+use dda_eval::ModelId;
+
+fn main() {
+    let zoo = zoo_from_args();
+    let protocol = RepairProtocol::default();
+    let suite = rtllm_suite();
+    // Table 3's model columns.
+    let models = [
+        ModelId::Ours13B,
+        ModelId::Ours7B,
+        ModelId::Gpt35,
+        ModelId::Llama2Pt,
+    ];
+
+    println!("Table 3: Evaluation for Verilog repair (RTLLM, pass@5)");
+    println!("syntax = number of generated files with syntax errors (of 5); function = testbench pass rate of the best repair.\n");
+
+    let mut header = vec!["Benchmark".to_owned()];
+    for m in models {
+        header.push(format!("{m} syntax"));
+        header.push(format!("{m} function"));
+    }
+    let mut table = TextTable::new(header);
+
+    let mut per_model = Vec::new();
+    for m in models {
+        eprintln!("[table3] evaluating {m}...");
+        per_model.push(eval_repair_suite(zoo.model(m), &suite, &protocol));
+    }
+
+    for (pi, p) in suite.iter().enumerate() {
+        let mut row = vec![p.id.to_owned()];
+        for rows in &per_model {
+            let (_, cell) = rows[pi];
+            row.push(cell.syntax_errors.to_string());
+            row.push(pct_short(cell.best_function));
+        }
+        table.row(row);
+    }
+    let mut srow = vec!["success rate".to_owned()];
+    for rows in &per_model {
+        srow.push(String::new());
+        srow.push(pct(repair_success_rate(rows)));
+    }
+    table.row(srow);
+    println!("{}", table.render());
+
+    let rates: Vec<f64> = per_model.iter().map(|r| repair_success_rate(r)).collect();
+    println!("Paper shape check (Table 3 success rates 72.4% / 51.7% / 34.5% / 10.3%):");
+    println!(
+        "  Ours-13B ({}) > Ours-7B ({}): {}",
+        pct(rates[0]),
+        pct(rates[1]),
+        rates[0] > rates[1]
+    );
+    println!(
+        "  Ours-13B ({}) > GPT-3.5 ({}): {}",
+        pct(rates[0]),
+        pct(rates[2]),
+        rates[0] > rates[2]
+    );
+    println!(
+        "  GPT-3.5 ({}) > Llama2-PT ({}): {}",
+        pct(rates[2]),
+        pct(rates[3]),
+        rates[2] > rates[3]
+    );
+}

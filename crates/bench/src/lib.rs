@@ -1,0 +1,33 @@
+//! # dda-bench
+//!
+//! Shared plumbing for the table/figure regeneration binaries
+//! (`table1`–`table5`, `fig2`–`fig7`) and the Criterion benches. Each
+//! binary regenerates one table or figure of the paper; see DESIGN.md's
+//! per-experiment index for the mapping.
+
+#![warn(missing_docs)]
+
+use dda_eval::{ModelZoo, ZooOptions};
+
+/// Builds the standard model zoo used by all table binaries (fixed seed so
+/// every regeneration is reproducible).
+pub fn standard_zoo() -> ModelZoo {
+    ModelZoo::build(&ZooOptions::default())
+}
+
+/// A smaller zoo for quick smoke runs (`--quick` flag on the binaries).
+pub fn quick_zoo() -> ModelZoo {
+    ModelZoo::build(&ZooOptions {
+        corpus_modules: 48,
+        seed: 2024,
+    })
+}
+
+/// Returns the zoo selected by CLI args (`--quick` for the small one).
+pub fn zoo_from_args() -> ModelZoo {
+    if std::env::args().any(|a| a == "--quick") {
+        quick_zoo()
+    } else {
+        standard_zoo()
+    }
+}

@@ -1,0 +1,24 @@
+//! # dda-benchmarks
+//!
+//! Benchmark suites for the chipdda evaluation, reproducing the protocol of
+//! the paper's §4: a Thakur-et-al.-style suite (17 problems × 3 prompt
+//! levels), an RTLLM-style suite (29 designs), and the five
+//! SiliconCompiler script-generation task levels of Table 4.
+//!
+//! Each Verilog problem carries a prompt (with an explicit
+//! `Module name:`/`Ports:` interface block), a reference implementation,
+//! and a self-checking testbench that reports `RESULT <pass> <total>`
+//! through `$display` — the functional pass rates in Tables 3 and 5 come
+//! from simulating those testbenches with [`dda_sim`].
+
+#![warn(missing_docs)]
+
+pub mod problem;
+pub mod rtllm;
+pub mod sc;
+pub mod thakur;
+
+pub use problem::{parse_result, Suite, VerilogProblem};
+pub use rtllm::{rtllm_suite, rtllm_table5_subset};
+pub use sc::{sc_suite, ScTask};
+pub use thakur::thakur_suite;

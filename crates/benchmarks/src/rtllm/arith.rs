@@ -1,0 +1,567 @@
+//! RTLLM arithmetic designs: accumulators, adders, multipliers, dividers,
+//! the ALU and the processing element.
+
+use crate::problem::{prompt, Suite, VerilogProblem};
+
+pub(crate) fn problem(
+    id: &'static str,
+    module_name: &'static str,
+    ports: &str,
+    prose: &str,
+    reference: &'static str,
+    testbench: &'static str,
+) -> VerilogProblem {
+    VerilogProblem {
+        id,
+        suite: Suite::Rtllm,
+        module_name,
+        prompts: vec![prompt(prose, module_name, ports)],
+        reference,
+        testbench,
+    }
+}
+
+pub(crate) fn problems() -> Vec<VerilogProblem> {
+    vec![
+        problem(
+            "accu",
+            "accu",
+            "input clk, input rst, input [7:0] data_in, input valid_in, output reg [9:0] data_out, output reg valid_out",
+            "An accumulator that sums four serial 8-bit inputs. Each cycle with valid_in high adds data_in to an internal sum; after the fourth input, data_out presents the 10-bit total and valid_out pulses for one cycle, then the accumulator restarts from zero.",
+            "module accu(input clk, rst, input [7:0] data_in, input valid_in, output reg [9:0] data_out, output reg valid_out);
+reg [9:0] sum;
+reg [1:0] cnt;
+always @(posedge clk)
+  if (rst) begin
+    sum <= 10'd0;
+    cnt <= 2'd0;
+    valid_out <= 1'b0;
+    data_out <= 10'd0;
+  end else begin
+    valid_out <= 1'b0;
+    if (valid_in) begin
+      if (cnt == 2'd3) begin
+        data_out <= sum + data_in;
+        valid_out <= 1'b1;
+        sum <= 10'd0;
+        cnt <= 2'd0;
+      end else begin
+        sum <= sum + data_in;
+        cnt <= cnt + 2'd1;
+      end
+    end
+  end
+endmodule
+",
+            "module tb;
+reg clk = 0; reg rst, valid_in; reg [7:0] data_in;
+wire [9:0] data_out; wire valid_out;
+accu dut(.clk(clk), .rst(rst), .data_in(data_in), .valid_in(valid_in), .data_out(data_out), .valid_out(valid_out));
+always #5 clk = ~clk;
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  rst = 1; valid_in = 0; data_in = 0;
+  @(posedge clk); #1;
+  rst = 0;
+  valid_in = 1;
+  data_in = 8'd10; @(posedge clk); #1;
+  total = total + 1; if (valid_out === 1'b0) pass = pass + 1;
+  data_in = 8'd20; @(posedge clk); #1;
+  data_in = 8'd30; @(posedge clk); #1;
+  data_in = 8'd40; @(posedge clk); #1;
+  total = total + 1; if (valid_out === 1'b1 && data_out === 10'd100) pass = pass + 1;
+  data_in = 8'd200; @(posedge clk); #1;
+  total = total + 1; if (valid_out === 1'b0) pass = pass + 1;
+  data_in = 8'd200; @(posedge clk); #1;
+  data_in = 8'd200; @(posedge clk); #1;
+  data_in = 8'd200; @(posedge clk); #1;
+  total = total + 1; if (valid_out === 1'b1 && data_out === 10'd800) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "adder_8bit",
+            "adder_8bit",
+            "input [7:0] a, input [7:0] b, input cin, output [7:0] sum, output cout",
+            "A combinational 8-bit adder with carry-in and carry-out: {cout, sum} is a + b + cin.",
+            "module adder_8bit(input [7:0] a, b, input cin, output [7:0] sum, output cout);
+assign {cout, sum} = a + b + cin;
+endmodule
+",
+            "module tb;
+reg [7:0] a, b; reg cin; wire [7:0] sum; wire cout;
+adder_8bit dut(.a(a), .b(b), .cin(cin), .sum(sum), .cout(cout));
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  a = 8'd0; b = 8'd0; cin = 0;
+  #1 total = total + 1; if ({cout, sum} === 9'd0) pass = pass + 1;
+  a = 8'd100; b = 8'd55; cin = 1;
+  #1 total = total + 1; if (sum === 8'd156 && cout === 1'b0) pass = pass + 1;
+  a = 8'hFF; b = 8'd1; cin = 0;
+  #1 total = total + 1; if (sum === 8'd0 && cout === 1'b1) pass = pass + 1;
+  a = 8'hFF; b = 8'hFF; cin = 1;
+  #1 total = total + 1; if (sum === 8'hFF && cout === 1'b1) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "adder_16bit",
+            "adder_16bit",
+            "input [15:0] a, input [15:0] b, input cin, output [15:0] sum, output cout",
+            "A combinational 16-bit adder with carry-in and carry-out: {cout, sum} is a + b + cin.",
+            "module adder_16bit(input [15:0] a, b, input cin, output [15:0] sum, output cout);
+assign {cout, sum} = a + b + cin;
+endmodule
+",
+            "module tb;
+reg [15:0] a, b; reg cin; wire [15:0] sum; wire cout;
+adder_16bit dut(.a(a), .b(b), .cin(cin), .sum(sum), .cout(cout));
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  a = 16'd12345; b = 16'd23456; cin = 0;
+  #1 total = total + 1; if (sum === 16'd35801 && cout === 1'b0) pass = pass + 1;
+  a = 16'hFFFF; b = 16'd2; cin = 0;
+  #1 total = total + 1; if (sum === 16'd1 && cout === 1'b1) pass = pass + 1;
+  a = 16'h8000; b = 16'h7FFF; cin = 1;
+  #1 total = total + 1; if (sum === 16'd0 && cout === 1'b1) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "adder_32bit",
+            "adder_32bit",
+            "input [31:0] a, input [31:0] b, input cin, output [31:0] sum, output cout",
+            "A combinational 32-bit carry-lookahead-style adder with carry-in and carry-out: {cout, sum} is a + b + cin.",
+            "module adder_32bit(input [31:0] a, b, input cin, output [31:0] sum, output cout);
+assign {cout, sum} = a + b + cin;
+endmodule
+",
+            "module tb;
+reg [31:0] a, b; reg cin; wire [31:0] sum; wire cout;
+adder_32bit dut(.a(a), .b(b), .cin(cin), .sum(sum), .cout(cout));
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  a = 32'd1000000; b = 32'd2345678; cin = 0;
+  #1 total = total + 1; if (sum === 32'd3345678 && cout === 1'b0) pass = pass + 1;
+  a = 32'hFFFF_FFFF; b = 32'd1; cin = 0;
+  #1 total = total + 1; if (sum === 32'd0 && cout === 1'b1) pass = pass + 1;
+  a = 32'hAAAA_5555; b = 32'h5555_AAAA; cin = 1;
+  #1 total = total + 1; if (sum === 32'd0 && cout === 1'b1) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "adder_64bit",
+            "adder_64bit",
+            "input [63:0] a, input [63:0] b, input cin, output [63:0] sum, output cout",
+            "A combinational 64-bit ripple-style adder with carry-in and carry-out: {cout, sum} is a + b + cin.",
+            "module adder_64bit(input [63:0] a, b, input cin, output [63:0] sum, output cout);
+assign {cout, sum} = a + b + cin;
+endmodule
+",
+            "module tb;
+reg [63:0] a, b; reg cin; wire [63:0] sum; wire cout;
+adder_64bit dut(.a(a), .b(b), .cin(cin), .sum(sum), .cout(cout));
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  a = 64'd10_000_000_000; b = 64'd5; cin = 0;
+  #1 total = total + 1; if (sum === 64'd10_000_000_005 && cout === 1'b0) pass = pass + 1;
+  a = 64'hFFFF_FFFF_FFFF_FFFF; b = 64'd1; cin = 0;
+  #1 total = total + 1; if (sum === 64'd0 && cout === 1'b1) pass = pass + 1;
+  a = 64'h8000_0000_0000_0000; b = 64'h8000_0000_0000_0000; cin = 0;
+  #1 total = total + 1; if (sum === 64'd0 && cout === 1'b1) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "multi_16bit",
+            "multi_16bit",
+            "input [15:0] a, input [15:0] b, output [31:0] p",
+            "A combinational 16-bit by 16-bit unsigned multiplier producing a 32-bit product.",
+            "module multi_16bit(input [15:0] a, b, output [31:0] p);
+assign p = a * b;
+endmodule
+",
+            "module tb;
+reg [15:0] a, b; wire [31:0] p;
+multi_16bit dut(.a(a), .b(b), .p(p));
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  a = 16'd0; b = 16'd999;
+  #1 total = total + 1; if (p === 32'd0) pass = pass + 1;
+  a = 16'd300; b = 16'd400;
+  #1 total = total + 1; if (p === 32'd120000) pass = pass + 1;
+  a = 16'hFFFF; b = 16'hFFFF;
+  #1 total = total + 1; if (p === 32'hFFFE0001) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "multi_pipe_4bit",
+            "multi_pipe_4bit",
+            "input clk, input rst, input [3:0] a, input [3:0] b, output reg [7:0] p",
+            "A two-stage pipelined 4-bit multiplier: stage one registers the operands, stage two registers their product, so p shows a * b two clock cycles after the operands were applied. Synchronous reset clears the pipeline.",
+            "module multi_pipe_4bit(input clk, rst, input [3:0] a, b, output reg [7:0] p);
+reg [3:0] a_r, b_r;
+always @(posedge clk)
+  if (rst) begin
+    a_r <= 4'd0;
+    b_r <= 4'd0;
+    p <= 8'd0;
+  end else begin
+    a_r <= a;
+    b_r <= b;
+    p <= a_r * b_r;
+  end
+endmodule
+",
+            "module tb;
+reg clk = 0; reg rst; reg [3:0] a, b; wire [7:0] p;
+multi_pipe_4bit dut(.clk(clk), .rst(rst), .a(a), .b(b), .p(p));
+always #5 clk = ~clk;
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  rst = 1; a = 0; b = 0;
+  @(posedge clk); #1;
+  rst = 0;
+  a = 4'd7; b = 4'd9;
+  @(posedge clk); #1;
+  a = 4'd3; b = 4'd5;
+  @(posedge clk); #1;
+  total = total + 1; if (p === 8'd63) pass = pass + 1;
+  a = 4'd0; b = 4'd0;
+  @(posedge clk); #1;
+  total = total + 1; if (p === 8'd15) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "multi_pipe_8bit",
+            "multi_pipe_8bit",
+            "input clk, input rst, input [7:0] a, input [7:0] b, output reg [15:0] p",
+            "A two-stage pipelined 8-bit multiplier: the operands are registered in the first stage and the 16-bit product is registered in the second, giving a latency of two clock cycles. Synchronous reset clears the pipeline registers.",
+            "module multi_pipe_8bit(input clk, rst, input [7:0] a, b, output reg [15:0] p);
+reg [7:0] a_r, b_r;
+always @(posedge clk)
+  if (rst) begin
+    a_r <= 8'd0;
+    b_r <= 8'd0;
+    p <= 16'd0;
+  end else begin
+    a_r <= a;
+    b_r <= b;
+    p <= a_r * b_r;
+  end
+endmodule
+",
+            "module tb;
+reg clk = 0; reg rst; reg [7:0] a, b; wire [15:0] p;
+multi_pipe_8bit dut(.clk(clk), .rst(rst), .a(a), .b(b), .p(p));
+always #5 clk = ~clk;
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  rst = 1; a = 0; b = 0;
+  @(posedge clk); #1;
+  rst = 0;
+  a = 8'd200; b = 8'd100;
+  @(posedge clk); #1;
+  a = 8'd15; b = 8'd15;
+  @(posedge clk); #1;
+  total = total + 1; if (p === 16'd20000) pass = pass + 1;
+  a = 8'd0;
+  @(posedge clk); #1;
+  total = total + 1; if (p === 16'd225) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "multi_booth",
+            "multi_booth",
+            "input clk, input rst, input start, input [7:0] a, input [7:0] b, output reg [15:0] p, output reg done",
+            "A sequential 8-bit multiplier with a start/done handshake: pulsing start latches the operands, the machine iterates shift-and-add steps (one partial product per cycle, Booth-style recoding of the multiplier), and after eight steps done pulses with the 16-bit product on p.",
+            "module multi_booth(input clk, rst, start, input [7:0] a, b, output reg [15:0] p, output reg done);
+reg [15:0] acc;
+reg [15:0] mcand;
+reg [7:0] mplier;
+reg [3:0] cnt;
+reg busy;
+always @(posedge clk)
+  if (rst) begin
+    p <= 16'd0;
+    done <= 1'b0;
+    busy <= 1'b0;
+    acc <= 16'd0;
+    mcand <= 16'd0;
+    mplier <= 8'd0;
+    cnt <= 4'd0;
+  end else if (!busy) begin
+    done <= 1'b0;
+    if (start) begin
+      busy <= 1'b1;
+      acc <= 16'd0;
+      mcand <= {8'd0, a};
+      mplier <= b;
+      cnt <= 4'd0;
+    end
+  end else begin
+    if (cnt == 4'd8) begin
+      p <= acc;
+      done <= 1'b1;
+      busy <= 1'b0;
+    end else begin
+      if (mplier[0]) acc <= acc + mcand;
+      mcand <= mcand << 1;
+      mplier <= mplier >> 1;
+      cnt <= cnt + 4'd1;
+    end
+  end
+endmodule
+",
+            "module tb;
+reg clk = 0; reg rst, start; reg [7:0] a, b;
+wire [15:0] p; wire done;
+multi_booth dut(.clk(clk), .rst(rst), .start(start), .a(a), .b(b), .p(p), .done(done));
+always #5 clk = ~clk;
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  rst = 1; start = 0; a = 0; b = 0;
+  @(posedge clk); #1;
+  rst = 0;
+  a = 8'd13; b = 8'd11; start = 1;
+  @(posedge clk); #1;
+  start = 0;
+  wait (done);
+  #1 total = total + 1; if (p === 16'd143) pass = pass + 1;
+  @(posedge clk); #1;
+  a = 8'd255; b = 8'd255; start = 1;
+  @(posedge clk); #1;
+  start = 0;
+  wait (done);
+  #1 total = total + 1; if (p === 16'd65025) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "div_16bit",
+            "div_16bit",
+            "input [15:0] dividend, input [7:0] divisor, output [15:0] quotient, output [7:0] remainder",
+            "A combinational divider: a 16-bit dividend divided by an 8-bit divisor yields a 16-bit quotient and an 8-bit remainder. Division by zero may return any value.",
+            "module div_16bit(input [15:0] dividend, input [7:0] divisor, output [15:0] quotient, output [7:0] remainder);
+assign quotient = (divisor == 8'd0) ? 16'hFFFF : dividend / divisor;
+assign remainder = (divisor == 8'd0) ? 8'hFF : dividend % divisor;
+endmodule
+",
+            "module tb;
+reg [15:0] dividend; reg [7:0] divisor;
+wire [15:0] quotient; wire [7:0] remainder;
+div_16bit dut(.dividend(dividend), .divisor(divisor), .quotient(quotient), .remainder(remainder));
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  dividend = 16'd1000; divisor = 8'd7;
+  #1 total = total + 1; if (quotient === 16'd142 && remainder === 8'd6) pass = pass + 1;
+  dividend = 16'd65535; divisor = 8'd255;
+  #1 total = total + 1; if (quotient === 16'd257 && remainder === 8'd0) pass = pass + 1;
+  dividend = 16'd5; divisor = 8'd10;
+  #1 total = total + 1; if (quotient === 16'd0 && remainder === 8'd5) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "radix2_div",
+            "radix2_div",
+            "input clk, input rst, input start, input [7:0] dividend, input [7:0] divisor, output reg [7:0] quotient, output reg [7:0] remainder, output reg done",
+            "A sequential radix-2 restoring divider with a start/done handshake: pulsing start latches an 8-bit dividend and divisor; the machine performs one restoring step per clock for eight cycles, then done pulses with the quotient and remainder registered.",
+            "module radix2_div(input clk, rst, start, input [7:0] dividend, divisor, output reg [7:0] quotient, remainder, output reg done);
+reg [8:0] r;
+reg [7:0] q, d;
+reg [3:0] cnt;
+reg busy;
+always @(posedge clk)
+  if (rst) begin
+    quotient <= 8'd0;
+    remainder <= 8'd0;
+    done <= 1'b0;
+    busy <= 1'b0;
+    r <= 9'd0;
+    q <= 8'd0;
+    d <= 8'd0;
+    cnt <= 4'd0;
+  end else if (!busy) begin
+    done <= 1'b0;
+    if (start) begin
+      busy <= 1'b1;
+      r <= 9'd0;
+      q <= dividend;
+      d <= divisor;
+      cnt <= 4'd0;
+    end
+  end else begin
+    if (cnt == 4'd8) begin
+      quotient <= q;
+      remainder <= r[7:0];
+      done <= 1'b1;
+      busy <= 1'b0;
+    end else begin
+      if ({r[7:0], q[7]} >= {1'b0, d}) begin
+        r <= {r[7:0], q[7]} - {1'b0, d};
+        q <= {q[6:0], 1'b1};
+      end else begin
+        r <= {r[7:0], q[7]};
+        q <= {q[6:0], 1'b0};
+      end
+      cnt <= cnt + 4'd1;
+    end
+  end
+endmodule
+",
+            "module tb;
+reg clk = 0; reg rst, start; reg [7:0] dividend, divisor;
+wire [7:0] quotient, remainder; wire done;
+radix2_div dut(.clk(clk), .rst(rst), .start(start), .dividend(dividend), .divisor(divisor), .quotient(quotient), .remainder(remainder), .done(done));
+always #5 clk = ~clk;
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  rst = 1; start = 0; dividend = 0; divisor = 1;
+  @(posedge clk); #1;
+  rst = 0;
+  dividend = 8'd100; divisor = 8'd7; start = 1;
+  @(posedge clk); #1;
+  start = 0;
+  wait (done);
+  #1 total = total + 1; if (quotient === 8'd14 && remainder === 8'd2) pass = pass + 1;
+  @(posedge clk); #1;
+  dividend = 8'd255; divisor = 8'd16; start = 1;
+  @(posedge clk); #1;
+  start = 0;
+  wait (done);
+  #1 total = total + 1; if (quotient === 8'd15 && remainder === 8'd15) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "alu",
+            "alu",
+            "input [31:0] a, input [31:0] b, input [2:0] op, output reg [31:0] y, output zero",
+            "A 32-bit combinational ALU with eight operations selected by op: 0 add, 1 subtract, 2 AND, 3 OR, 4 XOR, 5 set-less-than (unsigned), 6 logical shift left by b[4:0], 7 logical shift right by b[4:0]. The zero flag is high when y is all zeros.",
+            "module alu(input [31:0] a, b, input [2:0] op, output reg [31:0] y, output zero);
+always @(*)
+  case (op)
+    3'd0: y = a + b;
+    3'd1: y = a - b;
+    3'd2: y = a & b;
+    3'd3: y = a | b;
+    3'd4: y = a ^ b;
+    3'd5: y = (a < b) ? 32'd1 : 32'd0;
+    3'd6: y = a << b[4:0];
+    default: y = a >> b[4:0];
+  endcase
+assign zero = (y == 32'd0);
+endmodule
+",
+            "module tb;
+reg [31:0] a, b; reg [2:0] op; wire [31:0] y; wire zero;
+alu dut(.a(a), .b(b), .op(op), .y(y), .zero(zero));
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  a = 32'd7; b = 32'd5;
+  op = 3'd0; #1 total = total + 1; if (y === 32'd12) pass = pass + 1;
+  op = 3'd1; #1 total = total + 1; if (y === 32'd2) pass = pass + 1;
+  op = 3'd2; #1 total = total + 1; if (y === 32'd5) pass = pass + 1;
+  op = 3'd3; #1 total = total + 1; if (y === 32'd7) pass = pass + 1;
+  op = 3'd4; #1 total = total + 1; if (y === 32'd2) pass = pass + 1;
+  op = 3'd5; #1 total = total + 1; if (y === 32'd0 && zero === 1'b1) pass = pass + 1;
+  a = 32'd3; b = 32'd4;
+  op = 3'd5; #1 total = total + 1; if (y === 32'd1) pass = pass + 1;
+  a = 32'h0000_00F0; b = 32'd4;
+  op = 3'd6; #1 total = total + 1; if (y === 32'h0000_0F00) pass = pass + 1;
+  op = 3'd7; #1 total = total + 1; if (y === 32'h0000_000F) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "pe",
+            "pe",
+            "input clk, input rst, input [15:0] a, input [15:0] b, output reg [31:0] c",
+            "A multiply-accumulate processing element: on each rising clock edge the product of the 16-bit inputs a and b is added into the 32-bit accumulator c. Synchronous reset clears the accumulator.",
+            "module pe(input clk, rst, input [15:0] a, b, output reg [31:0] c);
+always @(posedge clk)
+  if (rst) c <= 32'd0;
+  else c <= c + a * b;
+endmodule
+",
+            "module tb;
+reg clk = 0; reg rst; reg [15:0] a, b; wire [31:0] c;
+pe dut(.clk(clk), .rst(rst), .a(a), .b(b), .c(c));
+always #5 clk = ~clk;
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  rst = 1; a = 0; b = 0;
+  @(posedge clk); #1;
+  total = total + 1; if (c === 32'd0) pass = pass + 1;
+  rst = 0;
+  a = 16'd10; b = 16'd20;
+  @(posedge clk); #1;
+  total = total + 1; if (c === 32'd200) pass = pass + 1;
+  a = 16'd300; b = 16'd300;
+  @(posedge clk); #1;
+  total = total + 1; if (c === 32'd90200) pass = pass + 1;
+  rst = 1;
+  @(posedge clk); #1;
+  total = total + 1; if (c === 32'd0) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+    ]
+}

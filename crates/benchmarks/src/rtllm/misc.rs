@@ -1,0 +1,174 @@
+//! RTLLM structural designs: the multiplexer, RAM, and asynchronous FIFO.
+
+use super::arith::problem;
+use crate::problem::VerilogProblem;
+
+pub(crate) fn problems() -> Vec<VerilogProblem> {
+    vec![
+        problem(
+            "mux",
+            "mux",
+            "input [15:0] a, input [15:0] b, input sel, output [15:0] y",
+            "A 16-bit wide 2-to-1 multiplexer: output y equals input a when sel is 0 and input b when sel is 1. Purely combinational.",
+            "module mux(input [15:0] a, b, input sel, output [15:0] y);
+assign y = sel ? b : a;
+endmodule
+",
+            "module tb;
+reg [15:0] a, b; reg sel; wire [15:0] y;
+mux dut(.a(a), .b(b), .sel(sel), .y(y));
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  a = 16'h1111; b = 16'h2222;
+  sel = 0; #1 total = total + 1; if (y === 16'h1111) pass = pass + 1;
+  sel = 1; #1 total = total + 1; if (y === 16'h2222) pass = pass + 1;
+  a = 16'hFFFF; b = 16'h0000;
+  sel = 0; #1 total = total + 1; if (y === 16'hFFFF) pass = pass + 1;
+  sel = 1; #1 total = total + 1; if (y === 16'h0000) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "RAM",
+            "RAM",
+            "input clk, input rst, input write_en, input [2:0] write_addr, input [3:0] write_data, input read_en, input [2:0] read_addr, output reg [3:0] read_data",
+            "An 8-entry, 4-bit dual-port RAM: on each rising clock edge, when write_en is high the word at write_addr is written with write_data; when read_en is high the word at read_addr is registered onto read_data; with read_en low, read_data clears to 0. Synchronous reset clears the whole memory.",
+            "module RAM(input clk, rst, write_en, input [2:0] write_addr, input [3:0] write_data, input read_en, input [2:0] read_addr, output reg [3:0] read_data);
+reg [3:0] mem [0:7];
+integer i;
+always @(posedge clk)
+  if (rst) begin
+    for (i = 0; i < 8; i = i + 1) mem[i] <= 4'd0;
+    read_data <= 4'd0;
+  end else begin
+    if (write_en) mem[write_addr] <= write_data;
+    if (read_en) read_data <= mem[read_addr];
+    else read_data <= 4'd0;
+  end
+endmodule
+",
+            "module tb;
+reg clk = 0; reg rst, write_en, read_en;
+reg [2:0] write_addr, read_addr; reg [3:0] write_data;
+wire [3:0] read_data;
+RAM dut(.clk(clk), .rst(rst), .write_en(write_en), .write_addr(write_addr), .write_data(write_data), .read_en(read_en), .read_addr(read_addr), .read_data(read_data));
+always #5 clk = ~clk;
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  rst = 1; write_en = 0; read_en = 0; write_addr = 0; read_addr = 0; write_data = 0;
+  @(posedge clk); #1;
+  rst = 0;
+  write_en = 1; write_addr = 3'd2; write_data = 4'hA;
+  @(posedge clk); #1;
+  write_addr = 3'd5; write_data = 4'h7;
+  @(posedge clk); #1;
+  write_en = 0; read_en = 1; read_addr = 3'd2;
+  @(posedge clk); #1;
+  total = total + 1; if (read_data === 4'hA) pass = pass + 1;
+  read_addr = 3'd5;
+  @(posedge clk); #1;
+  total = total + 1; if (read_data === 4'h7) pass = pass + 1;
+  read_en = 0;
+  @(posedge clk); #1;
+  total = total + 1; if (read_data === 4'd0) pass = pass + 1;
+  read_en = 1; read_addr = 3'd0;
+  @(posedge clk); #1;
+  total = total + 1; if (read_data === 4'd0) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "asyn_fifo",
+            "asyn_fifo",
+            "input wclk, input rclk, input rst, input wen, input ren, input [7:0] wdata, output [7:0] rdata, output full, output empty",
+            "An asynchronous FIFO, 8 entries of 8 bits, with independent write and read clocks: write and read pointers are kept in Gray code and synchronized through two flip-flops into the opposite clock domain; full is computed in the write domain, empty in the read domain, and rdata presents the word at the read pointer.",
+            "module asyn_fifo(input wclk, rclk, rst, wen, ren, input [7:0] wdata, output [7:0] rdata, output full, empty);
+reg [7:0] mem [0:7];
+reg [3:0] wptr, rptr;
+reg [3:0] wptr_gray, rptr_gray;
+reg [3:0] rptr_gray_w1, rptr_gray_w2;
+reg [3:0] wptr_gray_r1, wptr_gray_r2;
+wire [3:0] wptr_next = wptr + (wen && !full ? 4'd1 : 4'd0);
+wire [3:0] rptr_next = rptr + (ren && !empty ? 4'd1 : 4'd0);
+assign full = (wptr_gray == {~rptr_gray_w2[3:2], rptr_gray_w2[1:0]});
+assign empty = (rptr_gray == wptr_gray_r2);
+assign rdata = mem[rptr[2:0]];
+always @(posedge wclk) begin
+  if (rst) begin
+    wptr <= 4'd0;
+    wptr_gray <= 4'd0;
+    rptr_gray_w1 <= 4'd0;
+    rptr_gray_w2 <= 4'd0;
+  end else begin
+    if (wen && !full) mem[wptr[2:0]] <= wdata;
+    wptr <= wptr_next;
+    wptr_gray <= wptr_next ^ (wptr_next >> 1);
+    rptr_gray_w1 <= rptr_gray;
+    rptr_gray_w2 <= rptr_gray_w1;
+  end
+end
+always @(posedge rclk) begin
+  if (rst) begin
+    rptr <= 4'd0;
+    rptr_gray <= 4'd0;
+    wptr_gray_r1 <= 4'd0;
+    wptr_gray_r2 <= 4'd0;
+  end else begin
+    rptr <= rptr_next;
+    rptr_gray <= rptr_next ^ (rptr_next >> 1);
+    wptr_gray_r1 <= wptr_gray;
+    wptr_gray_r2 <= wptr_gray_r1;
+  end
+end
+endmodule
+",
+            "module tb;
+reg wclk = 0; reg rclk = 0; reg rst, wen, ren;
+reg [7:0] wdata; wire [7:0] rdata; wire full, empty;
+asyn_fifo dut(.wclk(wclk), .rclk(rclk), .rst(rst), .wen(wen), .ren(ren), .wdata(wdata), .rdata(rdata), .full(full), .empty(empty));
+always #5 wclk = ~wclk;
+always #7 rclk = ~rclk;
+integer pass; integer total; integer i;
+initial begin
+  pass = 0; total = 0;
+  rst = 1; wen = 0; ren = 0; wdata = 0;
+  repeat (4) @(posedge wclk);
+  #1 rst = 0;
+  total = total + 1; if (empty === 1'b1 && full === 1'b0) pass = pass + 1;
+  wen = 1;
+  for (i = 0; i < 4; i = i + 1) begin
+    wdata = 8'd10 + i;
+    @(posedge wclk); #1;
+  end
+  wen = 0;
+  // Let the write pointer cross into the read domain.
+  repeat (3) @(posedge rclk);
+  #1 total = total + 1; if (empty === 1'b0) pass = pass + 1;
+  total = total + 1; if (rdata === 8'd10) pass = pass + 1;
+  ren = 1;
+  @(posedge rclk); #1;
+  total = total + 1; if (rdata === 8'd11) pass = pass + 1;
+  @(posedge rclk); #1;
+  total = total + 1; if (rdata === 8'd12) pass = pass + 1;
+  @(posedge rclk); #1;
+  total = total + 1; if (rdata === 8'd13) pass = pass + 1;
+  @(posedge rclk); #1;
+  ren = 0;
+  repeat (2) @(posedge rclk);
+  #1 total = total + 1; if (empty === 1'b1) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+    ]
+}

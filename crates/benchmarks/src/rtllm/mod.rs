@@ -1,0 +1,136 @@
+//! RTLLM-style benchmark suite: 29 designs matching the design list of the
+//! paper's Table 3 (accumulators through processing elements), each with a
+//! one-prompt specification, a reference implementation, and a
+//! self-checking testbench.
+
+mod arith;
+mod misc;
+mod seq;
+
+use crate::problem::VerilogProblem;
+
+/// All 29 RTLLM designs (Table 3 rows, minus the aggregate).
+pub fn rtllm_suite() -> Vec<VerilogProblem> {
+    let mut v = arith::problems();
+    v.extend(seq::problems());
+    v.extend(misc::problems());
+    v
+}
+
+/// The 18-design subset the paper evaluates in Table 5.
+pub fn rtllm_table5_subset() -> Vec<VerilogProblem> {
+    const IDS: [&str; 18] = [
+        "accu",
+        "adder_8bit",
+        "adder_16bit",
+        "adder_32bit",
+        "adder_64bit",
+        "multi_16bit",
+        "Johnson_Counter",
+        "right_shifter",
+        "mux",
+        "counter_12",
+        "signal_generator",
+        "serial2parallel",
+        "edge_detect",
+        "width_8to16",
+        "calendar",
+        "RAM",
+        "alu",
+        "pe",
+    ];
+    let all = rtllm_suite();
+    IDS.iter()
+        .map(|id| {
+            all.iter()
+                .find(|p| p.id == *id)
+                .unwrap_or_else(|| panic!("missing RTLLM design {id}"))
+                .clone()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dda_sim::{SimOptions, Simulator};
+
+    /// The 29 design names of the paper's Table 3.
+    const TABLE3_IDS: [&str; 29] = [
+        "accu",
+        "adder_8bit",
+        "adder_16bit",
+        "adder_32bit",
+        "adder_64bit",
+        "multi_16bit",
+        "multi_pipe_4bit",
+        "multi_pipe_8bit",
+        "multi_booth",
+        "div_16bit",
+        "radix2_div",
+        "Johnson_Counter",
+        "right_shifter",
+        "mux",
+        "counter_12",
+        "freq_div",
+        "signal_generator",
+        "serial2parallel",
+        "parallel2serial",
+        "pulse_detect",
+        "edge_detect",
+        "fsm",
+        "width_8to16",
+        "traffic_light",
+        "calendar",
+        "RAM",
+        "asyn_fifo",
+        "alu",
+        "pe",
+    ];
+
+    #[test]
+    fn suite_matches_table3_design_list() {
+        let s = rtllm_suite();
+        assert_eq!(s.len(), 29);
+        for id in TABLE3_IDS {
+            assert!(s.iter().any(|p| p.id == id), "missing {id}");
+        }
+    }
+
+    #[test]
+    fn table5_subset_has_18() {
+        assert_eq!(rtllm_table5_subset().len(), 18);
+    }
+
+    #[test]
+    fn references_lint_clean() {
+        for p in rtllm_suite() {
+            let r = dda_lint::check_source(p.id, p.reference);
+            assert!(r.is_clean(), "{}:\n{}", p.id, r.render());
+        }
+    }
+
+    #[test]
+    fn references_pass_their_testbenches() {
+        for p in rtllm_suite() {
+            let src = format!("{}\n{}", p.reference, p.testbench);
+            let sf = dda_verilog::parse(&src).unwrap_or_else(|e| panic!("{}: {e}", p.id));
+            let mut sim = Simulator::new(&sf, "tb").unwrap_or_else(|e| panic!("{}: {e}", p.id));
+            let out = sim
+                .run(&SimOptions::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", p.id));
+            assert!(out.finished, "{} never finished: {}", p.id, out.output);
+            let (pass, total) = crate::problem::parse_result(&out.output)
+                .unwrap_or_else(|| panic!("{}: no RESULT: {}", p.id, out.output));
+            assert_eq!(pass, total, "{}: {pass}/{total} checks passed", p.id);
+        }
+    }
+
+    #[test]
+    fn prompts_have_interfaces() {
+        for p in rtllm_suite() {
+            assert_eq!(p.prompts.len(), 1, "{}", p.id);
+            assert!(p.prompts[0].contains("Module name:"), "{}", p.id);
+        }
+    }
+}

@@ -1,0 +1,641 @@
+//! RTLLM sequential designs: counters, shifters, detectors, serializers,
+//! signal generators, the traffic light and the calendar.
+
+use super::arith::problem;
+use crate::problem::VerilogProblem;
+
+pub(crate) fn problems() -> Vec<VerilogProblem> {
+    vec![
+        problem(
+            "Johnson_Counter",
+            "Johnson_Counter",
+            "input clk, input rst, output reg [3:0] q",
+            "A 4-bit Johnson (twisted-ring) counter: on reset q clears; on each rising clock edge q shifts right with the inverted old LSB entering at the MSB, producing the 8-state Johnson sequence.",
+            "module Johnson_Counter(input clk, rst, output reg [3:0] q);
+always @(posedge clk)
+  if (rst) q <= 4'd0;
+  else q <= {~q[0], q[3:1]};
+endmodule
+",
+            "module tb;
+reg clk = 0; reg rst; wire [3:0] q;
+Johnson_Counter dut(.clk(clk), .rst(rst), .q(q));
+always #5 clk = ~clk;
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  rst = 1;
+  @(posedge clk); #1;
+  total = total + 1; if (q === 4'b0000) pass = pass + 1;
+  rst = 0;
+  @(posedge clk); #1;
+  total = total + 1; if (q === 4'b1000) pass = pass + 1;
+  @(posedge clk); #1;
+  total = total + 1; if (q === 4'b1100) pass = pass + 1;
+  @(posedge clk); #1;
+  @(posedge clk); #1;
+  total = total + 1; if (q === 4'b1111) pass = pass + 1;
+  @(posedge clk); #1;
+  total = total + 1; if (q === 4'b0111) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "right_shifter",
+            "right_shifter",
+            "input clk, input d, output reg [7:0] q",
+            "An 8-bit right shifter: on each rising clock edge the register q shifts right by one position and the serial input d enters at bit 7, so q becomes {d, q[7:1]}.",
+            "module right_shifter(input clk, d, output reg [7:0] q);
+initial q = 8'd0;
+always @(posedge clk)
+  q <= {d, q[7:1]};
+endmodule
+",
+            "module tb;
+reg clk = 0; reg d; wire [7:0] q;
+right_shifter dut(.clk(clk), .d(d), .q(q));
+always #5 clk = ~clk;
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  d = 1;
+  @(posedge clk); #1;
+  total = total + 1; if (q === 8'b1000_0000) pass = pass + 1;
+  @(posedge clk); #1;
+  total = total + 1; if (q === 8'b1100_0000) pass = pass + 1;
+  d = 0;
+  @(posedge clk); #1;
+  total = total + 1; if (q === 8'b0110_0000) pass = pass + 1;
+  @(posedge clk); #1;
+  total = total + 1; if (q === 8'b0011_0000) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "counter_12",
+            "counter_12",
+            "input clk, input rst, input valid_count, output reg [3:0] out",
+            "A modulo-12 counter: when valid_count is high the 4-bit output increments each rising clock edge, wrapping from 11 back to 0; when valid_count is low the count holds. Synchronous reset clears the count.",
+            "module counter_12(input clk, rst, valid_count, output reg [3:0] out);
+always @(posedge clk)
+  if (rst) out <= 4'd0;
+  else if (valid_count) begin
+    if (out == 4'd11) out <= 4'd0;
+    else out <= out + 4'd1;
+  end
+endmodule
+",
+            "module tb;
+reg clk = 0; reg rst, valid_count; wire [3:0] out;
+counter_12 dut(.clk(clk), .rst(rst), .valid_count(valid_count), .out(out));
+always #5 clk = ~clk;
+integer pass; integer total; integer i;
+initial begin
+  pass = 0; total = 0;
+  rst = 1; valid_count = 0;
+  @(posedge clk); #1;
+  total = total + 1; if (out === 4'd0) pass = pass + 1;
+  rst = 0; valid_count = 1;
+  for (i = 1; i <= 11; i = i + 1) begin
+    @(posedge clk); #1;
+    total = total + 1; if (out === i[3:0]) pass = pass + 1;
+  end
+  @(posedge clk); #1;
+  total = total + 1; if (out === 4'd0) pass = pass + 1;
+  valid_count = 0;
+  @(posedge clk); #1;
+  total = total + 1; if (out === 4'd0) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "freq_div",
+            "freq_div",
+            "input clk, input rst, output reg clk_div2, output reg clk_div4",
+            "A frequency divider producing clock enables at half and quarter rate: clk_div2 toggles every rising edge of clk, and clk_div4 toggles every second rising edge. Synchronous reset clears both outputs.",
+            "module freq_div(input clk, rst, output reg clk_div2, output reg clk_div4);
+reg cnt;
+always @(posedge clk)
+  if (rst) begin
+    clk_div2 <= 1'b0;
+    clk_div4 <= 1'b0;
+    cnt <= 1'b0;
+  end else begin
+    clk_div2 <= ~clk_div2;
+    cnt <= ~cnt;
+    if (cnt) clk_div4 <= ~clk_div4;
+  end
+endmodule
+",
+            "module tb;
+reg clk = 0; reg rst; wire clk_div2, clk_div4;
+freq_div dut(.clk(clk), .rst(rst), .clk_div2(clk_div2), .clk_div4(clk_div4));
+always #5 clk = ~clk;
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  rst = 1;
+  @(posedge clk); #1;
+  rst = 0;
+  total = total + 1; if (clk_div2 === 1'b0 && clk_div4 === 1'b0) pass = pass + 1;
+  @(posedge clk); #1;
+  total = total + 1; if (clk_div2 === 1'b1) pass = pass + 1;
+  @(posedge clk); #1;
+  total = total + 1; if (clk_div2 === 1'b0 && clk_div4 === 1'b1) pass = pass + 1;
+  @(posedge clk); #1;
+  total = total + 1; if (clk_div2 === 1'b1 && clk_div4 === 1'b1) pass = pass + 1;
+  @(posedge clk); #1;
+  total = total + 1; if (clk_div2 === 1'b0 && clk_div4 === 1'b0) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "signal_generator",
+            "signal_generator",
+            "input clk, input rst, output reg [4:0] wave",
+            "A triangle-wave signal generator: a 5-bit output ramps up by one each clock from 0 to 31, then ramps down by one back to 0, repeating. Synchronous reset restarts from zero, ramping up.",
+            "module signal_generator(input clk, rst, output reg [4:0] wave);
+reg dir;
+always @(posedge clk)
+  if (rst) begin
+    wave <= 5'd0;
+    dir <= 1'b0;
+  end else if (!dir) begin
+    if (wave == 5'd31) begin
+      dir <= 1'b1;
+      wave <= 5'd30;
+    end else wave <= wave + 5'd1;
+  end else begin
+    if (wave == 5'd0) begin
+      dir <= 1'b0;
+      wave <= 5'd1;
+    end else wave <= wave - 5'd1;
+  end
+endmodule
+",
+            "module tb;
+reg clk = 0; reg rst; wire [4:0] wave;
+signal_generator dut(.clk(clk), .rst(rst), .wave(wave));
+always #5 clk = ~clk;
+integer pass; integer total; integer i;
+initial begin
+  pass = 0; total = 0;
+  rst = 1;
+  @(posedge clk); #1;
+  total = total + 1; if (wave === 5'd0) pass = pass + 1;
+  rst = 0;
+  for (i = 1; i <= 31; i = i + 1) begin
+    @(posedge clk); #1;
+    total = total + 1; if (wave === i[4:0]) pass = pass + 1;
+  end
+  @(posedge clk); #1;
+  total = total + 1; if (wave === 5'd30) pass = pass + 1;
+  @(posedge clk); #1;
+  total = total + 1; if (wave === 5'd29) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "serial2parallel",
+            "serial2parallel",
+            "input clk, input rst, input din_serial, input din_valid, output reg [7:0] dout_parallel, output reg dout_valid",
+            "A serial-to-parallel converter: bits arrive MSB first on din_serial when din_valid is high; after eight valid bits, dout_parallel presents the assembled byte and dout_valid goes high for one cycle. Synchronous reset clears the converter.",
+            "module serial2parallel(input clk, rst, din_serial, din_valid, output reg [7:0] dout_parallel, output reg dout_valid);
+reg [2:0] cnt;
+always @(posedge clk)
+  if (rst) begin
+    cnt <= 3'd0;
+    dout_parallel <= 8'd0;
+    dout_valid <= 1'b0;
+  end else begin
+    dout_valid <= 1'b0;
+    if (din_valid) begin
+      dout_parallel <= {dout_parallel[6:0], din_serial};
+      if (cnt == 3'd7) begin
+        cnt <= 3'd0;
+        dout_valid <= 1'b1;
+      end else cnt <= cnt + 3'd1;
+    end
+  end
+endmodule
+",
+            "module tb;
+reg clk = 0; reg rst, din_serial, din_valid;
+wire [7:0] dout_parallel; wire dout_valid;
+serial2parallel dut(.clk(clk), .rst(rst), .din_serial(din_serial), .din_valid(din_valid), .dout_parallel(dout_parallel), .dout_valid(dout_valid));
+always #5 clk = ~clk;
+integer pass; integer total; integer i;
+reg [7:0] word;
+initial begin
+  pass = 0; total = 0;
+  rst = 1; din_serial = 0; din_valid = 0;
+  @(posedge clk); #1;
+  rst = 0;
+  word = 8'b1010_0110;
+  din_valid = 1;
+  for (i = 7; i >= 0; i = i - 1) begin
+    din_serial = word[i];
+    @(posedge clk); #1;
+    if (i > 0) begin
+      total = total + 1; if (dout_valid === 1'b0) pass = pass + 1;
+    end
+  end
+  total = total + 1; if (dout_valid === 1'b1 && dout_parallel === word) pass = pass + 1;
+  din_valid = 0;
+  @(posedge clk); #1;
+  total = total + 1; if (dout_valid === 1'b0) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "parallel2serial",
+            "parallel2serial",
+            "input clk, input rst, input [3:0] d, output reg dout, output reg valid_out",
+            "A parallel-to-serial converter: every four cycles the 4-bit input d is loaded, then shifted out MSB first on dout, one bit per clock, with valid_out high while bits are being emitted. Synchronous reset restarts the cycle.",
+            "module parallel2serial(input clk, rst, input [3:0] d, output reg dout, output reg valid_out);
+reg [3:0] data;
+reg [1:0] cnt;
+always @(posedge clk)
+  if (rst) begin
+    cnt <= 2'd0;
+    data <= 4'd0;
+    dout <= 1'b0;
+    valid_out <= 1'b0;
+  end else begin
+    valid_out <= 1'b1;
+    if (cnt == 2'd0) begin
+      data <= d;
+      dout <= d[3];
+      cnt <= 2'd1;
+    end else begin
+      dout <= data[3 - cnt];
+      cnt <= cnt + 2'd1;
+    end
+  end
+endmodule
+",
+            "module tb;
+reg clk = 0; reg rst; reg [3:0] d;
+wire dout; wire valid_out;
+parallel2serial dut(.clk(clk), .rst(rst), .d(d), .dout(dout), .valid_out(valid_out));
+always #5 clk = ~clk;
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  rst = 1; d = 4'b1011;
+  @(posedge clk); #1;
+  rst = 0;
+  @(posedge clk); #1;
+  total = total + 1; if (dout === 1'b1 && valid_out === 1'b1) pass = pass + 1;
+  @(posedge clk); #1;
+  total = total + 1; if (dout === 1'b0) pass = pass + 1;
+  @(posedge clk); #1;
+  total = total + 1; if (dout === 1'b1) pass = pass + 1;
+  @(posedge clk); #1;
+  total = total + 1; if (dout === 1'b1) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "pulse_detect",
+            "pulse_detect",
+            "input clk, input rst, input data_in, output reg data_out",
+            "A pulse detector: watches data_in across clock cycles and raises data_out for one cycle when a complete 0-1-0 pulse has been seen (data_out goes high on the cycle the trailing 0 is sampled). Synchronous reset.",
+            "module pulse_detect(input clk, rst, data_in, output reg data_out);
+reg [1:0] state;
+localparam S0 = 2'd0, S1 = 2'd1;
+always @(posedge clk)
+  if (rst) begin
+    state <= S0;
+    data_out <= 1'b0;
+  end else begin
+    data_out <= 1'b0;
+    case (state)
+      S0: if (data_in) state <= S1;
+      S1: if (!data_in) begin
+        state <= S0;
+        data_out <= 1'b1;
+      end
+      default: state <= S0;
+    endcase
+  end
+endmodule
+",
+            "module tb;
+reg clk = 0; reg rst, data_in; wire data_out;
+pulse_detect dut(.clk(clk), .rst(rst), .data_in(data_in), .data_out(data_out));
+always #5 clk = ~clk;
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  rst = 1; data_in = 0;
+  @(posedge clk); #1;
+  rst = 0;
+  @(posedge clk); #1;
+  total = total + 1; if (data_out === 1'b0) pass = pass + 1;
+  data_in = 1;
+  @(posedge clk); #1;
+  total = total + 1; if (data_out === 1'b0) pass = pass + 1;
+  data_in = 0;
+  @(posedge clk); #1;
+  total = total + 1; if (data_out === 1'b1) pass = pass + 1;
+  @(posedge clk); #1;
+  total = total + 1; if (data_out === 1'b0) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "edge_detect",
+            "edge_detect",
+            "input clk, input rst, input a, output reg rise, output reg down",
+            "An edge detector: rise pulses for one cycle when input a changes from 0 to 1 between consecutive clock edges; down pulses when a changes from 1 to 0. Synchronous reset clears both outputs.",
+            "module edge_detect(input clk, rst, a, output reg rise, output reg down);
+reg prev;
+always @(posedge clk)
+  if (rst) begin
+    prev <= 1'b0;
+    rise <= 1'b0;
+    down <= 1'b0;
+  end else begin
+    rise <= a & ~prev;
+    down <= ~a & prev;
+    prev <= a;
+  end
+endmodule
+",
+            "module tb;
+reg clk = 0; reg rst, a; wire rise, down;
+edge_detect dut(.clk(clk), .rst(rst), .a(a), .rise(rise), .down(down));
+always #5 clk = ~clk;
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  rst = 1; a = 0;
+  @(posedge clk); #1;
+  rst = 0;
+  a = 1;
+  @(posedge clk); #1;
+  total = total + 1; if (rise === 1'b1 && down === 1'b0) pass = pass + 1;
+  @(posedge clk); #1;
+  total = total + 1; if (rise === 1'b0 && down === 1'b0) pass = pass + 1;
+  a = 0;
+  @(posedge clk); #1;
+  total = total + 1; if (rise === 1'b0 && down === 1'b1) pass = pass + 1;
+  @(posedge clk); #1;
+  total = total + 1; if (rise === 1'b0 && down === 1'b0) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "fsm",
+            "fsm",
+            "input clk, input rst, input in, output reg match",
+            "A finite-state machine that detects the serial input sequence 1011 (overlapping matches allowed): match goes high for one cycle when the final 1 of the pattern is sampled. Synchronous reset to idle.",
+            "module fsm(input clk, rst, in, output reg match);
+reg [2:0] state;
+localparam IDLE = 3'd0, S1 = 3'd1, S10 = 3'd2, S101 = 3'd3;
+always @(posedge clk)
+  if (rst) begin
+    state <= IDLE;
+    match <= 1'b0;
+  end else begin
+    match <= 1'b0;
+    case (state)
+      IDLE: if (in) state <= S1;
+      S1: if (!in) state <= S10; else state <= S1;
+      S10: if (in) state <= S101; else state <= IDLE;
+      S101: begin
+        if (in) begin
+          match <= 1'b1;
+          state <= S1;
+        end else state <= S10;
+      end
+      default: state <= IDLE;
+    endcase
+  end
+endmodule
+",
+            "module tb;
+reg clk = 0; reg rst, in; wire match;
+fsm dut(.clk(clk), .rst(rst), .in(in), .match(match));
+always #5 clk = ~clk;
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  rst = 1; in = 0;
+  @(posedge clk); #1;
+  rst = 0;
+  in = 1; @(posedge clk); #1;
+  in = 0; @(posedge clk); #1;
+  in = 1; @(posedge clk); #1;
+  total = total + 1; if (match === 1'b0) pass = pass + 1;
+  in = 1; @(posedge clk); #1;
+  total = total + 1; if (match === 1'b1) pass = pass + 1;
+  in = 0; @(posedge clk); #1;
+  in = 1; @(posedge clk); #1;
+  in = 1; @(posedge clk); #1;
+  total = total + 1; if (match === 1'b1) pass = pass + 1;
+  @(posedge clk); #1;
+  total = total + 1; if (match === 1'b0) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "width_8to16",
+            "width_8to16",
+            "input clk, input rst, input valid_in, input [7:0] data_in, output reg valid_out, output reg [15:0] data_out",
+            "A width converter from 8 to 16 bits: bytes arriving with valid_in high are paired; the first byte of a pair is stored and, when the second arrives, data_out presents {first, second} with valid_out high for one cycle. Synchronous reset.",
+            "module width_8to16(input clk, rst, valid_in, input [7:0] data_in, output reg valid_out, output reg [15:0] data_out);
+reg [7:0] hold;
+reg have;
+always @(posedge clk)
+  if (rst) begin
+    valid_out <= 1'b0;
+    data_out <= 16'd0;
+    hold <= 8'd0;
+    have <= 1'b0;
+  end else begin
+    valid_out <= 1'b0;
+    if (valid_in) begin
+      if (!have) begin
+        hold <= data_in;
+        have <= 1'b1;
+      end else begin
+        data_out <= {hold, data_in};
+        valid_out <= 1'b1;
+        have <= 1'b0;
+      end
+    end
+  end
+endmodule
+",
+            "module tb;
+reg clk = 0; reg rst, valid_in; reg [7:0] data_in;
+wire valid_out; wire [15:0] data_out;
+width_8to16 dut(.clk(clk), .rst(rst), .valid_in(valid_in), .data_in(data_in), .valid_out(valid_out), .data_out(data_out));
+always #5 clk = ~clk;
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  rst = 1; valid_in = 0; data_in = 0;
+  @(posedge clk); #1;
+  rst = 0;
+  valid_in = 1; data_in = 8'hAB;
+  @(posedge clk); #1;
+  total = total + 1; if (valid_out === 1'b0) pass = pass + 1;
+  data_in = 8'hCD;
+  @(posedge clk); #1;
+  total = total + 1; if (valid_out === 1'b1 && data_out === 16'hABCD) pass = pass + 1;
+  data_in = 8'h12;
+  @(posedge clk); #1;
+  total = total + 1; if (valid_out === 1'b0) pass = pass + 1;
+  data_in = 8'h34;
+  @(posedge clk); #1;
+  total = total + 1; if (valid_out === 1'b1 && data_out === 16'h1234) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "traffic_light",
+            "traffic_light",
+            "input clk, input rst, output reg red, output reg yellow, output reg green",
+            "A traffic-light controller cycling green for 4 cycles, yellow for 2 cycles, red for 3 cycles, then back to green. Exactly one lamp output is high at any time; synchronous reset starts in green.",
+            "module traffic_light(input clk, rst, output reg red, output reg yellow, output reg green);
+reg [1:0] state;
+reg [2:0] cnt;
+localparam GREEN = 2'd0, YELLOW = 2'd1, RED = 2'd2;
+always @(posedge clk)
+  if (rst) begin
+    state <= GREEN;
+    cnt <= 3'd0;
+  end else begin
+    case (state)
+      GREEN: if (cnt == 3'd3) begin
+        state <= YELLOW;
+        cnt <= 3'd0;
+      end else cnt <= cnt + 3'd1;
+      YELLOW: if (cnt == 3'd1) begin
+        state <= RED;
+        cnt <= 3'd0;
+      end else cnt <= cnt + 3'd1;
+      RED: if (cnt == 3'd2) begin
+        state <= GREEN;
+        cnt <= 3'd0;
+      end else cnt <= cnt + 3'd1;
+      default: begin
+        state <= GREEN;
+        cnt <= 3'd0;
+      end
+    endcase
+  end
+always @(*) begin
+  green = (state == GREEN);
+  yellow = (state == YELLOW);
+  red = (state == RED);
+end
+endmodule
+",
+            "module tb;
+reg clk = 0; reg rst; wire red, yellow, green;
+traffic_light dut(.clk(clk), .rst(rst), .red(red), .yellow(yellow), .green(green));
+always #5 clk = ~clk;
+integer pass; integer total; integer i;
+initial begin
+  pass = 0; total = 0;
+  rst = 1;
+  @(posedge clk); #1;
+  rst = 0;
+  total = total + 1; if (green === 1'b1 && yellow === 1'b0 && red === 1'b0) pass = pass + 1;
+  for (i = 0; i < 4; i = i + 1) @(posedge clk);
+  #1 total = total + 1; if (yellow === 1'b1 && green === 1'b0) pass = pass + 1;
+  for (i = 0; i < 2; i = i + 1) @(posedge clk);
+  #1 total = total + 1; if (red === 1'b1 && yellow === 1'b0) pass = pass + 1;
+  for (i = 0; i < 3; i = i + 1) @(posedge clk);
+  #1 total = total + 1; if (green === 1'b1 && red === 1'b0) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "calendar",
+            "calendar",
+            "input clk, input rst, output reg [5:0] secs, output reg [5:0] mins, output reg [5:0] hours",
+            "A clock calendar: seconds count 0 to 59 and wrap, carrying into minutes (0 to 59), which carry into hours (0 to 23, then wrap to 0). One tick per rising clock edge; synchronous reset clears all three fields.",
+            "module calendar(input clk, rst, output reg [5:0] secs, mins, hours);
+always @(posedge clk)
+  if (rst) begin
+    secs <= 6'd0;
+    mins <= 6'd0;
+    hours <= 6'd0;
+  end else begin
+    if (secs == 6'd59) begin
+      secs <= 6'd0;
+      if (mins == 6'd59) begin
+        mins <= 6'd0;
+        if (hours == 6'd23) hours <= 6'd0;
+        else hours <= hours + 6'd1;
+      end else mins <= mins + 6'd1;
+    end else secs <= secs + 6'd1;
+  end
+endmodule
+",
+            "module tb;
+reg clk = 0; reg rst; wire [5:0] secs, mins, hours;
+calendar dut(.clk(clk), .rst(rst), .secs(secs), .mins(mins), .hours(hours));
+always #5 clk = ~clk;
+integer pass; integer total; integer i;
+initial begin
+  pass = 0; total = 0;
+  rst = 1;
+  @(posedge clk); #1;
+  rst = 0;
+  total = total + 1; if (secs === 6'd0 && mins === 6'd0 && hours === 6'd0) pass = pass + 1;
+  for (i = 0; i < 59; i = i + 1) @(posedge clk);
+  #1 total = total + 1; if (secs === 6'd59 && mins === 6'd0) pass = pass + 1;
+  @(posedge clk); #1;
+  total = total + 1; if (secs === 6'd0 && mins === 6'd1) pass = pass + 1;
+  for (i = 0; i < 60; i = i + 1) @(posedge clk);
+  #1 total = total + 1; if (secs === 6'd0 && mins === 6'd2) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+    ]
+}

@@ -1,0 +1,294 @@
+//! SiliconCompiler script-generation tasks (the paper's Table 4).
+//!
+//! Five difficulty levels — Basic, Layout, Clock Period, Core Area, Mixed —
+//! each a natural-language request for a build script with concrete
+//! constraint values. Function checking validates that a generated script
+//! is accepted by the [`dda_scscript`] checker *and* realises exactly the
+//! requested constraints.
+
+use dda_scscript::{check, describe, parse, ScStmt, ScTaskLevel, ScValue, Script};
+
+/// One script-generation task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScTask {
+    /// Difficulty level (Table 4 row).
+    pub level: ScTaskLevel,
+    /// Natural-language prompt handed to the model.
+    pub prompt: String,
+    /// Required design name.
+    pub design: String,
+    /// Required flow target.
+    pub target: String,
+    /// Required clock: (pin, period in ns).
+    pub clock: Option<(String, f64)>,
+    /// Required die outline (x0, y0, x1, y1).
+    pub outline: Option<(f64, f64, f64, f64)>,
+    /// Required core area (x0, y0, x1, y1).
+    pub corearea: Option<(f64, f64, f64, f64)>,
+}
+
+impl ScTask {
+    /// The canonical correct script for this task.
+    pub fn reference(&self) -> Script {
+        let mut stmts = vec![
+            ScStmt::Import {
+                symbol: "siliconcompiler".into(),
+            },
+            ScStmt::NewChip {
+                var: "chip".into(),
+                design: self.design.clone(),
+            },
+            ScStmt::Input {
+                file: format!("{}.v", self.design),
+            },
+        ];
+        if let Some((pin, period)) = &self.clock {
+            stmts.push(ScStmt::Clock {
+                pin: pin.clone(),
+                period: *period,
+            });
+        }
+        if let Some(r) = self.outline {
+            stmts.push(ScStmt::Set {
+                keypath: vec!["constraint".into(), "outline".into()],
+                value: rect(r),
+            });
+        }
+        if let Some(r) = self.corearea {
+            stmts.push(ScStmt::Set {
+                keypath: vec!["constraint".into(), "corearea".into()],
+                value: rect(r),
+            });
+        }
+        stmts.push(ScStmt::LoadTarget {
+            target: self.target.clone(),
+        });
+        stmts.push(ScStmt::Run);
+        stmts.push(ScStmt::Summary);
+        Script {
+            var: "chip".into(),
+            stmts,
+        }
+    }
+
+    /// Syntax check: the text parses as a *non-empty* SiliconCompiler
+    /// script (empty output is a refusal, not a script).
+    pub fn check_syntax(&self, text: &str) -> bool {
+        parse(text).map(|s| !s.stmts.is_empty()).unwrap_or(false)
+    }
+
+    /// Function check: parses, passes the flow checker, and realises every
+    /// requested constraint with the exact values.
+    pub fn check_function(&self, text: &str) -> bool {
+        let Ok(script) = parse(text) else {
+            return false;
+        };
+        if !check(&script).is_clean() {
+            return false;
+        }
+        if script.design() != Some(self.design.as_str()) {
+            return false;
+        }
+        let target_ok = script
+            .stmts
+            .iter()
+            .any(|s| matches!(s, ScStmt::LoadTarget { target } if *target == self.target));
+        if !target_ok {
+            return false;
+        }
+        if let Some((pin, period)) = &self.clock {
+            let ok = script.stmts.iter().any(|s| matches!(s, ScStmt::Clock { pin: p, period: d }
+                    if p == pin && (d - period).abs() < 1e-9));
+            if !ok {
+                return false;
+            }
+        }
+        if let Some(want) = self.outline {
+            if !has_rect(&script, "outline", want) {
+                return false;
+            }
+        }
+        if let Some(want) = self.corearea {
+            if !has_rect(&script, "corearea", want) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn rect((x0, y0, x1, y1): (f64, f64, f64, f64)) -> ScValue {
+    ScValue::List(vec![
+        ScValue::Tuple(vec![ScValue::Num(x0), ScValue::Num(y0)]),
+        ScValue::Tuple(vec![ScValue::Num(x1), ScValue::Num(y1)]),
+    ])
+}
+
+fn has_rect(script: &Script, key: &str, want: (f64, f64, f64, f64)) -> bool {
+    script.stmts.iter().any(|s| {
+        let ScStmt::Set { keypath, value } = s else {
+            return false;
+        };
+        if keypath.last().map(String::as_str) != Some(key) {
+            return false;
+        }
+        let ScValue::List(items) = value else {
+            return false;
+        };
+        if items.len() != 2 {
+            return false;
+        }
+        let pt = |v: &ScValue| -> Option<(f64, f64)> {
+            let ScValue::Tuple(xs) = v else { return None };
+            Some((xs.first()?.as_num()?, xs.get(1)?.as_num()?))
+        };
+        match (pt(&items[0]), pt(&items[1])) {
+            (Some(a), Some(b)) => {
+                (a.0 - want.0).abs() < 1e-9
+                    && (a.1 - want.1).abs() < 1e-9
+                    && (b.0 - want.2).abs() < 1e-9
+                    && (b.1 - want.3).abs() < 1e-9
+            }
+            _ => false,
+        }
+    })
+}
+
+/// The five Table 4 tasks with fixed constraint values.
+pub fn sc_suite() -> Vec<ScTask> {
+    let mut tasks = vec![
+        ScTask {
+            level: ScTaskLevel::Basic,
+            prompt: String::new(),
+            design: "gcd".into(),
+            target: "skywater130_demo".into(),
+            clock: None,
+            outline: None,
+            corearea: None,
+        },
+        ScTask {
+            level: ScTaskLevel::Layout,
+            prompt: String::new(),
+            design: "heartbeat".into(),
+            target: "skywater130_demo".into(),
+            clock: None,
+            outline: Some((0.0, 0.0, 150.0, 150.0)),
+            corearea: None,
+        },
+        ScTask {
+            level: ScTaskLevel::ClockPeriod,
+            prompt: String::new(),
+            design: "uart".into(),
+            target: "freepdk45_demo".into(),
+            clock: Some(("clk".into(), 5.0)),
+            outline: None,
+            corearea: None,
+        },
+        ScTask {
+            level: ScTaskLevel::CoreArea,
+            prompt: String::new(),
+            design: "aes".into(),
+            target: "skywater130_demo".into(),
+            clock: None,
+            outline: Some((0.0, 0.0, 200.0, 200.0)),
+            corearea: Some((10.0, 10.0, 190.0, 190.0)),
+        },
+        ScTask {
+            level: ScTaskLevel::Mixed,
+            prompt: String::new(),
+            design: "picorv32".into(),
+            target: "asap7_demo".into(),
+            clock: Some(("clk".into(), 2.5)),
+            outline: Some((0.0, 0.0, 300.0, 250.0)),
+            corearea: Some((15.0, 15.0, 285.0, 235.0)),
+        },
+    ];
+    // The prompt is the deterministic description of the reference script —
+    // the same NL register the training data uses.
+    for t in &mut tasks {
+        t.prompt = describe(&t.reference());
+    }
+    tasks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_tasks_in_table4_order() {
+        let s = sc_suite();
+        assert_eq!(s.len(), 5);
+        let labels: Vec<_> = s.iter().map(|t| t.level.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["Basic", "Layout", "Clock Period", "Core Area", "Mixed"]
+        );
+    }
+
+    #[test]
+    fn references_pass_their_own_checks() {
+        for t in sc_suite() {
+            let text = t.reference().to_python();
+            assert!(t.check_syntax(&text), "{:?} syntax", t.level);
+            assert!(t.check_function(&text), "{:?} function:\n{text}", t.level);
+        }
+    }
+
+    #[test]
+    fn wrong_target_fails_function_but_not_syntax() {
+        let tasks = sc_suite();
+        let t = &tasks[0];
+        let mut r = t.reference();
+        for s in &mut r.stmts {
+            if let ScStmt::LoadTarget { target } = s {
+                *target = "freepdk45_demo".into();
+            }
+        }
+        let text = r.to_python();
+        assert!(t.check_syntax(&text));
+        assert!(!t.check_function(&text));
+    }
+
+    #[test]
+    fn wrong_period_fails_function() {
+        let tasks = sc_suite();
+        let t = &tasks[2];
+        let mut r = t.reference();
+        for s in &mut r.stmts {
+            if let ScStmt::Clock { period, .. } = s {
+                *period = 10.0;
+            }
+        }
+        assert!(!t.check_function(&r.to_python()));
+    }
+
+    #[test]
+    fn missing_corearea_fails_function() {
+        let tasks = sc_suite();
+        let t = &tasks[3];
+        let mut r = t.reference();
+        r.stmts.retain(|s| {
+            !matches!(s, ScStmt::Set { keypath, .. } if keypath.last().unwrap() == "corearea")
+        });
+        assert!(!t.check_function(&r.to_python()));
+    }
+
+    #[test]
+    fn garbage_fails_syntax() {
+        let t = &sc_suite()[0];
+        assert!(!t.check_syntax("module m; endmodule"));
+        assert!(!t.check_function("chip.run("));
+    }
+
+    #[test]
+    fn prompts_mention_all_constraints() {
+        for t in sc_suite() {
+            assert!(t.prompt.contains(&t.design), "{:?}", t.level);
+            assert!(t.prompt.contains(&t.target), "{:?}", t.level);
+            if let Some((pin, _)) = &t.clock {
+                assert!(t.prompt.contains(pin), "{:?}", t.level);
+            }
+        }
+    }
+}

@@ -1,0 +1,737 @@
+//! Thakur-et-al.-style benchmark suite: 17 problems (basic1–4,
+//! intermediate1–8, advanced1–5), each with three prompt-detail levels
+//! (low / middle / high) as in the DATE'23 paper's protocol.
+//!
+//! The original problem files are not redistributable; these are
+//! functional equivalents matching the published problem list (wires,
+//! gates, encoders, counters, LFSRs, rotators, multipliers, FSMs, adders,
+//! ALUs, memories), each with a reference implementation and a
+//! self-checking testbench.
+
+use crate::problem::{prompt, Suite, VerilogProblem};
+
+fn problem(
+    id: &'static str,
+    module_name: &'static str,
+    ports: &str,
+    low: &str,
+    middle: &str,
+    high: &str,
+    reference: &'static str,
+    testbench: &'static str,
+) -> VerilogProblem {
+    VerilogProblem {
+        id,
+        suite: Suite::Thakur,
+        module_name,
+        prompts: vec![
+            prompt(low, module_name, ports),
+            prompt(middle, module_name, ports),
+            prompt(high, module_name, ports),
+        ],
+        reference,
+        testbench,
+    }
+}
+
+/// The full 17-problem suite.
+pub fn thakur_suite() -> Vec<VerilogProblem> {
+    vec![
+        problem(
+            "basic1",
+            "simple_wire",
+            "input in, output out",
+            "A wire.",
+            "A module that connects its input directly to its output.",
+            "A module acting as a plain wire: the output out is continuously assigned the value of the input in, with no logic in between.",
+            "module simple_wire(input in, output out);
+assign out = in;
+endmodule
+",
+            "module tb;
+reg in; wire out;
+simple_wire dut(.in(in), .out(out));
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  in = 0; #1 total = total + 1; if (out === 1'b0) pass = pass + 1;
+  in = 1; #1 total = total + 1; if (out === 1'b1) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "basic2",
+            "and_gate",
+            "input a, input b, output y",
+            "An AND gate.",
+            "A two-input AND gate driving output y.",
+            "A combinational two-input AND gate: the output y is the logical AND of inputs a and b, implemented with a continuous assignment.",
+            "module and_gate(input a, b, output y);
+assign y = a & b;
+endmodule
+",
+            "module tb;
+reg a, b; wire y;
+and_gate dut(.a(a), .b(b), .y(y));
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  a = 0; b = 0; #1 total = total + 1; if (y === 1'b0) pass = pass + 1;
+  a = 0; b = 1; #1 total = total + 1; if (y === 1'b0) pass = pass + 1;
+  a = 1; b = 0; #1 total = total + 1; if (y === 1'b0) pass = pass + 1;
+  a = 1; b = 1; #1 total = total + 1; if (y === 1'b1) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "basic3",
+            "prio_encoder",
+            "input [7:0] req, output reg [2:0] grant, output reg valid",
+            "A priority encoder.",
+            "An 8-to-3 priority encoder with a valid output; the highest set request wins.",
+            "An 8-to-3 priority encoder: among the bits of req, the highest-indexed set bit determines grant; valid is high when any request bit is set and low otherwise. The logic is combinational.",
+            "module prio_encoder(input [7:0] req, output reg [2:0] grant, output reg valid);
+integer i;
+always @(*) begin
+  grant = 3'd0;
+  valid = 1'b0;
+  for (i = 7; i >= 0; i = i - 1)
+    if (req[i] && !valid) begin
+      grant = i[2:0];
+      valid = 1'b1;
+    end
+end
+endmodule
+",
+            "module tb;
+reg [7:0] req; wire [2:0] grant; wire valid;
+prio_encoder dut(.req(req), .grant(grant), .valid(valid));
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  req = 8'b0000_0000; #1 total = total + 1; if (valid === 1'b0) pass = pass + 1;
+  req = 8'b0000_0001; #1 total = total + 1; if (grant === 3'd0 && valid === 1'b1) pass = pass + 1;
+  req = 8'b0001_0100; #1 total = total + 1; if (grant === 3'd4 && valid === 1'b1) pass = pass + 1;
+  req = 8'b1000_0000; #1 total = total + 1; if (grant === 3'd7 && valid === 1'b1) pass = pass + 1;
+  req = 8'b1111_1111; #1 total = total + 1; if (grant === 3'd7 && valid === 1'b1) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "basic4",
+            "half_adder",
+            "input a, input b, output sum, output carry",
+            "A half adder.",
+            "A half adder producing sum and carry from two 1-bit inputs.",
+            "A combinational half adder: sum is the XOR of a and b, carry is the AND of a and b.",
+            "module half_adder(input a, b, output sum, carry);
+assign sum = a ^ b;
+assign carry = a & b;
+endmodule
+",
+            "module tb;
+reg a, b; wire sum, carry;
+half_adder dut(.a(a), .b(b), .sum(sum), .carry(carry));
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  a = 0; b = 0; #1 total = total + 1; if ({carry, sum} === 2'b00) pass = pass + 1;
+  a = 0; b = 1; #1 total = total + 1; if ({carry, sum} === 2'b01) pass = pass + 1;
+  a = 1; b = 0; #1 total = total + 1; if ({carry, sum} === 2'b01) pass = pass + 1;
+  a = 1; b = 1; #1 total = total + 1; if ({carry, sum} === 2'b10) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "intermediate1",
+            "shift_register8",
+            "input clk, input rst, input en, input d, output reg [7:0] q",
+            "An 8-bit shift register.",
+            "An 8-bit right shift register with synchronous reset and enable; serial input d enters at the MSB.",
+            "An 8-bit right shift register: on each rising clock edge, if rst is high q clears to zero; otherwise if en is high, q shifts right by one with the serial input d entering at bit 7 (q becomes {d, q[7:1]}). When en is low, q holds.",
+            "module shift_register8(input clk, rst, en, d, output reg [7:0] q);
+always @(posedge clk)
+  if (rst) q <= 8'd0;
+  else if (en) q <= {d, q[7:1]};
+endmodule
+",
+            "module tb;
+reg clk = 0; reg rst, en, d; wire [7:0] q;
+shift_register8 dut(.clk(clk), .rst(rst), .en(en), .d(d), .q(q));
+always #5 clk = ~clk;
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  rst = 1; en = 0; d = 0;
+  @(posedge clk); #1;
+  total = total + 1; if (q === 8'd0) pass = pass + 1;
+  rst = 0; en = 1; d = 1;
+  @(posedge clk); #1;
+  total = total + 1; if (q === 8'b1000_0000) pass = pass + 1;
+  d = 0;
+  @(posedge clk); #1;
+  total = total + 1; if (q === 8'b0100_0000) pass = pass + 1;
+  en = 0; d = 1;
+  @(posedge clk); #1;
+  total = total + 1; if (q === 8'b0100_0000) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "intermediate2",
+            "counter_0_12",
+            "input clk, input rst, output reg [3:0] count",
+            "A counter that counts to 12.",
+            "A 4-bit counter that counts from 0 up to 12 and wraps back to 0, with synchronous reset.",
+            "A 4-bit counter with synchronous reset: on each rising clock edge, if rst is high count clears to 0; otherwise count increments by 1 until it reaches 12, after which it wraps back to 0 on the next edge.",
+            "module counter_0_12(input clk, rst, output reg [3:0] count);
+always @(posedge clk)
+  if (rst) count <= 4'd0;
+  else if (count == 4'd12) count <= 4'd0;
+  else count <= count + 4'd1;
+endmodule
+",
+            "module tb;
+reg clk = 0; reg rst; wire [3:0] count;
+counter_0_12 dut(.clk(clk), .rst(rst), .count(count));
+always #5 clk = ~clk;
+integer pass; integer total; integer i;
+initial begin
+  pass = 0; total = 0;
+  rst = 1;
+  @(posedge clk); #1;
+  total = total + 1; if (count === 4'd0) pass = pass + 1;
+  rst = 0;
+  for (i = 1; i <= 12; i = i + 1) begin
+    @(posedge clk); #1;
+    total = total + 1; if (count === i[3:0]) pass = pass + 1;
+  end
+  @(posedge clk); #1;
+  total = total + 1; if (count === 4'd0) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "intermediate3",
+            "lfsr3",
+            "input clk, input rst, output reg [2:0] q",
+            "A 3-bit LFSR.",
+            "A 3-bit linear feedback shift register with taps at bits 2 and 1, reset to 3'b001.",
+            "A 3-bit LFSR: on reset q loads 3'b001. On each rising clock edge q shifts left by one and the new bit 0 is the XOR of the old bits 2 and 1 (q becomes {q[1:0], q[2] ^ q[1]}).",
+            "module lfsr3(input clk, rst, output reg [2:0] q);
+always @(posedge clk)
+  if (rst) q <= 3'b001;
+  else q <= {q[1:0], q[2] ^ q[1]};
+endmodule
+",
+            "module tb;
+reg clk = 0; reg rst; wire [2:0] q;
+lfsr3 dut(.clk(clk), .rst(rst), .q(q));
+always #5 clk = ~clk;
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  rst = 1;
+  @(posedge clk); #1;
+  total = total + 1; if (q === 3'b001) pass = pass + 1;
+  rst = 0;
+  @(posedge clk); #1;
+  total = total + 1; if (q === 3'b010) pass = pass + 1;
+  @(posedge clk); #1;
+  total = total + 1; if (q === 3'b101) pass = pass + 1;
+  @(posedge clk); #1;
+  total = total + 1; if (q === 3'b011) pass = pass + 1;
+  @(posedge clk); #1;
+  total = total + 1; if (q === 3'b111) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "intermediate4",
+            "left_rotator",
+            "input clk, input load, input [7:0] din, output reg [7:0] q",
+            "An 8-bit left rotator.",
+            "An 8-bit register that loads din when load is high and otherwise rotates left by one each clock.",
+            "An 8-bit left rotator: on each rising clock edge, when load is high the register q loads din; otherwise q rotates left by one position, with the old MSB wrapping around into bit 0 (q becomes {q[6:0], q[7]}).",
+            "module left_rotator(input clk, load, input [7:0] din, output reg [7:0] q);
+always @(posedge clk)
+  if (load) q <= din;
+  else q <= {q[6:0], q[7]};
+endmodule
+",
+            "module tb;
+reg clk = 0; reg load; reg [7:0] din; wire [7:0] q;
+left_rotator dut(.clk(clk), .load(load), .din(din), .q(q));
+always #5 clk = ~clk;
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  load = 1; din = 8'b1000_0001;
+  @(posedge clk); #1;
+  total = total + 1; if (q === 8'b1000_0001) pass = pass + 1;
+  load = 0;
+  @(posedge clk); #1;
+  total = total + 1; if (q === 8'b0000_0011) pass = pass + 1;
+  @(posedge clk); #1;
+  total = total + 1; if (q === 8'b0000_0110) pass = pass + 1;
+  repeat (6) @(posedge clk);
+  #1 total = total + 1; if (q === 8'b1000_0001) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "intermediate5",
+            "mult4",
+            "input [3:0] a, input [3:0] b, output [7:0] p",
+            "A 4-bit multiplier.",
+            "A combinational 4-bit by 4-bit unsigned multiplier with an 8-bit product.",
+            "A combinational unsigned multiplier: the 8-bit output p is the product of the 4-bit inputs a and b, computed with the * operator in a continuous assignment.",
+            "module mult4(input [3:0] a, b, output [7:0] p);
+assign p = a * b;
+endmodule
+",
+            "module tb;
+reg [3:0] a, b; wire [7:0] p;
+mult4 dut(.a(a), .b(b), .p(p));
+integer pass; integer total; integer i; integer j;
+initial begin
+  pass = 0; total = 0;
+  for (i = 0; i < 16; i = i + 3) begin
+    for (j = 0; j < 16; j = j + 5) begin
+      a = i[3:0]; b = j[3:0];
+      #1 total = total + 1;
+      if (p === (i[3:0] * j[3:0])) pass = pass + 1;
+    end
+  end
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "intermediate6",
+            "seq101",
+            "input clk, input rst, input in, output reg detected",
+            "A 101 sequence detector.",
+            "A Moore FSM that raises detected for one cycle after seeing the input pattern 1,0,1 on consecutive clocks (overlapping allowed).",
+            "A Moore finite-state machine detecting the serial pattern 101 on input in: states track how much of the pattern has been seen; when the final 1 arrives, detected goes high for one clock. Overlapping patterns are detected (the trailing 1 can start a new match). Synchronous reset to the idle state.",
+            "module seq101(input clk, rst, in, output reg detected);
+reg [1:0] state;
+localparam IDLE = 2'd0, GOT1 = 2'd1, GOT10 = 2'd2;
+always @(posedge clk)
+  if (rst) begin
+    state <= IDLE;
+    detected <= 1'b0;
+  end else begin
+    detected <= 1'b0;
+    case (state)
+      IDLE: if (in) state <= GOT1;
+      GOT1: if (!in) state <= GOT10; else state <= GOT1;
+      GOT10: begin
+        if (in) begin
+          detected <= 1'b1;
+          state <= GOT1;
+        end else state <= IDLE;
+      end
+      default: state <= IDLE;
+    endcase
+  end
+endmodule
+",
+            "module tb;
+reg clk = 0; reg rst, in; wire detected;
+seq101 dut(.clk(clk), .rst(rst), .in(in), .detected(detected));
+always #5 clk = ~clk;
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  rst = 1; in = 0;
+  @(posedge clk); #1;
+  rst = 0;
+  in = 1; @(posedge clk); #1;
+  in = 0; @(posedge clk); #1;
+  total = total + 1; if (detected === 1'b0) pass = pass + 1;
+  in = 1; @(posedge clk); #1;
+  total = total + 1; if (detected === 1'b1) pass = pass + 1;
+  in = 0; @(posedge clk); #1;
+  total = total + 1; if (detected === 1'b0) pass = pass + 1;
+  in = 1; @(posedge clk); #1;
+  total = total + 1; if (detected === 1'b1) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "intermediate7",
+            "gray_counter",
+            "input clk, input rst, output [3:0] gray",
+            "A 4-bit Gray code counter.",
+            "A 4-bit counter whose output is the Gray code of an internal binary count.",
+            "A 4-bit Gray-code counter: an internal binary counter increments each rising clock edge (synchronous reset to 0), and the output gray is bin ^ (bin >> 1), so consecutive outputs differ in exactly one bit.",
+            "module gray_counter(input clk, rst, output [3:0] gray);
+reg [3:0] bin;
+always @(posedge clk)
+  if (rst) bin <= 4'd0;
+  else bin <= bin + 4'd1;
+assign gray = bin ^ (bin >> 1);
+endmodule
+",
+            "module tb;
+reg clk = 0; reg rst; wire [3:0] gray;
+gray_counter dut(.clk(clk), .rst(rst), .gray(gray));
+always #5 clk = ~clk;
+integer pass; integer total; integer i;
+reg [3:0] prev;
+reg [3:0] diff;
+initial begin
+  pass = 0; total = 0;
+  rst = 1;
+  @(posedge clk); #1;
+  total = total + 1; if (gray === 4'd0) pass = pass + 1;
+  rst = 0;
+  prev = gray;
+  for (i = 0; i < 8; i = i + 1) begin
+    @(posedge clk); #1;
+    diff = gray ^ prev;
+    total = total + 1;
+    if ((diff !== 4'd0) && ((diff & (diff - 4'd1)) === 4'd0)) pass = pass + 1;
+    prev = gray;
+  end
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "intermediate8",
+            "parity_gen",
+            "input clk, input rst, input [7:0] data, input valid, output reg parity, output reg parity_valid",
+            "A parity generator.",
+            "A registered even-parity generator: when valid is high, parity of data is registered and parity_valid pulses.",
+            "A registered even-parity generator: on each rising clock edge with valid high, parity becomes the XOR reduction of the 8-bit data (even parity) and parity_valid goes high for that cycle; with valid low parity_valid is low. Synchronous reset clears both outputs.",
+            "module parity_gen(input clk, rst, input [7:0] data, input valid, output reg parity, output reg parity_valid);
+always @(posedge clk)
+  if (rst) begin
+    parity <= 1'b0;
+    parity_valid <= 1'b0;
+  end else if (valid) begin
+    parity <= ^data;
+    parity_valid <= 1'b1;
+  end else parity_valid <= 1'b0;
+endmodule
+",
+            "module tb;
+reg clk = 0; reg rst, valid; reg [7:0] data;
+wire parity, parity_valid;
+parity_gen dut(.clk(clk), .rst(rst), .data(data), .valid(valid), .parity(parity), .parity_valid(parity_valid));
+always #5 clk = ~clk;
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  rst = 1; valid = 0; data = 0;
+  @(posedge clk); #1;
+  rst = 0;
+  data = 8'b1011_0001; valid = 1;
+  @(posedge clk); #1;
+  total = total + 1; if (parity === 1'b0 && parity_valid === 1'b1) pass = pass + 1;
+  data = 8'b1000_0000;
+  @(posedge clk); #1;
+  total = total + 1; if (parity === 1'b1 && parity_valid === 1'b1) pass = pass + 1;
+  valid = 0;
+  @(posedge clk); #1;
+  total = total + 1; if (parity_valid === 1'b0) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "advanced1",
+            "adder16",
+            "input [15:0] a, input [15:0] b, input cin, output [15:0] sum, output cout",
+            "A 16-bit adder.",
+            "A combinational 16-bit adder with carry-in and carry-out.",
+            "A combinational 16-bit adder: the 17-bit result of a + b + cin drives {cout, sum}, so the carry out of the most significant bit appears on cout.",
+            "module adder16(input [15:0] a, b, input cin, output [15:0] sum, output cout);
+assign {cout, sum} = a + b + cin;
+endmodule
+",
+            "module tb;
+reg [15:0] a, b; reg cin; wire [15:0] sum; wire cout;
+adder16 dut(.a(a), .b(b), .cin(cin), .sum(sum), .cout(cout));
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  a = 16'd0; b = 16'd0; cin = 0;
+  #1 total = total + 1; if ({cout, sum} === 17'd0) pass = pass + 1;
+  a = 16'd1234; b = 16'd4321; cin = 0;
+  #1 total = total + 1; if (sum === 16'd5555 && cout === 1'b0) pass = pass + 1;
+  a = 16'hFFFF; b = 16'd1; cin = 0;
+  #1 total = total + 1; if (sum === 16'd0 && cout === 1'b1) pass = pass + 1;
+  a = 16'hFFFF; b = 16'hFFFF; cin = 1;
+  #1 total = total + 1; if (sum === 16'hFFFF && cout === 1'b1) pass = pass + 1;
+  a = 16'h8000; b = 16'h8000; cin = 0;
+  #1 total = total + 1; if (sum === 16'd0 && cout === 1'b1) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "advanced2",
+            "simple_alu",
+            "input [1:0] op, input [7:0] a, input [7:0] b, output reg [7:0] y",
+            "A small ALU.",
+            "An 8-bit ALU with four operations selected by op: add, subtract, AND, OR.",
+            "A combinational 8-bit ALU: op 0 selects a + b, op 1 selects a - b, op 2 selects a & b, and op 3 selects a | b; the result drives y.",
+            "module simple_alu(input [1:0] op, input [7:0] a, b, output reg [7:0] y);
+always @(*)
+  case (op)
+    2'd0: y = a + b;
+    2'd1: y = a - b;
+    2'd2: y = a & b;
+    default: y = a | b;
+  endcase
+endmodule
+",
+            "module tb;
+reg [1:0] op; reg [7:0] a, b; wire [7:0] y;
+simple_alu dut(.op(op), .a(a), .b(b), .y(y));
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  a = 8'd100; b = 8'd28;
+  op = 2'd0; #1 total = total + 1; if (y === 8'd128) pass = pass + 1;
+  op = 2'd1; #1 total = total + 1; if (y === 8'd72) pass = pass + 1;
+  op = 2'd2; #1 total = total + 1; if (y === (8'd100 & 8'd28)) pass = pass + 1;
+  op = 2'd3; #1 total = total + 1; if (y === (8'd100 | 8'd28)) pass = pass + 1;
+  a = 8'd5; b = 8'd10; op = 2'd1;
+  #1 total = total + 1; if (y === 8'd251) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "advanced3",
+            "timer_fsm",
+            "input clk, input rst, input start, output reg busy, output reg done",
+            "A timer FSM.",
+            "An FSM that, when start pulses, asserts busy for 4 clock cycles and then pulses done.",
+            "A timer finite-state machine: in idle, busy and done are low; when start is sampled high, the machine asserts busy and counts 4 clock cycles; after the 4th cycle busy drops and done pulses high for exactly one cycle before returning to idle. Synchronous reset returns to idle.",
+            "module timer_fsm(input clk, rst, start, output reg busy, output reg done);
+reg [2:0] cnt;
+always @(posedge clk)
+  if (rst) begin
+    busy <= 1'b0;
+    done <= 1'b0;
+    cnt <= 3'd0;
+  end else if (!busy) begin
+    done <= 1'b0;
+    if (start) begin
+      busy <= 1'b1;
+      cnt <= 3'd0;
+    end
+  end else begin
+    if (cnt == 3'd3) begin
+      busy <= 1'b0;
+      done <= 1'b1;
+    end else cnt <= cnt + 3'd1;
+  end
+endmodule
+",
+            "module tb;
+reg clk = 0; reg rst, start; wire busy, done;
+timer_fsm dut(.clk(clk), .rst(rst), .start(start), .busy(busy), .done(done));
+always #5 clk = ~clk;
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  rst = 1; start = 0;
+  @(posedge clk); #1;
+  rst = 0;
+  total = total + 1; if (busy === 1'b0 && done === 1'b0) pass = pass + 1;
+  start = 1;
+  @(posedge clk); #1;
+  start = 0;
+  total = total + 1; if (busy === 1'b1) pass = pass + 1;
+  @(posedge clk); #1;
+  @(posedge clk); #1;
+  @(posedge clk); #1;
+  total = total + 1; if (busy === 1'b1) pass = pass + 1;
+  @(posedge clk); #1;
+  total = total + 1; if (busy === 1'b0 && done === 1'b1) pass = pass + 1;
+  @(posedge clk); #1;
+  total = total + 1; if (done === 1'b0) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "advanced4",
+            "johnson4",
+            "input clk, input rst, output reg [3:0] q",
+            "A 4-bit Johnson counter.",
+            "A 4-bit Johnson (twisted-ring) counter with synchronous reset.",
+            "A 4-bit Johnson counter: on reset q clears to 0; on each rising clock edge q shifts right with the complement of the old LSB entering at the MSB (q becomes {~q[0], q[3:1]}), giving the 8-state twisted-ring sequence.",
+            "module johnson4(input clk, rst, output reg [3:0] q);
+always @(posedge clk)
+  if (rst) q <= 4'd0;
+  else q <= {~q[0], q[3:1]};
+endmodule
+",
+            "module tb;
+reg clk = 0; reg rst; wire [3:0] q;
+johnson4 dut(.clk(clk), .rst(rst), .q(q));
+always #5 clk = ~clk;
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  rst = 1;
+  @(posedge clk); #1;
+  total = total + 1; if (q === 4'b0000) pass = pass + 1;
+  rst = 0;
+  @(posedge clk); #1;
+  total = total + 1; if (q === 4'b1000) pass = pass + 1;
+  @(posedge clk); #1;
+  total = total + 1; if (q === 4'b1100) pass = pass + 1;
+  @(posedge clk); #1;
+  total = total + 1; if (q === 4'b1110) pass = pass + 1;
+  @(posedge clk); #1;
+  total = total + 1; if (q === 4'b1111) pass = pass + 1;
+  @(posedge clk); #1;
+  total = total + 1; if (q === 4'b0111) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+        problem(
+            "advanced5",
+            "ram16x8",
+            "input clk, input we, input [3:0] addr, input [7:0] din, output reg [7:0] dout",
+            "A small RAM.",
+            "A 16-entry, 8-bit synchronous RAM with registered read output.",
+            "A 16-word by 8-bit single-port RAM: on each rising clock edge, when we is high the word at addr is written with din; the read output dout is registered and always returns the word at addr (read-before-write behaviour on a simultaneous access).",
+            "module ram16x8(input clk, we, input [3:0] addr, input [7:0] din, output reg [7:0] dout);
+reg [7:0] mem [0:15];
+always @(posedge clk) begin
+  if (we) mem[addr] <= din;
+  dout <= mem[addr];
+end
+endmodule
+",
+            "module tb;
+reg clk = 0; reg we; reg [3:0] addr; reg [7:0] din; wire [7:0] dout;
+ram16x8 dut(.clk(clk), .we(we), .addr(addr), .din(din), .dout(dout));
+always #5 clk = ~clk;
+integer pass; integer total;
+initial begin
+  pass = 0; total = 0;
+  we = 1; addr = 4'd3; din = 8'hA5;
+  @(posedge clk); #1;
+  addr = 4'd7; din = 8'h3C;
+  @(posedge clk); #1;
+  we = 0; addr = 4'd3;
+  @(posedge clk); #1;
+  total = total + 1; if (dout === 8'hA5) pass = pass + 1;
+  addr = 4'd7;
+  @(posedge clk); #1;
+  total = total + 1; if (dout === 8'h3C) pass = pass + 1;
+  addr = 4'd3;
+  @(posedge clk); #1;
+  total = total + 1; if (dout === 8'hA5) pass = pass + 1;
+  $display(\"RESULT %0d %0d\", pass, total);
+  $finish;
+end
+endmodule
+",
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dda_sim::{SimOptions, Simulator};
+
+    #[test]
+    fn suite_has_17_problems_with_3_prompts() {
+        let s = thakur_suite();
+        assert_eq!(s.len(), 17);
+        for p in &s {
+            assert_eq!(p.prompts.len(), 3, "{}", p.id);
+            for pr in &p.prompts {
+                assert!(pr.contains("Module name:"), "{}", p.id);
+                assert!(pr.contains("Ports:"), "{}", p.id);
+            }
+        }
+    }
+
+    #[test]
+    fn references_lint_clean() {
+        for p in thakur_suite() {
+            let r = dda_lint::check_source(p.id, p.reference);
+            assert!(r.is_clean(), "{}:\n{}", p.id, r.render());
+        }
+    }
+
+    #[test]
+    fn references_pass_their_testbenches() {
+        for p in thakur_suite() {
+            let src = format!("{}\n{}", p.reference, p.testbench);
+            let sf = dda_verilog::parse(&src).unwrap_or_else(|e| panic!("{}: {e}", p.id));
+            let mut sim = Simulator::new(&sf, "tb").unwrap_or_else(|e| panic!("{}: {e}", p.id));
+            let out = sim
+                .run(&SimOptions::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", p.id));
+            assert!(out.finished, "{} never finished", p.id);
+            let (pass, total) = crate::problem::parse_result(&out.output)
+                .unwrap_or_else(|| panic!("{}: no RESULT in output: {}", p.id, out.output));
+            assert_eq!(pass, total, "{}: {pass}/{total} checks passed", p.id);
+            assert!(total >= 2, "{}: too few checks", p.id);
+        }
+    }
+
+    #[test]
+    fn interface_blocks_derivable() {
+        for p in thakur_suite() {
+            let block = p.interface_block();
+            assert!(block.contains(p.module_name), "{}", p.id);
+        }
+    }
+}

@@ -1,0 +1,607 @@
+//! Natural-language / Verilog alignment by program analysis (§3.1.2).
+//!
+//! The paper's central augmentation: parse Verilog into an AST and compile
+//! each syntax node to a templated English sentence — `Description =
+//! Rule(Verilog)` — producing strictly aligned (description, module) pairs.
+//! The rule set mirrors the paper's Fig. 5: module/port declarations,
+//! variable declarations with widths, trigger (always) blocks with their
+//! sensitivity lists, the statements inside them, continuous assignments,
+//! parameters and instantiations. As in the paper, the rules deliberately
+//! do not capture full Verilog semantics — they describe the "core details"
+//! a designer would state in a prompt.
+
+use crate::dataset::{DataEntry, TaskKind};
+use dda_verilog::ast::*;
+use dda_verilog::printer::print_expr;
+use dda_verilog::{parse, Stmt};
+
+/// Instruction string used for alignment entries (paper §3.1.2).
+pub const ALIGN_INSTRUCT: &str = "give me the Verilog module of this description.";
+
+/// Number words used in the paper's templates for small counts.
+fn count_word(n: usize) -> String {
+    const WORDS: [&str; 11] = [
+        "zero", "one", "two", "three", "four", "five", "six", "seven", "eight", "nine", "ten",
+    ];
+    WORDS.get(n).map(|w| (*w).to_owned()).unwrap_or_else(|| n.to_string())
+}
+
+fn ordinal_word(n: usize) -> String {
+    const WORDS: [&str; 10] = [
+        "first", "second", "third", "fourth", "fifth", "sixth", "seventh", "eighth", "ninth",
+        "tenth",
+    ];
+    WORDS
+        .get(n)
+        .map(|w| (*w).to_owned())
+        .unwrap_or_else(|| format!("{}th", n + 1))
+}
+
+fn join_names(names: &[String]) -> String {
+    match names.len() {
+        0 => String::new(),
+        1 => names[0].clone(),
+        2 => format!("{} and {}", names[0], names[1]),
+        _ => format!(
+            "{} and {}",
+            names[..names.len() - 1].join(", "),
+            names[names.len() - 1]
+        ),
+    }
+}
+
+fn range_text(range: &Option<Range>) -> (String, Option<String>) {
+    match range {
+        None => ("1".into(), None),
+        Some(r) => {
+            let msb = print_expr(&r.msb);
+            let lsb = print_expr(&r.lsb);
+            let width = match (msb.parse::<i64>(), lsb.parse::<i64>()) {
+                (Ok(m), Ok(l)) => (m.abs_diff(l) + 1).to_string(),
+                _ => format!("{msb} - {lsb} + 1"),
+            };
+            (width, Some(format!("{msb}:{lsb}")))
+        }
+    }
+}
+
+/// One aligned sentence, tagged with the source line it describes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlignedSentence {
+    /// 1-based source line of the construct.
+    pub line: u32,
+    /// English sentence in the paper's `<...>` template style.
+    pub text: String,
+}
+
+/// Compiles a module to line-tagged English sentences (the paper's Fig. 5
+/// left-to-middle transformation).
+pub fn describe_module(m: &Module) -> Vec<AlignedSentence> {
+    let mut out = Vec::new();
+    fn push_into(out: &mut Vec<AlignedSentence>, line: u32, text: String) {
+        out.push(AlignedSentence { line, text });
+    }
+
+    // Rule: module & port declaration.
+    let port_names: Vec<String> = m.ports.iter().map(|p| p.name.name.clone()).collect();
+    if port_names.is_empty() {
+        push_into(
+            &mut out,
+            m.name.span.line,
+            format!("module <{}> has no ports.", m.name),
+        );
+    } else {
+        push_into(
+            &mut out,
+            m.name.span.line,
+            format!(
+                "module <{}> has <{}> ports, their names are <{}>.",
+                m.name,
+                count_word(port_names.len()),
+                join_names(&port_names)
+            ),
+        );
+    }
+    for p in &m.header_params {
+        push_into(
+            &mut out,
+            p.span.line,
+            format!(
+                "The module has a parameter <{}> with default value <{}>.",
+                p.name,
+                print_expr(&p.value)
+            ),
+        );
+    }
+
+    // Rule: port direction groups (header or body declarations).
+    let mut dir_groups: Vec<(PortDir, Vec<(String, Option<Range>, bool)>, u32)> = Vec::new();
+    let mut add_dir = |dir: PortDir, name: String, range: Option<Range>, is_reg: bool, line: u32| {
+        if let Some(g) = dir_groups.iter_mut().find(|g| g.0 == dir) {
+            g.1.push((name, range, is_reg));
+        } else {
+            dir_groups.push((dir, vec![(name, range, is_reg)], line));
+        }
+    };
+    for p in &m.ports {
+        if let Some(dir) = p.dir {
+            add_dir(dir, p.name.name.clone(), p.range.clone(), p.is_reg, p.name.span.line);
+        }
+    }
+    for item in &m.items {
+        if let Item::Port(pd) = item {
+            for n in &pd.names {
+                add_dir(pd.dir, n.name.clone(), pd.range.clone(), pd.is_reg, pd.span.line);
+            }
+        }
+    }
+    for (dir, entries, line) in &dir_groups {
+        let names: Vec<String> = entries.iter().map(|(n, _, _)| n.clone()).collect();
+        let dir_word = match dir {
+            PortDir::Input => "inputs",
+            PortDir::Output => "outputs",
+            PortDir::Inout => "bidirectional",
+        };
+        push_into(
+            &mut out,
+            *line,
+            format!(
+                "In the <{}> ports, <{}> are {}.",
+                count_word(port_names.len()),
+                join_names(&names),
+                dir_word
+            ),
+        );
+        for (name, range, is_reg) in entries {
+            let (width, bounds) = range_text(range);
+            let dir_label = match dir {
+                PortDir::Input => "Input",
+                PortDir::Output => "Output",
+                PortDir::Inout => "Inout",
+            };
+            let mut s = match bounds {
+                Some(b) => format!(
+                    "<{dir_label}> signal <{name}> has <{width}>-bit width in range <{b}>."
+                ),
+                None => format!("<{dir_label}> signal <{name}> has <{width}>-bit width."),
+            };
+            if *is_reg {
+                s.push_str(" It is a <reg> variable.");
+            }
+            push_into(&mut out, *line, s);
+        }
+    }
+
+    // Rule: internal variable declarations.
+    for item in &m.items {
+        if let Item::Net(nd) = item {
+            for ni in &nd.nets {
+                let (width, bounds) = range_text(&nd.range);
+                let kind = nd.kind.to_string();
+                let mut s = match (&ni.array, bounds) {
+                    (Some(arr), _) => {
+                        let (_, ab) = range_text(&Some(arr.clone()));
+                        format!(
+                            "Internal memory <{}> stores <{width}>-bit words over index range <{}>. It is a <{kind}> array.",
+                            ni.name,
+                            ab.unwrap_or_default()
+                        )
+                    }
+                    (None, Some(b)) => format!(
+                        "Internal signal <{}> has <{width}>-bit width in range <{b}>. It is a <{kind}> variable.",
+                        ni.name
+                    ),
+                    (None, None) => format!(
+                        "Internal signal <{}> has <1>-bit width. It is a <{kind}> variable.",
+                        ni.name
+                    ),
+                };
+                if let Some(init) = &ni.init {
+                    s.push_str(&format!(" It is initialised to <{}>.", print_expr(init)));
+                }
+                push_into(&mut out, nd.span.line, s);
+            }
+        }
+        if let Item::Param(p) = item {
+            push_into(
+            &mut out,
+                p.span.line,
+                format!(
+                    "{} <{}> is defined as <{}>.",
+                    if p.local { "Local parameter" } else { "Parameter" },
+                    p.name,
+                    print_expr(&p.value)
+                ),
+            );
+        }
+    }
+
+    // Rule: always block declaration + sensitivity + body.
+    let always_blocks: Vec<&AlwaysBlock> = m
+        .items
+        .iter()
+        .filter_map(|i| match i {
+            Item::Always(a) => Some(a),
+            _ => None,
+        })
+        .collect();
+    if !always_blocks.is_empty() {
+        push_into(
+            &mut out,
+            always_blocks[0].span.line,
+            format!(
+                "This module has <{}> trigger block{}.",
+                count_word(always_blocks.len()),
+                if always_blocks.len() == 1 { "" } else { "s" }
+            ),
+        );
+    }
+    for (i, a) in always_blocks.iter().enumerate() {
+        match &a.sensitivity {
+            Sensitivity::Star => push_into(
+            &mut out,
+                a.span.line,
+                format!(
+                    "The <{}> trigger block is combinational: it recomputes whenever any input changes.",
+                    ordinal_word(i)
+                ),
+            ),
+            Sensitivity::None => push_into(
+            &mut out,
+                a.span.line,
+                format!(
+                    "The <{}> trigger block runs continuously with internal delays.",
+                    ordinal_word(i)
+                ),
+            ),
+            Sensitivity::List(items) => {
+                for item in items {
+                    let target = print_expr(&item.expr);
+                    let edge = match item.edge {
+                        Some(Edge::Pos) => "on the positive edge",
+                        Some(Edge::Neg) => "on the negative edge",
+                        None => "on any change",
+                    };
+                    push_into(
+            &mut out,
+                        a.span.line,
+                        format!(
+                            "The sensitive list in <{}> trigger block is <{edge}> of <{target}>.",
+                            ordinal_word(i)
+                        ),
+                    );
+                }
+            }
+        }
+        describe_stmt(&a.body, i, &mut out);
+    }
+
+    // Rule: continuous assignments.
+    for item in &m.items {
+        if let Item::Assign(a) = item {
+            out.push(AlignedSentence {
+                line: a.span.line,
+                text: format!(
+                    "The signal <{}> is continuously assigned the expression <{}>.",
+                    print_expr(&a.lhs),
+                    print_expr(&a.rhs)
+                ),
+            });
+        }
+        if let Item::Instance(inst) = item {
+            let conns: Vec<String> = inst
+                .ports
+                .iter()
+                .filter_map(|c| match (&c.name, &c.expr) {
+                    (Some(n), Some(e)) => Some(format!("<{}> to <{}>", n, print_expr(e))),
+                    (None, Some(e)) => Some(format!("<{}>", print_expr(e))),
+                    _ => None,
+                })
+                .collect();
+            out.push(AlignedSentence {
+                line: inst.span.line,
+                text: format!(
+                    "This module instantiates <{}> as <{}> connecting {}.",
+                    inst.module,
+                    inst.name,
+                    join_names(&conns)
+                ),
+            });
+        }
+        if let Item::Function(f) = item {
+            let (width, _) = range_text(&f.range);
+            out.push(AlignedSentence {
+                line: f.span.line,
+                text: format!(
+                    "The module defines a function <{}> returning <{width}> bits with <{}> argument{}.",
+                    f.name,
+                    count_word(f.args.len()),
+                    if f.args.len() == 1 { "" } else { "s" }
+                ),
+            });
+        }
+    }
+    out.sort_by_key(|s| s.line);
+    out
+}
+
+fn describe_stmt(s: &Stmt, block_idx: usize, out: &mut Vec<AlignedSentence>) {
+    let block = ordinal_word(block_idx);
+    match s {
+        Stmt::Block { stmts, .. } => {
+            for st in stmts {
+                describe_stmt(st, block_idx, out);
+            }
+        }
+        Stmt::Assign { lhs, rhs, kind, span, .. } => {
+            let how = match kind {
+                AssignKind::Blocking => "immediately set to",
+                AssignKind::NonBlocking => "updated to",
+            };
+            out.push(AlignedSentence {
+                line: span.line,
+                text: format!(
+                    "In the <{block}> block, <{}> is {how} <{}>.",
+                    print_expr(lhs),
+                    print_expr(rhs)
+                ),
+            });
+        }
+        Stmt::If {
+            cond,
+            then_stmt,
+            else_stmt,
+            span,
+        } => {
+            out.push(AlignedSentence {
+                line: span.line,
+                text: format!(
+                    "In the <{block}> block, if <{}> is true then:",
+                    print_expr(cond)
+                ),
+            });
+            describe_stmt(then_stmt, block_idx, out);
+            if let Some(e) = else_stmt {
+                out.push(AlignedSentence {
+                    line: e.span().line,
+                    text: format!("Otherwise, when <{}> is false:", print_expr(cond)),
+                });
+                describe_stmt(e, block_idx, out);
+            }
+        }
+        Stmt::Case { expr, arms, span, .. } => {
+            out.push(AlignedSentence {
+                line: span.line,
+                text: format!(
+                    "In the <{block}> block, the behaviour selects on <{}>:",
+                    print_expr(expr)
+                ),
+            });
+            for arm in arms {
+                let label = if arm.labels.is_empty() {
+                    "<default>".to_owned()
+                } else {
+                    let ls: Vec<String> =
+                        arm.labels.iter().map(|l| format!("<{}>", print_expr(l))).collect();
+                    ls.join(" or ")
+                };
+                out.push(AlignedSentence {
+                    line: arm.body.span().line,
+                    text: format!("When the selector is {label}:"),
+                });
+                describe_stmt(&arm.body, block_idx, out);
+            }
+        }
+        Stmt::For { cond, body, span, .. } => {
+            out.push(AlignedSentence {
+                line: span.line,
+                text: format!(
+                    "In the <{block}> block, a loop repeats while <{}>:",
+                    print_expr(cond)
+                ),
+            });
+            describe_stmt(body, block_idx, out);
+        }
+        // Testbench-only constructs carry no design semantics worth aligning.
+        _ => {}
+    }
+}
+
+/// Renders sentences in the paper's `Line N: ...` case-study format.
+pub fn render_line_tagged(sentences: &[AlignedSentence]) -> String {
+    let mut out = String::new();
+    for s in sentences {
+        out.push_str(&format!("Line {}: {}\n", s.line, s.text));
+    }
+    out
+}
+
+/// Renders sentences as flowing prose (the dataset `input` field).
+pub fn render_prose(sentences: &[AlignedSentence]) -> String {
+    sentences
+        .iter()
+        .map(|s| s.text.as_str())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Renders the module's interface the way prompts state it
+/// (`Module name: ...` / `Ports: ...`), so descriptions and requests share
+/// a register.
+pub fn interface_block(m: &Module) -> String {
+    let ports: Vec<String> = m
+        .ports
+        .iter()
+        .map(|p| {
+            let dir = p.dir.map(|d| format!("{d}")).unwrap_or_default();
+            let reg = if p.is_reg { " reg" } else { "" };
+            let range = p
+                .range
+                .as_ref()
+                .map(|r| {
+                    format!(
+                        " [{}:{}]",
+                        print_expr(&r.msb),
+                        print_expr(&r.lsb)
+                    )
+                })
+                .unwrap_or_default();
+            if dir.is_empty() {
+                p.name.name.clone()
+            } else {
+                format!("{dir}{reg}{range} {}", p.name.name)
+            }
+        })
+        .collect();
+    format!("Module name: {}\nPorts: {}", m.name, ports.join(", "))
+}
+
+/// Builds alignment entries for every module in `source`
+/// (`D = {instruct, [natural language], [Verilog file]}`, §3.1.2).
+///
+/// The natural-language input ends with the interface block, matching how
+/// design requests state their required module name and ports.
+/// Unparseable sources yield no entries — exactly as the paper's pipeline
+/// drops files ANTLR rejects.
+pub fn align_entries(source: &str) -> Vec<(TaskKind, DataEntry)> {
+    let Ok(sf) = parse(source) else {
+        return Vec::new();
+    };
+    sf.modules
+        .iter()
+        .map(|m| {
+            let sentences = describe_module(m);
+            let description =
+                format!("{}\n{}", render_prose(&sentences), interface_block(m));
+            let verilog = dda_verilog::printer::print_module(m);
+            (
+                TaskKind::NlVerilogGeneration,
+                DataEntry::new(ALIGN_INSTRUCT, description, verilog),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COUNTER: &str = "module counter (clk, rst, en, count);
+input clk, rst, en;
+output reg [1:0] count;
+always @(posedge clk)
+  if (rst)
+    count <= 2'd0;
+  else if (en)
+    count <= count + 2'd1;
+endmodule";
+
+    #[test]
+    fn paper_fig5_case_study() {
+        let sf = parse(COUNTER).unwrap();
+        let sentences = describe_module(&sf.modules[0]);
+        let text = render_line_tagged(&sentences);
+        // The constructs the paper's Fig. 5 calls out:
+        assert!(
+            text.contains("module <counter> has <four> ports, their names are <clk, rst, en and count>."),
+            "{text}"
+        );
+        assert!(text.contains("<clk, rst and en> are inputs."), "{text}");
+        assert!(
+            text.contains("<Output> signal <count> has <2>-bit width in range <1:0>. It is a <reg> variable."),
+            "{text}"
+        );
+        assert!(text.contains("has <one> trigger block."), "{text}");
+        assert!(
+            text.contains("The sensitive list in <first> trigger block is <on the positive edge> of <clk>."),
+            "{text}"
+        );
+        assert!(text.contains("if <rst> is true"), "{text}");
+    }
+
+    #[test]
+    fn line_numbers_track_source() {
+        let sf = parse(COUNTER).unwrap();
+        let sentences = describe_module(&sf.modules[0]);
+        let module_line = sentences
+            .iter()
+            .find(|s| s.text.starts_with("module <counter>"))
+            .unwrap();
+        assert_eq!(module_line.line, 1);
+        let sens = sentences
+            .iter()
+            .find(|s| s.text.contains("sensitive list"))
+            .unwrap();
+        assert_eq!(sens.line, 4);
+    }
+
+    #[test]
+    fn alignment_entry_round_trips_to_parseable_verilog() {
+        let entries = align_entries(COUNTER);
+        assert_eq!(entries.len(), 1);
+        let (kind, e) = &entries[0];
+        assert_eq!(*kind, TaskKind::NlVerilogGeneration);
+        assert_eq!(e.instruct, ALIGN_INSTRUCT);
+        assert!(e.input.contains("module <counter>"));
+        assert!(parse(&e.output).is_ok(), "output must be valid Verilog");
+    }
+
+    #[test]
+    fn describes_continuous_assign_and_params() {
+        let src = "module m #(parameter W = 8)(input [W-1:0] a, b, output [W-1:0] y);
+localparam HALF = W / 2;
+assign y = a & b;
+endmodule";
+        let sf = parse(src).unwrap();
+        let text = render_prose(&describe_module(&sf.modules[0]));
+        assert!(text.contains("parameter <W> with default value <8>"), "{text}");
+        assert!(text.contains("Local parameter <HALF> is defined as <W / 2>"), "{text}");
+        assert!(
+            text.contains("<y> is continuously assigned the expression <a & b>"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn describes_case_and_memory() {
+        let src = "module m(input [1:0] s, input clk, output reg [3:0] y);
+reg [3:0] mem [0:7];
+always @(posedge clk)
+  case (s)
+    2'b00: y <= mem[0];
+    default: y <= 4'd0;
+  endcase
+endmodule";
+        let sf = parse(src).unwrap();
+        let text = render_prose(&describe_module(&sf.modules[0]));
+        assert!(text.contains("Internal memory <mem> stores <4>-bit words"), "{text}");
+        assert!(text.contains("selects on <s>"), "{text}");
+        assert!(text.contains("When the selector is <2'b00>"), "{text}");
+    }
+
+    #[test]
+    fn describes_instances() {
+        let src = "module top(input a, output y);
+inv u0(.in(a), .out(y));
+endmodule";
+        let sf = parse(src).unwrap();
+        let text = render_prose(&describe_module(&sf.modules[0]));
+        assert!(
+            text.contains("instantiates <inv> as <u0> connecting <in> to <a> and <out> to <y>"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn unparseable_source_yields_nothing() {
+        assert!(align_entries("module broken(").is_empty());
+    }
+
+    #[test]
+    fn count_words() {
+        assert_eq!(count_word(4), "four");
+        assert_eq!(count_word(11), "11");
+        assert_eq!(ordinal_word(0), "first");
+        assert_eq!(ordinal_word(12), "13th");
+    }
+}

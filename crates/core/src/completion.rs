@@ -1,0 +1,207 @@
+//! Verilog completion augmentation (§3.1.1).
+//!
+//! Splits Verilog files into completion pairs at three granularities:
+//! module level (header → body), statement level (prefix ending in `;` →
+//! next statement), and token level (prefix → next token). A module with
+//! `i` tokens and `j` statements yields up to `1 + j + i` segments, exactly
+//! the paper's accounting; callers cap token-level volume with
+//! [`CompletionOptions::max_token_level`] since it dominates (Table 2's
+//! 3700k word-level rows come from this stage).
+
+use crate::dataset::{DataEntry, TaskKind};
+use dda_verilog::lexer::lex;
+use dda_verilog::token::TokenKind;
+
+/// Volume caps for completion generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletionOptions {
+    /// Max statement-level entries per module (`usize::MAX` = all).
+    pub max_statement_level: usize,
+    /// Max token-level entries per module (`usize::MAX` = all).
+    pub max_token_level: usize,
+}
+
+impl Default for CompletionOptions {
+    fn default() -> Self {
+        CompletionOptions {
+            max_statement_level: usize::MAX,
+            max_token_level: usize::MAX,
+        }
+    }
+}
+
+fn instruct(level: &str) -> String {
+    format!("complete the next {level} of Verilog file.")
+}
+
+/// Module-level completion: the header predicts the body.
+///
+/// The split point is the `;` closing the module header.
+pub fn module_level(source: &str) -> Vec<DataEntry> {
+    let Ok(tokens) = lex(source) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut module_start: Option<usize> = None;
+    for (i, t) in tokens.iter().enumerate() {
+        if matches!(t.kind, TokenKind::Keyword(dda_verilog::token::Keyword::Module)) {
+            module_start = Some(i);
+        }
+        if t.is_op(";") {
+            if let Some(ms) = module_start.take() {
+                // Header ends at this `;`; find the matching endmodule.
+                let end = tokens[i..]
+                    .iter()
+                    .position(|t| {
+                        matches!(
+                            t.kind,
+                            TokenKind::Keyword(dda_verilog::token::Keyword::Endmodule)
+                        )
+                    })
+                    .map(|p| i + p);
+                if let Some(end) = end {
+                    let header = &source[tokens[ms].span.start..t.span.end];
+                    let body = &source[t.span.end..tokens[end].span.end];
+                    out.push(DataEntry::new(instruct("module"), header, body));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Statement-level completion: each prefix ending in `;` predicts the next
+/// statement (through the following `;`).
+pub fn statement_level(source: &str, max: usize) -> Vec<DataEntry> {
+    let Ok(tokens) = lex(source) else {
+        return Vec::new();
+    };
+    let semis: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.is_op(";"))
+        .map(|(i, _)| i)
+        .collect();
+    let mut out = Vec::new();
+    for w in semis.windows(2).take(max) {
+        let (here, next) = (w[0], w[1]);
+        let prefix = &source[..tokens[here].span.end];
+        let stmt = &source[tokens[here].span.end..tokens[next].span.end];
+        if stmt.trim().is_empty() {
+            continue;
+        }
+        out.push(DataEntry::new(instruct("sentence"), prefix, stmt.trim_start()));
+    }
+    out
+}
+
+/// Token-level completion: each prefix predicts the next token.
+pub fn token_level(source: &str, max: usize) -> Vec<DataEntry> {
+    let Ok(tokens) = lex(source) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for i in 1..tokens.len() {
+        if out.len() >= max {
+            break;
+        }
+        let prefix = &source[..tokens[i - 1].span.end];
+        let next = tokens[i].kind.render();
+        out.push(DataEntry::new(instruct("token"), prefix, next));
+    }
+    out
+}
+
+/// All three completion granularities for one source file, tagged with
+/// their Table 2 task kinds.
+pub fn completion_entries(
+    source: &str,
+    opts: &CompletionOptions,
+) -> Vec<(TaskKind, DataEntry)> {
+    let mut out = Vec::new();
+    for e in module_level(source) {
+        out.push((TaskKind::ModuleLevelCompletion, e));
+    }
+    for e in statement_level(source, opts.max_statement_level) {
+        out.push((TaskKind::StatementLevelCompletion, e));
+    }
+    for e in token_level(source, opts.max_token_level) {
+        out.push((TaskKind::WordLevelCompletion, e));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "module m(input a, output y);\nwire t;\nassign t = ~a;\nassign y = t;\nendmodule\n";
+
+    #[test]
+    fn module_level_splits_at_header() {
+        let es = module_level(SRC);
+        assert_eq!(es.len(), 1);
+        assert_eq!(es[0].input, "module m(input a, output y);");
+        assert!(es[0].output.contains("assign y = t;"));
+        assert!(es[0].output.trim_end().ends_with("endmodule"));
+        assert_eq!(es[0].instruct, "complete the next module of Verilog file.");
+    }
+
+    #[test]
+    fn statement_level_yields_one_per_statement() {
+        let es = statement_level(SRC, usize::MAX);
+        // Statements after the header: wire t; | assign t; | assign y;
+        assert_eq!(es.len(), 3);
+        assert_eq!(es[0].output, "wire t;");
+        assert_eq!(es[1].output, "assign t = ~a;");
+        assert!(es[0].input.ends_with("module m(input a, output y);"));
+    }
+
+    #[test]
+    fn token_level_counts_tokens() {
+        let es = token_level("assign y = a;", usize::MAX);
+        // Tokens: assign y = a ;  → 4 next-token pairs.
+        assert_eq!(es.len(), 4);
+        assert_eq!(es[0].input, "assign");
+        assert_eq!(es[0].output, "y");
+        assert_eq!(es[3].output, ";");
+    }
+
+    #[test]
+    fn caps_are_respected() {
+        let es = token_level(SRC, 5);
+        assert_eq!(es.len(), 5);
+        let es = statement_level(SRC, 1);
+        assert_eq!(es.len(), 1);
+    }
+
+    #[test]
+    fn segment_count_matches_paper_formula() {
+        // A module with i tokens and j statements yields 1 + j + (i - 1)
+        // segments (every token has a predecessor except the first).
+        let tokens = dda_verilog::lex(SRC).unwrap().len();
+        let opts = CompletionOptions::default();
+        let all = completion_entries(SRC, &opts);
+        let module = all
+            .iter()
+            .filter(|(k, _)| *k == TaskKind::ModuleLevelCompletion)
+            .count();
+        let stmt = all
+            .iter()
+            .filter(|(k, _)| *k == TaskKind::StatementLevelCompletion)
+            .count();
+        let word = all
+            .iter()
+            .filter(|(k, _)| *k == TaskKind::WordLevelCompletion)
+            .count();
+        assert_eq!(module, 1);
+        assert_eq!(word, tokens - 1);
+        assert!(stmt >= 3);
+    }
+
+    #[test]
+    fn lex_failures_yield_nothing() {
+        assert!(module_level("module \u{00A7}").is_empty());
+        assert!(token_level("\u{00A7}", 10).is_empty());
+    }
+}

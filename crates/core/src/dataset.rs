@@ -1,0 +1,259 @@
+//! Training-data model: instruction-tuning entries and task-typed datasets.
+//!
+//! The paper's framework emits records with three fields — `instruct`,
+//! `input`, `output` (§3) — across seven task kinds (Table 2). This module
+//! is that schema plus the bookkeeping the evaluation needs: per-task
+//! collection, byte/entry statistics, and max-length trimming ("we trim the
+//! data that exceeds the maximum token length", §4).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One instruction-tuning record.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DataEntry {
+    /// Task instruction, e.g. `give me the Verilog module of this description.`
+    pub instruct: String,
+    /// Context/prompt for the task.
+    pub input: String,
+    /// Expected model output.
+    pub output: String,
+}
+
+impl DataEntry {
+    /// Creates an entry.
+    pub fn new(
+        instruct: impl Into<String>,
+        input: impl Into<String>,
+        output: impl Into<String>,
+    ) -> Self {
+        DataEntry {
+            instruct: instruct.into(),
+            input: input.into(),
+            output: output.into(),
+        }
+    }
+
+    /// Total payload size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.instruct.len() + self.input.len() + self.output.len()
+    }
+
+    /// Approximate token count (whitespace/punctuation tokens).
+    pub fn token_len(&self) -> usize {
+        crate::tokenize::tokenize(&self.instruct).len()
+            + crate::tokenize::tokenize(&self.input).len()
+            + crate::tokenize::tokenize(&self.output).len()
+    }
+}
+
+/// The augmentation task kinds of the paper's Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TaskKind {
+    /// Natural-language → Verilog (program-analysis alignment, §3.1.2).
+    NlVerilogGeneration,
+    /// Masked-token completion pairs feeding the repair task (§3.2.1 input).
+    VerilogMaskCompletion,
+    /// Verilog repair with tool feedback (§3.2).
+    VerilogDebug,
+    /// Token-level completion (§3.1.1).
+    WordLevelCompletion,
+    /// Module-level completion (§3.1.1).
+    ModuleLevelCompletion,
+    /// Statement-level completion (§3.1.1).
+    StatementLevelCompletion,
+    /// Natural-language → SiliconCompiler script (§3.3).
+    NlEdaScriptGeneration,
+}
+
+impl TaskKind {
+    /// All task kinds in Table 2 row order.
+    pub const ALL: [TaskKind; 7] = [
+        TaskKind::NlVerilogGeneration,
+        TaskKind::VerilogMaskCompletion,
+        TaskKind::VerilogDebug,
+        TaskKind::WordLevelCompletion,
+        TaskKind::ModuleLevelCompletion,
+        TaskKind::StatementLevelCompletion,
+        TaskKind::NlEdaScriptGeneration,
+    ];
+
+    /// Row label used in Table 2.
+    pub fn label(self) -> &'static str {
+        match self {
+            TaskKind::NlVerilogGeneration => "Natural Language Verilog Generation",
+            TaskKind::VerilogMaskCompletion => "Verilog Mask Completion",
+            TaskKind::VerilogDebug => "Verilog Debug",
+            TaskKind::WordLevelCompletion => "Verilog Word-Level Completion",
+            TaskKind::ModuleLevelCompletion => "Verilog Module-Level Completion",
+            TaskKind::StatementLevelCompletion => "Verilog Statement-Level Completion",
+            TaskKind::NlEdaScriptGeneration => "Natural Language EDA Script Generation",
+        }
+    }
+}
+
+impl fmt::Display for TaskKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A dataset bundle: entries grouped by task kind.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Dataset {
+    groups: BTreeMap<TaskKind, Vec<DataEntry>>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Dataset::default()
+    }
+
+    /// Adds one entry under a task kind.
+    pub fn push(&mut self, kind: TaskKind, entry: DataEntry) {
+        self.groups.entry(kind).or_default().push(entry);
+    }
+
+    /// Adds many entries under a task kind.
+    pub fn extend(&mut self, kind: TaskKind, entries: impl IntoIterator<Item = DataEntry>) {
+        self.groups.entry(kind).or_default().extend(entries);
+    }
+
+    /// Replaces one task group wholesale (used by shuffling).
+    pub fn replace(&mut self, kind: TaskKind, entries: Vec<DataEntry>) {
+        self.groups.insert(kind, entries);
+    }
+
+    /// Merges another dataset into this one.
+    pub fn merge(&mut self, other: Dataset) {
+        for (k, v) in other.groups {
+            self.groups.entry(k).or_default().extend(v);
+        }
+    }
+
+    /// Entries for one task kind.
+    pub fn entries(&self, kind: TaskKind) -> &[DataEntry] {
+        self.groups.get(&kind).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterates `(kind, entry)` over everything.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskKind, &DataEntry)> {
+        self.groups
+            .iter()
+            .flat_map(|(k, v)| v.iter().map(move |e| (*k, e)))
+    }
+
+    /// Total entry count.
+    pub fn len(&self) -> usize {
+        self.groups.values().map(Vec::len).sum()
+    }
+
+    /// `true` when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops entries whose token count exceeds `max_tokens` (paper §4).
+    /// Returns how many entries were removed.
+    pub fn trim_by_token_len(&mut self, max_tokens: usize) -> usize {
+        let mut removed = 0;
+        for v in self.groups.values_mut() {
+            let before = v.len();
+            v.retain(|e| e.token_len() <= max_tokens);
+            removed += before - v.len();
+        }
+        removed
+    }
+
+    /// Removes exact-duplicate entries within each task group, keeping the
+    /// first occurrence. Returns how many were removed.
+    pub fn dedup(&mut self) -> usize {
+        use std::collections::HashSet;
+        let mut removed = 0;
+        for v in self.groups.values_mut() {
+            let mut seen = HashSet::new();
+            let before = v.len();
+            v.retain(|e| seen.insert((e.instruct.clone(), e.input.clone(), e.output.clone())));
+            removed += before - v.len();
+        }
+        removed
+    }
+
+    /// Per-task statistics (entry count, total bytes) in Table 2 row order.
+    pub fn table2_rows(&self) -> Vec<(TaskKind, usize, usize)> {
+        TaskKind::ALL
+            .iter()
+            .map(|k| {
+                let es = self.entries(*k);
+                (*k, es.len(), es.iter().map(DataEntry::byte_len).sum())
+            })
+            .collect()
+    }
+}
+
+impl FromIterator<(TaskKind, DataEntry)> for Dataset {
+    fn from_iter<I: IntoIterator<Item = (TaskKind, DataEntry)>>(iter: I) -> Self {
+        let mut d = Dataset::new();
+        for (k, e) in iter {
+            d.push(k, e);
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(n: usize) -> DataEntry {
+        DataEntry::new("i", format!("in{n}"), "out")
+    }
+
+    #[test]
+    fn push_and_count() {
+        let mut d = Dataset::new();
+        d.push(TaskKind::VerilogDebug, entry(1));
+        d.extend(TaskKind::NlVerilogGeneration, vec![entry(2), entry(3)]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.entries(TaskKind::VerilogDebug).len(), 1);
+        assert_eq!(d.entries(TaskKind::WordLevelCompletion).len(), 0);
+    }
+
+    #[test]
+    fn trim_removes_long_entries() {
+        let mut d = Dataset::new();
+        d.push(TaskKind::VerilogDebug, DataEntry::new("i", "a b c d e", "out"));
+        d.push(TaskKind::VerilogDebug, DataEntry::new("i", "a", "out"));
+        let removed = d.trim_by_token_len(4);
+        assert_eq!(removed, 1);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn dedup_keeps_first() {
+        let mut d = Dataset::new();
+        d.push(TaskKind::VerilogDebug, entry(1));
+        d.push(TaskKind::VerilogDebug, entry(1));
+        d.push(TaskKind::VerilogDebug, entry(2));
+        assert_eq!(d.dedup(), 1);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn table2_rows_cover_all_tasks() {
+        let d = Dataset::new();
+        assert_eq!(d.table2_rows().len(), 7);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Dataset::new();
+        a.push(TaskKind::VerilogDebug, entry(1));
+        let mut b = Dataset::new();
+        b.push(TaskKind::VerilogDebug, entry(2));
+        b.push(TaskKind::NlVerilogGeneration, entry(3));
+        a.merge(b);
+        assert_eq!(a.len(), 3);
+    }
+}

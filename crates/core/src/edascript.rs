@@ -1,0 +1,74 @@
+//! EDA-script augmentation (§3.3).
+//!
+//! The paper feeds ~200 valid SiliconCompiler scripts to an existing LLM
+//! (GPT-3.5) to obtain natural-language descriptions, then pairs
+//! (description, script). Here the describer is
+//! [`dda_scscript::describe_with`] — the modelled "LLMs understand scripts
+//! even when they cannot write them" direction — and the script pool comes
+//! either from caller-provided scripts or from the valid-script generator.
+
+use crate::dataset::{DataEntry, TaskKind};
+use dda_scscript::{describe_with, generate_pool, Script};
+use rand::Rng;
+
+/// Instruction string used for EDA-script entries (paper §3.3).
+pub const EDA_INSTRUCT: &str = "give me SiliconCompiler script.";
+
+/// Builds one entry: `D = {instruct, [LLM generated description], [script]}`.
+pub fn eda_entry<R: Rng + ?Sized>(script: &Script, rng: &mut R) -> DataEntry {
+    let description = describe_with(script, rng);
+    DataEntry::new(EDA_INSTRUCT, description, script.to_python())
+}
+
+/// Builds entries for a caller-provided script pool.
+pub fn eda_entries<R: Rng + ?Sized>(
+    scripts: &[Script],
+    rng: &mut R,
+) -> Vec<(TaskKind, DataEntry)> {
+    scripts
+        .iter()
+        .map(|s| (TaskKind::NlEdaScriptGeneration, eda_entry(s, rng)))
+        .collect()
+}
+
+/// Generates the paper-sized pool (default 200) and builds entries for it.
+pub fn generate_eda_entries<R: Rng + ?Sized>(
+    n: usize,
+    rng: &mut R,
+) -> Vec<(TaskKind, DataEntry)> {
+    let pool = generate_pool(n, rng);
+    eda_entries(&pool, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn entries_pair_description_with_script() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let entries = generate_eda_entries(200, &mut rng);
+        assert_eq!(entries.len(), 200);
+        for (kind, e) in &entries {
+            assert_eq!(*kind, TaskKind::NlEdaScriptGeneration);
+            assert_eq!(e.instruct, EDA_INSTRUCT);
+            // The output must be a valid script...
+            let script = dda_scscript::parse(&e.output).expect("output parses");
+            assert!(dda_scscript::check(&script).is_clean());
+            // ...and the description must mention its design.
+            let design = script.design().unwrap();
+            assert!(e.input.contains(design), "{} missing from {}", design, e.input);
+        }
+    }
+
+    #[test]
+    fn descriptions_vary_across_entries() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let entries = generate_eda_entries(50, &mut rng);
+        let unique: std::collections::HashSet<&str> =
+            entries.iter().map(|(_, e)| e.input.as_str()).collect();
+        assert!(unique.len() > 40, "only {} unique descriptions", unique.len());
+    }
+}

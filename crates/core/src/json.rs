@@ -1,0 +1,234 @@
+//! Minimal JSONL serialization for [`DataEntry`] records.
+//!
+//! The dataset format is three flat string fields, so a full JSON library
+//! is not warranted (and `serde_json` is outside the approved offline
+//! dependency set). This module implements exactly the subset needed:
+//! RFC 8259 string escaping and a parser for one-object-per-line records.
+
+use crate::dataset::DataEntry;
+use std::error::Error;
+use std::fmt;
+
+/// Escapes a string per JSON rules.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes one entry to a single JSON line (no trailing newline).
+///
+/// ```
+/// use dda_core::dataset::DataEntry;
+/// let e = DataEntry::new("do", "in", "out");
+/// assert_eq!(
+///     dda_core::json::to_json_line(&e),
+///     r#"{"instruct": "do", "input": "in", "output": "out"}"#
+/// );
+/// ```
+pub fn to_json_line(e: &DataEntry) -> String {
+    format!(
+        "{{\"instruct\": \"{}\", \"input\": \"{}\", \"output\": \"{}\"}}",
+        escape(&e.instruct),
+        escape(&e.input),
+        escape(&e.output)
+    )
+}
+
+/// Serializes entries to JSONL text.
+pub fn to_jsonl<'a>(entries: impl IntoIterator<Item = &'a DataEntry>) -> String {
+    let mut out = String::new();
+    for e in entries {
+        out.push_str(&to_json_line(e));
+        out.push('\n');
+    }
+    out
+}
+
+/// A JSONL parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseJsonError {
+    /// 1-based line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseJsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseJsonError {}
+
+/// Parses JSONL text back into entries.
+///
+/// # Errors
+///
+/// Returns [`ParseJsonError`] for malformed lines or missing fields.
+pub fn from_jsonl(text: &str) -> Result<Vec<DataEntry>, ParseJsonError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        out.push(parse_line(line).map_err(|m| ParseJsonError {
+            line: line_no,
+            message: m,
+        })?);
+    }
+    Ok(out)
+}
+
+fn parse_line(line: &str) -> Result<DataEntry, String> {
+    let mut fields = [None::<String>, None, None];
+    let names = ["instruct", "input", "output"];
+    let bytes: Vec<char> = line.chars().collect();
+    let mut pos = 0usize;
+    let skip_ws = |pos: &mut usize| {
+        while *pos < bytes.len() && bytes[*pos].is_whitespace() {
+            *pos += 1;
+        }
+    };
+    let expect = |pos: &mut usize, c: char| -> Result<(), String> {
+        skip_ws_at(&bytes, pos);
+        if bytes.get(*pos) == Some(&c) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{c}` at offset {pos:?}", pos = *pos))
+        }
+    };
+    fn skip_ws_at(bytes: &[char], pos: &mut usize) {
+        while *pos < bytes.len() && bytes[*pos].is_whitespace() {
+            *pos += 1;
+        }
+    }
+    fn parse_string(bytes: &[char], pos: &mut usize) -> Result<String, String> {
+        skip_ws_at(bytes, pos);
+        if bytes.get(*pos) != Some(&'"') {
+            return Err("expected a string".into());
+        }
+        *pos += 1;
+        let mut s = String::new();
+        while let Some(&c) = bytes.get(*pos) {
+            *pos += 1;
+            match c {
+                '"' => return Ok(s),
+                '\\' => {
+                    let Some(&e) = bytes.get(*pos) else {
+                        return Err("dangling escape".into());
+                    };
+                    *pos += 1;
+                    match e {
+                        'n' => s.push('\n'),
+                        'r' => s.push('\r'),
+                        't' => s.push('\t'),
+                        '"' => s.push('"'),
+                        '\\' => s.push('\\'),
+                        '/' => s.push('/'),
+                        'u' => {
+                            let hex: String = bytes.get(*pos..*pos + 4).map(|c| c.iter().collect()).unwrap_or_default();
+                            *pos += 4;
+                            let v = u32::from_str_radix(&hex, 16)
+                                .map_err(|_| "bad \\u escape".to_owned())?;
+                            s.push(char::from_u32(v).unwrap_or('\u{FFFD}'));
+                        }
+                        other => return Err(format!("unknown escape \\{other}")),
+                    }
+                }
+                c => s.push(c),
+            }
+        }
+        Err("unterminated string".into())
+    }
+    skip_ws(&mut pos);
+    expect(&mut pos, '{')?;
+    loop {
+        let key = parse_string(&bytes, &mut pos)?;
+        expect(&mut pos, ':')?;
+        let value = parse_string(&bytes, &mut pos)?;
+        match names.iter().position(|n| *n == key) {
+            Some(i) => fields[i] = Some(value),
+            None => return Err(format!("unknown field `{key}`")),
+        }
+        skip_ws_at(&bytes, &mut pos);
+        match bytes.get(pos) {
+            Some(',') => {
+                pos += 1;
+                continue;
+            }
+            Some('}') => break,
+            _ => return Err("expected `,` or `}`".into()),
+        }
+    }
+    let [a, b, c] = fields;
+    Ok(DataEntry {
+        instruct: a.ok_or("missing field `instruct`")?,
+        input: b.ok_or("missing field `input`")?,
+        output: c.ok_or("missing field `output`")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_simple() {
+        let e = DataEntry::new("give me X.", "some input", "some output");
+        let line = to_json_line(&e);
+        let back = from_jsonl(&line).unwrap();
+        assert_eq!(back, vec![e]);
+    }
+
+    #[test]
+    fn round_trip_special_chars() {
+        let e = DataEntry::new(
+            "i",
+            "line1\nline2\t\"quoted\" \\backslash\\",
+            "module m;\nendmodule\n",
+        );
+        let back = from_jsonl(&to_json_line(&e)).unwrap();
+        assert_eq!(back, vec![e]);
+    }
+
+    #[test]
+    fn multi_line_jsonl() {
+        let es = vec![
+            DataEntry::new("a", "b", "c"),
+            DataEntry::new("d", "e\nf", "g"),
+        ];
+        let text = to_jsonl(&es);
+        assert_eq!(text.lines().count(), 2);
+        assert_eq!(from_jsonl(&text).unwrap(), es);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_jsonl("not json").is_err());
+        assert!(from_jsonl("{\"instruct\": \"a\"}").is_err()); // missing fields
+        assert!(from_jsonl("{\"bogus\": \"a\"}").is_err());
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        let e = DataEntry::new("i", "\u{1}", "o");
+        let line = to_json_line(&e);
+        assert!(line.contains("\\u0001"));
+        assert_eq!(from_jsonl(&line).unwrap()[0].input, "\u{1}");
+    }
+}

@@ -1,0 +1,48 @@
+//! # dda-core
+//!
+//! The paper's primary contribution: an **automated design-data
+//! augmentation framework** for chip-design LLMs ("Data is all you need",
+//! DAC 2024). From a Verilog corpus and a SiliconCompiler script pool it
+//! produces instruction-tuning data for seven tasks:
+//!
+//! - [`completion`] — module/statement/token-level completion (§3.1.1);
+//! - [`align`] — program-analysis NL ⇄ Verilog alignment (§3.1.2, Fig. 5);
+//! - [`repair`] — rule-based error injection paired with EDA-tool
+//!   diagnostics (§3.2, Fig. 6);
+//! - [`edascript`] — script → description pairing (§3.3);
+//!
+//! orchestrated end-to-end by [`pipeline::augment`] (Fig. 4), with the
+//! dataset model in [`dataset`] and JSONL serialization in [`json`].
+//!
+//! ## Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+//! let corpus = dda_corpus::generate_corpus(4, &mut rng);
+//! let dataset = dda_core::pipeline::augment(
+//!     &corpus,
+//!     &dda_core::pipeline::PipelineOptions::default(),
+//!     &mut rng,
+//! );
+//! assert!(!dataset.is_empty());
+//! let jsonl = dda_core::json::to_jsonl(
+//!     dataset.entries(dda_core::dataset::TaskKind::NlVerilogGeneration),
+//! );
+//! assert!(jsonl.contains("give me the Verilog module"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod align;
+pub mod completion;
+pub mod dataset;
+pub mod edascript;
+pub mod json;
+pub mod pipeline;
+pub mod repair;
+pub mod split;
+pub mod tokenize;
+
+pub use dataset::{DataEntry, Dataset, TaskKind};
+pub use pipeline::{augment, PipelineOptions, StageSet};

@@ -1,0 +1,217 @@
+//! The full multi-stage augmentation workflow (paper Fig. 4).
+//!
+//! Orchestrates all stages over a Verilog corpus plus an EDA-script pool:
+//! completion (§3.1.1), program-analysis alignment (§3.1.2), repair with
+//! tool feedback (§3.2) and EDA-script description (§3.3), then trims
+//! over-length entries (§4). The output [`Dataset`] carries per-task
+//! groups whose sizes regenerate Table 2.
+
+use crate::align::align_entries;
+use crate::completion::{completion_entries, CompletionOptions};
+use crate::dataset::Dataset;
+use crate::edascript::generate_eda_entries;
+use crate::repair::{repair_entries, RepairOptions};
+use dda_corpus::CorpusModule;
+use rand::Rng;
+
+/// Options for one full augmentation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineOptions {
+    /// Completion caps.
+    pub completion: CompletionOptions,
+    /// Mutation cap for the repair stage.
+    pub repair: RepairOptions,
+    /// Broken variants per module for the repair stage.
+    pub repairs_per_module: usize,
+    /// Size of the EDA-script pool (the paper uses ~200).
+    pub eda_scripts: usize,
+    /// Max tokens per entry; longer entries are trimmed (§4).
+    pub max_entry_tokens: usize,
+    /// Which stages run — for the ablation baselines: `General Aug`
+    /// disables everything except completion.
+    pub stages: StageSet,
+}
+
+/// Stage toggles, enabling the paper's ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageSet {
+    /// §3.1.1 completion.
+    pub completion: bool,
+    /// §3.1.2 program-analysis alignment.
+    pub alignment: bool,
+    /// §3.2 repair.
+    pub repair: bool,
+    /// §3.3 EDA scripts.
+    pub eda_script: bool,
+}
+
+impl StageSet {
+    /// The full framework.
+    pub const FULL: StageSet = StageSet {
+        completion: true,
+        alignment: true,
+        repair: true,
+        eda_script: true,
+    };
+
+    /// Completion-only "general data generation" baseline (§4.2.2).
+    pub const GENERAL_AUG: StageSet = StageSet {
+        completion: true,
+        alignment: false,
+        repair: false,
+        eda_script: false,
+    };
+
+    /// Alignment-only (the Fig. 7 "Only Natural Language Data" regime).
+    pub const NL_ONLY: StageSet = StageSet {
+        completion: false,
+        alignment: true,
+        repair: false,
+        eda_script: false,
+    };
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            completion: CompletionOptions {
+                max_statement_level: 64,
+                max_token_level: 256,
+            },
+            repair: RepairOptions::default(),
+            repairs_per_module: 2,
+            eda_scripts: 200,
+            max_entry_tokens: 4096,
+            stages: StageSet::FULL,
+        }
+    }
+}
+
+/// Runs the full augmentation pipeline over a corpus.
+///
+/// The paper's progressive-training order (bulk completion first, refined
+/// aligned data second, §3.1) is preserved in each group's entry order:
+/// within the returned dataset, entries appear corpus-module by
+/// corpus-module, with completion pushed before alignment for each module.
+pub fn augment<R: Rng + ?Sized>(
+    corpus: &[CorpusModule],
+    opts: &PipelineOptions,
+    rng: &mut R,
+) -> Dataset {
+    let mut ds = Dataset::new();
+    for m in corpus {
+        if opts.stages.completion {
+            for (k, e) in completion_entries(&m.source, &opts.completion) {
+                ds.push(k, e);
+            }
+        }
+        if opts.stages.alignment {
+            for (k, e) in align_entries(&m.source) {
+                ds.push(k, e);
+            }
+        }
+        if opts.stages.repair {
+            let file = format!("{}.v", m.name);
+            for (k, e) in
+                repair_entries(&file, &m.source, opts.repairs_per_module, &opts.repair, rng)
+            {
+                ds.push(k, e);
+            }
+        }
+    }
+    if opts.stages.eda_script {
+        for (k, e) in generate_eda_entries(opts.eda_scripts, rng) {
+            ds.push(k, e);
+        }
+    }
+    ds.trim_by_token_len(opts.max_entry_tokens);
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::TaskKind;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn corpus(n: usize, seed: u64) -> Vec<CorpusModule> {
+        dda_corpus::generate_corpus(n, &mut SmallRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn full_pipeline_populates_all_tasks() {
+        let c = corpus(16, 1);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let ds = augment(&c, &PipelineOptions::default(), &mut rng);
+        for kind in TaskKind::ALL {
+            assert!(
+                !ds.entries(kind).is_empty(),
+                "task {kind} has no entries"
+            );
+        }
+    }
+
+    #[test]
+    fn general_aug_is_completion_only() {
+        let c = corpus(8, 3);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let ds = augment(
+            &c,
+            &PipelineOptions {
+                stages: StageSet::GENERAL_AUG,
+                ..PipelineOptions::default()
+            },
+            &mut rng,
+        );
+        assert!(ds.entries(TaskKind::NlVerilogGeneration).is_empty());
+        assert!(ds.entries(TaskKind::VerilogDebug).is_empty());
+        assert!(ds.entries(TaskKind::NlEdaScriptGeneration).is_empty());
+        assert!(!ds.entries(TaskKind::WordLevelCompletion).is_empty());
+    }
+
+    #[test]
+    fn word_level_dominates_volume() {
+        // Table 2's proportions: word-level completion is the largest group.
+        let c = corpus(16, 5);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let ds = augment(&c, &PipelineOptions::default(), &mut rng);
+        let word = ds.entries(TaskKind::WordLevelCompletion).len();
+        for kind in TaskKind::ALL {
+            assert!(word >= ds.entries(kind).len(), "{kind} exceeds word-level");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = corpus(8, 7);
+        let a = augment(
+            &c,
+            &PipelineOptions::default(),
+            &mut SmallRng::seed_from_u64(8),
+        );
+        let b = augment(
+            &c,
+            &PipelineOptions::default(),
+            &mut SmallRng::seed_from_u64(8),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trim_applies() {
+        let c = corpus(4, 9);
+        let mut rng = SmallRng::seed_from_u64(10);
+        let ds = augment(
+            &c,
+            &PipelineOptions {
+                max_entry_tokens: 40,
+                ..PipelineOptions::default()
+            },
+            &mut rng,
+        );
+        for (_, e) in ds.iter() {
+            assert!(e.token_len() <= 40);
+        }
+    }
+}

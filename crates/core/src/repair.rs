@@ -1,0 +1,442 @@
+//! Verilog repair augmentation (§3.2): rule-based error injection paired
+//! with EDA-tool feedback.
+//!
+//! The five rules of §3.2.1 are implemented as token-level edits over the
+//! original source (so the broken file keeps the author's formatting and
+//! the tool diagnostic points at the right line):
+//!
+//! 1. **Word missing** — delete a keyword, semicolon, or operand.
+//! 2. **Type error** — swap `wire` ↔ `reg`.
+//! 3. **Width error** — bump a range bound up or down.
+//! 4. **Additional word** — insert a junk token.
+//! 5. **Logic error** — delete an `if (...)` condition.
+//!
+//! §3.2.2 then runs the checker (the yosys substitute) on the broken file
+//! and prepends its rendered diagnostics to the repair entry's input.
+
+use crate::dataset::{DataEntry, TaskKind};
+use dda_verilog::lexer::lex;
+use dda_verilog::token::{Keyword, Token, TokenKind};
+use rand::Rng;
+
+/// Instruction string used for repair entries (paper §3.2).
+pub const REPAIR_INSTRUCT: &str = "give me correct Verilog according to the given wrong Verilog.";
+
+/// The five §3.2.1 error-injection rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MutationRule {
+    /// Remove keywords, semicolons, and operands.
+    WordMissing,
+    /// Change `wire` to `reg` or the reverse.
+    TypeError,
+    /// Add or subtract a width bound.
+    WidthError,
+    /// Insert nonsense words.
+    AdditionalWord,
+    /// Remove a logic condition from an `if`.
+    LogicError,
+}
+
+impl MutationRule {
+    /// All rules in paper order.
+    pub const ALL: [MutationRule; 5] = [
+        MutationRule::WordMissing,
+        MutationRule::TypeError,
+        MutationRule::WidthError,
+        MutationRule::AdditionalWord,
+        MutationRule::LogicError,
+    ];
+}
+
+/// A record of one applied mutation (for inspection and tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppliedMutation {
+    /// Which rule fired.
+    pub rule: MutationRule,
+    /// 1-based source line it touched.
+    pub line: u32,
+    /// Human-readable description of the edit.
+    pub description: String,
+}
+
+/// Configuration for the mutation engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairOptions {
+    /// Upper bound on mutations per module. The paper keeps "the number of
+    /// changes ... below five"; the default draws 1..=4.
+    pub max_mutations: usize,
+}
+
+impl Default for RepairOptions {
+    fn default() -> Self {
+        RepairOptions { max_mutations: 4 }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Edit {
+    /// Replace `[start, end)` with text (empty = delete).
+    Splice { start: usize, end: usize, text: String },
+}
+
+/// A broken variant of a source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BrokenVerilog {
+    /// The mutated source.
+    pub source: String,
+    /// What was done to it.
+    pub mutations: Vec<AppliedMutation>,
+}
+
+/// Applies 1..=`max_mutations` random rules to `source`.
+///
+/// Returns `None` when the source does not lex or no rule found an
+/// applicable site.
+pub fn break_verilog<R: Rng + ?Sized>(
+    source: &str,
+    opts: &RepairOptions,
+    rng: &mut R,
+) -> Option<BrokenVerilog> {
+    let n = rng.gen_range(1..=opts.max_mutations.max(1));
+    let mut current = source.to_owned();
+    let mut applied = Vec::new();
+    for _ in 0..n {
+        // Re-lex each round so spans stay valid after the previous edit.
+        let rule = MutationRule::ALL[rng.gen_range(0..MutationRule::ALL.len())];
+        if let Some((next, m)) = apply_rule(&current, rule, rng) {
+            current = next;
+            applied.push(m);
+        }
+    }
+    if applied.is_empty() || current == source {
+        // Mutations can cancel (width +1 then -1); an unchanged file is not
+        // a repair case.
+        return None;
+    }
+    Some(BrokenVerilog {
+        source: current,
+        mutations: applied,
+    })
+}
+
+/// Applies one specific rule; `None` when no site exists.
+pub fn apply_rule<R: Rng + ?Sized>(
+    source: &str,
+    rule: MutationRule,
+    rng: &mut R,
+) -> Option<(String, AppliedMutation)> {
+    let tokens = lex(source).ok()?;
+    if tokens.is_empty() {
+        return None;
+    }
+    let (edit, line, description) = match rule {
+        MutationRule::WordMissing => {
+            let candidates: Vec<&Token> = tokens
+                .iter()
+                .filter(|t| match &t.kind {
+                    TokenKind::Op(";") => true,
+                    TokenKind::Op("]") | TokenKind::Op(")") | TokenKind::Op("[") => true,
+                    TokenKind::Keyword(k) => !matches!(k, Keyword::Module),
+                    TokenKind::Ident(_) | TokenKind::Number(_) => true,
+                    _ => false,
+                })
+                .collect();
+            let t = candidates.get(rng.gen_range(0..candidates.len().max(1)))?;
+            (
+                Edit::Splice {
+                    start: t.span.start,
+                    end: t.span.end,
+                    text: String::new(),
+                },
+                t.span.line,
+                format!("removed `{}`", t.kind.render()),
+            )
+        }
+        MutationRule::TypeError => {
+            let candidates: Vec<&Token> = tokens
+                .iter()
+                .filter(|t| t.is_kw(Keyword::Wire) || t.is_kw(Keyword::Reg))
+                .collect();
+            if candidates.is_empty() {
+                return None;
+            }
+            let t = candidates[rng.gen_range(0..candidates.len())];
+            let replacement = if t.is_kw(Keyword::Wire) { "reg" } else { "wire" };
+            (
+                Edit::Splice {
+                    start: t.span.start,
+                    end: t.span.end,
+                    text: replacement.to_owned(),
+                },
+                t.span.line,
+                format!("swapped `{}` for `{replacement}`", t.kind.render()),
+            )
+        }
+        MutationRule::WidthError => {
+            // A number immediately after `[` or before `:` inside a range.
+            let mut sites = Vec::new();
+            for w in tokens.windows(3) {
+                if w[0].is_op("[") && matches!(w[1].kind, TokenKind::Number(_)) && w[2].is_op(":") {
+                    sites.push(&w[1]);
+                }
+            }
+            if sites.is_empty() {
+                return None;
+            }
+            let t = sites[rng.gen_range(0..sites.len())];
+            let TokenKind::Number(text) = &t.kind else {
+                return None;
+            };
+            let v: i64 = text.parse().ok()?;
+            let delta: i64 = if rng.gen_bool(0.5) { 1 } else { -1 };
+            let nv = (v + delta).max(0);
+            (
+                Edit::Splice {
+                    start: t.span.start,
+                    end: t.span.end,
+                    text: nv.to_string(),
+                },
+                t.span.line,
+                format!("changed width bound {v} to {nv}"),
+            )
+        }
+        MutationRule::AdditionalWord => {
+            const JUNK: [&str; 6] = ["foo", "endcase", "wire", "begin", "]", "assign"];
+            let t = &tokens[rng.gen_range(0..tokens.len())];
+            let junk = JUNK[rng.gen_range(0..JUNK.len())];
+            (
+                Edit::Splice {
+                    start: t.span.end,
+                    end: t.span.end,
+                    // Both spaces matter: without the trailing one the junk
+                    // fuses with the next token into a single identifier.
+                    text: format!(" {junk} "),
+                },
+                t.span.line,
+                format!("inserted `{junk}`"),
+            )
+        }
+        MutationRule::LogicError => {
+            // Delete `if ( cond )` keeping the controlled statement.
+            let mut sites = Vec::new();
+            for (i, t) in tokens.iter().enumerate() {
+                if t.is_kw(Keyword::If) && tokens.get(i + 1).map(|t| t.is_op("(")).unwrap_or(false)
+                {
+                    // find matching close paren
+                    let mut depth = 0i32;
+                    for t2 in tokens.iter().skip(i + 1) {
+                        if t2.is_op("(") {
+                            depth += 1;
+                        } else if t2.is_op(")") {
+                            depth -= 1;
+                            if depth == 0 {
+                                sites.push((t.span.start, t2.span.end, t.span.line));
+                                break;
+                            }
+                        }
+                    }
+                    let _ = i;
+                }
+            }
+            if sites.is_empty() {
+                return None;
+            }
+            let (start, end, line) = sites[rng.gen_range(0..sites.len())];
+            (
+                Edit::Splice {
+                    start,
+                    end,
+                    text: String::new(),
+                },
+                line,
+                "removed an if-condition".to_owned(),
+            )
+        }
+    };
+    let Edit::Splice { start, end, text } = edit;
+    let mut out = String::with_capacity(source.len());
+    out.push_str(&source[..start]);
+    out.push_str(&text);
+    out.push_str(&source[end..]);
+    Some((
+        out,
+        AppliedMutation {
+            rule,
+            line,
+            description,
+        },
+    ))
+}
+
+/// Builds the basic repair entry of §3.2.1 (no tool feedback).
+pub fn basic_repair_entry(right: &str, broken: &BrokenVerilog) -> DataEntry {
+    DataEntry::new(REPAIR_INSTRUCT, broken.source.clone(), right)
+}
+
+/// Builds the §3.2.2 entry: the checker's diagnostics (rendered in yosys
+/// style) are prepended to the wrong file, exactly the Fig. 6 layout:
+/// `input = "[yosys info], [wrong Verilog file]"`.
+pub fn feedback_repair_entry(file_name: &str, right: &str, broken: &BrokenVerilog) -> DataEntry {
+    let report = dda_lint::check_source(file_name, &broken.source);
+    let info = report.render();
+    let input = if info.is_empty() {
+        broken.source.clone()
+    } else {
+        format!("{info}, {}", broken.source)
+    };
+    DataEntry::new(REPAIR_INSTRUCT, input, right)
+}
+
+/// Generates repair entries (mask-completion + debug-with-feedback) for one
+/// source file, producing `per_module` broken variants.
+pub fn repair_entries<R: Rng + ?Sized>(
+    file_name: &str,
+    source: &str,
+    per_module: usize,
+    opts: &RepairOptions,
+    rng: &mut R,
+) -> Vec<(TaskKind, DataEntry)> {
+    let mut out = Vec::new();
+    for _ in 0..per_module {
+        let Some(broken) = break_verilog(source, opts, rng) else {
+            continue;
+        };
+        out.push((
+            TaskKind::VerilogMaskCompletion,
+            basic_repair_entry(source, &broken),
+        ));
+        out.push((
+            TaskKind::VerilogDebug,
+            feedback_repair_entry(file_name, source, &broken),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    const SRC: &str = "module counter(input clk, rst, output reg [1:0] count);
+always @(posedge clk)
+  if (rst) count <= 2'd0;
+  else count <= count + 2'd1;
+endmodule
+";
+
+    #[test]
+    fn every_rule_finds_a_site_in_the_counter() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for rule in MutationRule::ALL {
+            let got = apply_rule(SRC, rule, &mut rng);
+            assert!(got.is_some(), "rule {rule:?} found no site");
+            let (mutated, m) = got.unwrap();
+            assert_ne!(mutated, SRC, "rule {rule:?} produced no change");
+            assert_eq!(m.rule, rule);
+        }
+    }
+
+    #[test]
+    fn type_error_swaps_reg() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let (mutated, m) = apply_rule(SRC, MutationRule::TypeError, &mut rng).unwrap();
+        assert_eq!(m.rule, MutationRule::TypeError);
+        assert!(mutated.contains("output wire [1:0] count"), "{mutated}");
+    }
+
+    #[test]
+    fn width_error_touches_range_bound() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (mutated, _) = apply_rule(SRC, MutationRule::WidthError, &mut rng).unwrap();
+        assert!(mutated.contains("[2:0] count") || mutated.contains("[0:0] count"), "{mutated}");
+    }
+
+    #[test]
+    fn logic_error_drops_a_condition() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let (mutated, m) = apply_rule(SRC, MutationRule::LogicError, &mut rng).unwrap();
+        assert_eq!(m.rule, MutationRule::LogicError);
+        // One of the two `if (...)` guards is gone. Depending on which, the
+        // result is either a silent functional bug (the final `else if`) or
+        // a dangling-`else` syntax error (the first `if`) — both are
+        // realistic repair-training inputs.
+        let ifs_before = SRC.matches("if (").count();
+        let ifs_after = mutated.matches("if (").count();
+        assert_eq!(ifs_after, ifs_before - 1, "{mutated}");
+    }
+
+    #[test]
+    fn break_verilog_respects_mutation_cap() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let b = break_verilog(SRC, &RepairOptions { max_mutations: 4 }, &mut rng).unwrap();
+            assert!((1..=4).contains(&b.mutations.len()));
+        }
+    }
+
+    #[test]
+    fn feedback_entry_carries_yosys_style_error() {
+        // Deterministically produce a syntax error: remove the header `;`.
+        let broken_src = SRC.replacen("count);", "count)", 1);
+        let broken = BrokenVerilog {
+            source: broken_src,
+            mutations: vec![],
+        };
+        let e = feedback_repair_entry("counter.v", SRC, &broken);
+        assert!(e.input.starts_with("/counter.v:"), "{}", e.input);
+        assert!(e.input.contains("ERROR: syntax error"), "{}", e.input);
+        assert!(e.input.contains("module counter"), "input embeds wrong file");
+        assert_eq!(e.output, SRC);
+        assert_eq!(e.instruct, REPAIR_INSTRUCT);
+    }
+
+    #[test]
+    fn repair_entries_come_in_pairs() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let entries = repair_entries("m.v", SRC, 5, &RepairOptions::default(), &mut rng);
+        assert_eq!(entries.len(), 10);
+        let masks = entries
+            .iter()
+            .filter(|(k, _)| *k == TaskKind::VerilogMaskCompletion)
+            .count();
+        let debug = entries
+            .iter()
+            .filter(|(k, _)| *k == TaskKind::VerilogDebug)
+            .count();
+        assert_eq!(masks, 5);
+        assert_eq!(debug, 5);
+        for (_, e) in &entries {
+            assert_eq!(e.output, SRC, "right file is always the output");
+        }
+    }
+
+    #[test]
+    fn most_breaks_are_actually_detected() {
+        // Grounding check: the tool flags a healthy majority of injected
+        // faults (logic-error and some insertions are legal Verilog).
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut flagged = 0;
+        let mut total = 0;
+        for _ in 0..100 {
+            // Cancelling mutation draws yield None; skip them.
+            let Some(b) = break_verilog(SRC, &RepairOptions::default(), &mut rng) else {
+                continue;
+            };
+            total += 1;
+            let report = dda_lint::check_source("m.v", &b.source);
+            if !report.is_clean() {
+                flagged += 1;
+            }
+        }
+        assert!(total > 80, "too many cancelled draws: {total}");
+        assert!(flagged > total / 2, "only {flagged}/{total} flagged");
+    }
+
+    #[test]
+    fn unlexable_source_is_rejected() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        assert!(break_verilog("\u{00A7}", &RepairOptions::default(), &mut rng).is_none());
+    }
+}

@@ -1,0 +1,124 @@
+//! Train/validation splitting and deterministic shuffling for datasets.
+//!
+//! Downstream trainers need held-out data; the paper's pipeline feeds a
+//! trainer directly, so the repository ships the standard utilities: a
+//! seeded Fisher–Yates shuffle and a per-task stratified split (every task
+//! kind contributes proportionally to both halves).
+
+use crate::dataset::{Dataset, TaskKind};
+use rand::Rng;
+
+/// Shuffles every task group in place (Fisher–Yates, caller-seeded).
+pub fn shuffle<R: Rng + ?Sized>(dataset: &mut Dataset, rng: &mut R) {
+    for kind in TaskKind::ALL {
+        let n = dataset.entries(kind).len();
+        if n < 2 {
+            continue;
+        }
+        // Generate a permutation, then rebuild the group.
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let entries: Vec<_> = dataset.entries(kind).to_vec();
+        let reordered: Vec<_> = order.into_iter().map(|i| entries[i].clone()).collect();
+        dataset.replace(kind, reordered);
+    }
+}
+
+/// Splits into `(train, validation)` with `val_fraction` of each task group
+/// held out (stratified). Order within groups is preserved; shuffle first
+/// for a random split.
+///
+/// # Panics
+///
+/// Panics if `val_fraction` is not within `[0, 1]`.
+pub fn train_val_split(dataset: &Dataset, val_fraction: f64) -> (Dataset, Dataset) {
+    assert!(
+        (0.0..=1.0).contains(&val_fraction),
+        "val_fraction must be in [0, 1]"
+    );
+    let mut train = Dataset::new();
+    let mut val = Dataset::new();
+    for kind in TaskKind::ALL {
+        let entries = dataset.entries(kind);
+        let n_val = (entries.len() as f64 * val_fraction).round() as usize;
+        let n_val = n_val.min(entries.len());
+        let split = entries.len() - n_val;
+        train.extend(kind, entries[..split].iter().cloned());
+        val.extend(kind, entries[split..].iter().cloned());
+    }
+    (train, val)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DataEntry;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn dataset(n: usize) -> Dataset {
+        let mut d = Dataset::new();
+        for i in 0..n {
+            d.push(TaskKind::NlVerilogGeneration, DataEntry::new("i", format!("a{i}"), "o"));
+            d.push(TaskKind::VerilogDebug, DataEntry::new("i", format!("b{i}"), "o"));
+        }
+        d
+    }
+
+    #[test]
+    fn split_is_stratified_and_partitioning() {
+        let d = dataset(10);
+        let (train, val) = train_val_split(&d, 0.2);
+        assert_eq!(train.entries(TaskKind::NlVerilogGeneration).len(), 8);
+        assert_eq!(val.entries(TaskKind::NlVerilogGeneration).len(), 2);
+        assert_eq!(train.entries(TaskKind::VerilogDebug).len(), 8);
+        assert_eq!(val.entries(TaskKind::VerilogDebug).len(), 2);
+        assert_eq!(train.len() + val.len(), d.len());
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let d = dataset(5);
+        let (train, val) = train_val_split(&d, 0.0);
+        assert_eq!(val.len(), 0);
+        assert_eq!(train.len(), d.len());
+        let (train, val) = train_val_split(&d, 1.0);
+        assert_eq!(train.len(), 0);
+        assert_eq!(val.len(), d.len());
+    }
+
+    #[test]
+    fn shuffle_is_seeded_and_content_preserving() {
+        let mut a = dataset(32);
+        let mut b = dataset(32);
+        shuffle(&mut a, &mut SmallRng::seed_from_u64(9));
+        shuffle(&mut b, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(a, b, "same seed, same order");
+        let mut c = dataset(32);
+        shuffle(&mut c, &mut SmallRng::seed_from_u64(10));
+        assert_ne!(a, c, "different seed, different order");
+        // Content preserved as a multiset.
+        let mut xs: Vec<_> = a
+            .entries(TaskKind::NlVerilogGeneration)
+            .iter()
+            .map(|e| e.input.clone())
+            .collect();
+        xs.sort();
+        let mut ys: Vec<_> = dataset(32)
+            .entries(TaskKind::NlVerilogGeneration)
+            .iter()
+            .map(|e| e.input.clone())
+            .collect();
+        ys.sort();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    #[should_panic(expected = "val_fraction")]
+    fn bad_fraction_panics() {
+        let _ = train_val_split(&dataset(2), 1.5);
+    }
+}

@@ -1,0 +1,74 @@
+//! Shared tokenizer for mixed natural-language / code text.
+//!
+//! Used for dataset length accounting, TF-IDF retrieval in the simulated
+//! LM, and n-gram language modelling. Splits on whitespace, keeps
+//! identifiers/numbers whole, and emits punctuation as single-character
+//! tokens (so `count<=count+1;` and `count <= count + 1 ;` tokenize
+//! identically).
+
+/// Tokenizes text into words, numbers and punctuation.
+///
+/// ```
+/// let toks = dda_core::tokenize::tokenize("count <= count + 2'd1;");
+/// assert_eq!(toks, vec!["count", "<", "=", "count", "+", "2", "'", "d1", ";"]);
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() || c == '_' {
+            cur.push(c);
+        } else {
+            if !cur.is_empty() {
+                out.push(std::mem::take(&mut cur));
+            }
+            if !c.is_whitespace() {
+                out.push(c.to_string());
+            }
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Tokenizes and lowercases — the normal form for retrieval.
+pub fn tokenize_lower(text: &str) -> Vec<String> {
+    tokenize(&text.to_lowercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_code() {
+        assert_eq!(
+            tokenize("assign y=a&b;"),
+            vec!["assign", "y", "=", "a", "&", "b", ";"]
+        );
+    }
+
+    #[test]
+    fn whitespace_invariant() {
+        assert_eq!(tokenize("a+b"), tokenize("a + b"));
+        assert_eq!(tokenize("a+b"), tokenize("  a\n+\tb "));
+    }
+
+    #[test]
+    fn keeps_identifiers_whole() {
+        assert_eq!(tokenize("shift_reg_12"), vec!["shift_reg_12"]);
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(tokenize_lower("Module X"), vec!["module", "x"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \n").is_empty());
+    }
+}

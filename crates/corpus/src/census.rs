@@ -1,0 +1,64 @@
+//! Cross-language dataset-size census (paper Fig. 2).
+//!
+//! The paper's Fig. 2 compares the number of publicly available source
+//! files per language to motivate hardware data scarcity. Exact scrape
+//! counts are not redistributable, so this module carries order-of-
+//! magnitude figures consistent with public GitHub language statistics at
+//! the time of the paper; the *ratios* (software languages 2–3 orders of
+//! magnitude above HDLs) are what Fig. 2 argues from.
+
+/// One language row of the census.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LanguageCensus {
+    /// Language name.
+    pub language: &'static str,
+    /// Approximate public file count.
+    pub files: u64,
+    /// Whether this is a hardware description language.
+    pub hardware: bool,
+}
+
+/// The census behind Fig. 2 (approximate public file counts).
+pub const CENSUS: &[LanguageCensus] = &[
+    LanguageCensus { language: "JavaScript", files: 250_000_000, hardware: false },
+    LanguageCensus { language: "Python", files: 180_000_000, hardware: false },
+    LanguageCensus { language: "Java", files: 150_000_000, hardware: false },
+    LanguageCensus { language: "C", files: 120_000_000, hardware: false },
+    LanguageCensus { language: "C++", files: 100_000_000, hardware: false },
+    LanguageCensus { language: "Go", files: 40_000_000, hardware: false },
+    LanguageCensus { language: "Rust", files: 12_000_000, hardware: false },
+    LanguageCensus { language: "Verilog", files: 600_000, hardware: true },
+    LanguageCensus { language: "SystemVerilog", files: 350_000, hardware: true },
+    LanguageCensus { language: "VHDL", files: 400_000, hardware: true },
+];
+
+/// Ratio between the median software corpus and the largest HDL corpus.
+pub fn software_to_hdl_ratio() -> f64 {
+    let mut sw: Vec<u64> = CENSUS.iter().filter(|c| !c.hardware).map(|c| c.files).collect();
+    sw.sort_unstable();
+    let median = sw[sw.len() / 2] as f64;
+    let max_hdl = CENSUS
+        .iter()
+        .filter(|c| c.hardware)
+        .map(|c| c.files)
+        .max()
+        .unwrap_or(1) as f64;
+    median / max_hdl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hdl_is_orders_of_magnitude_smaller() {
+        // Fig. 2's claim: hardware corpora trail software by >= 2 orders.
+        assert!(software_to_hdl_ratio() > 100.0);
+    }
+
+    #[test]
+    fn census_has_both_kinds() {
+        assert!(CENSUS.iter().any(|c| c.hardware));
+        assert!(CENSUS.iter().any(|c| !c.hardware));
+    }
+}

@@ -1,0 +1,516 @@
+//! Module-family templates for the synthetic corpus.
+//!
+//! Each family is a parameterised generator that emits a realistic, legal
+//! Verilog module of the kinds that dominate public Verilog repositories:
+//! counters, shift registers, muxes, encoders, adders, ALUs, FSMs,
+//! memories, FIFOs, detectors, and serializers. Every output parses with
+//! [`dda_verilog::parse`] (asserted by tests and by the generator's debug
+//! assertions).
+
+use rand::Rng;
+use std::fmt;
+
+/// The design families the corpus spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum Family {
+    Counter,
+    ShiftReg,
+    Mux,
+    PriorityEncoder,
+    Adder,
+    Alu,
+    Fsm,
+    Ram,
+    Fifo,
+    EdgeDetect,
+    Parity,
+    Comparator,
+    FreqDiv,
+    Serializer,
+    Register,
+    Gray,
+    WireBuf,
+    Gate2,
+    HalfAdder,
+    CarryAdder,
+    WrapCounter,
+    Johnson,
+    Lfsr,
+    Rotator,
+    ShiftEn,
+    PlainShifter,
+    SeqDetector,
+    Timer,
+    MultComb,
+    MultPipe,
+    MultSeq,
+    DividerSeq,
+    Accumulator,
+    SerialValid,
+    ParallelSerial,
+    PulseDetector,
+    EdgeBoth,
+    WidthConv,
+    Traffic,
+    CalendarClock,
+    FreqDiv2,
+    TriangleWave,
+    MacPe,
+    Mux2,
+    DualPortRam,
+    WideAlu,
+    ParityValid,
+    GrayCount,
+    CombDivider,
+}
+
+impl Family {
+    /// All families, in a fixed order.
+    pub const ALL: [Family; 49] = [
+        Family::Counter,
+        Family::ShiftReg,
+        Family::Mux,
+        Family::PriorityEncoder,
+        Family::Adder,
+        Family::Alu,
+        Family::Fsm,
+        Family::Ram,
+        Family::Fifo,
+        Family::EdgeDetect,
+        Family::Parity,
+        Family::Comparator,
+        Family::FreqDiv,
+        Family::Serializer,
+        Family::Register,
+        Family::Gray,
+        Family::WireBuf,
+        Family::Gate2,
+        Family::HalfAdder,
+        Family::CarryAdder,
+        Family::WrapCounter,
+        Family::Johnson,
+        Family::Lfsr,
+        Family::Rotator,
+        Family::ShiftEn,
+        Family::PlainShifter,
+        Family::SeqDetector,
+        Family::Timer,
+        Family::MultComb,
+        Family::MultPipe,
+        Family::MultSeq,
+        Family::DividerSeq,
+        Family::Accumulator,
+        Family::SerialValid,
+        Family::ParallelSerial,
+        Family::PulseDetector,
+        Family::EdgeBoth,
+        Family::WidthConv,
+        Family::Traffic,
+        Family::CalendarClock,
+        Family::FreqDiv2,
+        Family::TriangleWave,
+        Family::MacPe,
+        Family::Mux2,
+        Family::DualPortRam,
+        Family::WideAlu,
+        Family::ParityValid,
+        Family::GrayCount,
+        Family::CombDivider,
+    ];
+
+    /// Short lowercase tag used in generated module names.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Family::Counter => "counter",
+            Family::ShiftReg => "shift_reg",
+            Family::Mux => "mux",
+            Family::PriorityEncoder => "prio_enc",
+            Family::Adder => "adder",
+            Family::Alu => "alu",
+            Family::Fsm => "fsm",
+            Family::Ram => "ram",
+            Family::Fifo => "fifo",
+            Family::EdgeDetect => "edge_det",
+            Family::Parity => "parity",
+            Family::Comparator => "cmp",
+            Family::FreqDiv => "freq_div",
+            Family::Serializer => "s2p",
+            Family::Register => "dff",
+            Family::Gray => "gray",
+            Family::WireBuf => "buf_wire",
+            Family::Gate2 => "gate2",
+            Family::HalfAdder => "half_adder",
+            Family::CarryAdder => "carry_adder",
+            Family::WrapCounter => "mod_counter",
+            Family::Johnson => "johnson",
+            Family::Lfsr => "lfsr",
+            Family::Rotator => "rotator",
+            Family::ShiftEn => "shift_en",
+            Family::PlainShifter => "shifter",
+            Family::SeqDetector => "seq_det",
+            Family::Timer => "timer",
+            Family::MultComb => "mult",
+            Family::MultPipe => "mult_pipe",
+            Family::MultSeq => "mult_seq",
+            Family::DividerSeq => "div_seq",
+            Family::Accumulator => "accum",
+            Family::SerialValid => "s2p_valid",
+            Family::ParallelSerial => "p2s",
+            Family::PulseDetector => "pulse_det",
+            Family::EdgeBoth => "edge_both",
+            Family::WidthConv => "w8to16",
+            Family::Traffic => "traffic",
+            Family::CalendarClock => "calendar",
+            Family::FreqDiv2 => "clkdiv",
+            Family::TriangleWave => "triangle",
+            Family::MacPe => "mac",
+            Family::Mux2 => "mux2",
+            Family::DualPortRam => "dpram",
+            Family::WideAlu => "alu32",
+            Family::ParityValid => "parity_v",
+            Family::GrayCount => "gray_cnt",
+            Family::CombDivider => "divmod",
+        }
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// Emits one module of the family; `uid` keeps names unique.
+pub fn emit<R: Rng + ?Sized>(family: Family, uid: usize, rng: &mut R) -> String {
+    match family {
+        Family::Counter => counter(uid, rng),
+        Family::ShiftReg => shift_reg(uid, rng),
+        Family::Mux => mux(uid, rng),
+        Family::PriorityEncoder => prio_enc(uid, rng),
+        Family::Adder => adder(uid, rng),
+        Family::Alu => alu(uid, rng),
+        Family::Fsm => fsm(uid, rng),
+        Family::Ram => ram(uid, rng),
+        Family::Fifo => fifo(uid, rng),
+        Family::EdgeDetect => edge_det(uid, rng),
+        Family::Parity => parity(uid, rng),
+        Family::Comparator => comparator(uid, rng),
+        Family::FreqDiv => freq_div(uid, rng),
+        Family::Serializer => serializer(uid, rng),
+        Family::Register => register(uid, rng),
+        Family::Gray => gray(uid, rng),
+        Family::WireBuf => crate::families2::wire_buf(uid, rng),
+        Family::Gate2 => crate::families2::gate2(uid, rng),
+        Family::HalfAdder => crate::families2::half_adder(uid, rng),
+        Family::CarryAdder => crate::families2::carry_adder(uid, rng),
+        Family::WrapCounter => crate::families2::wrap_counter(uid, rng),
+        Family::Johnson => crate::families2::johnson(uid, rng),
+        Family::Lfsr => crate::families2::lfsr(uid, rng),
+        Family::Rotator => crate::families2::rotator(uid, rng),
+        Family::ShiftEn => crate::families2::shift_en(uid, rng),
+        Family::PlainShifter => crate::families2::plain_shifter(uid, rng),
+        Family::SeqDetector => crate::families2::seq_detector(uid, rng),
+        Family::Timer => crate::families2::timer(uid, rng),
+        Family::MultComb => crate::families2::mult_comb(uid, rng),
+        Family::MultPipe => crate::families2::mult_pipe(uid, rng),
+        Family::MultSeq => crate::families2::mult_seq(uid, rng),
+        Family::DividerSeq => crate::families2::divider_seq(uid, rng),
+        Family::Accumulator => crate::families2::accumulator(uid, rng),
+        Family::SerialValid => crate::families2::s2p_valid(uid, rng),
+        Family::ParallelSerial => crate::families2::p2s(uid, rng),
+        Family::PulseDetector => crate::families2::pulse_detector(uid, rng),
+        Family::EdgeBoth => crate::families2::edge_both(uid, rng),
+        Family::WidthConv => crate::families2::width_conv(uid, rng),
+        Family::Traffic => crate::families2::traffic(uid, rng),
+        Family::CalendarClock => crate::families2::calendar_clock(uid, rng),
+        Family::FreqDiv2 => crate::families2::freq_div2(uid, rng),
+        Family::TriangleWave => crate::families2::triangle_wave(uid, rng),
+        Family::MacPe => crate::families2::mac_pe(uid, rng),
+        Family::Mux2 => crate::families2::mux2(uid, rng),
+        Family::DualPortRam => crate::families2::dual_port_ram(uid, rng),
+        Family::WideAlu => crate::families2::wide_alu(uid, rng),
+        Family::ParityValid => crate::families2::parity_valid(uid, rng),
+        Family::GrayCount => crate::families2::gray_count(uid, rng),
+        Family::CombDivider => crate::families2::comb_divider(uid, rng),
+    }
+}
+
+fn width<R: Rng + ?Sized>(rng: &mut R) -> usize {
+    [2, 4, 8, 16, 32][rng.gen_range(0..5)]
+}
+
+fn counter<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let w = width(rng);
+    let name = format!("counter_{uid}");
+    let en = rng.gen_bool(0.5);
+    let down = rng.gen_bool(0.3);
+    let op = if down { "-" } else { "+" };
+    let step = if en {
+        format!("else if (en) count <= count {op} {w}'d1;")
+    } else {
+        format!("else count <= count {op} {w}'d1;")
+    };
+    let en_port = if en { "input en,\n  " } else { "" };
+    format!(
+        "module {name} (\n  input clk,\n  input rst,\n  {en_port}output reg [{msb}:0] count\n);\n\
+         always @(posedge clk)\n  if (rst) count <= {w}'d0;\n  {step}\nendmodule\n",
+        msb = w - 1
+    )
+}
+
+fn shift_reg<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let w = width(rng);
+    let name = format!("shift_reg_{uid}");
+    let left = rng.gen_bool(0.5);
+    let body = if left {
+        format!("q <= {{q[{m}:0], d}};", m = w - 2)
+    } else {
+        format!("q <= {{d, q[{msb}:1]}};", msb = w - 1)
+    };
+    format!(
+        "module {name} (\n  input clk,\n  input rst,\n  input d,\n  output reg [{msb}:0] q\n);\n\
+         always @(posedge clk)\n  if (rst) q <= {w}'d0;\n  else {body}\nendmodule\n",
+        msb = w - 1
+    )
+}
+
+fn mux<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let w = width(rng);
+    let name = format!("mux4_{uid}");
+    if rng.gen_bool(0.5) {
+        format!(
+            "module {name} (\n  input [1:0] sel,\n  input [{m}:0] a, b, c, d,\n  output reg [{m}:0] y\n);\n\
+             always @(*)\n  case (sel)\n    2'b00: y = a;\n    2'b01: y = b;\n    2'b10: y = c;\n    default: y = d;\n  endcase\nendmodule\n",
+            m = w - 1
+        )
+    } else {
+        format!(
+            "module {name} (\n  input [1:0] sel,\n  input [{m}:0] a, b, c, d,\n  output [{m}:0] y\n);\n\
+             assign y = sel[1] ? (sel[0] ? d : c) : (sel[0] ? b : a);\nendmodule\n",
+            m = w - 1
+        )
+    }
+}
+
+fn prio_enc<R: Rng + ?Sized>(uid: usize, _rng: &mut R) -> String {
+    let name = format!("prio_enc_{uid}");
+    format!(
+        "module {name} (\n  input [7:0] req,\n  output reg [2:0] grant,\n  output reg valid\n);\n\
+         integer i;\n\
+         always @(*) begin\n  grant = 3'd0;\n  valid = 1'b0;\n\
+         \x20 for (i = 7; i >= 0; i = i - 1)\n    if (req[i] && !valid) begin\n      grant = i[2:0];\n      valid = 1'b1;\n    end\nend\nendmodule\n"
+    )
+}
+
+fn adder<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let w = width(rng);
+    let name = format!("adder_{uid}");
+    if rng.gen_bool(0.6) {
+        format!(
+            "module {name} (\n  input [{m}:0] a, b,\n  input cin,\n  output [{m}:0] sum,\n  output cout\n);\n\
+             assign {{cout, sum}} = a + b + cin;\nendmodule\n",
+            m = w - 1
+        )
+    } else {
+        format!(
+            "module {name} (\n  input [{m}:0] a, b,\n  output [{w}:0] sum\n);\n\
+             assign sum = a + b;\nendmodule\n",
+            m = w - 1,
+            w = w
+        )
+    }
+}
+
+fn alu<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let w = width(rng).max(4);
+    let name = format!("alu_{uid}");
+    format!(
+        "module {name} (\n  input [2:0] op,\n  input [{m}:0] a, b,\n  output reg [{m}:0] y,\n  output zero\n);\n\
+         always @(*)\n  case (op)\n    3'b000: y = a + b;\n    3'b001: y = a - b;\n    3'b010: y = a & b;\n    3'b011: y = a | b;\n    3'b100: y = a ^ b;\n    3'b101: y = ~a;\n    3'b110: y = a << 1;\n    default: y = a >> 1;\n  endcase\n\
+         assign zero = (y == {w}'d0);\nendmodule\n",
+        m = w - 1
+    )
+}
+
+fn fsm<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let name = format!("fsm_{uid}");
+    let n = rng.gen_range(3..6);
+    let mut arms = String::new();
+    for s in 0..n {
+        let next = (s + 1) % n;
+        arms.push_str(&format!(
+            "    2'd{s}: if (in) state <= 2'd{next}; else state <= 2'd{s};\n"
+        ));
+    }
+    format!(
+        "module {name} (\n  input clk,\n  input rst,\n  input in,\n  output reg [1:0] state,\n  output done\n);\n\
+         always @(posedge clk)\n  if (rst) state <= 2'd0;\n  else case (state)\n{arms}    default: state <= 2'd0;\n  endcase\n\
+         assign done = (state == 2'd{last});\nendmodule\n",
+        last = n - 1
+    )
+}
+
+fn ram<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let w = width(rng);
+    let aw = [3, 4, 5, 6][rng.gen_range(0..4)];
+    let name = format!("ram_{uid}");
+    format!(
+        "module {name} (\n  input clk,\n  input we,\n  input [{am}:0] addr,\n  input [{m}:0] din,\n  output reg [{m}:0] dout\n);\n\
+         reg [{m}:0] mem [0:{depth}];\n\
+         always @(posedge clk) begin\n  if (we) mem[addr] <= din;\n  dout <= mem[addr];\nend\nendmodule\n",
+        am = aw - 1,
+        m = w - 1,
+        depth = (1 << aw) - 1
+    )
+}
+
+fn fifo<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let w = width(rng);
+    let aw = 3;
+    let name = format!("sync_fifo_{uid}");
+    format!(
+        "module {name} (\n  input clk,\n  input rst,\n  input wr_en,\n  input rd_en,\n  input [{m}:0] din,\n  output [{m}:0] dout,\n  output full,\n  output empty\n);\n\
+         reg [{m}:0] mem [0:{depth}];\n\
+         reg [{aw}:0] wptr, rptr;\n\
+         assign full = (wptr - rptr) == {cap};\n\
+         assign empty = wptr == rptr;\n\
+         assign dout = mem[rptr[{am}:0]];\n\
+         always @(posedge clk)\n  if (rst) begin\n    wptr <= 0;\n    rptr <= 0;\n  end else begin\n    if (wr_en && !full) begin\n      mem[wptr[{am}:0]] <= din;\n      wptr <= wptr + 1;\n    end\n    if (rd_en && !empty) rptr <= rptr + 1;\n  end\nendmodule\n",
+        m = w - 1,
+        depth = (1 << aw) - 1,
+        aw = aw,
+        am = aw - 1,
+        cap = 1 << aw
+    )
+}
+
+fn edge_det<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let name = format!("edge_det_{uid}");
+    let both = rng.gen_bool(0.4);
+    if both {
+        format!(
+            "module {name} (\n  input clk,\n  input rst,\n  input sig,\n  output rise,\n  output fall\n);\n\
+             reg prev;\n\
+             always @(posedge clk)\n  if (rst) prev <= 1'b0;\n  else prev <= sig;\n\
+             assign rise = sig & ~prev;\n\
+             assign fall = ~sig & prev;\nendmodule\n"
+        )
+    } else {
+        format!(
+            "module {name} (\n  input clk,\n  input rst,\n  input sig,\n  output pulse\n);\n\
+             reg prev;\n\
+             always @(posedge clk)\n  if (rst) prev <= 1'b0;\n  else prev <= sig;\n\
+             assign pulse = sig & ~prev;\nendmodule\n"
+        )
+    }
+}
+
+fn parity<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let w = width(rng);
+    let name = format!("parity_{uid}");
+    let odd = rng.gen_bool(0.5);
+    let expr = if odd { "~^data" } else { "^data" };
+    format!(
+        "module {name} (\n  input [{m}:0] data,\n  output p\n);\n\
+         assign p = {expr};\nendmodule\n",
+        m = w - 1
+    )
+}
+
+fn comparator<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let w = width(rng);
+    let name = format!("cmp_{uid}");
+    format!(
+        "module {name} (\n  input [{m}:0] a, b,\n  output lt, eq, gt\n);\n\
+         assign lt = a < b;\n\
+         assign eq = a == b;\n\
+         assign gt = a > b;\nendmodule\n",
+        m = w - 1
+    )
+}
+
+fn freq_div<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let div = [2usize, 4, 8, 16][rng.gen_range(0..4)];
+    let bits = div.trailing_zeros() as usize;
+    let name = format!("freq_div_{uid}");
+    format!(
+        "module {name} (\n  input clk,\n  input rst,\n  output clk_out\n);\n\
+         reg [{m}:0] cnt;\n\
+         always @(posedge clk)\n  if (rst) cnt <= 0;\n  else cnt <= cnt + 1;\n\
+         assign clk_out = cnt[{m}];\nendmodule\n",
+        m = bits - 1
+    )
+}
+
+fn serializer<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let w = [4usize, 8][rng.gen_range(0..2)];
+    let name = format!("s2p_{uid}");
+    format!(
+        "module {name} (\n  input clk,\n  input rst,\n  input din,\n  output reg [{m}:0] dout,\n  output reg valid\n);\n\
+         reg [{cm}:0] cnt;\n\
+         always @(posedge clk)\n  if (rst) begin\n    cnt <= 0;\n    valid <= 1'b0;\n    dout <= 0;\n  end else begin\n    dout <= {{dout[{m2}:0], din}};\n    cnt <= cnt + 1;\n    valid <= (cnt == {w}'d{last});\n  end\nendmodule\n",
+        m = w - 1,
+        m2 = w - 2,
+        cm = (w.trailing_zeros() as usize).max(1),
+        last = w - 1
+    )
+}
+
+fn register<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let w = width(rng);
+    let name = format!("dff_{uid}");
+    let async_rst = rng.gen_bool(0.4);
+    let sens = if async_rst {
+        "posedge clk or posedge rst"
+    } else {
+        "posedge clk"
+    };
+    format!(
+        "module {name} (\n  input clk,\n  input rst,\n  input en,\n  input [{m}:0] d,\n  output reg [{m}:0] q\n);\n\
+         always @({sens})\n  if (rst) q <= {w}'d0;\n  else if (en) q <= d;\nendmodule\n",
+        m = w - 1
+    )
+}
+
+fn gray<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let w = width(rng);
+    let name = format!("gray_{uid}");
+    format!(
+        "module {name} (\n  input [{m}:0] bin,\n  output [{m}:0] gray\n);\n\
+         assign gray = bin ^ (bin >> 1);\nendmodule\n",
+        m = w - 1
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_family_parses_and_lints_clean() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for (i, f) in Family::ALL.iter().enumerate() {
+            for round in 0..8 {
+                let src = emit(*f, i * 100 + round, &mut rng);
+                let report = dda_lint::check_source("gen.v", &src);
+                assert!(
+                    report.is_clean(),
+                    "family {f} round {round} dirty:\n{src}\n{}",
+                    report.render()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique_per_uid() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let a = emit(Family::Counter, 1, &mut rng);
+        let b = emit(Family::Counter, 2, &mut rng);
+        assert!(a.contains("counter_1"));
+        assert!(b.contains("counter_2"));
+    }
+}

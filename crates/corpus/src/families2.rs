@@ -1,0 +1,391 @@
+//! Second tranche of corpus families: the textbook designs that dominate
+//! teaching repositories and public RTL collections — wrap counters,
+//! Johnson counters, rotators, sequence detectors, timers, converters,
+//! accumulators, dividers, MACs, traffic lights, calendars.
+//!
+//! Real Verilog scrapes are full of these (every digital-design course
+//! publishes them), which is precisely why finetuned models can answer
+//! benchmark prompts that exercise the same shapes. Variants are
+//! parameterised so most corpus instances *differ* from any given
+//! benchmark in widths, wrap values, polarities, or port sets.
+
+use rand::Rng;
+
+pub(crate) fn wire_buf<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let name = format!("buf_wire_{uid}");
+    if rng.gen_bool(0.5) {
+        format!(
+            "module {name} (\n  input in,\n  output out\n);\nassign out = in;\nendmodule\n"
+        )
+    } else {
+        format!(
+            "module {name} (\n  input a,\n  output y\n);\nassign y = a;\nendmodule\n"
+        )
+    }
+}
+
+pub(crate) fn gate2<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let (op, tag) = [("&", "and"), ("|", "or"), ("^", "xor")][rng.gen_range(0..3)];
+    let name = format!("{tag}_gate_{uid}");
+    format!(
+        "module {name} (\n  input a,\n  input b,\n  output y\n);\nassign y = a {op} b;\nendmodule\n"
+    )
+}
+
+pub(crate) fn half_adder<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let name = format!("half_adder_{uid}");
+    if rng.gen_bool(0.4) {
+        let full = format!("full_adder_{uid}");
+        format!(
+            "module {full} (\n  input a, b, cin,\n  output sum, cout\n);\n\
+             assign sum = a ^ b ^ cin;\n\
+             assign cout = (a & b) | (a & cin) | (b & cin);\nendmodule\n"
+        )
+    } else {
+        format!(
+            "module {name} (\n  input a, b,\n  output sum, carry\n);\n\
+             assign sum = a ^ b;\nassign carry = a & b;\nendmodule\n"
+        )
+    }
+}
+
+pub(crate) fn carry_adder<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let w = [4usize, 8, 16, 32, 64][rng.gen_range(0..5)];
+    let name = format!("adder{w}_{uid}");
+    format!(
+        "module {name} (\n  input [{m}:0] a, b,\n  input cin,\n  output [{m}:0] sum,\n  output cout\n);\n\
+         assign {{cout, sum}} = a + b + cin;\nendmodule\n",
+        m = w - 1
+    )
+}
+
+pub(crate) fn wrap_counter<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let max = rng.gen_range(9..16usize);
+    let en = rng.gen_bool(0.6);
+    let name = format!("mod_counter_{uid}");
+    let (en_port, guard) = if en {
+        ("  input en,\n", "else if (en) ")
+    } else {
+        ("", "else ")
+    };
+    format!(
+        "module {name} (\n  input clk,\n  input rst,\n{en_port}  output reg [3:0] count\n);\n\
+         always @(posedge clk)\n  if (rst) count <= 4'd0;\n  {guard}begin\n    if (count == 4'd{max}) count <= 4'd0;\n    else count <= count + 4'd1;\n  end\nendmodule\n"
+    )
+}
+
+pub(crate) fn johnson<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let w = [4usize, 5, 8][rng.gen_range(0..3)];
+    let name = format!("johnson_{uid}");
+    format!(
+        "module {name} (\n  input clk,\n  input rst,\n  output reg [{m}:0] q\n);\n\
+         always @(posedge clk)\n  if (rst) q <= {w}'d0;\n  else q <= {{~q[0], q[{m}:1]}};\nendmodule\n",
+        m = w - 1
+    )
+}
+
+pub(crate) fn lfsr<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let name = format!("lfsr_{uid}");
+    if rng.gen_bool(0.5) {
+        format!(
+            "module {name} (\n  input clk,\n  input rst,\n  output reg [2:0] q\n);\n\
+             always @(posedge clk)\n  if (rst) q <= 3'b001;\n  else q <= {{q[1:0], q[2] ^ q[1]}};\nendmodule\n"
+        )
+    } else {
+        format!(
+            "module {name} (\n  input clk,\n  input rst,\n  output reg [3:0] q\n);\n\
+             always @(posedge clk)\n  if (rst) q <= 4'b0001;\n  else q <= {{q[2:0], q[3] ^ q[2]}};\nendmodule\n"
+        )
+    }
+}
+
+pub(crate) fn rotator<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let left = rng.gen_bool(0.5);
+    let name = format!("rotator_{uid}");
+    let body = if left {
+        "q <= {q[6:0], q[7]};"
+    } else {
+        "q <= {q[0], q[7:1]};"
+    };
+    format!(
+        "module {name} (\n  input clk,\n  input load,\n  input [7:0] din,\n  output reg [7:0] q\n);\n\
+         always @(posedge clk)\n  if (load) q <= din;\n  else {body}\nendmodule\n"
+    )
+}
+
+pub(crate) fn shift_en<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let w = [4usize, 8, 16][rng.gen_range(0..3)];
+    let name = format!("shift_en_{uid}");
+    format!(
+        "module {name} (\n  input clk,\n  input rst,\n  input en,\n  input d,\n  output reg [{m}:0] q\n);\n\
+         always @(posedge clk)\n  if (rst) q <= {w}'d0;\n  else if (en) q <= {{d, q[{m}:1]}};\nendmodule\n",
+        m = w - 1
+    )
+}
+
+pub(crate) fn plain_shifter<R: Rng + ?Sized>(uid: usize, _rng: &mut R) -> String {
+    let name = format!("shifter_{uid}");
+    format!(
+        "module {name} (\n  input clk,\n  input d,\n  output reg [7:0] q\n);\n\
+         initial q = 8'd0;\nalways @(posedge clk)\n  q <= {{d, q[7:1]}};\nendmodule\n"
+    )
+}
+
+pub(crate) fn seq_detector<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let name = format!("seq_det_{uid}");
+    if rng.gen_bool(0.5) {
+        // 3-bit pattern 101 with overlap.
+        format!(
+            "module {name} (\n  input clk,\n  input rst,\n  input in,\n  output reg detected\n);\n\
+             reg [1:0] state;\n\
+             localparam IDLE = 2'd0, GOT1 = 2'd1, GOT10 = 2'd2;\n\
+             always @(posedge clk)\n  if (rst) begin\n    state <= IDLE;\n    detected <= 1'b0;\n  end else begin\n    detected <= 1'b0;\n    case (state)\n      IDLE: if (in) state <= GOT1;\n      GOT1: if (!in) state <= GOT10; else state <= GOT1;\n      GOT10: begin\n        if (in) begin\n          detected <= 1'b1;\n          state <= GOT1;\n        end else state <= IDLE;\n      end\n      default: state <= IDLE;\n    endcase\n  end\nendmodule\n"
+        )
+    } else {
+        // 4-bit pattern 1011 with overlap.
+        format!(
+            "module {name} (\n  input clk,\n  input rst,\n  input in,\n  output reg match\n);\n\
+             reg [2:0] state;\n\
+             localparam IDLE = 3'd0, S1 = 3'd1, S10 = 3'd2, S101 = 3'd3;\n\
+             always @(posedge clk)\n  if (rst) begin\n    state <= IDLE;\n    match <= 1'b0;\n  end else begin\n    match <= 1'b0;\n    case (state)\n      IDLE: if (in) state <= S1;\n      S1: if (!in) state <= S10; else state <= S1;\n      S10: if (in) state <= S101; else state <= IDLE;\n      S101: begin\n        if (in) begin\n          match <= 1'b1;\n          state <= S1;\n        end else state <= S10;\n      end\n      default: state <= IDLE;\n    endcase\n  end\nendmodule\n"
+        )
+    }
+}
+
+pub(crate) fn timer<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let cycles = [4usize, 8, 16][rng.gen_range(0..3)];
+    let name = format!("timer_{uid}");
+    format!(
+        "module {name} (\n  input clk,\n  input rst,\n  input start,\n  output reg busy,\n  output reg done\n);\n\
+         reg [4:0] cnt;\n\
+         always @(posedge clk)\n  if (rst) begin\n    busy <= 1'b0;\n    done <= 1'b0;\n    cnt <= 5'd0;\n  end else if (!busy) begin\n    done <= 1'b0;\n    if (start) begin\n      busy <= 1'b1;\n      cnt <= 5'd0;\n    end\n  end else begin\n    if (cnt == 5'd{last}) begin\n      busy <= 1'b0;\n      done <= 1'b1;\n    end else cnt <= cnt + 5'd1;\n  end\nendmodule\n",
+        last = cycles - 1
+    )
+}
+
+pub(crate) fn mult_comb<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let w = [4usize, 8, 16][rng.gen_range(0..3)];
+    let name = format!("mult{w}_{uid}");
+    format!(
+        "module {name} (\n  input [{m}:0] a, b,\n  output [{pm}:0] p\n);\nassign p = a * b;\nendmodule\n",
+        m = w - 1,
+        pm = 2 * w - 1
+    )
+}
+
+pub(crate) fn mult_pipe<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let w = [4usize, 8][rng.gen_range(0..2)];
+    let name = format!("mult_pipe{w}_{uid}");
+    format!(
+        "module {name} (\n  input clk,\n  input rst,\n  input [{m}:0] a, b,\n  output reg [{pm}:0] p\n);\n\
+         reg [{m}:0] a_r, b_r;\n\
+         always @(posedge clk)\n  if (rst) begin\n    a_r <= {w}'d0;\n    b_r <= {w}'d0;\n    p <= {pw}'d0;\n  end else begin\n    a_r <= a;\n    b_r <= b;\n    p <= a_r * b_r;\n  end\nendmodule\n",
+        m = w - 1,
+        pm = 2 * w - 1,
+        pw = 2 * w
+    )
+}
+
+pub(crate) fn mult_seq<R: Rng + ?Sized>(uid: usize, _rng: &mut R) -> String {
+    let name = format!("mult_seq_{uid}");
+    format!(
+        "module {name} (\n  input clk,\n  input rst,\n  input start,\n  input [7:0] a, b,\n  output reg [15:0] p,\n  output reg done\n);\n\
+         reg [15:0] acc;\nreg [15:0] mcand;\nreg [7:0] mplier;\nreg [3:0] cnt;\nreg busy;\n\
+         always @(posedge clk)\n  if (rst) begin\n    p <= 16'd0;\n    done <= 1'b0;\n    busy <= 1'b0;\n    acc <= 16'd0;\n    mcand <= 16'd0;\n    mplier <= 8'd0;\n    cnt <= 4'd0;\n  end else if (!busy) begin\n    done <= 1'b0;\n    if (start) begin\n      busy <= 1'b1;\n      acc <= 16'd0;\n      mcand <= {{8'd0, a}};\n      mplier <= b;\n      cnt <= 4'd0;\n    end\n  end else begin\n    if (cnt == 4'd8) begin\n      p <= acc;\n      done <= 1'b1;\n      busy <= 1'b0;\n    end else begin\n      if (mplier[0]) acc <= acc + mcand;\n      mcand <= mcand << 1;\n      mplier <= mplier >> 1;\n      cnt <= cnt + 4'd1;\n    end\n  end\nendmodule\n"
+    )
+}
+
+pub(crate) fn divider_seq<R: Rng + ?Sized>(uid: usize, _rng: &mut R) -> String {
+    let name = format!("div_seq_{uid}");
+    format!(
+        "module {name} (\n  input clk,\n  input rst,\n  input start,\n  input [7:0] dividend, divisor,\n  output reg [7:0] quotient, remainder,\n  output reg done\n);\n\
+         reg [8:0] r;\nreg [7:0] q, d;\nreg [3:0] cnt;\nreg busy;\n\
+         always @(posedge clk)\n  if (rst) begin\n    quotient <= 8'd0;\n    remainder <= 8'd0;\n    done <= 1'b0;\n    busy <= 1'b0;\n    r <= 9'd0;\n    q <= 8'd0;\n    d <= 8'd0;\n    cnt <= 4'd0;\n  end else if (!busy) begin\n    done <= 1'b0;\n    if (start) begin\n      busy <= 1'b1;\n      r <= 9'd0;\n      q <= dividend;\n      d <= divisor;\n      cnt <= 4'd0;\n    end\n  end else begin\n    if (cnt == 4'd8) begin\n      quotient <= q;\n      remainder <= r[7:0];\n      done <= 1'b1;\n      busy <= 1'b0;\n    end else begin\n      if ({{r[7:0], q[7]}} >= {{1'b0, d}}) begin\n        r <= {{r[7:0], q[7]}} - {{1'b0, d}};\n        q <= {{q[6:0], 1'b1}};\n      end else begin\n        r <= {{r[7:0], q[7]}};\n        q <= {{q[6:0], 1'b0}};\n      end\n      cnt <= cnt + 4'd1;\n    end\n  end\nendmodule\n"
+    )
+}
+
+pub(crate) fn accumulator<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let rounds = [4usize, 8][rng.gen_range(0..2)];
+    let name = format!("accum_{uid}");
+    format!(
+        "module {name} (\n  input clk,\n  input rst,\n  input [7:0] data_in,\n  input valid_in,\n  output reg [9:0] data_out,\n  output reg valid_out\n);\n\
+         reg [9:0] sum;\nreg [2:0] cnt;\n\
+         always @(posedge clk)\n  if (rst) begin\n    sum <= 10'd0;\n    cnt <= 3'd0;\n    valid_out <= 1'b0;\n    data_out <= 10'd0;\n  end else begin\n    valid_out <= 1'b0;\n    if (valid_in) begin\n      if (cnt == 3'd{last}) begin\n        data_out <= sum + data_in;\n        valid_out <= 1'b1;\n        sum <= 10'd0;\n        cnt <= 3'd0;\n      end else begin\n        sum <= sum + data_in;\n        cnt <= cnt + 3'd1;\n      end\n    end\n  end\nendmodule\n",
+        last = rounds - 1
+    )
+}
+
+pub(crate) fn s2p_valid<R: Rng + ?Sized>(uid: usize, _rng: &mut R) -> String {
+    let name = format!("s2p_valid_{uid}");
+    format!(
+        "module {name} (\n  input clk,\n  input rst,\n  input din_serial,\n  input din_valid,\n  output reg [7:0] dout_parallel,\n  output reg dout_valid\n);\n\
+         reg [2:0] cnt;\n\
+         always @(posedge clk)\n  if (rst) begin\n    cnt <= 3'd0;\n    dout_parallel <= 8'd0;\n    dout_valid <= 1'b0;\n  end else begin\n    dout_valid <= 1'b0;\n    if (din_valid) begin\n      dout_parallel <= {{dout_parallel[6:0], din_serial}};\n      if (cnt == 3'd7) begin\n        cnt <= 3'd0;\n        dout_valid <= 1'b1;\n      end else cnt <= cnt + 3'd1;\n    end\n  end\nendmodule\n"
+    )
+}
+
+pub(crate) fn p2s<R: Rng + ?Sized>(uid: usize, _rng: &mut R) -> String {
+    let name = format!("p2s_{uid}");
+    format!(
+        "module {name} (\n  input clk,\n  input rst,\n  input [3:0] d,\n  output reg dout,\n  output reg valid_out\n);\n\
+         reg [3:0] data;\nreg [1:0] cnt;\n\
+         always @(posedge clk)\n  if (rst) begin\n    cnt <= 2'd0;\n    data <= 4'd0;\n    dout <= 1'b0;\n    valid_out <= 1'b0;\n  end else begin\n    valid_out <= 1'b1;\n    if (cnt == 2'd0) begin\n      data <= d;\n      dout <= d[3];\n      cnt <= 2'd1;\n    end else begin\n      dout <= data[3 - cnt];\n      cnt <= cnt + 2'd1;\n    end\n  end\nendmodule\n"
+    )
+}
+
+pub(crate) fn pulse_detector<R: Rng + ?Sized>(uid: usize, _rng: &mut R) -> String {
+    let name = format!("pulse_det_{uid}");
+    format!(
+        "module {name} (\n  input clk,\n  input rst,\n  input data_in,\n  output reg data_out\n);\n\
+         reg [1:0] state;\n\
+         localparam S0 = 2'd0, S1 = 2'd1;\n\
+         always @(posedge clk)\n  if (rst) begin\n    state <= S0;\n    data_out <= 1'b0;\n  end else begin\n    data_out <= 1'b0;\n    case (state)\n      S0: if (data_in) state <= S1;\n      S1: if (!data_in) begin\n        state <= S0;\n        data_out <= 1'b1;\n      end\n      default: state <= S0;\n    endcase\n  end\nendmodule\n"
+    )
+}
+
+pub(crate) fn edge_both<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let name = format!("edge_both_{uid}");
+    let (r, f) = if rng.gen_bool(0.5) {
+        ("rise", "down")
+    } else {
+        ("rise", "fall")
+    };
+    format!(
+        "module {name} (\n  input clk,\n  input rst,\n  input a,\n  output reg {r},\n  output reg {f}\n);\n\
+         reg prev;\n\
+         always @(posedge clk)\n  if (rst) begin\n    prev <= 1'b0;\n    {r} <= 1'b0;\n    {f} <= 1'b0;\n  end else begin\n    {r} <= a & ~prev;\n    {f} <= ~a & prev;\n    prev <= a;\n  end\nendmodule\n"
+    )
+}
+
+pub(crate) fn width_conv<R: Rng + ?Sized>(uid: usize, _rng: &mut R) -> String {
+    let name = format!("w8to16_{uid}");
+    format!(
+        "module {name} (\n  input clk,\n  input rst,\n  input valid_in,\n  input [7:0] data_in,\n  output reg valid_out,\n  output reg [15:0] data_out\n);\n\
+         reg [7:0] hold;\nreg have;\n\
+         always @(posedge clk)\n  if (rst) begin\n    valid_out <= 1'b0;\n    data_out <= 16'd0;\n    hold <= 8'd0;\n    have <= 1'b0;\n  end else begin\n    valid_out <= 1'b0;\n    if (valid_in) begin\n      if (!have) begin\n        hold <= data_in;\n        have <= 1'b1;\n      end else begin\n        data_out <= {{hold, data_in}};\n        valid_out <= 1'b1;\n        have <= 1'b0;\n      end\n    end\n  end\nendmodule\n"
+    )
+}
+
+pub(crate) fn traffic<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let (g, y, r) = [(4usize, 2usize, 3usize), (6, 2, 4), (8, 3, 5)][rng.gen_range(0..3)];
+    let name = format!("traffic_{uid}");
+    format!(
+        "module {name} (\n  input clk,\n  input rst,\n  output reg red,\n  output reg yellow,\n  output reg green\n);\n\
+         reg [1:0] state;\nreg [3:0] cnt;\n\
+         localparam GREEN = 2'd0, YELLOW = 2'd1, RED = 2'd2;\n\
+         always @(posedge clk)\n  if (rst) begin\n    state <= GREEN;\n    cnt <= 4'd0;\n  end else begin\n    case (state)\n      GREEN: if (cnt == 4'd{gl}) begin\n        state <= YELLOW;\n        cnt <= 4'd0;\n      end else cnt <= cnt + 4'd1;\n      YELLOW: if (cnt == 4'd{yl}) begin\n        state <= RED;\n        cnt <= 4'd0;\n      end else cnt <= cnt + 4'd1;\n      RED: if (cnt == 4'd{rl}) begin\n        state <= GREEN;\n        cnt <= 4'd0;\n      end else cnt <= cnt + 4'd1;\n      default: begin\n        state <= GREEN;\n        cnt <= 4'd0;\n      end\n    endcase\n  end\n\
+         always @(*) begin\n  green = (state == GREEN);\n  yellow = (state == YELLOW);\n  red = (state == RED);\nend\nendmodule\n",
+        gl = g - 1,
+        yl = y - 1,
+        rl = r - 1
+    )
+}
+
+pub(crate) fn calendar_clock<R: Rng + ?Sized>(uid: usize, _rng: &mut R) -> String {
+    let name = format!("calendar_{uid}");
+    format!(
+        "module {name} (\n  input clk,\n  input rst,\n  output reg [5:0] secs, mins, hours\n);\n\
+         always @(posedge clk)\n  if (rst) begin\n    secs <= 6'd0;\n    mins <= 6'd0;\n    hours <= 6'd0;\n  end else begin\n    if (secs == 6'd59) begin\n      secs <= 6'd0;\n      if (mins == 6'd59) begin\n        mins <= 6'd0;\n        if (hours == 6'd23) hours <= 6'd0;\n        else hours <= hours + 6'd1;\n      end else mins <= mins + 6'd1;\n    end else secs <= secs + 6'd1;\n  end\nendmodule\n"
+    )
+}
+
+pub(crate) fn freq_div2<R: Rng + ?Sized>(uid: usize, _rng: &mut R) -> String {
+    let name = format!("clkdiv_{uid}");
+    format!(
+        "module {name} (\n  input clk,\n  input rst,\n  output reg clk_div2,\n  output reg clk_div4\n);\n\
+         reg cnt;\n\
+         always @(posedge clk)\n  if (rst) begin\n    clk_div2 <= 1'b0;\n    clk_div4 <= 1'b0;\n    cnt <= 1'b0;\n  end else begin\n    clk_div2 <= ~clk_div2;\n    cnt <= ~cnt;\n    if (cnt) clk_div4 <= ~clk_div4;\n  end\nendmodule\n"
+    )
+}
+
+pub(crate) fn triangle_wave<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let w = [5usize, 6][rng.gen_range(0..2)];
+    let top = (1usize << w) - 1;
+    let name = format!("triangle_{uid}");
+    format!(
+        "module {name} (\n  input clk,\n  input rst,\n  output reg [{m}:0] wave\n);\n\
+         reg dir;\n\
+         always @(posedge clk)\n  if (rst) begin\n    wave <= {w}'d0;\n    dir <= 1'b0;\n  end else if (!dir) begin\n    if (wave == {w}'d{top}) begin\n      dir <= 1'b1;\n      wave <= {w}'d{below};\n    end else wave <= wave + {w}'d1;\n  end else begin\n    if (wave == {w}'d0) begin\n      dir <= 1'b0;\n      wave <= {w}'d1;\n    end else wave <= wave - {w}'d1;\n  end\nendmodule\n",
+        m = w - 1,
+        below = top - 1
+    )
+}
+
+pub(crate) fn mac_pe<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let w = [8usize, 16][rng.gen_range(0..2)];
+    let name = format!("mac_{uid}");
+    format!(
+        "module {name} (\n  input clk,\n  input rst,\n  input [{m}:0] a, b,\n  output reg [{am}:0] c\n);\n\
+         always @(posedge clk)\n  if (rst) c <= {aw}'d0;\n  else c <= c + a * b;\nendmodule\n",
+        m = w - 1,
+        am = 2 * w - 1,
+        aw = 2 * w
+    )
+}
+
+pub(crate) fn mux2<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let w = [1usize, 8, 16][rng.gen_range(0..3)];
+    let name = format!("mux2_{uid}");
+    let range = if w == 1 {
+        String::new()
+    } else {
+        format!("[{}:0] ", w - 1)
+    };
+    format!(
+        "module {name} (\n  input {range}a, b,\n  input sel,\n  output {range}y\n);\n\
+         assign y = sel ? b : a;\nendmodule\n"
+    )
+}
+
+pub(crate) fn dual_port_ram<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let clear_on_idle = rng.gen_bool(0.6);
+    let name = format!("dpram_{uid}");
+    let idle = if clear_on_idle {
+        "    else read_data <= 4'd0;\n"
+    } else {
+        ""
+    };
+    format!(
+        "module {name} (\n  input clk,\n  input rst,\n  input write_en,\n  input [2:0] write_addr,\n  input [3:0] write_data,\n  input read_en,\n  input [2:0] read_addr,\n  output reg [3:0] read_data\n);\n\
+         reg [3:0] mem [0:7];\ninteger i;\n\
+         always @(posedge clk)\n  if (rst) begin\n    for (i = 0; i < 8; i = i + 1) mem[i] <= 4'd0;\n    read_data <= 4'd0;\n  end else begin\n    if (write_en) mem[write_addr] <= write_data;\n    if (read_en) read_data <= mem[read_addr];\n{idle}  end\nendmodule\n"
+    )
+}
+
+pub(crate) fn wide_alu<R: Rng + ?Sized>(uid: usize, _rng: &mut R) -> String {
+    let name = format!("alu32_{uid}");
+    format!(
+        "module {name} (\n  input [31:0] a, b,\n  input [2:0] op,\n  output reg [31:0] y,\n  output zero\n);\n\
+         always @(*)\n  case (op)\n    3'd0: y = a + b;\n    3'd1: y = a - b;\n    3'd2: y = a & b;\n    3'd3: y = a | b;\n    3'd4: y = a ^ b;\n    3'd5: y = (a < b) ? 32'd1 : 32'd0;\n    3'd6: y = a << b[4:0];\n    default: y = a >> b[4:0];\n  endcase\n\
+         assign zero = (y == 32'd0);\nendmodule\n"
+    )
+}
+
+pub(crate) fn parity_valid<R: Rng + ?Sized>(uid: usize, _rng: &mut R) -> String {
+    let name = format!("parity_v_{uid}");
+    format!(
+        "module {name} (\n  input clk,\n  input rst,\n  input [7:0] data,\n  input valid,\n  output reg parity,\n  output reg parity_valid\n);\n\
+         always @(posedge clk)\n  if (rst) begin\n    parity <= 1'b0;\n    parity_valid <= 1'b0;\n  end else if (valid) begin\n    parity <= ^data;\n    parity_valid <= 1'b1;\n  end else parity_valid <= 1'b0;\nendmodule\n"
+    )
+}
+
+pub(crate) fn gray_count<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
+    let w = [4usize, 8][rng.gen_range(0..2)];
+    let name = format!("gray_cnt_{uid}");
+    format!(
+        "module {name} (\n  input clk,\n  input rst,\n  output [{m}:0] gray\n);\n\
+         reg [{m}:0] bin;\n\
+         always @(posedge clk)\n  if (rst) bin <= {w}'d0;\n  else bin <= bin + {w}'d1;\n\
+         assign gray = bin ^ (bin >> 1);\nendmodule\n",
+        m = w - 1
+    )
+}
+
+pub(crate) fn comb_divider<R: Rng + ?Sized>(uid: usize, _rng: &mut R) -> String {
+    let name = format!("divmod_{uid}");
+    format!(
+        "module {name} (\n  input [15:0] dividend,\n  input [7:0] divisor,\n  output [15:0] quotient,\n  output [7:0] remainder\n);\n\
+         assign quotient = (divisor == 8'd0) ? 16'hFFFF : dividend / divisor;\n\
+         assign remainder = (divisor == 8'd0) ? 8'hFF : dividend % divisor;\nendmodule\n"
+    )
+}

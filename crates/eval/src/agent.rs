@@ -1,0 +1,207 @@
+//! The EDA-tool agent loop of the paper's Fig. 1.
+//!
+//! The paper motivates a chip-design LLM that "works like a human
+//! programmer by interacting with EDA tool feedback to remodify the
+//! Verilog": generate, run the checker, feed the diagnostics back through
+//! the repair pathway, and retry. This module implements that loop and
+//! measures what it buys over single-shot generation — the synthesis of
+//! the §3.1 (generation) and §3.2 (repair) datasets into one agent.
+
+use crate::generation::run_testbench;
+use dda_benchmarks::VerilogProblem;
+use dda_core::align::ALIGN_INSTRUCT;
+use dda_core::repair::REPAIR_INSTRUCT;
+use dda_slm::{GenOptions, Slm};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Outcome of one agent episode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgentOutcome {
+    /// Tool-feedback iterations consumed (1 = the first draft sufficed).
+    pub iterations: usize,
+    /// Whether the final candidate lints clean.
+    pub lint_clean: bool,
+    /// Functional pass rate of the final candidate.
+    pub function: f64,
+    /// Whether the repair loop (not the first draft) produced the final
+    /// clean candidate.
+    pub repaired_by_loop: bool,
+}
+
+/// Agent configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgentProtocol {
+    /// Maximum tool-feedback iterations after the first draft.
+    pub max_feedback_iters: usize,
+    /// Sampling temperature.
+    pub temperature: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for AgentProtocol {
+    fn default() -> Self {
+        AgentProtocol {
+            max_feedback_iters: 3,
+            temperature: 0.1,
+            seed: 7331,
+        }
+    }
+}
+
+/// Runs one generate → lint → repair episode against a problem prompt.
+pub fn agent_episode(
+    model: &Slm,
+    problem: &VerilogProblem,
+    level: usize,
+    protocol: &AgentProtocol,
+) -> AgentOutcome {
+    let opts = GenOptions {
+        temperature: protocol.temperature,
+    };
+    let mut rng = SmallRng::seed_from_u64(
+        protocol.seed ^ fnv(problem.id) ^ ((level as u64) << 40) ^ fnv(&model.profile().name),
+    );
+    let prompt = &problem.prompts[level];
+    let mut candidate = model.generate(ALIGN_INSTRUCT, prompt, &opts, &mut rng);
+    let file = format!("{}.v", problem.module_name);
+    let mut repaired_by_loop = false;
+    let mut iterations = 1;
+    for _ in 0..protocol.max_feedback_iters {
+        let report = dda_lint::check_source(&file, &candidate);
+        if report.is_clean() {
+            break;
+        }
+        iterations += 1;
+        // Fig. 6 layout: the tool transcript plus the rejected file.
+        let input = format!("{}, {}", report.render().trim_end(), candidate);
+        let fixed = model.generate(REPAIR_INSTRUCT, &input, &opts, &mut rng);
+        if dda_lint::check_source(&file, &fixed).is_clean() {
+            candidate = fixed;
+            repaired_by_loop = true;
+            break;
+        }
+        // Repair failed: redraft from the prompt with a fresh sample.
+        candidate = model.generate(ALIGN_INSTRUCT, prompt, &opts, &mut rng);
+    }
+    let lint_clean = dda_lint::check_source(&file, &candidate).is_clean();
+    let function = if lint_clean {
+        run_testbench(problem, &candidate)
+    } else {
+        0.0
+    };
+    AgentOutcome {
+        iterations,
+        lint_clean,
+        function,
+        repaired_by_loop,
+    }
+}
+
+/// Compares single-shot (k = 1, no feedback) against the agent loop over a
+/// suite. Returns `(single_success, agent_success, mean_agent_iters)`
+/// where success = any prompt level reaching a 100% functional pass.
+pub fn agent_vs_single(
+    model: &Slm,
+    problems: &[VerilogProblem],
+    protocol: &AgentProtocol,
+) -> (f64, f64, f64) {
+    let single = AgentProtocol {
+        max_feedback_iters: 0,
+        ..*protocol
+    };
+    let mut single_ok = 0usize;
+    let mut agent_ok = 0usize;
+    let mut iters = 0usize;
+    let mut episodes = 0usize;
+    for p in problems {
+        let mut s = false;
+        let mut a = false;
+        for level in 0..p.prompts.len() {
+            let o1 = agent_episode(model, p, level, &single);
+            s |= o1.function >= 1.0 - 1e-9;
+            let o2 = agent_episode(model, p, level, protocol);
+            a |= o2.function >= 1.0 - 1e-9;
+            iters += o2.iterations;
+            episodes += 1;
+        }
+        single_ok += s as usize;
+        agent_ok += a as usize;
+    }
+    let n = problems.len().max(1) as f64;
+    (
+        single_ok as f64 / n,
+        agent_ok as f64 / n,
+        iters as f64 / episodes.max(1) as f64,
+    )
+}
+
+fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dda_benchmarks::thakur_suite;
+    use dda_core::pipeline::{augment, PipelineOptions};
+    use dda_slm::{SlmProfile, PROGRESSIVE_ORDER};
+
+    fn model() -> Slm {
+        let mut rng = SmallRng::seed_from_u64(77);
+        let corpus = dda_corpus::generate_corpus(64, &mut rng);
+        let ds = augment(&corpus, &PipelineOptions::default(), &mut rng);
+        Slm::finetune(
+            SlmProfile {
+                name: "agent-under-test".into(),
+                ..SlmProfile::llama2(13.0)
+            },
+            &ds,
+            &PROGRESSIVE_ORDER,
+        )
+    }
+
+    #[test]
+    fn episodes_terminate_and_report() {
+        let m = model();
+        let suite = thakur_suite();
+        let protocol = AgentProtocol::default();
+        for p in suite.iter().take(4) {
+            let o = agent_episode(&m, p, 2, &protocol);
+            assert!(o.iterations >= 1);
+            assert!(o.iterations <= 1 + protocol.max_feedback_iters);
+            if !o.lint_clean {
+                assert_eq!(o.function, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn feedback_loop_never_hurts_lint_rate() {
+        let m = model();
+        let suite = thakur_suite();
+        let protocol = AgentProtocol::default();
+        let single = AgentProtocol {
+            max_feedback_iters: 0,
+            ..protocol
+        };
+        let mut single_clean = 0;
+        let mut agent_clean = 0;
+        for p in suite.iter().take(8) {
+            let s = agent_episode(&m, p, 2, &single);
+            let a = agent_episode(&m, p, 2, &protocol);
+            single_clean += s.lint_clean as usize;
+            agent_clean += a.lint_clean as usize;
+        }
+        assert!(
+            agent_clean >= single_clean,
+            "agent {agent_clean} < single {single_clean}"
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! Verilog-generation evaluation (the paper's Table 5 protocol).
+//!
+//! For each benchmark problem and prompt level, sample `k` generations at
+//! temperature 0.1, lint each for syntax, and run the problem's
+//! self-checking testbench on the syntactically clean ones. A cell reports
+//! the number of syntax-failing samples and the best functional pass rate;
+//! a problem is *successful* when any level's best sample passes 100% of
+//! its testbench checks.
+
+use dda_benchmarks::{parse_result, VerilogProblem};
+use dda_core::align::ALIGN_INSTRUCT;
+use dda_sim::{SimOptions, Simulator};
+use dda_slm::{GenOptions, Slm};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// One (problem, level) cell of Table 5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenCell {
+    /// Samples (of `k`) rejected by the syntax checker.
+    pub syntax_errors: usize,
+    /// Best functional pass rate across the k samples, in `[0, 1]`.
+    pub best_function: f64,
+}
+
+impl GenCell {
+    /// Whether the best sample fully passed the testbench.
+    pub fn is_success(&self) -> bool {
+        self.best_function >= 1.0 - 1e-9
+    }
+}
+
+/// Per-problem result: one cell per prompt level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenRow {
+    /// Problem id (table row label).
+    pub id: &'static str,
+    /// Cells in prompt-level order.
+    pub cells: Vec<GenCell>,
+}
+
+impl GenRow {
+    /// Success = any level reached a 100% functional pass.
+    pub fn is_success(&self) -> bool {
+        self.cells.iter().any(GenCell::is_success)
+    }
+}
+
+/// Protocol options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenProtocol {
+    /// Samples per cell (the paper uses pass@5).
+    pub k: usize,
+    /// Sampling temperature (the paper uses 0.1).
+    pub temperature: f64,
+    /// Base seed; sample `i` of cell `c` uses a derived seed.
+    pub seed: u64,
+}
+
+impl Default for GenProtocol {
+    fn default() -> Self {
+        GenProtocol {
+            k: 5,
+            temperature: 0.1,
+            seed: 99,
+        }
+    }
+}
+
+/// Runs a generated module against the problem's testbench; returns the
+/// functional pass rate in `[0, 1]`.
+pub fn run_testbench(problem: &VerilogProblem, generated: &str) -> f64 {
+    let src = format!("{generated}\n{}", problem.testbench);
+    let Ok(sf) = dda_verilog::parse(&src) else {
+        return 0.0;
+    };
+    let Ok(mut sim) = Simulator::new(&sf, "tb") else {
+        return 0.0;
+    };
+    let opts = SimOptions {
+        max_time: 100_000,
+        max_steps: 2_000_000,
+        ..SimOptions::default()
+    };
+    let Ok(result) = sim.run(&opts) else {
+        return 0.0;
+    };
+    match parse_result(&result.output) {
+        Some((pass, total)) if total > 0 => pass as f64 / total as f64,
+        _ => 0.0,
+    }
+}
+
+/// Evaluates one (problem, level) cell.
+pub fn eval_cell(
+    model: &Slm,
+    problem: &VerilogProblem,
+    level: usize,
+    protocol: &GenProtocol,
+) -> GenCell {
+    let prompt = &problem.prompts[level];
+    let opts = GenOptions {
+        temperature: protocol.temperature,
+    };
+    let mut syntax_errors = 0;
+    let mut best_function: f64 = 0.0;
+    for i in 0..protocol.k {
+        let mut rng = SmallRng::seed_from_u64(
+            protocol
+                .seed
+                .wrapping_mul(1_000_003)
+                .wrapping_add((level as u64) << 32)
+                .wrapping_add(hash_id(problem.id))
+                .wrapping_add(hash_id(&model.profile().name))
+                .wrapping_add(i as u64),
+        );
+        let out = model.generate(ALIGN_INSTRUCT, prompt, &opts, &mut rng);
+        let report = dda_lint::check_source("gen.v", &out);
+        if !report.is_clean() {
+            syntax_errors += 1;
+            continue;
+        }
+        let rate = run_testbench(problem, &out);
+        if rate > best_function {
+            best_function = rate;
+        }
+    }
+    GenCell {
+        syntax_errors,
+        best_function,
+    }
+}
+
+fn hash_id(id: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in id.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Evaluates a model over a whole suite.
+pub fn eval_suite(
+    model: &Slm,
+    problems: &[VerilogProblem],
+    protocol: &GenProtocol,
+) -> Vec<GenRow> {
+    problems
+        .iter()
+        .map(|p| GenRow {
+            id: p.id,
+            cells: (0..p.prompts.len())
+                .map(|l| eval_cell(model, p, l, protocol))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Fraction of rows that succeeded.
+pub fn success_rate(rows: &[GenRow]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    rows.iter().filter(|r| r.is_success()).count() as f64 / rows.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dda_benchmarks::thakur_suite;
+
+    #[test]
+    fn reference_implementations_score_100() {
+        for p in thakur_suite().into_iter().take(4) {
+            let rate = run_testbench(&p, p.reference);
+            assert!((rate - 1.0).abs() < 1e-9, "{}: {rate}", p.id);
+        }
+    }
+
+    #[test]
+    fn garbage_scores_zero() {
+        let p = &thakur_suite()[0];
+        assert_eq!(run_testbench(p, "module garbage(; endmodule"), 0.0);
+        assert_eq!(run_testbench(p, "module wrong_name(input x); endmodule"), 0.0);
+    }
+
+    #[test]
+    fn wrong_behaviour_scores_partial() {
+        // An inverted wire fails both checks; a constant-0 wire passes one.
+        let p = &thakur_suite()[0];
+        let constant = "module simple_wire(input in, output out);\nassign out = 1'b0;\nendmodule\n";
+        let rate = run_testbench(p, constant);
+        assert!((rate - 0.5).abs() < 1e-9, "{rate}");
+    }
+
+    #[test]
+    fn success_rate_counts_full_passes() {
+        let rows = vec![
+            GenRow {
+                id: "a",
+                cells: vec![
+                    GenCell {
+                        syntax_errors: 0,
+                        best_function: 1.0,
+                    },
+                    GenCell {
+                        syntax_errors: 5,
+                        best_function: 0.0,
+                    },
+                ],
+            },
+            GenRow {
+                id: "b",
+                cells: vec![GenCell {
+                    syntax_errors: 0,
+                    best_function: 0.9,
+                }],
+            },
+        ];
+        assert!((success_rate(&rows) - 0.5).abs() < 1e-9);
+    }
+}

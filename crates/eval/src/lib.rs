@@ -1,0 +1,33 @@
+//! # dda-eval
+//!
+//! The evaluation harness reproducing the paper's §4 protocols:
+//!
+//! * [`models`] — the six-model zoo (GPT-3.5, Ours-7B/13B, Thakur et al.,
+//!   pretrained Llama-2, and the completion-only General-Aug ablation);
+//! * [`generation`] — Verilog generation under pass@5 with lint syntax
+//!   scoring and simulated-testbench function scoring (Table 5);
+//! * [`repair_eval`] — Verilog repair from tool-feedback inputs (Table 3);
+//! * [`script_eval`] — SiliconCompiler script generation, iterations to
+//!   syntactic/functional success under pass@10 (Table 4);
+//! * [`ablation`] — data-composition (Fig. 7/§4.2.2), mutation-cap,
+//!   training-order, and corpus-size ablations;
+//! * [`agent`] — the Fig. 1 EDA-tool agent loop (generate → tool feedback
+//!   → repair → retry) and its comparison against single-shot generation;
+//! * [`report`] — plain-text table rendering for the regeneration binaries.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod agent;
+pub mod generation;
+pub mod models;
+pub mod report;
+pub mod repair_eval;
+pub mod script_eval;
+
+pub use generation::{eval_cell, eval_suite, run_testbench, success_rate, GenCell, GenProtocol, GenRow};
+pub use models::{ModelId, ModelZoo, ZooOptions};
+pub use repair_eval::{eval_repair, eval_repair_suite, RepairCell, RepairProtocol};
+pub use report::TextTable;
+pub use agent::{agent_episode, agent_vs_single, AgentOutcome, AgentProtocol};
+pub use script_eval::{eval_script, eval_script_suite, ScriptCell, ScriptProtocol};

@@ -1,0 +1,125 @@
+//! Plain-text table rendering for the table/figure regeneration binaries.
+
+use std::fmt::Write as _;
+
+/// A simple ASCII table builder.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with a header row.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let mut r: Vec<String> = cells.into_iter().map(Into::into).collect();
+        r.resize(self.header.len(), String::new());
+        self.rows.push(r);
+        self
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let pad = widths[i] - c.chars().count();
+                let _ = write!(out, "| {c}{} ", " ".repeat(pad));
+            }
+            out.push_str("|\n");
+        };
+        line(&mut out, &self.header);
+        let total: usize = widths.iter().map(|w| w + 3).sum::<usize>() + 1;
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            line(&mut out, r);
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage the way the paper does (`70.6%`).
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a fraction with no decimals when whole (`100%`, `37.5%`).
+pub fn pct_short(x: f64) -> String {
+    let v = x * 100.0;
+    if (v - v.round()).abs() < 1e-9 {
+        format!("{}%", v.round() as i64)
+    } else {
+        format!("{v:.1}%")
+    }
+}
+
+/// Formats bytes in MB/GB like the paper's Table 2.
+pub fn size_label(bytes: usize) -> String {
+    const MB: f64 = 1024.0 * 1024.0;
+    let mb = bytes as f64 / MB;
+    if mb >= 1024.0 {
+        format!("{:.1}GB", mb / 1024.0)
+    } else if mb >= 1.0 {
+        format!("{mb:.2}MB")
+    } else {
+        format!("{:.1}KB", bytes as f64 / 1024.0)
+    }
+}
+
+/// Formats an entry count like the paper's Table 2 (`124k`, `3700k`).
+pub fn count_label(n: usize) -> String {
+    if n >= 1000 {
+        format!("{}k", n / 1000)
+    } else {
+        n.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["alpha", "1"]);
+        t.row(["b", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        let widths: Vec<usize> = lines.iter().map(|l| l.chars().count()).collect();
+        assert_eq!(widths[0], widths[2]);
+        assert_eq!(widths[2], widths[3]);
+    }
+
+    #[test]
+    fn formats() {
+        assert_eq!(pct(0.706), "70.6%");
+        assert_eq!(pct_short(1.0), "100%");
+        assert_eq!(pct_short(0.375), "37.5%");
+        assert_eq!(size_label(300 * 1024), "300.0KB");
+        assert_eq!(size_label(2 * 1024 * 1024), "2.00MB");
+        assert_eq!(count_label(124_000), "124k");
+        assert_eq!(count_label(200), "200");
+    }
+}

@@ -1,0 +1,203 @@
+//! Diagnostics and yosys-style rendering.
+
+use dda_verilog::Span;
+use std::fmt;
+
+/// How severe a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational/warning; the design still elaborates.
+    Warning,
+    /// Elaboration fails; the file is rejected.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "Warning",
+            Severity::Error => "ERROR",
+        })
+    }
+}
+
+/// Machine-readable category of a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiagKind {
+    /// Lexical or parse failure.
+    SyntaxError,
+    /// Reference to an identifier with no declaration.
+    UndeclaredIdentifier,
+    /// Two declarations of the same name.
+    Redeclaration,
+    /// `assign` whose target is a `reg`.
+    ContinuousAssignToReg,
+    /// Procedural assignment whose target is a `wire`.
+    ProceduralAssignToWire,
+    /// Any assignment to an `input` port.
+    AssignToInput,
+    /// Port named in the header but never given a direction.
+    PortWithoutDirection,
+    /// Body direction declaration for a name missing from the header.
+    PortNotInHeader,
+    /// Assignment widths differ.
+    WidthMismatch,
+    /// A net driven by more than one continuous assignment.
+    MultipleDrivers,
+    /// Instantiated module has no definition in the file.
+    UnknownModule,
+    /// A named port connection does not exist on the instantiated module.
+    NoSuchPort,
+    /// Declared but never used (and not a port).
+    UnusedSignal,
+    /// An output port that nothing ever drives.
+    UndrivenOutput,
+    /// Combinational block assigns a reg on some paths only.
+    LatchInferred,
+    /// Blocking assignment inside an edge-triggered block.
+    BlockingInSequential,
+    /// Nonblocking assignment inside a combinational block.
+    NonblockingInCombinational,
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity.
+    pub severity: Severity,
+    /// Category.
+    pub kind: DiagKind,
+    /// Human-readable message (yosys-flavoured).
+    pub message: String,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(kind: DiagKind, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            kind,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(kind: DiagKind, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            kind,
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+/// The result of linting one file.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LintReport {
+    /// File name used in rendered messages.
+    pub file: String,
+    /// Findings in source order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Creates an empty report for `file`.
+    pub fn new(file: impl Into<String>) -> Self {
+        LintReport {
+            file: file.into(),
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// `true` when the report contains no errors (warnings are fine).
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// First error, if any.
+    pub fn first_error(&self) -> Option<&Diagnostic> {
+        self.diagnostics
+            .iter()
+            .find(|d| d.severity == Severity::Error)
+    }
+
+    /// Renders every finding in the yosys-like format used by the paper's
+    /// Fig. 6, e.g. ``/file.v:7: ERROR: syntax error, unexpected ']'``.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&self.render_one(d));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders a single finding.
+    pub fn render_one(&self, d: &Diagnostic) -> String {
+        format!("/{}:{}: {}: {}", self.file, d.span.line, d.severity, d.message)
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_matches_paper_style() {
+        let mut r = LintReport::new("111_3-bit LFSR.v");
+        r.diagnostics.push(Diagnostic::error(
+            DiagKind::SyntaxError,
+            "syntax error, unexpected ']'",
+            Span::new(0, 1, 7, 3),
+        ));
+        assert_eq!(
+            r.render().trim(),
+            "/111_3-bit LFSR.v:7: ERROR: syntax error, unexpected ']'"
+        );
+        assert!(!r.is_clean());
+        assert_eq!(r.error_count(), 1);
+    }
+
+    #[test]
+    fn clean_report() {
+        let r = LintReport::new("ok.v");
+        assert!(r.is_clean());
+        assert_eq!(r.render(), "");
+        assert!(r.first_error().is_none());
+    }
+
+    #[test]
+    fn warnings_do_not_dirty() {
+        let mut r = LintReport::new("w.v");
+        r.diagnostics.push(Diagnostic::warning(
+            DiagKind::WidthMismatch,
+            "assignment width mismatch",
+            Span::default(),
+        ));
+        assert!(r.is_clean());
+        assert_eq!(r.warning_count(), 1);
+    }
+}

@@ -1,0 +1,237 @@
+//! Script model for the SiliconCompiler Python DSL subset.
+//!
+//! The paper's EDA-script task targets SiliconCompiler build scripts —
+//! short Python programs driving a silicon flow. This module models the
+//! API subset those scripts use; the [parser](crate::parser) reads script
+//! text into [`Script`] and the [checker](crate::checker) validates it.
+
+use std::fmt;
+
+/// A Python-ish value in a call argument.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScValue {
+    /// String literal.
+    Str(String),
+    /// Number (ints and floats collapse to f64).
+    Num(f64),
+    /// `True`/`False`.
+    Bool(bool),
+    /// Tuple `(a, b)`.
+    Tuple(Vec<ScValue>),
+    /// List `[a, b]`.
+    List(Vec<ScValue>),
+}
+
+impl ScValue {
+    /// String content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            ScValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric content, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            ScValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Renders back to Python syntax.
+    pub fn to_python(&self) -> String {
+        match self {
+            ScValue::Str(s) => format!("'{s}'"),
+            ScValue::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    format!("{}", *n as i64)
+                } else {
+                    format!("{n}")
+                }
+            }
+            ScValue::Bool(b) => if *b { "True" } else { "False" }.to_owned(),
+            ScValue::Tuple(vs) => {
+                let parts: Vec<String> = vs.iter().map(|v| v.to_python()).collect();
+                format!("({})", parts.join(", "))
+            }
+            ScValue::List(vs) => {
+                let parts: Vec<String> = vs.iter().map(|v| v.to_python()).collect();
+                format!("[{}]", parts.join(", "))
+            }
+        }
+    }
+}
+
+impl fmt::Display for ScValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_python())
+    }
+}
+
+/// One statement of a SiliconCompiler script.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScStmt {
+    /// `import siliconcompiler` or `from siliconcompiler import Chip`.
+    Import {
+        /// The imported symbol (`siliconcompiler` or `Chip`).
+        symbol: String,
+    },
+    /// `chip = siliconcompiler.Chip('<design>')`.
+    NewChip {
+        /// Variable the chip is bound to.
+        var: String,
+        /// Design name.
+        design: String,
+    },
+    /// `chip.input('<file>')`.
+    Input {
+        /// Source file path.
+        file: String,
+    },
+    /// `chip.clock('<pin>', period=<ns>)`.
+    Clock {
+        /// Clock pin.
+        pin: String,
+        /// Period in nanoseconds.
+        period: f64,
+    },
+    /// `chip.set(<keypath...>, <value>)`.
+    Set {
+        /// Key path, e.g. `["constraint", "outline"]`.
+        keypath: Vec<String>,
+        /// Assigned value.
+        value: ScValue,
+    },
+    /// `chip.load_target('<target>')` / `chip.use(<target>)`.
+    LoadTarget {
+        /// Target name, e.g. `skywater130_demo`.
+        target: String,
+    },
+    /// `chip.run()`.
+    Run,
+    /// `chip.summary()`.
+    Summary,
+    /// `chip.show()`.
+    Show,
+    /// A line the parser recognised as a call on the chip but not in the
+    /// modelled API (kept for error reporting).
+    Unknown {
+        /// Method name.
+        method: String,
+        /// Raw line text.
+        line: String,
+    },
+}
+
+impl ScStmt {
+    /// Renders the statement back to Python.
+    pub fn to_python(&self, var: &str) -> String {
+        match self {
+            ScStmt::Import { symbol } => {
+                if symbol == "siliconcompiler" {
+                    "import siliconcompiler".to_owned()
+                } else {
+                    format!("from siliconcompiler import {symbol}")
+                }
+            }
+            ScStmt::NewChip { var, design } => {
+                format!("{var} = siliconcompiler.Chip('{design}')")
+            }
+            ScStmt::Input { file } => format!("{var}.input('{file}')"),
+            ScStmt::Clock { pin, period } => {
+                format!("{var}.clock('{pin}', period={})", ScValue::Num(*period).to_python())
+            }
+            ScStmt::Set { keypath, value } => {
+                let keys: Vec<String> = keypath.iter().map(|k| format!("'{k}'")).collect();
+                format!("{var}.set({}, {})", keys.join(", "), value.to_python())
+            }
+            ScStmt::LoadTarget { target } => format!("{var}.load_target('{target}')"),
+            ScStmt::Run => format!("{var}.run()"),
+            ScStmt::Summary => format!("{var}.summary()"),
+            ScStmt::Show => format!("{var}.show()"),
+            ScStmt::Unknown { line, .. } => line.clone(),
+        }
+    }
+}
+
+/// A whole script: ordered statements plus the chip variable name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Script {
+    /// The chip variable (usually `chip`).
+    pub var: String,
+    /// Statements in source order.
+    pub stmts: Vec<ScStmt>,
+}
+
+impl Script {
+    /// Renders the script back to Python text.
+    pub fn to_python(&self) -> String {
+        let var = if self.var.is_empty() { "chip" } else { &self.var };
+        let mut out = String::new();
+        for s in &self.stmts {
+            out.push_str(&s.to_python(var));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The design name, when a chip is created.
+    pub fn design(&self) -> Option<&str> {
+        self.stmts.iter().find_map(|s| match s {
+            ScStmt::NewChip { design, .. } => Some(design.as_str()),
+            _ => None,
+        })
+    }
+
+    /// Whether any statement matches the predicate.
+    pub fn has(&self, pred: impl Fn(&ScStmt) -> bool) -> bool {
+        self.stmts.iter().any(pred)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trip() {
+        let v = ScValue::List(vec![
+            ScValue::Tuple(vec![ScValue::Num(0.0), ScValue::Num(0.0)]),
+            ScValue::Tuple(vec![ScValue::Num(100.0), ScValue::Num(120.5)]),
+        ]);
+        assert_eq!(v.to_python(), "[(0, 0), (100, 120.5)]");
+    }
+
+    #[test]
+    fn script_renders() {
+        let s = Script {
+            var: "chip".into(),
+            stmts: vec![
+                ScStmt::Import {
+                    symbol: "siliconcompiler".into(),
+                },
+                ScStmt::NewChip {
+                    var: "chip".into(),
+                    design: "gcd".into(),
+                },
+                ScStmt::Input {
+                    file: "gcd.v".into(),
+                },
+                ScStmt::Clock {
+                    pin: "clk".into(),
+                    period: 10.0,
+                },
+                ScStmt::LoadTarget {
+                    target: "skywater130_demo".into(),
+                },
+                ScStmt::Run,
+                ScStmt::Summary,
+            ],
+        };
+        let py = s.to_python();
+        assert!(py.contains("chip = siliconcompiler.Chip('gcd')"));
+        assert!(py.contains("chip.clock('clk', period=10)"));
+        assert_eq!(s.design(), Some("gcd"));
+    }
+}

@@ -1,0 +1,461 @@
+//! Semantic checking and flow simulation for SiliconCompiler scripts.
+//!
+//! Stands in for actually running SiliconCompiler on OpenLane + Sky130:
+//! [`check`] validates the API contract (ordering, required inputs,
+//! constraint sanity) and [`simulate_flow`] produces deterministic summary
+//! metrics so `summary()` output exists for examples and tests.
+
+use crate::ast::{ScStmt, ScValue, Script};
+use std::fmt;
+
+/// A semantic finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScDiag {
+    /// Statement index the finding refers to (or the end of the script).
+    pub stmt: usize,
+    /// Message.
+    pub message: String,
+}
+
+impl fmt::Display for ScDiag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "statement {}: {}", self.stmt + 1, self.message)
+    }
+}
+
+/// Result of checking a script.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScReport {
+    /// Errors; empty means the script would run.
+    pub errors: Vec<ScDiag>,
+}
+
+impl ScReport {
+    /// `true` when no errors were found.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Renders all findings.
+    pub fn render(&self) -> String {
+        self.errors
+            .iter()
+            .map(|d| format!("ERROR: {d}\n"))
+            .collect()
+    }
+}
+
+/// Known flow targets (the open PDK demos SiliconCompiler ships).
+pub const KNOWN_TARGETS: &[&str] = &[
+    "skywater130_demo",
+    "freepdk45_demo",
+    "asap7_demo",
+    "gf180_demo",
+    "ihp130_demo",
+];
+
+/// Keypaths accepted by `chip.set(...)` in the modelled subset.
+pub const KNOWN_KEYPATHS: &[&[&str]] = &[
+    &["constraint", "outline"],
+    &["constraint", "corearea"],
+    &["constraint", "density"],
+    &["constraint", "aspectratio"],
+    &["constraint", "coremargin"],
+    &["option", "remote"],
+    &["option", "quiet"],
+    &["option", "relax"],
+    &["option", "novercheck"],
+    &["option", "clean"],
+    &["design"],
+];
+
+/// Checks a script against the modelled SiliconCompiler contract.
+///
+/// ```
+/// let script = dda_scscript::parse(
+///     "import siliconcompiler\n\
+///      chip = siliconcompiler.Chip('gcd')\n\
+///      chip.input('gcd.v')\n\
+///      chip.load_target('skywater130_demo')\n\
+///      chip.run()\n",
+/// ).unwrap();
+/// assert!(dda_scscript::check(&script).is_clean());
+/// ```
+pub fn check(script: &Script) -> ScReport {
+    let mut report = ScReport::default();
+    let mut err = |stmt: usize, m: String| {
+        report.errors.push(ScDiag { stmt, message: m });
+    };
+    let mut imported = false;
+    let mut chip_made = false;
+    let mut inputs = 0usize;
+    let mut target_loaded = false;
+    let mut ran = false;
+    let mut outline: Option<(f64, f64, f64, f64)> = None;
+
+    for (i, s) in script.stmts.iter().enumerate() {
+        match s {
+            ScStmt::Import { symbol } => {
+                if symbol == "siliconcompiler" || symbol == "Chip" {
+                    imported = true;
+                } else {
+                    err(i, format!("ModuleNotFoundError: no module named '{symbol}'"));
+                }
+            }
+            ScStmt::NewChip { design, .. } => {
+                if !imported {
+                    err(i, "NameError: name 'siliconcompiler' is not defined".into());
+                }
+                if chip_made {
+                    err(i, "chip object constructed twice".into());
+                }
+                if design.is_empty() {
+                    err(i, "Chip() design name must not be empty".into());
+                }
+                chip_made = true;
+            }
+            ScStmt::Input { file } => {
+                if !chip_made {
+                    err(i, "NameError: chip is not defined".into());
+                }
+                let ok_ext = [".v", ".sv", ".vhd", ".vg", ".sdc"]
+                    .iter()
+                    .any(|e| file.ends_with(e));
+                if !ok_ext {
+                    err(i, format!("input file '{file}' has an unsupported extension"));
+                } else {
+                    inputs += 1;
+                }
+            }
+            ScStmt::Clock { pin, period } => {
+                if !chip_made {
+                    err(i, "NameError: chip is not defined".into());
+                }
+                if pin.is_empty() {
+                    err(i, "clock() pin must not be empty".into());
+                }
+                if *period <= 0.0 {
+                    err(i, format!("clock period must be positive, got {period}"));
+                }
+            }
+            ScStmt::Set { keypath, value } => {
+                if !chip_made {
+                    err(i, "NameError: chip is not defined".into());
+                }
+                let known = KNOWN_KEYPATHS
+                    .iter()
+                    .any(|k| k.len() == keypath.len() && k.iter().zip(keypath).all(|(a, b)| a == b));
+                if !known {
+                    err(
+                        i,
+                        format!("invalid keypath [{}]", keypath.join(", ")),
+                    );
+                    continue;
+                }
+                match keypath.last().map(String::as_str) {
+                    Some("outline") => match rect_of(value) {
+                        Some(r) => {
+                            if r.2 <= r.0 || r.3 <= r.1 {
+                                err(i, "outline upper corner must exceed lower corner".into());
+                            } else {
+                                outline = Some(r);
+                            }
+                        }
+                        None => err(
+                            i,
+                            "outline must be a list of two (x, y) tuples".into(),
+                        ),
+                    },
+                    Some("corearea") => match rect_of(value) {
+                        Some(r) => {
+                            if r.2 <= r.0 || r.3 <= r.1 {
+                                err(i, "corearea upper corner must exceed lower corner".into());
+                            } else if let Some(o) = outline {
+                                if r.0 < o.0 || r.1 < o.1 || r.2 > o.2 || r.3 > o.3 {
+                                    err(i, "corearea must fit inside the outline".into());
+                                }
+                            }
+                        }
+                        None => err(
+                            i,
+                            "corearea must be a list of two (x, y) tuples".into(),
+                        ),
+                    },
+                    Some("density") => {
+                        if value.as_num().map(|d| !(0.0..=100.0).contains(&d)).unwrap_or(true) {
+                            err(i, "density must be a number in [0, 100]".into());
+                        }
+                    }
+                    Some("aspectratio") | Some("coremargin") => {
+                        if value.as_num().map(|d| d <= 0.0).unwrap_or(true) {
+                            err(i, format!("{} must be a positive number", keypath.join(".")));
+                        }
+                    }
+                    Some("remote") | Some("quiet") | Some("relax") | Some("novercheck")
+                    | Some("clean") => {
+                        if !matches!(value, ScValue::Bool(_)) {
+                            err(i, format!("option {} expects True/False", keypath.join(".")));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            ScStmt::LoadTarget { target } => {
+                if !chip_made {
+                    err(i, "NameError: chip is not defined".into());
+                }
+                if KNOWN_TARGETS.contains(&target.as_str()) {
+                    target_loaded = true;
+                } else {
+                    err(i, format!("unknown target '{target}'"));
+                }
+            }
+            ScStmt::Run => {
+                if !chip_made {
+                    err(i, "NameError: chip is not defined".into());
+                }
+                if inputs == 0 {
+                    err(i, "run() with no design inputs".into());
+                }
+                if !target_loaded {
+                    err(i, "run() requires a loaded target".into());
+                }
+                ran = true;
+            }
+            ScStmt::Summary | ScStmt::Show => {
+                if !ran {
+                    err(i, "summary() requires a completed run()".into());
+                }
+            }
+            ScStmt::Unknown { method, .. } => {
+                err(
+                    i,
+                    format!("AttributeError: 'Chip' object has no attribute '{method}'"),
+                );
+            }
+        }
+    }
+    drop(err);
+    if !ran && report.errors.is_empty() {
+        report.errors.push(ScDiag {
+            stmt: script.stmts.len(),
+            message: "script never calls run()".into(),
+        });
+    }
+    report
+}
+
+fn rect_of(v: &ScValue) -> Option<(f64, f64, f64, f64)> {
+    let ScValue::List(items) = v else { return None };
+    if items.len() != 2 {
+        return None;
+    }
+    let pt = |v: &ScValue| -> Option<(f64, f64)> {
+        let ScValue::Tuple(xs) = v else { return None };
+        if xs.len() != 2 {
+            return None;
+        }
+        Some((xs[0].as_num()?, xs[1].as_num()?))
+    };
+    let (x0, y0) = pt(&items[0])?;
+    let (x1, y1) = pt(&items[1])?;
+    Some((x0, y0, x1, y1))
+}
+
+/// Summary metrics produced by the simulated flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSummary {
+    /// Design name.
+    pub design: String,
+    /// Target the flow ran on.
+    pub target: String,
+    /// Cell area in square microns (deterministic pseudo-metric).
+    pub cell_area_um2: f64,
+    /// Achieved clock frequency in MHz.
+    pub fmax_mhz: f64,
+    /// Utilisation percentage.
+    pub utilization: f64,
+    /// Whether timing closed at the requested period.
+    pub timing_met: bool,
+}
+
+impl fmt::Display for FlowSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "SUMMARY       : {} ({})", self.design, self.target)?;
+        writeln!(f, "cellarea      : {:.2} um^2", self.cell_area_um2)?;
+        writeln!(f, "fmax          : {:.2} MHz", self.fmax_mhz)?;
+        writeln!(f, "utilization   : {:.1} %", self.utilization)?;
+        writeln!(
+            f,
+            "timing        : {}",
+            if self.timing_met { "MET" } else { "VIOLATED" }
+        )
+    }
+}
+
+/// Runs the simulated flow on a clean script.
+///
+/// Metrics are a deterministic function of the script contents (a stand-in
+/// for OpenLane + Sky130), so examples and tests are reproducible.
+///
+/// Returns `None` when the script does not pass [`check`].
+pub fn simulate_flow(script: &Script) -> Option<FlowSummary> {
+    if !check(script).is_clean() {
+        return None;
+    }
+    let design = script.design().unwrap_or("unknown").to_owned();
+    let target = script
+        .stmts
+        .iter()
+        .find_map(|s| match s {
+            ScStmt::LoadTarget { target } => Some(target.clone()),
+            _ => None,
+        })
+        .unwrap_or_default();
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in script.to_python().bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    let area = 500.0 + (h % 100_000) as f64 / 10.0;
+    let period = script.stmts.iter().find_map(|s| match s {
+        ScStmt::Clock { period, .. } => Some(*period),
+        _ => None,
+    });
+    // Achievable period scales with "design size" noise from the hash.
+    let achievable_ns = 2.0 + (h >> 17 & 0xFF) as f64 / 64.0;
+    let fmax = 1000.0 / achievable_ns;
+    Some(FlowSummary {
+        design,
+        target,
+        cell_area_um2: area,
+        fmax_mhz: fmax,
+        utilization: 40.0 + (h >> 32 & 0x1F) as f64,
+        timing_met: period.map(|p| p >= achievable_ns).unwrap_or(true),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> ScReport {
+        check(&parse(src).unwrap())
+    }
+
+    const GOOD: &str = "\
+import siliconcompiler
+chip = siliconcompiler.Chip('gcd')
+chip.input('gcd.v')
+chip.clock('clk', period=10)
+chip.load_target('skywater130_demo')
+chip.run()
+chip.summary()
+";
+
+    #[test]
+    fn clean_script_passes() {
+        let r = check_src(GOOD);
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn missing_import_fails() {
+        let r = check_src("chip = siliconcompiler.Chip('g')\nchip.input('g.v')\nchip.load_target('skywater130_demo')\nchip.run()\n");
+        assert!(!r.is_clean());
+        assert!(r.render().contains("NameError"));
+    }
+
+    #[test]
+    fn run_without_target_fails() {
+        let r = check_src("import siliconcompiler\nchip = siliconcompiler.Chip('g')\nchip.input('g.v')\nchip.run()\n");
+        assert!(r.render().contains("requires a loaded target"));
+    }
+
+    #[test]
+    fn run_without_inputs_fails() {
+        let r = check_src("import siliconcompiler\nchip = siliconcompiler.Chip('g')\nchip.load_target('skywater130_demo')\nchip.run()\n");
+        assert!(r.render().contains("no design inputs"));
+    }
+
+    #[test]
+    fn summary_before_run_fails() {
+        let r = check_src("import siliconcompiler\nchip = siliconcompiler.Chip('g')\nchip.summary()\n");
+        assert!(r.render().contains("summary() requires"));
+    }
+
+    #[test]
+    fn bad_clock_period() {
+        let r = check_src("import siliconcompiler\nchip = siliconcompiler.Chip('g')\nchip.input('g.v')\nchip.clock('clk', period=0)\nchip.load_target('skywater130_demo')\nchip.run()\n");
+        assert!(r.render().contains("period must be positive"));
+    }
+
+    #[test]
+    fn outline_and_corearea_validated() {
+        let r = check_src(
+            "import siliconcompiler\nchip = siliconcompiler.Chip('g')\nchip.input('g.v')\n\
+             chip.set('constraint', 'outline', [(0, 0), (100, 100)])\n\
+             chip.set('constraint', 'corearea', [(10, 10), (90, 90)])\n\
+             chip.load_target('skywater130_demo')\nchip.run()\n",
+        );
+        assert!(r.is_clean(), "{}", r.render());
+        let r = check_src(
+            "import siliconcompiler\nchip = siliconcompiler.Chip('g')\nchip.input('g.v')\n\
+             chip.set('constraint', 'outline', [(0, 0), (100, 100)])\n\
+             chip.set('constraint', 'corearea', [(10, 10), (120, 90)])\n\
+             chip.load_target('skywater130_demo')\nchip.run()\n",
+        );
+        assert!(r.render().contains("fit inside"));
+    }
+
+    #[test]
+    fn degenerate_outline_rejected() {
+        let r = check_src(
+            "import siliconcompiler\nchip = siliconcompiler.Chip('g')\nchip.input('g.v')\n\
+             chip.set('constraint', 'outline', [(100, 100), (0, 0)])\n\
+             chip.load_target('skywater130_demo')\nchip.run()\n",
+        );
+        assert!(r.render().contains("upper corner"));
+    }
+
+    #[test]
+    fn unknown_target_and_keypath() {
+        let r = check_src("import siliconcompiler\nchip = siliconcompiler.Chip('g')\nchip.input('g.v')\nchip.load_target('tsmc5')\nchip.run()\n");
+        assert!(r.render().contains("unknown target"));
+        let r = check_src("import siliconcompiler\nchip = siliconcompiler.Chip('g')\nchip.input('g.v')\nchip.set('constraint', 'colour', 'blue')\nchip.load_target('skywater130_demo')\nchip.run()\n");
+        assert!(r.render().contains("invalid keypath"));
+    }
+
+    #[test]
+    fn unknown_method_reported() {
+        let r = check_src("import siliconcompiler\nchip = siliconcompiler.Chip('g')\nchip.input('g.v')\nchip.route()\nchip.load_target('skywater130_demo')\nchip.run()\n");
+        assert!(r.render().contains("no attribute 'route'"));
+    }
+
+    #[test]
+    fn never_running_is_an_error() {
+        let r = check_src("import siliconcompiler\nchip = siliconcompiler.Chip('g')\nchip.input('g.v')\n");
+        assert!(r.render().contains("never calls run"));
+    }
+
+    #[test]
+    fn flow_simulation_is_deterministic() {
+        let s = parse(GOOD).unwrap();
+        let a = simulate_flow(&s).unwrap();
+        let b = simulate_flow(&s).unwrap();
+        assert_eq!(a, b);
+        assert!(a.cell_area_um2 > 0.0);
+        assert!(a.fmax_mhz > 0.0);
+        // Period 10ns is always achievable in the model (max 6ns).
+        assert!(a.timing_met);
+        let display = a.to_string();
+        assert!(display.contains("SUMMARY"));
+    }
+
+    #[test]
+    fn flow_refuses_dirty_script() {
+        let s = parse("import siliconcompiler\nchip = siliconcompiler.Chip('g')\n").unwrap();
+        assert!(simulate_flow(&s).is_none());
+    }
+}

@@ -1,0 +1,199 @@
+//! Random generation of valid SiliconCompiler scripts.
+//!
+//! The paper's EDA-script dataset starts from ~200 valid example scripts.
+//! Since the upstream examples are not redistributable at scale, this
+//! module *generates* valid scripts over the modelled API: every output
+//! passes [`crate::check`], and the generator spans the five task levels of
+//! Table 4 (basic, layout, clock period, core area, mixed).
+
+use crate::ast::{ScStmt, ScValue, Script};
+use crate::checker::KNOWN_TARGETS;
+use rand::Rng;
+
+/// The five script-generation task levels of the paper's Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ScTaskLevel {
+    /// Load a design and run the flow.
+    Basic,
+    /// Basic plus a die outline constraint.
+    Layout,
+    /// Basic plus a clock-period constraint.
+    ClockPeriod,
+    /// Basic plus outline and core-area constraints.
+    CoreArea,
+    /// Everything combined.
+    Mixed,
+}
+
+impl ScTaskLevel {
+    /// All levels in Table 4 order.
+    pub const ALL: [ScTaskLevel; 5] = [
+        ScTaskLevel::Basic,
+        ScTaskLevel::Layout,
+        ScTaskLevel::ClockPeriod,
+        ScTaskLevel::CoreArea,
+        ScTaskLevel::Mixed,
+    ];
+
+    /// Row label used in Table 4.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScTaskLevel::Basic => "Basic",
+            ScTaskLevel::Layout => "Layout",
+            ScTaskLevel::ClockPeriod => "Clock Period",
+            ScTaskLevel::CoreArea => "Core Area",
+            ScTaskLevel::Mixed => "Mixed",
+        }
+    }
+}
+
+const DESIGNS: &[&str] = &[
+    "gcd",
+    "heartbeat",
+    "aes",
+    "uart",
+    "picorv32",
+    "fifo",
+    "spi_master",
+    "counter",
+    "alu",
+    "dma",
+    "i2c",
+    "riscv_core",
+    "fft",
+    "sha256",
+    "jpeg_enc",
+    "eth_mac",
+];
+
+/// Generates one valid script for the given task level.
+pub fn generate_script<R: Rng + ?Sized>(level: ScTaskLevel, rng: &mut R) -> Script {
+    let design = DESIGNS[rng.gen_range(0..DESIGNS.len())].to_owned();
+    let target = KNOWN_TARGETS[rng.gen_range(0..KNOWN_TARGETS.len())].to_owned();
+    let var = "chip".to_owned();
+    let mut stmts = vec![
+        ScStmt::Import {
+            symbol: "siliconcompiler".into(),
+        },
+        ScStmt::NewChip {
+            var: var.clone(),
+            design: design.clone(),
+        },
+        ScStmt::Input {
+            file: format!("{design}.v"),
+        },
+    ];
+    if rng.gen_bool(0.3) {
+        stmts.push(ScStmt::Input {
+            file: format!("{design}_pkg.v"),
+        });
+    }
+    let want_clock = matches!(level, ScTaskLevel::ClockPeriod | ScTaskLevel::Mixed);
+    let want_outline = matches!(
+        level,
+        ScTaskLevel::Layout | ScTaskLevel::CoreArea | ScTaskLevel::Mixed
+    );
+    let want_core = matches!(level, ScTaskLevel::CoreArea | ScTaskLevel::Mixed);
+    if want_clock {
+        let period = [2.0, 2.5, 5.0, 7.5, 10.0, 20.0][rng.gen_range(0..6)];
+        stmts.push(ScStmt::Clock {
+            pin: "clk".into(),
+            period,
+        });
+    }
+    let (w, h) = (
+        (rng.gen_range(5..40) * 10) as f64,
+        (rng.gen_range(5..40) * 10) as f64,
+    );
+    if want_outline {
+        stmts.push(ScStmt::Set {
+            keypath: vec!["constraint".into(), "outline".into()],
+            value: rect(0.0, 0.0, w, h),
+        });
+    }
+    if want_core {
+        let m = (rng.gen_range(1..5) * 5) as f64;
+        stmts.push(ScStmt::Set {
+            keypath: vec!["constraint".into(), "corearea".into()],
+            value: rect(m, m, w - m, h - m),
+        });
+    }
+    if rng.gen_bool(0.25) {
+        stmts.push(ScStmt::Set {
+            keypath: vec!["option".into(), "quiet".into()],
+            value: ScValue::Bool(true),
+        });
+    }
+    stmts.push(ScStmt::LoadTarget { target });
+    stmts.push(ScStmt::Run);
+    if rng.gen_bool(0.8) {
+        stmts.push(ScStmt::Summary);
+    }
+    Script { var, stmts }
+}
+
+/// Generates the paper-style example pool: `n` valid scripts spanning all
+/// task levels round-robin.
+pub fn generate_pool<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<Script> {
+    (0..n)
+        .map(|i| generate_script(ScTaskLevel::ALL[i % ScTaskLevel::ALL.len()], rng))
+        .collect()
+}
+
+fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> ScValue {
+    ScValue::List(vec![
+        ScValue::Tuple(vec![ScValue::Num(x0), ScValue::Num(y0)]),
+        ScValue::Tuple(vec![ScValue::Num(x1), ScValue::Num(y1)]),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::check;
+    use crate::parser::parse;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_generated_scripts_are_valid() {
+        let mut rng = SmallRng::seed_from_u64(2024);
+        for (i, s) in generate_pool(200, &mut rng).iter().enumerate() {
+            let r = check(s);
+            assert!(r.is_clean(), "script {i} invalid:\n{}\n{}", s.to_python(), r.render());
+        }
+    }
+
+    #[test]
+    fn generated_scripts_reparse() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for s in generate_pool(50, &mut rng) {
+            let text = s.to_python();
+            let back = parse(&text).expect("reparse");
+            assert_eq!(s.stmts, back.stmts, "round trip failed for:\n{text}");
+        }
+    }
+
+    #[test]
+    fn levels_produce_their_constraints() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let s = generate_script(ScTaskLevel::ClockPeriod, &mut rng);
+        assert!(s.has(|st| matches!(st, ScStmt::Clock { .. })));
+        let s = generate_script(ScTaskLevel::CoreArea, &mut rng);
+        assert!(s.has(
+            |st| matches!(st, ScStmt::Set { keypath, .. } if keypath.last().unwrap() == "corearea")
+        ));
+        assert!(s.has(
+            |st| matches!(st, ScStmt::Set { keypath, .. } if keypath.last().unwrap() == "outline")
+        ));
+        let s = generate_script(ScTaskLevel::Basic, &mut rng);
+        assert!(!s.has(|st| matches!(st, ScStmt::Clock { .. })));
+    }
+
+    #[test]
+    fn pool_is_deterministic() {
+        let a = generate_pool(20, &mut SmallRng::seed_from_u64(9));
+        let b = generate_pool(20, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

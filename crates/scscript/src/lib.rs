@@ -1,0 +1,44 @@
+//! # dda-scscript
+//!
+//! A model of the SiliconCompiler Python DSL for the `chipdda` framework:
+//! [`parse`] reads script text into a typed [`Script`], [`check`] validates
+//! it against the modelled API contract (the OpenLane + Sky130 flow
+//! substitute), [`simulate_flow`] produces deterministic summary metrics,
+//! [`describe()`](describe()) renders scripts into natural language (the GPT-3.5
+//! substitute for the paper's §3.3 data augmentation), and
+//! [`generate_pool`] synthesises valid example scripts spanning the five
+//! task levels of the paper's Table 4.
+//!
+//! ## Example
+//!
+//! ```
+//! # fn main() -> Result<(), dda_scscript::ScParseError> {
+//! let script = dda_scscript::parse(
+//!     "import siliconcompiler\n\
+//!      chip = siliconcompiler.Chip('gcd')\n\
+//!      chip.input('gcd.v')\n\
+//!      chip.clock('clk', period=10)\n\
+//!      chip.load_target('skywater130_demo')\n\
+//!      chip.run()\n\
+//!      chip.summary()\n",
+//! )?;
+//! assert!(dda_scscript::check(&script).is_clean());
+//! let nl = dda_scscript::describe(&script);
+//! assert!(nl.contains("10 nanosecond"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod checker;
+pub mod describe;
+pub mod generate;
+pub mod parser;
+
+pub use ast::{ScStmt, ScValue, Script};
+pub use checker::{check, simulate_flow, FlowSummary, ScDiag, ScReport, KNOWN_TARGETS};
+pub use describe::{describe, describe_with};
+pub use generate::{generate_pool, generate_script, ScTaskLevel};
+pub use parser::{parse, ScParseError};

@@ -1,0 +1,851 @@
+//! Expression evaluation against the simulator's signal store.
+//!
+//! Implements context-width propagation (so `{c, s} = a + b` keeps the
+//! carry), 4-state semantics via [`crate::ops`], user-defined function
+//! calls with bounded recursion, and `$display` format rendering.
+
+use crate::exec::Simulator;
+use crate::ops::{self, LogicVecExt};
+use dda_verilog::ast::{BinaryOp, CaseKind, Stmt, UnaryOp};
+use dda_verilog::{Expr, LogicBit, LogicVec};
+use std::collections::HashMap;
+
+/// A local variable frame for function evaluation.
+pub(crate) type Frame = HashMap<String, LogicVec>;
+
+const MAX_FN_DEPTH: usize = 64;
+const MAX_FN_LOOP: usize = 1_000_000;
+
+impl Simulator {
+    fn lookup(&self, name: &str, frame: Option<&Frame>) -> Option<LogicVec> {
+        if let Some(f) = frame {
+            if let Some(v) = f.get(name) {
+                return Some(v.clone());
+            }
+        }
+        self.design.index.get(name).map(|id| self.store[*id].clone())
+    }
+
+    /// Natural (self-determined) width of an expression.
+    pub(crate) fn natural_width(&self, e: &Expr, frame: Option<&Frame>) -> usize {
+        match e {
+            Expr::Number(n, _) => n.width.map(|w| w as usize).unwrap_or(32),
+            Expr::Str(s, _) => (s.len() * 8).max(1),
+            Expr::Ident(i) => {
+                if let Some(f) = frame {
+                    if let Some(v) = f.get(&i.name) {
+                        return v.width();
+                    }
+                }
+                self.design
+                    .signal(&i.name)
+                    .map(|(_, s)| s.width)
+                    .unwrap_or(1)
+            }
+            Expr::Unary { op, expr, .. } => match op {
+                UnaryOp::LogicNot
+                | UnaryOp::RedAnd
+                | UnaryOp::RedOr
+                | UnaryOp::RedXor
+                | UnaryOp::RedNand
+                | UnaryOp::RedNor
+                | UnaryOp::RedXnor => 1,
+                _ => self.natural_width(expr, frame),
+            },
+            Expr::Binary { op, lhs, rhs, .. } => match op {
+                BinaryOp::Lt
+                | BinaryOp::Le
+                | BinaryOp::Gt
+                | BinaryOp::Ge
+                | BinaryOp::Eq
+                | BinaryOp::Ne
+                | BinaryOp::CaseEq
+                | BinaryOp::CaseNe
+                | BinaryOp::LogicAnd
+                | BinaryOp::LogicOr => 1,
+                BinaryOp::Shl | BinaryOp::Shr | BinaryOp::AShr | BinaryOp::Pow => {
+                    self.natural_width(lhs, frame)
+                }
+                _ => self
+                    .natural_width(lhs, frame)
+                    .max(self.natural_width(rhs, frame)),
+            },
+            Expr::Ternary {
+                then_expr,
+                else_expr,
+                ..
+            } => self
+                .natural_width(then_expr, frame)
+                .max(self.natural_width(else_expr, frame)),
+            Expr::Concat(parts, _) => parts.iter().map(|p| self.natural_width(p, frame)).sum(),
+            Expr::Repeat { count, exprs, .. } => {
+                let c = self
+                    .eval(count, 0, None)
+                    .to_u64_ext()
+                    .unwrap_or(0)
+                    .min(4096) as usize;
+                let inner: usize = exprs.iter().map(|p| self.natural_width(p, frame)).sum();
+                (c * inner).max(1)
+            }
+            Expr::Index { base, .. } => {
+                if let Some(name) = base.as_ident() {
+                    if let Some((_, s)) = self.design.signal(name) {
+                        if s.mem.is_some() {
+                            return s.width;
+                        }
+                    }
+                }
+                1
+            }
+            Expr::PartSelect { msb, lsb, .. } => {
+                let m = self.eval(msb, 0, frame).to_u64_ext().unwrap_or(0) as i64;
+                let l = self.eval(lsb, 0, frame).to_u64_ext().unwrap_or(0) as i64;
+                (m.abs_diff(l) as usize) + 1
+            }
+            Expr::IndexedPart { width, .. } => {
+                self.eval(width, 0, frame).to_u64_ext().unwrap_or(1) as usize
+            }
+            Expr::Call { name, args, .. } => match name.name.as_str() {
+                "$time" | "$stime" | "$realtime" => 64,
+                "$random" | "$urandom" => 32,
+                "$signed" | "$unsigned" => args
+                    .first()
+                    .map(|a| self.natural_width(a, frame))
+                    .unwrap_or(1),
+                "$clog2" => 32,
+                _ => self
+                    .design
+                    .functions
+                    .get(&name.name)
+                    .map(|f| {
+                        f.range
+                            .as_ref()
+                            .and_then(|r| {
+                                let m = self.eval(&r.msb, 0, None).to_u64_ext()? as i64;
+                                let l = self.eval(&r.lsb, 0, None).to_u64_ext()? as i64;
+                                Some(m.abs_diff(l) as usize + 1)
+                            })
+                            .unwrap_or(1)
+                    })
+                    .unwrap_or(1),
+            },
+        }
+    }
+
+    /// Whether an expression carries two's-complement meaning.
+    pub(crate) fn is_signed_expr(&self, e: &Expr, frame: Option<&Frame>) -> bool {
+        match e {
+            Expr::Number(n, _) => n.signed,
+            Expr::Ident(i) => {
+                if frame.is_some_and(|f| f.contains_key(&i.name)) {
+                    return false;
+                }
+                self.design
+                    .signal(&i.name)
+                    .map(|(_, s)| s.signed)
+                    .unwrap_or(false)
+            }
+            Expr::Unary {
+                op: UnaryOp::Plus | UnaryOp::Neg,
+                expr,
+                ..
+            } => self.is_signed_expr(expr, frame),
+            Expr::Binary { op, lhs, rhs, .. } => matches!(
+                op,
+                BinaryOp::Add
+                    | BinaryOp::Sub
+                    | BinaryOp::Mul
+                    | BinaryOp::Div
+                    | BinaryOp::Mod
+            ) && self.is_signed_expr(lhs, frame)
+                && self.is_signed_expr(rhs, frame),
+            Expr::Ternary {
+                then_expr,
+                else_expr,
+                ..
+            } => self.is_signed_expr(then_expr, frame) && self.is_signed_expr(else_expr, frame),
+            Expr::Call { name, args, .. } if name.name == "$signed" => {
+                debug_assert!(args.len() <= 1);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Evaluates `e`. `ctx` is the context width (0 = self-determined):
+    /// arithmetic is performed at `max(ctx, natural width)` so carries are
+    /// kept when the assignment target is wider than the operands.
+    pub(crate) fn eval(&self, e: &Expr, ctx: usize, frame: Option<&Frame>) -> LogicVec {
+        self.eval_depth(e, ctx, frame, 0)
+    }
+
+    fn eval_depth(&self, e: &Expr, ctx: usize, frame: Option<&Frame>, depth: usize) -> LogicVec {
+        if depth > MAX_FN_DEPTH {
+            return LogicVec::xs(ctx.max(1));
+        }
+        match e {
+            Expr::Number(n, _) => {
+                let w = n.value.width().max(ctx);
+                n.value.resize(w, n.signed)
+            }
+            Expr::Str(s, _) => {
+                let mut bits = Vec::new();
+                for byte in s.bytes().rev() {
+                    for i in 0..8 {
+                        bits.push(LogicBit::from(byte >> i & 1 == 1));
+                    }
+                }
+                LogicVec::from_bits(bits)
+            }
+            Expr::Ident(i) => match self.lookup(&i.name, frame) {
+                Some(v) => {
+                    let signed = self.is_signed_expr(e, frame);
+                    let w = v.width().max(ctx);
+                    v.resize(w, signed)
+                }
+                None => LogicVec::xs(ctx.max(1)),
+            },
+            Expr::Unary { op, expr, .. } => {
+                use UnaryOp::*;
+                match op {
+                    Plus => self.eval_depth(expr, ctx, frame, depth),
+                    Neg => ops::neg(&self.eval_depth(expr, ctx, frame, depth)),
+                    LogicNot => ops::log_not(&self.eval_depth(expr, 0, frame, depth)),
+                    BitNot => ops::bit_not(&self.eval_depth(expr, ctx, frame, depth)),
+                    RedAnd => ops::reduce(
+                        &self.eval_depth(expr, 0, frame, depth),
+                        LogicBit::and,
+                        false,
+                    ),
+                    RedOr => ops::reduce(
+                        &self.eval_depth(expr, 0, frame, depth),
+                        LogicBit::or,
+                        false,
+                    ),
+                    RedXor => ops::reduce(
+                        &self.eval_depth(expr, 0, frame, depth),
+                        LogicBit::xor,
+                        false,
+                    ),
+                    RedNand => ops::reduce(
+                        &self.eval_depth(expr, 0, frame, depth),
+                        LogicBit::and,
+                        true,
+                    ),
+                    RedNor => ops::reduce(
+                        &self.eval_depth(expr, 0, frame, depth),
+                        LogicBit::or,
+                        true,
+                    ),
+                    RedXnor => ops::reduce(
+                        &self.eval_depth(expr, 0, frame, depth),
+                        LogicBit::xor,
+                        true,
+                    ),
+                }
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                use BinaryOp::*;
+                match op {
+                    Add | Sub | Mul | Div | Mod | BitAnd | BitOr | BitXor | BitXnor => {
+                        let w = ctx
+                            .max(self.natural_width(lhs, frame))
+                            .max(self.natural_width(rhs, frame));
+                        // Selects/concats are self-determined and ignore the
+                        // context, so force both operands to the operation
+                        // width here (sign-extending signed operands).
+                        let a = self
+                            .eval_depth(lhs, w, frame, depth)
+                            .resize(w, self.is_signed_expr(lhs, frame));
+                        let b = self
+                            .eval_depth(rhs, w, frame, depth)
+                            .resize(w, self.is_signed_expr(rhs, frame));
+                        match op {
+                            Add => ops::add(&a, &b),
+                            Sub => ops::sub(&a, &b),
+                            Mul => ops::mul(&a, &b),
+                            Div => ops::div(&a, &b),
+                            Mod => ops::rem(&a, &b),
+                            BitAnd => ops::bit_and(&a, &b),
+                            BitOr => ops::bit_or(&a, &b),
+                            BitXor => ops::bit_xor(&a, &b),
+                            _ => ops::bit_xnor(&a, &b),
+                        }
+                    }
+                    Pow => {
+                        let a = self.eval_depth(lhs, ctx, frame, depth);
+                        let b = self.eval_depth(rhs, 0, frame, depth);
+                        ops::pow(&a, &b)
+                    }
+                    Shl | Shr | AShr => {
+                        let a = self.eval_depth(lhs, ctx, frame, depth);
+                        let b = self.eval_depth(rhs, 0, frame, depth);
+                        match op {
+                            Shl => ops::shl(&a, &b),
+                            Shr => ops::shr(&a, &b),
+                            _ => {
+                                if self.is_signed_expr(lhs, frame) {
+                                    ops::ashr(&a, &b)
+                                } else {
+                                    ops::shr(&a, &b)
+                                }
+                            }
+                        }
+                    }
+                    Eq | Ne | CaseEq | CaseNe | Lt | Le | Gt | Ge => {
+                        let w = self
+                            .natural_width(lhs, frame)
+                            .max(self.natural_width(rhs, frame));
+                        let signed =
+                            self.is_signed_expr(lhs, frame) && self.is_signed_expr(rhs, frame);
+                        let a = self.eval_depth(lhs, w, frame, depth).resize(w, signed);
+                        let b = self.eval_depth(rhs, w, frame, depth).resize(w, signed);
+                        match op {
+                            Eq => ops::log_eq(&a, &b),
+                            Ne => ops::log_ne(&a, &b),
+                            CaseEq => ops::case_eq(&a, &b),
+                            CaseNe => {
+                                let r = ops::case_eq(&a, &b);
+                                LogicVec::from_bool(r.to_u64() == Some(0))
+                            }
+                            Lt => ops::cmp_lt(&a, &b, signed),
+                            Gt => ops::cmp_lt(&b, &a, signed),
+                            Le => ops::log_not(&ops::cmp_lt(&b, &a, signed)),
+                            _ => ops::log_not(&ops::cmp_lt(&a, &b, signed)),
+                        }
+                    }
+                    LogicAnd => {
+                        let a = self.eval_depth(lhs, 0, frame, depth);
+                        let b = self.eval_depth(rhs, 0, frame, depth);
+                        ops::log_and(&a, &b)
+                    }
+                    LogicOr => {
+                        let a = self.eval_depth(lhs, 0, frame, depth);
+                        let b = self.eval_depth(rhs, 0, frame, depth);
+                        ops::log_or(&a, &b)
+                    }
+                }
+            }
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+                ..
+            } => {
+                let c = self.eval_depth(cond, 0, frame, depth);
+                match c.truthy() {
+                    Some(true) => self.eval_depth(then_expr, ctx, frame, depth),
+                    Some(false) => self.eval_depth(else_expr, ctx, frame, depth),
+                    None => {
+                        // IEEE: merge bitwise, x where branches disagree.
+                        let a = self.eval_depth(then_expr, ctx, frame, depth);
+                        let b = self.eval_depth(else_expr, ctx, frame, depth);
+                        let w = a.width().max(b.width());
+                        (0..w)
+                            .map(|i| {
+                                let x = a.bit(i.min(a.width().saturating_sub(1)));
+                                let y = b.bit(i.min(b.width().saturating_sub(1)));
+                                if x == y && !x.is_unknown() {
+                                    x
+                                } else {
+                                    LogicBit::X
+                                }
+                            })
+                            .collect()
+                    }
+                }
+            }
+            Expr::Concat(parts, _) => {
+                let mut acc = LogicVec::from_bits(Vec::new());
+                for p in parts {
+                    let v = self.eval_depth(p, 0, frame, depth);
+                    acc = acc.concat(&v);
+                }
+                if acc.is_empty() {
+                    LogicVec::xs(1)
+                } else {
+                    acc
+                }
+            }
+            Expr::Repeat { count, exprs, .. } => {
+                let c = self
+                    .eval_depth(count, 0, frame, depth)
+                    .to_u64_ext()
+                    .unwrap_or(0)
+                    .min(4096) as usize;
+                let mut inner = LogicVec::from_bits(Vec::new());
+                for p in exprs {
+                    let v = self.eval_depth(p, 0, frame, depth);
+                    inner = inner.concat(&v);
+                }
+                let r = ops::replicate(&inner, c);
+                if r.is_empty() {
+                    LogicVec::zeros(1)
+                } else {
+                    r
+                }
+            }
+            Expr::Index { base, index, .. } => {
+                let idx = self.eval_depth(index, 0, frame, depth);
+                let Some(name) = base.as_ident() else {
+                    // Select on a computed value: evaluate then pick a bit.
+                    let b = self.eval_depth(base, 0, frame, depth);
+                    return match idx.to_u64_ext() {
+                        Some(i) => LogicVec::from_bit(b.bit(i as usize)),
+                        None => LogicVec::xs(1),
+                    };
+                };
+                if let Some((id, def)) = self.design.signal(name) {
+                    if def.mem.is_some() {
+                        // Memory word read.
+                        let Some(i) = idx.to_u64_ext() else {
+                            return LogicVec::xs(def.width);
+                        };
+                        return match def.word_offset(i as i64) {
+                            Some(off) => self.mems[id][off].clone(),
+                            None => LogicVec::xs(def.width),
+                        };
+                        }
+                    let Some(i) = idx.to_u64_ext() else {
+                        return LogicVec::xs(1);
+                    };
+                    return match def.bit_offset(i as i64) {
+                        Some(off) => LogicVec::from_bit(self.store[id].bit(off)),
+                        None => LogicVec::xs(1),
+                    };
+                }
+                // Function-frame local with a bit select.
+                if let Some(v) = self.lookup(name, frame) {
+                    return match idx.to_u64_ext() {
+                        Some(i) => LogicVec::from_bit(v.bit(i as usize)),
+                        None => LogicVec::xs(1),
+                    };
+                }
+                LogicVec::xs(1)
+            }
+            Expr::PartSelect { base, msb, lsb, .. } => {
+                let m = self.eval_depth(msb, 0, frame, depth).to_u64_ext();
+                let l = self.eval_depth(lsb, 0, frame, depth).to_u64_ext();
+                let (Some(m), Some(l)) = (m, l) else {
+                    return LogicVec::xs(1);
+                };
+                let (m, l) = (m as i64, l as i64);
+                let width = m.abs_diff(l) as usize + 1;
+                if let Some(name) = base.as_ident() {
+                    if let Some((id, def)) = self.design.signal(name) {
+                        let lo = def.bit_offset(if def.msb >= def.lsb { l } else { m });
+                        return match lo {
+                            Some(lo) => self.store[id].slice(lo, width),
+                            None => LogicVec::xs(width),
+                        };
+                    }
+                    if let Some(v) = self.lookup(name, frame) {
+                        return v.slice(l.min(m) as usize, width);
+                    }
+                }
+                let b = self.eval_depth(base, 0, frame, depth);
+                b.slice(l.min(m) as usize, width)
+            }
+            Expr::IndexedPart {
+                base,
+                start,
+                width,
+                ascending,
+                ..
+            } => {
+                let s = self.eval_depth(start, 0, frame, depth).to_u64_ext();
+                let w = self.eval_depth(width, 0, frame, depth).to_u64_ext();
+                let (Some(s), Some(w)) = (s, w) else {
+                    return LogicVec::xs(1);
+                };
+                let (s, w) = (s as i64, w.max(1) as usize);
+                let (msb, lsb) = if *ascending {
+                    (s + w as i64 - 1, s)
+                } else {
+                    (s, s - w as i64 + 1)
+                };
+                if let Some(name) = base.as_ident() {
+                    if let Some((id, def)) = self.design.signal(name) {
+                        let lo = def.bit_offset(if def.msb >= def.lsb { lsb } else { msb });
+                        return match lo {
+                            Some(lo) => self.store[id].slice(lo, w),
+                            None => LogicVec::xs(w),
+                        };
+                    }
+                }
+                let b = self.eval_depth(base, 0, frame, depth);
+                b.slice(lsb.max(0) as usize, w)
+            }
+            Expr::Call { name, args, .. } => self.eval_call(name, args, ctx, frame, depth),
+        }
+    }
+
+    fn eval_call(
+        &self,
+        name: &dda_verilog::ast::Ident,
+        args: &[Expr],
+        ctx: usize,
+        frame: Option<&Frame>,
+        depth: usize,
+    ) -> LogicVec {
+        match name.name.as_str() {
+            "$time" | "$stime" | "$realtime" => ops::from_u128(self.time as u128, 64),
+            "$signed" | "$unsigned" => args
+                .first()
+                .map(|a| self.eval_depth(a, ctx, frame, depth))
+                .unwrap_or_else(|| LogicVec::xs(1)),
+            "$clog2" => {
+                let v = args
+                    .first()
+                    .and_then(|a| self.eval_depth(a, 0, frame, depth).to_u64_ext())
+                    .unwrap_or(0);
+                ops::from_u128((64 - (v.max(1) - 1).leading_zeros() as u64) as u128, 32)
+            }
+            "$random" | "$urandom" => {
+                // Deterministic xorshift from the per-run seed; pure w.r.t.
+                // &self, so successive calls in one statement repeat — the
+                // scheduler refreshes the state between process steps.
+                let mut s = self.rand_state.get();
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                self.rand_state.set(s);
+                ops::from_u128((s & 0xFFFF_FFFF) as u128, 32)
+            }
+            _ => {
+                let Some(f) = self.design.functions.get(&name.name) else {
+                    return LogicVec::xs(ctx.max(1));
+                };
+                let f = f.clone();
+                let mut frame_new: Frame = HashMap::new();
+                // Bind arguments.
+                for (i, (range, argname)) in f.args.iter().enumerate() {
+                    let w = range
+                        .as_ref()
+                        .and_then(|r| {
+                            let m = self.eval_depth(&r.msb, 0, None, depth).to_u64_ext()? as i64;
+                            let l = self.eval_depth(&r.lsb, 0, None, depth).to_u64_ext()? as i64;
+                            Some(m.abs_diff(l) as usize + 1)
+                        })
+                        .unwrap_or(1);
+                    let v = args
+                        .get(i)
+                        .map(|a| self.eval_depth(a, w, frame, depth))
+                        .unwrap_or_else(|| LogicVec::xs(w))
+                        .resize(w, false);
+                    frame_new.insert(argname.name.clone(), v);
+                }
+                // Locals.
+                for l in &f.locals {
+                    let w = l
+                        .range
+                        .as_ref()
+                        .and_then(|r| {
+                            let m = self.eval_depth(&r.msb, 0, None, depth).to_u64_ext()? as i64;
+                            let lo = self.eval_depth(&r.lsb, 0, None, depth).to_u64_ext()? as i64;
+                            Some(m.abs_diff(lo) as usize + 1)
+                        })
+                        .unwrap_or(if matches!(l.kind, dda_verilog::ast::NetKind::Integer) {
+                            32
+                        } else {
+                            1
+                        });
+                    for n in &l.nets {
+                        frame_new.insert(n.name.name.clone(), LogicVec::xs(w));
+                    }
+                }
+                // Return variable.
+                let ret_w = f
+                    .range
+                    .as_ref()
+                    .and_then(|r| {
+                        let m = self.eval_depth(&r.msb, 0, None, depth).to_u64_ext()? as i64;
+                        let l = self.eval_depth(&r.lsb, 0, None, depth).to_u64_ext()? as i64;
+                        Some(m.abs_diff(l) as usize + 1)
+                    })
+                    .unwrap_or(1);
+                frame_new.insert(f.name.name.clone(), LogicVec::xs(ret_w));
+                let mut budget = MAX_FN_LOOP;
+                self.exec_fn_stmt(&f.body, &mut frame_new, depth + 1, &mut budget);
+                frame_new
+                    .remove(&f.name.name)
+                    .unwrap_or_else(|| LogicVec::xs(ret_w))
+            }
+        }
+    }
+
+    /// Executes a (blocking-only) function body statement against a frame.
+    fn exec_fn_stmt(&self, s: &Stmt, frame: &mut Frame, depth: usize, budget: &mut usize) {
+        if *budget == 0 {
+            return;
+        }
+        *budget -= 1;
+        match s {
+            Stmt::Block { stmts, .. } => {
+                for st in stmts {
+                    self.exec_fn_stmt(st, frame, depth, budget);
+                }
+            }
+            Stmt::Assign { lhs, rhs, .. } => {
+                let (target_name, lo, width) = match lhs {
+                    Expr::Ident(i) => {
+                        let w = frame.get(&i.name).map(|v| v.width()).unwrap_or(1);
+                        (i.name.clone(), 0usize, w)
+                    }
+                    Expr::Index { base, index, .. } => {
+                        let Some(n) = base.as_ident() else { return };
+                        let i = self
+                            .eval_depth(index, 0, Some(frame), depth)
+                            .to_u64_ext()
+                            .unwrap_or(0) as usize;
+                        (n.to_owned(), i, 1)
+                    }
+                    Expr::PartSelect { base, msb, lsb, .. } => {
+                        let Some(n) = base.as_ident() else { return };
+                        let m = self
+                            .eval_depth(msb, 0, Some(frame), depth)
+                            .to_u64_ext()
+                            .unwrap_or(0) as usize;
+                        let l = self
+                            .eval_depth(lsb, 0, Some(frame), depth)
+                            .to_u64_ext()
+                            .unwrap_or(0) as usize;
+                        (n.to_owned(), l.min(m), m.abs_diff(l) + 1)
+                    }
+                    _ => return,
+                };
+                let v = self
+                    .eval_depth(rhs, width, Some(frame), depth)
+                    .resize(width.max(1), false);
+                if let Some(slot) = frame.get_mut(&target_name) {
+                    if lo == 0 && width >= slot.width() {
+                        *slot = v.resize(slot.width(), false);
+                    } else {
+                        for i in 0..width {
+                            slot.set_bit(lo + i, v.bit(i));
+                        }
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_stmt,
+                else_stmt,
+                ..
+            } => {
+                let c = self.eval_depth(cond, 0, Some(frame), depth);
+                if c.truthy() == Some(true) {
+                    self.exec_fn_stmt(then_stmt, frame, depth, budget);
+                } else if let Some(e) = else_stmt {
+                    self.exec_fn_stmt(e, frame, depth, budget);
+                }
+            }
+            Stmt::Case {
+                kind, expr, arms, ..
+            } => {
+                let sel = self.eval_depth(expr, 0, Some(frame), depth);
+                let mut default = None;
+                for arm in arms {
+                    if arm.labels.is_empty() {
+                        default = Some(&arm.body);
+                        continue;
+                    }
+                    for l in &arm.labels {
+                        let lv = self.eval_depth(l, 0, Some(frame), depth);
+                        if case_label_matches(*kind, &sel, &lv) {
+                            self.exec_fn_stmt(&arm.body, frame, depth, budget);
+                            return;
+                        }
+                    }
+                }
+                if let Some(d) = default {
+                    self.exec_fn_stmt(d, frame, depth, budget);
+                }
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                self.exec_fn_stmt(init, frame, depth, budget);
+                while *budget > 0
+                    && self.eval_depth(cond, 0, Some(frame), depth).truthy() == Some(true)
+                {
+                    self.exec_fn_stmt(body, frame, depth, budget);
+                    self.exec_fn_stmt(step, frame, depth, budget);
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                while *budget > 0
+                    && self.eval_depth(cond, 0, Some(frame), depth).truthy() == Some(true)
+                {
+                    self.exec_fn_stmt(body, frame, depth, budget);
+                }
+            }
+            Stmt::Repeat { count, body, .. } => {
+                let n = self
+                    .eval_depth(count, 0, Some(frame), depth)
+                    .to_u64_ext()
+                    .unwrap_or(0);
+                for _ in 0..n {
+                    if *budget == 0 {
+                        break;
+                    }
+                    self.exec_fn_stmt(body, frame, depth, budget);
+                }
+            }
+            // Delays/events/waits are illegal in functions; ignore.
+            _ => {}
+        }
+    }
+}
+
+/// Case-arm matching with `casez`/`casex` wildcard rules.
+pub(crate) fn case_label_matches(kind: CaseKind, sel: &LogicVec, label: &LogicVec) -> bool {
+    let w = sel.width().max(label.width());
+    for i in 0..w {
+        let s = sel.bits().get(i).copied().unwrap_or(LogicBit::Zero);
+        let l = label.bits().get(i).copied().unwrap_or(LogicBit::Zero);
+        let wild = match kind {
+            CaseKind::Exact => false,
+            CaseKind::Z => s == LogicBit::Z || l == LogicBit::Z,
+            CaseKind::X => s.is_unknown() || l.is_unknown(),
+        };
+        if wild {
+            continue;
+        }
+        if s != l {
+            return false;
+        }
+    }
+    true
+}
+
+/// Formats a value for `%d`/`%b`/`%h`/`%o`/`%c`.
+pub(crate) fn format_value(v: &LogicVec, conv: char, signed: bool) -> String {
+    match conv {
+        'b' | 'B' => v.to_string(),
+        'h' | 'H' | 'x' | 'X' => {
+            let mut out = String::new();
+            let nibbles = v.width().div_ceil(4);
+            for n in (0..nibbles).rev() {
+                let mut val = 0u8;
+                let mut any_x = false;
+                let mut all_z = true;
+                for i in 0..4 {
+                    let idx = n * 4 + i;
+                    if idx >= v.width() {
+                        all_z = false;
+                        continue;
+                    }
+                    match v.bit(idx) {
+                        LogicBit::One => {
+                            val |= 1 << i;
+                            all_z = false;
+                        }
+                        LogicBit::Zero => {
+                            all_z = false;
+                        }
+                        LogicBit::X => {
+                            any_x = true;
+                            all_z = false;
+                        }
+                        LogicBit::Z => {}
+                    }
+                }
+                if any_x {
+                    out.push('x');
+                } else if all_z && v.width() > n * 4 {
+                    out.push('z');
+                } else {
+                    out.push(char::from_digit(val as u32, 16).unwrap_or('?'));
+                }
+            }
+            if out.is_empty() {
+                out.push('0');
+            }
+            out
+        }
+        'o' | 'O' => {
+            if v.has_unknown() {
+                "x".to_owned()
+            } else {
+                format!("{:o}", v.to_u128().unwrap_or(0))
+            }
+        }
+        'c' | 'C' => {
+            let b = v.to_u64().unwrap_or(0) as u8;
+            (b as char).to_string()
+        }
+        's' | 'S' => {
+            // Interpret as packed ASCII, MSB first.
+            let mut s = String::new();
+            let bytes = v.width().div_ceil(8);
+            for b in (0..bytes).rev() {
+                let mut val = 0u8;
+                for i in 0..8 {
+                    if v.bit(b * 8 + i) == LogicBit::One {
+                        val |= 1 << i;
+                    }
+                }
+                if val != 0 {
+                    s.push(val as char);
+                }
+            }
+            s
+        }
+        _ => {
+            // decimal
+            if v.has_unknown() {
+                "x".to_owned()
+            } else if signed {
+                let w = v.width().min(64);
+                let sv = v.resize(w, true).to_i64().unwrap_or(0);
+                sv.to_string()
+            } else {
+                v.to_u128().map(|x| x.to_string()).unwrap_or_else(|| "?".into())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> LogicVec {
+        LogicVec::parse_binary(s).unwrap()
+    }
+
+    #[test]
+    fn case_matching_rules() {
+        use CaseKind::*;
+        assert!(case_label_matches(Exact, &v("10"), &v("10")));
+        assert!(!case_label_matches(Exact, &v("1x"), &v("10")));
+        // casez: z is a wildcard on either side
+        assert!(case_label_matches(Z, &v("10"), &v("1z")));
+        assert!(!case_label_matches(Z, &v("10"), &v("1x")));
+        // casex: x and z both wild
+        assert!(case_label_matches(X, &v("10"), &v("1x")));
+    }
+
+    #[test]
+    fn value_formatting() {
+        let x = LogicVec::from_u64(0xAB, 8);
+        assert_eq!(format_value(&x, 'h', false), "ab");
+        assert_eq!(format_value(&x, 'd', false), "171");
+        let x = LogicVec::from_u64(0xFF, 8);
+        assert_eq!(format_value(&x, 'd', true), "-1");
+        let mixed = v("1x00");
+        assert_eq!(format_value(&mixed, 'd', false), "x");
+        assert_eq!(format_value(&mixed, 'h', false), "x");
+    }
+
+    #[test]
+    fn binary_format_exact() {
+        let x = LogicVec::from_u64(0xAB, 8);
+        assert_eq!(format_value(&x, 'b', false), "10101011");
+    }
+}

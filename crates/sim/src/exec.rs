@@ -1,0 +1,1215 @@
+//! Event-driven scheduler and process interpreter.
+//!
+//! The simulator follows the IEEE 1364 stratified event queue: active events
+//! run to exhaustion, then nonblocking-assignment updates apply (one delta),
+//! and only when the current time is quiescent does time advance to the next
+//! scheduled event. Procedural processes are resumable: their continuation
+//! is an explicit task stack, so `#delay`, `@(event)` and `wait` suspend and
+//! resume without threads.
+
+use crate::elab::{elaborate, Design, ElabError, Process, ProcessKind, SigId};
+use crate::eval::{case_label_matches, format_value};
+use crate::ops::LogicVecExt;
+use dda_verilog::ast::{AssignKind, Edge, Sensitivity, Stmt};
+use dda_verilog::{Expr, LogicBit, LogicVec, SourceFile};
+use std::cell::Cell;
+use std::collections::{BTreeMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+/// Limits for one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Hard stop on simulated time (a run reaching this is not "finished").
+    pub max_time: u64,
+    /// Delta-cycle limit within one time step (combinational-loop guard).
+    pub max_deltas: usize,
+    /// Total statement-execution budget.
+    pub max_steps: u64,
+    /// Cap on captured `$display` output, in bytes.
+    pub output_limit: usize,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            max_time: 1_000_000,
+            max_deltas: 10_000,
+            max_steps: 20_000_000,
+            output_limit: 1 << 20,
+        }
+    }
+}
+
+/// Outcome of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimResult {
+    /// `$finish`/`$stop` was executed.
+    pub finished: bool,
+    /// Final simulated time.
+    pub time: u64,
+    /// Captured `$display`/`$write`/`$monitor` output.
+    pub output: String,
+    /// Number of `$error`/`$fatal` calls.
+    pub error_count: usize,
+}
+
+/// A hard simulation failure (runaway loops).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunError {
+    /// What blew up.
+    pub message: String,
+    /// Simulated time at failure.
+    pub time: u64,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulation failed at t={}: {}", self.time, self.message)
+    }
+}
+
+impl Error for RunError {}
+
+#[derive(Debug, Clone)]
+pub(crate) enum Task {
+    Exec(Stmt),
+    /// Apply a pre-evaluated blocking write (after an intra-assign delay).
+    Apply(WriteTarget, LogicVec),
+    LoopWhile {
+        cond: Expr,
+        body: Box<Stmt>,
+    },
+    LoopFor {
+        cond: Expr,
+        step: Box<Stmt>,
+        body: Box<Stmt>,
+    },
+    LoopRepeat {
+        remaining: u64,
+        body: Box<Stmt>,
+    },
+    LoopForever {
+        body: Box<Stmt>,
+    },
+    /// Re-check a `wait` condition on resume.
+    WaitCheck(Expr),
+}
+
+/// Where a write lands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum WriteTarget {
+    Full(SigId),
+    Bits(SigId, usize, usize),
+    Word(SigId, usize),
+    /// Concatenated lvalue: parts MSB-first with widths.
+    Pack(Vec<(WriteTarget, usize)>),
+    /// Discarded (out of range / unknown index).
+    Void,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Ready,
+    WaitEvent,
+    WaitTime,
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct SensWatch {
+    sig: SigId,
+    bit: Option<usize>,
+    edge: Option<Edge>,
+}
+
+#[derive(Debug)]
+struct ProcRt {
+    tasks: Vec<Task>,
+    status: Status,
+    /// Current wait set (event controls / always sensitivity).
+    watches: Vec<SensWatch>,
+    /// Re-arm sensitivity for `always @(...)` processes.
+    rearm: Option<Vec<SensWatch>>,
+    /// `always` with no event control re-runs on completion.
+    free_running: bool,
+    is_initial: bool,
+    /// Dotted instance path (reserved for `%m` in scoped processes).
+    #[allow(dead_code)]
+    path: String,
+}
+
+#[derive(Debug)]
+struct MonitorSpec {
+    args: Vec<Expr>,
+    last: Option<String>,
+}
+
+#[derive(Debug)]
+enum FutureEvent {
+    Wake(usize),
+    Nba(WriteTarget, LogicVec),
+}
+
+/// The simulator: elaborated design + runtime state.
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sf = dda_verilog::parse(
+///     "module tb;\n\
+///      reg [3:0] n = 0;\n\
+///      initial begin n = n + 1; $display(\"n=%d\", n); $finish; end\n\
+///      endmodule")?;
+/// let mut sim = dda_sim::Simulator::new(&sf, "tb")?;
+/// let result = sim.run(&dda_sim::SimOptions::default())?;
+/// assert!(result.finished);
+/// assert_eq!(result.output.trim(), "n=1");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    pub(crate) design: Design,
+    pub(crate) store: Vec<LogicVec>,
+    pub(crate) mems: Vec<Vec<LogicVec>>,
+    pub(crate) time: u64,
+    pub(crate) rand_state: Cell<u64>,
+    procs: Vec<ProcRt>,
+    /// Which design process each runtime process mirrors (for continuous).
+    cont: Vec<Option<(Expr, Expr)>>,
+    ready: VecDeque<usize>,
+    in_ready: Vec<bool>,
+    future: BTreeMap<u64, Vec<FutureEvent>>,
+    nba: Vec<(WriteTarget, LogicVec)>,
+    pending: Vec<(SigId, LogicVec, LogicVec)>,
+    monitors: Vec<MonitorSpec>,
+    output: String,
+    finished: bool,
+    error_count: usize,
+    started: bool,
+    vcd: Option<crate::vcd::VcdRecorder>,
+}
+
+impl Simulator {
+    /// Elaborates `top` from `sf` and prepares a simulator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ElabError`] from elaboration.
+    pub fn new(sf: &SourceFile, top: &str) -> Result<Simulator, ElabError> {
+        let design = elaborate(sf, top)?;
+        Ok(Simulator::from_design(design))
+    }
+
+    /// Builds a simulator from an already-elaborated design.
+    pub fn from_design(design: Design) -> Simulator {
+        let mut store = Vec::with_capacity(design.signals.len());
+        let mut mems = Vec::with_capacity(design.signals.len());
+        for s in &design.signals {
+            store.push(LogicVec::xs(s.width));
+            if s.mem.is_some() {
+                mems.push(vec![LogicVec::xs(s.width); s.mem_len()]);
+            } else {
+                mems.push(Vec::new());
+            }
+        }
+        let mut procs = Vec::new();
+        let mut cont = Vec::new();
+        for p in &design.processes {
+            let (rt, c) = Self::make_proc(p, &design);
+            procs.push(rt);
+            cont.push(c);
+        }
+        Simulator {
+            design,
+            store,
+            mems,
+            time: 0,
+            rand_state: Cell::new(0x9E3779B97F4A7C15),
+            procs,
+            cont,
+            ready: VecDeque::new(),
+            in_ready: Vec::new(),
+            future: BTreeMap::new(),
+            nba: Vec::new(),
+            pending: Vec::new(),
+            monitors: Vec::new(),
+            output: String::new(),
+            finished: false,
+            error_count: 0,
+            started: false,
+            vcd: None,
+        }
+    }
+
+    /// Attaches a waveform recorder; every subsequent signal transition is
+    /// captured (see [`crate::vcd::VcdRecorder`]).
+    pub fn enable_vcd(&mut self, mut recorder: crate::vcd::VcdRecorder) {
+        for s in &self.design.signals {
+            recorder.register(&s.name, s.width);
+        }
+        self.vcd = Some(recorder);
+    }
+
+    /// Detaches and returns the waveform recorder, if one was attached.
+    pub fn take_vcd(&mut self) -> Option<crate::vcd::VcdRecorder> {
+        self.vcd.take()
+    }
+
+    /// Seeds the `$random` generator (runs are deterministic per seed).
+    pub fn seed_random(&mut self, seed: u64) {
+        // splitmix64 step so nearby seeds give unrelated streams
+        let mut z = seed.wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        self.rand_state.set((z ^ (z >> 31)) | 1);
+    }
+
+    fn make_proc(p: &Process, design: &Design) -> (ProcRt, Option<(Expr, Expr)>) {
+        match &p.kind {
+            ProcessKind::Initial => (
+                ProcRt {
+                    tasks: vec![Task::Exec((**p.body.as_ref().expect("initial has body")).clone())],
+                    status: Status::Ready,
+                    watches: Vec::new(),
+                    rearm: None,
+                    free_running: false,
+                    is_initial: true,
+                    path: p.path.clone(),
+                },
+                None,
+            ),
+            ProcessKind::Always(sens) => {
+                let watches = compile_sens(sens, design);
+                let free_running = watches.is_empty();
+                (
+                    ProcRt {
+                        tasks: vec![Task::Exec(
+                            (**p.body.as_ref().expect("always has body")).clone(),
+                        )],
+                        status: if free_running {
+                            Status::Ready
+                        } else {
+                            Status::WaitEvent
+                        },
+                        watches: watches.clone(),
+                        rearm: Some(watches),
+                        free_running,
+                        is_initial: false,
+                        path: p.path.clone(),
+                    },
+                    None,
+                )
+            }
+            ProcessKind::Continuous { lhs, rhs } => {
+                let mut reads = Vec::new();
+                collect_expr_reads(rhs, &mut reads);
+                collect_lhs_index_reads(lhs, &mut reads);
+                let watches: Vec<SensWatch> = reads
+                    .iter()
+                    .filter_map(|n| {
+                        design.index.get(n).map(|id| SensWatch {
+                            sig: *id,
+                            bit: None,
+                            edge: None,
+                        })
+                    })
+                    .collect();
+                (
+                    ProcRt {
+                        tasks: Vec::new(),
+                        status: Status::Ready,
+                        watches: watches.clone(),
+                        rearm: Some(watches),
+                        free_running: false,
+                        is_initial: false,
+                        path: p.path.clone(),
+                    },
+                    Some((lhs.clone(), rhs.clone())),
+                )
+            }
+        }
+    }
+
+    /// Reads a signal by hierarchical name.
+    pub fn peek(&self, name: &str) -> Option<LogicVec> {
+        self.design.index.get(name).map(|id| self.store[*id].clone())
+    }
+
+    /// Forces a signal value (testing hook); triggers dependent processes.
+    pub fn poke(&mut self, name: &str, value: LogicVec) -> bool {
+        let Some(&id) = self.design.index.get(name) else {
+            return false;
+        };
+        self.write(WriteTarget::Full(id), value);
+        self.drain_changes();
+        true
+    }
+
+    /// Captured output so far.
+    pub fn output(&self) -> &str {
+        &self.output
+    }
+
+    /// Current simulated time.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    fn start(&mut self) {
+        self.started = true;
+        self.in_ready = vec![false; self.procs.len()];
+        // Apply reg initialisers as time-0 changes so combinational logic
+        // watching them wakes up.
+        for (id, def) in self.design.signals.iter().enumerate() {
+            if let Some(init) = &def.init {
+                let old = self.store[id].clone();
+                let new = init.resize(def.width, false);
+                self.store[id] = new.clone();
+                self.pending.push((id, old, new));
+            }
+        }
+        for (i, p) in self.procs.iter().enumerate() {
+            if p.status == Status::Ready {
+                self.ready.push_back(i);
+                self.in_ready[i] = true;
+            }
+        }
+        self.drain_changes();
+    }
+
+    /// Runs to completion, quiescence, or a limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] when the delta or step budget is exhausted
+    /// (combinational loops, zero-delay infinite loops).
+    pub fn run(&mut self, opts: &SimOptions) -> Result<SimResult, RunError> {
+        if !self.started {
+            self.start();
+        }
+        let mut steps: u64 = 0;
+        loop {
+            // One time step: drain active events and NBA deltas.
+            let mut deltas = 0usize;
+            loop {
+                if self.finished {
+                    break;
+                }
+                if let Some(p) = self.ready.pop_front() {
+                    self.in_ready[p] = false;
+                    self.run_proc(p, &mut steps, opts)?;
+                    continue;
+                }
+                if !self.nba.is_empty() {
+                    deltas += 1;
+                    if deltas > opts.max_deltas {
+                        return Err(RunError {
+                            message: "nonblocking-update delta limit exceeded".into(),
+                            time: self.time,
+                        });
+                    }
+                    let updates = std::mem::take(&mut self.nba);
+                    for (t, v) in updates {
+                        self.write(t, v);
+                    }
+                    self.drain_changes();
+                    continue;
+                }
+                break;
+            }
+            if self.finished {
+                break;
+            }
+            self.print_monitors();
+            // Advance time.
+            let Some((&t, _)) = self.future.iter().next() else {
+                break; // quiescent
+            };
+            if t > opts.max_time {
+                break;
+            }
+            self.time = t;
+            let events = self.future.remove(&t).expect("key just observed");
+            for ev in events {
+                match ev {
+                    FutureEvent::Wake(p) => {
+                        if self.procs[p].status == Status::WaitTime {
+                            self.procs[p].status = Status::Ready;
+                            self.enqueue(p);
+                        }
+                    }
+                    FutureEvent::Nba(t, v) => self.nba.push((t, v)),
+                }
+            }
+        }
+        Ok(SimResult {
+            finished: self.finished,
+            time: self.time,
+            output: self.output.clone(),
+            error_count: self.error_count,
+        })
+    }
+
+    fn enqueue(&mut self, p: usize) {
+        if !self.in_ready[p] {
+            self.in_ready[p] = true;
+            self.ready.push_back(p);
+        }
+    }
+
+    fn run_proc(&mut self, p: usize, steps: &mut u64, opts: &SimOptions) -> Result<(), RunError> {
+        // Continuous assignment: evaluate and re-suspend.
+        if let Some((lhs, rhs)) = self.cont[p].clone() {
+            let w = self.natural_width(&lhs, None);
+            let v = self.eval(&rhs, w, None);
+            let target = self.resolve_target(&lhs);
+            let width = target_width(&target, &self.design);
+            self.write(target, v.resize(width.max(1), false));
+            self.procs[p].status = Status::WaitEvent;
+            self.drain_changes();
+            return Ok(());
+        }
+        loop {
+            if self.finished {
+                return Ok(());
+            }
+            *steps += 1;
+            if *steps > opts.max_steps {
+                return Err(RunError {
+                    message: "statement budget exceeded (runaway loop?)".into(),
+                    time: self.time,
+                });
+            }
+            let Some(task) = self.procs[p].tasks.pop() else {
+                // Body complete.
+                if self.procs[p].is_initial {
+                    self.procs[p].status = Status::Done;
+                    return Ok(());
+                }
+                let rearm = self.procs[p].rearm.clone().unwrap_or_default();
+                let body = match &self.design.processes[p].body {
+                    Some(b) => (**b).clone(),
+                    None => return Ok(()),
+                };
+                self.procs[p].tasks.push(Task::Exec(body));
+                if self.procs[p].free_running {
+                    continue; // always with no sensitivity: run again
+                }
+                self.procs[p].watches = rearm;
+                self.procs[p].status = Status::WaitEvent;
+                return Ok(());
+            };
+            if !self.exec_task(p, task)? {
+                return Ok(()); // suspended
+            }
+        }
+    }
+
+    /// Executes one task; returns `false` when the process suspended.
+    fn exec_task(&mut self, p: usize, task: Task) -> Result<bool, RunError> {
+        match task {
+            Task::Apply(target, value) => {
+                self.write(target, value);
+                self.drain_changes();
+                Ok(true)
+            }
+            Task::WaitCheck(cond) => {
+                let v = self.eval(&cond, 0, None);
+                if v.truthy() == Some(true) {
+                    Ok(true)
+                } else {
+                    // Keep waiting: push ourselves back and re-suspend.
+                    self.procs[p].tasks.push(Task::WaitCheck(cond.clone()));
+                    self.set_level_watch(p, &cond);
+                    self.procs[p].status = Status::WaitEvent;
+                    Ok(false)
+                }
+            }
+            Task::LoopWhile { cond, body } => {
+                if self.eval(&cond, 0, None).truthy() == Some(true) {
+                    self.procs[p].tasks.push(Task::LoopWhile {
+                        cond,
+                        body: body.clone(),
+                    });
+                    self.procs[p].tasks.push(Task::Exec(*body));
+                }
+                Ok(true)
+            }
+            Task::LoopFor { cond, step, body } => {
+                if self.eval(&cond, 0, None).truthy() == Some(true) {
+                    self.procs[p].tasks.push(Task::LoopFor {
+                        cond,
+                        step: step.clone(),
+                        body: body.clone(),
+                    });
+                    self.procs[p].tasks.push(Task::Exec(*step));
+                    self.procs[p].tasks.push(Task::Exec(*body));
+                }
+                Ok(true)
+            }
+            Task::LoopRepeat { remaining, body } => {
+                if remaining > 0 {
+                    self.procs[p].tasks.push(Task::LoopRepeat {
+                        remaining: remaining - 1,
+                        body: body.clone(),
+                    });
+                    self.procs[p].tasks.push(Task::Exec(*body));
+                }
+                Ok(true)
+            }
+            Task::LoopForever { body } => {
+                self.procs[p].tasks.push(Task::LoopForever {
+                    body: body.clone(),
+                });
+                self.procs[p].tasks.push(Task::Exec(*body));
+                Ok(true)
+            }
+            Task::Exec(stmt) => self.exec_stmt(p, stmt),
+        }
+    }
+
+    fn exec_stmt(&mut self, p: usize, stmt: Stmt) -> Result<bool, RunError> {
+        match stmt {
+            Stmt::Block { stmts, .. } => {
+                for s in stmts.into_iter().rev() {
+                    self.procs[p].tasks.push(Task::Exec(s));
+                }
+                Ok(true)
+            }
+            Stmt::Null { .. } => Ok(true),
+            Stmt::Assign {
+                lhs,
+                rhs,
+                kind,
+                delay,
+                ..
+            } => {
+                let w = self.natural_width(&lhs, None);
+                let value = self.eval(&rhs, w, None);
+                let target = self.resolve_target(&lhs);
+                let width = target_width(&target, &self.design).max(1);
+                let value = value.resize(width, self.is_signed_expr(&rhs, None));
+                let delay_amt = delay
+                    .as_ref()
+                    .map(|d| self.eval(d, 0, None).to_u64_ext().unwrap_or(0));
+                match (kind, delay_amt) {
+                    (AssignKind::Blocking, None) => {
+                        self.write(target, value);
+                        self.drain_changes();
+                        Ok(true)
+                    }
+                    (AssignKind::Blocking, Some(d)) => {
+                        self.procs[p].tasks.push(Task::Apply(target, value));
+                        self.schedule_wake(p, self.time + d);
+                        Ok(false)
+                    }
+                    (AssignKind::NonBlocking, None) => {
+                        self.nba.push((target, value));
+                        Ok(true)
+                    }
+                    (AssignKind::NonBlocking, Some(d)) => {
+                        self.future
+                            .entry(self.time + d)
+                            .or_default()
+                            .push(FutureEvent::Nba(target, value));
+                        Ok(true)
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_stmt,
+                else_stmt,
+                ..
+            } => {
+                let c = self.eval(&cond, 0, None);
+                if c.truthy() == Some(true) {
+                    self.procs[p].tasks.push(Task::Exec(*then_stmt));
+                } else if let Some(e) = else_stmt {
+                    self.procs[p].tasks.push(Task::Exec(*e));
+                }
+                Ok(true)
+            }
+            Stmt::Case {
+                kind, expr, arms, ..
+            } => {
+                let selw = self.natural_width(&expr, None);
+                let sel = self.eval(&expr, 0, None);
+                let mut default = None;
+                for arm in arms {
+                    if arm.labels.is_empty() {
+                        default = Some(arm.body);
+                        continue;
+                    }
+                    let mut hit = false;
+                    for l in &arm.labels {
+                        let lv = self.eval(l, selw, None);
+                        if case_label_matches(kind, &sel, &lv) {
+                            hit = true;
+                            break;
+                        }
+                    }
+                    if hit {
+                        self.procs[p].tasks.push(Task::Exec(arm.body));
+                        return Ok(true);
+                    }
+                }
+                if let Some(d) = default {
+                    self.procs[p].tasks.push(Task::Exec(d));
+                }
+                Ok(true)
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                self.procs[p].tasks.push(Task::LoopFor { cond, step, body });
+                self.procs[p].tasks.push(Task::Exec(*init));
+                Ok(true)
+            }
+            Stmt::While { cond, body, .. } => {
+                self.procs[p].tasks.push(Task::LoopWhile { cond, body });
+                Ok(true)
+            }
+            Stmt::Repeat { count, body, .. } => {
+                let n = self.eval(&count, 0, None).to_u64_ext().unwrap_or(0);
+                self.procs[p].tasks.push(Task::LoopRepeat {
+                    remaining: n,
+                    body,
+                });
+                Ok(true)
+            }
+            Stmt::Forever { body, .. } => {
+                self.procs[p].tasks.push(Task::LoopForever { body });
+                Ok(true)
+            }
+            Stmt::Delay { amount, stmt, .. } => {
+                let d = self.eval(&amount, 0, None).to_u64_ext().unwrap_or(0);
+                if let Some(s) = stmt {
+                    self.procs[p].tasks.push(Task::Exec(*s));
+                }
+                self.schedule_wake(p, self.time + d);
+                Ok(false)
+            }
+            Stmt::Event {
+                sensitivity, stmt, ..
+            } => {
+                if let Some(s) = stmt {
+                    self.procs[p].tasks.push(Task::Exec(*s));
+                }
+                let watches = compile_sens(&sensitivity, &self.design);
+                if watches.is_empty() {
+                    // Nothing observable: treat as a no-op rather than hang.
+                    return Ok(true);
+                }
+                self.procs[p].watches = watches;
+                self.procs[p].status = Status::WaitEvent;
+                Ok(false)
+            }
+            Stmt::Wait { cond, stmt, .. } => {
+                if let Some(s) = stmt {
+                    self.procs[p].tasks.push(Task::Exec(*s));
+                }
+                let v = self.eval(&cond, 0, None);
+                if v.truthy() == Some(true) {
+                    Ok(true)
+                } else {
+                    self.procs[p].tasks.push(Task::WaitCheck(cond.clone()));
+                    self.set_level_watch(p, &cond);
+                    self.procs[p].status = Status::WaitEvent;
+                    Ok(false)
+                }
+            }
+            Stmt::SysCall { name, args, .. } => {
+                self.exec_syscall(p, &name, &args);
+                Ok(!self.finished)
+            }
+        }
+    }
+
+    fn set_level_watch(&mut self, p: usize, cond: &Expr) {
+        let mut reads = Vec::new();
+        collect_expr_reads(cond, &mut reads);
+        let watches = reads
+            .iter()
+            .filter_map(|n| {
+                self.design.index.get(n).map(|id| SensWatch {
+                    sig: *id,
+                    bit: None,
+                    edge: None,
+                })
+            })
+            .collect();
+        self.procs[p].watches = watches;
+    }
+
+    fn schedule_wake(&mut self, p: usize, t: u64) {
+        self.procs[p].status = Status::WaitTime;
+        self.future.entry(t).or_default().push(FutureEvent::Wake(p));
+    }
+
+    fn exec_syscall(&mut self, p: usize, name: &str, args: &[Expr]) {
+        match name {
+            "display" | "write" | "strobe" => {
+                let text = self.format_args(args);
+                self.push_output(&text);
+                if name != "write" {
+                    self.push_output("\n");
+                }
+            }
+            "monitor" => {
+                self.monitors.push(MonitorSpec {
+                    args: args.to_vec(),
+                    last: None,
+                });
+            }
+            "finish" | "stop" => {
+                self.finished = true;
+            }
+            "error" | "warning" | "info" => {
+                if name == "error" {
+                    self.error_count += 1;
+                }
+                let text = self.format_args(args);
+                self.push_output(&format!("[{}] {}\n", name.to_uppercase(), text));
+            }
+            "fatal" => {
+                self.error_count += 1;
+                let text = self.format_args(args);
+                self.push_output(&format!("[FATAL] {text}\n"));
+                self.finished = true;
+            }
+            // Waveform / misc directives are accepted and ignored.
+            "dumpfile" | "dumpvars" | "dumpon" | "dumpoff" | "timeformat" | "readmemh"
+            | "readmemb" => {}
+            _ => {
+                let _ = p;
+            }
+        }
+    }
+
+    fn push_output(&mut self, s: &str) {
+        // Output cap prevents runaway testbenches from eating memory; the
+        // limit is generous compared to benchmark transcripts.
+        if self.output.len() < (1 << 20) {
+            self.output.push_str(s);
+        }
+    }
+
+    fn format_args(&mut self, args: &[Expr]) -> String {
+        let mut out = String::new();
+        if args.is_empty() {
+            return out;
+        }
+        if let Expr::Str(fmt, _) = &args[0] {
+            let mut rest = args[1..].iter();
+            let mut chars = fmt.chars().peekable();
+            while let Some(c) = chars.next() {
+                if c != '%' {
+                    out.push(c);
+                    continue;
+                }
+                // %[0][width]conv
+                let mut zero = false;
+                let mut width = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d == '0' && width.is_empty() {
+                        zero = true;
+                        chars.next();
+                    } else if d.is_ascii_digit() {
+                        width.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let Some(conv) = chars.next() else { break };
+                match conv {
+                    '%' => out.push('%'),
+                    'm' | 'M' => {
+                        // Instance path of the calling process; best-effort.
+                        out.push_str("top");
+                    }
+                    't' | 'T' => {
+                        if let Some(a) = rest.next() {
+                            let v = self.eval(a, 0, None);
+                            out.push_str(&format_value(&v, 'd', false));
+                        }
+                    }
+                    's' | 'S' => {
+                        if let Some(a) = rest.next() {
+                            if let Expr::Str(s, _) = a {
+                                out.push_str(s);
+                            } else {
+                                let v = self.eval(a, 0, None);
+                                out.push_str(&format_value(&v, 's', false));
+                            }
+                        }
+                    }
+                    c => {
+                        if let Some(a) = rest.next() {
+                            let signed = self.is_signed_expr(a, None);
+                            let v = self.eval(a, 0, None);
+                            let s = format_value(&v, c, signed);
+                            let w: usize = width.parse().unwrap_or(0);
+                            if s.len() < w {
+                                let pad = if zero { '0' } else { ' ' };
+                                for _ in 0..(w - s.len()) {
+                                    out.push(pad);
+                                }
+                            }
+                            out.push_str(&s);
+                        }
+                    }
+                }
+            }
+        } else {
+            let parts: Vec<String> = args
+                .iter()
+                .map(|a| {
+                    let signed = self.is_signed_expr(a, None);
+                    let v = self.eval(a, 0, None);
+                    format_value(&v, 'd', signed)
+                })
+                .collect();
+            out.push_str(&parts.join(" "));
+        }
+        out
+    }
+
+    fn print_monitors(&mut self) {
+        if self.monitors.is_empty() {
+            return;
+        }
+        let specs: Vec<Vec<Expr>> = self.monitors.iter().map(|m| m.args.clone()).collect();
+        for (i, args) in specs.iter().enumerate() {
+            let text = self.format_args(args);
+            let changed = self.monitors[i].last.as_deref() != Some(text.as_str());
+            if changed {
+                self.monitors[i].last = Some(text.clone());
+                self.push_output(&text);
+                self.push_output("\n");
+            }
+        }
+    }
+
+    /// Resolves an lvalue expression to a write target, evaluating index
+    /// expressions with current values.
+    pub(crate) fn resolve_target(&mut self, lhs: &Expr) -> WriteTarget {
+        match lhs {
+            Expr::Ident(i) => match self.design.index.get(&i.name) {
+                Some(id) => WriteTarget::Full(*id),
+                None => WriteTarget::Void,
+            },
+            Expr::Index { base, index, .. } => {
+                let Some(name) = base.as_ident() else {
+                    return WriteTarget::Void;
+                };
+                let Some((id, def)) = self.design.signal(name) else {
+                    return WriteTarget::Void;
+                };
+                let (is_mem, bit_off, word_off) = {
+                    let idx = self.eval(index, 0, None);
+                    match idx.to_u64_ext() {
+                        None => return WriteTarget::Void,
+                        Some(v) => {
+                            let v = v as i64;
+                            (def.mem.is_some(), def.bit_offset(v), def.word_offset(v))
+                        }
+                    }
+                };
+                if is_mem {
+                    match word_off {
+                        Some(o) => WriteTarget::Word(id, o),
+                        None => WriteTarget::Void,
+                    }
+                } else {
+                    match bit_off {
+                        Some(o) => WriteTarget::Bits(id, o, 1),
+                        None => WriteTarget::Void,
+                    }
+                }
+            }
+            Expr::PartSelect { base, msb, lsb, .. } => {
+                let Some(name) = base.as_ident() else {
+                    return WriteTarget::Void;
+                };
+                let Some((id, def)) = self.design.signal(name) else {
+                    return WriteTarget::Void;
+                };
+                let m = self.eval(msb, 0, None).to_u64_ext();
+                let l = self.eval(lsb, 0, None).to_u64_ext();
+                let (Some(m), Some(l)) = (m, l) else {
+                    return WriteTarget::Void;
+                };
+                let (m, l) = (m as i64, l as i64);
+                let width = m.abs_diff(l) as usize + 1;
+                let lo = def.bit_offset(if def.msb >= def.lsb { l } else { m });
+                match lo {
+                    Some(lo) => WriteTarget::Bits(id, lo, width),
+                    None => WriteTarget::Void,
+                }
+            }
+            Expr::IndexedPart {
+                base,
+                start,
+                width,
+                ascending,
+                ..
+            } => {
+                let Some(name) = base.as_ident() else {
+                    return WriteTarget::Void;
+                };
+                let Some((id, def)) = self.design.signal(name) else {
+                    return WriteTarget::Void;
+                };
+                let s = self.eval(start, 0, None).to_u64_ext();
+                let w = self.eval(width, 0, None).to_u64_ext();
+                let (Some(s), Some(w)) = (s, w) else {
+                    return WriteTarget::Void;
+                };
+                let (s, w) = (s as i64, w.max(1) as usize);
+                let (msb, lsb) = if *ascending {
+                    (s + w as i64 - 1, s)
+                } else {
+                    (s, s - w as i64 + 1)
+                };
+                let lo = def.bit_offset(if def.msb >= def.lsb { lsb } else { msb });
+                match lo {
+                    Some(lo) => WriteTarget::Bits(id, lo, w),
+                    None => WriteTarget::Void,
+                }
+            }
+            Expr::Concat(parts, _) => {
+                let resolved: Vec<(WriteTarget, usize)> = parts
+                    .iter()
+                    .map(|p| {
+                        let t = self.resolve_target(p);
+                        let w = target_width(&t, &self.design);
+                        (t, w)
+                    })
+                    .collect();
+                WriteTarget::Pack(resolved)
+            }
+            _ => WriteTarget::Void,
+        }
+    }
+
+    /// Applies a write, recording value changes for event wake-up.
+    pub(crate) fn write(&mut self, target: WriteTarget, value: LogicVec) {
+        match target {
+            WriteTarget::Void => {}
+            WriteTarget::Full(id) => {
+                let width = self.design.signals[id].width;
+                let new = value.resize(width, false);
+                let old = std::mem::replace(&mut self.store[id], new.clone());
+                if old != new {
+                    if let Some(vcd) = &mut self.vcd {
+                        vcd.record(self.time, id, &new);
+                    }
+                    self.pending.push((id, old, new));
+                }
+            }
+            WriteTarget::Bits(id, lo, width) => {
+                let old = self.store[id].clone();
+                let mut new = old.clone();
+                for i in 0..width {
+                    new.set_bit(lo + i, value.bit(i));
+                }
+                if old != new {
+                    self.store[id] = new.clone();
+                    if let Some(vcd) = &mut self.vcd {
+                        vcd.record(self.time, id, &new);
+                    }
+                    self.pending.push((id, old, new));
+                }
+            }
+            WriteTarget::Word(id, off) => {
+                let width = self.design.signals[id].width;
+                let new = value.resize(width, false);
+                if let Some(slot) = self.mems[id].get_mut(off) {
+                    let old = std::mem::replace(slot, new.clone());
+                    if old != new {
+                        // Word writes wake level watchers of the memory.
+                        self.pending.push((id, LogicVec::zeros(1), LogicVec::from_bool(true)));
+                        let _ = old;
+                    }
+                }
+            }
+            WriteTarget::Pack(parts) => {
+                // MSB-first: the first part takes the top bits.
+                let total: usize = parts.iter().map(|(_, w)| w).sum();
+                let v = value.resize(total.max(1), false);
+                let mut hi = total;
+                for (t, w) in parts {
+                    let lo = hi - w;
+                    self.write(t, v.slice(lo, w));
+                    hi = lo;
+                }
+            }
+        }
+    }
+
+    /// Wakes processes whose watches match the pending changes.
+    pub(crate) fn drain_changes(&mut self) {
+        while !self.pending.is_empty() {
+            let changes = std::mem::take(&mut self.pending);
+            let mut to_wake = Vec::new();
+            for (pi, proc) in self.procs.iter().enumerate() {
+                if proc.status != Status::WaitEvent {
+                    continue;
+                }
+                'w: for w in &proc.watches {
+                    for (sig, old, new) in &changes {
+                        if w.sig != *sig {
+                            continue;
+                        }
+                        if watch_matches(w, old, new) {
+                            to_wake.push(pi);
+                            break 'w;
+                        }
+                    }
+                }
+            }
+            for pi in to_wake {
+                self.procs[pi].status = Status::Ready;
+                self.enqueue(pi);
+            }
+        }
+    }
+}
+
+fn watch_matches(w: &SensWatch, old: &LogicVec, new: &LogicVec) -> bool {
+    match w.edge {
+        None => {
+            if let Some(b) = w.bit {
+                old.bit(b) != new.bit(b)
+            } else {
+                old != new
+            }
+        }
+        Some(edge) => {
+            let b = w.bit.unwrap_or(0);
+            let (o, n) = (old.bit(b), new.bit(b));
+            match edge {
+                Edge::Pos => {
+                    (o == LogicBit::Zero && n != LogicBit::Zero)
+                        || (o.is_unknown() && n == LogicBit::One)
+                }
+                Edge::Neg => {
+                    (o == LogicBit::One && n != LogicBit::One)
+                        || (o.is_unknown() && n == LogicBit::Zero)
+                }
+            }
+        }
+    }
+}
+
+fn target_width(t: &WriteTarget, design: &Design) -> usize {
+    match t {
+        WriteTarget::Void => 0,
+        WriteTarget::Full(id) | WriteTarget::Word(id, _) => design.signals[*id].width,
+        WriteTarget::Bits(_, _, w) => *w,
+        WriteTarget::Pack(parts) => parts.iter().map(|(_, w)| w).sum(),
+    }
+}
+
+fn compile_sens(s: &Sensitivity, design: &Design) -> Vec<SensWatch> {
+    let mut out = Vec::new();
+    let Sensitivity::List(items) = s else {
+        return out;
+    };
+    for item in items {
+        match &item.expr {
+            Expr::Ident(i) => {
+                if let Some(id) = design.index.get(&i.name) {
+                    out.push(SensWatch {
+                        sig: *id,
+                        bit: None,
+                        edge: item.edge,
+                    });
+                }
+            }
+            Expr::Index { base, index, .. } => {
+                if let (Some(name), Expr::Number(n, _)) = (base.as_ident(), index.as_ref()) {
+                    if let Some((id, def)) = design.signal(name) {
+                        let bit = n
+                            .value
+                            .to_u64()
+                            .and_then(|v| def.bit_offset(v as i64));
+                        out.push(SensWatch {
+                            sig: id,
+                            bit,
+                            edge: item.edge,
+                        });
+                        continue;
+                    }
+                }
+                // Fallback: level-watch every identifier in the expression.
+                let mut reads = Vec::new();
+                collect_expr_reads(&item.expr, &mut reads);
+                for r in reads {
+                    if let Some(id) = design.index.get(&r) {
+                        out.push(SensWatch {
+                            sig: *id,
+                            bit: None,
+                            edge: None,
+                        });
+                    }
+                }
+            }
+            other => {
+                let mut reads = Vec::new();
+                collect_expr_reads(other, &mut reads);
+                for r in reads {
+                    if let Some(id) = design.index.get(&r) {
+                        out.push(SensWatch {
+                            sig: *id,
+                            bit: None,
+                            edge: None,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn collect_expr_reads(e: &Expr, out: &mut Vec<String>) {
+    use dda_verilog::visit::{walk_expr, Visitor};
+    struct R<'v>(&'v mut Vec<String>);
+    impl Visitor for R<'_> {
+        fn visit_expr(&mut self, e: &Expr) {
+            if let Expr::Ident(i) = e {
+                self.0.push(i.name.clone());
+            }
+            walk_expr(self, e);
+        }
+    }
+    R(out).visit_expr(e);
+}
+
+fn collect_lhs_index_reads(e: &Expr, out: &mut Vec<String>) {
+    match e {
+        Expr::Index { index, .. } => collect_expr_reads(index, out),
+        Expr::PartSelect { msb, lsb, .. } => {
+            collect_expr_reads(msb, out);
+            collect_expr_reads(lsb, out);
+        }
+        Expr::IndexedPart { start, width, .. } => {
+            collect_expr_reads(start, out);
+            collect_expr_reads(width, out);
+        }
+        Expr::Concat(parts, _) => {
+            for p in parts {
+                collect_lhs_index_reads(p, out);
+            }
+        }
+        _ => {}
+    }
+}

@@ -1,0 +1,430 @@
+//! Four-state arithmetic/logic operations over [`LogicVec`].
+//!
+//! These implement IEEE 1364 expression semantics for the simulator: any
+//! `x`/`z` operand makes arithmetic results all-`x`; bitwise operations
+//! propagate per bit; comparisons yield a 1-bit `x` when unknowns prevent a
+//! decision.
+
+use dda_verilog::{LogicBit, LogicVec};
+
+fn all_x(width: usize) -> LogicVec {
+    LogicVec::xs(width.max(1))
+}
+
+/// Wrapping addition; all-`x` on unknown operands.
+pub fn add(a: &LogicVec, b: &LogicVec) -> LogicVec {
+    let w = a.width().max(b.width());
+    match (a.to_u128(), b.to_u128()) {
+        (Some(x), Some(y)) => from_u128(x.wrapping_add(y), w),
+        _ => all_x(w),
+    }
+}
+
+/// Wrapping subtraction; all-`x` on unknown operands.
+pub fn sub(a: &LogicVec, b: &LogicVec) -> LogicVec {
+    let w = a.width().max(b.width());
+    match (a.to_u128(), b.to_u128()) {
+        (Some(x), Some(y)) => from_u128(x.wrapping_sub(y), w),
+        _ => all_x(w),
+    }
+}
+
+/// Wrapping multiplication; all-`x` on unknown operands.
+pub fn mul(a: &LogicVec, b: &LogicVec) -> LogicVec {
+    let w = a.width().max(b.width());
+    match (a.to_u128(), b.to_u128()) {
+        (Some(x), Some(y)) => from_u128(x.wrapping_mul(y), w),
+        _ => all_x(w),
+    }
+}
+
+/// Unsigned division; all-`x` on unknown operands or division by zero.
+pub fn div(a: &LogicVec, b: &LogicVec) -> LogicVec {
+    let w = a.width().max(b.width());
+    match (a.to_u128(), b.to_u128()) {
+        (Some(x), Some(y)) if y != 0 => from_u128(x / y, w),
+        _ => all_x(w),
+    }
+}
+
+/// Unsigned remainder; all-`x` on unknown operands or modulo by zero.
+pub fn rem(a: &LogicVec, b: &LogicVec) -> LogicVec {
+    let w = a.width().max(b.width());
+    match (a.to_u128(), b.to_u128()) {
+        (Some(x), Some(y)) if y != 0 => from_u128(x % y, w),
+        _ => all_x(w),
+    }
+}
+
+/// Power; all-`x` on unknown operands.
+pub fn pow(a: &LogicVec, b: &LogicVec) -> LogicVec {
+    let w = a.width();
+    match (a.to_u128(), b.to_u64_ext()) {
+        (Some(x), Some(y)) => {
+            let mut acc: u128 = 1;
+            for _ in 0..y.min(200) {
+                acc = acc.wrapping_mul(x);
+            }
+            from_u128(acc, w)
+        }
+        _ => all_x(w),
+    }
+}
+
+/// Two's-complement negation.
+pub fn neg(a: &LogicVec) -> LogicVec {
+    let w = a.width();
+    match a.to_u128() {
+        Some(x) => from_u128(x.wrapping_neg(), w),
+        None => all_x(w),
+    }
+}
+
+/// Bitwise NOT.
+pub fn bit_not(a: &LogicVec) -> LogicVec {
+    a.bits().iter().map(|b| b.not()).collect()
+}
+
+fn zip_bits(a: &LogicVec, b: &LogicVec, f: impl Fn(LogicBit, LogicBit) -> LogicBit) -> LogicVec {
+    let w = a.width().max(b.width());
+    (0..w)
+        .map(|i| {
+            let x = a.bits().get(i).copied().unwrap_or(LogicBit::Zero);
+            let y = b.bits().get(i).copied().unwrap_or(LogicBit::Zero);
+            f(x, y)
+        })
+        .collect()
+}
+
+/// Bitwise AND.
+pub fn bit_and(a: &LogicVec, b: &LogicVec) -> LogicVec {
+    zip_bits(a, b, LogicBit::and)
+}
+
+/// Bitwise OR.
+pub fn bit_or(a: &LogicVec, b: &LogicVec) -> LogicVec {
+    zip_bits(a, b, LogicBit::or)
+}
+
+/// Bitwise XOR.
+pub fn bit_xor(a: &LogicVec, b: &LogicVec) -> LogicVec {
+    zip_bits(a, b, LogicBit::xor)
+}
+
+/// Bitwise XNOR.
+pub fn bit_xnor(a: &LogicVec, b: &LogicVec) -> LogicVec {
+    zip_bits(a, b, |x, y| x.xor(y).not())
+}
+
+/// Logical shift left by an unsigned amount; `x` amount yields all-`x`.
+pub fn shl(a: &LogicVec, amount: &LogicVec) -> LogicVec {
+    let w = a.width();
+    match amount.to_u64_ext() {
+        Some(n) => {
+            let n = n as usize;
+            (0..w)
+                .map(|i| {
+                    if i >= n {
+                        a.bit(i - n)
+                    } else {
+                        LogicBit::Zero
+                    }
+                })
+                .collect()
+        }
+        None => all_x(w),
+    }
+}
+
+/// Logical shift right.
+pub fn shr(a: &LogicVec, amount: &LogicVec) -> LogicVec {
+    let w = a.width();
+    match amount.to_u64_ext() {
+        Some(n) => {
+            let n = n as usize;
+            (0..w)
+                .map(|i| {
+                    if i + n < w {
+                        a.bit(i + n)
+                    } else {
+                        LogicBit::Zero
+                    }
+                })
+                .collect()
+        }
+        None => all_x(w),
+    }
+}
+
+/// Arithmetic shift right (sign-filling).
+pub fn ashr(a: &LogicVec, amount: &LogicVec) -> LogicVec {
+    let w = a.width();
+    let fill = a.bits().last().copied().unwrap_or(LogicBit::Zero);
+    match amount.to_u64_ext() {
+        Some(n) => {
+            let n = n as usize;
+            (0..w)
+                .map(|i| if i + n < w { a.bit(i + n) } else { fill })
+                .collect()
+        }
+        None => all_x(w),
+    }
+}
+
+/// Logical equality (`==`): 1-bit result, `x` when unknowns are present.
+pub fn log_eq(a: &LogicVec, b: &LogicVec) -> LogicVec {
+    let w = a.width().max(b.width());
+    let mut any_x = false;
+    for i in 0..w {
+        let x = a.bits().get(i).copied().unwrap_or(LogicBit::Zero);
+        let y = b.bits().get(i).copied().unwrap_or(LogicBit::Zero);
+        if x.is_unknown() || y.is_unknown() {
+            any_x = true;
+        } else if x != y {
+            return LogicVec::from_bool(false);
+        }
+    }
+    if any_x {
+        LogicVec::from_bit(LogicBit::X)
+    } else {
+        LogicVec::from_bool(true)
+    }
+}
+
+/// Logical inequality (`!=`).
+pub fn log_ne(a: &LogicVec, b: &LogicVec) -> LogicVec {
+    let e = log_eq(a, b);
+    match e.bit(0) {
+        LogicBit::X | LogicBit::Z => LogicVec::from_bit(LogicBit::X),
+        b => LogicVec::from_bit(b.not()),
+    }
+}
+
+/// Case equality (`===`): exact 4-state match, always 0 or 1.
+pub fn case_eq(a: &LogicVec, b: &LogicVec) -> LogicVec {
+    LogicVec::from_bool(a.case_eq(b))
+}
+
+/// Unsigned/signed comparison. `signed` selects two's-complement order.
+pub fn cmp_lt(a: &LogicVec, b: &LogicVec, signed: bool) -> LogicVec {
+    if a.has_unknown() || b.has_unknown() {
+        return LogicVec::from_bit(LogicBit::X);
+    }
+    let r = if signed {
+        let w = a.width().max(b.width());
+        let x = a.resize(w, true).to_i64().unwrap_or(0);
+        let y = b.resize(w, true).to_i64().unwrap_or(0);
+        x < y
+    } else {
+        let x = a.to_u128().unwrap_or(0);
+        let y = b.to_u128().unwrap_or(0);
+        x < y
+    };
+    LogicVec::from_bool(r)
+}
+
+/// Logical AND (`&&`): 1-bit, with x when undecidable.
+pub fn log_and(a: &LogicVec, b: &LogicVec) -> LogicVec {
+    match (a.truthy(), b.truthy()) {
+        (Some(false), _) | (_, Some(false)) => LogicVec::from_bool(false),
+        (Some(true), Some(true)) => LogicVec::from_bool(true),
+        _ => LogicVec::from_bit(LogicBit::X),
+    }
+}
+
+/// Logical OR (`||`).
+pub fn log_or(a: &LogicVec, b: &LogicVec) -> LogicVec {
+    match (a.truthy(), b.truthy()) {
+        (Some(true), _) | (_, Some(true)) => LogicVec::from_bool(true),
+        (Some(false), Some(false)) => LogicVec::from_bool(false),
+        _ => LogicVec::from_bit(LogicBit::X),
+    }
+}
+
+/// Logical NOT (`!`).
+pub fn log_not(a: &LogicVec) -> LogicVec {
+    match a.truthy() {
+        Some(v) => LogicVec::from_bool(!v),
+        None => LogicVec::from_bit(LogicBit::X),
+    }
+}
+
+/// Reduction over all bits with the given fold.
+pub fn reduce(a: &LogicVec, f: impl Fn(LogicBit, LogicBit) -> LogicBit, invert: bool) -> LogicVec {
+    let mut acc = a.bits().first().copied().unwrap_or(LogicBit::Zero);
+    for b in a.bits().iter().skip(1) {
+        acc = f(acc, *b);
+    }
+    if invert {
+        acc = acc.not();
+    }
+    LogicVec::from_bit(acc)
+}
+
+/// Replicates `a`, `n` times (`{n{a}}`).
+pub fn replicate(a: &LogicVec, n: usize) -> LogicVec {
+    let mut bits = Vec::with_capacity(a.width() * n);
+    for _ in 0..n {
+        bits.extend_from_slice(a.bits());
+    }
+    LogicVec::from_bits(bits)
+}
+
+/// Builds a `width`-bit vector from a `u128`.
+pub fn from_u128(v: u128, width: usize) -> LogicVec {
+    (0..width.max(1))
+        .map(|i| {
+            if i < 128 {
+                LogicBit::from(v >> i & 1 == 1)
+            } else {
+                LogicBit::Zero
+            }
+        })
+        .collect()
+}
+
+/// Extension trait: wide conversions used by the simulator.
+pub trait LogicVecExt {
+    /// As u128, `None` when any bit is unknown or width exceeds 128 with
+    /// nonzero high bits.
+    fn to_u128(&self) -> Option<u128>;
+    /// As u64, allowing widths beyond 64 when high bits are zero.
+    fn to_u64_ext(&self) -> Option<u64>;
+}
+
+impl LogicVecExt for LogicVec {
+    fn to_u128(&self) -> Option<u128> {
+        if self.bits().len() > 128 && self.bits()[128..].iter().any(|b| *b != LogicBit::Zero) {
+            return None;
+        }
+        let mut v = 0u128;
+        for (i, b) in self.bits().iter().take(128).enumerate() {
+            match b.to_bool() {
+                Some(true) => v |= 1 << i,
+                Some(false) => {}
+                None => return None,
+            }
+        }
+        Some(v)
+    }
+
+    fn to_u64_ext(&self) -> Option<u64> {
+        let v = self.to_u128()?;
+        u64::try_from(v).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> LogicVec {
+        LogicVec::parse_binary(s).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_wraps_at_width() {
+        let a = LogicVec::from_u64(3, 2);
+        let b = LogicVec::from_u64(1, 2);
+        assert_eq!(add(&a, &b).to_u64(), Some(0)); // 3+1 wraps in 2 bits
+        assert_eq!(sub(&b, &a).to_u64(), Some(2)); // 1-3 = -2 = 2 (mod 4)
+    }
+
+    #[test]
+    fn x_poisons_arithmetic() {
+        let a = v("1x");
+        let b = v("01");
+        assert!(add(&a, &b).has_unknown());
+        assert!(mul(&a, &b).has_unknown());
+        assert!(neg(&a).has_unknown());
+    }
+
+    #[test]
+    fn division_by_zero_is_x() {
+        let a = LogicVec::from_u64(5, 4);
+        let z = LogicVec::from_u64(0, 4);
+        assert!(div(&a, &z).has_unknown());
+        assert!(rem(&a, &z).has_unknown());
+        assert_eq!(div(&a, &LogicVec::from_u64(2, 4)).to_u64(), Some(2));
+    }
+
+    #[test]
+    fn bitwise_tracks_x_per_bit() {
+        let a = v("1x0");
+        let b = v("110");
+        let r = bit_and(&a, &b);
+        assert_eq!(r.to_string(), "1x0");
+        let r = bit_or(&a, &v("010"));
+        assert_eq!(r.to_string(), "110"); // 1|0=1, x|1=1, 0|0=0
+    }
+
+    #[test]
+    fn or_with_one_dominates_x() {
+        let r = bit_or(&v("x"), &v("1"));
+        assert_eq!(r.to_string(), "1");
+        let r = bit_and(&v("x"), &v("0"));
+        assert_eq!(r.to_string(), "0");
+    }
+
+    #[test]
+    fn shifts() {
+        let a = LogicVec::from_u64(0b0110, 4);
+        assert_eq!(shl(&a, &LogicVec::from_u64(1, 2)).to_string(), "1100");
+        assert_eq!(shr(&a, &LogicVec::from_u64(1, 2)).to_string(), "0011");
+        let s = v("1010");
+        assert_eq!(ashr(&s, &LogicVec::from_u64(1, 2)).to_string(), "1101");
+    }
+
+    #[test]
+    fn equality_with_x() {
+        assert_eq!(log_eq(&v("10"), &v("10")).to_u64(), Some(1));
+        assert_eq!(log_eq(&v("10"), &v("11")).to_u64(), Some(0));
+        assert!(log_eq(&v("1x"), &v("10")).has_unknown());
+        // mismatch on a known bit decides even with x elsewhere
+        assert_eq!(log_eq(&v("x1"), &v("x0")).to_u64(), Some(0));
+        // case equality is exact
+        assert_eq!(case_eq(&v("1x"), &v("1x")).to_u64(), Some(1));
+        assert_eq!(case_eq(&v("1x"), &v("10")).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn comparisons() {
+        let a = LogicVec::from_u64(3, 4);
+        let b = LogicVec::from_u64(5, 4);
+        assert_eq!(cmp_lt(&a, &b, false).to_u64(), Some(1));
+        assert_eq!(cmp_lt(&b, &a, false).to_u64(), Some(0));
+        // signed: 0b1111 = -1 < 3
+        let m1 = LogicVec::from_u64(0xF, 4);
+        assert_eq!(cmp_lt(&m1, &a, true).to_u64(), Some(1));
+        assert_eq!(cmp_lt(&m1, &a, false).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn logic_ops_short_circuit_x() {
+        assert_eq!(log_and(&v("0"), &v("x")).to_u64(), Some(0));
+        assert!(log_and(&v("1"), &v("x")).has_unknown());
+        assert_eq!(log_or(&v("1"), &v("x")).to_u64(), Some(1));
+        assert!(log_not(&v("x")).has_unknown());
+    }
+
+    #[test]
+    fn reductions() {
+        assert_eq!(reduce(&v("111"), LogicBit::and, false).to_u64(), Some(1));
+        assert_eq!(reduce(&v("101"), LogicBit::and, false).to_u64(), Some(0));
+        assert_eq!(reduce(&v("100"), LogicBit::or, false).to_u64(), Some(1));
+        assert_eq!(reduce(&v("101"), LogicBit::xor, false).to_u64(), Some(0));
+        assert_eq!(reduce(&v("101"), LogicBit::xor, true).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn replication() {
+        assert_eq!(replicate(&v("10"), 3).to_string(), "101010");
+    }
+
+    #[test]
+    fn wide_values() {
+        let a = from_u128(u128::MAX, 100);
+        assert_eq!(a.to_u128(), Some((1u128 << 100) - 1));
+        assert!(a.to_u64_ext().is_none());
+    }
+}

@@ -1,0 +1,295 @@
+//! Description → SiliconCompiler-script construction.
+//!
+//! A model finetuned on aligned (description, script) pairs effectively
+//! learns to invert the describer. This module is that inverse: it extracts
+//! the design, files, clock, floorplan constraints, and target from a
+//! prompt written in the describer's register, and constructs the script.
+//! Construction *fidelity* is the model knob: low-skill models drop or
+//! mangle fields — producing exactly the "syntactically correct but
+//! semantically invalid" scripts the paper observes from direct LLM
+//! generation (§3.3).
+
+use dda_scscript::{ScStmt, ScValue, Script};
+use rand::Rng;
+
+/// A structured reading of a script-generation prompt.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ScriptSpec {
+    /// Design name.
+    pub design: Option<String>,
+    /// Input files.
+    pub inputs: Vec<String>,
+    /// Clock pin and period.
+    pub clock: Option<(String, f64)>,
+    /// Die outline.
+    pub outline: Option<(f64, f64, f64, f64)>,
+    /// Core area.
+    pub corearea: Option<(f64, f64, f64, f64)>,
+    /// Flow target.
+    pub target: Option<String>,
+    /// Whether a summary was requested.
+    pub summary: bool,
+}
+
+impl ScriptSpec {
+    /// Enough information to build a runnable script.
+    pub fn sufficient(&self) -> bool {
+        self.design.is_some() && self.target.is_some()
+    }
+}
+
+fn quoted(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == '\'' {
+            if let Some(end) = bytes[i + 1..].iter().position(|c| *c == '\'') {
+                let s: String = bytes[i + 1..i + 1 + end].iter().collect();
+                out.push((i, s));
+                i += end + 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn parse_pair(text: &str) -> Option<(f64, f64)> {
+    let inner = text.trim().strip_prefix('(')?.strip_suffix(')')?;
+    let (a, b) = inner.split_once(',')?;
+    Some((a.trim().parse().ok()?, b.trim().parse().ok()?))
+}
+
+fn rect_after(sentence: &str) -> Option<(f64, f64, f64, f64)> {
+    // "... from (a, b) to (c, d)"
+    let from = sentence.find("from (")?;
+    let rest = &sentence[from + 5..];
+    let close = rest.find(')')?;
+    let first = parse_pair(&rest[..=close])?;
+    let rest2 = &rest[close + 1..];
+    let to = rest2.find("to (")?;
+    let rest3 = &rest2[to + 3..];
+    let close2 = rest3.find(')')?;
+    let second = parse_pair(&rest3[..=close2])?;
+    Some((first.0, first.1, second.0, second.1))
+}
+
+fn number_before(sentence: &str, marker: &str) -> Option<f64> {
+    let pos = sentence.find(marker)?;
+    let head = sentence[..pos].trim_end();
+    let start = head
+        .rfind(|c: char| !(c.is_ascii_digit() || c == '.'))
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    head[start..].parse().ok()
+}
+
+/// Extracts a [`ScriptSpec`] from a prompt in the describer's register.
+pub fn extract_script_spec(prompt: &str) -> ScriptSpec {
+    let mut spec = ScriptSpec::default();
+    // Sentence-wise scan; split on ". " (not bare '.') so decimal numbers
+    // like "2.5 nanosecond" stay inside one sentence.
+    let flat = prompt.replace('\n', " ");
+    for sentence in flat.split(". ") {
+        let s = sentence.trim();
+        if s.is_empty() {
+            continue;
+        }
+        let low = s.to_lowercase();
+        let names = quoted(s);
+        if low.contains("chip") && (low.contains("design") || low.contains("called") || low.contains("compilation"))
+        {
+            if let Some((_, n)) = names.first() {
+                if spec.design.is_none() {
+                    spec.design = Some(n.clone());
+                }
+            }
+        }
+        if low.contains("input") || low.contains("source file") || low.contains("rtl from") {
+            for (_, n) in &names {
+                if n.contains('.') && !spec.inputs.contains(n) {
+                    spec.inputs.push(n.clone());
+                }
+            }
+        }
+        if low.contains("clock") {
+            let pin = names.first().map(|(_, n)| n.clone());
+            let period = number_before(&low, "nanosecond").or_else(|| number_before(&low, "ns "));
+            if let (Some(pin), Some(period)) = (pin, period) {
+                spec.clock = Some((pin, period));
+            }
+        }
+        if low.contains("outline") || low.contains("die area") {
+            if let Some(r) = rect_after(s) {
+                spec.outline = Some(r);
+            }
+        }
+        if low.contains("core area") || low.contains("core region") {
+            if let Some(r) = rect_after(s) {
+                spec.corearea = Some(r);
+            }
+        }
+        if low.contains("target") || low.contains("pdk") {
+            if let Some((_, n)) = names.first() {
+                spec.target = Some(n.clone());
+            }
+        }
+        if low.contains("summary") || low.contains("metrics") || low.contains("report") {
+            spec.summary = true;
+        }
+    }
+    if spec.inputs.is_empty() {
+        if let Some(d) = &spec.design {
+            spec.inputs.push(format!("{d}.v"));
+        }
+    }
+    spec
+}
+
+/// Builds a script from a spec with the given `fidelity` in `[0, 1]`:
+/// at fidelity 1 every field is realised exactly; lower fidelity drops or
+/// mangles optional fields and may pick a wrong target.
+pub fn construct_script<R: Rng + ?Sized>(
+    spec: &ScriptSpec,
+    fidelity: f64,
+    rng: &mut R,
+) -> Script {
+    let keep = |rng: &mut R| rng.gen::<f64>() < 0.3 + 0.7 * fidelity;
+    let design = spec.design.clone().unwrap_or_else(|| "design".into());
+    let mut stmts = vec![
+        ScStmt::Import {
+            symbol: "siliconcompiler".into(),
+        },
+        ScStmt::NewChip {
+            var: "chip".into(),
+            design: design.clone(),
+        },
+    ];
+    for f in &spec.inputs {
+        stmts.push(ScStmt::Input { file: f.clone() });
+    }
+    if let Some((pin, period)) = &spec.clock {
+        if keep(rng) {
+            let period = if keep(rng) { *period } else { *period * 2.0 };
+            stmts.push(ScStmt::Clock {
+                pin: pin.clone(),
+                period,
+            });
+        }
+    }
+    if let Some((x0, y0, x1, y1)) = spec.outline {
+        if keep(rng) {
+            stmts.push(ScStmt::Set {
+                keypath: vec!["constraint".into(), "outline".into()],
+                value: rect(x0, y0, x1, y1),
+            });
+        }
+    }
+    if let Some((x0, y0, x1, y1)) = spec.corearea {
+        if keep(rng) {
+            stmts.push(ScStmt::Set {
+                keypath: vec!["constraint".into(), "corearea".into()],
+                value: rect(x0, y0, x1, y1),
+            });
+        }
+    }
+    let target = match &spec.target {
+        Some(t) if keep(rng) => t.clone(),
+        // A hallucinated target: syntactically fine, semantically invalid.
+        _ => "generic_asic_target".into(),
+    };
+    stmts.push(ScStmt::LoadTarget { target });
+    stmts.push(ScStmt::Run);
+    if spec.summary {
+        stmts.push(ScStmt::Summary);
+    }
+    Script {
+        var: "chip".into(),
+        stmts,
+    }
+}
+
+fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> ScValue {
+    ScValue::List(vec![
+        ScValue::Tuple(vec![ScValue::Num(x0), ScValue::Num(y0)]),
+        ScValue::Tuple(vec![ScValue::Num(x1), ScValue::Num(y1)]),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dda_scscript::describe;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn reference() -> Script {
+        dda_scscript::parse(
+            "import siliconcompiler\n\
+             chip = siliconcompiler.Chip('picorv32')\n\
+             chip.input('picorv32.v')\n\
+             chip.clock('clk', period=2.5)\n\
+             chip.set('constraint', 'outline', [(0, 0), (300, 250)])\n\
+             chip.set('constraint', 'corearea', [(15, 15), (285, 235)])\n\
+             chip.load_target('asap7_demo')\n\
+             chip.run()\n\
+             chip.summary()\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn extraction_inverts_the_describer() {
+        let prompt = describe(&reference());
+        let spec = extract_script_spec(&prompt);
+        assert_eq!(spec.design.as_deref(), Some("picorv32"));
+        assert_eq!(spec.inputs, vec!["picorv32.v"]);
+        assert_eq!(spec.clock, Some(("clk".into(), 2.5)));
+        assert_eq!(spec.outline, Some((0.0, 0.0, 300.0, 250.0)));
+        assert_eq!(spec.corearea, Some((15.0, 15.0, 285.0, 235.0)));
+        assert_eq!(spec.target.as_deref(), Some("asap7_demo"));
+        assert!(spec.summary);
+    }
+
+    #[test]
+    fn full_fidelity_round_trips() {
+        let prompt = describe(&reference());
+        let spec = extract_script_spec(&prompt);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let script = construct_script(&spec, 1.0, &mut rng);
+        assert!(dda_scscript::check(&script).is_clean());
+        assert_eq!(script.design(), Some("picorv32"));
+        assert!(script.to_python().contains("asap7_demo"));
+        assert!(script.to_python().contains("period=2.5"));
+    }
+
+    #[test]
+    fn low_fidelity_mangles_semantics_not_syntax() {
+        let prompt = describe(&reference());
+        let spec = extract_script_spec(&prompt);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut wrong = 0;
+        for _ in 0..20 {
+            let script = construct_script(&spec, 0.05, &mut rng);
+            // Always reparses (syntactically valid)...
+            let text = script.to_python();
+            assert!(dda_scscript::parse(&text).is_ok());
+            // ...but often fails the flow checker or loses constraints.
+            if !dda_scscript::check(&script).is_clean()
+                || !text.contains("asap7_demo")
+                || !text.contains("period=2.5")
+            {
+                wrong += 1;
+            }
+        }
+        assert!(wrong > 12, "only {wrong}/20 mangled at low fidelity");
+    }
+
+    #[test]
+    fn insufficient_spec_detected() {
+        let spec = extract_script_spec("please make me a sandwich");
+        assert!(!spec.sufficient());
+    }
+}

@@ -1,0 +1,213 @@
+//! Sparse TF-IDF retrieval index.
+//!
+//! The simulatable LM's "attention": finetuning builds an index over
+//! (instruct, input) pairs, and generation retrieves the best-matching
+//! training examples for a query. Cosine similarity over TF-IDF weighted
+//! token vectors.
+
+use dda_core::tokenize::tokenize_lower;
+use std::collections::HashMap;
+
+/// A scored retrieval hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// Index of the document in insertion order.
+    pub doc: usize,
+    /// Cosine similarity in `[0, 1]`.
+    pub score: f64,
+}
+
+/// TF-IDF index over text documents.
+#[derive(Debug, Clone, Default)]
+pub struct TfIdfIndex {
+    /// Per-document sparse term-frequency vectors (normalised at query).
+    docs: Vec<HashMap<u32, f64>>,
+    /// Document norms (computed after `finish`).
+    norms: Vec<f64>,
+    /// Token → id.
+    vocab: HashMap<String, u32>,
+    /// Document frequency per token id.
+    df: Vec<u32>,
+    finished: bool,
+}
+
+impl TfIdfIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        TfIdfIndex::default()
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// `true` when no documents are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    fn token_id(&mut self, tok: &str) -> u32 {
+        if let Some(id) = self.vocab.get(tok) {
+            return *id;
+        }
+        let id = self.vocab.len() as u32;
+        self.vocab.insert(tok.to_owned(), id);
+        self.df.push(0);
+        id
+    }
+
+    /// Adds a document; returns its index.
+    pub fn add(&mut self, text: &str) -> usize {
+        assert!(!self.finished, "index is frozen after finish()");
+        let mut tf: HashMap<u32, f64> = HashMap::new();
+        for tok in tokenize_lower(text) {
+            let id = self.token_id(&tok);
+            *tf.entry(id).or_insert(0.0) += 1.0;
+        }
+        for id in tf.keys() {
+            self.df[*id as usize] += 1;
+        }
+        self.docs.push(tf);
+        self.docs.len() - 1
+    }
+
+    /// Freezes the index: applies IDF weighting and precomputes norms.
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let n = self.docs.len().max(1) as f64;
+        for doc in &mut self.docs {
+            for (id, w) in doc.iter_mut() {
+                let df = self.df[*id as usize].max(1) as f64;
+                *w = (1.0 + w.ln()) * ((n + 1.0) / df).ln();
+            }
+        }
+        self.norms = self
+            .docs
+            .iter()
+            .map(|d| d.values().map(|w| w * w).sum::<f64>().sqrt())
+            .collect();
+    }
+
+    /// Scores `query` against all documents, best first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`TfIdfIndex::finish`] has not been called.
+    pub fn query(&self, query: &str, top: usize) -> Vec<Hit> {
+        assert!(self.finished, "call finish() before query()");
+        let mut qtf: HashMap<u32, f64> = HashMap::new();
+        for tok in tokenize_lower(query) {
+            if let Some(id) = self.vocab.get(&tok) {
+                *qtf.entry(*id).or_insert(0.0) += 1.0;
+            }
+        }
+        let n = self.docs.len().max(1) as f64;
+        for (id, w) in qtf.iter_mut() {
+            let df = self.df[*id as usize].max(1) as f64;
+            *w = (1.0 + w.ln()) * ((n + 1.0) / df).ln();
+        }
+        let qnorm = qtf.values().map(|w| w * w).sum::<f64>().sqrt();
+        if qnorm == 0.0 {
+            return Vec::new();
+        }
+        let mut hits: Vec<Hit> = self
+            .docs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| {
+                let dot: f64 = qtf
+                    .iter()
+                    .filter_map(|(id, qw)| d.get(id).map(|dw| qw * dw))
+                    .sum();
+                if dot == 0.0 {
+                    return None;
+                }
+                let norm = self.norms[i];
+                if norm == 0.0 {
+                    return None;
+                }
+                Some(Hit {
+                    doc: i,
+                    score: dot / (qnorm * norm),
+                })
+            })
+            .collect();
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.doc.cmp(&b.doc)));
+        hits.truncate(top);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index(docs: &[&str]) -> TfIdfIndex {
+        let mut idx = TfIdfIndex::new();
+        for d in docs {
+            idx.add(d);
+        }
+        idx.finish();
+        idx
+    }
+
+    #[test]
+    fn exact_match_scores_highest() {
+        let idx = index(&[
+            "a counter with reset and enable",
+            "a four to one multiplexer",
+            "an eight bit ripple adder",
+        ]);
+        let hits = idx.query("a counter with reset and enable", 3);
+        assert_eq!(hits[0].doc, 0);
+        assert!(hits[0].score > 0.99);
+    }
+
+    #[test]
+    fn related_doc_beats_unrelated() {
+        let idx = index(&[
+            "counter module increments on clock edge",
+            "multiplexer selects between inputs",
+        ]);
+        let hits = idx.query("build me a counter that increments", 2);
+        assert_eq!(hits[0].doc, 0);
+        assert!(hits[0].score > hits.get(1).map(|h| h.score).unwrap_or(0.0));
+    }
+
+    #[test]
+    fn rare_terms_weigh_more() {
+        let idx = index(&[
+            "module module module gray encoder",
+            "module counter",
+            "module adder",
+        ]);
+        // "gray" is rare; a query containing it must pick doc 0 even though
+        // "module" appears everywhere.
+        let hits = idx.query("gray module", 3);
+        assert_eq!(hits[0].doc, 0);
+    }
+
+    #[test]
+    fn no_overlap_returns_empty() {
+        let idx = index(&["alpha beta", "gamma delta"]);
+        assert!(idx.query("zeta", 5).is_empty());
+    }
+
+    #[test]
+    fn top_truncates() {
+        let idx = index(&["x a", "x b", "x c", "x d"]);
+        assert_eq!(idx.query("x", 2).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "finish")]
+    fn query_before_finish_panics() {
+        let mut idx = TfIdfIndex::new();
+        idx.add("a");
+        idx.query("a", 1);
+    }
+}

@@ -1,0 +1,856 @@
+//! Abstract syntax tree for the supported Verilog subset.
+//!
+//! The tree is the contract between the parser and every downstream
+//! consumer: the linter elaborates it, the simulator executes it, the
+//! augmentation framework's program-analysis rules walk it, and the
+//! pretty-printer turns it back into source text.
+
+use crate::logic::LogicVec;
+use crate::token::Span;
+use std::fmt;
+
+/// An identifier with its source span.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Ident {
+    /// The name as written (escaped identifiers are stored unescaped).
+    pub name: String,
+    /// Where the identifier appears.
+    pub span: Span,
+}
+
+impl Ident {
+    /// Creates an identifier with a default span (for synthesized trees).
+    pub fn new(name: impl Into<String>) -> Self {
+        Ident {
+            name: name.into(),
+            span: Span::default(),
+        }
+    }
+
+    /// Creates an identifier with a span.
+    pub fn spanned(name: impl Into<String>, span: Span) -> Self {
+        Ident {
+            name: name.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// A parsed source file: zero or more module definitions plus leading
+/// compiler directives.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SourceFile {
+    /// Compiler directives seen before/between modules (e.g. `` `timescale ``).
+    pub directives: Vec<String>,
+    /// The modules, in source order.
+    pub modules: Vec<Module>,
+}
+
+impl SourceFile {
+    /// Finds a module by name.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.modules.iter().find(|m| m.name.name == name)
+    }
+}
+
+/// Direction of a port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortDir {
+    /// `input`
+    Input,
+    /// `output`
+    Output,
+    /// `inout`
+    Inout,
+}
+
+impl fmt::Display for PortDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PortDir::Input => "input",
+            PortDir::Output => "output",
+            PortDir::Inout => "inout",
+        })
+    }
+}
+
+/// Net kinds for declarations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetKind {
+    /// `wire`
+    Wire,
+    /// `reg`
+    Reg,
+    /// `integer` (treated as a 32-bit signed reg)
+    Integer,
+    /// `genvar`
+    Genvar,
+    /// `supply0`
+    Supply0,
+    /// `supply1`
+    Supply1,
+}
+
+impl fmt::Display for NetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            NetKind::Wire => "wire",
+            NetKind::Reg => "reg",
+            NetKind::Integer => "integer",
+            NetKind::Genvar => "genvar",
+            NetKind::Supply0 => "supply0",
+            NetKind::Supply1 => "supply1",
+        })
+    }
+}
+
+/// A `[msb:lsb]` range with unevaluated bound expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Range {
+    /// Most-significant bound.
+    pub msb: Expr,
+    /// Least-significant bound.
+    pub lsb: Expr,
+    /// Source span of the whole range.
+    pub span: Span,
+}
+
+/// A port as written in the module header.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Port {
+    /// Direction, when ANSI-style; `None` for name-only headers.
+    pub dir: Option<PortDir>,
+    /// `reg` marker on ANSI outputs.
+    pub is_reg: bool,
+    /// `signed` marker.
+    pub signed: bool,
+    /// Packed range, when given in the header.
+    pub range: Option<Range>,
+    /// Port name.
+    pub name: Ident,
+}
+
+/// A parameter or localparam declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDecl {
+    /// True for `localparam`.
+    pub local: bool,
+    /// Optional packed range.
+    pub range: Option<Range>,
+    /// Name.
+    pub name: Ident,
+    /// Default/assigned value.
+    pub value: Expr,
+    /// Span of the declaration.
+    pub span: Span,
+}
+
+/// A body `input`/`output`/`inout` declaration (non-ANSI style).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortDecl {
+    /// Direction.
+    pub dir: PortDir,
+    /// `reg` marker.
+    pub is_reg: bool,
+    /// `signed` marker.
+    pub signed: bool,
+    /// Optional packed range.
+    pub range: Option<Range>,
+    /// Declared names.
+    pub names: Vec<Ident>,
+    /// Span of the declaration.
+    pub span: Span,
+}
+
+/// A net/variable declaration (`wire`, `reg`, `integer`, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetDecl {
+    /// Net kind.
+    pub kind: NetKind,
+    /// `signed` marker.
+    pub signed: bool,
+    /// Optional packed range.
+    pub range: Option<Range>,
+    /// Declared entries (name, optional unpacked/array dims, optional init).
+    pub nets: Vec<NetInit>,
+    /// Span of the declaration.
+    pub span: Span,
+}
+
+/// One declarator inside a [`NetDecl`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetInit {
+    /// Name.
+    pub name: Ident,
+    /// Unpacked (array) dimensions, e.g. memory `[0:255]`.
+    pub array: Option<Range>,
+    /// Initialiser (wire assignment or reg init).
+    pub init: Option<Expr>,
+}
+
+/// A continuous assignment `assign lhs = rhs;`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContAssign {
+    /// Left-hand side (must elaborate to a net lvalue).
+    pub lhs: Expr,
+    /// Right-hand side.
+    pub rhs: Expr,
+    /// Optional `#delay`.
+    pub delay: Option<Expr>,
+    /// Span of the statement.
+    pub span: Span,
+}
+
+/// Edge qualifier in a sensitivity list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Edge {
+    /// `posedge`
+    Pos,
+    /// `negedge`
+    Neg,
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Edge::Pos => "posedge",
+            Edge::Neg => "negedge",
+        })
+    }
+}
+
+/// One entry of a sensitivity list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensItem {
+    /// Optional edge qualifier.
+    pub edge: Option<Edge>,
+    /// The watched expression (usually an identifier).
+    pub expr: Expr,
+}
+
+/// Sensitivity of an `always` block or event control.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sensitivity {
+    /// `@(*)` or `@*`
+    Star,
+    /// `@(a or posedge clk, ...)`
+    List(Vec<SensItem>),
+    /// Plain `always` with no event control (used with internal delays).
+    None,
+}
+
+/// An `always` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlwaysBlock {
+    /// Sensitivity.
+    pub sensitivity: Sensitivity,
+    /// Body statement.
+    pub body: Stmt,
+    /// Span of `always` through the body.
+    pub span: Span,
+}
+
+/// An `initial` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InitialBlock {
+    /// Body statement.
+    pub body: Stmt,
+    /// Span.
+    pub span: Span,
+}
+
+/// A module instantiation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// Instantiated module name.
+    pub module: Ident,
+    /// `#(...)` parameter overrides: named or positional.
+    pub params: Vec<Connection>,
+    /// Instance name.
+    pub name: Ident,
+    /// Port connections: named or positional.
+    pub ports: Vec<Connection>,
+    /// Span.
+    pub span: Span,
+}
+
+/// A parameter/port connection in an instantiation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Connection {
+    /// Port/parameter name for named association; `None` for positional.
+    pub name: Option<Ident>,
+    /// Connected expression; `None` for explicitly open `.p()`.
+    pub expr: Option<Expr>,
+}
+
+/// A function declaration (automatic, expression-oriented subset).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDecl {
+    /// Return range (None = 1 bit).
+    pub range: Option<Range>,
+    /// Function name (also the return variable).
+    pub name: Ident,
+    /// Input arguments: (range, name).
+    pub args: Vec<(Option<Range>, Ident)>,
+    /// Local declarations.
+    pub locals: Vec<NetDecl>,
+    /// Body.
+    pub body: Stmt,
+    /// Span.
+    pub span: Span,
+}
+
+/// Items that can appear in a module body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// Non-ANSI port declaration.
+    Port(PortDecl),
+    /// Net/variable declaration.
+    Net(NetDecl),
+    /// `parameter`/`localparam`.
+    Param(ParamDecl),
+    /// `assign ...;`
+    Assign(ContAssign),
+    /// `always ...`
+    Always(AlwaysBlock),
+    /// `initial ...`
+    Initial(InitialBlock),
+    /// Module instantiation.
+    Instance(Instance),
+    /// Function declaration.
+    Function(FunctionDecl),
+}
+
+impl Item {
+    /// Span of the item.
+    pub fn span(&self) -> Span {
+        match self {
+            Item::Port(p) => p.span,
+            Item::Net(n) => n.span,
+            Item::Param(p) => p.span,
+            Item::Assign(a) => a.span,
+            Item::Always(a) => a.span,
+            Item::Initial(i) => i.span,
+            Item::Instance(i) => i.span,
+            Item::Function(f) => f.span,
+        }
+    }
+}
+
+/// A module definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Module name.
+    pub name: Ident,
+    /// Header `#(parameter ...)` declarations.
+    pub header_params: Vec<ParamDecl>,
+    /// Header ports (ANSI or name-only).
+    pub ports: Vec<Port>,
+    /// Body items.
+    pub items: Vec<Item>,
+    /// Span from `module` to `endmodule`.
+    pub span: Span,
+}
+
+impl Module {
+    /// Iterates over the names of all header ports.
+    pub fn port_names(&self) -> impl Iterator<Item = &str> {
+        self.ports.iter().map(|p| p.name.name.as_str())
+    }
+}
+
+/// Assignment flavour inside procedural code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignKind {
+    /// `=`
+    Blocking,
+    /// `<=`
+    NonBlocking,
+}
+
+/// One arm of a `case` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseArm {
+    /// Match labels (empty for `default`).
+    pub labels: Vec<Expr>,
+    /// Arm body.
+    pub body: Stmt,
+}
+
+/// Flavour of a `case` statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CaseKind {
+    /// `case`
+    Exact,
+    /// `casez` (z/? are wildcards)
+    Z,
+    /// `casex` (x/z/? are wildcards)
+    X,
+}
+
+/// Procedural statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `begin ... end`, with optional block name.
+    Block {
+        /// Optional `: name`.
+        name: Option<Ident>,
+        /// Statements in order.
+        stmts: Vec<Stmt>,
+        /// Span.
+        span: Span,
+    },
+    /// Procedural assignment.
+    Assign {
+        /// Lvalue.
+        lhs: Expr,
+        /// Value.
+        rhs: Expr,
+        /// `=` vs `<=`.
+        kind: AssignKind,
+        /// Intra-assignment delay `lhs = #d rhs`.
+        delay: Option<Expr>,
+        /// Span.
+        span: Span,
+    },
+    /// `if (cond) then else`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_stmt: Box<Stmt>,
+        /// Optional else branch.
+        else_stmt: Option<Box<Stmt>>,
+        /// Span.
+        span: Span,
+    },
+    /// `case (expr) ... endcase`
+    Case {
+        /// Flavour.
+        kind: CaseKind,
+        /// Selector.
+        expr: Expr,
+        /// Arms, in order; `default` arms have empty labels.
+        arms: Vec<CaseArm>,
+        /// Span.
+        span: Span,
+    },
+    /// `for (init; cond; step) body`
+    For {
+        /// Initial assignment.
+        init: Box<Stmt>,
+        /// Loop condition.
+        cond: Expr,
+        /// Step assignment.
+        step: Box<Stmt>,
+        /// Body.
+        body: Box<Stmt>,
+        /// Span.
+        span: Span,
+    },
+    /// `while (cond) body`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Box<Stmt>,
+        /// Span.
+        span: Span,
+    },
+    /// `repeat (count) body`
+    Repeat {
+        /// Iteration count.
+        count: Expr,
+        /// Body.
+        body: Box<Stmt>,
+        /// Span.
+        span: Span,
+    },
+    /// `forever body`
+    Forever {
+        /// Body.
+        body: Box<Stmt>,
+        /// Span.
+        span: Span,
+    },
+    /// `#delay stmt?`
+    Delay {
+        /// Delay amount.
+        amount: Expr,
+        /// Optional controlled statement.
+        stmt: Option<Box<Stmt>>,
+        /// Span.
+        span: Span,
+    },
+    /// `@(sens) stmt?`
+    Event {
+        /// Watched events.
+        sensitivity: Sensitivity,
+        /// Optional controlled statement.
+        stmt: Option<Box<Stmt>>,
+        /// Span.
+        span: Span,
+    },
+    /// `wait (cond) stmt?`
+    Wait {
+        /// Level-sensitive condition.
+        cond: Expr,
+        /// Optional controlled statement.
+        stmt: Option<Box<Stmt>>,
+        /// Span.
+        span: Span,
+    },
+    /// System task call, e.g. `$display(...)`.
+    SysCall {
+        /// Task name without `$`.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Span.
+        span: Span,
+    },
+    /// Task enable/`disable`-style no-ops we accept but do not model.
+    Null {
+        /// Span.
+        span: Span,
+    },
+}
+
+impl Stmt {
+    /// Span of the statement.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Block { span, .. }
+            | Stmt::Assign { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::Case { span, .. }
+            | Stmt::For { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::Repeat { span, .. }
+            | Stmt::Forever { span, .. }
+            | Stmt::Delay { span, .. }
+            | Stmt::Event { span, .. }
+            | Stmt::Wait { span, .. }
+            | Stmt::SysCall { span, .. }
+            | Stmt::Null { span } => *span,
+        }
+    }
+}
+
+/// A parsed number literal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Number {
+    /// Explicit width, when given (`8'hFF` → 8).
+    pub width: Option<u32>,
+    /// `'s` marker.
+    pub signed: bool,
+    /// Value bits (LSB first); x/z preserved.
+    pub value: LogicVec,
+    /// Original source spelling.
+    pub spelling: String,
+}
+
+impl Number {
+    /// Convenience: an unsized decimal number.
+    pub fn from_u64(v: u64) -> Number {
+        Number {
+            width: None,
+            signed: false,
+            value: LogicVec::from_u64(v, 32),
+            spelling: v.to_string(),
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// `+`
+    Plus,
+    /// `-`
+    Neg,
+    /// `!`
+    LogicNot,
+    /// `~`
+    BitNot,
+    /// `&`
+    RedAnd,
+    /// `|`
+    RedOr,
+    /// `^`
+    RedXor,
+    /// `~&`
+    RedNand,
+    /// `~|`
+    RedNor,
+    /// `~^` / `^~`
+    RedXnor,
+}
+
+impl UnaryOp {
+    /// Source spelling.
+    pub fn as_str(self) -> &'static str {
+        use UnaryOp::*;
+        match self {
+            Plus => "+",
+            Neg => "-",
+            LogicNot => "!",
+            BitNot => "~",
+            RedAnd => "&",
+            RedOr => "|",
+            RedXor => "^",
+            RedNand => "~&",
+            RedNor => "~|",
+            RedXnor => "~^",
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Pow,
+    Shl,
+    Shr,
+    AShr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    CaseEq,
+    CaseNe,
+    BitAnd,
+    BitOr,
+    BitXor,
+    BitXnor,
+    LogicAnd,
+    LogicOr,
+}
+
+impl BinaryOp {
+    /// Source spelling.
+    pub fn as_str(self) -> &'static str {
+        use BinaryOp::*;
+        match self {
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Mod => "%",
+            Pow => "**",
+            Shl => "<<",
+            Shr => ">>",
+            AShr => ">>>",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+            Eq => "==",
+            Ne => "!=",
+            CaseEq => "===",
+            CaseNe => "!==",
+            BitAnd => "&",
+            BitOr => "|",
+            BitXor => "^",
+            BitXnor => "~^",
+            LogicAnd => "&&",
+            LogicOr => "||",
+        }
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Number literal.
+    Number(Number, Span),
+    /// String literal (testbench format strings).
+    Str(String, Span),
+    /// Identifier reference.
+    Ident(Ident),
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Span.
+        span: Span,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Span.
+        span: Span,
+    },
+    /// `cond ? a : b`
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when true.
+        then_expr: Box<Expr>,
+        /// Value when false.
+        else_expr: Box<Expr>,
+        /// Span.
+        span: Span,
+    },
+    /// `{a, b, c}`
+    Concat(Vec<Expr>, Span),
+    /// `{n{a}}`
+    Repeat {
+        /// Replication count.
+        count: Box<Expr>,
+        /// Replicated expressions.
+        exprs: Vec<Expr>,
+        /// Span.
+        span: Span,
+    },
+    /// `base[index]` — bit select or memory word select.
+    Index {
+        /// Base expression (identifier in the supported subset).
+        base: Box<Expr>,
+        /// Index.
+        index: Box<Expr>,
+        /// Span.
+        span: Span,
+    },
+    /// `base[msb:lsb]` — constant part select.
+    PartSelect {
+        /// Base expression.
+        base: Box<Expr>,
+        /// MSB bound.
+        msb: Box<Expr>,
+        /// LSB bound.
+        lsb: Box<Expr>,
+        /// Span.
+        span: Span,
+    },
+    /// `base[start +: width]` / `base[start -: width]`.
+    IndexedPart {
+        /// Base expression.
+        base: Box<Expr>,
+        /// Start bit.
+        start: Box<Expr>,
+        /// Width.
+        width: Box<Expr>,
+        /// True for `+:`.
+        ascending: bool,
+        /// Span.
+        span: Span,
+    },
+    /// Function or system-function call (`f(x)`, `$time`).
+    Call {
+        /// Callee name; system functions keep their `$`.
+        name: Ident,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Span.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// Span of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Number(_, s) | Expr::Str(_, s) | Expr::Concat(_, s) => *s,
+            Expr::Ident(i) => i.span,
+            Expr::Unary { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Ternary { span, .. }
+            | Expr::Repeat { span, .. }
+            | Expr::Index { span, .. }
+            | Expr::PartSelect { span, .. }
+            | Expr::IndexedPart { span, .. }
+            | Expr::Call { span, .. } => *span,
+        }
+    }
+
+    /// If the expression is a plain identifier, its name.
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            Expr::Ident(i) => Some(&i.name),
+            _ => None,
+        }
+    }
+
+    /// The identifier at the root of an lvalue (`x`, `x[i]`, `x[a:b]`).
+    pub fn lvalue_ident(&self) -> Option<&str> {
+        match self {
+            Expr::Ident(i) => Some(&i.name),
+            Expr::Index { base, .. }
+            | Expr::PartSelect { base, .. }
+            | Expr::IndexedPart { base, .. } => base.lvalue_ident(),
+            Expr::Concat(parts, _) => parts.first().and_then(|p| p.lvalue_ident()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lvalue_ident_digs_through_selects() {
+        let e = Expr::Index {
+            base: Box::new(Expr::Ident(Ident::new("mem"))),
+            index: Box::new(Expr::Number(Number::from_u64(3), Span::default())),
+            span: Span::default(),
+        };
+        assert_eq!(e.lvalue_ident(), Some("mem"));
+    }
+
+    #[test]
+    fn module_port_names() {
+        let m = Module {
+            name: Ident::new("m"),
+            header_params: vec![],
+            ports: vec![
+                Port {
+                    dir: Some(PortDir::Input),
+                    is_reg: false,
+                    signed: false,
+                    range: None,
+                    name: Ident::new("a"),
+                },
+                Port {
+                    dir: Some(PortDir::Output),
+                    is_reg: true,
+                    signed: false,
+                    range: None,
+                    name: Ident::new("y"),
+                },
+            ],
+            items: vec![],
+            span: Span::default(),
+        };
+        let names: Vec<_> = m.port_names().collect();
+        assert_eq!(names, vec!["a", "y"]);
+    }
+
+    #[test]
+    fn operators_render() {
+        assert_eq!(BinaryOp::CaseEq.as_str(), "===");
+        assert_eq!(UnaryOp::RedXnor.as_str(), "~^");
+    }
+}

@@ -1,0 +1,251 @@
+//! Constant-expression evaluation over the AST.
+//!
+//! Used during elaboration to resolve parameter values, port/net ranges and
+//! replication counts. Works on `i64` — constant expressions with `x`/`z`
+//! bits are rejected.
+
+use crate::ast::{BinaryOp, Expr, UnaryOp};
+use crate::token::Span;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Why a constant expression could not be evaluated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstEvalError {
+    /// Human-readable reason.
+    pub reason: String,
+    /// Where evaluation failed.
+    pub span: Span,
+}
+
+impl ConstEvalError {
+    fn new(reason: impl Into<String>, span: Span) -> Self {
+        ConstEvalError {
+            reason: reason.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for ConstEvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "constant evaluation failed at {}: {}", self.span, self.reason)
+    }
+}
+
+impl Error for ConstEvalError {}
+
+/// Evaluates `expr` with `params` bound to integer values.
+///
+/// # Errors
+///
+/// Returns [`ConstEvalError`] for references to unbound identifiers,
+/// literals containing `x`/`z`, division by zero, and operators that are not
+/// constant-foldable (selects, calls, concatenation of unsized values).
+///
+/// ```
+/// # use std::collections::HashMap;
+/// let e = dda_verilog::parse_expr("WIDTH * 2 - 1").unwrap();
+/// let mut env = HashMap::new();
+/// env.insert("WIDTH".to_string(), 8i64);
+/// assert_eq!(dda_verilog::consteval::eval_const(&e, &env).unwrap(), 15);
+/// ```
+pub fn eval_const(expr: &Expr, params: &HashMap<String, i64>) -> Result<i64, ConstEvalError> {
+    match expr {
+        Expr::Number(n, span) => n
+            .value
+            .to_i64()
+            .filter(|_| !n.value.has_unknown())
+            .map(|v| if n.signed { v } else { n.value.to_u64().unwrap_or(0) as i64 })
+            .ok_or_else(|| ConstEvalError::new("literal contains x/z bits", *span)),
+        Expr::Ident(i) => params
+            .get(&i.name)
+            .copied()
+            .ok_or_else(|| ConstEvalError::new(format!("`{}` is not a constant", i.name), i.span)),
+        Expr::Unary { op, expr, span } => {
+            let v = eval_const(expr, params)?;
+            Ok(match op {
+                UnaryOp::Plus => v,
+                UnaryOp::Neg => -v,
+                UnaryOp::LogicNot => (v == 0) as i64,
+                UnaryOp::BitNot => !v,
+                UnaryOp::RedOr => (v != 0) as i64,
+                UnaryOp::RedAnd => {
+                    return Err(ConstEvalError::new(
+                        "reduction over unsized constant",
+                        *span,
+                    ))
+                }
+                _ => {
+                    return Err(ConstEvalError::new(
+                        format!("operator `{}` is not constant-foldable", op.as_str()),
+                        *span,
+                    ))
+                }
+            })
+        }
+        Expr::Binary { op, lhs, rhs, span } => {
+            let a = eval_const(lhs, params)?;
+            let b = eval_const(rhs, params)?;
+            Ok(match op {
+                BinaryOp::Add => a.wrapping_add(b),
+                BinaryOp::Sub => a.wrapping_sub(b),
+                BinaryOp::Mul => a.wrapping_mul(b),
+                BinaryOp::Div => {
+                    if b == 0 {
+                        return Err(ConstEvalError::new("division by zero", *span));
+                    }
+                    a / b
+                }
+                BinaryOp::Mod => {
+                    if b == 0 {
+                        return Err(ConstEvalError::new("modulo by zero", *span));
+                    }
+                    a % b
+                }
+                BinaryOp::Pow => {
+                    let e = u32::try_from(b).map_err(|_| {
+                        ConstEvalError::new("negative constant exponent", *span)
+                    })?;
+                    a.wrapping_pow(e)
+                }
+                BinaryOp::Shl => a.wrapping_shl(b as u32),
+                BinaryOp::Shr => ((a as u64) >> (b as u32 & 63)) as i64,
+                BinaryOp::AShr => a.wrapping_shr(b as u32),
+                BinaryOp::Lt => (a < b) as i64,
+                BinaryOp::Le => (a <= b) as i64,
+                BinaryOp::Gt => (a > b) as i64,
+                BinaryOp::Ge => (a >= b) as i64,
+                BinaryOp::Eq | BinaryOp::CaseEq => (a == b) as i64,
+                BinaryOp::Ne | BinaryOp::CaseNe => (a != b) as i64,
+                BinaryOp::BitAnd => a & b,
+                BinaryOp::BitOr => a | b,
+                BinaryOp::BitXor => a ^ b,
+                BinaryOp::BitXnor => !(a ^ b),
+                BinaryOp::LogicAnd => ((a != 0) && (b != 0)) as i64,
+                BinaryOp::LogicOr => ((a != 0) || (b != 0)) as i64,
+            })
+        }
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+            ..
+        } => {
+            if eval_const(cond, params)? != 0 {
+                eval_const(then_expr, params)
+            } else {
+                eval_const(else_expr, params)
+            }
+        }
+        Expr::Call { name, args, span } if name.name == "$clog2" && args.len() == 1 => {
+            let v = eval_const(&args[0], params)?;
+            if v < 0 {
+                return Err(ConstEvalError::new("$clog2 of negative value", *span));
+            }
+            Ok(64 - (v.max(1) as u64 - 1).leading_zeros() as i64)
+        }
+        other => Err(ConstEvalError::new(
+            "expression is not constant",
+            other.span(),
+        )),
+    }
+}
+
+/// Evaluates a `[msb:lsb]` range to `(msb, lsb)`.
+///
+/// # Errors
+///
+/// Propagates [`ConstEvalError`] from either bound.
+pub fn eval_range(
+    range: &crate::ast::Range,
+    params: &HashMap<String, i64>,
+) -> Result<(i64, i64), ConstEvalError> {
+    Ok((
+        eval_const(&range.msb, params)?,
+        eval_const(&range.lsb, params)?,
+    ))
+}
+
+/// The bit width implied by an optional range (no range = 1 bit).
+///
+/// # Errors
+///
+/// Propagates [`ConstEvalError`] from the bounds.
+pub fn range_width(
+    range: &Option<crate::ast::Range>,
+    params: &HashMap<String, i64>,
+) -> Result<usize, ConstEvalError> {
+    match range {
+        None => Ok(1),
+        Some(r) => {
+            let (msb, lsb) = eval_range(r, params)?;
+            Ok(msb.abs_diff(lsb) as usize + 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    fn ev(src: &str) -> i64 {
+        eval_const(&parse_expr(src).unwrap(), &HashMap::new()).unwrap()
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(ev("2 + 3 * 4"), 14);
+        assert_eq!(ev("(2 + 3) * 4"), 20);
+        assert_eq!(ev("7 / 2"), 3);
+        assert_eq!(ev("7 % 2"), 1);
+        assert_eq!(ev("2 ** 10"), 1024);
+        assert_eq!(ev("1 << 4"), 16);
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(ev("3 < 4"), 1);
+        assert_eq!(ev("3 >= 4"), 0);
+        assert_eq!(ev("1 && 0"), 0);
+        assert_eq!(ev("1 || 0"), 1);
+        assert_eq!(ev("4 == 4 ? 10 : 20"), 10);
+    }
+
+    #[test]
+    fn parameters_resolve() {
+        let mut env = HashMap::new();
+        env.insert("W".to_string(), 8);
+        let e = parse_expr("W - 1").unwrap();
+        assert_eq!(eval_const(&e, &env).unwrap(), 7);
+    }
+
+    #[test]
+    fn clog2() {
+        assert_eq!(ev("$clog2(1)"), 0);
+        assert_eq!(ev("$clog2(2)"), 1);
+        assert_eq!(ev("$clog2(256)"), 8);
+        assert_eq!(ev("$clog2(257)"), 9);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(eval_const(&parse_expr("x + 1").unwrap(), &HashMap::new()).is_err());
+        assert!(eval_const(&parse_expr("1 / 0").unwrap(), &HashMap::new()).is_err());
+        assert!(eval_const(&parse_expr("4'bxx00").unwrap(), &HashMap::new()).is_err());
+    }
+
+    #[test]
+    fn range_widths() {
+        let sf = crate::parse("module m(input [7:0] a, input b, input [0:3] c); endmodule").unwrap();
+        let env = HashMap::new();
+        let w: Vec<usize> = sf.modules[0]
+            .ports
+            .iter()
+            .map(|p| range_width(&p.range, &env).unwrap())
+            .collect();
+        assert_eq!(w, vec![8, 1, 4]);
+    }
+}

@@ -1,0 +1,430 @@
+//! Four-state logic values (`0`, `1`, `x`, `z`).
+//!
+//! [`LogicVec`] is the shared value representation used by the parser for
+//! number literals and by the simulator for signal values. Bit 0 is the
+//! least-significant bit.
+
+use std::fmt;
+
+/// A single four-state logic bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum LogicBit {
+    /// Logic low.
+    #[default]
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown.
+    X,
+    /// High impedance.
+    Z,
+}
+
+impl LogicBit {
+    /// Returns `true` for [`LogicBit::X`] or [`LogicBit::Z`].
+    pub fn is_unknown(self) -> bool {
+        matches!(self, LogicBit::X | LogicBit::Z)
+    }
+
+    /// Converts a known bit to `bool`; `x`/`z` map to `None`.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            LogicBit::Zero => Some(false),
+            LogicBit::One => Some(true),
+            _ => None,
+        }
+    }
+
+    /// IEEE 1364 bitwise AND.
+    pub fn and(self, other: LogicBit) -> LogicBit {
+        use LogicBit::*;
+        match (self, other) {
+            (Zero, _) | (_, Zero) => Zero,
+            (One, One) => One,
+            _ => X,
+        }
+    }
+
+    /// IEEE 1364 bitwise OR.
+    pub fn or(self, other: LogicBit) -> LogicBit {
+        use LogicBit::*;
+        match (self, other) {
+            (One, _) | (_, One) => One,
+            (Zero, Zero) => Zero,
+            _ => X,
+        }
+    }
+
+    /// IEEE 1364 bitwise XOR.
+    pub fn xor(self, other: LogicBit) -> LogicBit {
+        use LogicBit::*;
+        match (self, other) {
+            (Zero, Zero) | (One, One) => Zero,
+            (Zero, One) | (One, Zero) => One,
+            _ => X,
+        }
+    }
+
+    /// IEEE 1364 bitwise NOT.
+    pub fn not(self) -> LogicBit {
+        use LogicBit::*;
+        match self {
+            Zero => One,
+            One => Zero,
+            _ => X,
+        }
+    }
+}
+
+impl From<bool> for LogicBit {
+    fn from(b: bool) -> Self {
+        if b {
+            LogicBit::One
+        } else {
+            LogicBit::Zero
+        }
+    }
+}
+
+impl fmt::Display for LogicBit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            LogicBit::Zero => '0',
+            LogicBit::One => '1',
+            LogicBit::X => 'x',
+            LogicBit::Z => 'z',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// A fixed-width vector of four-state bits, LSB first.
+///
+/// ```
+/// use dda_verilog::logic::LogicVec;
+/// let v = LogicVec::from_u64(10, 4);
+/// assert_eq!(v.to_string(), "1010");
+/// assert_eq!(v.to_u64(), Some(10));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct LogicVec {
+    bits: Vec<LogicBit>,
+}
+
+impl LogicVec {
+    /// Creates a vector of `width` zero bits.
+    pub fn zeros(width: usize) -> Self {
+        LogicVec {
+            bits: vec![LogicBit::Zero; width],
+        }
+    }
+
+    /// Creates a vector of `width` `x` bits (the value of an uninitialised reg).
+    pub fn xs(width: usize) -> Self {
+        LogicVec {
+            bits: vec![LogicBit::X; width],
+        }
+    }
+
+    /// Creates a vector of `width` `z` bits.
+    pub fn zs(width: usize) -> Self {
+        LogicVec {
+            bits: vec![LogicBit::Z; width],
+        }
+    }
+
+    /// Creates a vector from bits, LSB first.
+    pub fn from_bits(bits: Vec<LogicBit>) -> Self {
+        LogicVec { bits }
+    }
+
+    /// Creates a `width`-bit vector holding `value` (truncating high bits).
+    pub fn from_u64(value: u64, width: usize) -> Self {
+        let bits = (0..width)
+            .map(|i| {
+                if i < 64 {
+                    LogicBit::from(value >> i & 1 == 1)
+                } else {
+                    LogicBit::Zero
+                }
+            })
+            .collect();
+        LogicVec { bits }
+    }
+
+    /// Creates a 1-bit vector from a boolean.
+    pub fn from_bool(b: bool) -> Self {
+        LogicVec {
+            bits: vec![LogicBit::from(b)],
+        }
+    }
+
+    /// Creates a 1-bit vector from a logic bit.
+    pub fn from_bit(b: LogicBit) -> Self {
+        LogicVec { bits: vec![b] }
+    }
+
+    /// Parses a binary digit string (MSB first), accepting `0 1 x z _`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` on any other character.
+    pub fn parse_binary(s: &str) -> Option<Self> {
+        let mut bits = Vec::new();
+        for c in s.chars().rev() {
+            match c {
+                '0' => bits.push(LogicBit::Zero),
+                '1' => bits.push(LogicBit::One),
+                'x' | 'X' => bits.push(LogicBit::X),
+                'z' | 'Z' | '?' => bits.push(LogicBit::Z),
+                '_' => {}
+                _ => return None,
+            }
+        }
+        Some(LogicVec { bits })
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Returns `true` when the vector has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Bit at `idx` (LSB = 0), or `x` when out of range.
+    pub fn bit(&self, idx: usize) -> LogicBit {
+        self.bits.get(idx).copied().unwrap_or(LogicBit::X)
+    }
+
+    /// Sets bit `idx`, ignoring out-of-range indices.
+    pub fn set_bit(&mut self, idx: usize, b: LogicBit) {
+        if let Some(slot) = self.bits.get_mut(idx) {
+            *slot = b;
+        }
+    }
+
+    /// The underlying bits, LSB first.
+    pub fn bits(&self) -> &[LogicBit] {
+        &self.bits
+    }
+
+    /// Returns `true` if any bit is `x` or `z`.
+    pub fn has_unknown(&self) -> bool {
+        self.bits.iter().any(|b| b.is_unknown())
+    }
+
+    /// Interprets the vector as an unsigned integer; `None` if any bit is
+    /// unknown or the width exceeds 64.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.bits.len() > 64 {
+            // Accept wider vectors whose high bits are all zero.
+            if self.bits[64..].iter().any(|b| *b != LogicBit::Zero) {
+                return None;
+            }
+        }
+        let mut v = 0u64;
+        for (i, b) in self.bits.iter().take(64).enumerate() {
+            match b.to_bool() {
+                Some(true) => v |= 1 << i,
+                Some(false) => {}
+                None => return None,
+            }
+        }
+        Some(v)
+    }
+
+    /// Interprets the vector as a signed integer (two's complement).
+    pub fn to_i64(&self) -> Option<i64> {
+        let w = self.bits.len().min(64);
+        if w == 0 {
+            return Some(0);
+        }
+        let raw = self.to_u64()?;
+        let sign = self.bits[self.bits.len() - 1] == LogicBit::One;
+        if sign && self.bits.len() <= 64 {
+            let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+            Some((raw | !mask) as i64)
+        } else {
+            Some(raw as i64)
+        }
+    }
+
+    /// Truth value for conditions: `Some(true)` if any bit is 1, `Some(false)`
+    /// if all bits are 0, `None` if unknown bits prevent a decision.
+    pub fn truthy(&self) -> Option<bool> {
+        if self.bits.iter().any(|b| *b == LogicBit::One) {
+            return Some(true);
+        }
+        if self.bits.iter().all(|b| *b == LogicBit::Zero) {
+            return Some(false);
+        }
+        None
+    }
+
+    /// Resizes to `width`, zero-extending (or sign-extending when `signed`).
+    pub fn resize(&self, width: usize, signed: bool) -> LogicVec {
+        let mut bits = self.bits.clone();
+        let fill = if signed {
+            bits.last().copied().unwrap_or(LogicBit::Zero)
+        } else {
+            LogicBit::Zero
+        };
+        bits.resize(width, fill);
+        bits.truncate(width);
+        LogicVec { bits }
+    }
+
+    /// Concatenates `other` below `self` (i.e. `{self, other}` in Verilog).
+    pub fn concat(&self, other: &LogicVec) -> LogicVec {
+        let mut bits = other.bits.clone();
+        bits.extend_from_slice(&self.bits);
+        LogicVec { bits }
+    }
+
+    /// Extracts bits `[lo, lo+width)`, filling out-of-range positions with `x`.
+    pub fn slice(&self, lo: usize, width: usize) -> LogicVec {
+        let bits = (0..width).map(|i| self.bit(lo + i)).collect();
+        LogicVec { bits }
+    }
+
+    /// Case-equality (`===`): exact match including `x`/`z`.
+    pub fn case_eq(&self, other: &LogicVec) -> bool {
+        let w = self.width().max(other.width());
+        (0..w).all(|i| {
+            self.bits.get(i).copied().unwrap_or(LogicBit::Zero)
+                == other.bits.get(i).copied().unwrap_or(LogicBit::Zero)
+        })
+    }
+}
+
+impl fmt::Display for LogicVec {
+    /// Formats MSB first, as in Verilog binary literals.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bits.is_empty() {
+            return write!(f, "0");
+        }
+        for b in self.bits.iter().rev() {
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+impl From<bool> for LogicVec {
+    fn from(b: bool) -> Self {
+        LogicVec::from_bool(b)
+    }
+}
+
+impl From<u64> for LogicVec {
+    fn from(v: u64) -> Self {
+        LogicVec::from_u64(v, 64)
+    }
+}
+
+impl FromIterator<LogicBit> for LogicVec {
+    fn from_iter<I: IntoIterator<Item = LogicBit>>(iter: I) -> Self {
+        LogicVec {
+            bits: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_tables_match_ieee1364() {
+        use LogicBit::*;
+        assert_eq!(Zero.and(X), Zero);
+        assert_eq!(One.and(X), X);
+        assert_eq!(One.or(X), One);
+        assert_eq!(Zero.or(X), X);
+        assert_eq!(One.xor(X), X);
+        assert_eq!(X.not(), X);
+        assert_eq!(Z.not(), X);
+    }
+
+    #[test]
+    fn from_u64_round_trips() {
+        for v in [0u64, 1, 2, 5, 255, 256, u32::MAX as u64] {
+            let lv = LogicVec::from_u64(v, 64);
+            assert_eq!(lv.to_u64(), Some(v));
+        }
+    }
+
+    #[test]
+    fn display_is_msb_first() {
+        assert_eq!(LogicVec::from_u64(0b1010, 4).to_string(), "1010");
+        assert_eq!(LogicVec::from_u64(1, 3).to_string(), "001");
+    }
+
+    #[test]
+    fn parse_binary_handles_xz_and_underscores() {
+        let v = LogicVec::parse_binary("1x_z0").unwrap();
+        assert_eq!(v.width(), 4);
+        assert_eq!(v.bit(0), LogicBit::Zero);
+        assert_eq!(v.bit(1), LogicBit::Z);
+        assert_eq!(v.bit(2), LogicBit::X);
+        assert_eq!(v.bit(3), LogicBit::One);
+        assert!(LogicVec::parse_binary("10a").is_none());
+    }
+
+    #[test]
+    fn unknown_propagates_to_u64() {
+        let v = LogicVec::parse_binary("1x").unwrap();
+        assert_eq!(v.to_u64(), None);
+        assert!(v.has_unknown());
+    }
+
+    #[test]
+    fn truthy_semantics() {
+        assert_eq!(LogicVec::parse_binary("00").unwrap().truthy(), Some(false));
+        assert_eq!(LogicVec::parse_binary("x1").unwrap().truthy(), Some(true));
+        assert_eq!(LogicVec::parse_binary("x0").unwrap().truthy(), None);
+    }
+
+    #[test]
+    fn resize_sign_extends() {
+        let v = LogicVec::from_u64(0b10, 2);
+        assert_eq!(v.resize(4, false).to_string(), "0010");
+        assert_eq!(v.resize(4, true).to_string(), "1110");
+        assert_eq!(v.resize(1, false).to_string(), "0");
+    }
+
+    #[test]
+    fn concat_orders_like_verilog() {
+        // {2'b10, 2'b01} == 4'b1001
+        let hi = LogicVec::from_u64(0b10, 2);
+        let lo = LogicVec::from_u64(0b01, 2);
+        assert_eq!(hi.concat(&lo).to_string(), "1001");
+    }
+
+    #[test]
+    fn slice_extracts_lsb_first() {
+        let v = LogicVec::from_u64(0b1100, 4);
+        assert_eq!(v.slice(2, 2).to_string(), "11");
+        assert_eq!(v.slice(3, 2).to_string(), "x1");
+    }
+
+    #[test]
+    fn signed_conversion() {
+        let v = LogicVec::from_u64(0b111, 3);
+        assert_eq!(v.to_i64(), Some(-1));
+        let v = LogicVec::from_u64(0b011, 3);
+        assert_eq!(v.to_i64(), Some(3));
+    }
+
+    #[test]
+    fn case_eq_distinguishes_x() {
+        let a = LogicVec::parse_binary("1x").unwrap();
+        let b = LogicVec::parse_binary("1x").unwrap();
+        let c = LogicVec::parse_binary("10").unwrap();
+        assert!(a.case_eq(&b));
+        assert!(!a.case_eq(&c));
+    }
+}

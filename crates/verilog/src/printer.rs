@@ -1,0 +1,658 @@
+//! Pretty-printer: turns an AST back into formatted Verilog source.
+//!
+//! The printer is deterministic, so `parse(print(ast))` round-trips to the
+//! same tree (modulo spans). It is used by the corpus generator and by the
+//! repair-mutation engine to materialise mutated trees.
+
+use crate::ast::*;
+
+/// Renders a source file.
+pub fn print_source(sf: &SourceFile) -> String {
+    let mut out = String::new();
+    for d in &sf.directives {
+        out.push_str(d);
+        out.push('\n');
+    }
+    for (i, m) in sf.modules.iter().enumerate() {
+        if i > 0 || !sf.directives.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&print_module(m));
+    }
+    out
+}
+
+/// Renders a single module.
+pub fn print_module(m: &Module) -> String {
+    let mut p = Printer::new();
+    p.module(m);
+    p.out
+}
+
+/// Renders a statement at indent level 0 (useful in tests and datasets).
+pub fn print_stmt(s: &Stmt) -> String {
+    let mut p = Printer::new();
+    p.stmt(s);
+    p.out
+}
+
+/// Renders an expression.
+pub fn print_expr(e: &Expr) -> String {
+    expr_str(e, 0)
+}
+
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn new() -> Self {
+        Printer {
+            out: String::new(),
+            indent: 0,
+        }
+    }
+
+    fn line(&mut self, s: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+        self.out.push_str(s);
+        self.out.push('\n');
+    }
+
+    fn module(&mut self, m: &Module) {
+        let mut header = format!("module {}", m.name);
+        if !m.header_params.is_empty() {
+            let ps: Vec<String> = m
+                .header_params
+                .iter()
+                .map(|p| {
+                    format!(
+                        "parameter {}{} = {}",
+                        range_str(&p.range),
+                        p.name,
+                        expr_str(&p.value, 0)
+                    )
+                })
+                .collect();
+            header.push_str(&format!(" #({})", ps.join(", ")));
+        }
+        if !m.ports.is_empty() {
+            let ps: Vec<String> = {
+                let mut rendered = Vec::new();
+                let mut prev: Option<&Port> = None;
+                for p in &m.ports {
+                    rendered.push(port_str(p, prev));
+                    prev = Some(p);
+                }
+                rendered
+            };
+            if m.ports.iter().any(|p| p.dir.is_some()) {
+                header.push_str(" (\n");
+                for (i, p) in ps.iter().enumerate() {
+                    let sep = if i + 1 == ps.len() { "" } else { "," };
+                    header.push_str(&format!("  {p}{sep}\n"));
+                }
+                header.push(')');
+            } else {
+                header.push_str(&format!(" ({})", ps.join(", ")));
+            }
+        }
+        header.push(';');
+        self.line(&header);
+        self.indent += 1;
+        for item in &m.items {
+            self.item(item);
+        }
+        self.indent -= 1;
+        self.line("endmodule");
+    }
+
+    fn item(&mut self, item: &Item) {
+        match item {
+            Item::Port(p) => {
+                let names: Vec<String> = p.names.iter().map(|n| n.name.clone()).collect();
+                self.line(&format!(
+                    "{}{}{}{}{};",
+                    p.dir,
+                    if p.is_reg { " reg" } else { "" },
+                    if p.signed { " signed" } else { "" },
+                    prefixed_range(&p.range),
+                    format_args!(" {}", names.join(", "))
+                ));
+            }
+            Item::Net(n) => {
+                let nets: Vec<String> = n
+                    .nets
+                    .iter()
+                    .map(|ni| {
+                        let mut s = ni.name.name.clone();
+                        if let Some(a) = &ni.array {
+                            s.push_str(&format!(
+                                " [{}:{}]",
+                                expr_str(&a.msb, 0),
+                                expr_str(&a.lsb, 0)
+                            ));
+                        }
+                        if let Some(e) = &ni.init {
+                            s.push_str(&format!(" = {}", expr_str(e, 0)));
+                        }
+                        s
+                    })
+                    .collect();
+                self.line(&format!(
+                    "{}{}{} {};",
+                    n.kind,
+                    if n.signed { " signed" } else { "" },
+                    prefixed_range(&n.range),
+                    nets.join(", ")
+                ));
+            }
+            Item::Param(p) => {
+                self.line(&format!(
+                    "{} {}{} = {};",
+                    if p.local { "localparam" } else { "parameter" },
+                    range_str(&p.range),
+                    p.name,
+                    expr_str(&p.value, 0)
+                ));
+            }
+            Item::Assign(a) => {
+                let delay = a
+                    .delay
+                    .as_ref()
+                    .map(|d| format!("#{} ", expr_str(d, 0)))
+                    .unwrap_or_default();
+                self.line(&format!(
+                    "assign {}{} = {};",
+                    delay,
+                    expr_str(&a.lhs, 0),
+                    expr_str(&a.rhs, 0)
+                ));
+            }
+            Item::Always(a) => {
+                let sens = sens_str(&a.sensitivity);
+                self.line(&format!("always {sens}"));
+                self.indent += 1;
+                self.stmt(&a.body);
+                self.indent -= 1;
+            }
+            Item::Initial(i) => {
+                self.line("initial");
+                self.indent += 1;
+                self.stmt(&i.body);
+                self.indent -= 1;
+            }
+            Item::Instance(inst) => {
+                let params = if inst.params.is_empty() {
+                    String::new()
+                } else {
+                    format!(" #({})", conns_str(&inst.params))
+                };
+                self.line(&format!(
+                    "{}{} {} ({});",
+                    inst.module,
+                    params,
+                    inst.name,
+                    conns_str(&inst.ports)
+                ));
+            }
+            Item::Function(f) => {
+                self.line(&format!("function {}{};", range_str(&f.range), f.name));
+                self.indent += 1;
+                for (r, n) in &f.args {
+                    self.line(&format!("input{} {};", prefixed_range(r), n));
+                }
+                for l in &f.locals {
+                    self.item(&Item::Net(l.clone()));
+                }
+                self.stmt(&f.body);
+                self.indent -= 1;
+                self.line("endfunction");
+            }
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Block { name, stmts, .. } => {
+                match name {
+                    Some(n) => self.line(&format!("begin : {n}")),
+                    None => self.line("begin"),
+                }
+                self.indent += 1;
+                for st in stmts {
+                    self.stmt(st);
+                }
+                self.indent -= 1;
+                self.line("end");
+            }
+            Stmt::Assign {
+                lhs,
+                rhs,
+                kind,
+                delay,
+                ..
+            } => {
+                let op = match kind {
+                    AssignKind::Blocking => "=",
+                    AssignKind::NonBlocking => "<=",
+                };
+                let d = delay
+                    .as_ref()
+                    .map(|d| format!("#{} ", expr_str(d, 0)))
+                    .unwrap_or_default();
+                self.line(&format!(
+                    "{} {} {}{};",
+                    expr_str(lhs, 0),
+                    op,
+                    d,
+                    expr_str(rhs, 0)
+                ));
+            }
+            Stmt::If {
+                cond,
+                then_stmt,
+                else_stmt,
+                ..
+            } => {
+                self.line(&format!("if ({})", expr_str(cond, 0)));
+                self.indent += 1;
+                self.stmt(then_stmt);
+                self.indent -= 1;
+                if let Some(e) = else_stmt {
+                    self.line("else");
+                    self.indent += 1;
+                    self.stmt(e);
+                    self.indent -= 1;
+                }
+            }
+            Stmt::Case {
+                kind, expr, arms, ..
+            } => {
+                let kw = match kind {
+                    CaseKind::Exact => "case",
+                    CaseKind::Z => "casez",
+                    CaseKind::X => "casex",
+                };
+                self.line(&format!("{kw} ({})", expr_str(expr, 0)));
+                self.indent += 1;
+                for arm in arms {
+                    if arm.labels.is_empty() {
+                        self.line("default:");
+                    } else {
+                        let labels: Vec<String> =
+                            arm.labels.iter().map(|l| expr_str(l, 0)).collect();
+                        self.line(&format!("{}:", labels.join(", ")));
+                    }
+                    self.indent += 1;
+                    self.stmt(&arm.body);
+                    self.indent -= 1;
+                }
+                self.indent -= 1;
+                self.line("endcase");
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                self.line(&format!(
+                    "for ({}; {}; {})",
+                    inline_assign(init),
+                    expr_str(cond, 0),
+                    inline_assign(step)
+                ));
+                self.indent += 1;
+                self.stmt(body);
+                self.indent -= 1;
+            }
+            Stmt::While { cond, body, .. } => {
+                self.line(&format!("while ({})", expr_str(cond, 0)));
+                self.indent += 1;
+                self.stmt(body);
+                self.indent -= 1;
+            }
+            Stmt::Repeat { count, body, .. } => {
+                self.line(&format!("repeat ({})", expr_str(count, 0)));
+                self.indent += 1;
+                self.stmt(body);
+                self.indent -= 1;
+            }
+            Stmt::Forever { body, .. } => {
+                self.line("forever");
+                self.indent += 1;
+                self.stmt(body);
+                self.indent -= 1;
+            }
+            Stmt::Delay { amount, stmt, .. } => match stmt {
+                Some(s) if is_simple(s) => {
+                    let inner = print_stmt(s);
+                    self.line(&format!("#{} {}", expr_str(amount, 0), inner.trim()));
+                }
+                Some(s) => {
+                    self.line(&format!("#{}", expr_str(amount, 0)));
+                    self.indent += 1;
+                    self.stmt(s);
+                    self.indent -= 1;
+                }
+                None => self.line(&format!("#{};", expr_str(amount, 0))),
+            },
+            Stmt::Event {
+                sensitivity, stmt, ..
+            } => match stmt {
+                Some(s) if is_simple(s) => {
+                    let inner = print_stmt(s);
+                    self.line(&format!("{} {}", sens_str(sensitivity), inner.trim()));
+                }
+                Some(s) => {
+                    self.line(&sens_str(sensitivity));
+                    self.indent += 1;
+                    self.stmt(s);
+                    self.indent -= 1;
+                }
+                None => self.line(&format!("{};", sens_str(sensitivity))),
+            },
+            Stmt::Wait { cond, stmt, .. } => match stmt {
+                Some(s) => {
+                    self.line(&format!("wait ({})", expr_str(cond, 0)));
+                    self.indent += 1;
+                    self.stmt(s);
+                    self.indent -= 1;
+                }
+                None => self.line(&format!("wait ({});", expr_str(cond, 0))),
+            },
+            Stmt::SysCall { name, args, .. } => {
+                if args.is_empty() {
+                    self.line(&format!("${name};"));
+                } else {
+                    let a: Vec<String> = args.iter().map(|e| expr_str(e, 0)).collect();
+                    self.line(&format!("${name}({});", a.join(", ")));
+                }
+            }
+            Stmt::Null { .. } => self.line(";"),
+        }
+    }
+}
+
+fn is_simple(s: &Stmt) -> bool {
+    matches!(s, Stmt::Assign { .. } | Stmt::SysCall { .. } | Stmt::Null { .. })
+}
+
+fn inline_assign(s: &Stmt) -> String {
+    if let Stmt::Assign { lhs, rhs, kind, .. } = s {
+        let op = match kind {
+            AssignKind::Blocking => "=",
+            AssignKind::NonBlocking => "<=",
+        };
+        format!("{} {} {}", expr_str(lhs, 0), op, expr_str(rhs, 0))
+    } else {
+        print_stmt(s).trim().trim_end_matches(';').to_owned()
+    }
+}
+
+fn port_str(p: &Port, prev: Option<&Port>) -> String {
+    match p.dir {
+        Some(dir) => {
+            // Collapse repeated identical declarations like the parser accepts.
+            let same_as_prev = prev.is_some_and(|q| {
+                q.dir == p.dir && q.is_reg == p.is_reg && q.signed == p.signed && q.range == p.range
+            });
+            if same_as_prev {
+                p.name.name.clone()
+            } else {
+                format!(
+                    "{}{}{}{} {}",
+                    dir,
+                    if p.is_reg { " reg" } else { "" },
+                    if p.signed { " signed" } else { "" },
+                    prefixed_range(&p.range),
+                    p.name
+                )
+            }
+        }
+        None => p.name.name.clone(),
+    }
+}
+
+fn range_str(r: &Option<Range>) -> String {
+    match r {
+        Some(r) => format!("[{}:{}] ", expr_str(&r.msb, 0), expr_str(&r.lsb, 0)),
+        None => String::new(),
+    }
+}
+
+fn prefixed_range(r: &Option<Range>) -> String {
+    match r {
+        Some(r) => format!(" [{}:{}]", expr_str(&r.msb, 0), expr_str(&r.lsb, 0)),
+        None => String::new(),
+    }
+}
+
+fn sens_str(s: &Sensitivity) -> String {
+    match s {
+        Sensitivity::Star => "@(*)".to_owned(),
+        Sensitivity::None => String::new(),
+        Sensitivity::List(items) => {
+            let parts: Vec<String> = items
+                .iter()
+                .map(|i| match i.edge {
+                    Some(e) => format!("{e} {}", expr_str(&i.expr, 0)),
+                    None => expr_str(&i.expr, 0),
+                })
+                .collect();
+            format!("@({})", parts.join(" or "))
+        }
+    }
+}
+
+fn conns_str(conns: &[Connection]) -> String {
+    let parts: Vec<String> = conns
+        .iter()
+        .map(|c| match (&c.name, &c.expr) {
+            (Some(n), Some(e)) => format!(".{n}({})", expr_str(e, 0)),
+            (Some(n), None) => format!(".{n}()"),
+            (None, Some(e)) => expr_str(e, 0),
+            (None, None) => String::new(),
+        })
+        .collect();
+    parts.join(", ")
+}
+
+/// Binding power used to decide parenthesisation.
+fn binop_level(op: BinaryOp) -> u8 {
+    use BinaryOp::*;
+    match op {
+        LogicOr => 1,
+        LogicAnd => 2,
+        BitOr => 3,
+        BitXor | BitXnor => 4,
+        BitAnd => 5,
+        Eq | Ne | CaseEq | CaseNe => 6,
+        Lt | Le | Gt | Ge => 7,
+        Shl | Shr | AShr => 8,
+        Add | Sub => 9,
+        Mul | Div | Mod => 10,
+        Pow => 11,
+    }
+}
+
+fn expr_str(e: &Expr, parent_level: u8) -> String {
+    match e {
+        Expr::Number(n, _) => n.spelling.clone(),
+        Expr::Str(s, _) => format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")),
+        Expr::Ident(i) => i.name.clone(),
+        Expr::Unary { op, expr, .. } => {
+            format!("{}{}", op.as_str(), expr_str(expr, 12))
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let lvl = binop_level(*op);
+            let s = format!(
+                "{} {} {}",
+                expr_str(lhs, lvl),
+                op.as_str(),
+                expr_str(rhs, lvl + 1)
+            );
+            if lvl < parent_level {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+            ..
+        } => {
+            let s = format!(
+                "{} ? {} : {}",
+                expr_str(cond, 1),
+                expr_str(then_expr, 0),
+                expr_str(else_expr, 0)
+            );
+            if parent_level > 0 {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Expr::Concat(parts, _) => {
+            let ps: Vec<String> = parts.iter().map(|p| expr_str(p, 0)).collect();
+            format!("{{{}}}", ps.join(", "))
+        }
+        Expr::Repeat { count, exprs, .. } => {
+            let ps: Vec<String> = exprs.iter().map(|p| expr_str(p, 0)).collect();
+            format!("{{{}{{{}}}}}", expr_str(count, 0), ps.join(", "))
+        }
+        Expr::Index { base, index, .. } => {
+            format!("{}[{}]", expr_str(base, 12), expr_str(index, 0))
+        }
+        Expr::PartSelect { base, msb, lsb, .. } => format!(
+            "{}[{}:{}]",
+            expr_str(base, 12),
+            expr_str(msb, 0),
+            expr_str(lsb, 0)
+        ),
+        Expr::IndexedPart {
+            base,
+            start,
+            width,
+            ascending,
+            ..
+        } => format!(
+            "{}[{} {}: {}]",
+            expr_str(base, 12),
+            expr_str(start, 0),
+            if *ascending { "+" } else { "-" },
+            expr_str(width, 0)
+        ),
+        Expr::Call { name, args, .. } => {
+            if args.is_empty() {
+                name.name.clone()
+            } else {
+                let a: Vec<String> = args.iter().map(|x| expr_str(x, 0)).collect();
+                format!("{}({})", name, a.join(", "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn round_trip(src: &str) {
+        let sf1 = parse(src).expect("first parse");
+        let printed = print_source(&sf1);
+        let sf2 = parse(&printed).unwrap_or_else(|e| {
+            panic!("reparse failed: {e}\nprinted:\n{printed}");
+        });
+        let reprinted = print_source(&sf2);
+        assert_eq!(printed, reprinted, "printer must be a fixed point");
+    }
+
+    #[test]
+    fn round_trips_counter() {
+        round_trip(
+            "module counter(clk, rst, en, count);\n\
+             input clk, rst, en;\n\
+             output reg [1:0] count;\n\
+             always @(posedge clk)\n\
+               if (rst) count <= 2'd0;\n\
+               else if (en) count <= count + 2'd1;\n\
+             endmodule",
+        );
+    }
+
+    #[test]
+    fn round_trips_testbench() {
+        round_trip(
+            "`timescale 1ns/1ps\n\
+             module tb;\n\
+             reg clk = 0; wire [3:0] q;\n\
+             dut u(.clk(clk), .q(q));\n\
+             always #5 clk = ~clk;\n\
+             initial begin #100 $display(\"q=%d\", q); $finish; end\n\
+             endmodule",
+        );
+    }
+
+    #[test]
+    fn round_trips_expressions() {
+        round_trip(
+            "module m(input [7:0] a, b, output [7:0] y, output p);\n\
+             assign y = (a + b) * 8'd2 - {4'b0, a[7:4]};\n\
+             assign p = ^y | &a & |b;\n\
+             endmodule",
+        );
+    }
+
+    #[test]
+    fn precedence_parens_preserved() {
+        let e = crate::parser::parse_expr("(a + b) * c").unwrap();
+        assert_eq!(print_expr(&e), "(a + b) * c");
+        let e = crate::parser::parse_expr("a + b * c").unwrap();
+        assert_eq!(print_expr(&e), "a + b * c");
+    }
+
+    #[test]
+    fn ternary_parenthesised_in_operand() {
+        let e = crate::parser::parse_expr("x & (s ? a : b)").unwrap();
+        assert_eq!(print_expr(&e), "x & (s ? a : b)");
+    }
+
+    #[test]
+    fn round_trips_case_and_for() {
+        round_trip(
+            "module m(input [1:0] s, output reg [3:0] y);\n\
+             integer i;\n\
+             always @(*) begin\n\
+               case (s)\n\
+                 2'b00: y = 4'd1;\n\
+                 default: y = 4'd0;\n\
+               endcase\n\
+               for (i = 0; i < 4; i = i + 1) y[i] = y[i] ^ s[0];\n\
+             end\n\
+             endmodule",
+        );
+    }
+
+    #[test]
+    fn round_trips_functions_and_instances() {
+        round_trip(
+            "module m(input [7:0] a, output [7:0] y);\n\
+             function [7:0] inc; input [7:0] v; inc = v + 8'd1; endfunction\n\
+             sub #(.W(8)) u (.a(a), .y(y));\n\
+             endmodule\n\
+             module sub #(parameter W = 4)(input [W-1:0] a, output [W-1:0] y);\n\
+             assign y = a;\n\
+             endmodule",
+        );
+    }
+}

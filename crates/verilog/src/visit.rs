@@ -1,0 +1,310 @@
+//! AST visitors.
+//!
+//! [`Visitor`] is the read-only walk used by the program-analysis
+//! (NL-alignment) rules and by the linter's checks; `walk_*` functions drive
+//! the traversal so implementations only override what they care about.
+
+use crate::ast::*;
+
+/// A read-only AST visitor with default walking behaviour.
+///
+/// Override the hooks you need; call the matching `walk_*` function inside
+/// an override to continue into children.
+pub trait Visitor {
+    /// Called for each module before its children.
+    fn visit_module(&mut self, m: &Module) {
+        walk_module(self, m);
+    }
+    /// Called for each item before its children.
+    fn visit_item(&mut self, item: &Item) {
+        walk_item(self, item);
+    }
+    /// Called for each statement before its children.
+    fn visit_stmt(&mut self, s: &Stmt) {
+        walk_stmt(self, s);
+    }
+    /// Called for each expression before its children.
+    fn visit_expr(&mut self, e: &Expr) {
+        walk_expr(self, e);
+    }
+}
+
+/// Walks all modules of a source file.
+pub fn walk_source<V: Visitor + ?Sized>(v: &mut V, sf: &SourceFile) {
+    for m in &sf.modules {
+        v.visit_module(m);
+    }
+}
+
+/// Walks a module's parameters, port ranges, and items.
+pub fn walk_module<V: Visitor + ?Sized>(v: &mut V, m: &Module) {
+    for p in &m.header_params {
+        v.visit_expr(&p.value);
+    }
+    for p in &m.ports {
+        if let Some(r) = &p.range {
+            v.visit_expr(&r.msb);
+            v.visit_expr(&r.lsb);
+        }
+    }
+    for item in &m.items {
+        v.visit_item(item);
+    }
+}
+
+/// Walks an item's children.
+pub fn walk_item<V: Visitor + ?Sized>(v: &mut V, item: &Item) {
+    match item {
+        Item::Port(p) => {
+            if let Some(r) = &p.range {
+                v.visit_expr(&r.msb);
+                v.visit_expr(&r.lsb);
+            }
+        }
+        Item::Net(n) => {
+            if let Some(r) = &n.range {
+                v.visit_expr(&r.msb);
+                v.visit_expr(&r.lsb);
+            }
+            for ni in &n.nets {
+                if let Some(a) = &ni.array {
+                    v.visit_expr(&a.msb);
+                    v.visit_expr(&a.lsb);
+                }
+                if let Some(e) = &ni.init {
+                    v.visit_expr(e);
+                }
+            }
+        }
+        Item::Param(p) => v.visit_expr(&p.value),
+        Item::Assign(a) => {
+            v.visit_expr(&a.lhs);
+            v.visit_expr(&a.rhs);
+        }
+        Item::Always(a) => {
+            if let Sensitivity::List(items) = &a.sensitivity {
+                for s in items {
+                    v.visit_expr(&s.expr);
+                }
+            }
+            v.visit_stmt(&a.body);
+        }
+        Item::Initial(i) => v.visit_stmt(&i.body),
+        Item::Instance(inst) => {
+            for c in inst.params.iter().chain(&inst.ports) {
+                if let Some(e) = &c.expr {
+                    v.visit_expr(e);
+                }
+            }
+        }
+        Item::Function(f) => {
+            for l in &f.locals {
+                v.visit_item(&Item::Net(l.clone()));
+            }
+            v.visit_stmt(&f.body);
+        }
+    }
+}
+
+/// Walks a statement's children.
+pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, s: &Stmt) {
+    match s {
+        Stmt::Block { stmts, .. } => {
+            for st in stmts {
+                v.visit_stmt(st);
+            }
+        }
+        Stmt::Assign {
+            lhs, rhs, delay, ..
+        } => {
+            v.visit_expr(lhs);
+            v.visit_expr(rhs);
+            if let Some(d) = delay {
+                v.visit_expr(d);
+            }
+        }
+        Stmt::If {
+            cond,
+            then_stmt,
+            else_stmt,
+            ..
+        } => {
+            v.visit_expr(cond);
+            v.visit_stmt(then_stmt);
+            if let Some(e) = else_stmt {
+                v.visit_stmt(e);
+            }
+        }
+        Stmt::Case { expr, arms, .. } => {
+            v.visit_expr(expr);
+            for arm in arms {
+                for l in &arm.labels {
+                    v.visit_expr(l);
+                }
+                v.visit_stmt(&arm.body);
+            }
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
+            v.visit_stmt(init);
+            v.visit_expr(cond);
+            v.visit_stmt(step);
+            v.visit_stmt(body);
+        }
+        Stmt::While { cond, body, .. } => {
+            v.visit_expr(cond);
+            v.visit_stmt(body);
+        }
+        Stmt::Repeat { count, body, .. } => {
+            v.visit_expr(count);
+            v.visit_stmt(body);
+        }
+        Stmt::Forever { body, .. } => v.visit_stmt(body),
+        Stmt::Delay { amount, stmt, .. } => {
+            v.visit_expr(amount);
+            if let Some(s) = stmt {
+                v.visit_stmt(s);
+            }
+        }
+        Stmt::Event {
+            sensitivity, stmt, ..
+        } => {
+            if let Sensitivity::List(items) = sensitivity {
+                for it in items {
+                    v.visit_expr(&it.expr);
+                }
+            }
+            if let Some(s) = stmt {
+                v.visit_stmt(s);
+            }
+        }
+        Stmt::Wait { cond, stmt, .. } => {
+            v.visit_expr(cond);
+            if let Some(s) = stmt {
+                v.visit_stmt(s);
+            }
+        }
+        Stmt::SysCall { args, .. } => {
+            for a in args {
+                v.visit_expr(a);
+            }
+        }
+        Stmt::Null { .. } => {}
+    }
+}
+
+/// Walks an expression's children.
+pub fn walk_expr<V: Visitor + ?Sized>(v: &mut V, e: &Expr) {
+    match e {
+        Expr::Number(..) | Expr::Str(..) | Expr::Ident(_) => {}
+        Expr::Unary { expr, .. } => v.visit_expr(expr),
+        Expr::Binary { lhs, rhs, .. } => {
+            v.visit_expr(lhs);
+            v.visit_expr(rhs);
+        }
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+            ..
+        } => {
+            v.visit_expr(cond);
+            v.visit_expr(then_expr);
+            v.visit_expr(else_expr);
+        }
+        Expr::Concat(parts, _) => {
+            for p in parts {
+                v.visit_expr(p);
+            }
+        }
+        Expr::Repeat { count, exprs, .. } => {
+            v.visit_expr(count);
+            for p in exprs {
+                v.visit_expr(p);
+            }
+        }
+        Expr::Index { base, index, .. } => {
+            v.visit_expr(base);
+            v.visit_expr(index);
+        }
+        Expr::PartSelect { base, msb, lsb, .. } => {
+            v.visit_expr(base);
+            v.visit_expr(msb);
+            v.visit_expr(lsb);
+        }
+        Expr::IndexedPart {
+            base, start, width, ..
+        } => {
+            v.visit_expr(base);
+            v.visit_expr(start);
+            v.visit_expr(width);
+        }
+        Expr::Call { args, .. } => {
+            for a in args {
+                v.visit_expr(a);
+            }
+        }
+    }
+}
+
+/// Collects every identifier referenced in an expression tree.
+///
+/// ```
+/// let e = dda_verilog::parser::parse_expr("a + b[i]").unwrap();
+/// let ids = dda_verilog::visit::collect_idents(&e);
+/// assert_eq!(ids, vec!["a", "b", "i"]);
+/// ```
+pub fn collect_idents(e: &Expr) -> Vec<String> {
+    struct C(Vec<String>);
+    impl Visitor for C {
+        fn visit_expr(&mut self, e: &Expr) {
+            if let Expr::Ident(i) = e {
+                self.0.push(i.name.clone());
+            }
+            walk_expr(self, e);
+        }
+    }
+    let mut c = C(Vec::new());
+    c.visit_expr(e);
+    c.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn counts_assignments() {
+        struct Count(usize);
+        impl Visitor for Count {
+            fn visit_stmt(&mut self, s: &Stmt) {
+                if matches!(s, Stmt::Assign { .. }) {
+                    self.0 += 1;
+                }
+                walk_stmt(self, s);
+            }
+        }
+        let sf = parse(
+            "module m(input clk, output reg a, b);\n\
+             always @(posedge clk) begin a <= 1'b0; if (a) b <= 1'b1; end\n\
+             endmodule",
+        )
+        .unwrap();
+        let mut c = Count(0);
+        walk_source(&mut c, &sf);
+        assert_eq!(c.0, 2);
+    }
+
+    #[test]
+    fn collect_idents_finds_all() {
+        let e = crate::parser::parse_expr("x ? {y, z[w]} : ~v").unwrap();
+        let ids = collect_idents(&e);
+        assert_eq!(ids, vec!["x", "y", "z", "w", "v"]);
+    }
+}

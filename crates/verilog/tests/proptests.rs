@@ -1,0 +1,124 @@
+//! Property-based tests for the Verilog front-end: lexer totality and
+//! round trips, number decoding, printer fixed points, and four-state
+//! algebraic laws.
+
+use dda_verilog::lexer::lex;
+use dda_verilog::parser::{decode_number, parse_expr};
+use dda_verilog::printer::print_expr;
+use dda_verilog::{LogicBit, LogicVec};
+use proptest::prelude::*;
+
+proptest! {
+    /// The lexer never panics on arbitrary input.
+    #[test]
+    fn lexer_total(src in "\\PC{0,300}") {
+        let _ = lex(&src);
+    }
+
+    /// Re-rendering a token stream and re-lexing yields the same kinds
+    /// (token spellings are self-delimiting under single-space joining).
+    #[test]
+    fn lex_render_relex(src in "[a-z0-9_ ;()\\[\\]{}<>=+\\-*&|^~!,.:@#]{0,120}") {
+        if let Ok(tokens) = lex(&src) {
+            let rendered: Vec<String> = tokens.iter().map(|t| t.kind.render()).collect();
+            let joined = rendered.join(" ");
+            if let Ok(again) = lex(&joined) {
+                let kinds1: Vec<_> = tokens.iter().map(|t| t.kind.clone()).collect();
+                let kinds2: Vec<_> = again.iter().map(|t| t.kind.clone()).collect();
+                prop_assert_eq!(kinds1, kinds2);
+            }
+        }
+    }
+
+    /// Sized based literals decode to the declared width.
+    #[test]
+    fn based_literal_width(width in 1u32..64, value in any::<u64>()) {
+        let spelled = format!("{width}'h{:x}", value);
+        let n = decode_number(&spelled).expect("valid literal");
+        prop_assert_eq!(n.value.width(), width as usize);
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        prop_assert_eq!(n.value.to_u64(), Some(value & mask));
+    }
+
+    /// Decimal spelling round-trips through decode.
+    #[test]
+    fn decimal_decode(value in 0u64..1_000_000_000) {
+        let n = decode_number(&value.to_string()).expect("decimal");
+        prop_assert_eq!(n.value.to_u64(), Some(value));
+        prop_assert!(n.signed, "unsized decimals are signed");
+    }
+
+    /// print(parse(print(parse(e)))) is a fixed point for expressions built
+    /// from a safe grammar.
+    #[test]
+    fn expr_print_parse_fixed_point(
+        a in "[a-d]",
+        b in "[w-z]",
+        op in prop::sample::select(vec!["+", "-", "&", "|", "^", "<<", "==", "&&"]),
+        n in 0u64..100,
+    ) {
+        let src = format!("{a} {op} ({b} + {n})");
+        let e1 = parse_expr(&src).expect("grammar is safe");
+        let p1 = print_expr(&e1);
+        let e2 = parse_expr(&p1).expect("printed form parses");
+        prop_assert_eq!(p1, print_expr(&e2));
+    }
+
+    /// Bitwise AND/OR/XOR are commutative and associative on 4-state
+    /// vectors of equal width.
+    #[test]
+    fn fourstate_bitwise_laws(
+        a in prop::collection::vec(0u8..4, 1..24),
+        b in prop::collection::vec(0u8..4, 1..24),
+        c in prop::collection::vec(0u8..4, 1..24),
+    ) {
+        fn v(bits: &[u8]) -> LogicVec {
+            bits.iter()
+                .map(|b| match b {
+                    0 => LogicBit::Zero,
+                    1 => LogicBit::One,
+                    2 => LogicBit::X,
+                    _ => LogicBit::Z,
+                })
+                .collect()
+        }
+        let (a, b, c) = (v(&a), v(&b), v(&c));
+        use dda_sim::ops::{bit_and, bit_or, bit_xor};
+        prop_assert_eq!(bit_and(&a, &b), bit_and(&b, &a));
+        prop_assert_eq!(bit_or(&a, &b), bit_or(&b, &a));
+        prop_assert_eq!(bit_xor(&a, &b), bit_xor(&b, &a));
+        prop_assert_eq!(
+            bit_and(&bit_and(&a, &b), &c),
+            bit_and(&a, &bit_and(&b, &c))
+        );
+        prop_assert_eq!(bit_or(&bit_or(&a, &b), &c), bit_or(&a, &bit_or(&b, &c)));
+    }
+
+    /// Case equality is reflexive, symmetric, and implies logical equality
+    /// on fully-known vectors.
+    #[test]
+    fn case_eq_laws(a in any::<u64>(), b in any::<u64>(), w in 1usize..32) {
+        let va = LogicVec::from_u64(a, w);
+        let vb = LogicVec::from_u64(b, w);
+        prop_assert!(va.case_eq(&va));
+        prop_assert_eq!(va.case_eq(&vb), vb.case_eq(&va));
+        use dda_sim::ops::log_eq;
+        prop_assert_eq!(va.case_eq(&vb), log_eq(&va, &vb).to_u64() == Some(1));
+    }
+
+    /// Shifting left then right by the same known amount clears the top
+    /// bits and keeps the rest.
+    #[test]
+    fn shift_round_trip(v in any::<u64>(), w in 8usize..48, s in 0usize..8) {
+        use dda_sim::ops::{shl, shr};
+        let val = LogicVec::from_u64(v, w);
+        let amt = LogicVec::from_u64(s as u64, 8);
+        let round = shr(&shl(&val, &amt), &amt);
+        for i in 0..w.saturating_sub(s) {
+            prop_assert_eq!(round.bit(i), val.bit(i));
+        }
+        for i in w.saturating_sub(s)..w {
+            prop_assert_eq!(round.bit(i), LogicBit::Zero);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! The EDA-tool-in-the-loop repair scenario from the paper's Fig. 1/Fig. 6:
+//! break a known-good design with the §3.2.1 injection rules, collect the
+//! yosys-style diagnostics, hand (feedback, wrong file) to a repair-trained
+//! model, and verify the repair with the linter and the testbench.
+//!
+//! Run with: `cargo run --release --example repair_loop`
+
+use chipdda::core::repair::{break_verilog, RepairOptions, REPAIR_INSTRUCT};
+use chipdda::slm::{GenOptions, Slm, SlmProfile, PROGRESSIVE_ORDER};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let suite = chipdda::benchmarks::rtllm_suite();
+    let problem = suite
+        .iter()
+        .find(|p| p.id == "counter_12")
+        .expect("counter_12 is in the RTLLM suite");
+
+    // A model whose repair skill comes from repair-augmentation data.
+    let mut rng = SmallRng::seed_from_u64(7);
+    let corpus = chipdda::corpus::generate_corpus(64, &mut rng);
+    let data = chipdda::core::pipeline::augment(
+        &corpus,
+        &chipdda::core::pipeline::PipelineOptions::default(),
+        &mut rng,
+    );
+    let model = Slm::finetune(SlmProfile::llama2(13.0), &data, &PROGRESSIVE_ORDER);
+    println!("repair skill from data: {:.2}\n", model.skills().repair);
+
+    // Break the reference until the checker objects.
+    let mut wrong = problem.reference.to_owned();
+    let file = format!("{}.v", problem.id);
+    for _ in 0..20 {
+        if let Some(b) = break_verilog(problem.reference, &RepairOptions::default(), &mut rng) {
+            if !chipdda::lint::check_source(&file, &b.source).is_clean() {
+                println!("injected faults:");
+                for m in &b.mutations {
+                    println!("  line {}: {}", m.line, m.description);
+                }
+                wrong = b.source;
+                break;
+            }
+        }
+    }
+    let report = chipdda::lint::check_source(&file, &wrong);
+    println!("\n--- EDA tool feedback ---\n{}", report.render());
+    println!("--- wrong file ---\n{wrong}");
+
+    // Fig. 6 input layout: "[yosys info], [wrong Verilog file]".
+    let input = format!("{}, {}", report.render().trim_end(), wrong);
+    let fixed = model.generate(REPAIR_INSTRUCT, &input, &GenOptions::default(), &mut rng);
+    println!("--- model repair ---\n{fixed}");
+
+    let post = chipdda::lint::check_source(&file, &fixed);
+    println!(
+        "--- verdict ---\nlint: {}",
+        if post.is_clean() { "clean" } else { "still broken" }
+    );
+    let rate = chipdda::eval::run_testbench(problem, &fixed);
+    println!("testbench pass rate: {:.0}%", rate * 100.0);
+}

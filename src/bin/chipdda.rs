@@ -1,0 +1,238 @@
+//! `chipdda` — command-line front door to the framework.
+//!
+//! ```text
+//! chipdda lint <file.v>                 # yosys-style check
+//! chipdda sim <file.v> [--top tb]       # run a testbench, print $display output
+//! chipdda describe <file.v>             # program-analysis NL (Fig. 5 rules)
+//! chipdda break <file.v> [--max N]      # inject repair-training faults (§3.2.1)
+//! chipdda augment <dir-or-file.v> ...   # emit JSONL datasets for Verilog inputs
+//! chipdda sc-check <script.py>          # SiliconCompiler script check + flow summary
+//! chipdda sc-describe <script.py>       # script → natural language (§3.3)
+//! ```
+
+use chipdda::core::align::{describe_module, render_line_tagged};
+use chipdda::core::json::to_jsonl;
+use chipdda::core::repair::{break_verilog, RepairOptions};
+use chipdda::core::{Dataset, TaskKind};
+use chipdda::sim::{SimOptions, Simulator};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "lint" => cmd_lint(&args[1..]),
+        "sim" => cmd_sim(&args[1..]),
+        "describe" => cmd_describe(&args[1..]),
+        "break" => cmd_break(&args[1..]),
+        "augment" => cmd_augment(&args[1..]),
+        "sc-check" => cmd_sc_check(&args[1..]),
+        "sc-describe" => cmd_sc_describe(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: chipdda <lint|sim|describe|break|augment|sc-check|sc-describe> <file> [options]
+  lint <file.v>                 yosys-style syntax & semantic check
+  sim <file.v> [--top tb]       simulate; prints $display output
+  describe <file.v>             program-analysis natural language (Fig. 5)
+  break <file.v> [--max N]      inject repair-training faults (default max 4)
+  augment <input.v ...> [--out DIR]  run the full pipeline, write JSONL per task
+  sc-check <script.py>          check a SiliconCompiler script; run simulated flow
+  sc-describe <script.py>       describe a SiliconCompiler script in English";
+
+type CmdResult = Result<ExitCode, Box<dyn std::error::Error>>;
+
+fn file_arg<'a>(args: &'a [String], what: &str) -> Result<&'a String, String> {
+    args.iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or_else(|| format!("missing {what} argument"))
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_lint(args: &[String]) -> CmdResult {
+    let path = file_arg(args, "Verilog file")?;
+    let src = fs::read_to_string(path)?;
+    let name = Path::new(path)
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.clone());
+    let report = chipdda::lint::check_source(&name, &src);
+    print!("{}", report.render());
+    if report.is_clean() {
+        println!("{name}: clean ({} warnings)", report.warning_count());
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn cmd_sim(args: &[String]) -> CmdResult {
+    let path = file_arg(args, "Verilog file")?;
+    let src = fs::read_to_string(path)?;
+    let sf = chipdda::verilog::parse(&src)?;
+    let top = flag_value(args, "--top")
+        .map(str::to_owned)
+        .or_else(|| sf.modules.last().map(|m| m.name.name.clone()))
+        .ok_or("no module found")?;
+    let mut sim = Simulator::new(&sf, &top)?;
+    let result = sim.run(&SimOptions::default())?;
+    print!("{}", result.output);
+    println!(
+        "-- {} at t={} ({} $error calls)",
+        if result.finished { "$finish" } else { "quiescent/limit" },
+        result.time,
+        result.error_count
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_describe(args: &[String]) -> CmdResult {
+    let path = file_arg(args, "Verilog file")?;
+    let src = fs::read_to_string(path)?;
+    let sf = chipdda::verilog::parse(&src)?;
+    for m in &sf.modules {
+        print!("{}", render_line_tagged(&describe_module(m)));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_break(args: &[String]) -> CmdResult {
+    let path = file_arg(args, "Verilog file")?;
+    let src = fs::read_to_string(path)?;
+    let max = flag_value(args, "--max")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let seed = flag_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xDDA);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let broken = break_verilog(&src, &RepairOptions { max_mutations: max }, &mut rng)
+        .ok_or("no applicable mutation site")?;
+    eprintln!("# injected faults:");
+    for m in &broken.mutations {
+        eprintln!("#   line {}: {}", m.line, m.description);
+    }
+    print!("{}", broken.source);
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_augment(args: &[String]) -> CmdResult {
+    let outdir = Path::new(flag_value(args, "--out").unwrap_or("augmented"));
+    let inputs: Vec<&String> = {
+        let mut v = Vec::new();
+        let mut skip = false;
+        for (i, a) in args.iter().enumerate() {
+            if skip {
+                skip = false;
+                continue;
+            }
+            if a == "--out" {
+                skip = true;
+                continue;
+            }
+            let _ = i;
+            v.push(a);
+        }
+        v
+    };
+    if inputs.is_empty() {
+        return Err("no input files".into());
+    }
+    let mut rng = SmallRng::seed_from_u64(2024);
+    let mut ds = Dataset::new();
+    let opts = chipdda::core::pipeline::PipelineOptions::default();
+    for path in &inputs {
+        let src = fs::read_to_string(path)?;
+        let name = Path::new(path.as_str())
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| (*path).clone());
+        for (k, e) in chipdda::core::completion::completion_entries(&src, &opts.completion) {
+            ds.push(k, e);
+        }
+        for (k, e) in chipdda::core::align::align_entries(&src) {
+            ds.push(k, e);
+        }
+        for (k, e) in chipdda::core::repair::repair_entries(
+            &name,
+            &src,
+            opts.repairs_per_module,
+            &opts.repair,
+            &mut rng,
+        ) {
+            ds.push(k, e);
+        }
+    }
+    ds.trim_by_token_len(opts.max_entry_tokens);
+    fs::create_dir_all(outdir)?;
+    for kind in TaskKind::ALL {
+        let entries = ds.entries(kind);
+        if entries.is_empty() {
+            continue;
+        }
+        let file = outdir.join(format!(
+            "{}.jsonl",
+            kind.label().to_lowercase().replace([' ', '-'], "_")
+        ));
+        fs::write(&file, to_jsonl(entries))?;
+        println!("{:>7} entries -> {}", entries.len(), file.display());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_sc_check(args: &[String]) -> CmdResult {
+    let path = file_arg(args, "script")?;
+    let src = fs::read_to_string(path)?;
+    let script = match chipdda::scscript::parse(&src) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    let report = chipdda::scscript::check(&script);
+    print!("{}", report.render());
+    if !report.is_clean() {
+        return Ok(ExitCode::FAILURE);
+    }
+    if let Some(summary) = chipdda::scscript::simulate_flow(&script) {
+        print!("{summary}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_sc_describe(args: &[String]) -> CmdResult {
+    let path = file_arg(args, "script")?;
+    let src = fs::read_to_string(path)?;
+    let script = chipdda::scscript::parse(&src)?;
+    println!("{}", chipdda::scscript::describe(&script));
+    Ok(ExitCode::SUCCESS)
+}

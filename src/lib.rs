@@ -1,0 +1,52 @@
+//! # chipdda
+//!
+//! A complete Rust reproduction of **"Data is all you need: Finetuning LLMs
+//! for Chip Design via an Automated design-data augmentation framework"**
+//! (Chang et al., DAC 2024).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`verilog`] | `dda-verilog` | Verilog lexer/parser/AST/printer (the ANTLR4 substitute) |
+//! | [`lint`] | `dda-lint` | yosys-style syntax & semantic checker |
+//! | [`sim`] | `dda-sim` | event-driven 4-state simulator (the VCS substitute) |
+//! | [`corpus`] | `dda-corpus` | synthetic Verilog corpus generator |
+//! | [`scscript`] | `dda-scscript` | SiliconCompiler Python-DSL model |
+//! | [`core`] | `dda-core` | **the paper's contribution**: the augmentation pipeline |
+//! | [`slm`] | `dda-slm` | simulatable LM (finetune = index, generate = retrieve+adapt+corrupt) |
+//! | [`benchmarks`] | `dda-benchmarks` | Thakur-et-al., RTLLM, SiliconCompiler suites |
+//! | [`eval`] | `dda-eval` | pass@k harness regenerating Tables 3–5 |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rand::SeedableRng;
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+//!
+//! // 1. A corpus (stands in for a GitHub scrape).
+//! let corpus = chipdda::corpus::generate_corpus(8, &mut rng);
+//!
+//! // 2. Augment it (completion + alignment + repair + EDA scripts).
+//! let data = chipdda::core::pipeline::augment(
+//!     &corpus,
+//!     &chipdda::core::pipeline::PipelineOptions::default(),
+//!     &mut rng,
+//! );
+//! assert!(data.len() > 100);
+//!
+//! // 3. "Finetune" a model on it and ask for a design.
+//! use chipdda::slm::{Slm, SlmProfile, PROGRESSIVE_ORDER};
+//! let model = Slm::finetune(SlmProfile::llama2(13.0), &data, &PROGRESSIVE_ORDER);
+//! assert!(model.skills().nl > 0.2);
+//! ```
+
+pub use dda_benchmarks as benchmarks;
+pub use dda_core as core;
+pub use dda_corpus as corpus;
+pub use dda_eval as eval;
+pub use dda_lint as lint;
+pub use dda_scscript as scscript;
+pub use dda_sim as sim;
+pub use dda_slm as slm;
+pub use dda_verilog as verilog;

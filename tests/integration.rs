@@ -1,0 +1,193 @@
+//! Cross-crate integration tests: each drives a full user scenario through
+//! the public API (corpus → augmentation → finetune → generate → EDA-tool
+//! verification), the way the examples do, with assertions.
+
+use chipdda::core::align::ALIGN_INSTRUCT;
+use chipdda::core::edascript::EDA_INSTRUCT;
+use chipdda::core::pipeline::{augment, PipelineOptions, StageSet};
+use chipdda::core::repair::{break_verilog, RepairOptions, REPAIR_INSTRUCT};
+use chipdda::core::{Dataset, TaskKind};
+use chipdda::slm::{GenOptions, Slm, SlmProfile, PROGRESSIVE_ORDER};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn trained_model(modules: usize, seed: u64) -> (Slm, Dataset) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let corpus = chipdda::corpus::generate_corpus(modules, &mut rng);
+    let data = augment(&corpus, &PipelineOptions::default(), &mut rng);
+    let model = Slm::finetune(
+        SlmProfile {
+            name: format!("it-model-{seed}"),
+            ..SlmProfile::llama2(13.0)
+        },
+        &data,
+        &PROGRESSIVE_ORDER,
+    );
+    (model, data)
+}
+
+#[test]
+fn corpus_to_generation_round_trip() {
+    let (model, _) = trained_model(96, 41);
+    let mut rng = SmallRng::seed_from_u64(5);
+    let prompt = "A 4-bit counter with synchronous reset that wraps from 11 back to 0.\n\
+                  Module name: counter_12\n\
+                  Ports: input clk, input rst, output reg [3:0] count\n";
+    // Across a pass@5 budget the model must produce at least one
+    // syntactically clean counter named per the request.
+    let mut clean = 0;
+    let mut named = 0;
+    for _ in 0..5 {
+        let out = model.generate(ALIGN_INSTRUCT, prompt, &GenOptions::default(), &mut rng);
+        if chipdda::lint::check_source("g.v", &out).is_clean() {
+            clean += 1;
+        }
+        if out.contains("module counter_12") {
+            named += 1;
+        }
+    }
+    assert!(clean >= 3, "only {clean}/5 lint-clean generations");
+    assert!(named >= 3, "only {named}/5 honoured the module name");
+}
+
+#[test]
+fn generated_designs_simulate_under_real_testbenches() {
+    let (model, _) = trained_model(96, 41);
+    let suite = chipdda::benchmarks::thakur_suite();
+    let mut rng = SmallRng::seed_from_u64(9);
+    // The easy basics should be solvable within pass@5 on the high-detail
+    // prompt by a fully-trained 13B-profile model.
+    let mut solved = 0;
+    for id in ["basic1", "basic2", "basic4"] {
+        let p = suite.iter().find(|p| p.id == id).expect("suite id");
+        let prompt = &p.prompts[2];
+        for _ in 0..5 {
+            let out = model.generate(ALIGN_INSTRUCT, prompt, &GenOptions::default(), &mut rng);
+            if chipdda::eval::run_testbench(p, &out) >= 1.0 {
+                solved += 1;
+                break;
+            }
+        }
+    }
+    assert!(solved >= 2, "only {solved}/3 basics solved");
+}
+
+#[test]
+fn repair_closes_the_tool_feedback_loop() {
+    let (model, _) = trained_model(64, 7);
+    let suite = chipdda::benchmarks::rtllm_suite();
+    let p = suite.iter().find(|p| p.id == "adder_16bit").expect("id");
+    let mut rng = SmallRng::seed_from_u64(3);
+    // Break → feedback → repair → verify, over a few injections.
+    let mut lint_clean = 0;
+    let mut functional = 0;
+    let mut tried = 0;
+    while tried < 5 {
+        let Some(b) = break_verilog(p.reference, &RepairOptions::default(), &mut rng) else {
+            continue;
+        };
+        let file = format!("{}.v", p.id);
+        let report = chipdda::lint::check_source(&file, &b.source);
+        if report.is_clean() {
+            continue;
+        }
+        tried += 1;
+        let input = format!("{}, {}", report.render().trim_end(), b.source);
+        for _ in 0..3 {
+            let fixed = model.generate(REPAIR_INSTRUCT, &input, &GenOptions::default(), &mut rng);
+            if chipdda::lint::check_source(&file, &fixed).is_clean() {
+                lint_clean += 1;
+                if chipdda::eval::run_testbench(p, &fixed) >= 1.0 {
+                    functional += 1;
+                }
+                break;
+            }
+        }
+    }
+    // Syntactic repair should usually succeed; functional repair fails when
+    // the injected fault was semantically invisible (the paper's Table 3
+    // shows the same gap).
+    assert!(lint_clean >= 3, "only {lint_clean}/{tried} lint-clean repairs");
+    assert!(functional >= 1, "no injection repaired to full function");
+}
+
+#[test]
+fn eda_script_agent_end_to_end() {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let mut data = Dataset::new();
+    for (k, e) in chipdda::core::edascript::generate_eda_entries(200, &mut rng) {
+        data.push(k, e);
+    }
+    let model = Slm::finetune(SlmProfile::llama2(13.0), &data, &PROGRESSIVE_ORDER);
+    for task in chipdda::benchmarks::sc_suite() {
+        let mut ok = false;
+        for _ in 0..3 {
+            let script = model.generate(EDA_INSTRUCT, &task.prompt, &GenOptions::default(), &mut rng);
+            if task.check_function(&script) {
+                // The simulated flow accepts it too.
+                let parsed = chipdda::scscript::parse(&script).expect("function implies parse");
+                assert!(chipdda::scscript::simulate_flow(&parsed).is_some());
+                ok = true;
+                break;
+            }
+        }
+        assert!(ok, "task {} not solved in 3 tries", task.level.label());
+    }
+}
+
+#[test]
+fn dataset_jsonl_round_trips_at_scale() {
+    let (_, data) = trained_model(48, 21);
+    for kind in TaskKind::ALL {
+        let entries = data.entries(kind);
+        let text = chipdda::core::json::to_jsonl(entries);
+        let back = chipdda::core::json::from_jsonl(&text).expect("round trip parses");
+        assert_eq!(back.len(), entries.len(), "{kind}");
+        assert_eq!(back.as_slice(), entries, "{kind}");
+    }
+}
+
+#[test]
+fn stage_ablation_ordering_is_emergent() {
+    // §4.2.2's claim at integration level: with the same corpus, alignment
+    // data buys NL skill that completion-only training does not.
+    let mut rng = SmallRng::seed_from_u64(31);
+    let corpus = chipdda::corpus::generate_corpus(64, &mut rng);
+    let mut r1 = SmallRng::seed_from_u64(32);
+    let full = augment(&corpus, &PipelineOptions::default(), &mut r1);
+    let mut r2 = SmallRng::seed_from_u64(32);
+    let general = augment(
+        &corpus,
+        &PipelineOptions {
+            stages: StageSet::GENERAL_AUG,
+            ..PipelineOptions::default()
+        },
+        &mut r2,
+    );
+    let m_full = Slm::finetune(SlmProfile::llama2(13.0), &full, &PROGRESSIVE_ORDER);
+    let m_general = Slm::finetune(SlmProfile::llama2(13.0), &general, &PROGRESSIVE_ORDER);
+    assert!(m_full.skills().nl > m_general.skills().nl + 0.3);
+    assert!(m_full.skills().repair > m_general.skills().repair + 0.2);
+    assert!(m_full.skills().eda > m_general.skills().eda + 0.5);
+}
+
+#[test]
+fn benchmark_references_all_verified() {
+    // Every shipped reference implementation passes its own testbench —
+    // the ground truth behind Tables 3 and 5.
+    let mut all: Vec<_> = chipdda::benchmarks::thakur_suite();
+    all.extend(chipdda::benchmarks::rtllm_suite());
+    for p in &all {
+        assert!(
+            chipdda::lint::check_source(p.id, p.reference).is_clean(),
+            "{} reference does not lint",
+            p.id
+        );
+        let rate = chipdda::eval::run_testbench(p, p.reference);
+        assert!(
+            (rate - 1.0).abs() < 1e-9,
+            "{} reference scores {rate} on its own testbench",
+            p.id
+        );
+    }
+}
