@@ -22,7 +22,9 @@ fn bench_mutation_cap(c: &mut Criterion) {
                 let mut rng = SmallRng::seed_from_u64(21);
                 std::hint::black_box(break_verilog(
                     SRC,
-                    &RepairOptions { max_mutations: *cap },
+                    &RepairOptions {
+                        max_mutations: *cap,
+                    },
                     &mut rng,
                 ))
             })

@@ -33,7 +33,11 @@ fn main() {
     );
 
     println!("Ablation C: corpus-size sweep (full pipeline, Thakur suite)");
-    let sizes: &[usize] = if quick { &[16, 48, 96] } else { &[16, 48, 96, 192] };
+    let sizes: &[usize] = if quick {
+        &[16, 48, 96]
+    } else {
+        &[16, 48, 96, 192]
+    };
     for (n, rate) in corpus_size_sweep(&suite, sizes, 23, &protocol) {
         println!("  {n:>4} modules: {}", pct(rate));
     }

@@ -18,7 +18,12 @@ fn main() {
         "{:<22} {:>12} {:>12} {:>14}",
         "model", "single-shot", "agent loop", "mean iters"
     );
-    for id in [ModelId::Ours13B, ModelId::Ours7B, ModelId::Gpt35, ModelId::Llama2Pt] {
+    for id in [
+        ModelId::Ours13B,
+        ModelId::Ours7B,
+        ModelId::Gpt35,
+        ModelId::Llama2Pt,
+    ] {
         let (single, agent, iters) = agent_vs_single(zoo.model(id), &suite, &protocol);
         println!(
             "{:<22} {:>12} {:>12} {:>14.2}",

@@ -18,6 +18,8 @@ fn main() {
         "\nmedian software corpus / largest HDL corpus = {:.0}x",
         software_to_hdl_ratio()
     );
-    println!("Paper shape check: hardware corpora are >=2 orders of magnitude smaller: {}",
-             software_to_hdl_ratio() > 100.0);
+    println!(
+        "Paper shape check: hardware corpora are >=2 orders of magnitude smaller: {}",
+        software_to_hdl_ratio() > 100.0
+    );
 }

@@ -18,20 +18,23 @@ fn main() {
     let mut rng_h = SmallRng::seed_from_u64(777);
     let held_corpus = dda_corpus::generate_corpus(24, &mut rng_h);
     let mut rng_h2 = SmallRng::seed_from_u64(778);
-    let held_ds = augment(&held_corpus, &PipelineOptions::default(), &mut rng_h2);
+    let held_ds = augment(&held_corpus, &PipelineOptions::default(), &mut rng_h2).0;
     let held: Vec<&str> = held_ds
         .entries(TaskKind::NlVerilogGeneration)
         .iter()
         .map(|e| e.output.as_str())
         .collect();
 
-    println!("{:>10} {:>12} {:>14} {:>10}", "modules", "entries", "loss(nats/tok)", "ppl");
+    println!(
+        "{:>10} {:>12} {:>14} {:>10}",
+        "modules", "entries", "loss(nats/tok)", "ppl"
+    );
     let mut losses = Vec::new();
     for n in [4usize, 8, 16, 32, 64, 128, 256] {
         let mut rng = SmallRng::seed_from_u64(1000 + n as u64);
         let corpus = dda_corpus::generate_corpus(n, &mut rng);
         let mut rng2 = SmallRng::seed_from_u64(2000 + n as u64);
-        let ds = augment(&corpus, &PipelineOptions::default(), &mut rng2);
+        let ds = augment(&corpus, &PipelineOptions::default(), &mut rng2).0;
         let mut lm = NgramModel::new(3);
         for (_, e) in ds.iter() {
             lm.train(&e.output);

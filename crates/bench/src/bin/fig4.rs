@@ -18,24 +18,43 @@ fn main() {
     let mut rng = SmallRng::seed_from_u64(4);
     let corpus = dda_corpus::generate_corpus(modules, &mut rng);
     let stats = dda_corpus::stats(&corpus);
-    let ds = augment(&corpus, &PipelineOptions::default(), &mut rng);
+    let ds = augment(&corpus, &PipelineOptions::default(), &mut rng).0;
     let n = |k: TaskKind| ds.entries(k).len();
-    println!("Fig. 4: overall workflow for hardware-generation LLMs with the augmentation framework\n");
+    println!(
+        "Fig. 4: overall workflow for hardware-generation LLMs with the augmentation framework\n"
+    );
     println!("  GitHub/HF corpus (here: synthetic)        SiliconCompiler example scripts");
-    println!("  {} modules / {} lines                      200 valid scripts", stats.modules, stats.lines);
+    println!(
+        "  {} modules / {} lines                      200 valid scripts",
+        stats.modules, stats.lines
+    );
     println!("        |                                          |");
     println!("        v                                          v");
     println!("  +----------------------- dda-core pipeline -----------------------+");
-    println!("  | S3.1.1 completion      -> {:>6} word  {:>5} stmt  {:>4} module   |",
-             n(TaskKind::WordLevelCompletion), n(TaskKind::StatementLevelCompletion), n(TaskKind::ModuleLevelCompletion));
-    println!("  | S3.1.2 NL alignment    -> {:>6} aligned (description, Verilog)  |",
-             n(TaskKind::NlVerilogGeneration));
-    println!("  | S3.2   repair+feedback -> {:>6} mask + {:>5} debug pairs        |",
-             n(TaskKind::VerilogMaskCompletion), n(TaskKind::VerilogDebug));
-    println!("  | S3.3   script describe -> {:>6} (description, script) pairs     |",
-             n(TaskKind::NlEdaScriptGeneration));
+    println!(
+        "  | S3.1.1 completion      -> {:>6} word  {:>5} stmt  {:>4} module   |",
+        n(TaskKind::WordLevelCompletion),
+        n(TaskKind::StatementLevelCompletion),
+        n(TaskKind::ModuleLevelCompletion)
+    );
+    println!(
+        "  | S3.1.2 NL alignment    -> {:>6} aligned (description, Verilog)  |",
+        n(TaskKind::NlVerilogGeneration)
+    );
+    println!(
+        "  | S3.2   repair+feedback -> {:>6} mask + {:>5} debug pairs        |",
+        n(TaskKind::VerilogMaskCompletion),
+        n(TaskKind::VerilogDebug)
+    );
+    println!(
+        "  | S3.3   script describe -> {:>6} (description, script) pairs     |",
+        n(TaskKind::NlEdaScriptGeneration)
+    );
     println!("  +------------------------------------------------------------------+");
     println!("        |");
-    println!("        v  {} instruction-tuning entries {{instruct, input, output}}", ds.len());
+    println!(
+        "        v  {} instruction-tuning entries {{instruct, input, output}}",
+        ds.len()
+    );
     println!("  finetune (dda-slm) -> evaluate: lint (dda-lint) + simulate (dda-sim)");
 }

@@ -37,13 +37,18 @@ fn main() {
         completion: CompletionOptions::default(),
         ..PipelineOptions::default()
     };
-    let ds = augment(&corpus, &opts, &mut rng2);
+    let (ds, report) = augment(&corpus, &opts, &mut rng2);
+    assert!(report.is_conserved() && report.quarantines.is_empty());
 
     println!("Table 2: Dataset Scale through Data Augmentation Framework");
     println!("(source corpus: {modules} synthetic modules; paper used a GitHub-scale scrape)\n");
     let mut table = TextTable::new(["Task", "Output Data Size", "Output Data Number"]);
     for (kind, count, bytes) in ds.table2_rows() {
-        table.row([kind.label().to_owned(), size_label(bytes), count_label(count)]);
+        table.row([
+            kind.label().to_owned(),
+            size_label(bytes),
+            count_label(count),
+        ]);
     }
     println!("{}", table.render());
 
@@ -66,6 +71,9 @@ fn main() {
         .max()
         .unwrap_or(0);
     println!("Paper shape check:");
-    println!("  word-level completion dominates ({word} >= {max_other}): {}", word >= max_other);
+    println!(
+        "  word-level completion dominates ({word} >= {max_other}): {}",
+        word >= max_other
+    );
     println!("  EDA script entries = {eda} (paper: 200)");
 }

@@ -6,8 +6,8 @@
 
 use dda_bench::zoo_from_args;
 use dda_benchmarks::rtllm_suite;
-use dda_eval::report::{pct, pct_short, TextTable};
 use dda_eval::repair_eval::{eval_repair_suite, repair_success_rate, RepairProtocol};
+use dda_eval::report::{pct, pct_short, TextTable};
 use dda_eval::ModelId;
 
 fn main() {

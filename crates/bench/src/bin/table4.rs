@@ -57,8 +57,20 @@ fn main() {
             .count()
     };
     println!("Paper shape check (Ours solve all 5 levels in 1-2 tries; baselines mostly miss):");
-    println!("  Ours-7B levels solved in <=2 tries: {}/5", first_try(&per_model[2]));
-    println!("  Ours-13B levels solved in <=2 tries: {}/5", first_try(&per_model[4]));
-    println!("  GPT-3.5 levels solved in <=2 tries: {}/5", first_try(&per_model[0]));
-    println!("  Thakur levels solved in <=2 tries: {}/5", first_try(&per_model[1]));
+    println!(
+        "  Ours-7B levels solved in <=2 tries: {}/5",
+        first_try(&per_model[2])
+    );
+    println!(
+        "  Ours-13B levels solved in <=2 tries: {}/5",
+        first_try(&per_model[4])
+    );
+    println!(
+        "  GPT-3.5 levels solved in <=2 tries: {}/5",
+        first_try(&per_model[0])
+    );
+    println!(
+        "  Thakur levels solved in <=2 tries: {}/5",
+        first_try(&per_model[1])
+    );
 }

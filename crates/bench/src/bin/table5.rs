@@ -39,7 +39,11 @@ fn main() {
         let mut row = vec![format!("Thakur {}", p.id)];
         for rows in &thakur_rows {
             let r = &rows[pi];
-            let syn: Vec<String> = r.cells.iter().map(|c| c.syntax_errors.to_string()).collect();
+            let syn: Vec<String> = r
+                .cells
+                .iter()
+                .map(|c| c.syntax_errors.to_string())
+                .collect();
             let fun: Vec<String> = r.cells.iter().map(|c| pct_short(c.best_function)).collect();
             row.push(syn.join("/"));
             row.push(fun.join("/"));
@@ -93,11 +97,21 @@ fn main() {
     };
     println!("Paper shape check (Table 5 'All success' column ordering, ±1 design tolerance):");
     let all_rate = |i: usize| {
-        let all: Vec<_> = thakur_rows[i].iter().chain(rtllm_rows[i].iter()).cloned().collect();
+        let all: Vec<_> = thakur_rows[i]
+            .iter()
+            .chain(rtllm_rows[i].iter())
+            .cloned()
+            .collect();
         success_rate(&all)
     };
-    let (gpt, ours7, ours13, thakur_m, llama, general) =
-        (all_rate(0), all_rate(1), all_rate(2), all_rate(3), all_rate(4), all_rate(5));
+    let (gpt, ours7, ours13, thakur_m, llama, general) = (
+        all_rate(0),
+        all_rate(1),
+        all_rate(2),
+        all_rate(3),
+        all_rate(4),
+        all_rate(5),
+    );
     println!(
         "  Ours-13B ({}) >= Ours-7B ({}): {}",
         pct(ours13),

@@ -97,8 +97,10 @@ impl ScTask {
             return false;
         }
         if let Some((pin, period)) = &self.clock {
-            let ok = script.stmts.iter().any(|s| matches!(s, ScStmt::Clock { pin: p, period: d }
-                    if p == pin && (d - period).abs() < 1e-9));
+            let ok = script.stmts.iter().any(|s| {
+                matches!(s, ScStmt::Clock { pin: p, period: d }
+                    if p == pin && (d - period).abs() < 1e-9)
+            });
             if !ok {
                 return false;
             }
@@ -268,9 +270,9 @@ mod tests {
         let tasks = sc_suite();
         let t = &tasks[3];
         let mut r = t.reference();
-        r.stmts.retain(|s| {
-            !matches!(s, ScStmt::Set { keypath, .. } if keypath.last().unwrap() == "corearea")
-        });
+        r.stmts.retain(
+            |s| !matches!(s, ScStmt::Set { keypath, .. } if keypath.last().unwrap() == "corearea"),
+        );
         assert!(!t.check_function(&r.to_python()));
     }
 

@@ -10,6 +10,7 @@
 
 use crate::problem::{prompt, Suite, VerilogProblem};
 
+#[allow(clippy::too_many_arguments)]
 fn problem(
     id: &'static str,
     module_name: &'static str,

@@ -23,7 +23,10 @@ fn count_word(n: usize) -> String {
     const WORDS: [&str; 11] = [
         "zero", "one", "two", "three", "four", "five", "six", "seven", "eight", "nine", "ten",
     ];
-    WORDS.get(n).map(|w| (*w).to_owned()).unwrap_or_else(|| n.to_string())
+    WORDS
+        .get(n)
+        .map(|w| (*w).to_owned())
+        .unwrap_or_else(|| n.to_string())
 }
 
 fn ordinal_word(n: usize) -> String {
@@ -115,23 +118,38 @@ pub fn describe_module(m: &Module) -> Vec<AlignedSentence> {
     }
 
     // Rule: port direction groups (header or body declarations).
-    let mut dir_groups: Vec<(PortDir, Vec<(String, Option<Range>, bool)>, u32)> = Vec::new();
-    let mut add_dir = |dir: PortDir, name: String, range: Option<Range>, is_reg: bool, line: u32| {
-        if let Some(g) = dir_groups.iter_mut().find(|g| g.0 == dir) {
-            g.1.push((name, range, is_reg));
-        } else {
-            dir_groups.push((dir, vec![(name, range, is_reg)], line));
-        }
-    };
+    // (name, range, is_reg) per port, grouped by direction with the first line.
+    type PortInfo = (String, Option<Range>, bool);
+    let mut dir_groups: Vec<(PortDir, Vec<PortInfo>, u32)> = Vec::new();
+    let mut add_dir =
+        |dir: PortDir, name: String, range: Option<Range>, is_reg: bool, line: u32| {
+            if let Some(g) = dir_groups.iter_mut().find(|g| g.0 == dir) {
+                g.1.push((name, range, is_reg));
+            } else {
+                dir_groups.push((dir, vec![(name, range, is_reg)], line));
+            }
+        };
     for p in &m.ports {
         if let Some(dir) = p.dir {
-            add_dir(dir, p.name.name.clone(), p.range.clone(), p.is_reg, p.name.span.line);
+            add_dir(
+                dir,
+                p.name.name.clone(),
+                p.range.clone(),
+                p.is_reg,
+                p.name.span.line,
+            );
         }
     }
     for item in &m.items {
         if let Item::Port(pd) = item {
             for n in &pd.names {
-                add_dir(pd.dir, n.name.clone(), pd.range.clone(), pd.is_reg, pd.span.line);
+                add_dir(
+                    pd.dir,
+                    n.name.clone(),
+                    pd.range.clone(),
+                    pd.is_reg,
+                    pd.span.line,
+                );
             }
         }
     }
@@ -160,9 +178,9 @@ pub fn describe_module(m: &Module) -> Vec<AlignedSentence> {
                 PortDir::Inout => "Inout",
             };
             let mut s = match bounds {
-                Some(b) => format!(
-                    "<{dir_label}> signal <{name}> has <{width}>-bit width in range <{b}>."
-                ),
+                Some(b) => {
+                    format!("<{dir_label}> signal <{name}> has <{width}>-bit width in range <{b}>.")
+                }
                 None => format!("<{dir_label}> signal <{name}> has <{width}>-bit width."),
             };
             if *is_reg {
@@ -204,11 +222,15 @@ pub fn describe_module(m: &Module) -> Vec<AlignedSentence> {
         }
         if let Item::Param(p) = item {
             push_into(
-            &mut out,
+                &mut out,
                 p.span.line,
                 format!(
                     "{} <{}> is defined as <{}>.",
-                    if p.local { "Local parameter" } else { "Parameter" },
+                    if p.local {
+                        "Local parameter"
+                    } else {
+                        "Parameter"
+                    },
                     p.name,
                     print_expr(&p.value)
                 ),
@@ -333,7 +355,13 @@ fn describe_stmt(s: &Stmt, block_idx: usize, out: &mut Vec<AlignedSentence>) {
                 describe_stmt(st, block_idx, out);
             }
         }
-        Stmt::Assign { lhs, rhs, kind, span, .. } => {
+        Stmt::Assign {
+            lhs,
+            rhs,
+            kind,
+            span,
+            ..
+        } => {
             let how = match kind {
                 AssignKind::Blocking => "immediately set to",
                 AssignKind::NonBlocking => "updated to",
@@ -369,7 +397,9 @@ fn describe_stmt(s: &Stmt, block_idx: usize, out: &mut Vec<AlignedSentence>) {
                 describe_stmt(e, block_idx, out);
             }
         }
-        Stmt::Case { expr, arms, span, .. } => {
+        Stmt::Case {
+            expr, arms, span, ..
+        } => {
             out.push(AlignedSentence {
                 line: span.line,
                 text: format!(
@@ -381,8 +411,11 @@ fn describe_stmt(s: &Stmt, block_idx: usize, out: &mut Vec<AlignedSentence>) {
                 let label = if arm.labels.is_empty() {
                     "<default>".to_owned()
                 } else {
-                    let ls: Vec<String> =
-                        arm.labels.iter().map(|l| format!("<{}>", print_expr(l))).collect();
+                    let ls: Vec<String> = arm
+                        .labels
+                        .iter()
+                        .map(|l| format!("<{}>", print_expr(l)))
+                        .collect();
                     ls.join(" or ")
                 };
                 out.push(AlignedSentence {
@@ -392,7 +425,9 @@ fn describe_stmt(s: &Stmt, block_idx: usize, out: &mut Vec<AlignedSentence>) {
                 describe_stmt(&arm.body, block_idx, out);
             }
         }
-        Stmt::For { cond, body, span, .. } => {
+        Stmt::For {
+            cond, body, span, ..
+        } => {
             out.push(AlignedSentence {
                 line: span.line,
                 text: format!(
@@ -438,13 +473,7 @@ pub fn interface_block(m: &Module) -> String {
             let range = p
                 .range
                 .as_ref()
-                .map(|r| {
-                    format!(
-                        " [{}:{}]",
-                        print_expr(&r.msb),
-                        print_expr(&r.lsb)
-                    )
-                })
+                .map(|r| format!(" [{}:{}]", print_expr(&r.msb), print_expr(&r.lsb)))
                 .unwrap_or_default();
             if dir.is_empty() {
                 p.name.name.clone()
@@ -471,8 +500,7 @@ pub fn align_entries(source: &str) -> Vec<(TaskKind, DataEntry)> {
         .iter()
         .map(|m| {
             let sentences = describe_module(m);
-            let description =
-                format!("{}\n{}", render_prose(&sentences), interface_block(m));
+            let description = format!("{}\n{}", render_prose(&sentences), interface_block(m));
             let verilog = dda_verilog::printer::print_module(m);
             (
                 TaskKind::NlVerilogGeneration,
@@ -503,17 +531,23 @@ endmodule";
         let text = render_line_tagged(&sentences);
         // The constructs the paper's Fig. 5 calls out:
         assert!(
-            text.contains("module <counter> has <four> ports, their names are <clk, rst, en and count>."),
+            text.contains(
+                "module <counter> has <four> ports, their names are <clk, rst, en and count>."
+            ),
             "{text}"
         );
         assert!(text.contains("<clk, rst and en> are inputs."), "{text}");
         assert!(
-            text.contains("<Output> signal <count> has <2>-bit width in range <1:0>. It is a <reg> variable."),
+            text.contains(
+                "<Output> signal <count> has <2>-bit width in range <1:0>. It is a <reg> variable."
+            ),
             "{text}"
         );
         assert!(text.contains("has <one> trigger block."), "{text}");
         assert!(
-            text.contains("The sensitive list in <first> trigger block is <on the positive edge> of <clk>."),
+            text.contains(
+                "The sensitive list in <first> trigger block is <on the positive edge> of <clk>."
+            ),
             "{text}"
         );
         assert!(text.contains("if <rst> is true"), "{text}");
@@ -554,8 +588,14 @@ assign y = a & b;
 endmodule";
         let sf = parse(src).unwrap();
         let text = render_prose(&describe_module(&sf.modules[0]));
-        assert!(text.contains("parameter <W> with default value <8>"), "{text}");
-        assert!(text.contains("Local parameter <HALF> is defined as <W / 2>"), "{text}");
+        assert!(
+            text.contains("parameter <W> with default value <8>"),
+            "{text}"
+        );
+        assert!(
+            text.contains("Local parameter <HALF> is defined as <W / 2>"),
+            "{text}"
+        );
         assert!(
             text.contains("<y> is continuously assigned the expression <a & b>"),
             "{text}"
@@ -574,7 +614,10 @@ always @(posedge clk)
 endmodule";
         let sf = parse(src).unwrap();
         let text = render_prose(&describe_module(&sf.modules[0]));
-        assert!(text.contains("Internal memory <mem> stores <4>-bit words"), "{text}");
+        assert!(
+            text.contains("Internal memory <mem> stores <4>-bit words"),
+            "{text}"
+        );
         assert!(text.contains("selects on <s>"), "{text}");
         assert!(text.contains("When the selector is <2'b00>"), "{text}");
     }

@@ -1,0 +1,201 @@
+//! Chaos-injection harness for exercising the pipeline's fault tolerance.
+//!
+//! Produces deliberately corrupted corpus modules spanning the failure
+//! families real scraped RTL exhibits: truncated files, junk-byte splices,
+//! pathological expression nesting, absurd bit-widths, duplicate module
+//! definitions, and unterminated strings/comments. `tests/chaos.rs` feeds
+//! these through [`crate::pipeline::augment`] and asserts the three
+//! robustness properties: no panic escapes, output is deterministic per
+//! seed, and the [`crate::pipeline::AugmentReport`] conserves module
+//! accounting.
+//!
+//! Injection is deterministic per RNG stream, so any failure reproduces
+//! from its seed.
+
+use dda_corpus::CorpusModule;
+use rand::Rng;
+use std::fmt;
+
+/// A family of corpus corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// The file is cut off mid-stream (incomplete download/copy).
+    Truncation,
+    /// A burst of junk bytes is spliced into the middle.
+    JunkSplice,
+    /// An expression nested far past any sane depth (parser-recursion
+    /// attack; without the depth guard this would overflow the stack).
+    DeepNesting,
+    /// A declaration with a multi-megabit width (memory-exhaustion attack
+    /// against naive elaboration).
+    HugeWidth,
+    /// The whole file duplicated, redefining every module name.
+    DuplicateModule,
+    /// An unterminated string or block comment swallowing the file tail.
+    Unterminated,
+}
+
+impl Fault {
+    /// Every fault family, in a stable order.
+    pub const ALL: [Fault; 6] = [
+        Fault::Truncation,
+        Fault::JunkSplice,
+        Fault::DeepNesting,
+        Fault::HugeWidth,
+        Fault::DuplicateModule,
+        Fault::Unterminated,
+    ];
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Fault::Truncation => "truncation",
+            Fault::JunkSplice => "junk-splice",
+            Fault::DeepNesting => "deep-nesting",
+            Fault::HugeWidth => "huge-width",
+            Fault::DuplicateModule => "duplicate-module",
+            Fault::Unterminated => "unterminated",
+        })
+    }
+}
+
+/// Snaps `pos` down to a UTF-8 character boundary of `s`.
+fn char_floor(s: &str, mut pos: usize) -> usize {
+    pos = pos.min(s.len());
+    while pos > 0 && !s.is_char_boundary(pos) {
+        pos -= 1;
+    }
+    pos
+}
+
+/// Inserts `text` before the final `endmodule` when there is one (so the
+/// corruption lands *inside* a module body), else appends it.
+fn insert_in_body(source: &str, text: &str) -> String {
+    match source.rfind("endmodule") {
+        Some(at) => format!("{}{}\n{}", &source[..at], text, &source[at..]),
+        None => format!("{source}\n{text}"),
+    }
+}
+
+/// Applies one fault family to `source`, deterministically per RNG stream.
+pub fn inject<R: Rng + ?Sized>(source: &str, fault: Fault, rng: &mut R) -> String {
+    match fault {
+        Fault::Truncation => {
+            // Keep between 10% and 90% of the file.
+            let lo = source.len() / 10;
+            let hi = (source.len() * 9 / 10).max(lo + 1);
+            let cut = char_floor(source, rng.gen_range(lo..hi));
+            source[..cut].to_string()
+        }
+        Fault::JunkSplice => {
+            const JUNK: &[char] = &[
+                '\u{0}', '\u{1}', '@', '#', '`', '\\', '"', '{', '}', '(', ';', '\u{00A7}',
+                '\u{2603}', 'x', '0',
+            ];
+            let at = char_floor(source, rng.gen_range(0..=source.len()));
+            let n = rng.gen_range(4..24);
+            let burst: String = (0..n).map(|_| JUNK[rng.gen_range(0..JUNK.len())]).collect();
+            format!("{}{}{}", &source[..at], burst, &source[at..])
+        }
+        Fault::DeepNesting => {
+            let depth = rng.gen_range(2_000..6_000);
+            let bomb = format!(
+                "wire __chaos_deep;\nassign __chaos_deep = {}1'b0{};\n",
+                "(".repeat(depth),
+                ")".repeat(depth)
+            );
+            insert_in_body(source, &bomb)
+        }
+        Fault::HugeWidth => {
+            let msb = rng.gen_range(8_388_608u64..134_217_728);
+            insert_in_body(source, &format!("reg [{msb}:0] __chaos_wide;\n"))
+        }
+        Fault::DuplicateModule => format!("{source}\n{source}"),
+        Fault::Unterminated => {
+            if rng.gen_bool(0.5) {
+                format!("{source}\n/* chaos: this comment never closes")
+            } else {
+                insert_in_body(source, "initial $display(\"chaos: unterminated\n")
+            }
+        }
+    }
+}
+
+/// Corrupts each module of `corpus` independently with probability `rate`,
+/// picking a uniformly random fault family for each victim. Returns the
+/// corrupted corpus plus `(index, fault)` for every module hit.
+pub fn chaos_corpus<R: Rng + ?Sized>(
+    mut corpus: Vec<CorpusModule>,
+    rate: f64,
+    rng: &mut R,
+) -> (Vec<CorpusModule>, Vec<(usize, Fault)>) {
+    let mut hits = Vec::new();
+    for (i, m) in corpus.iter_mut().enumerate() {
+        if rng.gen_bool(rate) {
+            let fault = Fault::ALL[rng.gen_range(0..Fault::ALL.len())];
+            m.source = inject(&m.source, fault, rng);
+            hits.push((i, fault));
+        }
+    }
+    (corpus, hits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    const SRC: &str = "module m(input a, output y);\nassign y = ~a;\nendmodule\n";
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        for fault in Fault::ALL {
+            let a = inject(SRC, fault, &mut SmallRng::seed_from_u64(3));
+            let b = inject(SRC, fault, &mut SmallRng::seed_from_u64(3));
+            assert_eq!(a, b, "{fault}");
+        }
+    }
+
+    #[test]
+    fn every_fault_changes_the_source() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for fault in Fault::ALL {
+            assert_ne!(inject(SRC, fault, &mut rng), SRC, "{fault}");
+        }
+    }
+
+    #[test]
+    fn truncation_respects_char_boundaries() {
+        let unicode = "module m; // §§§§☃☃☃☃§§§§☃☃☃☃\nendmodule\n";
+        for seed in 0..50 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let out = inject(unicode, Fault::Truncation, &mut rng);
+            assert!(unicode.starts_with(&out));
+        }
+    }
+
+    #[test]
+    fn chaos_corpus_reports_every_hit() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let corpus = dda_corpus::generate_corpus(12, &mut rng);
+        let clean = corpus.clone();
+        let (corrupted, hits) = chaos_corpus(corpus, 0.5, &mut rng);
+        assert_eq!(corrupted.len(), clean.len());
+        for (i, (c, orig)) in corrupted.iter().zip(&clean).enumerate() {
+            let hit = hits.iter().any(|(j, _)| *j == i);
+            assert_eq!(c.source != orig.source, hit, "module {i}");
+        }
+    }
+
+    #[test]
+    fn rate_extremes() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let corpus = dda_corpus::generate_corpus(6, &mut rng);
+        let (_, none) = chaos_corpus(corpus.clone(), 0.0, &mut rng);
+        assert!(none.is_empty());
+        let (_, all) = chaos_corpus(corpus, 1.0, &mut rng);
+        assert_eq!(all.len(), 6);
+    }
+}

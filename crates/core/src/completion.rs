@@ -44,7 +44,10 @@ pub fn module_level(source: &str) -> Vec<DataEntry> {
     let mut out = Vec::new();
     let mut module_start: Option<usize> = None;
     for (i, t) in tokens.iter().enumerate() {
-        if matches!(t.kind, TokenKind::Keyword(dda_verilog::token::Keyword::Module)) {
+        if matches!(
+            t.kind,
+            TokenKind::Keyword(dda_verilog::token::Keyword::Module)
+        ) {
             module_start = Some(i);
         }
         if t.is_op(";") {
@@ -90,7 +93,11 @@ pub fn statement_level(source: &str, max: usize) -> Vec<DataEntry> {
         if stmt.trim().is_empty() {
             continue;
         }
-        out.push(DataEntry::new(instruct("sentence"), prefix, stmt.trim_start()));
+        out.push(DataEntry::new(
+            instruct("sentence"),
+            prefix,
+            stmt.trim_start(),
+        ));
     }
     out
 }
@@ -114,10 +121,7 @@ pub fn token_level(source: &str, max: usize) -> Vec<DataEntry> {
 
 /// All three completion granularities for one source file, tagged with
 /// their Table 2 task kinds.
-pub fn completion_entries(
-    source: &str,
-    opts: &CompletionOptions,
-) -> Vec<(TaskKind, DataEntry)> {
+pub fn completion_entries(source: &str, opts: &CompletionOptions) -> Vec<(TaskKind, DataEntry)> {
     let mut out = Vec::new();
     for e in module_level(source) {
         out.push((TaskKind::ModuleLevelCompletion, e));
@@ -135,7 +139,8 @@ pub fn completion_entries(
 mod tests {
     use super::*;
 
-    const SRC: &str = "module m(input a, output y);\nwire t;\nassign t = ~a;\nassign y = t;\nendmodule\n";
+    const SRC: &str =
+        "module m(input a, output y);\nwire t;\nassign t = ~a;\nassign y = t;\nendmodule\n";
 
     #[test]
     fn module_level_splits_at_header() {

@@ -223,7 +223,10 @@ mod tests {
     #[test]
     fn trim_removes_long_entries() {
         let mut d = Dataset::new();
-        d.push(TaskKind::VerilogDebug, DataEntry::new("i", "a b c d e", "out"));
+        d.push(
+            TaskKind::VerilogDebug,
+            DataEntry::new("i", "a b c d e", "out"),
+        );
         d.push(TaskKind::VerilogDebug, DataEntry::new("i", "a", "out"));
         let removed = d.trim_by_token_len(4);
         assert_eq!(removed, 1);

@@ -21,10 +21,7 @@ pub fn eda_entry<R: Rng + ?Sized>(script: &Script, rng: &mut R) -> DataEntry {
 }
 
 /// Builds entries for a caller-provided script pool.
-pub fn eda_entries<R: Rng + ?Sized>(
-    scripts: &[Script],
-    rng: &mut R,
-) -> Vec<(TaskKind, DataEntry)> {
+pub fn eda_entries<R: Rng + ?Sized>(scripts: &[Script], rng: &mut R) -> Vec<(TaskKind, DataEntry)> {
     scripts
         .iter()
         .map(|s| (TaskKind::NlEdaScriptGeneration, eda_entry(s, rng)))
@@ -32,10 +29,7 @@ pub fn eda_entries<R: Rng + ?Sized>(
 }
 
 /// Generates the paper-sized pool (default 200) and builds entries for it.
-pub fn generate_eda_entries<R: Rng + ?Sized>(
-    n: usize,
-    rng: &mut R,
-) -> Vec<(TaskKind, DataEntry)> {
+pub fn generate_eda_entries<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<(TaskKind, DataEntry)> {
     let pool = generate_pool(n, rng);
     eda_entries(&pool, rng)
 }
@@ -59,7 +53,12 @@ mod tests {
             assert!(dda_scscript::check(&script).is_clean());
             // ...and the description must mention its design.
             let design = script.design().unwrap();
-            assert!(e.input.contains(design), "{} missing from {}", design, e.input);
+            assert!(
+                e.input.contains(design),
+                "{} missing from {}",
+                design,
+                e.input
+            );
         }
     }
 
@@ -69,6 +68,10 @@ mod tests {
         let entries = generate_eda_entries(50, &mut rng);
         let unique: std::collections::HashSet<&str> =
             entries.iter().map(|(_, e)| e.input.as_str()).collect();
-        assert!(unique.len() > 40, "only {} unique descriptions", unique.len());
+        assert!(
+            unique.len() > 40,
+            "only {} unique descriptions",
+            unique.len()
+        );
     }
 }

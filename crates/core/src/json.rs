@@ -141,7 +141,10 @@ fn parse_line(line: &str) -> Result<DataEntry, String> {
                         '\\' => s.push('\\'),
                         '/' => s.push('/'),
                         'u' => {
-                            let hex: String = bytes.get(*pos..*pos + 4).map(|c| c.iter().collect()).unwrap_or_default();
+                            let hex: String = bytes
+                                .get(*pos..*pos + 4)
+                                .map(|c| c.iter().collect())
+                                .unwrap_or_default();
                             *pos += 4;
                             let v = u32::from_str_radix(&hex, 16)
                                 .map_err(|_| "bad \\u escape".to_owned())?;
@@ -230,5 +233,65 @@ mod tests {
         let line = to_json_line(&e);
         assert!(line.contains("\\u0001"));
         assert_eq!(from_jsonl(&line).unwrap()[0].input, "\u{1}");
+    }
+
+    #[test]
+    fn every_control_char_round_trips() {
+        // All of U+0000..U+001F must be escaped (RFC 8259 §7) and survive
+        // a round trip; the named escapes get their short forms.
+        let all: String = (0u32..0x20).map(|v| char::from_u32(v).unwrap()).collect();
+        let e = DataEntry::new("i", all.clone(), "o");
+        let line = to_json_line(&e);
+        for c in all.chars() {
+            assert!(
+                !line.contains(c),
+                "raw control char U+{:04X} leaked into output",
+                c as u32
+            );
+        }
+        assert!(line.contains("\\u0000"));
+        assert!(line.contains("\\n") && line.contains("\\r") && line.contains("\\t"));
+        assert_eq!(from_jsonl(&line).unwrap()[0].input, all);
+    }
+
+    #[test]
+    fn lone_quotes_and_backslashes_round_trip() {
+        // Pathological sequences that break naive escapers: a trailing
+        // backslash, backslash-before-quote, and runs of both.
+        for s in [
+            "\\",
+            "\"",
+            "\\\"",
+            "\"\\",
+            "\\\\\"\"\\",
+            "ends with backslash \\",
+            "a\\\"b\\\\\"c",
+        ] {
+            let e = DataEntry::new(s, s, s);
+            let back = from_jsonl(&to_json_line(&e)).unwrap();
+            assert_eq!(back, vec![e], "failed on {s:?}");
+        }
+    }
+
+    #[test]
+    fn non_ascii_round_trips_unescaped() {
+        // Non-ASCII passes through raw (JSON strings are Unicode); only
+        // the mandatory characters are escaped.
+        let s = "§ 3.2 – Fehlerbericht: モジュール m → ☃ (width ≥ 8)";
+        let e = DataEntry::new("übersetze", s, "módulo\u{301}");
+        let line = to_json_line(&e);
+        assert!(line.contains('☃') && line.contains('§'));
+        let back = from_jsonl(&line).unwrap();
+        assert_eq!(back, vec![e]);
+    }
+
+    #[test]
+    fn unicode_escapes_parse_back() {
+        // Accept \uXXXX on input even though the writer emits raw UTF-8.
+        let line = "{\"instruct\": \"\\u00a7\", \"input\": \"\\u2603\", \"output\": \"\\u0041\"}";
+        let e = &from_jsonl(line).unwrap()[0];
+        assert_eq!(e.instruct, "§");
+        assert_eq!(e.input, "☃");
+        assert_eq!(e.output, "A");
     }
 }

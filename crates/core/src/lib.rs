@@ -20,12 +20,16 @@
 //! use rand::SeedableRng;
 //! let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
 //! let corpus = dda_corpus::generate_corpus(4, &mut rng);
-//! let dataset = dda_core::pipeline::augment(
+//! let (dataset, report) = dda_core::pipeline::augment(
 //!     &corpus,
 //!     &dda_core::pipeline::PipelineOptions::default(),
 //!     &mut rng,
 //! );
 //! assert!(!dataset.is_empty());
+//! // The report accounts for every module at every stage: nothing is
+//! // silently dropped, and a clean corpus quarantines nothing.
+//! assert!(report.is_conserved());
+//! assert!(report.quarantines.is_empty());
 //! let jsonl = dda_core::json::to_jsonl(
 //!     dataset.entries(dda_core::dataset::TaskKind::NlVerilogGeneration),
 //! );
@@ -35,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod align;
+pub mod chaos;
 pub mod completion;
 pub mod dataset;
 pub mod edascript;
@@ -45,4 +50,6 @@ pub mod split;
 pub mod tokenize;
 
 pub use dataset::{DataEntry, Dataset, TaskKind};
-pub use pipeline::{augment, PipelineOptions, StageSet};
+pub use pipeline::{
+    augment, AugmentReport, PipelineOptions, QuarantineRecord, Stage, StageSet, StageTally,
+};

@@ -5,14 +5,28 @@
 //! tool feedback (§3.2) and EDA-script description (§3.3), then trims
 //! over-length entries (§4). The output [`Dataset`] carries per-task
 //! groups whose sizes regenerate Table 2.
+//!
+//! # Fault tolerance
+//!
+//! Real corpora are dirty: truncated files, junk bytes, pathological
+//! nesting. [`augment`] therefore isolates every (module, stage) unit of
+//! work — a panic inside one stage is caught, converted into a
+//! [`QuarantineRecord`], and the run continues. The returned
+//! [`AugmentReport`] accounts for **every** input module at **every**
+//! stage: `ok + skipped + quarantined == corpus.len()` always holds for
+//! the per-module stages, so silently dropped inputs cannot happen.
+//! Quarantine diagnostics can optionally be recycled into extra §3.2-style
+//! training pairs (see [`PipelineOptions::recycle_quarantined`]).
 
 use crate::align::align_entries;
 use crate::completion::{completion_entries, CompletionOptions};
-use crate::dataset::Dataset;
+use crate::dataset::{DataEntry, Dataset, TaskKind};
 use crate::edascript::generate_eda_entries;
 use crate::repair::{repair_entries, RepairOptions};
 use dda_corpus::CorpusModule;
 use rand::Rng;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Options for one full augmentation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,6 +44,11 @@ pub struct PipelineOptions {
     /// Which stages run — for the ablation baselines: `General Aug`
     /// disables everything except completion.
     pub stages: StageSet,
+    /// Recycle quarantine diagnostics into extra §3.2-style training pairs
+    /// (broken source → tool diagnostic, under [`TaskKind::VerilogDebug`]).
+    /// A clean corpus produces no quarantines, so this never changes the
+    /// output for well-formed input.
+    pub recycle_quarantined: bool,
 }
 
 /// Stage toggles, enabling the paper's ablations.
@@ -83,6 +102,221 @@ impl Default for PipelineOptions {
             eda_scripts: 200,
             max_entry_tokens: 4096,
             stages: StageSet::FULL,
+            recycle_quarantined: true,
+        }
+    }
+}
+
+/// Instruction used for recycled quarantine pairs: the model learns to
+/// reproduce the tool's diagnostic for a file the pipeline rejected
+/// (the report half of the paper's Fig. 6 layout).
+pub const QUARANTINE_INSTRUCT: &str =
+    "point out the error in the given Verilog file like an EDA tool report.";
+
+/// Pipeline stages, used as keys in the [`AugmentReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// §3.1.1 completion.
+    Completion,
+    /// §3.1.2 program-analysis alignment.
+    Alignment,
+    /// §3.2 repair.
+    Repair,
+    /// §3.3 EDA-script description (corpus-independent; runs once per
+    /// pipeline over the script pool, so its tally counts a single unit).
+    EdaScript,
+}
+
+impl Stage {
+    /// The per-module stages, in pipeline order.
+    pub const PER_MODULE: [Stage; 3] = [Stage::Completion, Stage::Alignment, Stage::Repair];
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Stage::Completion => "completion",
+            Stage::Alignment => "alignment",
+            Stage::Repair => "repair",
+            Stage::EdaScript => "eda-script",
+        })
+    }
+}
+
+/// Accounting for one stage: every input unit lands in exactly one bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTally {
+    /// Units that ran cleanly and produced at least one entry.
+    pub ok: usize,
+    /// Units the stage did not apply to (stage disabled, or ran cleanly
+    /// with nothing to emit).
+    pub skipped: usize,
+    /// Units rejected with a diagnostic (parse/lex failure or caught
+    /// panic); details live in [`AugmentReport::quarantines`].
+    pub quarantined: usize,
+    /// Entries this stage pushed, counted before the final token trim.
+    pub entries: usize,
+}
+
+impl StageTally {
+    /// Total units accounted for (`ok + skipped + quarantined`).
+    pub fn total(&self) -> usize {
+        self.ok + self.skipped + self.quarantined
+    }
+}
+
+/// Why one (module, stage) unit was quarantined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineRecord {
+    /// Module name (or `"<eda-pool>"` for the EDA stage).
+    pub module: String,
+    /// Stage that rejected it.
+    pub stage: Stage,
+    /// The diagnostic: a parse/lex error rendering, or the panic message.
+    pub diagnostic: String,
+    /// Whether the diagnostic came from a caught panic rather than a
+    /// graceful error path.
+    pub panicked: bool,
+}
+
+/// Full accounting for one [`augment`] run.
+///
+/// For each per-module stage, `stage(s).total() == modules`; no input can
+/// be silently dropped. The EDA stage runs once over the script pool, so
+/// its tally always totals one unit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AugmentReport {
+    /// Number of corpus modules fed in.
+    pub modules: usize,
+    /// §3.1.1 tally.
+    pub completion: StageTally,
+    /// §3.1.2 tally.
+    pub alignment: StageTally,
+    /// §3.2 tally.
+    pub repair: StageTally,
+    /// §3.3 tally (single-unit; see [`Stage::EdaScript`]).
+    pub eda_script: StageTally,
+    /// One record per quarantined (module, stage) unit, in pipeline order.
+    pub quarantines: Vec<QuarantineRecord>,
+    /// Extra training pairs minted from quarantine diagnostics.
+    pub recycled: usize,
+}
+
+impl AugmentReport {
+    /// Tally for `stage`.
+    pub fn stage(&self, stage: Stage) -> &StageTally {
+        match stage {
+            Stage::Completion => &self.completion,
+            Stage::Alignment => &self.alignment,
+            Stage::Repair => &self.repair,
+            Stage::EdaScript => &self.eda_script,
+        }
+    }
+
+    /// Whether accounting is conserved: every module lands in exactly one
+    /// bucket of every per-module stage, and the EDA pool in one of its.
+    pub fn is_conserved(&self) -> bool {
+        Stage::PER_MODULE
+            .iter()
+            .all(|s| self.stage(*s).total() == self.modules)
+            && self.eda_script.total() == 1
+    }
+
+    /// Quarantine records from caught panics (as opposed to graceful
+    /// diagnostics).
+    pub fn panics(&self) -> impl Iterator<Item = &QuarantineRecord> {
+        self.quarantines.iter().filter(|q| q.panicked)
+    }
+
+    /// One-paragraph human-readable summary for CLI output.
+    pub fn summary(&self) -> String {
+        let mut s = format!("augmented {} modules", self.modules);
+        for stage in Stage::PER_MODULE {
+            let t = self.stage(stage);
+            s.push_str(&format!(
+                "\n  {stage}: {} ok, {} skipped, {} quarantined, {} entries",
+                t.ok, t.skipped, t.quarantined, t.entries
+            ));
+        }
+        s.push_str(&format!(
+            "\n  eda-script: {} entries{}",
+            self.eda_script.entries,
+            if self.eda_script.quarantined > 0 {
+                " (pool quarantined)"
+            } else {
+                ""
+            }
+        ));
+        if self.recycled > 0 {
+            s.push_str(&format!(
+                "\n  recycled {} quarantine diagnostics into training pairs",
+                self.recycled
+            ));
+        }
+        s
+    }
+}
+
+/// Extracts a printable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: non-string payload".to_string()
+    }
+}
+
+/// Runs `f` with panic isolation; a panic becomes an `Err` message.
+pub(crate) fn guarded<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|p| panic_message(&*p))
+}
+
+/// The parser's rendering of why `source` is malformed, if it is.
+fn diagnose(source: &str) -> Option<String> {
+    dda_verilog::parse(source).err().map(|e| e.to_string())
+}
+
+/// Books the outcome of one (module, stage) unit: pushes entries on
+/// success and classifies empty results as skipped (clean source, nothing
+/// to emit) or quarantined (diagnostic or panic).
+fn book_stage(
+    outcome: Result<Vec<(TaskKind, DataEntry)>, String>,
+    module: &CorpusModule,
+    stage: Stage,
+    ds: &mut Dataset,
+    tally: &mut StageTally,
+    quarantines: &mut Vec<QuarantineRecord>,
+) {
+    match outcome {
+        Ok(entries) if !entries.is_empty() => {
+            tally.ok += 1;
+            tally.entries += entries.len();
+            for (k, e) in entries {
+                ds.push(k, e);
+            }
+        }
+        Ok(_) => match diagnose(&module.source) {
+            Some(diagnostic) => {
+                tally.quarantined += 1;
+                quarantines.push(QuarantineRecord {
+                    module: module.name.clone(),
+                    stage,
+                    diagnostic,
+                    panicked: false,
+                });
+            }
+            None => tally.skipped += 1,
+        },
+        Err(diagnostic) => {
+            tally.quarantined += 1;
+            quarantines.push(QuarantineRecord {
+                module: module.name.clone(),
+                stage,
+                diagnostic,
+                panicked: true,
+            });
         }
     }
 }
@@ -93,39 +327,115 @@ impl Default for PipelineOptions {
 /// aligned data second, §3.1) is preserved in each group's entry order:
 /// within the returned dataset, entries appear corpus-module by
 /// corpus-module, with completion pushed before alignment for each module.
+///
+/// Every (module, stage) unit runs under panic isolation, and the returned
+/// [`AugmentReport`] accounts for each one — see the module docs. For a
+/// well-formed corpus the dataset is identical to what the pre-report
+/// pipeline produced for the same seed: stage calls, their order, and
+/// their RNG draws are unchanged.
 pub fn augment<R: Rng + ?Sized>(
     corpus: &[CorpusModule],
     opts: &PipelineOptions,
     rng: &mut R,
-) -> Dataset {
+) -> (Dataset, AugmentReport) {
     let mut ds = Dataset::new();
+    let mut report = AugmentReport {
+        modules: corpus.len(),
+        ..AugmentReport::default()
+    };
     for m in corpus {
         if opts.stages.completion {
-            for (k, e) in completion_entries(&m.source, &opts.completion) {
-                ds.push(k, e);
-            }
+            book_stage(
+                guarded(|| completion_entries(&m.source, &opts.completion)),
+                m,
+                Stage::Completion,
+                &mut ds,
+                &mut report.completion,
+                &mut report.quarantines,
+            );
+        } else {
+            report.completion.skipped += 1;
         }
         if opts.stages.alignment {
-            for (k, e) in align_entries(&m.source) {
-                ds.push(k, e);
-            }
+            book_stage(
+                guarded(|| align_entries(&m.source)),
+                m,
+                Stage::Alignment,
+                &mut ds,
+                &mut report.alignment,
+                &mut report.quarantines,
+            );
+        } else {
+            report.alignment.skipped += 1;
         }
         if opts.stages.repair {
             let file = format!("{}.v", m.name);
-            for (k, e) in
-                repair_entries(&file, &m.source, opts.repairs_per_module, &opts.repair, rng)
-            {
-                ds.push(k, e);
+            book_stage(
+                guarded(|| {
+                    repair_entries(&file, &m.source, opts.repairs_per_module, &opts.repair, rng)
+                }),
+                m,
+                Stage::Repair,
+                &mut ds,
+                &mut report.repair,
+                &mut report.quarantines,
+            );
+        } else {
+            report.repair.skipped += 1;
+        }
+    }
+
+    // Recycle quarantine diagnostics into §3.2-style pairs: the broken
+    // source paired with the tool's verdict, one per (module, diagnostic).
+    // Panic messages are internal, not tool reports, so they are skipped.
+    if opts.recycle_quarantined {
+        let mut seen: Vec<(&str, &str)> = Vec::new();
+        let mut extra = Vec::new();
+        for q in report.quarantines.iter().filter(|q| !q.panicked) {
+            let key = (q.module.as_str(), q.diagnostic.as_str());
+            if seen.contains(&key) {
+                continue;
+            }
+            seen.push(key);
+            if let Some(m) = corpus.iter().find(|m| m.name == q.module) {
+                extra.push(DataEntry::new(
+                    QUARANTINE_INSTRUCT,
+                    m.source.clone(),
+                    q.diagnostic.clone(),
+                ));
             }
         }
-    }
-    if opts.stages.eda_script {
-        for (k, e) in generate_eda_entries(opts.eda_scripts, rng) {
-            ds.push(k, e);
+        report.recycled = extra.len();
+        for e in extra {
+            ds.push(TaskKind::VerilogDebug, e);
         }
     }
+
+    if opts.stages.eda_script {
+        match guarded(|| generate_eda_entries(opts.eda_scripts, rng)) {
+            Ok(entries) => {
+                report.eda_script.ok += 1;
+                report.eda_script.entries += entries.len();
+                for (k, e) in entries {
+                    ds.push(k, e);
+                }
+            }
+            Err(diagnostic) => {
+                report.eda_script.quarantined += 1;
+                report.quarantines.push(QuarantineRecord {
+                    module: "<eda-pool>".to_string(),
+                    stage: Stage::EdaScript,
+                    diagnostic,
+                    panicked: true,
+                });
+            }
+        }
+    } else {
+        report.eda_script.skipped += 1;
+    }
+
     ds.trim_by_token_len(opts.max_entry_tokens);
-    ds
+    (ds, report)
 }
 
 #[cfg(test)]
@@ -143,20 +453,22 @@ mod tests {
     fn full_pipeline_populates_all_tasks() {
         let c = corpus(16, 1);
         let mut rng = SmallRng::seed_from_u64(2);
-        let ds = augment(&c, &PipelineOptions::default(), &mut rng);
+        let (ds, report) = augment(&c, &PipelineOptions::default(), &mut rng);
         for kind in TaskKind::ALL {
-            assert!(
-                !ds.entries(kind).is_empty(),
-                "task {kind} has no entries"
-            );
+            assert!(!ds.entries(kind).is_empty(), "task {kind} has no entries");
         }
+        assert!(report.is_conserved());
+        assert!(report.quarantines.is_empty());
+        assert_eq!(report.modules, 16);
+        assert_eq!(report.completion.ok, 16);
+        assert_eq!(report.alignment.ok, 16);
     }
 
     #[test]
     fn general_aug_is_completion_only() {
         let c = corpus(8, 3);
         let mut rng = SmallRng::seed_from_u64(4);
-        let ds = augment(
+        let (ds, report) = augment(
             &c,
             &PipelineOptions {
                 stages: StageSet::GENERAL_AUG,
@@ -168,6 +480,11 @@ mod tests {
         assert!(ds.entries(TaskKind::VerilogDebug).is_empty());
         assert!(ds.entries(TaskKind::NlEdaScriptGeneration).is_empty());
         assert!(!ds.entries(TaskKind::WordLevelCompletion).is_empty());
+        // Disabled stages account every module as skipped.
+        assert!(report.is_conserved());
+        assert_eq!(report.alignment.skipped, 8);
+        assert_eq!(report.repair.skipped, 8);
+        assert_eq!(report.eda_script.skipped, 1);
     }
 
     #[test]
@@ -175,7 +492,7 @@ mod tests {
         // Table 2's proportions: word-level completion is the largest group.
         let c = corpus(16, 5);
         let mut rng = SmallRng::seed_from_u64(6);
-        let ds = augment(&c, &PipelineOptions::default(), &mut rng);
+        let (ds, _) = augment(&c, &PipelineOptions::default(), &mut rng);
         let word = ds.entries(TaskKind::WordLevelCompletion).len();
         for kind in TaskKind::ALL {
             assert!(word >= ds.entries(kind).len(), "{kind} exceeds word-level");
@@ -202,7 +519,7 @@ mod tests {
     fn trim_applies() {
         let c = corpus(4, 9);
         let mut rng = SmallRng::seed_from_u64(10);
-        let ds = augment(
+        let (ds, _) = augment(
             &c,
             &PipelineOptions {
                 max_entry_tokens: 40,
@@ -213,5 +530,97 @@ mod tests {
         for (_, e) in ds.iter() {
             assert!(e.token_len() <= 40);
         }
+    }
+
+    #[test]
+    fn panics_become_quarantine_records() {
+        // Unit-level check of the isolation helper plus bookkeeping.
+        let m = CorpusModule {
+            family: dda_corpus::Family::ALL[0],
+            name: "boom".into(),
+            source: "module boom; endmodule".into(),
+        };
+        let mut ds = Dataset::new();
+        let mut tally = StageTally::default();
+        let mut quarantines = Vec::new();
+        let outcome =
+            guarded(|| -> Vec<(TaskKind, DataEntry)> { panic!("injected failure in stage") });
+        book_stage(
+            outcome,
+            &m,
+            Stage::Repair,
+            &mut ds,
+            &mut tally,
+            &mut quarantines,
+        );
+        assert_eq!(tally.quarantined, 1);
+        assert_eq!(quarantines.len(), 1);
+        assert!(quarantines[0].panicked);
+        assert!(
+            quarantines[0].diagnostic.contains("injected failure"),
+            "{}",
+            quarantines[0].diagnostic
+        );
+        assert_eq!(quarantines[0].stage, Stage::Repair);
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn broken_module_quarantined_with_diagnostic_and_recycled() {
+        let mut c = corpus(4, 11);
+        let half = c[1].source.len() / 2;
+        c[1].source.truncate(half);
+        let mut rng = SmallRng::seed_from_u64(12);
+        let (ds, report) = augment(&c, &PipelineOptions::default(), &mut rng);
+        assert!(report.is_conserved());
+        // The truncated module fails alignment (needs a full parse).
+        assert!(
+            report
+                .quarantines
+                .iter()
+                .any(|q| q.module == c[1].name && q.stage == Stage::Alignment),
+            "{:?}",
+            report.quarantines
+        );
+        assert!(report.quarantines.iter().all(|q| !q.diagnostic.is_empty()));
+        // Its diagnostic was recycled into a VerilogDebug pair.
+        assert!(report.recycled >= 1);
+        assert!(ds
+            .entries(TaskKind::VerilogDebug)
+            .iter()
+            .any(|e| e.instruct == QUARANTINE_INSTRUCT && e.input == c[1].source));
+    }
+
+    #[test]
+    fn recycling_can_be_disabled() {
+        let mut c = corpus(4, 13);
+        c[0].source = "module ???".into();
+        let mut rng = SmallRng::seed_from_u64(14);
+        let (ds, report) = augment(
+            &c,
+            &PipelineOptions {
+                recycle_quarantined: false,
+                ..PipelineOptions::default()
+            },
+            &mut rng,
+        );
+        assert!(!report.quarantines.is_empty());
+        assert_eq!(report.recycled, 0);
+        assert!(!ds
+            .entries(TaskKind::VerilogDebug)
+            .iter()
+            .any(|e| e.instruct == QUARANTINE_INSTRUCT));
+    }
+
+    #[test]
+    fn report_summary_mentions_each_stage() {
+        let c = corpus(3, 15);
+        let mut rng = SmallRng::seed_from_u64(16);
+        let (_, report) = augment(&c, &PipelineOptions::default(), &mut rng);
+        let s = report.summary();
+        for stage in Stage::PER_MODULE {
+            assert!(s.contains(&stage.to_string()), "{s}");
+        }
+        assert!(s.contains("3 modules"), "{s}");
     }
 }

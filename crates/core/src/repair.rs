@@ -76,7 +76,11 @@ impl Default for RepairOptions {
 #[derive(Debug, Clone)]
 enum Edit {
     /// Replace `[start, end)` with text (empty = delete).
-    Splice { start: usize, end: usize, text: String },
+    Splice {
+        start: usize,
+        end: usize,
+        text: String,
+    },
 }
 
 /// A broken variant of a source file.
@@ -161,7 +165,11 @@ pub fn apply_rule<R: Rng + ?Sized>(
                 return None;
             }
             let t = candidates[rng.gen_range(0..candidates.len())];
-            let replacement = if t.is_kw(Keyword::Wire) { "reg" } else { "wire" };
+            let replacement = if t.is_kw(Keyword::Wire) {
+                "reg"
+            } else {
+                "wire"
+            };
             (
                 Edit::Splice {
                     start: t.span.start,
@@ -350,7 +358,10 @@ endmodule
     fn width_error_touches_range_bound() {
         let mut rng = SmallRng::seed_from_u64(3);
         let (mutated, _) = apply_rule(SRC, MutationRule::WidthError, &mut rng).unwrap();
-        assert!(mutated.contains("[2:0] count") || mutated.contains("[0:0] count"), "{mutated}");
+        assert!(
+            mutated.contains("[2:0] count") || mutated.contains("[0:0] count"),
+            "{mutated}"
+        );
     }
 
     #[test]
@@ -387,7 +398,10 @@ endmodule
         let e = feedback_repair_entry("counter.v", SRC, &broken);
         assert!(e.input.starts_with("/counter.v:"), "{}", e.input);
         assert!(e.input.contains("ERROR: syntax error"), "{}", e.input);
-        assert!(e.input.contains("module counter"), "input embeds wrong file");
+        assert!(
+            e.input.contains("module counter"),
+            "input embeds wrong file"
+        );
         assert_eq!(e.output, SRC);
         assert_eq!(e.instruct, REPAIR_INSTRUCT);
     }

@@ -62,8 +62,14 @@ mod tests {
     fn dataset(n: usize) -> Dataset {
         let mut d = Dataset::new();
         for i in 0..n {
-            d.push(TaskKind::NlVerilogGeneration, DataEntry::new("i", format!("a{i}"), "o"));
-            d.push(TaskKind::VerilogDebug, DataEntry::new("i", format!("b{i}"), "o"));
+            d.push(
+                TaskKind::NlVerilogGeneration,
+                DataEntry::new("i", format!("a{i}"), "o"),
+            );
+            d.push(
+                TaskKind::VerilogDebug,
+                DataEntry::new("i", format!("b{i}"), "o"),
+            );
         }
         d
     }

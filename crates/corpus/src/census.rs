@@ -20,21 +20,65 @@ pub struct LanguageCensus {
 
 /// The census behind Fig. 2 (approximate public file counts).
 pub const CENSUS: &[LanguageCensus] = &[
-    LanguageCensus { language: "JavaScript", files: 250_000_000, hardware: false },
-    LanguageCensus { language: "Python", files: 180_000_000, hardware: false },
-    LanguageCensus { language: "Java", files: 150_000_000, hardware: false },
-    LanguageCensus { language: "C", files: 120_000_000, hardware: false },
-    LanguageCensus { language: "C++", files: 100_000_000, hardware: false },
-    LanguageCensus { language: "Go", files: 40_000_000, hardware: false },
-    LanguageCensus { language: "Rust", files: 12_000_000, hardware: false },
-    LanguageCensus { language: "Verilog", files: 600_000, hardware: true },
-    LanguageCensus { language: "SystemVerilog", files: 350_000, hardware: true },
-    LanguageCensus { language: "VHDL", files: 400_000, hardware: true },
+    LanguageCensus {
+        language: "JavaScript",
+        files: 250_000_000,
+        hardware: false,
+    },
+    LanguageCensus {
+        language: "Python",
+        files: 180_000_000,
+        hardware: false,
+    },
+    LanguageCensus {
+        language: "Java",
+        files: 150_000_000,
+        hardware: false,
+    },
+    LanguageCensus {
+        language: "C",
+        files: 120_000_000,
+        hardware: false,
+    },
+    LanguageCensus {
+        language: "C++",
+        files: 100_000_000,
+        hardware: false,
+    },
+    LanguageCensus {
+        language: "Go",
+        files: 40_000_000,
+        hardware: false,
+    },
+    LanguageCensus {
+        language: "Rust",
+        files: 12_000_000,
+        hardware: false,
+    },
+    LanguageCensus {
+        language: "Verilog",
+        files: 600_000,
+        hardware: true,
+    },
+    LanguageCensus {
+        language: "SystemVerilog",
+        files: 350_000,
+        hardware: true,
+    },
+    LanguageCensus {
+        language: "VHDL",
+        files: 400_000,
+        hardware: true,
+    },
 ];
 
 /// Ratio between the median software corpus and the largest HDL corpus.
 pub fn software_to_hdl_ratio() -> f64 {
-    let mut sw: Vec<u64> = CENSUS.iter().filter(|c| !c.hardware).map(|c| c.files).collect();
+    let mut sw: Vec<u64> = CENSUS
+        .iter()
+        .filter(|c| !c.hardware)
+        .map(|c| c.files)
+        .collect();
     sw.sort_unstable();
     let median = sw[sw.len() / 2] as f64;
     let max_hdl = CENSUS

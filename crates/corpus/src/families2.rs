@@ -14,13 +14,9 @@ use rand::Rng;
 pub(crate) fn wire_buf<R: Rng + ?Sized>(uid: usize, rng: &mut R) -> String {
     let name = format!("buf_wire_{uid}");
     if rng.gen_bool(0.5) {
-        format!(
-            "module {name} (\n  input in,\n  output out\n);\nassign out = in;\nendmodule\n"
-        )
+        format!("module {name} (\n  input in,\n  output out\n);\nassign out = in;\nendmodule\n")
     } else {
-        format!(
-            "module {name} (\n  input a,\n  output y\n);\nassign y = a;\nendmodule\n"
-        )
+        format!("module {name} (\n  input a,\n  output y\n);\nassign y = a;\nendmodule\n")
     }
 }
 

@@ -114,11 +114,7 @@ fn restyle_ports(source: &str) -> String {
 }
 
 /// Generates one module of a specific family.
-pub fn generate_module<R: Rng + ?Sized>(
-    family: Family,
-    uid: usize,
-    rng: &mut R,
-) -> CorpusModule {
+pub fn generate_module<R: Rng + ?Sized>(family: Family, uid: usize, rng: &mut R) -> CorpusModule {
     let mut source = families::emit(family, uid, rng);
     if rng.gen_bool(0.6) {
         source = restyle_ports(&source);

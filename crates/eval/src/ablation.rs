@@ -24,11 +24,7 @@ pub enum Regime {
 
 impl Regime {
     /// All regimes in Fig. 7 column order.
-    pub const ALL: [Regime; 3] = [
-        Regime::CompletionOnly,
-        Regime::NlOnly,
-        Regime::Progressive,
-    ];
+    pub const ALL: [Regime; 3] = [Regime::CompletionOnly, Regime::NlOnly, Regime::Progressive];
 
     /// Fig. 7 column label.
     pub fn label(self) -> &'static str {
@@ -53,7 +49,7 @@ pub fn regime_model(regime: Regime, corpus_modules: usize, seed: u64) -> Slm {
     let mut rng = SmallRng::seed_from_u64(seed);
     let corpus = dda_corpus::generate_corpus(corpus_modules, &mut rng);
     let mut rng2 = SmallRng::seed_from_u64(seed ^ 0xAB);
-    let ds = augment(
+    let (ds, _) = augment(
         &corpus,
         &PipelineOptions {
             stages: regime.stages(),
@@ -120,9 +116,13 @@ pub fn mutation_cap_detection_rates(caps: &[usize], seed: u64) -> Vec<(usize, f6
             let mut rng = SmallRng::seed_from_u64(seed ^ (*cap as u64) << 8);
             for m in &corpus {
                 for _ in 0..4 {
-                    let Some(b) =
-                        break_verilog(&m.source, &RepairOptions { max_mutations: *cap }, &mut rng)
-                    else {
+                    let Some(b) = break_verilog(
+                        &m.source,
+                        &RepairOptions {
+                            max_mutations: *cap,
+                        },
+                        &mut rng,
+                    ) else {
                         continue;
                     };
                     total += 1;
@@ -147,7 +147,7 @@ pub fn order_ablation(
     let mut rng = SmallRng::seed_from_u64(seed);
     let corpus = dda_corpus::generate_corpus(corpus_modules, &mut rng);
     let mut rng2 = SmallRng::seed_from_u64(seed ^ 0xAB);
-    let ds = augment(&corpus, &PipelineOptions::default(), &mut rng2);
+    let (ds, _) = augment(&corpus, &PipelineOptions::default(), &mut rng2);
     let profile = SlmProfile {
         // Make ordering visible: strong recency preference.
         recency_weight: 0.6,
@@ -193,6 +193,7 @@ pub fn dataset_for(stages: StageSet, corpus_modules: usize, seed: u64) -> Datase
         },
         &mut rng2,
     )
+    .0
 }
 
 #[cfg(test)]

@@ -156,7 +156,7 @@ mod tests {
     fn model() -> Slm {
         let mut rng = SmallRng::seed_from_u64(77);
         let corpus = dda_corpus::generate_corpus(64, &mut rng);
-        let ds = augment(&corpus, &PipelineOptions::default(), &mut rng);
+        let (ds, _) = augment(&corpus, &PipelineOptions::default(), &mut rng);
         Slm::finetune(
             SlmProfile {
                 name: "agent-under-test".into(),

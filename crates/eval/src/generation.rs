@@ -67,28 +67,92 @@ impl Default for GenProtocol {
     }
 }
 
-/// Runs a generated module against the problem's testbench; returns the
-/// functional pass rate in `[0, 1]`.
-pub fn run_testbench(problem: &VerilogProblem, generated: &str) -> f64 {
-    let src = format!("{generated}\n{}", problem.testbench);
-    let Ok(sf) = dda_verilog::parse(&src) else {
-        return 0.0;
-    };
-    let Ok(mut sim) = Simulator::new(&sf, "tb") else {
-        return 0.0;
-    };
-    let opts = SimOptions {
-        max_time: 100_000,
-        max_steps: 2_000_000,
-        ..SimOptions::default()
-    };
-    let Ok(result) = sim.run(&opts) else {
-        return 0.0;
-    };
-    match parse_result(&result.output) {
-        Some((pass, total)) if total > 0 => pass as f64 / total as f64,
-        _ => 0.0,
+/// Outcome of one testbench run, distinguishing every failure mode on the
+/// untrusted-input path instead of lumping them into a zero score.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TestbenchVerdict {
+    /// Simulation completed; the fraction of testbench checks that passed.
+    Scored(f64),
+    /// The generated module plus testbench failed to parse.
+    ParseError(String),
+    /// Elaboration rejected the design (bad hierarchy, width limits, ...).
+    ElabError(String),
+    /// Simulation exhausted a resource budget (delta limit, statement
+    /// budget, or the time ceiling without a result line).
+    Timeout(String),
+    /// The simulator panicked; the panic was caught and isolated.
+    Crash(String),
+}
+
+impl TestbenchVerdict {
+    /// Functional pass rate: the score when simulation completed, zero for
+    /// every failure verdict (the paper's scoring).
+    pub fn pass_rate(&self) -> f64 {
+        match self {
+            TestbenchVerdict::Scored(r) => *r,
+            _ => 0.0,
+        }
     }
+
+    /// Whether this run hit a resource budget rather than failing outright.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, TestbenchVerdict::Timeout(_))
+    }
+
+    /// Whether this run crashed the simulator (caught panic).
+    pub fn is_crash(&self) -> bool {
+        matches!(self, TestbenchVerdict::Crash(_))
+    }
+}
+
+/// Runs a generated module against the problem's testbench and reports a
+/// full [`TestbenchVerdict`]. Panics inside the simulator are caught and
+/// surfaced as [`TestbenchVerdict::Crash`] so one bad sample cannot take
+/// down an evaluation sweep.
+pub fn run_testbench_verdict(problem: &VerilogProblem, generated: &str) -> TestbenchVerdict {
+    let src = format!("{generated}\n{}", problem.testbench);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+        || -> Result<TestbenchVerdict, TestbenchVerdict> {
+            let sf = dda_verilog::parse(&src)
+                .map_err(|e| TestbenchVerdict::ParseError(e.to_string()))?;
+            let mut sim =
+                Simulator::new(&sf, "tb").map_err(|e| TestbenchVerdict::ElabError(e.message))?;
+            let opts = SimOptions {
+                max_time: 100_000,
+                max_steps: 2_000_000,
+                ..SimOptions::default()
+            };
+            let result = sim
+                .run(&opts)
+                .map_err(|e| TestbenchVerdict::Timeout(e.to_string()))?;
+            Ok(match parse_result(&result.output) {
+                Some((pass, total)) if total > 0 => {
+                    TestbenchVerdict::Scored(pass as f64 / total as f64)
+                }
+                _ => TestbenchVerdict::Scored(0.0),
+            })
+        },
+    ));
+    match outcome {
+        Ok(Ok(v)) | Ok(Err(v)) => v,
+        Err(payload) => TestbenchVerdict::Crash(panic_message(&payload)),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs a generated module against the problem's testbench; returns the
+/// functional pass rate in `[0, 1]` (every failure verdict scores zero).
+pub fn run_testbench(problem: &VerilogProblem, generated: &str) -> f64 {
+    run_testbench_verdict(problem, generated).pass_rate()
 }
 
 /// Evaluates one (problem, level) cell.
@@ -141,11 +205,7 @@ fn hash_id(id: &str) -> u64 {
 }
 
 /// Evaluates a model over a whole suite.
-pub fn eval_suite(
-    model: &Slm,
-    problems: &[VerilogProblem],
-    protocol: &GenProtocol,
-) -> Vec<GenRow> {
+pub fn eval_suite(model: &Slm, problems: &[VerilogProblem], protocol: &GenProtocol) -> Vec<GenRow> {
     problems
         .iter()
         .map(|p| GenRow {
@@ -182,7 +242,10 @@ mod tests {
     fn garbage_scores_zero() {
         let p = &thakur_suite()[0];
         assert_eq!(run_testbench(p, "module garbage(; endmodule"), 0.0);
-        assert_eq!(run_testbench(p, "module wrong_name(input x); endmodule"), 0.0);
+        assert_eq!(
+            run_testbench(p, "module wrong_name(input x); endmodule"),
+            0.0
+        );
     }
 
     #[test]
@@ -192,6 +255,30 @@ mod tests {
         let constant = "module simple_wire(input in, output out);\nassign out = 1'b0;\nendmodule\n";
         let rate = run_testbench(p, constant);
         assert!((rate - 0.5).abs() < 1e-9, "{rate}");
+    }
+
+    #[test]
+    fn verdicts_distinguish_failure_modes() {
+        let p = &thakur_suite()[0];
+        // Unparseable sample.
+        let v = run_testbench_verdict(p, "module garbage(; endmodule");
+        assert!(matches!(v, TestbenchVerdict::ParseError(_)), "{v:?}");
+        // Elaboration failure: correct module name, resource-guard trip.
+        let huge = "module simple_wire(input in, output out);\n\
+                    reg [8388607:0] big;\nassign out = in;\nendmodule\n";
+        let v = run_testbench_verdict(p, huge);
+        assert!(matches!(v, TestbenchVerdict::ElabError(_)), "{v:?}");
+        // Runaway sample: a free-running zero-delay loop exhausts the
+        // statement budget — a Timeout, not a zero-score crash.
+        let runaway = "module simple_wire(input in, output out);\n\
+                       reg r;\nalways r = ~r;\nassign out = in;\nendmodule\n";
+        let v = run_testbench_verdict(p, runaway);
+        assert!(v.is_timeout(), "{v:?}");
+        assert!(!v.is_crash());
+        assert_eq!(v.pass_rate(), 0.0);
+        // The reference still scores through the verdict path.
+        let v = run_testbench_verdict(p, p.reference);
+        assert_eq!(v, TestbenchVerdict::Scored(1.0));
     }
 
     #[test]

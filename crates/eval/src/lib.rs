@@ -21,13 +21,16 @@ pub mod ablation;
 pub mod agent;
 pub mod generation;
 pub mod models;
-pub mod report;
 pub mod repair_eval;
+pub mod report;
 pub mod script_eval;
 
-pub use generation::{eval_cell, eval_suite, run_testbench, success_rate, GenCell, GenProtocol, GenRow};
+pub use agent::{agent_episode, agent_vs_single, AgentOutcome, AgentProtocol};
+pub use generation::{
+    eval_cell, eval_suite, run_testbench, run_testbench_verdict, success_rate, GenCell,
+    GenProtocol, GenRow, TestbenchVerdict,
+};
 pub use models::{ModelId, ModelZoo, ZooOptions};
 pub use repair_eval::{eval_repair, eval_repair_suite, RepairCell, RepairProtocol};
 pub use report::TextTable;
-pub use agent::{agent_episode, agent_vs_single, AgentOutcome, AgentProtocol};
 pub use script_eval::{eval_script, eval_script_suite, ScriptCell, ScriptProtocol};

@@ -104,9 +104,9 @@ impl ModelZoo {
         let corpus = dda_corpus::generate_corpus(opts.corpus_modules, &mut rng);
         let pipe = PipelineOptions::default();
         let mut rng_full = SmallRng::seed_from_u64(opts.seed ^ 0xF0);
-        let full = augment(&corpus, &pipe, &mut rng_full);
+        let (full, _) = augment(&corpus, &pipe, &mut rng_full);
         let mut rng_gen = SmallRng::seed_from_u64(opts.seed ^ 0xF0);
-        let general = augment(
+        let (general, _) = augment(
             &corpus,
             &PipelineOptions {
                 stages: StageSet::GENERAL_AUG,
@@ -135,10 +135,7 @@ impl ModelZoo {
             (ModelId::Ours7B, build(ours7, &full)),
             (ModelId::Ours13B, build(ours13, &full)),
             (ModelId::Thakur, build(SlmProfile::codegen16b(), &general)),
-            (
-                ModelId::Llama2Pt,
-                Slm::pretrained(SlmProfile::llama2(13.0)),
-            ),
+            (ModelId::Llama2Pt, Slm::pretrained(SlmProfile::llama2(13.0))),
             (ModelId::GeneralAug, build(general13, &general)),
         ];
         ModelZoo {

@@ -128,10 +128,7 @@ impl<'a> ModuleChecker<'a> {
     }
 
     fn width_of_range(&mut self, range: &Option<Range>) -> Option<usize> {
-        match range_width(range, &self.params) {
-            Ok(w) => Some(w),
-            Err(_) => None,
-        }
+        range_width(range, &self.params).ok()
     }
 
     fn collect_params(&mut self) {
@@ -160,6 +157,7 @@ impl<'a> ModuleChecker<'a> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn declare(
         &mut self,
         name: &Ident,
@@ -255,7 +253,10 @@ impl<'a> ModuleChecker<'a> {
                         } else if header_names.is_empty() {
                             self.diags.push(Diagnostic::error(
                                 DiagKind::PortNotInHeader,
-                                format!("Module has no ports but `{}' is declared {}", n.name, pd.dir),
+                                format!(
+                                    "Module has no ports but `{}' is declared {}",
+                                    n.name, pd.dir
+                                ),
                                 n.span,
                             ));
                         }
@@ -288,7 +289,15 @@ impl<'a> ModuleChecker<'a> {
                 }
                 Item::Function(f) => {
                     let width = self.width_of_range(&f.range);
-                    self.declare(&f.name, SymKind::Function, false, width, false, f.span, false);
+                    self.declare(
+                        &f.name,
+                        SymKind::Function,
+                        false,
+                        width,
+                        false,
+                        f.span,
+                        false,
+                    );
                 }
                 Item::Instance(inst) => {
                     // Instance names occupy the namespace too.
@@ -316,9 +325,9 @@ impl<'a> ModuleChecker<'a> {
             if p.dir.is_some() {
                 continue;
             }
-            let declared = self.module.items.iter().any(|i| {
-                matches!(i, Item::Port(pd) if pd.names.iter().any(|n| n.name == p.name.name))
-            });
+            let declared = self.module.items.iter().any(
+                |i| matches!(i, Item::Port(pd) if pd.names.iter().any(|n| n.name == p.name.name)),
+            );
             if !declared {
                 self.diags.push(Diagnostic::error(
                     DiagKind::PortWithoutDirection,
@@ -513,7 +522,9 @@ impl<'a> ModuleChecker<'a> {
                         if sym.cont_drivers > 1 {
                             self.diags.push(Diagnostic::warning(
                                 DiagKind::MultipleDrivers,
-                                format!("Net `{name}' is driven by multiple continuous assignments"),
+                                format!(
+                                    "Net `{name}' is driven by multiple continuous assignments"
+                                ),
                                 span,
                             ));
                         }
@@ -729,10 +740,8 @@ impl<'a> ModuleChecker<'a> {
                 }
                 conns.push((target, inst.ports.clone(), inst.span));
                 // Named connections must exist on the target.
-                if let Some(target_name) = self
-                    .module_names
-                    .iter()
-                    .find(|n| **n == inst.module.name)
+                if let Some(target_name) =
+                    self.module_names.iter().find(|n| **n == inst.module.name)
                 {
                     let target_mod = self.file.module(target_name).expect("name came from file");
                     for c in &inst.ports {
@@ -778,10 +787,7 @@ impl<'a> ModuleChecker<'a> {
             .symbols
             .iter()
             .filter(|(_, s)| {
-                s.kind == SymKind::Output
-                    && s.cont_drivers == 0
-                    && !s.proc_driven
-                    && !s.conn_driven
+                s.kind == SymKind::Output && s.cont_drivers == 0 && !s.proc_driven && !s.conn_driven
             })
             .map(|(n, s)| (n.clone(), s.decl_span))
             .collect();
@@ -886,7 +892,8 @@ mod tests {
 
     #[test]
     fn assign_to_input() {
-        let e = errors("module m(input a, input b, output y); assign a = b; assign y = a; endmodule");
+        let e =
+            errors("module m(input a, input b, output y); assign a = b; assign y = a; endmodule");
         assert_eq!(e, vec![DiagKind::AssignToInput]);
     }
 
@@ -1110,7 +1117,9 @@ mod style {
                     assigned_anywhere(st, out);
                 }
             }
-            Stmt::Assign { lhs, kind, span, .. } => {
+            Stmt::Assign {
+                lhs, kind, span, ..
+            } => {
                 if let Some(n) = lhs.lvalue_ident() {
                     out.push((n.to_owned(), *kind, *span));
                 }

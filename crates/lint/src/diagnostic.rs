@@ -151,7 +151,10 @@ impl LintReport {
 
     /// Renders a single finding.
     pub fn render_one(&self, d: &Diagnostic) -> String {
-        format!("/{}:{}: {}: {}", self.file, d.span.line, d.severity, d.message)
+        format!(
+            "/{}:{}: {}: {}",
+            self.file, d.span.line, d.severity, d.message
+        )
     }
 }
 

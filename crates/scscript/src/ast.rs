@@ -140,7 +140,10 @@ impl ScStmt {
             }
             ScStmt::Input { file } => format!("{var}.input('{file}')"),
             ScStmt::Clock { pin, period } => {
-                format!("{var}.clock('{pin}', period={})", ScValue::Num(*period).to_python())
+                format!(
+                    "{var}.clock('{pin}', period={})",
+                    ScValue::Num(*period).to_python()
+                )
             }
             ScStmt::Set { keypath, value } => {
                 let keys: Vec<String> = keypath.iter().map(|k| format!("'{k}'")).collect();
@@ -167,7 +170,11 @@ pub struct Script {
 impl Script {
     /// Renders the script back to Python text.
     pub fn to_python(&self) -> String {
-        let var = if self.var.is_empty() { "chip" } else { &self.var };
+        let var = if self.var.is_empty() {
+            "chip"
+        } else {
+            &self.var
+        };
         let mut out = String::new();
         for s in &self.stmts {
             out.push_str(&s.to_python(var));

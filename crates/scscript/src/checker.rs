@@ -99,7 +99,10 @@ pub fn check(script: &Script) -> ScReport {
                 if symbol == "siliconcompiler" || symbol == "Chip" {
                     imported = true;
                 } else {
-                    err(i, format!("ModuleNotFoundError: no module named '{symbol}'"));
+                    err(
+                        i,
+                        format!("ModuleNotFoundError: no module named '{symbol}'"),
+                    );
                 }
             }
             ScStmt::NewChip { design, .. } => {
@@ -122,7 +125,10 @@ pub fn check(script: &Script) -> ScReport {
                     .iter()
                     .any(|e| file.ends_with(e));
                 if !ok_ext {
-                    err(i, format!("input file '{file}' has an unsupported extension"));
+                    err(
+                        i,
+                        format!("input file '{file}' has an unsupported extension"),
+                    );
                 } else {
                     inputs += 1;
                 }
@@ -142,14 +148,11 @@ pub fn check(script: &Script) -> ScReport {
                 if !chip_made {
                     err(i, "NameError: chip is not defined".into());
                 }
-                let known = KNOWN_KEYPATHS
-                    .iter()
-                    .any(|k| k.len() == keypath.len() && k.iter().zip(keypath).all(|(a, b)| a == b));
+                let known = KNOWN_KEYPATHS.iter().any(|k| {
+                    k.len() == keypath.len() && k.iter().zip(keypath).all(|(a, b)| a == b)
+                });
                 if !known {
-                    err(
-                        i,
-                        format!("invalid keypath [{}]", keypath.join(", ")),
-                    );
+                    err(i, format!("invalid keypath [{}]", keypath.join(", ")));
                     continue;
                 }
                 match keypath.last().map(String::as_str) {
@@ -161,10 +164,7 @@ pub fn check(script: &Script) -> ScReport {
                                 outline = Some(r);
                             }
                         }
-                        None => err(
-                            i,
-                            "outline must be a list of two (x, y) tuples".into(),
-                        ),
+                        None => err(i, "outline must be a list of two (x, y) tuples".into()),
                     },
                     Some("corearea") => match rect_of(value) {
                         Some(r) => {
@@ -176,26 +176,32 @@ pub fn check(script: &Script) -> ScReport {
                                 }
                             }
                         }
-                        None => err(
-                            i,
-                            "corearea must be a list of two (x, y) tuples".into(),
-                        ),
+                        None => err(i, "corearea must be a list of two (x, y) tuples".into()),
                     },
-                    Some("density") => {
-                        if value.as_num().map(|d| !(0.0..=100.0).contains(&d)).unwrap_or(true) {
-                            err(i, "density must be a number in [0, 100]".into());
-                        }
+                    Some("density")
+                        if value
+                            .as_num()
+                            .map(|d| !(0.0..=100.0).contains(&d))
+                            .unwrap_or(true) =>
+                    {
+                        err(i, "density must be a number in [0, 100]".into());
                     }
-                    Some("aspectratio") | Some("coremargin") => {
-                        if value.as_num().map(|d| d <= 0.0).unwrap_or(true) {
-                            err(i, format!("{} must be a positive number", keypath.join(".")));
-                        }
+                    Some("aspectratio") | Some("coremargin")
+                        if value.as_num().map(|d| d <= 0.0).unwrap_or(true) =>
+                    {
+                        err(
+                            i,
+                            format!("{} must be a positive number", keypath.join(".")),
+                        );
                     }
                     Some("remote") | Some("quiet") | Some("relax") | Some("novercheck")
-                    | Some("clean") => {
-                        if !matches!(value, ScValue::Bool(_)) {
-                            err(i, format!("option {} expects True/False", keypath.join(".")));
-                        }
+                    | Some("clean")
+                        if !matches!(value, ScValue::Bool(_)) =>
+                    {
+                        err(
+                            i,
+                            format!("option {} expects True/False", keypath.join(".")),
+                        );
                     }
                     _ => {}
                 }
@@ -235,7 +241,6 @@ pub fn check(script: &Script) -> ScReport {
             }
         }
     }
-    drop(err);
     if !ran && report.errors.is_empty() {
         report.errors.push(ScDiag {
             stmt: script.stmts.len(),
@@ -381,7 +386,8 @@ chip.summary()
 
     #[test]
     fn summary_before_run_fails() {
-        let r = check_src("import siliconcompiler\nchip = siliconcompiler.Chip('g')\nchip.summary()\n");
+        let r =
+            check_src("import siliconcompiler\nchip = siliconcompiler.Chip('g')\nchip.summary()\n");
         assert!(r.render().contains("summary() requires"));
     }
 
@@ -435,7 +441,9 @@ chip.summary()
 
     #[test]
     fn never_running_is_an_error() {
-        let r = check_src("import siliconcompiler\nchip = siliconcompiler.Chip('g')\nchip.input('g.v')\n");
+        let r = check_src(
+            "import siliconcompiler\nchip = siliconcompiler.Chip('g')\nchip.input('g.v')\n",
+        );
         assert!(r.render().contains("never calls run"));
     }
 

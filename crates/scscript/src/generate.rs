@@ -160,7 +160,12 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2024);
         for (i, s) in generate_pool(200, &mut rng).iter().enumerate() {
             let r = check(s);
-            assert!(r.is_clean(), "script {i} invalid:\n{}\n{}", s.to_python(), r.render());
+            assert!(
+                r.is_clean(),
+                "script {i} invalid:\n{}\n{}",
+                s.to_python(),
+                r.render()
+            );
         }
     }
 

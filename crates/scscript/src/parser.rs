@@ -217,8 +217,7 @@ struct Call {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
         && !s.chars().next().expect("nonempty").is_ascii_digit()
 }
 
@@ -428,17 +427,15 @@ chip.summary()
 
     #[test]
     fn rejects_wrong_variable() {
-        let e = parse(
-            "chip = siliconcompiler.Chip('gcd')\nboard.run()\n",
-        )
-        .unwrap_err();
+        let e = parse("chip = siliconcompiler.Chip('gcd')\nboard.run()\n").unwrap_err();
         assert!(e.message.contains("not defined"), "{e}");
         assert_eq!(e.line, 2);
     }
 
     #[test]
     fn keyword_and_positional_clock() {
-        let s = parse("chip = siliconcompiler.Chip('x')\nchip.clock(pin='clk', period=5)\n").unwrap();
+        let s =
+            parse("chip = siliconcompiler.Chip('x')\nchip.clock(pin='clk', period=5)\n").unwrap();
         assert!(matches!(&s.stmts[1], ScStmt::Clock { pin, period }
             if pin == "clk" && *period == 5.0));
         let s = parse("chip = siliconcompiler.Chip('x')\nchip.clock('clk', 5)\n").unwrap();
@@ -448,7 +445,9 @@ chip.summary()
     #[test]
     fn unknown_method_is_kept() {
         let s = parse("chip = siliconcompiler.Chip('x')\nchip.fly_to_the_moon()\n").unwrap();
-        assert!(matches!(&s.stmts[1], ScStmt::Unknown { method, .. } if method == "fly_to_the_moon"));
+        assert!(
+            matches!(&s.stmts[1], ScStmt::Unknown { method, .. } if method == "fly_to_the_moon")
+        );
     }
 
     #[test]

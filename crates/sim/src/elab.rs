@@ -166,6 +166,14 @@ pub fn elaborate(sf: &SourceFile, top: &str) -> Result<Design, ElabError> {
 const GATES: &[&str] = &["and", "or", "not", "nand", "nor", "xor", "xnor", "buf"];
 const MAX_DEPTH: usize = 64;
 
+/// Widest vector elaboration will allocate. Untrusted sources can declare
+/// `reg [8388607:0]`-style signals whose four-state storage would exhaust
+/// memory; past this limit elaboration fails with an [`ElabError`] instead.
+const MAX_SIGNAL_WIDTH: usize = 1 << 16;
+
+/// Largest memory (array) word count, for the same reason.
+const MAX_MEMORY_WORDS: u64 = 1 << 16;
+
 struct Elaborator<'a> {
     file: &'a SourceFile,
     design: &'a mut Design,
@@ -188,8 +196,9 @@ impl Elaborator<'_> {
         for p in &module.header_params {
             let v = match param_overrides.get(&p.name.name) {
                 Some(v) => *v,
-                None => eval_const(&p.value, &params)
-                    .map_err(|e| ElabError::new(e.reason, e.span))?,
+                None => {
+                    eval_const(&p.value, &params).map_err(|e| ElabError::new(e.reason, e.span))?
+                }
             };
             params.insert(p.name.name.clone(), v);
         }
@@ -235,57 +244,77 @@ impl Elaborator<'_> {
         // 3. Declare signals: merge header ports with body declarations.
         let mut decls: HashMap<String, SignalDef> = HashMap::new();
         let mut order: Vec<String> = Vec::new();
-        let upsert =
-            |decls: &mut HashMap<String, SignalDef>,
-             order: &mut Vec<String>,
-             name: &str,
-             range: &Option<Range>,
-             signed: bool,
-             is_reg: bool,
-             array: Option<(i64, i64)>,
-             init: Option<LogicVec>|
-             -> Result<(), ElabError> {
-                let (msb, lsb) = match range {
-                    None => (0, 0),
-                    Some(r) => eval_range(r, &params).map_err(|e| ElabError::new(e.reason, e.span))?,
-                };
-                let width = msb.abs_diff(lsb) as usize + 1;
-                let full = format!("{prefix}{name}");
-                match decls.get_mut(&full) {
-                    Some(existing) => {
-                        if range.is_some() && existing.width == 1 {
-                            existing.width = width;
-                            existing.msb = msb;
-                            existing.lsb = lsb;
-                        }
-                        existing.is_reg |= is_reg;
-                        existing.signed |= signed;
-                        if existing.mem.is_none() {
-                            existing.mem = array;
-                        }
-                        if existing.init.is_none() {
-                            existing.init = init;
-                        }
+        let upsert = |decls: &mut HashMap<String, SignalDef>,
+                      order: &mut Vec<String>,
+                      name: &str,
+                      range: &Option<Range>,
+                      signed: bool,
+                      is_reg: bool,
+                      array: Option<(i64, i64)>,
+                      init: Option<LogicVec>|
+         -> Result<(), ElabError> {
+            let (msb, lsb) = match range {
+                None => (0, 0),
+                Some(r) => eval_range(r, &params).map_err(|e| ElabError::new(e.reason, e.span))?,
+            };
+            let width = msb.abs_diff(lsb) as usize + 1;
+            if width > MAX_SIGNAL_WIDTH {
+                return Err(ElabError::new(
+                    format!(
+                        "signal `{prefix}{name}` is {width} bits wide \
+                             (limit {MAX_SIGNAL_WIDTH})"
+                    ),
+                    range.as_ref().map(|r| r.span).unwrap_or_default(),
+                ));
+            }
+            if let Some((a, b)) = array {
+                let words = a.abs_diff(b).saturating_add(1);
+                if words > MAX_MEMORY_WORDS {
+                    return Err(ElabError::new(
+                        format!(
+                            "memory `{prefix}{name}` has {words} words \
+                                 (limit {MAX_MEMORY_WORDS})"
+                        ),
+                        range.as_ref().map(|r| r.span).unwrap_or_default(),
+                    ));
+                }
+            }
+            let full = format!("{prefix}{name}");
+            match decls.get_mut(&full) {
+                Some(existing) => {
+                    if range.is_some() && existing.width == 1 {
+                        existing.width = width;
+                        existing.msb = msb;
+                        existing.lsb = lsb;
                     }
-                    None => {
-                        order.push(full.clone());
-                        decls.insert(
-                            full.clone(),
-                            SignalDef {
-                                name: full,
-                                width,
-                                msb,
-                                lsb,
-                                signed,
-                                is_reg,
-                                mem: array,
-                                init,
-                            },
-                        );
+                    existing.is_reg |= is_reg;
+                    existing.signed |= signed;
+                    if existing.mem.is_none() {
+                        existing.mem = array;
+                    }
+                    if existing.init.is_none() {
+                        existing.init = init;
                     }
                 }
-                Ok(())
-            };
+                None => {
+                    order.push(full.clone());
+                    decls.insert(
+                        full.clone(),
+                        SignalDef {
+                            name: full,
+                            width,
+                            msb,
+                            lsb,
+                            signed,
+                            is_reg,
+                            mem: array,
+                            init,
+                        },
+                    );
+                }
+            }
+            Ok(())
+        };
 
         for p in &module.ports {
             upsert(
@@ -304,13 +333,7 @@ impl Elaborator<'_> {
                 Item::Port(pd) => {
                     for n in &pd.names {
                         upsert(
-                            &mut decls,
-                            &mut order,
-                            &n.name,
-                            &pd.range,
-                            pd.signed,
-                            pd.is_reg,
-                            None,
+                            &mut decls, &mut order, &n.name, &pd.range, pd.signed, pd.is_reg, None,
                             None,
                         )?;
                     }
@@ -380,7 +403,11 @@ impl Elaborator<'_> {
             }
         }
         for name in order {
-            let def = decls.remove(&name).expect("declared above");
+            // `order` holds each name once (pushed only on first insert),
+            // but stay total on malformed input rather than panicking.
+            let Some(def) = decls.remove(&name) else {
+                continue;
+            };
             let id = self.design.signals.len();
             self.design.index.insert(name, id);
             self.design.signals.push(def);
@@ -558,7 +585,10 @@ impl Elaborator<'_> {
             .collect();
         if exprs.len() < 2 {
             return Err(ElabError::new(
-                format!("gate `{}` needs an output and at least one input", inst.module.name),
+                format!(
+                    "gate `{}` needs an output and at least one input",
+                    inst.module.name
+                ),
                 inst.span,
             ));
         }
@@ -566,7 +596,9 @@ impl Elaborator<'_> {
         let ins = &exprs[1..];
         let fold = |op: BinaryOp| -> Expr {
             let mut it = ins.iter().cloned();
-            let first = it.next().expect("len checked above");
+            let first = it
+                .next()
+                .unwrap_or(Expr::Number(Number::from_u64(0), inst.span));
             it.fold(first, |acc, e| Expr::Binary {
                 op,
                 span: inst.span,
@@ -1060,10 +1092,7 @@ mod tests {
         let ProcessKind::Always(Sensitivity::List(items)) = &d.processes[0].kind else {
             panic!("expected always process");
         };
-        let names: Vec<_> = items
-            .iter()
-            .filter_map(|i| i.expr.as_ident())
-            .collect();
+        let names: Vec<_> = items.iter().filter_map(|i| i.expr.as_ident()).collect();
         assert_eq!(names, vec!["s", "a", "b"]);
     }
 
@@ -1137,5 +1166,26 @@ mod tests {
             d.processes[0].kind,
             ProcessKind::Continuous { .. }
         ));
+    }
+
+    #[test]
+    fn huge_signal_width_is_an_error_not_an_allocation() {
+        let sf = parse("module m; reg [8388607:0] big; endmodule").unwrap();
+        let err = elaborate(&sf, "m").unwrap_err();
+        assert!(err.message.contains("bits wide"), "{}", err.message);
+    }
+
+    #[test]
+    fn huge_memory_is_an_error_not_an_allocation() {
+        let sf = parse("module m; reg [7:0] mem [0:16777215]; endmodule").unwrap();
+        let err = elaborate(&sf, "m").unwrap_err();
+        assert!(err.message.contains("words"), "{}", err.message);
+    }
+
+    #[test]
+    fn wide_but_reasonable_signals_still_elaborate() {
+        let sf = parse("module m; reg [1023:0] wide; reg [7:0] mem [0:255]; endmodule").unwrap();
+        let d = elaborate(&sf, "m").unwrap();
+        assert_eq!(d.signal("wide").unwrap().1.width, 1024);
     }
 }

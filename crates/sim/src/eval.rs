@@ -23,7 +23,10 @@ impl Simulator {
                 return Some(v.clone());
             }
         }
-        self.design.index.get(name).map(|id| self.store[*id].clone())
+        self.design
+            .index
+            .get(name)
+            .map(|id| self.store[*id].clone())
     }
 
     /// Natural (self-determined) width of an expression.
@@ -150,15 +153,13 @@ impl Simulator {
                 expr,
                 ..
             } => self.is_signed_expr(expr, frame),
-            Expr::Binary { op, lhs, rhs, .. } => matches!(
-                op,
-                BinaryOp::Add
-                    | BinaryOp::Sub
-                    | BinaryOp::Mul
-                    | BinaryOp::Div
-                    | BinaryOp::Mod
-            ) && self.is_signed_expr(lhs, frame)
-                && self.is_signed_expr(rhs, frame),
+            Expr::Binary { op, lhs, rhs, .. } => {
+                matches!(
+                    op,
+                    BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod
+                ) && self.is_signed_expr(lhs, frame)
+                    && self.is_signed_expr(rhs, frame)
+            }
             Expr::Ternary {
                 then_expr,
                 else_expr,
@@ -217,31 +218,23 @@ impl Simulator {
                         LogicBit::and,
                         false,
                     ),
-                    RedOr => ops::reduce(
-                        &self.eval_depth(expr, 0, frame, depth),
-                        LogicBit::or,
-                        false,
-                    ),
+                    RedOr => {
+                        ops::reduce(&self.eval_depth(expr, 0, frame, depth), LogicBit::or, false)
+                    }
                     RedXor => ops::reduce(
                         &self.eval_depth(expr, 0, frame, depth),
                         LogicBit::xor,
                         false,
                     ),
-                    RedNand => ops::reduce(
-                        &self.eval_depth(expr, 0, frame, depth),
-                        LogicBit::and,
-                        true,
-                    ),
-                    RedNor => ops::reduce(
-                        &self.eval_depth(expr, 0, frame, depth),
-                        LogicBit::or,
-                        true,
-                    ),
-                    RedXnor => ops::reduce(
-                        &self.eval_depth(expr, 0, frame, depth),
-                        LogicBit::xor,
-                        true,
-                    ),
+                    RedNand => {
+                        ops::reduce(&self.eval_depth(expr, 0, frame, depth), LogicBit::and, true)
+                    }
+                    RedNor => {
+                        ops::reduce(&self.eval_depth(expr, 0, frame, depth), LogicBit::or, true)
+                    }
+                    RedXnor => {
+                        ops::reduce(&self.eval_depth(expr, 0, frame, depth), LogicBit::xor, true)
+                    }
                 }
             }
             Expr::Binary { op, lhs, rhs, .. } => {
@@ -405,7 +398,7 @@ impl Simulator {
                             Some(off) => self.mems[id][off].clone(),
                             None => LogicVec::xs(def.width),
                         };
-                        }
+                    }
                     let Some(i) = idx.to_u64_ext() else {
                         return LogicVec::xs(1);
                     };
@@ -805,7 +798,9 @@ pub(crate) fn format_value(v: &LogicVec, conv: char, signed: bool) -> String {
                 let sv = v.resize(w, true).to_i64().unwrap_or(0);
                 sv.to_string()
             } else {
-                v.to_u128().map(|x| x.to_string()).unwrap_or_else(|| "?".into())
+                v.to_u128()
+                    .map(|x| x.to_string())
+                    .unwrap_or_else(|| "?".into())
             }
         }
     }

@@ -72,6 +72,7 @@ impl fmt::Display for RunError {
 impl Error for RunError {}
 
 #[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)]
 pub(crate) enum Task {
     Exec(Stmt),
     /// Apply a pre-evaluated blocking write (after an intra-assign delay).
@@ -265,11 +266,24 @@ impl Simulator {
         self.rand_state.set((z ^ (z >> 31)) | 1);
     }
 
+    /// Clones a process body, defaulting to an empty block so a malformed
+    /// `Process` (no body) degrades to a no-op instead of panicking.
+    fn body_stmt(p: &Process) -> Stmt {
+        p.body
+            .as_ref()
+            .map(|b| (**b).clone())
+            .unwrap_or(Stmt::Block {
+                name: None,
+                stmts: Vec::new(),
+                span: dda_verilog::token::Span::default(),
+            })
+    }
+
     fn make_proc(p: &Process, design: &Design) -> (ProcRt, Option<(Expr, Expr)>) {
         match &p.kind {
             ProcessKind::Initial => (
                 ProcRt {
-                    tasks: vec![Task::Exec((**p.body.as_ref().expect("initial has body")).clone())],
+                    tasks: vec![Task::Exec(Self::body_stmt(p))],
                     status: Status::Ready,
                     watches: Vec::new(),
                     rearm: None,
@@ -284,9 +298,7 @@ impl Simulator {
                 let free_running = watches.is_empty();
                 (
                     ProcRt {
-                        tasks: vec![Task::Exec(
-                            (**p.body.as_ref().expect("always has body")).clone(),
-                        )],
+                        tasks: vec![Task::Exec(Self::body_stmt(p))],
                         status: if free_running {
                             Status::Ready
                         } else {
@@ -333,7 +345,10 @@ impl Simulator {
 
     /// Reads a signal by hierarchical name.
     pub fn peek(&self, name: &str) -> Option<LogicVec> {
-        self.design.index.get(name).map(|id| self.store[*id].clone())
+        self.design
+            .index
+            .get(name)
+            .map(|id| self.store[*id].clone())
     }
 
     /// Forces a signal value (testing hook); triggers dependent processes.
@@ -430,7 +445,7 @@ impl Simulator {
                 break;
             }
             self.time = t;
-            let events = self.future.remove(&t).expect("key just observed");
+            let events = self.future.remove(&t).unwrap_or_default();
             for ev in events {
                 match ev {
                     FutureEvent::Wake(p) => {
@@ -559,9 +574,9 @@ impl Simulator {
                 Ok(true)
             }
             Task::LoopForever { body } => {
-                self.procs[p].tasks.push(Task::LoopForever {
-                    body: body.clone(),
-                });
+                self.procs[p]
+                    .tasks
+                    .push(Task::LoopForever { body: body.clone() });
                 self.procs[p].tasks.push(Task::Exec(*body));
                 Ok(true)
             }
@@ -677,10 +692,9 @@ impl Simulator {
             }
             Stmt::Repeat { count, body, .. } => {
                 let n = self.eval(&count, 0, None).to_u64_ext().unwrap_or(0);
-                self.procs[p].tasks.push(Task::LoopRepeat {
-                    remaining: n,
-                    body,
-                });
+                self.procs[p]
+                    .tasks
+                    .push(Task::LoopRepeat { remaining: n, body });
                 Ok(true)
             }
             Stmt::Forever { body, .. } => {
@@ -1035,7 +1049,8 @@ impl Simulator {
                     let old = std::mem::replace(slot, new.clone());
                     if old != new {
                         // Word writes wake level watchers of the memory.
-                        self.pending.push((id, LogicVec::zeros(1), LogicVec::from_bool(true)));
+                        self.pending
+                            .push((id, LogicVec::zeros(1), LogicVec::from_bool(true)));
                         let _ = old;
                     }
                 }
@@ -1137,10 +1152,7 @@ fn compile_sens(s: &Sensitivity, design: &Design) -> Vec<SensWatch> {
             Expr::Index { base, index, .. } => {
                 if let (Some(name), Expr::Number(n, _)) = (base.as_ident(), index.as_ref()) {
                     if let Some((id, def)) = design.signal(name) {
-                        let bit = n
-                            .value
-                            .to_u64()
-                            .and_then(|v| def.bit_offset(v as i64));
+                        let bit = n.value.to_u64().and_then(|v| def.bit_offset(v as i64));
                         out.push(SensWatch {
                             sig: id,
                             bit,

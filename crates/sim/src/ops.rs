@@ -123,13 +123,7 @@ pub fn shl(a: &LogicVec, amount: &LogicVec) -> LogicVec {
         Some(n) => {
             let n = n as usize;
             (0..w)
-                .map(|i| {
-                    if i >= n {
-                        a.bit(i - n)
-                    } else {
-                        LogicBit::Zero
-                    }
-                })
+                .map(|i| if i >= n { a.bit(i - n) } else { LogicBit::Zero })
                 .collect()
         }
         None => all_x(w),

@@ -11,7 +11,11 @@ fn run(src: &str, top: &str) -> SimResult {
 
 fn run_output(src: &str) -> String {
     let r = run(src, "tb");
-    assert!(r.finished, "testbench did not $finish; output: {}", r.output);
+    assert!(
+        r.finished,
+        "testbench did not $finish; output: {}",
+        r.output
+    );
     r.output
 }
 
@@ -295,10 +299,7 @@ fn x_propagates_through_uninitialised_reg() {
          end
          endmodule",
     );
-    assert_eq!(
-        out.trim().lines().collect::<Vec<_>>(),
-        vec!["xxxx", "3"]
-    );
+    assert_eq!(out.trim().lines().collect::<Vec<_>>(), vec!["xxxx", "3"]);
 }
 
 #[test]

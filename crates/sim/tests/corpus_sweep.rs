@@ -20,9 +20,7 @@ fn generic_testbench(source: &str) -> Option<String> {
     for p in &m.ports {
         let dir = p.dir.or_else(|| {
             m.items.iter().find_map(|i| match i {
-                dda_verilog::Item::Port(pd)
-                    if pd.names.iter().any(|n| n.name == p.name.name) =>
-                {
+                dda_verilog::Item::Port(pd) if pd.names.iter().any(|n| n.name == p.name.name) => {
                     Some(pd.dir)
                 }
                 _ => None,
@@ -47,9 +45,7 @@ fn generic_testbench(source: &str) -> Option<String> {
                 if lower.contains("clk") || lower.contains("clock") {
                     stim.push_str(&format!("always #5 {name} = ~{name};\n"));
                 } else if lower.contains("rst") || lower.contains("reset") {
-                    stim.push_str(&format!(
-                        "initial begin {name} = 1; #12 {name} = 0; end\n"
-                    ));
+                    stim.push_str(&format!("initial begin {name} = 1; #12 {name} = 0; end\n"));
                 }
             }
             PortDir::Output | PortDir::Inout => {

@@ -155,9 +155,7 @@ pub fn interface_fit(source: &str, spec: &InterfaceSpec) -> i32 {
     for p in &module.ports {
         let dir = p.dir.or_else(|| {
             module.items.iter().find_map(|i| match i {
-                dda_verilog::Item::Port(pd)
-                    if pd.names.iter().any(|n| n.name == p.name.name) =>
-                {
+                dda_verilog::Item::Port(pd) if pd.names.iter().any(|n| n.name == p.name.name) => {
                     Some(pd.dir)
                 }
                 _ => None,
@@ -167,9 +165,7 @@ pub fn interface_fit(source: &str, spec: &InterfaceSpec) -> i32 {
             p.range.clone()
         } else {
             module.items.iter().find_map(|i| match i {
-                dda_verilog::Item::Port(pd)
-                    if pd.names.iter().any(|n| n.name == p.name.name) =>
-                {
+                dda_verilog::Item::Port(pd) if pd.names.iter().any(|n| n.name == p.name.name) => {
                     pd.range.clone()
                 }
                 _ => None,

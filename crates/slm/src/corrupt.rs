@@ -54,7 +54,9 @@ fn corrupt_once<R: Rng + ?Sized>(source: &str, rng: &mut R) -> Option<String> {
         // Perturb a number.
         3 => match &t.kind {
             TokenKind::Number(s) => match s.parse::<i64>() {
-                Ok(v) => (v + if rng.gen_bool(0.5) { 1 } else { -1 }).max(0).to_string(),
+                Ok(v) => (v + if rng.gen_bool(0.5) { 1 } else { -1 })
+                    .max(0)
+                    .to_string(),
                 Err(_) => return corrupt_once_fallback(source, rng, i),
             },
             _ => return corrupt_once_fallback(source, rng, i),
@@ -65,7 +67,11 @@ fn corrupt_once<R: Rng + ?Sized>(source: &str, rng: &mut R) -> Option<String> {
                 return corrupt_once_fallback(source, rng, i);
             }
             let n = &tokens[i + 1];
-            let merged = format!("{} {}", &source[n.span.start..n.span.end], &source[start..end]);
+            let merged = format!(
+                "{} {}",
+                &source[n.span.start..n.span.end],
+                &source[start..end]
+            );
             let mut out = String::with_capacity(source.len());
             out.push_str(&source[..start]);
             out.push_str(&merged);
@@ -107,7 +113,12 @@ fn char_corrupt<R: Rng + ?Sized>(source: &str, rng: &mut R) -> String {
         return source.to_owned();
     }
     let idx = rng.gen_range(0..source.len());
-    let idx = source.char_indices().map(|(i, _)| i).take_while(|i| *i <= idx).last().unwrap_or(0);
+    let idx = source
+        .char_indices()
+        .map(|(i, _)| i)
+        .take_while(|i| *i <= idx)
+        .last()
+        .unwrap_or(0);
     let mut out = source.to_owned();
     match rng.gen_range(0..3u8) {
         0 => {

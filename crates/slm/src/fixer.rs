@@ -136,9 +136,14 @@ type ErrSig = Option<(DiagKind, u32, u32, usize)>;
 fn error_state(file_name: &str, src: &str, cost: &mut usize) -> (usize, ErrSig) {
     *cost += 1;
     let report = dda_lint::check_source(file_name, src);
-    let sig = report
-        .first_error()
-        .map(|d| (d.kind, d.span.line, d.span.col, src.len().saturating_sub(d.span.start)));
+    let sig = report.first_error().map(|d| {
+        (
+            d.kind,
+            d.span.line,
+            d.span.col,
+            src.len().saturating_sub(d.span.start),
+        )
+    });
     // Parsing stops at the first syntax error, hiding any semantic errors
     // behind it — so a syntax error must outrank any semantic count, or the
     // search would refuse edits that fix the parse but "reveal" new errors.
@@ -212,7 +217,10 @@ fn candidates(file_name: &str, src: &str) -> Vec<String> {
             // ANSI outputs may just be missing the `reg` marker.
             for (i, t) in tokens.iter().enumerate() {
                 if t.is_kw(Keyword::Output)
-                    && !tokens.get(i + 1).map(|n| n.is_kw(Keyword::Reg)).unwrap_or(false)
+                    && !tokens
+                        .get(i + 1)
+                        .map(|n| n.is_kw(Keyword::Reg))
+                        .unwrap_or(false)
                 {
                     out.push(splice(t.span.end, t.span.end, " reg"));
                 }
@@ -248,16 +256,14 @@ fn candidates(file_name: &str, src: &str) -> Vec<String> {
                 }
             }
             // Punctuation / zero-bound insertions around the focus window.
-            for i in lo..=hi {
-                let t = &tokens[i];
+            for t in &tokens[lo..=hi] {
                 for ins in [";", ")", "]", "(", "[", "0"] {
                     out.push(splice(t.span.start, t.span.start, ins));
                     out.push(splice(t.span.end, t.span.end, ins));
                 }
             }
             // Deletions: focus window first, then the rest of the line.
-            for i in lo..=hi {
-                let t = &tokens[i];
+            for t in &tokens[lo..=hi] {
                 out.push(splice(t.span.start, t.span.end, ""));
                 if let TokenKind::Ident(name) = &t.kind {
                     if let Some(split) = split_fused_index(name) {

@@ -18,7 +18,7 @@
 //!
 //! let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
 //! let corpus = dda_corpus::generate_corpus(8, &mut rng);
-//! let data = dda_core::pipeline::augment(
+//! let (data, _report) = dda_core::pipeline::augment(
 //!     &corpus, &dda_core::pipeline::PipelineOptions::default(), &mut rng);
 //! let model = Slm::finetune(SlmProfile::llama2(13.0), &data, &PROGRESSIVE_ORDER);
 //! assert!(model.skills().nl > 0.3);
@@ -34,8 +34,6 @@ pub mod ngram;
 pub mod script_spec;
 pub mod tfidf;
 
-pub use model::{
-    pretraining_dataset, GenOptions, Skills, Slm, SlmProfile, PROGRESSIVE_ORDER,
-};
+pub use model::{pretraining_dataset, GenOptions, Skills, Slm, SlmProfile, PROGRESSIVE_ORDER};
 pub use ngram::NgramModel;
 pub use tfidf::TfIdfIndex;

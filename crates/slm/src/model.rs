@@ -283,8 +283,7 @@ impl Slm {
             if rng.gen::<f64>() < 0.03 + 0.97 * self.skills.eda {
                 let spec = crate::script_spec::extract_script_spec(input);
                 if spec.sufficient() {
-                    let script =
-                        crate::script_spec::construct_script(&spec, self.skills.eda, rng);
+                    let script = crate::script_spec::construct_script(&spec, self.skills.eda, rng);
                     return script.to_python();
                 }
             }
@@ -303,10 +302,7 @@ impl Slm {
         // answer a design request with a next-token guess).
         let query = format!("{instruct}\n{input}");
         let mut hits = self.index.query(&query, 32);
-        if hits
-            .iter()
-            .any(|h| self.docs[h.doc].instruct == instruct)
-        {
+        if hits.iter().any(|h| self.docs[h.doc].instruct == instruct) {
             hits.retain(|h| self.docs[h.doc].instruct == instruct);
         }
         hits.truncate(8);
@@ -371,10 +367,7 @@ impl Slm {
                 }
             }
             (Some(h), true) => h,
-            (Some(h), false) => hits
-                .iter()
-                .find(|o| o.doc != h.doc)
-                .unwrap_or(h),
+            (Some(h), false) => hits.iter().find(|o| o.doc != h.doc).unwrap_or(h),
             (None, _) => return self.hallucinate(input, opts, rng),
         };
         let doc = &self.docs[hit.doc];
@@ -449,9 +442,8 @@ impl Slm {
             .filter(|n| n.ends_with(".v"))
             .unwrap_or("input.v")
             .to_owned();
-        let attempt_prob = (self.skills.repair
-            * (self.profile.capacity_b / 13.0).sqrt().min(1.25))
-        .clamp(0.0, 0.98);
+        let attempt_prob = (self.skills.repair * (self.profile.capacity_b / 13.0).sqrt().min(1.25))
+            .clamp(0.0, 0.98);
         // Whether a given model can see the fix for a given broken file is
         // (nearly) deterministic — resampling at temperature 0.1 does not
         // rescue a model that lacks the skill. The hash keys on the broken
@@ -469,9 +461,8 @@ impl Slm {
         let resample_luck = rng.gen::<f64>() < attempt_prob * 0.1;
         if roll < attempt_prob || resample_luck {
             let budget = 150
-                + (1500.0
-                    * self.skills.repair
-                    * (self.profile.capacity_b / 13.0).sqrt().min(1.5)) as usize;
+                + (1500.0 * self.skills.repair * (self.profile.capacity_b / 13.0).sqrt().min(1.5))
+                    as usize;
             let fix = try_fix(&file_name, wrong, budget);
             if fix.clean {
                 return fix.source;
@@ -480,7 +471,9 @@ impl Slm {
         // No (successful) attempt: echo the broken file, possibly making it
         // worse at higher temperatures.
         let extra = (0..2)
-            .filter(|_| rng.gen::<f64>() < 0.3 * (1.0 - self.skills.repair) * (opts.temperature + 0.4))
+            .filter(|_| {
+                rng.gen::<f64>() < 0.3 * (1.0 - self.skills.repair) * (opts.temperature + 0.4)
+            })
             .count();
         if extra == 0 {
             wrong.to_owned()
@@ -489,21 +482,12 @@ impl Slm {
         }
     }
 
-    fn hallucinate<R: Rng + ?Sized>(
-        &self,
-        input: &str,
-        _opts: &GenOptions,
-        rng: &mut R,
-    ) -> String {
+    fn hallucinate<R: Rng + ?Sized>(&self, input: &str, _opts: &GenOptions, rng: &mut R) -> String {
         // Nothing retrieved: emit a skeleton around the requested interface.
         let spec = parse_interface(input);
         let name = spec.module.clone().unwrap_or_else(|| "top".to_owned());
         let ports = spec.ports_text.clone().unwrap_or_default();
-        let body = if rng.gen_bool(0.5) {
-            "  // TODO\n"
-        } else {
-            ""
-        };
+        let body = if rng.gen_bool(0.5) { "  // TODO\n" } else { "" };
         format!("module {name}({ports});\n{body}endmodule\n")
     }
 }
@@ -549,7 +533,7 @@ mod tests {
     fn full_dataset(modules: usize, seed: u64) -> Dataset {
         let mut rng = SmallRng::seed_from_u64(seed);
         let corpus = dda_corpus::generate_corpus(modules, &mut rng);
-        augment(&corpus, &PipelineOptions::default(), &mut rng)
+        augment(&corpus, &PipelineOptions::default(), &mut rng).0
     }
 
     fn merged(profile: &SlmProfile, finetune: &Dataset) -> Dataset {
@@ -577,7 +561,7 @@ mod tests {
         let profile = SlmProfile::llama2(13.0);
         let mut rng = SmallRng::seed_from_u64(2);
         let corpus = dda_corpus::generate_corpus(32, &mut rng);
-        let general = augment(
+        let (general, _) = augment(
             &corpus,
             &PipelineOptions {
                 stages: StageSet::GENERAL_AUG,
@@ -586,7 +570,7 @@ mod tests {
             &mut rng,
         );
         let mut rng2 = SmallRng::seed_from_u64(2);
-        let full = augment(&corpus, &PipelineOptions::default(), &mut rng2);
+        let (full, _) = augment(&corpus, &PipelineOptions::default(), &mut rng2);
         let m_general = Slm::finetune(profile.clone(), &general, &PROGRESSIVE_ORDER);
         let m_full = Slm::finetune(profile, &full, &PROGRESSIVE_ORDER);
         assert!(
@@ -714,11 +698,7 @@ mod tests {
 
     #[test]
     fn hallucination_uses_interface_spec() {
-        let model = Slm::finetune(
-            SlmProfile::llama2(7.0),
-            &Dataset::new(),
-            &PROGRESSIVE_ORDER,
-        );
+        let model = Slm::finetune(SlmProfile::llama2(7.0), &Dataset::new(), &PROGRESSIVE_ORDER);
         let mut rng = SmallRng::seed_from_u64(9);
         let out = model.generate(
             ALIGN_INSTRUCT,

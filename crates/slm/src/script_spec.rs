@@ -99,7 +99,8 @@ pub fn extract_script_spec(prompt: &str) -> ScriptSpec {
         }
         let low = s.to_lowercase();
         let names = quoted(s);
-        if low.contains("chip") && (low.contains("design") || low.contains("called") || low.contains("compilation"))
+        if low.contains("chip")
+            && (low.contains("design") || low.contains("called") || low.contains("compilation"))
         {
             if let Some((_, n)) = names.first() {
                 if spec.design.is_none() {
@@ -151,11 +152,7 @@ pub fn extract_script_spec(prompt: &str) -> ScriptSpec {
 /// Builds a script from a spec with the given `fidelity` in `[0, 1]`:
 /// at fidelity 1 every field is realised exactly; lower fidelity drops or
 /// mangles optional fields and may pick a wrong target.
-pub fn construct_script<R: Rng + ?Sized>(
-    spec: &ScriptSpec,
-    fidelity: f64,
-    rng: &mut R,
-) -> Script {
+pub fn construct_script<R: Rng + ?Sized>(spec: &ScriptSpec, fidelity: f64, rng: &mut R) -> Script {
     let keep = |rng: &mut R| rng.gen::<f64>() < 0.3 + 0.7 * fidelity;
     let design = spec.design.clone().unwrap_or_else(|| "design".into());
     let mut stmts = vec![

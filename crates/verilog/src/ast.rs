@@ -308,6 +308,7 @@ pub struct FunctionDecl {
 
 /// Items that can appear in a module body.
 #[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)]
 pub enum Item {
     /// Non-ANSI port declaration.
     Port(PortDecl),

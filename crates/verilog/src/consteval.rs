@@ -30,7 +30,11 @@ impl ConstEvalError {
 
 impl fmt::Display for ConstEvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "constant evaluation failed at {}: {}", self.span, self.reason)
+        write!(
+            f,
+            "constant evaluation failed at {}: {}",
+            self.span, self.reason
+        )
     }
 }
 
@@ -57,7 +61,13 @@ pub fn eval_const(expr: &Expr, params: &HashMap<String, i64>) -> Result<i64, Con
             .value
             .to_i64()
             .filter(|_| !n.value.has_unknown())
-            .map(|v| if n.signed { v } else { n.value.to_u64().unwrap_or(0) as i64 })
+            .map(|v| {
+                if n.signed {
+                    v
+                } else {
+                    n.value.to_u64().unwrap_or(0) as i64
+                }
+            })
             .ok_or_else(|| ConstEvalError::new("literal contains x/z bits", *span)),
         Expr::Ident(i) => params
             .get(&i.name)
@@ -105,9 +115,8 @@ pub fn eval_const(expr: &Expr, params: &HashMap<String, i64>) -> Result<i64, Con
                     a % b
                 }
                 BinaryOp::Pow => {
-                    let e = u32::try_from(b).map_err(|_| {
-                        ConstEvalError::new("negative constant exponent", *span)
-                    })?;
+                    let e = u32::try_from(b)
+                        .map_err(|_| ConstEvalError::new("negative constant exponent", *span))?;
                     a.wrapping_pow(e)
                 }
                 BinaryOp::Shl => a.wrapping_shl(b as u32),
@@ -239,7 +248,8 @@ mod tests {
 
     #[test]
     fn range_widths() {
-        let sf = crate::parse("module m(input [7:0] a, input b, input [0:3] c); endmodule").unwrap();
+        let sf =
+            crate::parse("module m(input [7:0] a, input b, input [0:3] c); endmodule").unwrap();
         let env = HashMap::new();
         let w: Vec<usize> = sf.modules[0]
             .ports

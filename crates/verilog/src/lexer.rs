@@ -34,8 +34,8 @@ impl Error for LexError {}
 /// Multi-character operators, longest first so maximal munch works.
 const OPERATORS: &[&str] = &[
     "<<<", ">>>", "===", "!==", "**", "<=", ">=", "==", "!=", "&&", "||", "<<", ">>", "+:", "-:",
-    "~&", "~|", "~^", "^~", "=>", "->", "(", ")", "[", "]", "{", "}", ";", ",", ".", ":", "?",
-    "@", "#", "=", "+", "-", "*", "/", "%", "<", ">", "!", "~", "&", "|", "^",
+    "~&", "~|", "~^", "^~", "=>", "->", "(", ")", "[", "]", "{", "}", ";", ",", ".", ":", "?", "@",
+    "#", "=", "+", "-", "*", "/", "%", "<", ">", "!", "~", "&", "|", "^",
 ];
 
 struct Cursor<'a> {
@@ -215,7 +215,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
             if cur.peek() == Some('\'') && is_base_char(cur.peek2()) {
                 text.push(cur.bump().unwrap()); // '
-                // optional signed marker
+                                                // optional signed marker
                 if matches!(cur.peek(), Some('s') | Some('S')) {
                     text.push(cur.bump().unwrap());
                 }
@@ -280,8 +280,16 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
 fn is_base_char(c: Option<char>) -> bool {
     matches!(
         c,
-        Some('b') | Some('B') | Some('o') | Some('O') | Some('d') | Some('D') | Some('h')
-            | Some('H') | Some('s') | Some('S')
+        Some('b')
+            | Some('B')
+            | Some('o')
+            | Some('O')
+            | Some('d')
+            | Some('D')
+            | Some('h')
+            | Some('H')
+            | Some('s')
+            | Some('S')
     )
 }
 

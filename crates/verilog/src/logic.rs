@@ -66,6 +66,7 @@ impl LogicBit {
     }
 
     /// IEEE 1364 bitwise NOT.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> LogicBit {
         use LogicBit::*;
         match self {
@@ -255,7 +256,7 @@ impl LogicVec {
     /// Truth value for conditions: `Some(true)` if any bit is 1, `Some(false)`
     /// if all bits are 0, `None` if unknown bits prevent a decision.
     pub fn truthy(&self) -> Option<bool> {
-        if self.bits.iter().any(|b| *b == LogicBit::One) {
+        if self.bits.contains(&LogicBit::One) {
             return Some(true);
         }
         if self.bits.iter().all(|b| *b == LogicBit::Zero) {

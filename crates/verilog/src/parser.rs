@@ -90,10 +90,22 @@ pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
     Ok(e)
 }
 
+/// Hard ceiling on combined expression/statement nesting depth.
+///
+/// Each bracketed expression level costs two units (`expr` + `unary_expr`),
+/// so this admits ~32 levels of parentheses/concatenation — far beyond any
+/// real RTL — while keeping the recursive descent (whose debug-build frames
+/// are large: `Expr` is returned by value through twelve precedence levels)
+/// inside a 2 MiB test-thread stack. Untrusted input past the limit gets a
+/// [`ParseError`] instead of a stack overflow (which would abort the
+/// process and cannot be isolated with `catch_unwind`).
+const MAX_NESTING: usize = 64;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
     eof: Token,
+    depth: usize,
 }
 
 impl Parser {
@@ -103,7 +115,37 @@ impl Parser {
             tokens,
             pos: 0,
             eof: Token::new(TokenKind::Eof, end),
+            depth: 0,
         }
+    }
+
+    /// Runs `f` `weight` nesting units deeper, failing fast at
+    /// [`MAX_NESTING`]. Statement recursion charges double because its
+    /// debug-build stack frames are roughly twice the size of the
+    /// expression chain's.
+    fn nested_weighted<T>(
+        &mut self,
+        weight: usize,
+        f: impl FnOnce(&mut Self) -> Result<T, ParseError>,
+    ) -> Result<T, ParseError> {
+        if self.depth + weight > MAX_NESTING {
+            return Err(ParseError::new(
+                self.peek(),
+                format!("shallower nesting (depth limit {MAX_NESTING} reached)"),
+            ));
+        }
+        self.depth += weight;
+        let out = f(self);
+        self.depth -= weight;
+        out
+    }
+
+    /// Runs `f` one nesting unit deeper.
+    fn nested<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, ParseError>,
+    ) -> Result<T, ParseError> {
+        self.nested_weighted(1, f)
     }
 
     fn peek(&self) -> &Token {
@@ -363,8 +405,12 @@ impl Parser {
                 Keyword::Input | Keyword::Output | Keyword::Inout => {
                     Ok(Some(Item::Port(self.port_decl()?)))
                 }
-                Keyword::Wire | Keyword::Reg | Keyword::Integer | Keyword::Genvar
-                | Keyword::Supply0 | Keyword::Supply1 => Ok(Some(Item::Net(self.net_decl()?))),
+                Keyword::Wire
+                | Keyword::Reg
+                | Keyword::Integer
+                | Keyword::Genvar
+                | Keyword::Supply0
+                | Keyword::Supply1 => Ok(Some(Item::Net(self.net_decl()?))),
                 Keyword::Parameter | Keyword::Localparam => {
                     for p in self.param_decls()? {
                         items.push(Item::Param(p));
@@ -708,6 +754,10 @@ impl Parser {
     // ---------------------------------------------------------- statements
 
     fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.nested_weighted(2, Self::stmt_inner)
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt, ParseError> {
         let tok = self.peek().clone();
         match &tok.kind {
             TokenKind::Keyword(Keyword::Begin) => {
@@ -905,7 +955,10 @@ impl Parser {
         }
     }
 
-    fn opt_controlled_stmt(&mut self, start: Span) -> Result<(Option<Box<Stmt>>, Span), ParseError> {
+    fn opt_controlled_stmt(
+        &mut self,
+        start: Span,
+    ) -> Result<(Option<Box<Stmt>>, Span), ParseError> {
         if self.eat_op(";") {
             Ok((None, start))
         } else {
@@ -973,6 +1026,10 @@ impl Parser {
 
     /// Lvalues: identifiers with selects, or concatenations of lvalues.
     fn lvalue(&mut self) -> Result<Expr, ParseError> {
+        self.nested(Self::lvalue_inner)
+    }
+
+    fn lvalue_inner(&mut self) -> Result<Expr, ParseError> {
         if self.at_op("{") {
             let start = self.bump().span;
             let mut parts = vec![self.lvalue()?];
@@ -1039,7 +1096,7 @@ impl Parser {
     // --------------------------------------------------------- expressions
 
     fn expr(&mut self) -> Result<Expr, ParseError> {
-        self.ternary_expr()
+        self.nested(Self::ternary_expr)
     }
 
     fn ternary_expr(&mut self) -> Result<Expr, ParseError> {
@@ -1120,6 +1177,10 @@ impl Parser {
     }
 
     fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        self.nested(Self::unary_expr_inner)
+    }
+
+    fn unary_expr_inner(&mut self) -> Result<Expr, ParseError> {
         let op = match &self.peek().kind {
             TokenKind::Op("+") => Some(UnaryOp::Plus),
             TokenKind::Op("-") => Some(UnaryOp::Neg),
@@ -1289,10 +1350,8 @@ pub fn decode_number(text: &str) -> Option<Number> {
             let mut bits = Vec::new();
             for c in digits.chars().rev() {
                 match c {
-                    'x' | 'X' => bits.extend(std::iter::repeat(LogicBit::X).take(bits_per)),
-                    'z' | 'Z' | '?' => {
-                        bits.extend(std::iter::repeat(LogicBit::Z).take(bits_per))
-                    }
+                    'x' | 'X' => bits.extend(std::iter::repeat_n(LogicBit::X, bits_per)),
+                    'z' | 'Z' | '?' => bits.extend(std::iter::repeat_n(LogicBit::Z, bits_per)),
                     _ => {
                         let d = c.to_digit(1 << bits_per)? as u64;
                         for i in 0..bits_per {
@@ -1514,7 +1573,13 @@ mod tests {
         let e = parse_expr("x[i]").unwrap();
         assert!(matches!(e, Expr::Index { .. }));
         let e = parse_expr("x[i +: 4]").unwrap();
-        assert!(matches!(e, Expr::IndexedPart { ascending: true, .. }));
+        assert!(matches!(
+            e,
+            Expr::IndexedPart {
+                ascending: true,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1640,5 +1705,61 @@ mod tests {
         assert_eq!(sf.modules.len(), 2);
         assert!(sf.module("b").is_some());
         assert!(sf.module("c").is_none());
+    }
+
+    #[test]
+    fn deep_paren_nesting_errors_instead_of_overflowing() {
+        // Without the depth guard this recursion overflows the stack and
+        // aborts the process (stack overflow is not unwindable).
+        for depth in [5_000usize, 50_000] {
+            let src = format!(
+                "module m(input a, output y); assign y = {}a{}; endmodule",
+                "(".repeat(depth),
+                ")".repeat(depth)
+            );
+            let err = parse(&src).unwrap_err();
+            assert!(err.expected.contains("depth limit"), "{err}");
+        }
+    }
+
+    #[test]
+    fn deep_concat_and_unary_nesting_error() {
+        let concat = format!(
+            "module m(output y); assign y = {}1'b0{}; endmodule",
+            "{".repeat(4_000),
+            "}".repeat(4_000)
+        );
+        assert!(parse(&concat).is_err());
+        let unary = format!(
+            "module m(input a, output y); assign y = {}a; endmodule",
+            "~".repeat(4_000)
+        );
+        assert!(parse(&unary).is_err());
+    }
+
+    #[test]
+    fn deep_statement_nesting_errors() {
+        let src = format!(
+            "module m; initial {}$finish; endmodule",
+            "begin ".repeat(4_000)
+        );
+        assert!(parse(&src).is_err());
+    }
+
+    #[test]
+    fn realistic_nesting_still_parses() {
+        // Depth far beyond hand-written RTL but well under the limit.
+        let src = format!(
+            "module m(input a, output y); assign y = {}a{}; endmodule",
+            "(".repeat(24),
+            ")".repeat(24)
+        );
+        parse_ok(&src);
+        let stmts = format!(
+            "module m; initial {}$finish; {}endmodule",
+            "begin ".repeat(30),
+            "end ".repeat(30)
+        );
+        parse_ok(&stmts);
     }
 }

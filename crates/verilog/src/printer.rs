@@ -380,7 +380,10 @@ impl Printer {
 }
 
 fn is_simple(s: &Stmt) -> bool {
-    matches!(s, Stmt::Assign { .. } | Stmt::SysCall { .. } | Stmt::Null { .. })
+    matches!(
+        s,
+        Stmt::Assign { .. } | Stmt::SysCall { .. } | Stmt::Null { .. }
+    )
 }
 
 fn inline_assign(s: &Stmt) -> String {
@@ -484,7 +487,12 @@ fn binop_level(op: BinaryOp) -> u8 {
 fn expr_str(e: &Expr, parent_level: u8) -> String {
     match e {
         Expr::Number(n, _) => n.spelling.clone(),
-        Expr::Str(s, _) => format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")),
+        Expr::Str(s, _) => format!(
+            "\"{}\"",
+            s.replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
+        ),
         Expr::Ident(i) => i.name.clone(),
         Expr::Unary { op, expr, .. } => {
             format!("{}{}", op.as_str(), expr_str(expr, 12))

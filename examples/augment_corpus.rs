@@ -25,13 +25,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("generating {modules}-module corpus...");
     let corpus = chipdda::corpus::generate_corpus(modules, &mut rng);
     println!("running the augmentation pipeline...");
-    let dataset = augment(&corpus, &PipelineOptions::default(), &mut rng);
+    let (dataset, report) = augment(&corpus, &PipelineOptions::default(), &mut rng);
+    println!("{}", report.summary());
 
     println!("\n{:<42} {:>9} {:>12}  file", "task", "entries", "bytes");
     for (kind, count, bytes) in dataset.table2_rows() {
         let file = outdir.join(format!(
             "{}.jsonl",
-            kind.label().to_lowercase().replace(' ', "_").replace('-', "_")
+            kind.label().to_lowercase().replace([' ', '-'], "_")
         ));
         fs::write(&file, to_jsonl(dataset.entries(kind)))?;
         println!(
@@ -42,6 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             file.display()
         );
     }
-    println!("\nwrote {} entries under {}", dataset.len(), outdir.display());
+    println!(
+        "\nwrote {} entries under {}",
+        dataset.len(),
+        outdir.display()
+    );
     Ok(())
 }

@@ -19,7 +19,10 @@ fn main() {
         data.push(kind, entry);
     }
     let model = Slm::finetune(SlmProfile::llama2(13.0), &data, &PROGRESSIVE_ORDER);
-    println!("EDA-script skill from 200 examples: {:.2}\n", model.skills().eda);
+    println!(
+        "EDA-script skill from 200 examples: {:.2}\n",
+        model.skills().eda
+    );
 
     for task in chipdda::benchmarks::sc_suite() {
         println!("=== task: {} ===", task.level.label());
@@ -28,8 +31,16 @@ fn main() {
         println!("{script}");
         println!(
             "syntax: {} | function: {}",
-            if task.check_syntax(&script) { "ok" } else { "INVALID" },
-            if task.check_function(&script) { "ok" } else { "WRONG" },
+            if task.check_syntax(&script) {
+                "ok"
+            } else {
+                "INVALID"
+            },
+            if task.check_function(&script) {
+                "ok"
+            } else {
+                "WRONG"
+            },
         );
         if let Ok(parsed) = chipdda::scscript::parse(&script) {
             if let Some(summary) = chipdda::scscript::simulate_flow(&parsed) {

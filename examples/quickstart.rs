@@ -19,9 +19,18 @@ fn main() {
     println!("   {} modules, {} lines\n", stats.modules, stats.lines);
 
     println!("== 2. Augmentation (completion + alignment + repair + EDA scripts) ==");
-    let dataset = augment(&corpus, &PipelineOptions::default(), &mut rng);
+    let (dataset, report) = augment(&corpus, &PipelineOptions::default(), &mut rng);
+    // Every module is accounted for at every stage (ok / skipped /
+    // quarantined); a clean corpus quarantines nothing.
+    assert!(report.is_conserved() && report.quarantines.is_empty());
+    println!("   {}", report.summary().replace('\n', "\n   "));
     for (kind, count, bytes) in dataset.table2_rows() {
-        println!("   {:<42} {:>7} entries {:>9} bytes", kind.label(), count, bytes);
+        println!(
+            "   {:<42} {:>7} entries {:>9} bytes",
+            kind.label(),
+            count,
+            bytes
+        );
     }
     println!();
 

@@ -20,7 +20,7 @@ fn main() {
     // A model whose repair skill comes from repair-augmentation data.
     let mut rng = SmallRng::seed_from_u64(7);
     let corpus = chipdda::corpus::generate_corpus(64, &mut rng);
-    let data = chipdda::core::pipeline::augment(
+    let (data, _report) = chipdda::core::pipeline::augment(
         &corpus,
         &chipdda::core::pipeline::PipelineOptions::default(),
         &mut rng,
@@ -55,7 +55,11 @@ fn main() {
     let post = chipdda::lint::check_source(&file, &fixed);
     println!(
         "--- verdict ---\nlint: {}",
-        if post.is_clean() { "clean" } else { "still broken" }
+        if post.is_clean() {
+            "clean"
+        } else {
+            "still broken"
+        }
     );
     let rate = chipdda::eval::run_testbench(problem, &fixed);
     println!("testbench pass rate: {:.0}%", rate * 100.0);

@@ -13,7 +13,7 @@
 use chipdda::core::align::{describe_module, render_line_tagged};
 use chipdda::core::json::to_jsonl;
 use chipdda::core::repair::{break_verilog, RepairOptions};
-use chipdda::core::{Dataset, TaskKind};
+use chipdda::core::TaskKind;
 use chipdda::sim::{SimOptions, Simulator};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -53,7 +53,8 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: chipdda <lint|sim|describe|break|augment|sc-check|sc-describe> <file> [options]
+const USAGE: &str =
+    "usage: chipdda <lint|sim|describe|break|augment|sc-check|sc-describe> <file> [options]
   lint <file.v>                 yosys-style syntax & semantic check
   sim <file.v> [--top tb]       simulate; prints $display output
   describe <file.v>             program-analysis natural language (Fig. 5)
@@ -107,7 +108,11 @@ fn cmd_sim(args: &[String]) -> CmdResult {
     print!("{}", result.output);
     println!(
         "-- {} at t={} ({} $error calls)",
-        if result.finished { "$finish" } else { "quiescent/limit" },
+        if result.finished {
+            "$finish"
+        } else {
+            "quiescent/limit"
+        },
         result.time,
         result.error_count
     );
@@ -167,31 +172,38 @@ fn cmd_augment(args: &[String]) -> CmdResult {
         return Err("no input files".into());
     }
     let mut rng = SmallRng::seed_from_u64(2024);
-    let mut ds = Dataset::new();
-    let opts = chipdda::core::pipeline::PipelineOptions::default();
-    for path in &inputs {
-        let src = fs::read_to_string(path)?;
-        let name = Path::new(path.as_str())
-            .file_name()
-            .map(|n| n.to_string_lossy().into_owned())
-            .unwrap_or_else(|| (*path).clone());
-        for (k, e) in chipdda::core::completion::completion_entries(&src, &opts.completion) {
-            ds.push(k, e);
-        }
-        for (k, e) in chipdda::core::align::align_entries(&src) {
-            ds.push(k, e);
-        }
-        for (k, e) in chipdda::core::repair::repair_entries(
-            &name,
-            &src,
-            opts.repairs_per_module,
-            &opts.repair,
-            &mut rng,
-        ) {
-            ds.push(k, e);
-        }
+    // EDA-script data comes from the script pool, not from Verilog inputs,
+    // so that stage stays off in the CLI.
+    let opts = chipdda::core::pipeline::PipelineOptions {
+        stages: chipdda::core::pipeline::StageSet {
+            eda_script: false,
+            ..chipdda::core::pipeline::StageSet::FULL
+        },
+        ..Default::default()
+    };
+    let corpus: Vec<chipdda::corpus::CorpusModule> = inputs
+        .iter()
+        .map(|path| {
+            let source = fs::read_to_string(path)?;
+            let name = Path::new(path.as_str())
+                .file_stem()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| (*path).clone());
+            Ok(chipdda::corpus::CorpusModule {
+                family: chipdda::corpus::Family::ALL[0],
+                name,
+                source,
+            })
+        })
+        .collect::<Result<_, std::io::Error>>()?;
+    let (ds, report) = chipdda::core::pipeline::augment(&corpus, &opts, &mut rng);
+    eprintln!("# {}", report.summary().replace('\n', "\n# "));
+    for q in &report.quarantines {
+        eprintln!(
+            "# quarantined {} at {}: {}",
+            q.module, q.stage, q.diagnostic
+        );
     }
-    ds.trim_by_token_len(opts.max_entry_tokens);
     fs::create_dir_all(outdir)?;
     for kind in TaskKind::ALL {
         let entries = ds.entries(kind);

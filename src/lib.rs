@@ -28,12 +28,14 @@
 //! let corpus = chipdda::corpus::generate_corpus(8, &mut rng);
 //!
 //! // 2. Augment it (completion + alignment + repair + EDA scripts).
-//! let data = chipdda::core::pipeline::augment(
+//! let (data, report) = chipdda::core::pipeline::augment(
 //!     &corpus,
 //!     &chipdda::core::pipeline::PipelineOptions::default(),
 //!     &mut rng,
 //! );
 //! assert!(data.len() > 100);
+//! // Nothing was silently dropped: the report accounts for every module.
+//! assert!(report.is_conserved() && report.quarantines.is_empty());
 //!
 //! // 3. "Finetune" a model on it and ask for a design.
 //! use chipdda::slm::{Slm, SlmProfile, PROGRESSIVE_ORDER};

@@ -1,0 +1,200 @@
+//! Chaos-injection tests: drive [`chipdda::core::pipeline::augment`] over
+//! deliberately corrupted corpora and assert the pipeline's three
+//! robustness properties end to end:
+//!
+//! 1. **No panic escapes** — every fault family is survivable; failures
+//!    surface as quarantine records, not crashes.
+//! 2. **Determinism** — the same seed over the same corrupted corpus
+//!    reproduces the same dataset *and* the same report.
+//! 3. **Conservation** — `ok + skipped + quarantined == corpus.len()` for
+//!    every per-module stage, so no input is ever silently dropped.
+//!
+//! A fourth property pins backward compatibility: on a *clean* corpus the
+//! new pipeline emits exactly the dataset the pre-report per-stage loop
+//! produces for the same seed.
+
+use chipdda::core::chaos::{chaos_corpus, inject, Fault};
+use chipdda::core::completion::completion_entries;
+use chipdda::core::pipeline::{augment, PipelineOptions, Stage, StageSet, QUARANTINE_INSTRUCT};
+use chipdda::core::repair::repair_entries;
+use chipdda::core::{Dataset, TaskKind};
+use chipdda::corpus::generate_corpus;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Small volumes so the property sweep stays fast; all stages enabled.
+fn opts() -> PipelineOptions {
+    PipelineOptions {
+        repairs_per_module: 1,
+        eda_scripts: 4,
+        ..PipelineOptions::default()
+    }
+}
+
+proptest! {
+    /// Randomly corrupted corpora never panic the pipeline, and the report
+    /// accounts for every module at every stage.
+    #[test]
+    fn corrupted_corpus_never_panics_and_is_conserved(seed in 0u64..24) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let corpus = generate_corpus(6, &mut rng);
+        let (corpus, hits) = chaos_corpus(corpus, 0.6, &mut rng);
+        let (ds, report) = augment(&corpus, &opts(), &mut rng);
+        prop_assert!(report.is_conserved(), "{report:?}");
+        prop_assert_eq!(report.modules, corpus.len());
+        for stage in Stage::PER_MODULE {
+            let t = report.stage(stage);
+            prop_assert_eq!(t.ok + t.skipped + t.quarantined, corpus.len());
+        }
+        // Quarantines only come from corrupted modules.
+        for q in &report.quarantines {
+            let idx = corpus.iter().position(|m| m.name == q.module);
+            prop_assert!(
+                idx.is_some_and(|i| hits.iter().any(|(j, _)| *j == i)),
+                "clean module {} quarantined at {}: {}",
+                q.module, q.stage, q.diagnostic
+            );
+        }
+        // The dataset itself stays consumable.
+        prop_assert!(ds.iter().count() == ds.len());
+    }
+
+    /// Same seed, same corrupted corpus: identical dataset and report.
+    #[test]
+    fn chaos_runs_are_deterministic_per_seed(seed in 0u64..12) {
+        let run = || {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let corpus = generate_corpus(5, &mut rng);
+            let (corpus, _) = chaos_corpus(corpus, 0.7, &mut rng);
+            augment(&corpus, &opts(), &mut rng)
+        };
+        let (ds_a, rep_a) = run();
+        let (ds_b, rep_b) = run();
+        prop_assert_eq!(ds_a, ds_b);
+        prop_assert_eq!(rep_a, rep_b);
+    }
+}
+
+/// Every fault family, applied to every module, is survivable on its own —
+/// and at 100% corruption the report still accounts for all modules.
+#[test]
+fn every_fault_family_is_survivable() {
+    for fault in Fault::ALL {
+        let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+        let mut corpus = generate_corpus(4, &mut rng);
+        for m in &mut corpus {
+            m.source = inject(&m.source, fault, &mut rng);
+        }
+        let (_, report) = augment(&corpus, &opts(), &mut rng);
+        assert!(report.is_conserved(), "{fault}: {report:?}");
+        // Corruption may or may not defeat a given stage (e.g. duplicated
+        // modules still parse), but accounting always holds and any
+        // quarantine carries a non-empty diagnostic.
+        for q in &report.quarantines {
+            assert!(!q.diagnostic.is_empty(), "{fault}: empty diagnostic");
+        }
+    }
+}
+
+/// Truncation reliably defeats alignment, and the diagnostics are recycled
+/// into §3.2-style (broken source → tool report) training pairs.
+#[test]
+fn truncation_quarantines_and_recycles() {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let mut corpus = generate_corpus(4, &mut rng);
+    for m in &mut corpus {
+        // Cut each module roughly in half: no module survives parsing.
+        let cut = m.source.len() / 2;
+        m.source = inject(
+            &m.source,
+            Fault::Truncation,
+            &mut SmallRng::seed_from_u64(cut as u64),
+        );
+    }
+    let (ds, report) = augment(&corpus, &opts(), &mut rng);
+    assert!(report.is_conserved());
+    assert!(
+        report
+            .quarantines
+            .iter()
+            .any(|q| q.stage == Stage::Alignment),
+        "{:?}",
+        report.quarantines
+    );
+    assert!(report.recycled > 0);
+    let recycled: Vec<_> = ds
+        .entries(TaskKind::VerilogDebug)
+        .iter()
+        .filter(|e| e.instruct == QUARANTINE_INSTRUCT)
+        .collect();
+    assert_eq!(recycled.len(), report.recycled);
+    for e in &recycled {
+        assert!(!e.output.is_empty(), "recycled pair without a diagnostic");
+    }
+}
+
+/// Backward compatibility: on a clean corpus, `augment` produces exactly
+/// the dataset the pre-report pipeline (plain per-stage loop, same RNG
+/// draw order) produced, and quarantines nothing.
+#[test]
+fn clean_corpus_matches_legacy_pipeline_exactly() {
+    let opts = opts();
+    let mut rng = SmallRng::seed_from_u64(77);
+    let corpus = generate_corpus(8, &mut rng);
+
+    let mut rng_new = SmallRng::seed_from_u64(78);
+    let (ds_new, report) = augment(&corpus, &opts, &mut rng_new);
+    assert!(report.quarantines.is_empty(), "{:?}", report.quarantines);
+    assert_eq!(report.recycled, 0);
+    assert!(report.is_conserved());
+
+    // The pre-change pipeline, verbatim.
+    let mut rng_old = SmallRng::seed_from_u64(78);
+    let mut ds_old = Dataset::new();
+    for m in &corpus {
+        for (k, e) in completion_entries(&m.source, &opts.completion) {
+            ds_old.push(k, e);
+        }
+        for (k, e) in chipdda::core::align::align_entries(&m.source) {
+            ds_old.push(k, e);
+        }
+        let file = format!("{}.v", m.name);
+        for (k, e) in repair_entries(
+            &file,
+            &m.source,
+            opts.repairs_per_module,
+            &opts.repair,
+            &mut rng_old,
+        ) {
+            ds_old.push(k, e);
+        }
+    }
+    for (k, e) in chipdda::core::edascript::generate_eda_entries(opts.eda_scripts, &mut rng_old) {
+        ds_old.push(k, e);
+    }
+    ds_old.trim_by_token_len(opts.max_entry_tokens);
+
+    assert_eq!(ds_new, ds_old);
+}
+
+/// The ablation StageSets stay honest under chaos: disabled stages account
+/// every module as skipped even when the corpus is corrupted.
+#[test]
+fn disabled_stages_skip_under_chaos() {
+    let mut rng = SmallRng::seed_from_u64(21);
+    let corpus = generate_corpus(5, &mut rng);
+    let (corpus, _) = chaos_corpus(corpus, 1.0, &mut rng);
+    let (_, report) = augment(
+        &corpus,
+        &PipelineOptions {
+            stages: StageSet::GENERAL_AUG,
+            ..opts()
+        },
+        &mut rng,
+    );
+    assert!(report.is_conserved());
+    assert_eq!(report.alignment.skipped, corpus.len());
+    assert_eq!(report.repair.skipped, corpus.len());
+    assert_eq!(report.eda_script.skipped, 1);
+}

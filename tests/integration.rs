@@ -14,7 +14,8 @@ use rand::SeedableRng;
 fn trained_model(modules: usize, seed: u64) -> (Slm, Dataset) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let corpus = chipdda::corpus::generate_corpus(modules, &mut rng);
-    let data = augment(&corpus, &PipelineOptions::default(), &mut rng);
+    let (data, report) = augment(&corpus, &PipelineOptions::default(), &mut rng);
+    assert!(report.is_conserved());
     let model = Slm::finetune(
         SlmProfile {
             name: format!("it-model-{seed}"),
@@ -107,7 +108,10 @@ fn repair_closes_the_tool_feedback_loop() {
     // Syntactic repair should usually succeed; functional repair fails when
     // the injected fault was semantically invisible (the paper's Table 3
     // shows the same gap).
-    assert!(lint_clean >= 3, "only {lint_clean}/{tried} lint-clean repairs");
+    assert!(
+        lint_clean >= 3,
+        "only {lint_clean}/{tried} lint-clean repairs"
+    );
     assert!(functional >= 1, "no injection repaired to full function");
 }
 
@@ -122,7 +126,8 @@ fn eda_script_agent_end_to_end() {
     for task in chipdda::benchmarks::sc_suite() {
         let mut ok = false;
         for _ in 0..3 {
-            let script = model.generate(EDA_INSTRUCT, &task.prompt, &GenOptions::default(), &mut rng);
+            let script =
+                model.generate(EDA_INSTRUCT, &task.prompt, &GenOptions::default(), &mut rng);
             if task.check_function(&script) {
                 // The simulated flow accepts it too.
                 let parsed = chipdda::scscript::parse(&script).expect("function implies parse");
@@ -154,9 +159,9 @@ fn stage_ablation_ordering_is_emergent() {
     let mut rng = SmallRng::seed_from_u64(31);
     let corpus = chipdda::corpus::generate_corpus(64, &mut rng);
     let mut r1 = SmallRng::seed_from_u64(32);
-    let full = augment(&corpus, &PipelineOptions::default(), &mut r1);
+    let (full, _) = augment(&corpus, &PipelineOptions::default(), &mut r1);
     let mut r2 = SmallRng::seed_from_u64(32);
-    let general = augment(
+    let (general, _) = augment(
         &corpus,
         &PipelineOptions {
             stages: StageSet::GENERAL_AUG,

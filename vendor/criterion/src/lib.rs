@@ -1,0 +1,229 @@
+//! Offline, dependency-free subset of the
+//! [`criterion`](https://crates.io/crates/criterion) 0.5 API, vendored so
+//! the workspace's benches compile and run without network access.
+//!
+//! It measures wall-clock means over a fixed iteration budget and prints
+//! one line per benchmark — enough to compare runs by eye, with none of
+//! upstream's statistics, plotting, or baseline storage.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export so `criterion::black_box` callers still compile.
+pub use std::hint::black_box;
+
+/// Batch sizing hints for [`Bencher::iter_batched`] (accepted, ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Inputs of unknown size.
+    PerIteration,
+}
+
+/// Identifier for one parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form, scoped by the enclosing group.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    warmup_iters: u64,
+    measure_iters: u64,
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            warmup_iters: 3,
+            measure_iters: 10,
+            nanos_per_iter: 0.0,
+        }
+    }
+
+    /// Times `routine` over the iteration budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.warmup_iters {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.measure_iters {
+            black_box(routine());
+        }
+        self.nanos_per_iter = start.elapsed().as_nanos() as f64 / self.measure_iters as f64;
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.warmup_iters {
+            black_box(routine(setup()));
+        }
+        let mut total = std::time::Duration::ZERO;
+        for _ in 0..self.measure_iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.nanos_per_iter = total.as_nanos() as f64 / self.measure_iters as f64;
+    }
+}
+
+fn report(name: &str, nanos: f64) {
+    if nanos >= 1_000_000.0 {
+        println!("{name:<48} {:>12.3} ms/iter", nanos / 1_000_000.0);
+    } else if nanos >= 1_000.0 {
+        println!("{name:<48} {:>12.3} µs/iter", nanos / 1_000.0);
+    } else {
+        println!("{name:<48} {:>12.0} ns/iter", nanos);
+    }
+}
+
+/// Benchmark registry and runner, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(name, b.nanos_per_iter);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.nanos_per_iter);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), b.nanos_per_iter);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut count = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| count += 1));
+        assert!(count >= 13, "warmup + measured iterations ran");
+    }
+
+    #[test]
+    fn group_with_input_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        let mut hits = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, n| {
+            b.iter(|| hits += *n)
+        });
+        g.finish();
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iter() {
+        let mut b = Bencher::new();
+        let mut setups = 0u64;
+        b.iter_batched(
+            || {
+                setups += 1;
+                setups
+            },
+            |v| v * 2,
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, 13);
+    }
+}

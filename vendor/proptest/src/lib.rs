@@ -1,0 +1,490 @@
+//! Offline, dependency-free subset of the
+//! [`proptest`](https://crates.io/crates/proptest) 1.x API, vendored so the
+//! workspace's property tests run without network access.
+//!
+//! Supports the surface this workspace uses:
+//!
+//! - the [`proptest!`] macro over `#[test] fn name(arg in strategy, ...)`;
+//! - `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`;
+//! - integer range strategies (`0u64..500`, `1usize..=8`, ...);
+//! - `any::<T>()` for primitive integers and `bool`;
+//! - string strategies from a small regex subset (`"\\PC*"`, char classes
+//!   with `{n,m}` quantifiers);
+//! - `prop::collection::vec(elem, size)` and `prop::sample::select(vec)`.
+//!
+//! Unlike upstream there is no shrinking: failing cases report the seed and
+//! generated inputs (inputs must implement `Debug`). Case count defaults to
+//! 64 and can be overridden with the `PROPTEST_CASES` environment variable.
+//! Generation is deterministic per test name and case index, so failures
+//! reproduce across runs without a persistence file.
+
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic per-case RNG handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Builds the RNG for `case` of the named test (FNV-1a over the name,
+    /// mixed with the case index).
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(SmallRng::seed_from_u64(
+            h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    /// Draws a uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        use rand::RngCore;
+        self.0.next_u64()
+    }
+
+    /// Draws a uniform value from `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.0.gen_range(0..n)
+    }
+}
+
+/// Number of cases each property runs (64, or `PROPTEST_CASES`).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The generated input type.
+    type Value;
+
+    /// Produces one input.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a full-domain default strategy, mirroring `proptest::Arbitrary`.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Full-domain strategy for `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// String strategies from a regex subset.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `\PC`: any non-control character.
+    Printable,
+    /// `[...]`: explicit inclusive char ranges.
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Quant {
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pat: &str) -> Vec<(Atom, Quant)> {
+    let mut chars = pat.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '\\' => match chars.next() {
+                Some('P') => {
+                    // Only `\PC` (non-control) is supported.
+                    let cat = chars.next();
+                    assert_eq!(cat, Some('C'), "unsupported \\P category in {pat:?}");
+                    Atom::Printable
+                }
+                Some(other) => Atom::Class(vec![(other, other)]),
+                None => panic!("dangling backslash in pattern {pat:?}"),
+            },
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = match chars.next() {
+                        Some(']') => break,
+                        Some('\\') => chars.next().expect("escape in class"),
+                        Some(ch) => ch,
+                        None => panic!("unterminated class in pattern {pat:?}"),
+                    };
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        match chars.peek() {
+                            Some(']') | None => {
+                                ranges.push((lo, lo));
+                                ranges.push(('-', '-'));
+                            }
+                            _ => {
+                                let hi = match chars.next() {
+                                    Some('\\') => chars.next().expect("escape in class"),
+                                    Some(ch) => ch,
+                                    None => unreachable!(),
+                                };
+                                ranges.push((lo, hi));
+                            }
+                        }
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                Atom::Class(ranges)
+            }
+            other => Atom::Class(vec![(other, other)]),
+        };
+        let quant = match chars.peek() {
+            Some('*') => {
+                chars.next();
+                Quant { min: 0, max: 32 }
+            }
+            Some('+') => {
+                chars.next();
+                Quant { min: 1, max: 32 }
+            }
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for ch in chars.by_ref() {
+                    if ch == '}' {
+                        break;
+                    }
+                    spec.push(ch);
+                }
+                let (lo, hi) = match spec.split_once(',') {
+                    Some((lo, hi)) => (lo.trim().parse().unwrap(), hi.trim().parse().unwrap()),
+                    None => {
+                        let n = spec.trim().parse().unwrap();
+                        (n, n)
+                    }
+                };
+                Quant { min: lo, max: hi }
+            }
+            _ => Quant { min: 1, max: 1 },
+        };
+        atoms.push((atom, quant));
+    }
+    atoms
+}
+
+/// A pool of printable non-ASCII characters so `\PC` exercises multi-byte
+/// UTF-8 paths, not just ASCII.
+const UNICODE_POOL: &[char] = &[
+    'é', 'ß', 'λ', 'Ω', '中', '文', '→', '≤', '🦀', '𝕍', 'ñ', '…',
+];
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Printable => {
+            if rng.below(10) == 0 {
+                UNICODE_POOL[rng.below(UNICODE_POOL.len())]
+            } else {
+                char::from(0x20 + rng.below(0x5F) as u8) // ASCII 0x20..=0x7E
+            }
+        }
+        Atom::Class(ranges) => {
+            let total: u32 = ranges
+                .iter()
+                .map(|(lo, hi)| (*hi as u32).saturating_sub(*lo as u32) + 1)
+                .sum();
+            let mut pick = rng.below(total.max(1) as usize) as u32;
+            for (lo, hi) in ranges {
+                let span = (*hi as u32).saturating_sub(*lo as u32) + 1;
+                if pick < span {
+                    return char::from_u32(*lo as u32 + pick).unwrap_or(*lo);
+                }
+                pick -= span;
+            }
+            ranges[0].0
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (atom, quant) in &atoms {
+            let n = if quant.min == quant.max {
+                quant.min
+            } else {
+                quant.min + rng.below(quant.max - quant.min + 1)
+            };
+            for _ in 0..n {
+                out.push(sample_atom(atom, rng));
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+/// `prop::` namespace, mirroring upstream module paths.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Strategy for `Vec<S::Value>` with a uniform size in `size`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: Range<usize>,
+        }
+
+        /// Generates vectors of `elem` values with length drawn from `size`.
+        pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+            assert!(size.start < size.end, "empty size range");
+            VecStrategy { elem, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let n = self.size.start + rng.below(self.size.end - self.size.start);
+                (0..n).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::{Strategy, TestRng};
+
+        /// Strategy choosing uniformly from a fixed set.
+        #[derive(Debug, Clone)]
+        pub struct Select<T>(Vec<T>);
+
+        /// Chooses one element of `options` per case.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select over empty set");
+            Select(options)
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.0[rng.below(self.0.len())].clone()
+            }
+        }
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Declares property tests: each function runs [`cases`] generated cases.
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in 0u32..100, b in 0u32..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases = $crate::cases();
+                let __test_name = concat!(module_path!(), "::", stringify!($name));
+                for __case in 0..__cases {
+                    let mut __rng = $crate::TestRng::for_case(__test_name, __case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    // Inputs must be Clone + Debug so failures can be reported
+                    // after the body (which may consume them) panics.
+                    let __inputs = ($(::std::clone::Clone::clone(&$arg),)+);
+                    let __result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || { $body })
+                    );
+                    if let Err(panic) = __result {
+                        eprintln!(
+                            "proptest case {__case}/{__cases} of {__test_name} failed with inputs:\n  {} = {:?}",
+                            stringify!(($($arg),+)),
+                            __inputs,
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..200 {
+            let v = Strategy::generate(&(5u64..10), &mut rng);
+            assert!((5..10).contains(&v));
+        }
+    }
+
+    #[test]
+    fn pattern_class_and_quantifier() {
+        let mut rng = TestRng::for_case("pat", 1);
+        for _ in 0..100 {
+            let s = Strategy::generate(&"[a-c]{2,4}", &mut rng);
+            assert!((2..=4).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn printable_pattern_has_no_controls() {
+        let mut rng = TestRng::for_case("pc", 2);
+        for _ in 0..100 {
+            let s = Strategy::generate(&"\\PC*", &mut rng);
+            assert!(!s.chars().any(char::is_control), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn escaped_class_members() {
+        let mut rng = TestRng::for_case("esc", 3);
+        let pat = "[a-z0-9_ ;()\\[\\]{}<>=+\\-*&|^~!,.:@#]{0,120}";
+        for _ in 0..100 {
+            let s = Strategy::generate(&pat, &mut rng);
+            assert!(s.chars().count() <= 120);
+            assert!(s.is_ascii());
+        }
+    }
+
+    #[test]
+    fn vec_and_select() {
+        let mut rng = TestRng::for_case("vs", 4);
+        let v = Strategy::generate(&prop::collection::vec(0u8..4, 1..24), &mut rng);
+        assert!(!v.is_empty() && v.len() < 24);
+        assert!(v.iter().all(|&b| b < 4));
+        let s = Strategy::generate(&prop::sample::select(vec!["x", "y"]), &mut rng);
+        assert!(s == "x" || s == "y");
+    }
+
+    #[test]
+    fn deterministic_per_name_and_case() {
+        let a = Strategy::generate(&"\\PC{0,50}", &mut TestRng::for_case("t", 7));
+        let b = Strategy::generate(&"\\PC{0,50}", &mut TestRng::for_case("t", 7));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn macro_smoke(a in 0u32..100, b in 0u32..100) {
+            prop_assert_eq!(a + b, b + a);
+            prop_assert!(a < 100, "bound");
+        }
+
+        #[test]
+        fn macro_trailing_comma(
+            s in "[a-d]",
+            n in 0u64..10,
+        ) {
+            prop_assert!(s.len() <= 2);
+            prop_assert_ne!(n, 10);
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Offline, dependency-free subset of the [`rand`](https://crates.io/crates/rand)
+//! 0.8 API, vendored so the workspace builds without network access.
+//!
+//! Implements exactly the surface this workspace uses: the [`Rng`] and
+//! [`SeedableRng`] traits, [`rngs::SmallRng`] (an xoshiro256++ generator
+//! seeded via SplitMix64, matching upstream `SmallRng`'s family on 64-bit
+//! targets), uniform integer ranges, `gen_bool`, and `gen::<f64>()`.
+//!
+//! The exact output stream is deterministic per seed but is **not**
+//! guaranteed to be bit-identical to crates.io `rand`; nothing in this
+//! repository depends on the upstream stream.
+
+#![warn(missing_docs)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// Low-level source of randomness: a 64-bit word generator.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from the "standard" distribution
+/// (the shim's analogue of `rand::distributions::Standard`).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits scaled into [0, 1), as upstream does.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types uniform ranges can be sampled over. The `u64` "repr" is
+/// the two's-complement bit pattern (sign-extended for signed types), so
+/// span arithmetic wraps correctly for every supported width.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Bit pattern as `u64` (sign-extending).
+    fn to_u64_repr(self) -> u64;
+    /// Truncating inverse of [`Self::to_u64_repr`].
+    fn from_u64_repr(v: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    (unsigned: $($u:ty),*; signed: $($s:ty),*) => {
+        $(impl SampleUniform for $u {
+            fn to_u64_repr(self) -> u64 { self as u64 }
+            fn from_u64_repr(v: u64) -> Self { v as $u }
+        })*
+        $(impl SampleUniform for $s {
+            fn to_u64_repr(self) -> u64 { self as i64 as u64 }
+            fn from_u64_repr(v: u64) -> Self { v as $s }
+        })*
+    };
+}
+
+impl_sample_uniform!(unsigned: u8, u16, u32, u64, usize; signed: i8, i16, i32, i64, isize);
+
+/// Ranges that can produce a uniform sample of `T`.
+///
+/// A single generic impl per range shape (rather than per-type impls) keeps
+/// upstream's type-inference behaviour: `slice[rng.gen_range(0..n)]`
+/// unifies the literal with `usize` through the range type.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range. Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = self
+            .end
+            .to_u64_repr()
+            .wrapping_sub(self.start.to_u64_repr());
+        T::from_u64_repr(
+            self.start
+                .to_u64_repr()
+                .wrapping_add(uniform_u64(rng, span)),
+        )
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        let span = hi
+            .to_u64_repr()
+            .wrapping_sub(lo.to_u64_repr())
+            .wrapping_add(1);
+        if span == 0 {
+            // Full 64-bit domain.
+            return T::from_u64_repr(rng.next_u64());
+        }
+        T::from_u64_repr(lo.to_u64_repr().wrapping_add(uniform_u64(rng, span)))
+    }
+}
+
+/// Unbiased uniform draw from `[0, span)` via rejection sampling
+/// (Lemire-style threshold).
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    if span.is_power_of_two() {
+        return rng.next_u64() & (span - 1);
+    }
+    let zone = u64::MAX - (u64::MAX % span) - 1;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+/// User-facing random-value methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Returns `true` with probability `p`. Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        f64::sample(self) < p
+    }
+
+    /// Uniform sample from a half-open or inclusive range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs that can be constructed from a seed, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The fixed-size seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64` via SplitMix64 expansion.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 (Vigna), the same expansion upstream rand_core uses.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic PRNG: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *word = u64::from_le_bytes(b);
+            }
+            // All-zero state is a fixed point for xoshiro; nudge it.
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: i64 = rng.gen_range(-50..=-10);
+            assert!((-50..=-10).contains(&w));
+            let u: u8 = rng.gen_range(0..6u8);
+            assert!(u < 6);
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_extremes() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn works_through_dyn_like_generics() {
+        fn takes_unsized<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+            rng.gen_range(0..10u64)
+        }
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert!(takes_unsized(&mut rng) < 10);
+    }
+}
