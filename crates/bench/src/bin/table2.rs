@@ -6,10 +6,18 @@
 //! (configurable with `--modules N`) and reports the same rows. The
 //! *proportions* between task kinds are the comparable quantity.
 //!
-//! Usage: `cargo run --release -p dda-bench --bin table2 [--modules N]`
+//! Usage: `cargo run --release -p dda-bench --bin table2
+//! [--modules N] [--workers N] [--resume PATH]`
+//!
+//! `--workers`/`--resume` route the augmentation through the supervised
+//! runtime engine (parallel workers, write-ahead journal, resume); the
+//! default path keeps the original sequential `augment`, byte-identical
+//! to previous releases.
 
+use dda_bench::{log_summary, RunFlags};
 use dda_core::completion::CompletionOptions;
 use dda_core::pipeline::{augment, PipelineOptions};
+use dda_core::supervised::augment_supervised;
 use dda_eval::report::{count_label, size_label, TextTable};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -31,13 +39,22 @@ fn main() {
         "[table2] corpus: {} modules, {} lines, {} bytes",
         stats.modules, stats.lines, stats.bytes
     );
-    let mut rng2 = SmallRng::seed_from_u64(2025);
     let opts = PipelineOptions {
         // Uncapped completion matches the paper's 1 + j + i accounting.
         completion: CompletionOptions::default(),
         ..PipelineOptions::default()
     };
-    let (ds, report) = augment(&corpus, &opts, &mut rng2);
+    let flags = RunFlags::from_args();
+    let (ds, report) = if flags.supervised() {
+        let (ds, report, summary) =
+            augment_supervised(&corpus, &opts, &flags.augment("table2", 2025))
+                .expect("augmentation journal I/O");
+        log_summary("table2", &summary);
+        (ds, report)
+    } else {
+        let mut rng2 = SmallRng::seed_from_u64(2025);
+        augment(&corpus, &opts, &mut rng2)
+    };
     assert!(report.is_conserved() && report.quarantines.is_empty());
 
     println!("Table 2: Dataset Scale through Data Augmentation Framework");

@@ -2,10 +2,16 @@
 //! designs under pass@5, for Ours-13B, Ours-7B, GPT-3.5, and pretrained
 //! Llama2-13B.
 //!
-//! Usage: `cargo run --release -p dda-bench --bin table3 [--quick]`
+//! Usage: `cargo run --release -p dda-bench --bin table3
+//! [--quick] [--workers N] [--resume PATH]`
+//!
+//! `--workers`/`--resume` run each per-model sweep on the supervised
+//! runtime engine (parallel workers plus a per-sweep write-ahead
+//! journal); supervised rows are identical to the sequential ones.
 
-use dda_bench::zoo_from_args;
+use dda_bench::{log_summary, zoo_from_args, RunFlags};
 use dda_benchmarks::rtllm_suite;
+use dda_eval::eval_repair_suite_supervised;
 use dda_eval::repair_eval::{eval_repair_suite, repair_success_rate, RepairProtocol};
 use dda_eval::report::{pct, pct_short, TextTable};
 use dda_eval::ModelId;
@@ -32,10 +38,20 @@ fn main() {
     }
     let mut table = TextTable::new(header);
 
+    let flags = RunFlags::from_args();
     let mut per_model = Vec::new();
     for m in models {
         eprintln!("[table3] evaluating {m}...");
-        per_model.push(eval_repair_suite(zoo.model(m), &suite, &protocol));
+        if flags.supervised() {
+            let label = format!("table3-{m}");
+            let (rows, summary) =
+                eval_repair_suite_supervised(zoo.model(m), &suite, &protocol, &flags.sweep(&label))
+                    .expect("sweep journal I/O");
+            log_summary(&label, &summary);
+            per_model.push(rows);
+        } else {
+            per_model.push(eval_repair_suite(zoo.model(m), &suite, &protocol));
+        }
     }
 
     for (pi, p) in suite.iter().enumerate() {

@@ -2,10 +2,16 @@
 //! iterations needed to reach syntactic (`syn.`) and functional (`func.`)
 //! correctness under pass@10, for the five task levels and five models.
 //!
-//! Usage: `cargo run --release -p dda-bench --bin table4 [--quick]`
+//! Usage: `cargo run --release -p dda-bench --bin table4
+//! [--quick] [--workers N] [--resume PATH]`
+//!
+//! `--workers`/`--resume` run each per-model sweep on the supervised
+//! runtime engine (parallel workers plus a per-sweep write-ahead
+//! journal); supervised rows are identical to the sequential ones.
 
-use dda_bench::zoo_from_args;
+use dda_bench::{log_summary, zoo_from_args, RunFlags};
 use dda_benchmarks::sc_suite;
+use dda_eval::eval_script_suite_supervised;
 use dda_eval::report::TextTable;
 use dda_eval::script_eval::{eval_script_suite, ScriptCell, ScriptProtocol};
 use dda_eval::ModelId;
@@ -33,10 +39,20 @@ fn main() {
     }
     let mut table = TextTable::new(header);
 
+    let flags = RunFlags::from_args();
     let mut per_model = Vec::new();
     for m in models {
         eprintln!("[table4] evaluating {m}...");
-        per_model.push(eval_script_suite(zoo.model(m), &tasks, &protocol));
+        if flags.supervised() {
+            let label = format!("table4-{m}");
+            let (rows, summary) =
+                eval_script_suite_supervised(zoo.model(m), &tasks, &protocol, &flags.sweep(&label))
+                    .expect("sweep journal I/O");
+            log_summary(&label, &summary);
+            per_model.push(rows);
+        } else {
+            per_model.push(eval_script_suite(zoo.model(m), &tasks, &protocol));
+        }
     }
 
     for (ti, t) in tasks.iter().enumerate() {

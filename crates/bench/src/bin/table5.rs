@@ -2,12 +2,17 @@
 //! the Thakur-et-al. suite (17 problems × 3 prompt levels) and the RTLLM
 //! Table-5 subset (18 designs), for all six models.
 //!
-//! Usage: `cargo run --release -p dda-bench --bin table5 [--quick]`
+//! Usage: `cargo run --release -p dda-bench --bin table5
+//! [--quick] [--workers N] [--resume PATH]`
+//!
+//! `--workers`/`--resume` run each (model, suite) sweep on the supervised
+//! runtime engine (parallel workers plus a per-sweep write-ahead
+//! journal); supervised rows are identical to the sequential ones.
 
-use dda_bench::zoo_from_args;
+use dda_bench::{log_summary, zoo_from_args, RunFlags};
 use dda_benchmarks::{rtllm_table5_subset, thakur_suite};
 use dda_eval::report::{pct, pct_short, TextTable};
-use dda_eval::{eval_suite, success_rate, GenProtocol, ModelId};
+use dda_eval::{eval_suite, eval_suite_supervised, success_rate, GenProtocol, ModelId};
 
 fn main() {
     let zoo = zoo_from_args();
@@ -26,13 +31,25 @@ fn main() {
     let mut table = TextTable::new(header);
 
     // Evaluate every model on both suites up front.
+    let flags = RunFlags::from_args();
+    let sweep = |id: ModelId, suite_name: &str, problems: &[_]| {
+        eprintln!("[table5] evaluating {id} on {suite_name}...");
+        if flags.supervised() {
+            let label = format!("table5-{suite_name}-{id}");
+            let (rows, summary) =
+                eval_suite_supervised(zoo.model(id), problems, &protocol, &flags.sweep(&label))
+                    .expect("sweep journal I/O");
+            log_summary(&label, &summary);
+            rows
+        } else {
+            eval_suite(zoo.model(id), problems, &protocol)
+        }
+    };
     let mut thakur_rows = Vec::new();
     let mut rtllm_rows = Vec::new();
     for id in ModelId::ALL {
-        eprintln!("[table5] evaluating {id} on Thakur suite...");
-        thakur_rows.push(eval_suite(zoo.model(id), &thakur, &protocol));
-        eprintln!("[table5] evaluating {id} on RTLLM subset...");
-        rtllm_rows.push(eval_suite(zoo.model(id), &rtllm, &protocol));
+        thakur_rows.push(sweep(id, "thakur", &thakur));
+        rtllm_rows.push(sweep(id, "rtllm", &rtllm));
     }
 
     for (pi, p) in thakur.iter().enumerate() {

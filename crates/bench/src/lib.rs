@@ -7,7 +7,11 @@
 
 #![warn(missing_docs)]
 
+use dda_core::supervised::SupervisedOptions;
+use dda_eval::supervised::SweepOptions;
 use dda_eval::{ModelZoo, ZooOptions};
+use dda_runtime::{EngineSummary, RunOptions};
+use std::path::PathBuf;
 
 /// Builds the standard model zoo used by all table binaries (fixed seed so
 /// every regeneration is reproducible).
@@ -30,4 +34,89 @@ pub fn zoo_from_args() -> ModelZoo {
     } else {
         standard_zoo()
     }
+}
+
+/// The shared `--workers N` / `--resume PATH` flags of the table binaries.
+///
+/// With either flag given the binary routes its sweeps through the
+/// `dda-runtime` supervised engine: `--workers N` fans each sweep over N
+/// worker threads, `--resume PATH` write-ahead-journals every sweep to
+/// `PATH.<label>` and replays completed units from it on the next run.
+/// Without both flags the binaries keep their original sequential code
+/// paths, so default output stays byte-identical release to release.
+#[derive(Debug, Clone)]
+pub struct RunFlags {
+    /// Worker threads per sweep (`--workers N`; default 1).
+    pub workers: usize,
+    /// Journal path stem (`--resume PATH`); one journal per sweep label.
+    pub resume: Option<PathBuf>,
+}
+
+impl RunFlags {
+    /// Parses the flags from the process arguments.
+    pub fn from_args() -> RunFlags {
+        let args: Vec<String> = std::env::args().collect();
+        let after = |flag: &str| {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+        };
+        RunFlags {
+            workers: after("--workers").and_then(|v| v.parse().ok()).unwrap_or(1),
+            resume: after("--resume").map(PathBuf::from),
+        }
+    }
+
+    /// True when either flag asks for the supervised engine.
+    pub fn supervised(&self) -> bool {
+        self.workers > 1 || self.resume.is_some()
+    }
+
+    /// Engine options shared by every sweep of the binary.
+    pub fn run_options(&self) -> RunOptions {
+        RunOptions {
+            workers: self.workers.max(1),
+            ..RunOptions::default()
+        }
+    }
+
+    /// Journal path for the sweep named `label`, if journaling is on.
+    /// Labels are slugged (model names contain spaces and dots).
+    pub fn journal(&self, label: &str) -> Option<PathBuf> {
+        let slug: String = label
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        self.resume
+            .as_ref()
+            .map(|p| PathBuf::from(format!("{}.{slug}", p.display())))
+    }
+
+    /// Eval-sweep options for the sweep named `label`.
+    pub fn sweep(&self, label: &str) -> SweepOptions {
+        SweepOptions {
+            run: self.run_options(),
+            journal: self.journal(label),
+            resume: true,
+        }
+    }
+
+    /// Augmentation options for the sweep named `label`.
+    pub fn augment(&self, label: &str, seed: u64) -> SupervisedOptions {
+        SupervisedOptions {
+            run: self.run_options(),
+            journal: self.journal(label),
+            resume: true,
+            seed,
+        }
+    }
+}
+
+/// Logs one sweep's engine summary to stderr, mirroring the binaries'
+/// progress lines.
+pub fn log_summary(label: &str, s: &EngineSummary) {
+    eprintln!(
+        "[{label}] engine: {} ok, {} quarantined, {} resumed, {} retries",
+        s.ok, s.quarantined, s.resumed, s.retries
+    );
 }

@@ -33,17 +33,27 @@ pub enum Fault {
     DuplicateModule,
     /// An unterminated string or block comment swallowing the file tail.
     Unterminated,
+    /// A loop that stays comfortably inside the statement budget but
+    /// burns wall-clock on wide-vector operations — invisible to the
+    /// step/delta guards, only a wall-clock deadline stops it early.
+    SlowBurn,
+    /// A `wait` condition that never fires plus a free-running `#1` clock
+    /// doing wide-vector work each tick: simulated time crawls toward
+    /// `max_time` at enormous wall-clock cost without ever finishing.
+    EventLivelock,
 }
 
 impl Fault {
     /// Every fault family, in a stable order.
-    pub const ALL: [Fault; 6] = [
+    pub const ALL: [Fault; 8] = [
         Fault::Truncation,
         Fault::JunkSplice,
         Fault::DeepNesting,
         Fault::HugeWidth,
         Fault::DuplicateModule,
         Fault::Unterminated,
+        Fault::SlowBurn,
+        Fault::EventLivelock,
     ];
 }
 
@@ -56,6 +66,8 @@ impl fmt::Display for Fault {
             Fault::HugeWidth => "huge-width",
             Fault::DuplicateModule => "duplicate-module",
             Fault::Unterminated => "unterminated",
+            Fault::SlowBurn => "slow-burn",
+            Fault::EventLivelock => "event-livelock",
         })
     }
 }
@@ -118,6 +130,33 @@ pub fn inject<R: Rng + ?Sized>(source: &str, fault: Fault, rng: &mut R) -> Strin
             } else {
                 insert_in_body(source, "initial $display(\"chaos: unterminated\n")
             }
+        }
+        Fault::SlowBurn => {
+            // Few statements (well inside any step budget), each grinding
+            // a multi-kilobit vector: wall-clock cost is minutes while the
+            // step count stays in the tens of thousands.
+            let width = rng.gen_range(8_192usize..16_384);
+            let iters = rng.gen_range(20_000u64..40_000);
+            let body = format!(
+                "reg [{msb}:0] __chaos_burn;\ninteger __chaos_i;\n\
+                 initial begin\n  __chaos_burn = 1;\n  \
+                 for (__chaos_i = 0; __chaos_i < {iters}; __chaos_i = __chaos_i + 1)\n    \
+                 __chaos_burn = (__chaos_burn << 1) ^ (__chaos_burn >> 1) ^ __chaos_burn;\nend\n",
+                msb = width - 1
+            );
+            insert_in_body(source, &body)
+        }
+        Fault::EventLivelock => {
+            let width = rng.gen_range(4_096usize..8_192);
+            let body = format!(
+                "reg __chaos_never = 0;\nreg [{msb}:0] __chaos_rot;\n\
+                 always #1 __chaos_rot = {{__chaos_rot[{rot}:0], __chaos_rot[{msb}]}};\n\
+                 initial begin\n  __chaos_rot = 1;\n  \
+                 wait (__chaos_never) $display(\"chaos: unreachable\");\nend\n",
+                msb = width - 1,
+                rot = width - 2
+            );
+            insert_in_body(source, &body)
         }
     }
 }

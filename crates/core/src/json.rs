@@ -93,16 +93,72 @@ pub fn from_jsonl(text: &str) -> Result<Vec<DataEntry>, ParseJsonError> {
     Ok(out)
 }
 
+fn skip_ws_at(bytes: &[char], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_string(bytes: &[char], pos: &mut usize) -> Result<String, String> {
+    skip_ws_at(bytes, pos);
+    if bytes.get(*pos) != Some(&'"') {
+        return Err("expected a string".into());
+    }
+    *pos += 1;
+    let mut s = String::new();
+    while let Some(&c) = bytes.get(*pos) {
+        *pos += 1;
+        match c {
+            '"' => return Ok(s),
+            '\\' => {
+                let Some(&e) = bytes.get(*pos) else {
+                    return Err("dangling escape".into());
+                };
+                *pos += 1;
+                match e {
+                    'n' => s.push('\n'),
+                    'r' => s.push('\r'),
+                    't' => s.push('\t'),
+                    '"' => s.push('"'),
+                    '\\' => s.push('\\'),
+                    '/' => s.push('/'),
+                    'u' => {
+                        let hex: String = bytes
+                            .get(*pos..*pos + 4)
+                            .map(|c| c.iter().collect())
+                            .unwrap_or_default();
+                        *pos += 4;
+                        let v = u32::from_str_radix(&hex, 16)
+                            .map_err(|_| "bad \\u escape".to_owned())?;
+                        s.push(char::from_u32(v).unwrap_or('\u{FFFD}'));
+                    }
+                    other => return Err(format!("unknown escape \\{other}")),
+                }
+            }
+            c => s.push(c),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+/// Reverses [`escape`]: decodes the body of a JSON string (no surrounding
+/// quotes). Returns `None` for malformed escapes or raw `"` characters.
+pub fn unescape(s: &str) -> Option<String> {
+    let quoted: Vec<char> = std::iter::once('"')
+        .chain(s.chars())
+        .chain(std::iter::once('"'))
+        .collect();
+    let mut pos = 0usize;
+    let out = parse_string(&quoted, &mut pos).ok()?;
+    // A raw quote in `s` would terminate the string early.
+    (pos == quoted.len()).then_some(out)
+}
+
 fn parse_line(line: &str) -> Result<DataEntry, String> {
     let mut fields = [None::<String>, None, None];
     let names = ["instruct", "input", "output"];
     let bytes: Vec<char> = line.chars().collect();
     let mut pos = 0usize;
-    let skip_ws = |pos: &mut usize| {
-        while *pos < bytes.len() && bytes[*pos].is_whitespace() {
-            *pos += 1;
-        }
-    };
     let expect = |pos: &mut usize, c: char| -> Result<(), String> {
         skip_ws_at(&bytes, pos);
         if bytes.get(*pos) == Some(&c) {
@@ -112,53 +168,7 @@ fn parse_line(line: &str) -> Result<DataEntry, String> {
             Err(format!("expected `{c}` at offset {pos:?}", pos = *pos))
         }
     };
-    fn skip_ws_at(bytes: &[char], pos: &mut usize) {
-        while *pos < bytes.len() && bytes[*pos].is_whitespace() {
-            *pos += 1;
-        }
-    }
-    fn parse_string(bytes: &[char], pos: &mut usize) -> Result<String, String> {
-        skip_ws_at(bytes, pos);
-        if bytes.get(*pos) != Some(&'"') {
-            return Err("expected a string".into());
-        }
-        *pos += 1;
-        let mut s = String::new();
-        while let Some(&c) = bytes.get(*pos) {
-            *pos += 1;
-            match c {
-                '"' => return Ok(s),
-                '\\' => {
-                    let Some(&e) = bytes.get(*pos) else {
-                        return Err("dangling escape".into());
-                    };
-                    *pos += 1;
-                    match e {
-                        'n' => s.push('\n'),
-                        'r' => s.push('\r'),
-                        't' => s.push('\t'),
-                        '"' => s.push('"'),
-                        '\\' => s.push('\\'),
-                        '/' => s.push('/'),
-                        'u' => {
-                            let hex: String = bytes
-                                .get(*pos..*pos + 4)
-                                .map(|c| c.iter().collect())
-                                .unwrap_or_default();
-                            *pos += 4;
-                            let v = u32::from_str_radix(&hex, 16)
-                                .map_err(|_| "bad \\u escape".to_owned())?;
-                            s.push(char::from_u32(v).unwrap_or('\u{FFFD}'));
-                        }
-                        other => return Err(format!("unknown escape \\{other}")),
-                    }
-                }
-                c => s.push(c),
-            }
-        }
-        Err("unterminated string".into())
-    }
-    skip_ws(&mut pos);
+    skip_ws_at(&bytes, &mut pos);
     expect(&mut pos, '{')?;
     loop {
         let key = parse_string(&bytes, &mut pos)?;
@@ -189,6 +199,16 @@ fn parse_line(line: &str) -> Result<DataEntry, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn unescape_reverses_escape() {
+        for s in ["", "plain", "a\nb\t\"q\" \\x\\", "\u{1}\u{1f}", "§☃"] {
+            assert_eq!(unescape(&escape(s)).as_deref(), Some(s), "{s:?}");
+        }
+        assert_eq!(unescape("raw \" quote"), None);
+        assert_eq!(unescape("dangling \\"), None);
+        assert_eq!(unescape("bad \\q escape"), None);
+    }
 
     #[test]
     fn round_trip_simple() {

@@ -47,9 +47,11 @@ pub mod json;
 pub mod pipeline;
 pub mod repair;
 pub mod split;
+pub mod supervised;
 pub mod tokenize;
 
 pub use dataset::{DataEntry, Dataset, TaskKind};
 pub use pipeline::{
     augment, AugmentReport, PipelineOptions, QuarantineRecord, Stage, StageSet, StageTally,
 };
+pub use supervised::{augment_supervised, SupervisedOptions};

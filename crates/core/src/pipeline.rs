@@ -281,7 +281,7 @@ fn diagnose(source: &str) -> Option<String> {
 /// Books the outcome of one (module, stage) unit: pushes entries on
 /// success and classifies empty results as skipped (clean source, nothing
 /// to emit) or quarantined (diagnostic or panic).
-fn book_stage(
+pub(crate) fn book_stage(
     outcome: Result<Vec<(TaskKind, DataEntry)>, String>,
     module: &CorpusModule,
     stage: Stage,
@@ -318,6 +318,36 @@ fn book_stage(
                 panicked: true,
             });
         }
+    }
+}
+
+/// Recycles quarantine diagnostics into §3.2-style pairs: the broken
+/// source paired with the tool's verdict, one per (module, diagnostic).
+/// Panic messages are internal, not tool reports, so they are skipped.
+pub(crate) fn recycle_quarantines(
+    corpus: &[CorpusModule],
+    report: &mut AugmentReport,
+    ds: &mut Dataset,
+) {
+    let mut seen: Vec<(&str, &str)> = Vec::new();
+    let mut extra = Vec::new();
+    for q in report.quarantines.iter().filter(|q| !q.panicked) {
+        let key = (q.module.as_str(), q.diagnostic.as_str());
+        if seen.contains(&key) {
+            continue;
+        }
+        seen.push(key);
+        if let Some(m) = corpus.iter().find(|m| m.name == q.module) {
+            extra.push(DataEntry::new(
+                QUARANTINE_INSTRUCT,
+                m.source.clone(),
+                q.diagnostic.clone(),
+            ));
+        }
+    }
+    report.recycled = extra.len();
+    for e in extra {
+        ds.push(TaskKind::VerilogDebug, e);
     }
 }
 
@@ -385,30 +415,8 @@ pub fn augment<R: Rng + ?Sized>(
         }
     }
 
-    // Recycle quarantine diagnostics into §3.2-style pairs: the broken
-    // source paired with the tool's verdict, one per (module, diagnostic).
-    // Panic messages are internal, not tool reports, so they are skipped.
     if opts.recycle_quarantined {
-        let mut seen: Vec<(&str, &str)> = Vec::new();
-        let mut extra = Vec::new();
-        for q in report.quarantines.iter().filter(|q| !q.panicked) {
-            let key = (q.module.as_str(), q.diagnostic.as_str());
-            if seen.contains(&key) {
-                continue;
-            }
-            seen.push(key);
-            if let Some(m) = corpus.iter().find(|m| m.name == q.module) {
-                extra.push(DataEntry::new(
-                    QUARANTINE_INSTRUCT,
-                    m.source.clone(),
-                    q.diagnostic.clone(),
-                ));
-            }
-        }
-        report.recycled = extra.len();
-        for e in extra {
-            ds.push(TaskKind::VerilogDebug, e);
-        }
+        recycle_quarantines(corpus, &mut report, &mut ds);
     }
 
     if opts.stages.eda_script {

@@ -9,6 +9,7 @@
 
 use dda_benchmarks::{parse_result, VerilogProblem};
 use dda_core::align::ALIGN_INSTRUCT;
+use dda_runtime::CancelToken;
 use dda_sim::{SimOptions, Simulator};
 use dda_slm::{GenOptions, Slm};
 use rand::rngs::SmallRng;
@@ -77,8 +78,11 @@ pub enum TestbenchVerdict {
     ParseError(String),
     /// Elaboration rejected the design (bad hierarchy, width limits, ...).
     ElabError(String),
-    /// Simulation exhausted a resource budget (delta limit, statement
-    /// budget, or the time ceiling without a result line).
+    /// Simulation exhausted a resource budget: the delta limit, the
+    /// statement budget, or — when the run's [`SimOptions::cancel`] token
+    /// carries a deadline — the *wall-clock* ceiling. The message records
+    /// which budget tripped ([`dda_sim::RunErrorKind`] distinguishes them
+    /// for callers holding the raw error).
     Timeout(String),
     /// The simulator panicked; the panic was caught and isolated.
     Crash(String),
@@ -105,11 +109,37 @@ impl TestbenchVerdict {
     }
 }
 
+/// The standard simulator budget for one testbench run, with the given
+/// cancel token threaded in for wall-clock supervision.
+pub fn testbench_sim_options(cancel: &CancelToken) -> SimOptions {
+    SimOptions {
+        max_time: 100_000,
+        max_steps: 2_000_000,
+        cancel: cancel.clone(),
+        ..SimOptions::default()
+    }
+}
+
 /// Runs a generated module against the problem's testbench and reports a
 /// full [`TestbenchVerdict`]. Panics inside the simulator are caught and
 /// surfaced as [`TestbenchVerdict::Crash`] so one bad sample cannot take
 /// down an evaluation sweep.
 pub fn run_testbench_verdict(problem: &VerilogProblem, generated: &str) -> TestbenchVerdict {
+    run_testbench_verdict_with(
+        problem,
+        generated,
+        &testbench_sim_options(&CancelToken::new()),
+    )
+}
+
+/// [`run_testbench_verdict`] with caller-supplied [`SimOptions`] — the
+/// supervised sweeps use this to thread a deadline-bearing
+/// [`CancelToken`] into the simulator's exec loop.
+pub fn run_testbench_verdict_with(
+    problem: &VerilogProblem,
+    generated: &str,
+    opts: &SimOptions,
+) -> TestbenchVerdict {
     let src = format!("{generated}\n{}", problem.testbench);
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
         || -> Result<TestbenchVerdict, TestbenchVerdict> {
@@ -117,13 +147,8 @@ pub fn run_testbench_verdict(problem: &VerilogProblem, generated: &str) -> Testb
                 .map_err(|e| TestbenchVerdict::ParseError(e.to_string()))?;
             let mut sim =
                 Simulator::new(&sf, "tb").map_err(|e| TestbenchVerdict::ElabError(e.message))?;
-            let opts = SimOptions {
-                max_time: 100_000,
-                max_steps: 2_000_000,
-                ..SimOptions::default()
-            };
             let result = sim
-                .run(&opts)
+                .run(opts)
                 .map_err(|e| TestbenchVerdict::Timeout(e.to_string()))?;
             Ok(match parse_result(&result.output) {
                 Some((pass, total)) if total > 0 => {
@@ -162,6 +187,19 @@ pub fn eval_cell(
     level: usize,
     protocol: &GenProtocol,
 ) -> GenCell {
+    eval_cell_with(model, problem, level, protocol, &CancelToken::new())
+}
+
+/// [`eval_cell`] with a supervising [`CancelToken`]: each testbench run
+/// inherits the token, so a tripped deadline cuts the simulation short
+/// with a wall-timeout verdict instead of hanging the sweep.
+pub fn eval_cell_with(
+    model: &Slm,
+    problem: &VerilogProblem,
+    level: usize,
+    protocol: &GenProtocol,
+    cancel: &CancelToken,
+) -> GenCell {
     let prompt = &problem.prompts[level];
     let opts = GenOptions {
         temperature: protocol.temperature,
@@ -184,7 +222,8 @@ pub fn eval_cell(
             syntax_errors += 1;
             continue;
         }
-        let rate = run_testbench(problem, &out);
+        let rate =
+            run_testbench_verdict_with(problem, &out, &testbench_sim_options(cancel)).pass_rate();
         if rate > best_function {
             best_function = rate;
         }

@@ -13,6 +13,8 @@
 //!   training-order, and corpus-size ablations;
 //! * [`agent`] — the Fig. 1 EDA-tool agent loop (generate → tool feedback
 //!   → repair → retry) and its comparison against single-shot generation;
+//! * [`supervised`] — parallel, deadline-supervised, resumable variants
+//!   of the three sweeps, running on the `dda-runtime` engine;
 //! * [`report`] — plain-text table rendering for the regeneration binaries.
 
 #![warn(missing_docs)]
@@ -24,13 +26,17 @@ pub mod models;
 pub mod repair_eval;
 pub mod report;
 pub mod script_eval;
+pub mod supervised;
 
 pub use agent::{agent_episode, agent_vs_single, AgentOutcome, AgentProtocol};
 pub use generation::{
-    eval_cell, eval_suite, run_testbench, run_testbench_verdict, success_rate, GenCell,
-    GenProtocol, GenRow, TestbenchVerdict,
+    eval_cell, eval_suite, run_testbench, run_testbench_verdict, run_testbench_verdict_with,
+    success_rate, GenCell, GenProtocol, GenRow, TestbenchVerdict,
 };
 pub use models::{ModelId, ModelZoo, ZooOptions};
 pub use repair_eval::{eval_repair, eval_repair_suite, RepairCell, RepairProtocol};
 pub use report::TextTable;
 pub use script_eval::{eval_script, eval_script_suite, ScriptCell, ScriptProtocol};
+pub use supervised::{
+    eval_repair_suite_supervised, eval_script_suite_supervised, eval_suite_supervised, SweepOptions,
+};

@@ -7,9 +7,10 @@
 //! is syntax-scored with the checker and function-scored with the
 //! problem's testbench.
 
-use crate::generation::run_testbench;
+use crate::generation::{run_testbench_verdict_with, testbench_sim_options};
 use dda_benchmarks::VerilogProblem;
 use dda_core::repair::{break_verilog, RepairOptions, REPAIR_INSTRUCT};
+use dda_runtime::CancelToken;
 use dda_slm::{GenOptions, Slm};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -91,6 +92,17 @@ fn hash_id(id: &str) -> u64 {
 
 /// Evaluates one model on one problem.
 pub fn eval_repair(model: &Slm, problem: &VerilogProblem, protocol: &RepairProtocol) -> RepairCell {
+    eval_repair_with(model, problem, protocol, &CancelToken::new())
+}
+
+/// [`eval_repair`] with a supervising [`CancelToken`] threaded into each
+/// testbench simulation (see [`crate::supervised`]).
+pub fn eval_repair_with(
+    model: &Slm,
+    problem: &VerilogProblem,
+    protocol: &RepairProtocol,
+    cancel: &CancelToken,
+) -> RepairCell {
     let (input, _) = broken_input(problem, protocol);
     let opts = GenOptions {
         temperature: protocol.temperature,
@@ -108,7 +120,8 @@ pub fn eval_repair(model: &Slm, problem: &VerilogProblem, protocol: &RepairProto
             syntax_errors += 1;
             continue;
         }
-        let rate = run_testbench(problem, &out);
+        let rate =
+            run_testbench_verdict_with(problem, &out, &testbench_sim_options(cancel)).pass_rate();
         if rate > best_function {
             best_function = rate;
         }

@@ -1,0 +1,344 @@
+//! Supervised, resumable variants of the three evaluation sweeps.
+//!
+//! Each sweep treats one benchmark problem (or SC task) as one engine
+//! unit and runs the units through [`dda_runtime::run_supervised`]: a
+//! bounded worker pool with per-unit wall-clock deadlines, seeded
+//! retry/backoff, and an optional write-ahead journal for
+//! checkpoint/resume. Every sweep derives its per-sample RNG seeds from
+//! the `(protocol.seed, problem, sample)` triple — never from shared
+//! mutable state — so the supervised sweeps produce *byte-identical*
+//! rows to their sequential counterparts for any worker count,
+//! scheduling order, or interruption point.
+//!
+//! A unit whose deadline trips is quarantined (excluded from the rows)
+//! rather than silently scored zero; the returned [`EngineSummary`]
+//! carries the accounting.
+
+use crate::generation::{eval_cell_with, GenProtocol, GenRow};
+use crate::repair_eval::{eval_repair_with, RepairCell, RepairProtocol};
+use crate::script_eval::{eval_script, ScriptCell, ScriptProtocol};
+use dda_benchmarks::{ScTask, VerilogProblem};
+use dda_runtime::{
+    run_supervised, run_supervised_journaled, CancelToken, EngineReport, EngineSummary, RunOptions,
+    UnitError, DEADLINE_DIAGNOSTIC,
+};
+use dda_slm::Slm;
+use std::io;
+use std::path::PathBuf;
+
+/// Options for one supervised sweep.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Engine options: worker count, per-unit deadline, retry policy.
+    pub run: RunOptions,
+    /// Write-ahead journal path (`None` disables checkpointing).
+    pub journal: Option<PathBuf>,
+    /// Replay an existing journal at the path before executing, skipping
+    /// units it already covers. Ignored when `journal` is `None`.
+    pub resume: bool,
+}
+
+impl SweepOptions {
+    /// A sweep over `workers` threads with no journal.
+    pub fn with_workers(workers: usize) -> SweepOptions {
+        SweepOptions {
+            run: RunOptions {
+                workers,
+                ..RunOptions::default()
+            },
+            ..SweepOptions::default()
+        }
+    }
+}
+
+/// Runs `units` through the engine, journaled or not per `sweep`.
+fn dispatch<T, F, E, D>(
+    units: usize,
+    sweep: &SweepOptions,
+    encode: E,
+    decode: D,
+    exec: F,
+) -> io::Result<EngineReport<T>>
+where
+    T: Send,
+    F: Fn(usize, &CancelToken) -> Result<T, UnitError> + Sync,
+    E: Fn(&T) -> String + Sync,
+    D: Fn(&str) -> Option<T>,
+{
+    match &sweep.journal {
+        Some(path) => {
+            run_supervised_journaled(units, &sweep.run, path, sweep.resume, encode, decode, exec)
+        }
+        None => Ok(run_supervised(units, &sweep.run, exec)),
+    }
+}
+
+/// Fails the unit when its supervision token has tripped, so a
+/// deadline-cut unit is quarantined instead of reported with a
+/// wall-timeout-depressed score.
+fn check_deadline(cancel: &CancelToken, what: &str) -> Result<(), UnitError> {
+    if cancel.is_cancelled() {
+        Err(UnitError::fatal(format!("{DEADLINE_DIAGNOSTIC} ({what})")))
+    } else {
+        Ok(())
+    }
+}
+
+fn encode_f64(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn decode_f64(s: &str) -> Option<f64> {
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+/// Journal codec for a `(syntax_errors, best_function)` cell:
+/// `"<errors>:<f64 bits in hex>"`, exact to the bit.
+fn encode_cell(syntax_errors: usize, best_function: f64) -> String {
+    format!("{syntax_errors}:{}", encode_f64(best_function))
+}
+
+fn decode_cell(s: &str) -> Option<(usize, f64)> {
+    let (se, bits) = s.split_once(':')?;
+    Some((se.parse().ok()?, decode_f64(bits)?))
+}
+
+/// Supervised Table 5 sweep: one engine unit per benchmark problem.
+///
+/// Rows come back in problem order for the units that completed;
+/// quarantined problems (deadline, panic, exhausted retries) are listed
+/// in the summary. With `workers = 1` and no faults the rows are
+/// byte-identical to [`crate::generation::eval_suite`].
+///
+/// # Errors
+///
+/// Propagates journal IO failures.
+pub fn eval_suite_supervised(
+    model: &Slm,
+    problems: &[VerilogProblem],
+    protocol: &GenProtocol,
+    sweep: &SweepOptions,
+) -> io::Result<(Vec<GenRow>, EngineSummary)> {
+    let encode = |cells: &Vec<crate::generation::GenCell>| -> String {
+        cells
+            .iter()
+            .map(|c| encode_cell(c.syntax_errors, c.best_function))
+            .collect::<Vec<_>>()
+            .join(";")
+    };
+    let report = dispatch(
+        problems.len(),
+        sweep,
+        encode,
+        // The journal stores only the cells; the static row id is
+        // recovered from the problem table by unit index at decode time.
+        |s: &str| -> Option<Vec<crate::generation::GenCell>> {
+            s.split(';')
+                .map(|c| {
+                    decode_cell(c).map(|(syntax_errors, best_function)| {
+                        crate::generation::GenCell {
+                            syntax_errors,
+                            best_function,
+                        }
+                    })
+                })
+                .collect()
+        },
+        |unit, cancel| {
+            let p = &problems[unit];
+            let cells: Vec<_> = (0..p.prompts.len())
+                .map(|l| eval_cell_with(model, p, l, protocol, cancel))
+                .collect();
+            check_deadline(cancel, p.id)?;
+            Ok(cells)
+        },
+    )?;
+    let summary = report.summary();
+    let rows = report
+        .into_results()
+        .map(|(unit, cells)| GenRow {
+            id: problems[unit].id,
+            cells,
+        })
+        .collect();
+    Ok((rows, summary))
+}
+
+/// Supervised Table 3 sweep: one engine unit per repair problem.
+///
+/// # Errors
+///
+/// Propagates journal IO failures.
+pub fn eval_repair_suite_supervised(
+    model: &Slm,
+    problems: &[VerilogProblem],
+    protocol: &RepairProtocol,
+    sweep: &SweepOptions,
+) -> io::Result<(Vec<(&'static str, RepairCell)>, EngineSummary)> {
+    let report = dispatch(
+        problems.len(),
+        sweep,
+        |c: &RepairCell| encode_cell(c.syntax_errors, c.best_function),
+        |s| {
+            decode_cell(s).map(|(syntax_errors, best_function)| RepairCell {
+                syntax_errors,
+                best_function,
+            })
+        },
+        |unit, cancel| {
+            let p = &problems[unit];
+            let cell = eval_repair_with(model, p, protocol, cancel);
+            check_deadline(cancel, p.id)?;
+            Ok(cell)
+        },
+    )?;
+    let summary = report.summary();
+    let rows = report
+        .into_results()
+        .map(|(unit, cell)| (problems[unit].id, cell))
+        .collect();
+    Ok((rows, summary))
+}
+
+/// Journal codec for a [`ScriptCell`]: `"<syn>:<func>"` with `-` for a
+/// miss (`None`).
+fn encode_iter(it: Option<usize>) -> String {
+    match it {
+        Some(i) => i.to_string(),
+        None => "-".to_string(),
+    }
+}
+
+fn decode_iter(s: &str) -> Option<Option<usize>> {
+    if s == "-" {
+        Some(None)
+    } else {
+        s.parse().ok().map(Some)
+    }
+}
+
+/// Supervised Table 4 sweep: one engine unit per SC task. The task has no
+/// inner simulation, so the deadline is only checked between units.
+///
+/// # Errors
+///
+/// Propagates journal IO failures.
+pub fn eval_script_suite_supervised(
+    model: &Slm,
+    tasks: &[ScTask],
+    protocol: &ScriptProtocol,
+    sweep: &SweepOptions,
+) -> io::Result<(Vec<(String, ScriptCell)>, EngineSummary)> {
+    let report = dispatch(
+        tasks.len(),
+        sweep,
+        |c: &ScriptCell| format!("{}:{}", encode_iter(c.syn_iter), encode_iter(c.func_iter)),
+        |s| {
+            let (syn, func) = s.split_once(':')?;
+            Some(ScriptCell {
+                syn_iter: decode_iter(syn)?,
+                func_iter: decode_iter(func)?,
+            })
+        },
+        |unit, cancel| {
+            let t = &tasks[unit];
+            let cell = eval_script(model, t, protocol);
+            check_deadline(cancel, t.level.label())?;
+            Ok(cell)
+        },
+    )?;
+    let summary = report.summary();
+    let rows = report
+        .into_results()
+        .map(|(unit, cell)| (tasks[unit].level.label().to_owned(), cell))
+        .collect();
+    Ok((rows, summary))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generation::eval_suite;
+    use crate::repair_eval::eval_repair_suite;
+    use crate::script_eval::eval_script_suite;
+    use dda_benchmarks::{rtllm_suite, sc_suite, thakur_suite};
+    use dda_slm::{SlmProfile, PROGRESSIVE_ORDER};
+
+    fn model() -> Slm {
+        Slm::finetune(
+            SlmProfile::llama2(7.0),
+            &dda_core::Dataset::new(),
+            &PROGRESSIVE_ORDER,
+        )
+    }
+
+    #[test]
+    fn supervised_generation_matches_sequential_for_any_worker_count() {
+        let model = model();
+        let problems: Vec<_> = thakur_suite().into_iter().take(3).collect();
+        let protocol = GenProtocol {
+            k: 2,
+            ..GenProtocol::default()
+        };
+        let sequential = eval_suite(&model, &problems, &protocol);
+        for workers in [1, 2, 8] {
+            let (rows, summary) = eval_suite_supervised(
+                &model,
+                &problems,
+                &protocol,
+                &SweepOptions::with_workers(workers),
+            )
+            .unwrap();
+            assert_eq!(rows, sequential, "workers={workers}");
+            assert_eq!(summary.ok, problems.len());
+            assert_eq!(summary.quarantined, 0);
+        }
+    }
+
+    #[test]
+    fn supervised_repair_matches_sequential() {
+        let model = model();
+        let problems: Vec<_> = rtllm_suite().into_iter().take(3).collect();
+        let protocol = RepairProtocol {
+            k: 2,
+            ..RepairProtocol::default()
+        };
+        let sequential = eval_repair_suite(&model, &problems, &protocol);
+        let (rows, _) = eval_repair_suite_supervised(
+            &model,
+            &problems,
+            &protocol,
+            &SweepOptions::with_workers(4),
+        )
+        .unwrap();
+        assert_eq!(rows, sequential);
+    }
+
+    #[test]
+    fn supervised_script_matches_sequential() {
+        let model = model();
+        let tasks = sc_suite();
+        let protocol = ScriptProtocol {
+            max_iters: 3,
+            ..ScriptProtocol::default()
+        };
+        let sequential = eval_script_suite(&model, &tasks, &protocol);
+        let (rows, _) =
+            eval_script_suite_supervised(&model, &tasks, &protocol, &SweepOptions::with_workers(2))
+                .unwrap();
+        assert_eq!(rows, sequential);
+    }
+
+    #[test]
+    fn cell_codec_is_bit_exact() {
+        for v in [0.0, 1.0, 0.5, 2.0 / 3.0, f64::MIN_POSITIVE] {
+            let enc = encode_cell(7, v);
+            let (se, dec) = decode_cell(&enc).unwrap();
+            assert_eq!(se, 7);
+            assert_eq!(dec.to_bits(), v.to_bits());
+        }
+        assert_eq!(decode_iter("-"), Some(None));
+        assert_eq!(decode_iter("4"), Some(Some(4)));
+        assert_eq!(decode_iter("x"), None);
+    }
+}

@@ -1,0 +1,136 @@
+//! Cooperative cancellation with optional wall-clock deadlines.
+//!
+//! A [`CancelToken`] is a cheap, clonable handle shared between a
+//! supervisor and the code doing the work. The worker polls
+//! [`CancelToken::is_cancelled`] at convenient points (the simulator does
+//! so every few thousand interpreted statements) and unwinds gracefully
+//! when the token trips. A token trips either because its embedded
+//! deadline passed or because a supervisor called [`CancelToken::cancel`]
+//! explicitly — the engine's watchdog thread does the latter as a second
+//! line of defence, so a deadline fires even for code that only checks
+//! the flag.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    /// Wall-clock instant after which the token reads as cancelled.
+    deadline: Option<Instant>,
+}
+
+/// A shared cancellation flag with an optional wall-clock deadline.
+///
+/// Cloning is cheap (an `Arc` bump); all clones observe the same state.
+/// The default token never cancels, so threading one through options
+/// structs costs nothing on paths that don't use deadlines.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token that never trips on its own (manual [`cancel`] only).
+    ///
+    /// [`cancel`]: CancelToken::cancel
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// A token that trips `timeout` from now.
+    pub fn with_deadline(timeout: Duration) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + timeout),
+            }),
+        }
+    }
+
+    /// Trips the token immediately.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has tripped (manual cancel or expired deadline).
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(at) => Instant::now() >= at,
+            None => false,
+        }
+    }
+
+    /// Whether the embedded deadline (if any) has passed. Distinguishes a
+    /// wall-timeout from a supervisor-initiated cancellation.
+    pub fn is_expired(&self) -> bool {
+        matches!(self.inner.deadline, Some(at) if Instant::now() >= at)
+    }
+
+    /// The embedded deadline instant, if one was set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// Time left until the deadline (`None` when no deadline is set;
+    /// zero once it has passed).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner
+            .deadline
+            .map(|at| at.saturating_duration_since(Instant::now()))
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_token_never_trips() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(!t.is_expired());
+        assert!(t.remaining().is_none());
+    }
+
+    #[test]
+    fn manual_cancel_is_visible_to_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        t.cancel();
+        assert!(c.is_cancelled());
+        assert!(!c.is_expired(), "manual cancel is not a deadline expiry");
+    }
+
+    #[test]
+    fn deadline_trips_after_elapsing() {
+        let t = CancelToken::with_deadline(Duration::from_millis(20));
+        assert!(!t.is_cancelled());
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(t.is_cancelled());
+        assert!(t.is_expired());
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn generous_deadline_does_not_trip_early() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        assert!(t.remaining().unwrap() > Duration::from_secs(3000));
+    }
+}

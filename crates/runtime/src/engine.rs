@@ -1,0 +1,461 @@
+//! The supervised worker pool.
+//!
+//! [`run_supervised`] executes `units` independent work items on a
+//! bounded pool of worker threads. Each attempt gets a fresh
+//! [`CancelToken`] carrying the per-unit wall-clock deadline; a watchdog
+//! thread additionally trips tokens whose deadline has passed, so even
+//! code that only polls the flag (never the clock) gets cut off. Failures
+//! marked retryable are re-attempted under the seeded
+//! [`RetryPolicy`](crate::RetryPolicy) backoff schedule; exhausted or
+//! non-retryable failures — including caught panics — escalate to
+//! [`UnitOutcome::Quarantined`], mirroring the pipeline's quarantine
+//! accounting so `ok + skipped + quarantined` stays conserved above us.
+//!
+//! Results are assembled in unit-id order: for a deterministic `exec`,
+//! the report is identical for any worker count, scheduling order, or
+//! interruption point. [`run_supervised_journaled`] additionally streams
+//! each completed unit into a write-ahead [`Journal`] and can resume by
+//! replaying it.
+
+use crate::cancel::CancelToken;
+use crate::journal::Journal;
+use crate::retry::RetryPolicy;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Options for one supervised run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Wall-clock deadline per unit attempt (`None` = unbounded).
+    pub unit_deadline: Option<Duration>,
+    /// Retry budget and backoff schedule.
+    pub retry: RetryPolicy,
+    /// How often the watchdog sweeps in-flight deadlines.
+    pub watchdog_interval: Duration,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            workers: 1,
+            unit_deadline: None,
+            retry: RetryPolicy::none(),
+            watchdog_interval: Duration::from_millis(10),
+        }
+    }
+}
+
+/// A failed unit attempt, as reported by the work closure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitError {
+    /// Human-readable description of the failure.
+    pub diagnostic: String,
+    /// Whether the engine may re-attempt the unit (within the budget).
+    pub retryable: bool,
+    /// Whether the failure came from a caught panic.
+    pub panicked: bool,
+}
+
+impl UnitError {
+    /// A permanent failure: escalates without retries.
+    pub fn fatal(diagnostic: impl Into<String>) -> UnitError {
+        UnitError {
+            diagnostic: diagnostic.into(),
+            retryable: false,
+            panicked: false,
+        }
+    }
+
+    /// A transient failure: re-attempted while the retry budget lasts.
+    pub fn transient(diagnostic: impl Into<String>) -> UnitError {
+        UnitError {
+            diagnostic: diagnostic.into(),
+            retryable: true,
+            panicked: false,
+        }
+    }
+}
+
+/// Terminal outcome of one unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnitOutcome<T> {
+    /// The unit completed and produced a result.
+    Ok(T),
+    /// Every attempt failed; the unit is excluded from results and the
+    /// caller's accounting should book it as quarantined.
+    Quarantined {
+        /// Diagnostic from the final attempt.
+        diagnostic: String,
+        /// Whether that attempt panicked (vs a graceful error).
+        panicked: bool,
+    },
+}
+
+impl<T> UnitOutcome<T> {
+    /// The result, when the unit completed.
+    pub fn ok(&self) -> Option<&T> {
+        match self {
+            UnitOutcome::Ok(v) => Some(v),
+            UnitOutcome::Quarantined { .. } => None,
+        }
+    }
+}
+
+/// Per-unit record in the engine report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitReport<T> {
+    /// Unit id (index into the caller's work list).
+    pub unit: usize,
+    /// Terminal outcome.
+    pub outcome: UnitOutcome<T>,
+    /// Attempts spent (0 for units replayed from a journal).
+    pub attempts: u32,
+    /// Whether the outcome was replayed from the journal, not executed.
+    pub resumed: bool,
+}
+
+/// Aggregate counters for one supervised run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineSummary {
+    /// Units that produced a result.
+    pub ok: usize,
+    /// Units that escalated to quarantine.
+    pub quarantined: usize,
+    /// Units replayed from the journal instead of executed.
+    pub resumed: usize,
+    /// Total retry attempts across all units (excluding first attempts).
+    pub retries: usize,
+}
+
+/// Full result of a supervised run, in unit-id order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineReport<T> {
+    /// One record per unit, ordered by unit id.
+    pub units: Vec<UnitReport<T>>,
+    /// Total retry attempts across all units.
+    pub retries: usize,
+}
+
+impl<T> EngineReport<T> {
+    /// Successful results in unit-id order (quarantined units omitted).
+    pub fn results(&self) -> impl Iterator<Item = &T> {
+        self.units.iter().filter_map(|u| u.outcome.ok())
+    }
+
+    /// Consumes the report, yielding `(unit, result)` for successes.
+    pub fn into_results(self) -> impl Iterator<Item = (usize, T)> {
+        self.units.into_iter().filter_map(|u| match u.outcome {
+            UnitOutcome::Ok(v) => Some((u.unit, v)),
+            UnitOutcome::Quarantined { .. } => None,
+        })
+    }
+
+    /// Number of quarantined units.
+    pub fn quarantined(&self) -> usize {
+        self.units
+            .iter()
+            .filter(|u| matches!(u.outcome, UnitOutcome::Quarantined { .. }))
+            .count()
+    }
+
+    /// Aggregate counters.
+    pub fn summary(&self) -> EngineSummary {
+        EngineSummary {
+            ok: self.units.len() - self.quarantined(),
+            quarantined: self.quarantined(),
+            resumed: self.units.iter().filter(|u| u.resumed).count(),
+            retries: self.retries,
+        }
+    }
+}
+
+/// Diagnostic used when an attempt's deadline expired and the closure
+/// returned an error that didn't already explain the timeout.
+pub const DEADLINE_DIAGNOSTIC: &str = "unit wall-clock deadline exceeded";
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: non-string payload".to_string()
+    }
+}
+
+/// In-flight attempt table shared with the watchdog: one slot per worker.
+struct Inflight {
+    slots: Vec<Mutex<Option<(CancelToken, Instant)>>>,
+}
+
+impl Inflight {
+    fn new(workers: usize) -> Inflight {
+        Inflight {
+            slots: (0..workers).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    fn arm(&self, worker: usize, token: &CancelToken) {
+        if let Some(at) = token.deadline() {
+            *self.slots[worker].lock().unwrap() = Some((token.clone(), at));
+        }
+    }
+
+    fn disarm(&self, worker: usize) {
+        *self.slots[worker].lock().unwrap() = None;
+    }
+
+    /// Trips every armed token whose deadline has passed.
+    fn sweep(&self) {
+        let now = Instant::now();
+        for slot in &self.slots {
+            let guard = slot.lock().unwrap();
+            if let Some((token, at)) = guard.as_ref() {
+                if now >= *at {
+                    token.cancel();
+                }
+            }
+        }
+    }
+}
+
+/// Runs `units` work items on a supervised worker pool; see the module
+/// docs for the semantics. `exec` receives the unit id and the attempt's
+/// [`CancelToken`], and should poll the token from long-running loops.
+pub fn run_supervised<T, F>(units: usize, opts: &RunOptions, exec: F) -> EngineReport<T>
+where
+    T: Send,
+    F: Fn(usize, &CancelToken) -> Result<T, UnitError> + Sync,
+{
+    let prefilled: Box<[Option<UnitOutcome<T>>]> = (0..units).map(|_| None).collect();
+    run_inner(units, opts, &exec, prefilled, None).expect("journal-less run cannot fail on IO")
+}
+
+/// [`run_supervised`] plus checkpoint/resume through a write-ahead
+/// journal at `path`.
+///
+/// With `resume` set and `path` present, previously journaled outcomes
+/// are replayed (their units are not re-executed) and new completions are
+/// appended; otherwise the journal is created fresh. `encode`/`decode`
+/// translate results to and from the journal payload — `decode` returning
+/// `None` marks the record unreadable, and the unit re-executes.
+///
+/// # Errors
+///
+/// Propagates journal IO failures.
+pub fn run_supervised_journaled<T, F, E, D>(
+    units: usize,
+    opts: &RunOptions,
+    path: &Path,
+    resume: bool,
+    encode: E,
+    decode: D,
+    exec: F,
+) -> io::Result<EngineReport<T>>
+where
+    T: Send,
+    F: Fn(usize, &CancelToken) -> Result<T, UnitError> + Sync,
+    E: Fn(&T) -> String + Sync,
+    D: Fn(&str) -> Option<T>,
+{
+    let mut prefilled: Vec<Option<UnitOutcome<T>>> = (0..units).map(|_| None).collect();
+    let journal = if resume && path.exists() {
+        for (unit, payload) in Journal::load(path)? {
+            if unit >= units {
+                continue; // journal from a larger run; ignore the excess
+            }
+            if let Some(outcome) = decode_payload(&payload, &decode) {
+                prefilled[unit] = Some(outcome); // last record wins
+            }
+        }
+        Journal::append(path)?
+    } else {
+        Journal::create(path)?
+    };
+    run_inner(
+        units,
+        opts,
+        &exec,
+        prefilled.into(),
+        Some((Mutex::new(journal), &encode)),
+    )
+}
+
+/// Journal payload codec: `ok <encoded T>` for results, `q <0|1>
+/// <diagnostic...>` for quarantines (diagnostics may span lines — the
+/// journal escapes them).
+fn encode_payload<T>(outcome: &UnitOutcome<T>, encode: &dyn Fn(&T) -> String) -> String {
+    match outcome {
+        UnitOutcome::Ok(v) => format!("ok {}", encode(v)),
+        UnitOutcome::Quarantined {
+            diagnostic,
+            panicked,
+        } => format!("q {} {diagnostic}", u8::from(*panicked)),
+    }
+}
+
+fn decode_payload<T>(payload: &str, decode: &dyn Fn(&str) -> Option<T>) -> Option<UnitOutcome<T>> {
+    if let Some(body) = payload.strip_prefix("ok ") {
+        return decode(body).map(UnitOutcome::Ok);
+    }
+    let body = payload.strip_prefix("q ")?;
+    let (flag, diagnostic) = body.split_once(' ')?;
+    Some(UnitOutcome::Quarantined {
+        diagnostic: diagnostic.to_string(),
+        panicked: flag == "1",
+    })
+}
+
+type JournalSink<'a, T> = (Mutex<Journal>, &'a (dyn Fn(&T) -> String + Sync));
+
+fn run_inner<T, F>(
+    units: usize,
+    opts: &RunOptions,
+    exec: &F,
+    prefilled: Box<[Option<UnitOutcome<T>>]>,
+    journal: Option<JournalSink<'_, T>>,
+) -> io::Result<EngineReport<T>>
+where
+    T: Send,
+    F: Fn(usize, &CancelToken) -> Result<T, UnitError> + Sync,
+{
+    let workers = opts.workers.max(1).min(units.max(1));
+    let next = AtomicUsize::new(0);
+    let retries = AtomicUsize::new(0);
+    let done = AtomicBool::new(false);
+    let inflight = Inflight::new(workers);
+    let io_error: Mutex<Option<io::Error>> = Mutex::new(None);
+
+    // Slot table: resumed units are filled before any worker starts.
+    let slots: Vec<Mutex<Option<UnitReport<T>>>> = prefilled
+        .into_vec()
+        .into_iter()
+        .enumerate()
+        .map(|(unit, pre)| {
+            Mutex::new(pre.map(|outcome| UnitReport {
+                unit,
+                outcome,
+                attempts: 0,
+                resumed: true,
+            }))
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for worker in 0..workers {
+            let next = &next;
+            let retries = &retries;
+            let slots = &slots;
+            let inflight = &inflight;
+            let journal = &journal;
+            let io_error = &io_error;
+            handles.push(scope.spawn(move || loop {
+                let unit = next.fetch_add(1, Ordering::Relaxed);
+                if unit >= units {
+                    return;
+                }
+                if slots[unit].lock().unwrap().is_some() {
+                    continue; // resumed from the journal
+                }
+                let mut attempts = 0u32;
+                let outcome = loop {
+                    attempts += 1;
+                    let token = match opts.unit_deadline {
+                        Some(d) => CancelToken::with_deadline(d),
+                        None => CancelToken::new(),
+                    };
+                    inflight.arm(worker, &token);
+                    let result = catch_unwind(AssertUnwindSafe(|| exec(unit, &token)));
+                    inflight.disarm(worker);
+                    match result {
+                        Ok(Ok(v)) => break UnitOutcome::Ok(v),
+                        Ok(Err(e)) => {
+                            let diagnostic =
+                                if token.is_expired() && !e.diagnostic.contains("deadline") {
+                                    format!("{DEADLINE_DIAGNOSTIC}: {}", e.diagnostic)
+                                } else {
+                                    e.diagnostic
+                                };
+                            // A timed-out attempt would time out again;
+                            // never spend retry budget on it.
+                            if e.retryable
+                                && !token.is_expired()
+                                && attempts < opts.retry.max_attempts
+                            {
+                                retries.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(opts.retry.backoff(unit, attempts));
+                                continue;
+                            }
+                            break UnitOutcome::Quarantined {
+                                diagnostic,
+                                panicked: e.panicked,
+                            };
+                        }
+                        // Panics are deterministic in this codebase:
+                        // escalate immediately rather than replaying them.
+                        Err(payload) => {
+                            break UnitOutcome::Quarantined {
+                                diagnostic: panic_message(&*payload),
+                                panicked: true,
+                            }
+                        }
+                    }
+                };
+                if let Some((journal, encode)) = journal {
+                    let payload = encode_payload(&outcome, encode);
+                    // Write ahead: the outcome is durable before it is
+                    // visible in the report.
+                    if let Err(e) = journal.lock().unwrap().record(unit, &payload) {
+                        let mut slot = io_error.lock().unwrap();
+                        if slot.is_none() {
+                            *slot = Some(e);
+                        }
+                    }
+                }
+                *slots[unit].lock().unwrap() = Some(UnitReport {
+                    unit,
+                    outcome,
+                    attempts,
+                    resumed: false,
+                });
+            }));
+        }
+        // Watchdog: trips in-flight tokens whose deadline passed, so even
+        // flag-only pollers get cut off. Runs until all workers return.
+        if opts.unit_deadline.is_some() {
+            let done = &done;
+            let inflight = &inflight;
+            let interval = opts.watchdog_interval;
+            scope.spawn(move || {
+                while !done.load(Ordering::Acquire) {
+                    inflight.sweep();
+                    std::thread::sleep(interval);
+                }
+            });
+        }
+        // Join the workers explicitly, then release the watchdog; the
+        // scope would otherwise wait forever on the watchdog's loop.
+        for h in handles {
+            let _ = h.join();
+        }
+        done.store(true, Ordering::Release);
+    });
+
+    if let Some(e) = io_error.into_inner().unwrap() {
+        return Err(e);
+    }
+    Ok(EngineReport {
+        units: slots
+            .into_iter()
+            .map(|s| s.into_inner().unwrap().expect("every unit terminates"))
+            .collect(),
+        retries: retries.into_inner(),
+    })
+}

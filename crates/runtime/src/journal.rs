@@ -1,0 +1,247 @@
+//! Write-ahead JSONL journal for checkpoint/resume.
+//!
+//! One line per completed unit: `{"unit": N, "payload": "..."}`. The
+//! payload is an opaque string chosen by the caller (the engine prefixes
+//! it with an outcome tag; `dda-core` serialises dataset entries into it
+//! with its JSONL codec). Lines are flushed as they are written, so a
+//! killed run loses at most the line being written — and
+//! [`Journal::load`] tolerates exactly that by dropping a torn final
+//! line.
+//!
+//! The string escaping here mirrors `dda_core::json` (RFC 8259 minimal
+//! escapes); it is re-implemented rather than imported because this
+//! crate sits *below* `dda-core` in the dependency graph.
+
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+/// An append-only unit-outcome journal.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    out: BufWriter<File>,
+}
+
+impl Journal {
+    /// Creates (truncating) a journal at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(path: &Path) -> io::Result<Journal> {
+        Ok(Journal {
+            path: path.to_path_buf(),
+            out: BufWriter::new(File::create(path)?),
+        })
+    }
+
+    /// Opens `path` for appending (creating it when missing) — the resume
+    /// path: replayed units stay in place, new completions are appended.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn append(path: &Path) -> io::Result<Journal> {
+        Ok(Journal {
+            path: path.to_path_buf(),
+            out: BufWriter::new(OpenOptions::new().create(true).append(true).open(path)?),
+        })
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one unit outcome and flushes it to the OS.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn record(&mut self, unit: usize, payload: &str) -> io::Result<()> {
+        let mut line = String::with_capacity(payload.len() + 32);
+        let _ = write!(line, "{{\"unit\": {unit}, \"payload\": \"");
+        escape_into(payload, &mut line);
+        line.push_str("\"}\n");
+        self.out.write_all(line.as_bytes())?;
+        self.out.flush()
+    }
+
+    /// Loads every `(unit, payload)` record from `path`.
+    ///
+    /// A torn **final** line (interrupted mid-write) is dropped silently;
+    /// a malformed line anywhere else is a hard error, since it means the
+    /// file is not one of our journals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; reports corrupt non-final lines as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn load(path: &Path) -> io::Result<Vec<(usize, String)>> {
+        let mut text = String::new();
+        File::open(path)?.read_to_string(&mut text)?;
+        let lines: Vec<&str> = text.lines().collect();
+        let mut out = Vec::with_capacity(lines.len());
+        for (i, line) in lines.iter().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_line(line) {
+                Some(rec) => out.push(rec),
+                None if i + 1 == lines.len() => break, // torn tail from a kill
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{}: corrupt journal line {}", path.display(), i + 1),
+                    ))
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Escapes `s` per JSON string rules into `out`.
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Parses one journal line; `None` when malformed (torn write).
+fn parse_line(line: &str) -> Option<(usize, String)> {
+    let rest = line.trim().strip_prefix("{\"unit\":")?.trim_start();
+    let digits_end = rest.find(|c: char| !c.is_ascii_digit())?;
+    let unit: usize = rest[..digits_end].parse().ok()?;
+    let rest = rest[digits_end..]
+        .trim_start()
+        .strip_prefix(',')?
+        .trim_start()
+        .strip_prefix("\"payload\":")?
+        .trim_start()
+        .strip_prefix('"')?;
+    // Unescape up to the closing quote; the line must end with `"}`.
+    let mut payload = String::with_capacity(rest.len());
+    let mut chars = rest.chars();
+    loop {
+        match chars.next()? {
+            '"' => break,
+            '\\' => match chars.next()? {
+                'n' => payload.push('\n'),
+                'r' => payload.push('\r'),
+                't' => payload.push('\t'),
+                '"' => payload.push('"'),
+                '\\' => payload.push('\\'),
+                '/' => payload.push('/'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    if hex.len() != 4 {
+                        return None;
+                    }
+                    let v = u32::from_str_radix(&hex, 16).ok()?;
+                    payload.push(char::from_u32(v)?);
+                }
+                _ => return None,
+            },
+            c => payload.push(c),
+        }
+    }
+    if chars.as_str().trim() != "}" {
+        return None;
+    }
+    Some((unit, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dda-runtime-journal-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trips_records_in_order() {
+        let path = tmp("roundtrip");
+        {
+            let mut j = Journal::create(&path).unwrap();
+            j.record(0, "plain").unwrap();
+            j.record(3, "multi\nline\twith \"quotes\" and \\slashes\\")
+                .unwrap();
+            j.record(1, "\u{1}\u{7}control").unwrap();
+        }
+        let got = Journal::load(&path).unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0], (0, "plain".to_string()));
+        assert_eq!(
+            got[1],
+            (
+                3,
+                "multi\nline\twith \"quotes\" and \\slashes\\".to_string()
+            )
+        );
+        assert_eq!(got[2], (1, "\u{1}\u{7}control".to_string()));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn append_extends_an_existing_journal() {
+        let path = tmp("append");
+        Journal::create(&path).unwrap().record(0, "a").unwrap();
+        Journal::append(&path).unwrap().record(1, "b").unwrap();
+        let got = Journal::load(&path).unwrap();
+        assert_eq!(got, vec![(0, "a".into()), (1, "b".into())]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped() {
+        let path = tmp("torn");
+        Journal::create(&path).unwrap().record(0, "done").unwrap();
+        // Simulate a kill mid-write: an incomplete trailing record.
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"unit\": 1, \"payload\": \"half").unwrap();
+        drop(f);
+        let got = Journal::load(&path).unwrap();
+        assert_eq!(got, vec![(0, "done".into())]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_interior_line_is_a_hard_error() {
+        let path = tmp("corrupt");
+        std::fs::write(&path, "garbage\n{\"unit\": 0, \"payload\": \"x\"}\n").unwrap();
+        let err = Journal::load(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unicode_payloads_survive() {
+        let path = tmp("unicode");
+        Journal::create(&path)
+            .unwrap()
+            .record(9, "§3.2 → ☃ モジュール")
+            .unwrap();
+        assert_eq!(
+            Journal::load(&path).unwrap(),
+            vec![(9, "§3.2 → ☃ モジュール".into())]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

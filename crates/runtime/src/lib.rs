@@ -1,0 +1,58 @@
+//! # dda-runtime
+//!
+//! A supervised execution engine for the framework's embarrassingly
+//! parallel sweeps (augmentation over corpus modules, pass@k evaluation
+//! over benchmark problems). Independent work units run on a bounded pool
+//! of watchdog-supervised worker threads with:
+//!
+//! * **wall-clock deadlines** — each unit gets a cooperative
+//!   [`CancelToken`]; long-running interpreters (the simulator's exec
+//!   loop) poll it and abort with a distinguishable wall-timeout error
+//!   instead of hanging the sweep ([`cancel`]);
+//! * **deterministic retry with backoff** — retryable failures are
+//!   re-attempted under a seeded exponential-backoff schedule, then
+//!   escalated to a quarantined outcome once the budget is exhausted
+//!   ([`retry`], [`engine`]);
+//! * **checkpoint/resume** — every completed unit's outcome is appended
+//!   to a write-ahead JSONL journal; an interrupted run resumes by
+//!   replaying the journal and skipping finished units ([`journal`]);
+//! * **deterministic assembly** — results are returned in unit-id order,
+//!   so output is byte-identical regardless of worker count, scheduling
+//!   order, or interruption point ([`engine`]).
+//!
+//! This crate sits below `dda-core`/`dda-eval` in the dependency graph
+//! (it depends only on `std`), so both the pipeline and the evaluation
+//! harness can run on it.
+//!
+//! ## Example
+//!
+//! ```
+//! use dda_runtime::{run_supervised, RunOptions, UnitError};
+//!
+//! let opts = RunOptions { workers: 4, ..RunOptions::default() };
+//! let report = run_supervised(8, &opts, |unit, _cancel| {
+//!     if unit == 3 {
+//!         Err(UnitError::fatal("unit 3 is broken"))
+//!     } else {
+//!         Ok(unit * unit)
+//!     }
+//! });
+//! let squares: Vec<_> = report.results().collect();
+//! assert_eq!(squares, vec![&0, &1, &4, &16, &25, &36, &49]);
+//! assert_eq!(report.quarantined(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cancel;
+pub mod engine;
+pub mod journal;
+pub mod retry;
+
+pub use cancel::CancelToken;
+pub use engine::{
+    run_supervised, run_supervised_journaled, EngineReport, EngineSummary, RunOptions, UnitError,
+    UnitOutcome, UnitReport, DEADLINE_DIAGNOSTIC,
+};
+pub use journal::Journal;
+pub use retry::RetryPolicy;

@@ -1,0 +1,122 @@
+//! Deterministic retry budgets with seeded exponential backoff.
+//!
+//! Backoff delays double per attempt and carry a seeded jitter so
+//! concurrent retries de-synchronise, yet the whole schedule is a pure
+//! function of `(seed, unit, attempt)` — the same run replays the same
+//! delays, which keeps supervised sweeps reproducible end to end.
+
+use std::time::Duration;
+
+/// Retry budget and backoff schedule for one supervised run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per unit (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent attempt.
+    pub base_backoff: Duration,
+    /// Upper clamp on any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: every failure escalates immediately.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The backoff to sleep before retry number `attempt` (1-based: the
+    /// delay between attempt `attempt` and attempt `attempt + 1`) of
+    /// `unit`. Deterministic per `(seed, unit, attempt)`.
+    pub fn backoff(&self, unit: usize, attempt: u32) -> Duration {
+        let base = self.base_backoff.as_nanos() as u64;
+        if base == 0 {
+            return Duration::ZERO;
+        }
+        let exp = base.saturating_mul(1u64 << attempt.saturating_sub(1).min(20));
+        // Jitter in [0, base): enough to spread synchronized retries
+        // without perturbing the exponential envelope.
+        let jitter = splitmix64(
+            self.seed
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(unit as u64)
+                .rotate_left(17)
+                .wrapping_add(attempt as u64),
+        ) % base;
+        Duration::from_nanos(exp.saturating_add(jitter)).min(self.max_backoff)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(250),
+            seed: 0xDDA,
+        }
+    }
+}
+
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic() {
+        let p = RetryPolicy::default();
+        for unit in 0..8 {
+            for attempt in 1..5 {
+                assert_eq!(p.backoff(unit, attempt), p.backoff(unit, attempt));
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_envelope_grows_then_clamps() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(16),
+            seed: 7,
+        };
+        // Attempt 1 sleeps >= base, attempt 5 sleeps >= 16*base... until
+        // the clamp kicks in.
+        assert!(p.backoff(0, 1) >= Duration::from_millis(1));
+        assert!(p.backoff(0, 1) < Duration::from_millis(2));
+        assert!(p.backoff(0, 3) >= Duration::from_millis(4));
+        assert_eq!(p.backoff(0, 30), Duration::from_millis(16));
+    }
+
+    #[test]
+    fn jitter_differs_across_units() {
+        let p = RetryPolicy {
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_secs(10),
+            ..RetryPolicy::default()
+        };
+        let delays: Vec<_> = (0..16).map(|u| p.backoff(u, 1)).collect();
+        let distinct: std::collections::BTreeSet<_> = delays.iter().collect();
+        assert!(distinct.len() > 8, "jitter too uniform: {delays:?}");
+    }
+
+    #[test]
+    fn zero_base_means_zero_backoff() {
+        let p = RetryPolicy {
+            base_backoff: Duration::ZERO,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff(3, 2), Duration::ZERO);
+    }
+}

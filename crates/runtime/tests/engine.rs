@@ -1,0 +1,296 @@
+//! Engine-level tests: ordering determinism, retry/backoff escalation,
+//! deadline supervision, panic isolation, and journal resume.
+
+use dda_runtime::{
+    run_supervised, run_supervised_journaled, CancelToken, RetryPolicy, RunOptions, UnitError,
+    UnitOutcome,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::time::Duration;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("dda-runtime-engine-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn results_come_back_in_unit_order_for_any_worker_count() {
+    for workers in [1, 2, 8, 32] {
+        let opts = RunOptions {
+            workers,
+            ..RunOptions::default()
+        };
+        let report = run_supervised(64, &opts, |unit, _| Ok::<_, UnitError>(unit * 3 + 1));
+        let got: Vec<usize> = report.results().copied().collect();
+        let want: Vec<usize> = (0..64).map(|u| u * 3 + 1).collect();
+        assert_eq!(got, want, "workers={workers}");
+        assert_eq!(report.summary().ok, 64);
+        assert_eq!(report.summary().quarantined, 0);
+    }
+}
+
+#[test]
+fn transient_failures_retry_then_succeed() {
+    let attempts: Vec<AtomicU32> = (0..8).map(|_| AtomicU32::new(0)).collect();
+    let opts = RunOptions {
+        workers: 4,
+        retry: RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_millis(1),
+            seed: 1,
+        },
+        ..RunOptions::default()
+    };
+    let report = run_supervised(8, &opts, |unit, _| {
+        let n = attempts[unit].fetch_add(1, Ordering::SeqCst) + 1;
+        if n < 3 {
+            Err(UnitError::transient(format!("flake #{n}")))
+        } else {
+            Ok(unit)
+        }
+    });
+    assert_eq!(report.summary().ok, 8);
+    assert_eq!(report.retries, 16, "2 retries per unit");
+    for u in &report.units {
+        assert_eq!(u.attempts, 3);
+    }
+}
+
+#[test]
+fn exhausted_retry_budget_escalates_to_quarantine() {
+    let opts = RunOptions {
+        workers: 2,
+        retry: RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_millis(1),
+            seed: 2,
+        },
+        ..RunOptions::default()
+    };
+    let report = run_supervised(4, &opts, |unit, _| -> Result<(), UnitError> {
+        Err(UnitError::transient(format!("unit {unit} always fails")))
+    });
+    assert_eq!(report.quarantined(), 4);
+    for u in &report.units {
+        assert_eq!(u.attempts, 2);
+        match &u.outcome {
+            UnitOutcome::Quarantined {
+                diagnostic,
+                panicked,
+            } => {
+                assert!(diagnostic.contains("always fails"));
+                assert!(!panicked);
+            }
+            UnitOutcome::Ok(()) => panic!("unit {} should have failed", u.unit),
+        }
+    }
+}
+
+#[test]
+fn fatal_failures_do_not_consume_retry_budget() {
+    let calls = AtomicUsize::new(0);
+    let opts = RunOptions {
+        workers: 1,
+        retry: RetryPolicy {
+            max_attempts: 5,
+            ..RetryPolicy::default()
+        },
+        ..RunOptions::default()
+    };
+    let report = run_supervised(1, &opts, |_, _| -> Result<(), UnitError> {
+        calls.fetch_add(1, Ordering::SeqCst);
+        Err(UnitError::fatal("broken input"))
+    });
+    assert_eq!(calls.load(Ordering::SeqCst), 1);
+    assert_eq!(report.retries, 0);
+    assert_eq!(report.quarantined(), 1);
+}
+
+#[test]
+fn panics_are_caught_and_quarantined_without_retries() {
+    let calls = AtomicUsize::new(0);
+    let opts = RunOptions {
+        workers: 2,
+        retry: RetryPolicy {
+            max_attempts: 4,
+            ..RetryPolicy::default()
+        },
+        ..RunOptions::default()
+    };
+    let report = run_supervised(3, &opts, |unit, _| {
+        calls.fetch_add(1, Ordering::SeqCst);
+        if unit == 1 {
+            panic!("injected panic in unit 1");
+        }
+        Ok(unit)
+    });
+    assert_eq!(calls.load(Ordering::SeqCst), 3, "panic must not retry");
+    assert_eq!(report.quarantined(), 1);
+    match &report.units[1].outcome {
+        UnitOutcome::Quarantined {
+            diagnostic,
+            panicked,
+        } => {
+            assert!(*panicked);
+            assert!(diagnostic.contains("injected panic"), "{diagnostic}");
+        }
+        other => panic!("unexpected outcome: {other:?}"),
+    }
+    let ok: Vec<usize> = report.results().copied().collect();
+    assert_eq!(ok, vec![0, 2]);
+}
+
+/// A unit that cooperatively polls its token is cut off by the deadline
+/// (via the token's own clock and the watchdog) instead of running long.
+#[test]
+fn deadline_cuts_off_cooperative_units() {
+    let opts = RunOptions {
+        workers: 2,
+        unit_deadline: Some(Duration::from_millis(60)),
+        watchdog_interval: Duration::from_millis(5),
+        ..RunOptions::default()
+    };
+    let start = std::time::Instant::now();
+    let report = run_supervised(2, &opts, |unit, cancel: &CancelToken| {
+        if unit == 0 {
+            return Ok(0); // fast unit is untouched
+        }
+        // Slow-burn unit: would run for ~100 watchdog intervals.
+        for _ in 0..200 {
+            if cancel.is_cancelled() {
+                return Err(UnitError::fatal("wall-clock deadline exceeded"));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        Ok(unit)
+    });
+    assert!(
+        start.elapsed() < Duration::from_millis(700),
+        "deadline did not cut the unit off"
+    );
+    assert_eq!(report.summary().ok, 1);
+    match &report.units[1].outcome {
+        UnitOutcome::Quarantined { diagnostic, .. } => {
+            assert!(diagnostic.contains("deadline"), "{diagnostic}")
+        }
+        other => panic!("unexpected outcome: {other:?}"),
+    }
+}
+
+/// Flag-only pollers (that never consult the clock) are still tripped,
+/// because the watchdog cancels their token.
+#[test]
+fn watchdog_trips_flag_only_pollers() {
+    let opts = RunOptions {
+        workers: 1,
+        unit_deadline: Some(Duration::from_millis(40)),
+        watchdog_interval: Duration::from_millis(5),
+        ..RunOptions::default()
+    };
+    let report = run_supervised(1, &opts, |_, cancel: &CancelToken| {
+        // Poll only the manual flag path by sleeping between checks; the
+        // watchdog must flip it.
+        for _ in 0..500 {
+            if cancel.is_cancelled() {
+                return Err(UnitError::fatal("cut off"));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        Ok(())
+    });
+    assert_eq!(report.quarantined(), 1);
+}
+
+#[test]
+fn journaled_run_resumes_and_skips_finished_units() {
+    let path = tmp("resume");
+    let _ = std::fs::remove_file(&path);
+    let opts = RunOptions::default();
+    let encode = |v: &usize| v.to_string();
+    let decode = |s: &str| s.parse::<usize>().ok();
+
+    // First run covers all 12 units.
+    let full = run_supervised_journaled(12, &opts, &path, false, encode, decode, |unit, _| {
+        Ok::<_, UnitError>(unit + 100)
+    })
+    .unwrap();
+    assert_eq!(full.summary().resumed, 0);
+
+    // Simulate an interruption after 5 completed units.
+    let lines: Vec<String> = std::fs::read_to_string(&path)
+        .unwrap()
+        .lines()
+        .take(5)
+        .map(str::to_owned)
+        .collect();
+    std::fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+
+    // Resume: only the missing 7 units execute.
+    let executed = AtomicUsize::new(0);
+    let resumed = run_supervised_journaled(12, &opts, &path, true, encode, decode, |unit, _| {
+        executed.fetch_add(1, Ordering::SeqCst);
+        Ok::<_, UnitError>(unit + 100)
+    })
+    .unwrap();
+    assert_eq!(executed.load(Ordering::SeqCst), 7);
+    assert_eq!(resumed.summary().resumed, 5);
+    let a: Vec<usize> = full.results().copied().collect();
+    let b: Vec<usize> = resumed.results().copied().collect();
+    assert_eq!(a, b, "resumed run must assemble identical results");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn journal_replays_quarantined_outcomes_too() {
+    let path = tmp("requarantine");
+    let _ = std::fs::remove_file(&path);
+    let opts = RunOptions::default();
+    let encode = |v: &usize| v.to_string();
+    let decode = |s: &str| s.parse::<usize>().ok();
+    let first = run_supervised_journaled(3, &opts, &path, false, encode, decode, |unit, _| {
+        if unit == 1 {
+            Err(UnitError::fatal("deterministically broken"))
+        } else {
+            Ok(unit)
+        }
+    })
+    .unwrap();
+    assert_eq!(first.quarantined(), 1);
+
+    // Resume over the full journal: nothing re-executes, including the
+    // quarantined unit, and the report is equivalent.
+    let second = run_supervised_journaled(
+        3,
+        &opts,
+        &path,
+        true,
+        encode,
+        decode,
+        |_, _| -> Result<usize, UnitError> { panic!("no unit should re-execute") },
+    )
+    .unwrap();
+    assert_eq!(second.summary().resumed, 3);
+    assert_eq!(second.quarantined(), 1);
+    match &second.units[1].outcome {
+        UnitOutcome::Quarantined {
+            diagnostic,
+            panicked,
+        } => {
+            assert_eq!(diagnostic, "deterministically broken");
+            assert!(!panicked);
+        }
+        other => panic!("unexpected outcome: {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn zero_units_is_a_no_op() {
+    let report = run_supervised(0, &RunOptions::default(), |u, _| Ok::<_, UnitError>(u));
+    assert!(report.units.is_empty());
+    assert_eq!(report.summary().ok, 0);
+}

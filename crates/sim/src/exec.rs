@@ -10,6 +10,7 @@
 use crate::elab::{elaborate, Design, ElabError, Process, ProcessKind, SigId};
 use crate::eval::{case_label_matches, format_value};
 use crate::ops::LogicVecExt;
+use dda_runtime::CancelToken;
 use dda_verilog::ast::{AssignKind, Edge, Sensitivity, Stmt};
 use dda_verilog::{Expr, LogicBit, LogicVec, SourceFile};
 use std::cell::Cell;
@@ -28,6 +29,11 @@ pub struct SimOptions {
     pub max_steps: u64,
     /// Cap on captured `$display` output, in bytes.
     pub output_limit: usize,
+    /// Cooperative wall-clock cancellation: the exec loop polls this token
+    /// every few thousand statements and aborts with
+    /// [`RunErrorKind::WallTimeout`] when it trips. The default token
+    /// never trips, so untimed runs pay only an occasional atomic load.
+    pub cancel: CancelToken,
 }
 
 impl Default for SimOptions {
@@ -37,6 +43,7 @@ impl Default for SimOptions {
             max_deltas: 10_000,
             max_steps: 20_000_000,
             output_limit: 1 << 20,
+            cancel: CancelToken::new(),
         }
     }
 }
@@ -54,13 +61,37 @@ pub struct SimResult {
     pub error_count: usize,
 }
 
-/// A hard simulation failure (runaway loops).
+/// Which resource a failed run exhausted. Distinguishes *wall-clock*
+/// timeouts (the host spent too long, regardless of simulated time) from
+/// the simulated-resource budgets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunErrorKind {
+    /// Delta-cycle limit within one time step (combinational loop).
+    DeltaLimit,
+    /// Total statement-execution budget (zero-delay runaway loop).
+    StepBudget,
+    /// The wall-clock deadline on [`SimOptions::cancel`] tripped (or the
+    /// run was cancelled by a supervisor).
+    WallTimeout,
+}
+
+/// A hard simulation failure (runaway loops, wall-clock cutoff).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunError {
     /// What blew up.
     pub message: String,
     /// Simulated time at failure.
     pub time: u64,
+    /// Which budget was exhausted.
+    pub kind: RunErrorKind,
+}
+
+impl RunError {
+    /// Whether this failure was a wall-clock cutoff rather than a
+    /// simulated-resource budget.
+    pub fn is_wall_timeout(&self) -> bool {
+        self.kind == RunErrorKind::WallTimeout
+    }
 }
 
 impl fmt::Display for RunError {
@@ -70,6 +101,13 @@ impl fmt::Display for RunError {
 }
 
 impl Error for RunError {}
+
+/// How often (in interpreted statements) the exec loop polls the
+/// wall-clock cancel token. A power of two keeps the modulo a mask. The
+/// period balances overhead (one atomic load per poll) against detection
+/// latency for slow-burn bodies whose individual statements are
+/// expensive (wide-vector ops run ~µs–ms per statement).
+const WALL_POLL_PERIOD: u64 = 1024;
 
 #[derive(Debug, Clone)]
 #[allow(clippy::large_enum_variant)]
@@ -422,6 +460,7 @@ impl Simulator {
                         return Err(RunError {
                             message: "nonblocking-update delta limit exceeded".into(),
                             time: self.time,
+                            kind: RunErrorKind::DeltaLimit,
                         });
                     }
                     let updates = std::mem::take(&mut self.nba);
@@ -444,6 +483,10 @@ impl Simulator {
             if t > opts.max_time {
                 break;
             }
+            // Also poll once per time advance: event-driven livelocks (clock
+            // ticks with tiny bodies) advance time far faster than they
+            // retire statements.
+            self.check_wall(opts)?;
             self.time = t;
             let events = self.future.remove(&t).unwrap_or_default();
             for ev in events {
@@ -464,6 +507,20 @@ impl Simulator {
             output: self.output.clone(),
             error_count: self.error_count,
         })
+    }
+
+    /// Returns a [`RunErrorKind::WallTimeout`] error if the run's cancel
+    /// token has tripped (deadline passed or supervisor cancellation).
+    #[inline]
+    fn check_wall(&self, opts: &SimOptions) -> Result<(), RunError> {
+        if opts.cancel.is_cancelled() {
+            return Err(RunError {
+                message: "wall-clock deadline exceeded".into(),
+                time: self.time,
+                kind: RunErrorKind::WallTimeout,
+            });
+        }
+        Ok(())
     }
 
     fn enqueue(&mut self, p: usize) {
@@ -494,7 +551,15 @@ impl Simulator {
                 return Err(RunError {
                     message: "statement budget exceeded (runaway loop?)".into(),
                     time: self.time,
+                    kind: RunErrorKind::StepBudget,
                 });
+            }
+            // Wall-clock deadline: polled sparsely so the common case pays
+            // one branch per statement, and slow wide-vector statements
+            // (which burn wall time at few steps) are still caught within
+            // a few thousand steps.
+            if (*steps).is_multiple_of(WALL_POLL_PERIOD) {
+                self.check_wall(opts)?;
             }
             let Some(task) = self.procs[p].tasks.pop() else {
                 // Body complete.

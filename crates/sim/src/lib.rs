@@ -47,5 +47,5 @@ pub mod ops;
 pub mod vcd;
 
 pub use elab::{elaborate, Design, ElabError, Process, ProcessKind, SigId, SignalDef};
-pub use exec::{RunError, SimOptions, SimResult, Simulator};
+pub use exec::{RunError, RunErrorKind, SimOptions, SimResult, Simulator};
 pub use vcd::VcdRecorder;

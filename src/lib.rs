@@ -11,6 +11,7 @@
 //! | [`verilog`] | `dda-verilog` | Verilog lexer/parser/AST/printer (the ANTLR4 substitute) |
 //! | [`lint`] | `dda-lint` | yosys-style syntax & semantic checker |
 //! | [`sim`] | `dda-sim` | event-driven 4-state simulator (the VCS substitute) |
+//! | [`runtime`] | `dda-runtime` | supervised worker-pool engine: deadlines, retry, checkpoint/resume |
 //! | [`corpus`] | `dda-corpus` | synthetic Verilog corpus generator |
 //! | [`scscript`] | `dda-scscript` | SiliconCompiler Python-DSL model |
 //! | [`core`] | `dda-core` | **the paper's contribution**: the augmentation pipeline |
@@ -48,6 +49,7 @@ pub use dda_core as core;
 pub use dda_corpus as corpus;
 pub use dda_eval as eval;
 pub use dda_lint as lint;
+pub use dda_runtime as runtime;
 pub use dda_scscript as scscript;
 pub use dda_sim as sim;
 pub use dda_slm as slm;

@@ -13,15 +13,20 @@
 //! new pipeline emits exactly the dataset the pre-report per-stage loop
 //! produces for the same seed.
 
+use chipdda::benchmarks::{Suite, VerilogProblem};
 use chipdda::core::chaos::{chaos_corpus, inject, Fault};
 use chipdda::core::completion::completion_entries;
 use chipdda::core::pipeline::{augment, PipelineOptions, Stage, StageSet, QUARANTINE_INSTRUCT};
 use chipdda::core::repair::repair_entries;
 use chipdda::core::{Dataset, TaskKind};
 use chipdda::corpus::generate_corpus;
+use chipdda::eval::run_testbench_verdict_with;
+use chipdda::runtime::CancelToken;
+use chipdda::sim::{RunErrorKind, SimOptions, Simulator};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::time::{Duration, Instant};
 
 /// Small volumes so the property sweep stays fast; all stages enabled.
 fn opts() -> PipelineOptions {
@@ -176,6 +181,88 @@ fn clean_corpus_matches_legacy_pipeline_exactly() {
     ds_old.trim_by_token_len(opts.max_entry_tokens);
 
     assert_eq!(ds_new, ds_old);
+}
+
+/// Simulator budgets that only the wall-clock deadline can trip: sim-time
+/// and statement ceilings are effectively unlimited.
+fn wall_only_opts(deadline: Duration) -> SimOptions {
+    SimOptions {
+        max_time: u64::MAX / 4,
+        max_steps: u64::MAX / 4,
+        cancel: CancelToken::with_deadline(deadline),
+        ..SimOptions::default()
+    }
+}
+
+/// Slow-burn and event-livelock corpora are invisible to the step/delta
+/// budgets by construction; only the wall-clock deadline stops them. Both
+/// families, over several injection seeds, must abort with a
+/// `WallTimeout` (not hang, not exhaust a sim budget) within a bounded
+/// overshoot of the 2 s deadline.
+#[test]
+fn wall_deadline_converts_slow_faults_to_timeouts() {
+    for fault in [Fault::SlowBurn, Fault::EventLivelock] {
+        for seed in [1u64, 7] {
+            let src = inject(
+                "module chaos_unit;\nendmodule\n",
+                fault,
+                &mut SmallRng::seed_from_u64(seed),
+            );
+            let sf = chipdda::verilog::parse(&src).expect("chaos module parses");
+            let mut sim = Simulator::new(&sf, "chaos_unit").expect("chaos module elaborates");
+            let start = Instant::now();
+            let err = sim
+                .run(&wall_only_opts(Duration::from_secs(2)))
+                .expect_err("must not complete");
+            let elapsed = start.elapsed();
+            assert_eq!(err.kind, RunErrorKind::WallTimeout, "{fault} seed {seed}");
+            assert!(err.is_wall_timeout());
+            assert!(
+                elapsed >= Duration::from_secs(2),
+                "{fault} seed {seed}: finished early ({elapsed:?})"
+            );
+            assert!(
+                elapsed < Duration::from_secs(30),
+                "{fault} seed {seed}: deadline overshot ({elapsed:?})"
+            );
+        }
+    }
+}
+
+/// A handshake problem whose testbench spans enough simulated time that a
+/// livelocked DUT burns minutes of wall-clock before `$finish`.
+fn handshake_problem() -> VerilogProblem {
+    VerilogProblem {
+        id: "chaos_handshake",
+        suite: Suite::Thakur,
+        module_name: "chaos_unit",
+        prompts: vec![String::new()],
+        reference: "module chaos_unit(output reg done);\ninitial #5 done = 1;\nendmodule\n",
+        testbench: "module tb;\n  wire done;\n  chaos_unit dut(.done(done));\n  initial begin\n    #1000000 $display(\"RESULT %0d 1\", done ? 1 : 0);\n    $finish;\n  end\nendmodule\n",
+    }
+}
+
+/// End-to-end through the eval harness: under a 2 s deadline the chaos
+/// fault families surface as `TestbenchVerdict::Timeout` carrying the
+/// wall-clock diagnostic — distinguishable from sim-budget exhaustion —
+/// while a clean reference still scores through the same options.
+#[test]
+fn eval_verdicts_are_wall_timeouts_under_deadline() {
+    let p = handshake_problem();
+    for fault in [Fault::SlowBurn, Fault::EventLivelock] {
+        let generated = inject(p.reference, fault, &mut SmallRng::seed_from_u64(3));
+        let v = run_testbench_verdict_with(&p, &generated, &wall_only_opts(Duration::from_secs(2)));
+        match &v {
+            chipdda::eval::TestbenchVerdict::Timeout(msg) => {
+                assert!(msg.contains("wall-clock"), "{fault}: {msg}")
+            }
+            other => panic!("{fault}: expected Timeout, got {other:?}"),
+        }
+        assert_eq!(v.pass_rate(), 0.0);
+    }
+    // Control: the clean reference completes well inside the deadline.
+    let v = run_testbench_verdict_with(&p, p.reference, &wall_only_opts(Duration::from_secs(2)));
+    assert_eq!(v.pass_rate(), 1.0, "{v:?}");
 }
 
 /// The ablation StageSets stay honest under chaos: disabled stages account

@@ -1,0 +1,165 @@
+//! Resume-determinism tests for the supervised engine wiring: a journaled
+//! run interrupted at a seeded random unit must resume to output that is
+//! byte-identical to an uninterrupted run, for worker counts 1, 2, and 8.
+
+use chipdda::core::json::to_jsonl;
+use chipdda::core::pipeline::PipelineOptions;
+use chipdda::core::supervised::{augment_supervised, SupervisedOptions};
+use chipdda::core::{Dataset, TaskKind};
+use chipdda::eval::supervised::{eval_suite_supervised, SweepOptions};
+use chipdda::eval::GenProtocol;
+use chipdda::runtime::RunOptions;
+use chipdda::slm::{Slm, SlmProfile, PROGRESSIVE_ORDER};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("dda-int-runtime-{}-{name}", std::process::id()));
+    p
+}
+
+fn opts() -> PipelineOptions {
+    PipelineOptions {
+        repairs_per_module: 1,
+        eda_scripts: 4,
+        ..PipelineOptions::default()
+    }
+}
+
+/// The dataset flattened to JSONL bytes, task group by task group — the
+/// strongest form of the "byte-identical" claim.
+fn dataset_bytes(ds: &Dataset) -> String {
+    let mut out = String::new();
+    for kind in TaskKind::ALL {
+        out.push_str(&to_jsonl(ds.entries(kind)));
+    }
+    out
+}
+
+/// Interrupts a journaled augmentation at a seeded random unit k (by
+/// truncating the journal to its first k records), resumes with each
+/// worker count, and asserts the result is byte-identical to the
+/// uninterrupted run.
+#[test]
+fn interrupted_augmentation_resumes_byte_identical() {
+    let corpus = chipdda::corpus::generate_corpus(10, &mut SmallRng::seed_from_u64(31));
+    let path = tmp("augment-resume");
+    let _ = std::fs::remove_file(&path);
+
+    let journaled = SupervisedOptions {
+        journal: Some(path.clone()),
+        ..SupervisedOptions::default()
+    };
+    let (full_ds, full_report, _) = augment_supervised(&corpus, &opts(), &journaled).unwrap();
+    let full_journal = std::fs::read_to_string(&path).unwrap();
+    let units = full_journal.lines().count();
+    assert_eq!(units, corpus.len() + 1, "one journal record per unit");
+
+    for workers in [1usize, 2, 8] {
+        // Seeded random interruption point, distinct per worker count.
+        let k = SmallRng::seed_from_u64(0xC0DE + workers as u64).gen_range(1..units);
+        let kept: Vec<&str> = full_journal.lines().take(k).collect();
+        std::fs::write(&path, format!("{}\n", kept.join("\n"))).unwrap();
+
+        let resumed = SupervisedOptions {
+            run: RunOptions {
+                workers,
+                ..RunOptions::default()
+            },
+            journal: Some(path.clone()),
+            resume: true,
+            ..SupervisedOptions::default()
+        };
+        let (ds, report, summary) = augment_supervised(&corpus, &opts(), &resumed).unwrap();
+        assert_eq!(summary.resumed, k, "workers={workers}");
+        assert_eq!(
+            dataset_bytes(&ds),
+            dataset_bytes(&full_ds),
+            "workers={workers} interrupted at k={k}"
+        );
+        assert_eq!(report, full_report, "workers={workers}");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// The same property for an eval sweep: interrupt mid-sweep, resume with
+/// 1/2/8 workers, identical rows.
+#[test]
+fn interrupted_eval_sweep_resumes_byte_identical() {
+    let model = Slm::finetune(
+        SlmProfile::llama2(7.0),
+        &chipdda::core::Dataset::new(),
+        &PROGRESSIVE_ORDER,
+    );
+    let problems: Vec<_> = chipdda::benchmarks::thakur_suite()
+        .into_iter()
+        .take(4)
+        .collect();
+    let protocol = GenProtocol {
+        k: 1,
+        ..GenProtocol::default()
+    };
+    let path = tmp("eval-resume");
+    let _ = std::fs::remove_file(&path);
+
+    let journaled = SweepOptions {
+        journal: Some(path.clone()),
+        ..SweepOptions::default()
+    };
+    let (full_rows, _) = eval_suite_supervised(&model, &problems, &protocol, &journaled).unwrap();
+    let full_journal = std::fs::read_to_string(&path).unwrap();
+
+    for workers in [1usize, 2, 8] {
+        let k = SmallRng::seed_from_u64(0xE7A1 + workers as u64).gen_range(1..problems.len());
+        let kept: Vec<&str> = full_journal.lines().take(k).collect();
+        std::fs::write(&path, format!("{}\n", kept.join("\n"))).unwrap();
+
+        let resumed = SweepOptions {
+            run: RunOptions {
+                workers,
+                ..RunOptions::default()
+            },
+            journal: Some(path.clone()),
+            resume: true,
+        };
+        let (rows, summary) =
+            eval_suite_supervised(&model, &problems, &protocol, &resumed).unwrap();
+        assert_eq!(rows, full_rows, "workers={workers} k={k}");
+        assert_eq!(summary.resumed, k, "workers={workers}");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// A journal torn mid-record (simulating a crash during a write) is
+/// tolerated: the torn tail is dropped and the touched unit re-executes.
+#[test]
+fn torn_journal_tail_is_tolerated() {
+    let corpus = chipdda::corpus::generate_corpus(5, &mut SmallRng::seed_from_u64(9));
+    let path = tmp("torn-tail");
+    let _ = std::fs::remove_file(&path);
+    let journaled = SupervisedOptions {
+        journal: Some(path.clone()),
+        ..SupervisedOptions::default()
+    };
+    let (full_ds, ..) = augment_supervised(&corpus, &opts(), &journaled).unwrap();
+
+    // Cut the journal mid-way through its final line.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut cut = text.len() - text.len() / 8;
+    while !text.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    std::fs::write(&path, &text[..cut]).unwrap();
+
+    let resumed = SupervisedOptions {
+        journal: Some(path.clone()),
+        resume: true,
+        ..SupervisedOptions::default()
+    };
+    let (ds, report, _) = augment_supervised(&corpus, &opts(), &resumed).unwrap();
+    assert_eq!(dataset_bytes(&ds), dataset_bytes(&full_ds));
+    assert!(report.is_conserved());
+    std::fs::remove_file(&path).ok();
+}
