@@ -1,0 +1,92 @@
+//! One-shot simulator performance snapshot.
+//!
+//! Times every stage of the simulator pipeline — lex, parse, elaborate,
+//! and the event loop under both execution engines — on the shared
+//! 128-bit pipeline workload, checks the engines agree, and writes the
+//! numbers to `BENCH_PR3.json` (the checked-in snapshot DESIGN.md §5d
+//! explains how to read).
+//!
+//! Usage: `cargo run --release -p dda-bench --bin perfsnap [--smoke]`
+//!
+//! `--smoke` shrinks the workload and prints the JSON to stdout instead
+//! of writing the file — a seconds-scale CI check that the snapshot path
+//! itself still works.
+
+use dda_bench::{perf_workload, PERF_EVENTS_PER_CYCLE};
+use dda_sim::{cache, EvalMode, SimOptions, SimResult, Simulator};
+use std::time::Instant;
+
+/// Wall-clock milliseconds for `f`, best of `reps` runs (min, not mean:
+/// the snapshot wants the noise floor, not scheduler jitter).
+fn best_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let v = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        out = Some(v);
+    }
+    (out.unwrap(), best)
+}
+
+fn run_mode(sf: &dda_verilog::SourceFile, mode: EvalMode) -> SimResult {
+    let mut sim = Simulator::new(sf, "tb").expect("workload elaborates");
+    sim.run(&SimOptions {
+        eval_mode: mode,
+        ..SimOptions::default()
+    })
+    .expect("workload runs")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (cycles, reps) = if smoke { (500, 2) } else { (20_000, 5) };
+    let src = perf_workload(cycles);
+    let events = cycles * PERF_EVENTS_PER_CYCLE;
+
+    let (tokens, lex_ms) = best_ms(reps, || dda_verilog::lex(&src).expect("lexes"));
+    let (sf, parse_ms) = best_ms(reps, || dda_verilog::parse(&src).expect("parses"));
+    let (_, elab_ms) = best_ms(reps, || Simulator::new(&sf, "tb").expect("elaborates"));
+
+    let (ast, ast_ms) = best_ms(reps, || run_mode(&sf, EvalMode::Ast));
+    let (byte, byte_ms) = best_ms(reps, || run_mode(&sf, EvalMode::Bytecode));
+    assert_eq!(ast, byte, "engines diverged on the perf workload");
+    assert!(byte.finished, "workload did not reach $finish");
+
+    // Frontend memoization: cold fills the cache, warm must be a pure
+    // lookup (same thread, same source).
+    cache::clear();
+    let (_, cold_ms) = best_ms(1, || cache::shared_design(&src, "tb").expect("frontend"));
+    let (_, warm_ms) = best_ms(1, || cache::shared_design(&src, "tb").expect("frontend"));
+    let stats = cache::stats();
+
+    let speedup = ast_ms / byte_ms;
+    let eps = |ms: f64| events as f64 / (ms / 1e3);
+    let json = format!(
+        "{{\n  \"workload\": {{ \"cycles\": {cycles}, \"events\": {events}, \"tokens\": {} }},\n  \
+           \"stages_ms\": {{ \"lex\": {lex_ms:.3}, \"parse\": {parse_ms:.3}, \"elaborate\": {elab_ms:.3}, \
+           \"run_ast\": {ast_ms:.3}, \"run_bytecode\": {byte_ms:.3} }},\n  \
+           \"events_per_sec\": {{ \"ast\": {:.0}, \"bytecode\": {:.0} }},\n  \
+           \"speedup_bytecode_over_ast\": {speedup:.2},\n  \
+           \"frontend_cache_ms\": {{ \"cold\": {cold_ms:.3}, \"warm\": {warm_ms:.3}, \
+           \"hits\": {}, \"misses\": {} }},\n  \
+           \"smoke\": {smoke}\n}}\n",
+        tokens.len(),
+        eps(ast_ms),
+        eps(byte_ms),
+        stats.hits,
+        stats.misses,
+    );
+
+    eprintln!(
+        "[perfsnap] {cycles} cycles: ast {ast_ms:.1} ms, bytecode {byte_ms:.1} ms ({speedup:.1}x); \
+         frontend cold {cold_ms:.2} ms, warm {warm_ms:.3} ms"
+    );
+    if smoke {
+        println!("{json}");
+    } else {
+        std::fs::write("BENCH_PR3.json", &json).expect("write BENCH_PR3.json");
+        println!("wrote BENCH_PR3.json");
+    }
+}

@@ -3,11 +3,13 @@
 //! Llama2-13B.
 //!
 //! Usage: `cargo run --release -p dda-bench --bin table3
-//! [--quick] [--workers N] [--resume PATH]`
+//! [--quick] [--workers N] [--resume PATH] [--eval-mode ast|bytecode]`
 //!
 //! `--workers`/`--resume` run each per-model sweep on the supervised
 //! runtime engine (parallel workers plus a per-sweep write-ahead
 //! journal); supervised rows are identical to the sequential ones.
+//! `--eval-mode` picks the simulator engine for testbench scoring; both
+//! engines produce identical verdicts (only wall-clock differs).
 
 use dda_bench::{log_summary, zoo_from_args, RunFlags};
 use dda_benchmarks::rtllm_suite;
@@ -18,7 +20,11 @@ use dda_eval::ModelId;
 
 fn main() {
     let zoo = zoo_from_args();
-    let protocol = RepairProtocol::default();
+    let flags = RunFlags::from_args();
+    let protocol = RepairProtocol {
+        eval_mode: flags.eval_mode,
+        ..RepairProtocol::default()
+    };
     let suite = rtllm_suite();
     // Table 3's model columns.
     let models = [
@@ -38,7 +44,6 @@ fn main() {
     }
     let mut table = TextTable::new(header);
 
-    let flags = RunFlags::from_args();
     let mut per_model = Vec::new();
     for m in models {
         eprintln!("[table3] evaluating {m}...");

@@ -3,11 +3,13 @@
 //! Table-5 subset (18 designs), for all six models.
 //!
 //! Usage: `cargo run --release -p dda-bench --bin table5
-//! [--quick] [--workers N] [--resume PATH]`
+//! [--quick] [--workers N] [--resume PATH] [--eval-mode ast|bytecode]`
 //!
 //! `--workers`/`--resume` run each (model, suite) sweep on the supervised
 //! runtime engine (parallel workers plus a per-sweep write-ahead
 //! journal); supervised rows are identical to the sequential ones.
+//! `--eval-mode` picks the simulator engine for testbench scoring; both
+//! engines produce identical verdicts (only wall-clock differs).
 
 use dda_bench::{log_summary, zoo_from_args, RunFlags};
 use dda_benchmarks::{rtllm_table5_subset, thakur_suite};
@@ -16,7 +18,11 @@ use dda_eval::{eval_suite, eval_suite_supervised, success_rate, GenProtocol, Mod
 
 fn main() {
     let zoo = zoo_from_args();
-    let protocol = GenProtocol::default();
+    let flags = RunFlags::from_args();
+    let protocol = GenProtocol {
+        eval_mode: flags.eval_mode,
+        ..GenProtocol::default()
+    };
     let thakur = thakur_suite();
     let rtllm = rtllm_table5_subset();
 
@@ -31,7 +37,6 @@ fn main() {
     let mut table = TextTable::new(header);
 
     // Evaluate every model on both suites up front.
-    let flags = RunFlags::from_args();
     let sweep = |id: ModelId, suite_name: &str, problems: &[_]| {
         eprintln!("[table5] evaluating {id} on {suite_name}...");
         if flags.supervised() {

@@ -9,7 +9,7 @@
 
 use dda_core::supervised::SupervisedOptions;
 use dda_eval::supervised::SweepOptions;
-use dda_eval::{ModelZoo, ZooOptions};
+use dda_eval::{EvalMode, ModelZoo, ZooOptions};
 use dda_runtime::{EngineSummary, RunOptions};
 use std::path::PathBuf;
 
@@ -36,20 +36,28 @@ pub fn zoo_from_args() -> ModelZoo {
     }
 }
 
-/// The shared `--workers N` / `--resume PATH` flags of the table binaries.
+/// The shared `--workers N` / `--resume PATH` / `--eval-mode ENGINE` flags
+/// of the table binaries.
 ///
-/// With either flag given the binary routes its sweeps through the
-/// `dda-runtime` supervised engine: `--workers N` fans each sweep over N
-/// worker threads, `--resume PATH` write-ahead-journals every sweep to
-/// `PATH.<label>` and replays completed units from it on the next run.
-/// Without both flags the binaries keep their original sequential code
-/// paths, so default output stays byte-identical release to release.
+/// With either of the first two flags given the binary routes its sweeps
+/// through the `dda-runtime` supervised engine: `--workers N` fans each
+/// sweep over N worker threads, `--resume PATH` write-ahead-journals every
+/// sweep to `PATH.<label>` and replays completed units from it on the next
+/// run. Without both flags the binaries keep their original sequential
+/// code paths, so default output stays byte-identical release to release.
+///
+/// `--eval-mode ast|bytecode` selects the simulator engine used for
+/// testbench scoring (bytecode by default; `ast` reproduces the reference
+/// interpreter for differential runs). Verdicts and scores are identical
+/// across engines — only wall-clock differs.
 #[derive(Debug, Clone)]
 pub struct RunFlags {
     /// Worker threads per sweep (`--workers N`; default 1).
     pub workers: usize,
     /// Journal path stem (`--resume PATH`); one journal per sweep label.
     pub resume: Option<PathBuf>,
+    /// Simulator engine (`--eval-mode ast|bytecode`; default bytecode).
+    pub eval_mode: EvalMode,
 }
 
 impl RunFlags {
@@ -64,6 +72,10 @@ impl RunFlags {
         RunFlags {
             workers: after("--workers").and_then(|v| v.parse().ok()).unwrap_or(1),
             resume: after("--resume").map(PathBuf::from),
+            eval_mode: match after("--eval-mode").map(String::as_str) {
+                Some("ast") => EvalMode::Ast,
+                _ => EvalMode::Bytecode,
+            },
         }
     }
 
@@ -111,6 +123,37 @@ impl RunFlags {
         }
     }
 }
+
+/// The standard simulator-performance workload: a 128-bit LFSR feeding a
+/// three-stage xor/add pipeline, clocked for `cycles` cycles. Every clock
+/// edge moves four 128-bit nonblocking updates plus a 128-bit continuous
+/// assignment through the scheduler, which is exactly the per-event shape
+/// the testbench sweeps spend their time on. Used by the `perf` Criterion
+/// bench and the `perfsnap` binary so their numbers are comparable.
+pub fn perf_workload(cycles: u64) -> String {
+    format!(
+        "module tb;\n\
+         reg clk = 0;\n\
+         reg [127:0] lfsr = 128'd1;\n\
+         reg [127:0] acc = 0;\n\
+         reg [127:0] s1 = 0, s2 = 0;\n\
+         wire [127:0] mixed = (lfsr ^ {{acc[63:0], acc[127:64]}}) + s1;\n\
+         always #1 clk = ~clk;\n\
+         always @(posedge clk) begin\n\
+           lfsr <= {{lfsr[126:0], lfsr[127] ^ lfsr[125] ^ lfsr[100] ^ lfsr[98]}};\n\
+           s1 <= lfsr + (acc >> 3);\n\
+           s2 <= s1 ^ mixed;\n\
+           acc <= acc + s2;\n\
+         end\n\
+         initial begin #{} $display(\"acc=%h\", acc); $finish; end\n\
+         endmodule\n",
+        2 * cycles
+    )
+}
+
+/// Scheduler events per [`perf_workload`] cycle (four nonblocking updates
+/// plus the continuous-assignment re-evaluation), for events/sec figures.
+pub const PERF_EVENTS_PER_CYCLE: u64 = 5;
 
 /// Logs one sweep's engine summary to stderr, mirroring the binaries'
 /// progress lines.

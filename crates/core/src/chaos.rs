@@ -134,9 +134,11 @@ pub fn inject<R: Rng + ?Sized>(source: &str, fault: Fault, rng: &mut R) -> Strin
         Fault::SlowBurn => {
             // Few statements (well inside any step budget), each grinding
             // a multi-kilobit vector: wall-clock cost is minutes while the
-            // step count stays in the tens of thousands.
-            let width = rng.gen_range(8_192usize..16_384);
-            let iters = rng.gen_range(20_000u64..40_000);
+            // step count stays in the low millions. Sized so even the
+            // word-packed bytecode engine in release mode cannot finish
+            // before a seconds-scale wall deadline.
+            let width = rng.gen_range(32_768usize..65_536);
+            let iters = rng.gen_range(1_000_000u64..2_000_000);
             let body = format!(
                 "reg [{msb}:0] __chaos_burn;\ninteger __chaos_i;\n\
                  initial begin\n  __chaos_burn = 1;\n  \

@@ -10,7 +10,8 @@
 use dda_benchmarks::{parse_result, VerilogProblem};
 use dda_core::align::ALIGN_INSTRUCT;
 use dda_runtime::CancelToken;
-use dda_sim::{SimOptions, Simulator};
+use dda_sim::cache::{shared_design, FrontendError};
+use dda_sim::{EvalMode, SimOptions, Simulator};
 use dda_slm::{GenOptions, Slm};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -56,6 +57,9 @@ pub struct GenProtocol {
     pub temperature: f64,
     /// Base seed; sample `i` of cell `c` uses a derived seed.
     pub seed: u64,
+    /// Simulator execution engine (bytecode by default; `Ast` reproduces
+    /// the reference interpreter for differential runs).
+    pub eval_mode: EvalMode,
 }
 
 impl Default for GenProtocol {
@@ -64,6 +68,7 @@ impl Default for GenProtocol {
             k: 5,
             temperature: 0.1,
             seed: 99,
+            eval_mode: EvalMode::default(),
         }
     }
 }
@@ -143,10 +148,14 @@ pub fn run_testbench_verdict_with(
     let src = format!("{generated}\n{}", problem.testbench);
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
         || -> Result<TestbenchVerdict, TestbenchVerdict> {
-            let sf = dda_verilog::parse(&src)
-                .map_err(|e| TestbenchVerdict::ParseError(e.to_string()))?;
-            let mut sim =
-                Simulator::new(&sf, "tb").map_err(|e| TestbenchVerdict::ElabError(e.message))?;
+            // The frontend result is memoized per thread: re-scoring the
+            // same candidate (pass@k, repair loops) reuses the elaborated
+            // design and its compiled bytecode instead of re-parsing.
+            let design = shared_design(&src, "tb").map_err(|e| match e {
+                FrontendError::Parse(m) => TestbenchVerdict::ParseError(m),
+                FrontendError::Elab(e) => TestbenchVerdict::ElabError(e.message),
+            })?;
+            let mut sim = Simulator::from_design(design);
             let result = sim
                 .run(opts)
                 .map_err(|e| TestbenchVerdict::Timeout(e.to_string()))?;
@@ -222,8 +231,9 @@ pub fn eval_cell_with(
             syntax_errors += 1;
             continue;
         }
-        let rate =
-            run_testbench_verdict_with(problem, &out, &testbench_sim_options(cancel)).pass_rate();
+        let mut sim_opts = testbench_sim_options(cancel);
+        sim_opts.eval_mode = protocol.eval_mode;
+        let rate = run_testbench_verdict_with(problem, &out, &sim_opts).pass_rate();
         if rate > best_function {
             best_function = rate;
         }

@@ -29,6 +29,7 @@ pub mod script_eval;
 pub mod supervised;
 
 pub use agent::{agent_episode, agent_vs_single, AgentOutcome, AgentProtocol};
+pub use dda_sim::EvalMode;
 pub use generation::{
     eval_cell, eval_suite, run_testbench, run_testbench_verdict, run_testbench_verdict_with,
     success_rate, GenCell, GenProtocol, GenRow, TestbenchVerdict,

@@ -42,6 +42,8 @@ pub struct RepairProtocol {
     pub seed: u64,
     /// Mutation cap used when deriving the broken input.
     pub max_mutations: usize,
+    /// Simulator execution engine for the function-scoring runs.
+    pub eval_mode: dda_sim::EvalMode,
 }
 
 impl Default for RepairProtocol {
@@ -51,6 +53,7 @@ impl Default for RepairProtocol {
             temperature: 0.1,
             seed: 424,
             max_mutations: 3,
+            eval_mode: dda_sim::EvalMode::default(),
         }
     }
 }
@@ -120,8 +123,9 @@ pub fn eval_repair_with(
             syntax_errors += 1;
             continue;
         }
-        let rate =
-            run_testbench_verdict_with(problem, &out, &testbench_sim_options(cancel)).pass_rate();
+        let mut sim_opts = testbench_sim_options(cancel);
+        sim_opts.eval_mode = protocol.eval_mode;
+        let rate = run_testbench_verdict_with(problem, &out, &sim_opts).pass_rate();
         if rate > best_function {
             best_function = rate;
         }

@@ -1,0 +1,195 @@
+//! Memoized parse + elaboration keyed by source content.
+//!
+//! Evaluation sweeps rerun the same `(source, top)` pair many times — the
+//! pass@k protocols simulate each candidate against the same testbench `k`
+//! times per level, and repair loops re-score unchanged candidates. The
+//! frontend (lex → parse → elaborate → bytecode compile) is pure in the
+//! source text, so its result can be shared: [`shared_design`] returns a
+//! cached [`Design`] clone (cheap — statement bodies and bytecode sit
+//! behind `Rc`) and only runs the frontend on a genuine miss.
+//!
+//! The cache is **thread-local**: [`Design`] holds `Rc` internally and is
+//! not `Send`, and the parallel run-engine shards work per thread anyway,
+//! so each worker warms its own cache. Entries verify the full key on hit
+//! (the hash is only a bucket index), so collisions cost a recompute,
+//! never a wrong design.
+
+use crate::elab::{elaborate, Design, ElabError};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+/// A frontend failure: the stage that rejected the source plus its message.
+/// Cached alongside successes so a sweep does not re-parse a known-bad
+/// candidate `k` times.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrontendError {
+    /// The source failed to parse.
+    Parse(String),
+    /// The design failed to elaborate.
+    Elab(ElabError),
+}
+
+impl std::fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrontendError::Parse(m) => write!(f, "{m}"),
+            FrontendError::Elab(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+/// Hit/miss counts for this thread's cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that ran the frontend.
+    pub misses: u64,
+}
+
+/// Bound on cached designs per thread. Sweeps cycle through a bounded
+/// problem set (tens of testbenches × a handful of candidates in flight),
+/// so a small cap holds the working set; on overflow the map is cleared
+/// wholesale — an O(1)-amortized policy that cannot be gamed into
+/// pathological eviction scans.
+const CACHE_CAP: usize = 64;
+
+struct Entry {
+    src: String,
+    top: String,
+    value: Result<Design, FrontendError>,
+}
+
+thread_local! {
+    static CACHE: RefCell<HashMap<u64, Vec<Entry>>> = RefCell::new(HashMap::new());
+    static HITS: Cell<u64> = const { Cell::new(0) };
+    static MISSES: Cell<u64> = const { Cell::new(0) };
+}
+
+fn fnv64(src: &str, top: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in src.bytes().chain([0u8]).chain(top.bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Parses and elaborates `(src, top)`, memoizing the result for this
+/// thread. Hits return a clone of the cached [`Design`]: signal tables are
+/// copied, but statement bodies and the compiled bytecode are `Rc`-shared,
+/// so repeated sweeps skip re-parsing, re-elaboration *and* re-compilation.
+///
+/// # Errors
+///
+/// Returns the (equally memoized) [`FrontendError`] from whichever stage
+/// rejected the source.
+pub fn shared_design(src: &str, top: &str) -> Result<Design, FrontendError> {
+    let key = fnv64(src, top);
+    let cached = CACHE.with(|c| {
+        c.borrow().get(&key).and_then(|bucket| {
+            bucket
+                .iter()
+                .find(|e| e.src == src && e.top == top)
+                .map(|e| e.value.clone())
+        })
+    });
+    if let Some(v) = cached {
+        HITS.with(|h| h.set(h.get() + 1));
+        return v;
+    }
+    MISSES.with(|m| m.set(m.get() + 1));
+    let value = compute(src, top);
+    CACHE.with(|c| {
+        let mut map = c.borrow_mut();
+        if map.values().map(Vec::len).sum::<usize>() >= CACHE_CAP {
+            map.clear();
+        }
+        map.entry(key).or_default().push(Entry {
+            src: src.to_string(),
+            top: top.to_string(),
+            value: value.clone(),
+        });
+    });
+    value
+}
+
+fn compute(src: &str, top: &str) -> Result<Design, FrontendError> {
+    let sf = dda_verilog::parse(src).map_err(|e| FrontendError::Parse(e.to_string()))?;
+    let design = elaborate(&sf, top).map_err(FrontendError::Elab)?;
+    // Pre-compile the bytecode so every cached clone shares one program
+    // (the OnceCell value survives cloning).
+    let _ = design.compiled();
+    Ok(design)
+}
+
+/// This thread's cumulative hit/miss counters.
+pub fn stats() -> CacheStats {
+    CacheStats {
+        hits: HITS.with(Cell::get),
+        misses: MISSES.with(Cell::get),
+    }
+}
+
+/// Empties this thread's cache (counters are kept). Tests use this to get
+/// deterministic miss-then-hit sequences.
+pub fn clear() {
+    CACHE.with(|c| c.borrow_mut().clear());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "module m;\nreg [7:0] a;\ninitial a = 8'hA5;\nendmodule\n";
+
+    #[test]
+    fn hit_after_miss_shares_bytecode() {
+        clear();
+        let before = stats();
+        let d1 = shared_design(SRC, "m").unwrap();
+        let d2 = shared_design(SRC, "m").unwrap();
+        let after = stats();
+        assert_eq!(after.misses - before.misses, 1);
+        assert_eq!(after.hits - before.hits, 1);
+        // Both clones share one compiled program.
+        assert!(std::rc::Rc::ptr_eq(&d1.compiled(), &d2.compiled()));
+    }
+
+    #[test]
+    fn errors_are_memoized_too() {
+        clear();
+        let before = stats();
+        let e1 = shared_design("module broken(; endmodule", "broken").unwrap_err();
+        let e2 = shared_design("module broken(; endmodule", "broken").unwrap_err();
+        assert!(matches!(e1, FrontendError::Parse(_)));
+        assert_eq!(e1, e2);
+        let missing = shared_design(SRC, "nope").unwrap_err();
+        assert!(matches!(missing, FrontendError::Elab(_)));
+        let after = stats();
+        assert_eq!(after.misses - before.misses, 2);
+        assert_eq!(after.hits - before.hits, 1);
+    }
+
+    #[test]
+    fn distinct_tops_do_not_collide() {
+        clear();
+        let two = "module a;\nendmodule\nmodule b;\nreg r;\nendmodule\n";
+        let da = shared_design(two, "a").unwrap();
+        let db = shared_design(two, "b").unwrap();
+        assert_ne!(da.signals.len(), db.signals.len());
+    }
+
+    #[test]
+    fn cap_clears_rather_than_grows() {
+        clear();
+        for i in 0..(CACHE_CAP * 2) {
+            let src = format!("module m;\nreg [{}:0] r;\nendmodule\n", i % 97);
+            let _ = shared_design(&src, "m");
+        }
+        let total: usize = CACHE.with(|c| c.borrow().values().map(Vec::len).sum());
+        assert!(total <= CACHE_CAP, "{total}");
+    }
+}

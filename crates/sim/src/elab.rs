@@ -133,12 +133,23 @@ pub struct Design {
     pub processes: Vec<Process>,
     /// Functions by flattened name.
     pub functions: HashMap<String, FunctionDecl>,
+    /// Lazily built bytecode programs, shared by every clone made after the
+    /// first compilation (cloning an initialized `OnceCell` keeps its value,
+    /// and the payload is behind an `Rc`).
+    pub(crate) compiled: std::cell::OnceCell<std::rc::Rc<crate::compile::CompiledDesign>>,
 }
 
 impl Design {
     /// Looks up a signal by hierarchical name.
     pub fn signal(&self, name: &str) -> Option<(SigId, &SignalDef)> {
         self.index.get(name).map(|id| (*id, &self.signals[*id]))
+    }
+
+    /// The design's bytecode, compiling it on first use.
+    pub(crate) fn compiled(&self) -> std::rc::Rc<crate::compile::CompiledDesign> {
+        self.compiled
+            .get_or_init(|| std::rc::Rc::new(crate::compile::compile_design(self)))
+            .clone()
     }
 }
 

@@ -26,7 +26,7 @@ impl Simulator {
         self.design
             .index
             .get(name)
-            .map(|id| self.store[*id].clone())
+            .map(|id| self.store[*id].to_logic_vec())
     }
 
     /// Natural (self-determined) width of an expression.
@@ -395,7 +395,7 @@ impl Simulator {
                             return LogicVec::xs(def.width);
                         };
                         return match def.word_offset(i as i64) {
-                            Some(off) => self.mems[id][off].clone(),
+                            Some(off) => self.mems[id][off].to_logic_vec(),
                             None => LogicVec::xs(def.width),
                         };
                     }
@@ -428,7 +428,7 @@ impl Simulator {
                     if let Some((id, def)) = self.design.signal(name) {
                         let lo = def.bit_offset(if def.msb >= def.lsb { l } else { m });
                         return match lo {
-                            Some(lo) => self.store[id].slice(lo, width),
+                            Some(lo) => self.store[id].slice(lo, width).to_logic_vec(),
                             None => LogicVec::xs(width),
                         };
                     }
@@ -461,7 +461,7 @@ impl Simulator {
                     if let Some((id, def)) = self.design.signal(name) {
                         let lo = def.bit_offset(if def.msb >= def.lsb { lsb } else { msb });
                         return match lo {
-                            Some(lo) => self.store[id].slice(lo, w),
+                            Some(lo) => self.store[id].slice(lo, w).to_logic_vec(),
                             None => LogicVec::xs(w),
                         };
                     }
@@ -509,7 +509,6 @@ impl Simulator {
                 let Some(f) = self.design.functions.get(&name.name) else {
                     return LogicVec::xs(ctx.max(1));
                 };
-                let f = f.clone();
                 let mut frame_new: Frame = HashMap::new();
                 // Bind arguments.
                 for (i, (range, argname)) in f.args.iter().enumerate() {

@@ -6,17 +6,41 @@
 //! scheduled event. Procedural processes are resumable: their continuation
 //! is an explicit task stack, so `#delay`, `@(event)` and `wait` suspend and
 //! resume without threads.
+//!
+//! Two execution engines share this scheduler (selected by
+//! [`SimOptions::eval_mode`]):
+//!
+//! * **AST interpretation** re-walks the syntax tree per event — the
+//!   reference semantics.
+//! * **Bytecode** (the default) runs the flat programs produced by
+//!   [`crate::compile`]: signal slots are pre-resolved, expression trees are
+//!   register programs, and loop bodies re-push `Rc` pointers instead of
+//!   cloning subtrees. Task-stack structure is kept 1:1 with the
+//!   interpreter so step budgets and event ordering match exactly.
 
+use crate::compile::{CCont, CStmt, CompiledDesign, ExprProg, Instr};
 use crate::elab::{elaborate, Design, ElabError, Process, ProcessKind, SigId};
 use crate::eval::{case_label_matches, format_value};
 use crate::ops::LogicVecExt;
 use dda_runtime::CancelToken;
-use dda_verilog::ast::{AssignKind, Edge, Sensitivity, Stmt};
-use dda_verilog::{Expr, LogicBit, LogicVec, SourceFile};
+use dda_verilog::ast::{AssignKind, BinaryOp, Edge, Sensitivity, Stmt, UnaryOp};
+use dda_verilog::{Expr, LogicBit, LogicVec, PackedVec, SourceFile};
 use std::cell::Cell;
 use std::collections::{BTreeMap, VecDeque};
 use std::error::Error;
 use std::fmt;
+use std::rc::Rc;
+
+/// Which execution engine drives process bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalMode {
+    /// Re-interpret the AST on every event (reference semantics).
+    Ast,
+    /// Run bytecode compiled once at start-up (same observable behaviour,
+    /// checked against the interpreter by the dual-mode tests).
+    #[default]
+    Bytecode,
+}
 
 /// Limits for one simulation run.
 #[derive(Debug, Clone)]
@@ -34,6 +58,8 @@ pub struct SimOptions {
     /// [`RunErrorKind::WallTimeout`] when it trips. The default token
     /// never trips, so untimed runs pay only an occasional atomic load.
     pub cancel: CancelToken,
+    /// Which execution engine to use (bytecode by default).
+    pub eval_mode: EvalMode,
 }
 
 impl Default for SimOptions {
@@ -44,6 +70,7 @@ impl Default for SimOptions {
             max_steps: 20_000_000,
             output_limit: 1 << 20,
             cancel: CancelToken::new(),
+            eval_mode: EvalMode::default(),
         }
     }
 }
@@ -114,7 +141,7 @@ const WALL_POLL_PERIOD: u64 = 1024;
 pub(crate) enum Task {
     Exec(Stmt),
     /// Apply a pre-evaluated blocking write (after an intra-assign delay).
-    Apply(WriteTarget, LogicVec),
+    Apply(WriteTarget, PackedVec),
     LoopWhile {
         cond: Expr,
         body: Box<Stmt>,
@@ -133,6 +160,22 @@ pub(crate) enum Task {
     },
     /// Re-check a `wait` condition on resume.
     WaitCheck(Expr),
+    /// Execute one compiled statement (bytecode mode).
+    CExec(Rc<CStmt>),
+    /// Loop continuations over compiled nodes: each holds the loop's own
+    /// [`CStmt`] so re-pushing is an `Rc` clone, not a subtree clone.
+    CLoopWhile(Rc<CStmt>),
+    CLoopFor(Rc<CStmt>),
+    CLoopRepeat {
+        remaining: u64,
+        node: Rc<CStmt>,
+    },
+    CLoopForever(Rc<CStmt>),
+    /// Re-check a compiled `wait` condition on resume.
+    CWaitCheck {
+        cond: Rc<ExprProg>,
+        watches: Rc<[SensWatch]>,
+    },
 }
 
 /// Where a write lands.
@@ -155,8 +198,10 @@ enum Status {
     Done,
 }
 
+/// One entry of a process's wait set: a signal, an optional bit, and an
+/// optional edge requirement.
 #[derive(Debug, Clone)]
-struct SensWatch {
+pub(crate) struct SensWatch {
     sig: SigId,
     bit: Option<usize>,
     edge: Option<Edge>,
@@ -167,9 +212,9 @@ struct ProcRt {
     tasks: Vec<Task>,
     status: Status,
     /// Current wait set (event controls / always sensitivity).
-    watches: Vec<SensWatch>,
+    watches: Rc<[SensWatch]>,
     /// Re-arm sensitivity for `always @(...)` processes.
-    rearm: Option<Vec<SensWatch>>,
+    rearm: Option<Rc<[SensWatch]>>,
     /// `always` with no event control re-runs on completion.
     free_running: bool,
     is_initial: bool,
@@ -187,7 +232,7 @@ struct MonitorSpec {
 #[derive(Debug)]
 enum FutureEvent {
     Wake(usize),
-    Nba(WriteTarget, LogicVec),
+    Nba(WriteTarget, PackedVec),
 }
 
 /// The simulator: elaborated design + runtime state.
@@ -209,23 +254,31 @@ enum FutureEvent {
 #[derive(Debug)]
 pub struct Simulator {
     pub(crate) design: Design,
-    pub(crate) store: Vec<LogicVec>,
-    pub(crate) mems: Vec<Vec<LogicVec>>,
+    pub(crate) store: Vec<PackedVec>,
+    pub(crate) mems: Vec<Vec<PackedVec>>,
     pub(crate) time: u64,
     pub(crate) rand_state: Cell<u64>,
     procs: Vec<ProcRt>,
-    /// Which design process each runtime process mirrors (for continuous).
-    cont: Vec<Option<(Expr, Expr)>>,
+    /// AST `(lhs, rhs)` pair for continuous assignments (bytecode keeps its
+    /// own compiled form; this is the fallback and the `Ast`-mode source).
+    cont: Vec<Option<Rc<(Expr, Expr)>>>,
     ready: VecDeque<usize>,
     in_ready: Vec<bool>,
     future: BTreeMap<u64, Vec<FutureEvent>>,
-    nba: Vec<(WriteTarget, LogicVec)>,
-    pending: Vec<(SigId, LogicVec, LogicVec)>,
+    nba: Vec<(WriteTarget, PackedVec)>,
+    pending: Vec<(SigId, PackedVec, PackedVec)>,
     monitors: Vec<MonitorSpec>,
     output: String,
     finished: bool,
     error_count: usize,
     started: bool,
+    mode: EvalMode,
+    /// The design's bytecode, installed at `start` in bytecode mode.
+    compiled: Option<Rc<CompiledDesign>>,
+    /// Register file reused across [`Self::eval_prog`] calls (taken with
+    /// `mem::take` during evaluation, so programs never observe each
+    /// other's registers — they are written before read anyway).
+    scratch: Vec<PackedVec>,
     vcd: Option<crate::vcd::VcdRecorder>,
 }
 
@@ -245,9 +298,9 @@ impl Simulator {
         let mut store = Vec::with_capacity(design.signals.len());
         let mut mems = Vec::with_capacity(design.signals.len());
         for s in &design.signals {
-            store.push(LogicVec::xs(s.width));
+            store.push(PackedVec::xs(s.width));
             if s.mem.is_some() {
-                mems.push(vec![LogicVec::xs(s.width); s.mem_len()]);
+                mems.push(vec![PackedVec::xs(s.width); s.mem_len()]);
             } else {
                 mems.push(Vec::new());
             }
@@ -277,6 +330,9 @@ impl Simulator {
             finished: false,
             error_count: 0,
             started: false,
+            mode: EvalMode::default(),
+            compiled: None,
+            scratch: Vec::new(),
             vcd: None,
         }
     }
@@ -317,13 +373,13 @@ impl Simulator {
             })
     }
 
-    fn make_proc(p: &Process, design: &Design) -> (ProcRt, Option<(Expr, Expr)>) {
+    fn make_proc(p: &Process, design: &Design) -> (ProcRt, Option<Rc<(Expr, Expr)>>) {
         match &p.kind {
             ProcessKind::Initial => (
                 ProcRt {
                     tasks: vec![Task::Exec(Self::body_stmt(p))],
                     status: Status::Ready,
-                    watches: Vec::new(),
+                    watches: Vec::new().into(),
                     rearm: None,
                     free_running: false,
                     is_initial: true,
@@ -332,7 +388,7 @@ impl Simulator {
                 None,
             ),
             ProcessKind::Always(sens) => {
-                let watches = compile_sens(sens, design);
+                let watches: Rc<[SensWatch]> = compile_sens(sens, design).into();
                 let free_running = watches.is_empty();
                 (
                     ProcRt {
@@ -342,7 +398,7 @@ impl Simulator {
                         } else {
                             Status::WaitEvent
                         },
-                        watches: watches.clone(),
+                        watches: Rc::clone(&watches),
                         rearm: Some(watches),
                         free_running,
                         is_initial: false,
@@ -355,7 +411,7 @@ impl Simulator {
                 let mut reads = Vec::new();
                 collect_expr_reads(rhs, &mut reads);
                 collect_lhs_index_reads(lhs, &mut reads);
-                let watches: Vec<SensWatch> = reads
+                let watches: Rc<[SensWatch]> = reads
                     .iter()
                     .filter_map(|n| {
                         design.index.get(n).map(|id| SensWatch {
@@ -364,18 +420,19 @@ impl Simulator {
                             edge: None,
                         })
                     })
-                    .collect();
+                    .collect::<Vec<_>>()
+                    .into();
                 (
                     ProcRt {
                         tasks: Vec::new(),
                         status: Status::Ready,
-                        watches: watches.clone(),
+                        watches: Rc::clone(&watches),
                         rearm: Some(watches),
                         free_running: false,
                         is_initial: false,
                         path: p.path.clone(),
                     },
-                    Some((lhs.clone(), rhs.clone())),
+                    Some(Rc::new((lhs.clone(), rhs.clone()))),
                 )
             }
         }
@@ -386,7 +443,7 @@ impl Simulator {
         self.design
             .index
             .get(name)
-            .map(|id| self.store[*id].clone())
+            .map(|id| self.store[*id].to_logic_vec())
     }
 
     /// Forces a signal value (testing hook); triggers dependent processes.
@@ -394,7 +451,7 @@ impl Simulator {
         let Some(&id) = self.design.index.get(name) else {
             return false;
         };
-        self.write(WriteTarget::Full(id), value);
+        self.write(WriteTarget::Full(id), PackedVec::from_logic(&value));
         self.drain_changes();
         true
     }
@@ -409,15 +466,28 @@ impl Simulator {
         self.time
     }
 
-    fn start(&mut self) {
+    fn start(&mut self, mode: EvalMode) {
         self.started = true;
+        self.mode = mode;
+        if mode == EvalMode::Bytecode {
+            let compiled = self.design.compiled();
+            self.scratch = vec![PackedVec::default(); compiled.nregs];
+            // Swap the AST body seeds for their compiled forms (continuous
+            // processes have no body and keep their empty task stack).
+            for (i, cp) in compiled.procs.iter().enumerate() {
+                if let Some(b) = &cp.body {
+                    self.procs[i].tasks = vec![Task::CExec(Rc::clone(b))];
+                }
+            }
+            self.compiled = Some(compiled);
+        }
         self.in_ready = vec![false; self.procs.len()];
         // Apply reg initialisers as time-0 changes so combinational logic
         // watching them wakes up.
         for (id, def) in self.design.signals.iter().enumerate() {
             if let Some(init) = &def.init {
                 let old = self.store[id].clone();
-                let new = init.resize(def.width, false);
+                let new = PackedVec::from_logic(init).resize(def.width, false);
                 self.store[id] = new.clone();
                 self.pending.push((id, old, new));
             }
@@ -439,7 +509,7 @@ impl Simulator {
     /// (combinational loops, zero-delay infinite loops).
     pub fn run(&mut self, opts: &SimOptions) -> Result<SimResult, RunError> {
         if !self.started {
-            self.start();
+            self.start(opts.eval_mode);
         }
         let mut steps: u64 = 0;
         loop {
@@ -532,14 +602,8 @@ impl Simulator {
 
     fn run_proc(&mut self, p: usize, steps: &mut u64, opts: &SimOptions) -> Result<(), RunError> {
         // Continuous assignment: evaluate and re-suspend.
-        if let Some((lhs, rhs)) = self.cont[p].clone() {
-            let w = self.natural_width(&lhs, None);
-            let v = self.eval(&rhs, w, None);
-            let target = self.resolve_target(&lhs);
-            let width = target_width(&target, &self.design);
-            self.write(target, v.resize(width.max(1), false));
-            self.procs[p].status = Status::WaitEvent;
-            self.drain_changes();
+        if self.cont[p].is_some() {
+            self.run_cont(p);
             return Ok(());
         }
         loop {
@@ -567,12 +631,36 @@ impl Simulator {
                     self.procs[p].status = Status::Done;
                     return Ok(());
                 }
-                let rearm = self.procs[p].rearm.clone().unwrap_or_default();
-                let body = match &self.design.processes[p].body {
-                    Some(b) => (**b).clone(),
-                    None => return Ok(()),
+                let rearm = self.procs[p]
+                    .rearm
+                    .clone()
+                    .unwrap_or_else(|| Vec::new().into());
+                if self.design.processes[p].body.is_none() {
+                    // Malformed always with no body: never reschedule.
+                    return Ok(());
+                }
+                let task = match self.mode {
+                    EvalMode::Bytecode => {
+                        let body = self
+                            .compiled
+                            .as_ref()
+                            .expect("bytecode installed at start")
+                            .procs[p]
+                            .body
+                            .clone()
+                            .expect("non-continuous process has a compiled body");
+                        Task::CExec(body)
+                    }
+                    EvalMode::Ast => {
+                        let body = self.design.processes[p]
+                            .body
+                            .as_ref()
+                            .map(|b| (**b).clone())
+                            .expect("checked above");
+                        Task::Exec(body)
+                    }
                 };
-                self.procs[p].tasks.push(Task::Exec(body));
+                self.procs[p].tasks.push(task);
                 if self.procs[p].free_running {
                     continue; // always with no sensitivity: run again
                 }
@@ -584,6 +672,34 @@ impl Simulator {
                 return Ok(()); // suspended
             }
         }
+    }
+
+    /// One evaluation of a continuous assignment, then re-suspend.
+    fn run_cont(&mut self, p: usize) {
+        if self.mode == EvalMode::Bytecode {
+            let compiled = Rc::clone(self.compiled.as_ref().expect("bytecode installed"));
+            if let Some(CCont::Prog { rhs, target }) = &compiled.procs[p].cont {
+                let v = self.eval_prog(rhs);
+                let wt = self.resolve_ctarget(target);
+                let width = target_width(&wt, &self.design);
+                self.write(wt, v.resize(width.max(1), false));
+                self.procs[p].status = Status::WaitEvent;
+                self.drain_changes();
+                return;
+            }
+        }
+        let pair = Rc::clone(self.cont[p].as_ref().expect("continuous process"));
+        let (lhs, rhs) = (&pair.0, &pair.1);
+        let w = self.natural_width(lhs, None);
+        let v = self.eval(rhs, w, None);
+        let target = self.resolve_target(lhs);
+        let width = target_width(&target, &self.design);
+        self.write(
+            target,
+            PackedVec::from_logic(&v.resize(width.max(1), false)),
+        );
+        self.procs[p].status = Status::WaitEvent;
+        self.drain_changes();
     }
 
     /// Executes one task; returns `false` when the process suspended.
@@ -646,6 +762,71 @@ impl Simulator {
                 Ok(true)
             }
             Task::Exec(stmt) => self.exec_stmt(p, stmt),
+            Task::CExec(node) => self.exec_cstmt(p, node),
+            Task::CLoopWhile(node) => {
+                let CStmt::While { cond, body } = &*node else {
+                    unreachable!("CLoopWhile holds a While node");
+                };
+                if self.eval_prog(cond).truthy() == Some(true) {
+                    let body = Rc::clone(body);
+                    self.procs[p].tasks.push(Task::CLoopWhile(Rc::clone(&node)));
+                    self.procs[p].tasks.push(Task::CExec(body));
+                }
+                Ok(true)
+            }
+            Task::CLoopFor(node) => {
+                let CStmt::For {
+                    cond, step, body, ..
+                } = &*node
+                else {
+                    unreachable!("CLoopFor holds a For node");
+                };
+                if self.eval_prog(cond).truthy() == Some(true) {
+                    let (step, body) = (Rc::clone(step), Rc::clone(body));
+                    self.procs[p].tasks.push(Task::CLoopFor(Rc::clone(&node)));
+                    self.procs[p].tasks.push(Task::CExec(step));
+                    self.procs[p].tasks.push(Task::CExec(body));
+                }
+                Ok(true)
+            }
+            Task::CLoopRepeat { remaining, node } => {
+                if remaining > 0 {
+                    let CStmt::Repeat { body, .. } = &*node else {
+                        unreachable!("CLoopRepeat holds a Repeat node");
+                    };
+                    let body = Rc::clone(body);
+                    self.procs[p].tasks.push(Task::CLoopRepeat {
+                        remaining: remaining - 1,
+                        node: Rc::clone(&node),
+                    });
+                    self.procs[p].tasks.push(Task::CExec(body));
+                }
+                Ok(true)
+            }
+            Task::CLoopForever(node) => {
+                let CStmt::Forever { body } = &*node else {
+                    unreachable!("CLoopForever holds a Forever node");
+                };
+                let body = Rc::clone(body);
+                self.procs[p]
+                    .tasks
+                    .push(Task::CLoopForever(Rc::clone(&node)));
+                self.procs[p].tasks.push(Task::CExec(body));
+                Ok(true)
+            }
+            Task::CWaitCheck { cond, watches } => {
+                if self.eval_prog(&cond).truthy() == Some(true) {
+                    Ok(true)
+                } else {
+                    self.procs[p].tasks.push(Task::CWaitCheck {
+                        cond,
+                        watches: Rc::clone(&watches),
+                    });
+                    self.procs[p].watches = watches;
+                    self.procs[p].status = Status::WaitEvent;
+                    Ok(false)
+                }
+            }
         }
     }
 
@@ -669,33 +850,12 @@ impl Simulator {
                 let value = self.eval(&rhs, w, None);
                 let target = self.resolve_target(&lhs);
                 let width = target_width(&target, &self.design).max(1);
-                let value = value.resize(width, self.is_signed_expr(&rhs, None));
+                let value =
+                    PackedVec::from_logic(&value.resize(width, self.is_signed_expr(&rhs, None)));
                 let delay_amt = delay
                     .as_ref()
                     .map(|d| self.eval(d, 0, None).to_u64_ext().unwrap_or(0));
-                match (kind, delay_amt) {
-                    (AssignKind::Blocking, None) => {
-                        self.write(target, value);
-                        self.drain_changes();
-                        Ok(true)
-                    }
-                    (AssignKind::Blocking, Some(d)) => {
-                        self.procs[p].tasks.push(Task::Apply(target, value));
-                        self.schedule_wake(p, self.time + d);
-                        Ok(false)
-                    }
-                    (AssignKind::NonBlocking, None) => {
-                        self.nba.push((target, value));
-                        Ok(true)
-                    }
-                    (AssignKind::NonBlocking, Some(d)) => {
-                        self.future
-                            .entry(self.time + d)
-                            .or_default()
-                            .push(FutureEvent::Nba(target, value));
-                        Ok(true)
-                    }
-                }
+                self.finish_assign(p, kind, target, value, delay_amt)
             }
             Stmt::If {
                 cond,
@@ -785,7 +945,7 @@ impl Simulator {
                     // Nothing observable: treat as a no-op rather than hang.
                     return Ok(true);
                 }
-                self.procs[p].watches = watches;
+                self.procs[p].watches = watches.into();
                 self.procs[p].status = Status::WaitEvent;
                 Ok(false)
             }
@@ -810,20 +970,379 @@ impl Simulator {
         }
     }
 
+    /// Executes one compiled statement (bytecode mode). Task-push order
+    /// matches [`Self::exec_stmt`] arm for arm so step counts and event
+    /// ordering are identical across modes.
+    fn exec_cstmt(&mut self, p: usize, node: Rc<CStmt>) -> Result<bool, RunError> {
+        match &*node {
+            CStmt::Block(stmts) => {
+                for s in stmts.iter().rev() {
+                    self.procs[p].tasks.push(Task::CExec(Rc::clone(s)));
+                }
+                Ok(true)
+            }
+            CStmt::Null => Ok(true),
+            CStmt::Assign {
+                rhs,
+                target,
+                signed,
+                kind,
+                delay,
+            } => {
+                let value = self.eval_prog(rhs);
+                let target = self.resolve_ctarget(target);
+                let width = target_width(&target, &self.design).max(1);
+                let value = value.resize(width, *signed);
+                let delay_amt = delay
+                    .as_ref()
+                    .map(|d| self.eval_prog(d).to_u64_ext().unwrap_or(0));
+                self.finish_assign(p, *kind, target, value, delay_amt)
+            }
+            CStmt::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
+                if self.eval_prog(cond).truthy() == Some(true) {
+                    self.procs[p].tasks.push(Task::CExec(Rc::clone(then_s)));
+                } else if let Some(e) = else_s {
+                    self.procs[p].tasks.push(Task::CExec(Rc::clone(e)));
+                }
+                Ok(true)
+            }
+            CStmt::Case {
+                wild_z,
+                wild_x,
+                sel,
+                arms,
+            } => {
+                let sel = self.eval_prog(sel);
+                let mut default = None;
+                for arm in arms.iter() {
+                    if arm.labels.is_empty() {
+                        default = Some(&arm.body);
+                        continue;
+                    }
+                    let mut hit = false;
+                    for l in arm.labels.iter() {
+                        let lv = self.eval_prog(l);
+                        if sel.matches_with_wildcards(&lv, *wild_z, *wild_x) {
+                            hit = true;
+                            break;
+                        }
+                    }
+                    if hit {
+                        self.procs[p].tasks.push(Task::CExec(Rc::clone(&arm.body)));
+                        return Ok(true);
+                    }
+                }
+                if let Some(d) = default {
+                    self.procs[p].tasks.push(Task::CExec(Rc::clone(d)));
+                }
+                Ok(true)
+            }
+            CStmt::For { init, .. } => {
+                self.procs[p].tasks.push(Task::CLoopFor(Rc::clone(&node)));
+                self.procs[p].tasks.push(Task::CExec(Rc::clone(init)));
+                Ok(true)
+            }
+            CStmt::While { .. } => {
+                self.procs[p].tasks.push(Task::CLoopWhile(Rc::clone(&node)));
+                Ok(true)
+            }
+            CStmt::Repeat { count, .. } => {
+                let n = self.eval_prog(count).to_u64_ext().unwrap_or(0);
+                self.procs[p].tasks.push(Task::CLoopRepeat {
+                    remaining: n,
+                    node: Rc::clone(&node),
+                });
+                Ok(true)
+            }
+            CStmt::Forever { .. } => {
+                self.procs[p]
+                    .tasks
+                    .push(Task::CLoopForever(Rc::clone(&node)));
+                Ok(true)
+            }
+            CStmt::Delay { amount, stmt } => {
+                let d = self.eval_prog(amount).to_u64_ext().unwrap_or(0);
+                if let Some(s) = stmt {
+                    self.procs[p].tasks.push(Task::CExec(Rc::clone(s)));
+                }
+                self.schedule_wake(p, self.time + d);
+                Ok(false)
+            }
+            CStmt::Event { watches, stmt } => {
+                if let Some(s) = stmt {
+                    self.procs[p].tasks.push(Task::CExec(Rc::clone(s)));
+                }
+                if watches.is_empty() {
+                    return Ok(true);
+                }
+                self.procs[p].watches = Rc::clone(watches);
+                self.procs[p].status = Status::WaitEvent;
+                Ok(false)
+            }
+            CStmt::Wait {
+                cond,
+                watches,
+                stmt,
+            } => {
+                if let Some(s) = stmt {
+                    self.procs[p].tasks.push(Task::CExec(Rc::clone(s)));
+                }
+                if self.eval_prog(cond).truthy() == Some(true) {
+                    Ok(true)
+                } else {
+                    self.procs[p].tasks.push(Task::CWaitCheck {
+                        cond: Rc::clone(cond),
+                        watches: Rc::clone(watches),
+                    });
+                    self.procs[p].watches = Rc::clone(watches);
+                    self.procs[p].status = Status::WaitEvent;
+                    Ok(false)
+                }
+            }
+            CStmt::SysCall { name, args } => {
+                self.exec_syscall(p, name, args);
+                Ok(!self.finished)
+            }
+            CStmt::Ast(s) => self.exec_stmt(p, (**s).clone()),
+        }
+    }
+
+    /// Shared tail of blocking/nonblocking assignment dispatch.
+    fn finish_assign(
+        &mut self,
+        p: usize,
+        kind: AssignKind,
+        target: WriteTarget,
+        value: PackedVec,
+        delay_amt: Option<u64>,
+    ) -> Result<bool, RunError> {
+        match (kind, delay_amt) {
+            (AssignKind::Blocking, None) => {
+                self.write(target, value);
+                self.drain_changes();
+                Ok(true)
+            }
+            (AssignKind::Blocking, Some(d)) => {
+                self.procs[p].tasks.push(Task::Apply(target, value));
+                self.schedule_wake(p, self.time + d);
+                Ok(false)
+            }
+            (AssignKind::NonBlocking, None) => {
+                self.nba.push((target, value));
+                Ok(true)
+            }
+            (AssignKind::NonBlocking, Some(d)) => {
+                self.future
+                    .entry(self.time + d)
+                    .or_default()
+                    .push(FutureEvent::Nba(target, value));
+                Ok(true)
+            }
+        }
+    }
+
+    /// Runs a register program and returns its result value.
+    fn eval_prog(&mut self, prog: &ExprProg) -> PackedVec {
+        // Take the scratch register file so `&self` helpers (the AST
+        // fallback, `$random`) can run while registers are held. Programs
+        // write every register before reading it, so stale values from a
+        // previous program are never observed.
+        let mut regs = std::mem::take(&mut self.scratch);
+        if regs.len() < prog.nregs {
+            regs.resize(prog.nregs, PackedVec::default());
+        }
+        for ins in prog.instrs.iter() {
+            let (dst, v) = match ins {
+                Instr::Const { dst, v } => (*dst, v.clone()),
+                Instr::Load { dst, sig } => (*dst, self.store[*sig].clone()),
+                Instr::LoadBit { dst, sig, off } => {
+                    (*dst, PackedVec::from_bit(self.store[*sig].bit(*off)))
+                }
+                Instr::LoadSlice {
+                    dst,
+                    sig,
+                    lo,
+                    width,
+                } => (*dst, self.store[*sig].slice(*lo, *width)),
+                Instr::LoadWordConst { dst, sig, off } => (*dst, self.mems[*sig][*off].clone()),
+                Instr::LoadWord { dst, sig, idx } => {
+                    let def = &self.design.signals[*sig];
+                    let v = match regs[*idx].to_u64_ext() {
+                        Some(i) => match def.word_offset(i as i64) {
+                            Some(off) => self.mems[*sig][off].clone(),
+                            None => PackedVec::xs(def.width),
+                        },
+                        None => PackedVec::xs(def.width),
+                    };
+                    (*dst, v)
+                }
+                Instr::LoadBitDyn { dst, sig, idx } => {
+                    let v = match regs[*idx].to_u64_ext() {
+                        Some(i) => match self.design.signals[*sig].bit_offset(i as i64) {
+                            Some(off) => PackedVec::from_bit(self.store[*sig].bit(off)),
+                            None => PackedVec::xs(1),
+                        },
+                        None => PackedVec::xs(1),
+                    };
+                    (*dst, v)
+                }
+                Instr::SliceReg { dst, a, lo, width } => (*dst, regs[*a].slice(*lo, *width)),
+                Instr::Resize {
+                    dst,
+                    a,
+                    width,
+                    signed,
+                } => (*dst, regs[*a].resize(*width, *signed)),
+                Instr::Un { dst, op, a } => {
+                    use UnaryOp::*;
+                    let x = &regs[*a];
+                    let v = match op {
+                        Plus => x.clone(),
+                        Neg => x.neg(),
+                        LogicNot => x.log_not(),
+                        BitNot => x.bit_not(),
+                        RedAnd => x.reduce_and(false),
+                        RedNand => x.reduce_and(true),
+                        RedOr => x.reduce_or(false),
+                        RedNor => x.reduce_or(true),
+                        RedXor => x.reduce_xor(false),
+                        RedXnor => x.reduce_xor(true),
+                    };
+                    (*dst, v)
+                }
+                Instr::Bin {
+                    dst,
+                    op,
+                    a,
+                    b,
+                    signed,
+                } => {
+                    use BinaryOp::*;
+                    let (x, y) = (&regs[*a], &regs[*b]);
+                    let v = match op {
+                        Add => x.add(y),
+                        Sub => x.sub(y),
+                        Mul => x.mul(y),
+                        Div => x.div(y),
+                        Mod => x.rem(y),
+                        Pow => x.pow(y),
+                        Shl => x.shl(y),
+                        Shr => x.shr(y),
+                        AShr => {
+                            if *signed {
+                                x.ashr(y)
+                            } else {
+                                x.shr(y)
+                            }
+                        }
+                        Eq => x.log_eq(y),
+                        Ne => x.log_ne(y),
+                        CaseEq => PackedVec::from_bool(x.case_eq(y)),
+                        CaseNe => PackedVec::from_bool(!x.case_eq(y)),
+                        Lt => x.cmp_lt(y, *signed),
+                        Gt => y.cmp_lt(x, *signed),
+                        Le => y.cmp_lt(x, *signed).log_not(),
+                        Ge => x.cmp_lt(y, *signed).log_not(),
+                        BitAnd => x.bit_and(y),
+                        BitOr => x.bit_or(y),
+                        BitXor => x.bit_xor(y),
+                        BitXnor => x.bit_xnor(y),
+                        LogicAnd => x.log_and(y),
+                        LogicOr => x.log_or(y),
+                    };
+                    (*dst, v)
+                }
+                Instr::Mux { dst, cond, t, f } => {
+                    let v = match regs[*cond].truthy() {
+                        Some(true) => regs[*t].clone(),
+                        Some(false) => regs[*f].clone(),
+                        None => regs[*t].ternary_merge(&regs[*f]),
+                    };
+                    (*dst, v)
+                }
+                Instr::Concat { dst, parts } => {
+                    let mut acc = PackedVec::default();
+                    for r in parts.iter() {
+                        acc = acc.concat(&regs[*r]);
+                    }
+                    let v = if acc.is_empty() {
+                        PackedVec::xs(1)
+                    } else {
+                        acc
+                    };
+                    (*dst, v)
+                }
+                Instr::Repl { dst, parts, count } => {
+                    let mut inner = PackedVec::default();
+                    for r in parts.iter() {
+                        inner = inner.concat(&regs[*r]);
+                    }
+                    let r = inner.replicate(*count);
+                    let v = if r.is_empty() { PackedVec::zeros(1) } else { r };
+                    (*dst, v)
+                }
+                Instr::Rand { dst } => {
+                    let mut s = self.rand_state.get();
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    self.rand_state.set(s);
+                    (*dst, PackedVec::from_u64(s & 0xFFFF_FFFF, 32))
+                }
+                Instr::Time { dst } => (*dst, PackedVec::from_u64(self.time, 64)),
+                Instr::Fallback { dst, expr, ctx } => {
+                    (*dst, PackedVec::from_logic(&self.eval(expr, *ctx, None)))
+                }
+            };
+            regs[dst] = v;
+        }
+        let out = std::mem::take(&mut regs[prog.out]);
+        self.scratch = regs;
+        out
+    }
+
+    /// Resolves a compiled lvalue, running index programs for the dynamic
+    /// shapes; mirrors [`Self::resolve_target`].
+    fn resolve_ctarget(&mut self, t: &crate::compile::CTarget) -> WriteTarget {
+        use crate::compile::CTarget;
+        match t {
+            CTarget::Full(id) => WriteTarget::Full(*id),
+            CTarget::BitsConst(id, lo, w) => WriteTarget::Bits(*id, *lo, *w),
+            CTarget::WordConst(id, off) => WriteTarget::Word(*id, *off),
+            CTarget::BitDyn { sig, idx } => match self.eval_prog(idx).to_u64_ext() {
+                Some(v) => match self.design.signals[*sig].bit_offset(v as i64) {
+                    Some(o) => WriteTarget::Bits(*sig, o, 1),
+                    None => WriteTarget::Void,
+                },
+                None => WriteTarget::Void,
+            },
+            CTarget::WordDyn { sig, idx } => match self.eval_prog(idx).to_u64_ext() {
+                Some(v) => match self.design.signals[*sig].word_offset(v as i64) {
+                    Some(o) => WriteTarget::Word(*sig, o),
+                    None => WriteTarget::Void,
+                },
+                None => WriteTarget::Void,
+            },
+            CTarget::Pack(parts) => WriteTarget::Pack(
+                parts
+                    .iter()
+                    .map(|part| {
+                        let t = self.resolve_ctarget(part);
+                        let w = target_width(&t, &self.design);
+                        (t, w)
+                    })
+                    .collect(),
+            ),
+            CTarget::Void => WriteTarget::Void,
+        }
+    }
+
     fn set_level_watch(&mut self, p: usize, cond: &Expr) {
-        let mut reads = Vec::new();
-        collect_expr_reads(cond, &mut reads);
-        let watches = reads
-            .iter()
-            .filter_map(|n| {
-                self.design.index.get(n).map(|id| SensWatch {
-                    sig: *id,
-                    bit: None,
-                    edge: None,
-                })
-            })
-            .collect();
-        self.procs[p].watches = watches;
+        self.procs[p].watches = level_watches(cond, &self.design).into();
     }
 
     fn schedule_wake(&mut self, p: usize, t: u64) {
@@ -879,7 +1398,7 @@ impl Simulator {
         }
     }
 
-    fn format_args(&mut self, args: &[Expr]) -> String {
+    fn format_args(&self, args: &[Expr]) -> String {
         let mut out = String::new();
         if args.is_empty() {
             return out;
@@ -961,24 +1480,19 @@ impl Simulator {
     }
 
     fn print_monitors(&mut self) {
-        if self.monitors.is_empty() {
-            return;
-        }
-        let specs: Vec<Vec<Expr>> = self.monitors.iter().map(|m| m.args.clone()).collect();
-        for (i, args) in specs.iter().enumerate() {
-            let text = self.format_args(args);
-            let changed = self.monitors[i].last.as_deref() != Some(text.as_str());
-            if changed {
-                self.monitors[i].last = Some(text.clone());
+        for i in 0..self.monitors.len() {
+            let text = self.format_args(&self.monitors[i].args);
+            if self.monitors[i].last.as_deref() != Some(text.as_str()) {
                 self.push_output(&text);
                 self.push_output("\n");
+                self.monitors[i].last = Some(text);
             }
         }
     }
 
     /// Resolves an lvalue expression to a write target, evaluating index
     /// expressions with current values.
-    pub(crate) fn resolve_target(&mut self, lhs: &Expr) -> WriteTarget {
+    pub(crate) fn resolve_target(&self, lhs: &Expr) -> WriteTarget {
         match lhs {
             Expr::Ident(i) => match self.design.index.get(&i.name) {
                 Some(id) => WriteTarget::Full(*id),
@@ -1079,7 +1593,7 @@ impl Simulator {
     }
 
     /// Applies a write, recording value changes for event wake-up.
-    pub(crate) fn write(&mut self, target: WriteTarget, value: LogicVec) {
+    pub(crate) fn write(&mut self, target: WriteTarget, value: PackedVec) {
         match target {
             WriteTarget::Void => {}
             WriteTarget::Full(id) => {
@@ -1088,7 +1602,7 @@ impl Simulator {
                 let old = std::mem::replace(&mut self.store[id], new.clone());
                 if old != new {
                     if let Some(vcd) = &mut self.vcd {
-                        vcd.record(self.time, id, &new);
+                        vcd.record(self.time, id, &new.to_logic_vec());
                     }
                     self.pending.push((id, old, new));
                 }
@@ -1096,13 +1610,11 @@ impl Simulator {
             WriteTarget::Bits(id, lo, width) => {
                 let old = self.store[id].clone();
                 let mut new = old.clone();
-                for i in 0..width {
-                    new.set_bit(lo + i, value.bit(i));
-                }
+                new.set_range(lo, width, &value);
                 if old != new {
                     self.store[id] = new.clone();
                     if let Some(vcd) = &mut self.vcd {
-                        vcd.record(self.time, id, &new);
+                        vcd.record(self.time, id, &new.to_logic_vec());
                     }
                     self.pending.push((id, old, new));
                 }
@@ -1115,7 +1627,7 @@ impl Simulator {
                     if old != new {
                         // Word writes wake level watchers of the memory.
                         self.pending
-                            .push((id, LogicVec::zeros(1), LogicVec::from_bool(true)));
+                            .push((id, PackedVec::zeros(1), PackedVec::from_bool(true)));
                         let _ = old;
                     }
                 }
@@ -1143,7 +1655,7 @@ impl Simulator {
                 if proc.status != Status::WaitEvent {
                     continue;
                 }
-                'w: for w in &proc.watches {
+                'w: for w in proc.watches.iter() {
                     for (sig, old, new) in &changes {
                         if w.sig != *sig {
                             continue;
@@ -1163,7 +1675,7 @@ impl Simulator {
     }
 }
 
-fn watch_matches(w: &SensWatch, old: &LogicVec, new: &LogicVec) -> bool {
+fn watch_matches(w: &SensWatch, old: &PackedVec, new: &PackedVec) -> bool {
     match w.edge {
         None => {
             if let Some(b) = w.bit {
@@ -1189,7 +1701,7 @@ fn watch_matches(w: &SensWatch, old: &LogicVec, new: &LogicVec) -> bool {
     }
 }
 
-fn target_width(t: &WriteTarget, design: &Design) -> usize {
+pub(crate) fn target_width(t: &WriteTarget, design: &Design) -> usize {
     match t {
         WriteTarget::Void => 0,
         WriteTarget::Full(id) | WriteTarget::Word(id, _) => design.signals[*id].width,
@@ -1198,7 +1710,8 @@ fn target_width(t: &WriteTarget, design: &Design) -> usize {
     }
 }
 
-fn compile_sens(s: &Sensitivity, design: &Design) -> Vec<SensWatch> {
+/// Lowers a sensitivity list to watches against the design's signal table.
+pub(crate) fn compile_sens(s: &Sensitivity, design: &Design) -> Vec<SensWatch> {
     let mut out = Vec::new();
     let Sensitivity::List(items) = s else {
         return out;
@@ -1227,34 +1740,30 @@ fn compile_sens(s: &Sensitivity, design: &Design) -> Vec<SensWatch> {
                     }
                 }
                 // Fallback: level-watch every identifier in the expression.
-                let mut reads = Vec::new();
-                collect_expr_reads(&item.expr, &mut reads);
-                for r in reads {
-                    if let Some(id) = design.index.get(&r) {
-                        out.push(SensWatch {
-                            sig: *id,
-                            bit: None,
-                            edge: None,
-                        });
-                    }
-                }
+                out.extend(level_watches(&item.expr, design));
             }
             other => {
-                let mut reads = Vec::new();
-                collect_expr_reads(other, &mut reads);
-                for r in reads {
-                    if let Some(id) = design.index.get(&r) {
-                        out.push(SensWatch {
-                            sig: *id,
-                            bit: None,
-                            edge: None,
-                        });
-                    }
-                }
+                out.extend(level_watches(other, design));
             }
         }
     }
     out
+}
+
+/// Level (any-change) watches for every identifier an expression reads.
+pub(crate) fn level_watches(e: &Expr, design: &Design) -> Vec<SensWatch> {
+    let mut reads = Vec::new();
+    collect_expr_reads(e, &mut reads);
+    reads
+        .iter()
+        .filter_map(|n| {
+            design.index.get(n).map(|id| SensWatch {
+                sig: *id,
+                bit: None,
+                edge: None,
+            })
+        })
+        .collect()
 }
 
 fn collect_expr_reads(e: &Expr, out: &mut Vec<String>) {

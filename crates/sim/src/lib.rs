@@ -40,6 +40,8 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
+mod compile;
 pub mod elab;
 mod eval;
 mod exec;
@@ -47,5 +49,5 @@ pub mod ops;
 pub mod vcd;
 
 pub use elab::{elaborate, Design, ElabError, Process, ProcessKind, SigId, SignalDef};
-pub use exec::{RunError, RunErrorKind, SimOptions, SimResult, Simulator};
+pub use exec::{EvalMode, RunError, RunErrorKind, SimOptions, SimResult, Simulator};
 pub use vcd::VcdRecorder;

@@ -195,6 +195,38 @@ pub fn range_width(
     }
 }
 
+/// Whether `expr` is a *closed* constant: it references no identifiers and
+/// no function/system calls, so its value cannot depend on signal state,
+/// parameters, or call frames. Closed constants evaluate to the same value
+/// at elaboration time as at any point during simulation, which is what
+/// lets the simulator's compile pass fold select bounds and replication
+/// counts once instead of re-evaluating them per event.
+pub fn is_const_expr(expr: &Expr) -> bool {
+    match expr {
+        Expr::Number(..) | Expr::Str(..) => true,
+        Expr::Ident(_) | Expr::Call { .. } => false,
+        Expr::Unary { expr, .. } => is_const_expr(expr),
+        Expr::Binary { lhs, rhs, .. } => is_const_expr(lhs) && is_const_expr(rhs),
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+            ..
+        } => is_const_expr(cond) && is_const_expr(then_expr) && is_const_expr(else_expr),
+        Expr::Concat(parts, _) => parts.iter().all(is_const_expr),
+        Expr::Repeat { count, exprs, .. } => {
+            is_const_expr(count) && exprs.iter().all(is_const_expr)
+        }
+        Expr::Index { base, index, .. } => is_const_expr(base) && is_const_expr(index),
+        Expr::PartSelect { base, msb, lsb, .. } => {
+            is_const_expr(base) && is_const_expr(msb) && is_const_expr(lsb)
+        }
+        Expr::IndexedPart {
+            base, start, width, ..
+        } => is_const_expr(base) && is_const_expr(start) && is_const_expr(width),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
