@@ -1,19 +1,29 @@
-//! One-shot simulator performance snapshot.
+//! One-shot performance snapshot: simulator + model layer.
 //!
 //! Times every stage of the simulator pipeline — lex, parse, elaborate,
 //! and the event loop under both execution engines — on the shared
-//! 128-bit pipeline workload, checks the engines agree, and writes the
-//! numbers to `BENCH_PR3.json` (the checked-in snapshot DESIGN.md §5d
-//! explains how to read).
+//! 128-bit pipeline workload, checks the engines agree, then times the
+//! interned-token model layer (tokenisation, TF-IDF index build,
+//! postings-list vs linear-scan retrieval at ~2k documents, and the
+//! symbol-keyed vs string-keyed n-gram) on a real augmented corpus, and
+//! writes the numbers to `BENCH_PR4.json` (the checked-in snapshot
+//! DESIGN.md §5d/§5e explain how to read).
 //!
 //! Usage: `cargo run --release -p dda-bench --bin perfsnap [--smoke]`
 //!
-//! `--smoke` shrinks the workload and prints the JSON to stdout instead
+//! `--smoke` shrinks the workloads and prints the JSON to stdout instead
 //! of writing the file — a seconds-scale CI check that the snapshot path
-//! itself still works.
+//! itself still works. In both modes the binary *asserts* the postings
+//! path is no slower than half the linear reference, so a pathological
+//! retrieval regression fails the run rather than just recording a bad
+//! number.
 
 use dda_bench::{perf_workload, PERF_EVENTS_PER_CYCLE};
+use dda_core::tokenize::{tokenize_lower, tokenize_syms};
 use dda_sim::{cache, EvalMode, SimOptions, SimResult, Simulator};
+use dda_slm::reference::StringNgram;
+use dda_slm::{NgramModel, TfIdfIndex, PROGRESSIVE_ORDER};
+use rand::SeedableRng;
 use std::time::Instant;
 
 /// Wall-clock milliseconds for `f`, best of `reps` runs (min, not mean:
@@ -39,6 +49,136 @@ fn run_mode(sf: &dda_verilog::SourceFile, mode: EvalMode) -> SimResult {
     .expect("workload runs")
 }
 
+/// The model-layer corpus: augmented training entries as retrieval
+/// documents (`instruct\ninput`, the exact string the SLM indexes),
+/// cycled up to `target` documents.
+fn model_corpus(modules: usize, target: usize) -> Vec<String> {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(2024);
+    let corpus = dda_corpus::generate_corpus(modules, &mut rng);
+    let (data, _) = dda_core::pipeline::augment(
+        &corpus,
+        &dda_core::pipeline::PipelineOptions::default(),
+        &mut rng,
+    );
+    let base: Vec<String> = PROGRESSIVE_ORDER
+        .iter()
+        .flat_map(|kind| data.entries(*kind))
+        .map(|e| format!("{}\n{}", e.instruct, e.input))
+        .collect();
+    assert!(!base.is_empty(), "augmentation produced no entries");
+    (0..target).map(|i| base[i % base.len()].clone()).collect()
+}
+
+struct ModelSection {
+    json: String,
+    query_speedup: f64,
+}
+
+/// Times the interned-token model layer and formats its JSON section.
+fn model_section(smoke: bool) -> ModelSection {
+    let (modules, target_docs, reps) = if smoke { (8, 200, 2) } else { (64, 2_000, 5) };
+    let docs = model_corpus(modules, target_docs);
+    let corpus_bytes: usize = docs.iter().map(String::len).sum();
+
+    // Tokenisation throughput: the interned streaming tokenizer vs the
+    // string-materialising one, over the whole corpus.
+    let (n_toks, tok_syms_ms) = best_ms(reps, || {
+        docs.iter().map(|d| tokenize_syms(d).count()).sum::<usize>()
+    });
+    let (_, tok_lower_ms) = best_ms(reps, || {
+        docs.iter().map(|d| tokenize_lower(d).len()).sum::<usize>()
+    });
+
+    // Index build (tokenise + add + finish, the finetune-time cost).
+    let (idx, build_ms) = best_ms(reps, || {
+        let mut idx = TfIdfIndex::new();
+        for d in &docs {
+            idx.add(d);
+        }
+        idx.finish();
+        idx
+    });
+
+    // Query latency: every 16th document's first line as a query, top-32
+    // (the SLM's retrieval call), postings vs the linear-scan reference.
+    let queries: Vec<&str> = docs
+        .iter()
+        .step_by(16)
+        .map(|d| d.lines().next().unwrap_or(""))
+        .collect();
+    let (fast_hits, post_ms) = best_ms(reps, || {
+        queries
+            .iter()
+            .map(|q| idx.query(q, 32).len())
+            .sum::<usize>()
+    });
+    let (ref_hits, lin_ms) = best_ms(reps, || {
+        queries
+            .iter()
+            .map(|q| idx.query_linear(q, 32).len())
+            .sum::<usize>()
+    });
+    assert_eq!(fast_hits, ref_hits, "query paths disagree on hit counts");
+    let query_speedup = lin_ms / post_ms;
+
+    // N-gram: symbol-keyed vs string-keyed, train + held-out scoring.
+    let ngram_docs = &docs[..docs.len().min(if smoke { 100 } else { 1_000 })];
+    let held: Vec<&str> = docs.iter().step_by(32).map(String::as_str).collect();
+    let (fast_loss, ngram_train_ms) = best_ms(reps, || {
+        let mut m = NgramModel::new(3);
+        for d in ngram_docs {
+            m.train(d);
+        }
+        m.loss(&held)
+    });
+    let (slow_loss, ngram_ref_ms) = best_ms(reps, || {
+        let mut m = StringNgram::new(3);
+        for d in ngram_docs {
+            m.train(d);
+        }
+        m.loss(&held)
+    });
+    assert_eq!(
+        fast_loss.to_bits(),
+        slow_loss.to_bits(),
+        "n-gram implementations diverged"
+    );
+    let ngram_speedup = ngram_ref_ms / ngram_train_ms;
+
+    let per_query_us = |ms: f64| ms * 1e3 / queries.len().max(1) as f64;
+    let mtoks = |ms: f64| n_toks as f64 / 1e6 / (ms / 1e3);
+    let json = format!(
+        "\"model\": {{\n    \
+           \"corpus\": {{ \"docs\": {}, \"bytes\": {corpus_bytes}, \"tokens\": {n_toks}, \"queries\": {} }},\n    \
+           \"tokenize_ms\": {{ \"interned\": {tok_syms_ms:.3}, \"string\": {tok_lower_ms:.3}, \
+           \"interned_mtok_per_sec\": {:.2} }},\n    \
+           \"index_build_ms\": {build_ms:.3},\n    \
+           \"query_ms\": {{ \"postings\": {post_ms:.3}, \"linear\": {lin_ms:.3}, \
+           \"postings_us_per_query\": {:.2}, \"linear_us_per_query\": {:.2} }},\n    \
+           \"query_speedup_postings_over_linear\": {query_speedup:.2},\n    \
+           \"ngram_ms\": {{ \"interned\": {ngram_train_ms:.3}, \"string\": {ngram_ref_ms:.3} }},\n    \
+           \"ngram_speedup_interned_over_string\": {ngram_speedup:.2}\n  }}",
+        docs.len(),
+        queries.len(),
+        mtoks(tok_syms_ms),
+        per_query_us(post_ms),
+        per_query_us(lin_ms),
+    );
+    eprintln!(
+        "[perfsnap] model: {} docs, tokenize {:.1} Mtok/s, build {build_ms:.1} ms, \
+         query postings {:.1} us vs linear {:.1} us ({query_speedup:.1}x), \
+         ngram {ngram_train_ms:.1} ms vs {ngram_ref_ms:.1} ms ({ngram_speedup:.1}x)",
+        docs.len(),
+        mtoks(tok_syms_ms),
+        per_query_us(post_ms),
+        per_query_us(lin_ms),
+    );
+    ModelSection {
+        json,
+        query_speedup,
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (cycles, reps) = if smoke { (500, 2) } else { (20_000, 5) };
@@ -61,6 +201,17 @@ fn main() {
     let (_, warm_ms) = best_ms(1, || cache::shared_design(&src, "tb").expect("frontend"));
     let stats = cache::stats();
 
+    let model = model_section(smoke);
+    // Retrieval guard: the postings path must never fall below half the
+    // linear reference's speed (CI runs this in --smoke mode; the real
+    // snapshot shows an order of magnitude the other way).
+    assert!(
+        model.query_speedup >= 0.5,
+        "postings query slower than 0.5x the linear reference \
+         ({:.2}x) — retrieval regression",
+        model.query_speedup
+    );
+
     let speedup = ast_ms / byte_ms;
     let eps = |ms: f64| events as f64 / (ms / 1e3);
     let json = format!(
@@ -70,13 +221,14 @@ fn main() {
            \"events_per_sec\": {{ \"ast\": {:.0}, \"bytecode\": {:.0} }},\n  \
            \"speedup_bytecode_over_ast\": {speedup:.2},\n  \
            \"frontend_cache_ms\": {{ \"cold\": {cold_ms:.3}, \"warm\": {warm_ms:.3}, \
-           \"hits\": {}, \"misses\": {} }},\n  \
+           \"hits\": {}, \"misses\": {} }},\n  {}\n  \
            \"smoke\": {smoke}\n}}\n",
         tokens.len(),
         eps(ast_ms),
         eps(byte_ms),
         stats.hits,
         stats.misses,
+        format_args!("{},", model.json),
     );
 
     eprintln!(
@@ -86,7 +238,7 @@ fn main() {
     if smoke {
         println!("{json}");
     } else {
-        std::fs::write("BENCH_PR3.json", &json).expect("write BENCH_PR3.json");
-        println!("wrote BENCH_PR3.json");
+        std::fs::write("BENCH_PR4.json", &json).expect("write BENCH_PR4.json");
+        println!("wrote BENCH_PR4.json");
     }
 }

@@ -23,17 +23,22 @@ pub fn standard_zoo() -> ModelZoo {
 pub fn quick_zoo() -> ModelZoo {
     ModelZoo::build(&ZooOptions {
         corpus_modules: 48,
-        seed: 2024,
+        ..ZooOptions::default()
     })
 }
 
-/// Returns the zoo selected by CLI args (`--quick` for the small one).
+/// Returns the zoo selected by CLI args: `--quick` for the small corpus,
+/// and `--workers N` also fans model *training* (per-document
+/// tokenisation) over N threads. Training is worker-count invariant, so
+/// this only changes build wall-clock, never a table cell.
 pub fn zoo_from_args() -> ModelZoo {
+    let workers = RunFlags::from_args().workers;
+    let mut opts = ZooOptions::default();
     if std::env::args().any(|a| a == "--quick") {
-        quick_zoo()
-    } else {
-        standard_zoo()
+        opts.corpus_modules = 48;
     }
+    opts.train_workers = workers.max(1);
+    ModelZoo::build(&opts)
 }
 
 /// The shared `--workers N` / `--resume PATH` / `--eval-mode ENGINE` flags

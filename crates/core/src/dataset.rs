@@ -40,10 +40,13 @@ impl DataEntry {
     }
 
     /// Approximate token count (whitespace/punctuation tokens).
+    ///
+    /// Counted without materialising the tokens — `trim_by_token_len`
+    /// walks every entry of every dataset, so this is allocation-free.
     pub fn token_len(&self) -> usize {
-        crate::tokenize::tokenize(&self.instruct).len()
-            + crate::tokenize::tokenize(&self.input).len()
-            + crate::tokenize::tokenize(&self.output).len()
+        crate::tokenize::token_count(&self.instruct)
+            + crate::tokenize::token_count(&self.input)
+            + crate::tokenize::token_count(&self.output)
     }
 }
 

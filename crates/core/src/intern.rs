@@ -1,0 +1,193 @@
+//! String interning: process-wide token symbols.
+//!
+//! The retrieval index and the n-gram model of the simulated LM compare
+//! and hash the same small vocabulary of tokens millions of times per
+//! evaluation sweep. Interning maps each distinct token string to a
+//! [`Sym`] — a dense `u32` — once, so every later comparison, hash, and
+//! table key is integer-sized instead of a heap `String`.
+//!
+//! The [`Interner`] is thread-safe (readers take a shared lock; only the
+//! first sighting of a new string takes the exclusive lock), so parallel
+//! tokenisation workers can feed one vocabulary. Symbol *values* depend
+//! on first-sighting order and therefore on thread interleaving — callers
+//! must never let `Sym` ordering or numeric value affect observable
+//! output (the slm crate's equivalence suites check exactly that).
+//!
+//! ```
+//! use dda_core::intern::{intern, resolve};
+//! let a = intern("counter");
+//! let b = intern("counter");
+//! assert_eq!(a, b);
+//! assert_eq!(&*resolve(a), "counter");
+//! ```
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// An interned string symbol: a dense id into an [`Interner`].
+///
+/// `Copy`, 4 bytes, and hashes/compares as an integer. Two `Sym`s from the
+/// same interner are equal iff their strings are equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// The raw id (dense, starting at 0 in sighting order).
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    /// String → symbol. Keys are the same `Arc`s as in `strings`.
+    map: HashMap<Arc<str>, Sym>,
+    /// Symbol id → string.
+    strings: Vec<Arc<str>>,
+}
+
+/// A thread-safe, append-only string interner.
+#[derive(Default)]
+pub struct Interner {
+    inner: RwLock<Inner>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Interns `s`, returning its symbol (allocating one on first sight).
+    pub fn intern(&self, s: &str) -> Sym {
+        if let Some(sym) = self.inner.read().unwrap().map.get(s) {
+            return *sym;
+        }
+        let mut inner = self.inner.write().unwrap();
+        // Double-check: another thread may have interned between locks.
+        if let Some(sym) = inner.map.get(s) {
+            return *sym;
+        }
+        let sym = Sym(u32::try_from(inner.strings.len()).expect("interner full"));
+        let arc: Arc<str> = Arc::from(s);
+        inner.strings.push(Arc::clone(&arc));
+        inner.map.insert(arc, sym);
+        sym
+    }
+
+    /// Looks `s` up without interning it.
+    pub fn lookup(&self, s: &str) -> Option<Sym> {
+        self.inner.read().unwrap().map.get(s).copied()
+    }
+
+    /// The string behind `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` did not come from this interner.
+    pub fn resolve(&self, sym: Sym) -> Arc<str> {
+        Arc::clone(&self.inner.read().unwrap().strings[sym.0 as usize])
+    }
+
+    /// Number of distinct strings interned so far.
+    pub fn len(&self) -> usize {
+        self.inner.read().unwrap().strings.len()
+    }
+
+    /// `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The process-wide interner shared by the tokenizer and every model.
+pub fn global() -> &'static Interner {
+    static GLOBAL: OnceLock<Interner> = OnceLock::new();
+    GLOBAL.get_or_init(Interner::new)
+}
+
+/// Interns `s` in the [`global`] interner.
+pub fn intern(s: &str) -> Sym {
+    global().intern(s)
+}
+
+/// Resolves a [`global`]-interner symbol back to its string.
+pub fn resolve(sym: Sym) -> Arc<str> {
+    global().resolve(sym)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let i = Interner::new();
+        let a = i.intern("clk");
+        let b = i.intern("clk");
+        let c = i.intern("rst");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let i = Interner::new();
+        for s in ["module", "endmodule", "<=", "always", ""] {
+            let sym = i.intern(s);
+            assert_eq!(&*i.resolve(sym), s);
+        }
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let i = Interner::new();
+        assert_eq!(i.lookup("ghost"), None);
+        assert!(i.is_empty());
+        let sym = i.intern("ghost");
+        assert_eq!(i.lookup("ghost"), Some(sym));
+    }
+
+    #[test]
+    fn symbols_are_dense() {
+        let i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        assert_eq!(a.as_u32(), 0);
+        assert_eq!(b.as_u32(), 1);
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let i = Interner::new();
+        let words: Vec<String> = (0..64).map(|n| format!("w{}", n % 16)).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let i = &i;
+                    let words = &words;
+                    scope.spawn(move || {
+                        words
+                            .iter()
+                            .cycle()
+                            .skip(t * 7)
+                            .take(200)
+                            .map(|w| (w.clone(), i.intern(w)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let all: Vec<(String, Sym)> = handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect();
+            // Same string ⇒ same symbol, across every thread.
+            let mut seen: HashMap<String, Sym> = HashMap::new();
+            for (w, sym) in all {
+                assert_eq!(*seen.entry(w).or_insert(sym), sym);
+            }
+        });
+        assert_eq!(i.len(), 16);
+    }
+}

@@ -43,6 +43,7 @@ pub mod chaos;
 pub mod completion;
 pub mod dataset;
 pub mod edascript;
+pub mod intern;
 pub mod json;
 pub mod pipeline;
 pub mod repair;

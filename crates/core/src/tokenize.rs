@@ -5,6 +5,25 @@
 //! identifiers/numbers whole, and emits punctuation as single-character
 //! tokens (so `count<=count+1;` and `count <= count + 1 ;` tokenize
 //! identically).
+//!
+//! Two implementations share the token grammar:
+//!
+//! * [`tokenize`] / [`tokenize_lower`] materialise `Vec<String>` — the
+//!   historical API, kept for callers that want owned tokens. Lowercasing
+//!   happens per character inside the loop (no intermediate lowercased
+//!   copy of the whole input).
+//! * [`tokenize_syms`] streams interned [`Sym`]s with **zero per-token
+//!   heap allocation** after vocabulary warm-up: one reusable scratch
+//!   buffer collects each token's lowercased chars and the interner hands
+//!   back the symbol. This is the hot path the retrieval index and the
+//!   n-gram model are built on.
+//!
+//! Lowercasing is `char::to_lowercase` applied character-wise. (Unlike
+//! `str::to_lowercase` this does not apply the Greek final-sigma context
+//! rule; both implementations here agree with each other by construction,
+//! which is what the equivalence suites require.)
+
+use crate::intern::{intern, Sym};
 
 /// Tokenizes text into words, numbers and punctuation.
 ///
@@ -13,17 +32,41 @@
 /// assert_eq!(toks, vec!["count", "<", "=", "count", "+", "2", "'", "d1", ";"]);
 /// ```
 pub fn tokenize(text: &str) -> Vec<String> {
+    tokenize_fold(text, false)
+}
+
+/// Tokenizes and lowercases — the normal form for retrieval.
+///
+/// Thin wrapper over the shared tokenizer loop with per-char lowercasing
+/// enabled; existing callers see the same signature and tokens as before.
+pub fn tokenize_lower(text: &str) -> Vec<String> {
+    tokenize_fold(text, true)
+}
+
+/// One pass of the token grammar, optionally lowercasing each char.
+fn tokenize_fold(text: &str, lower: bool) -> Vec<String> {
     let mut out = Vec::new();
     let mut cur = String::new();
-    for c in text.chars() {
-        if c.is_alphanumeric() || c == '_' {
-            cur.push(c);
-        } else {
-            if !cur.is_empty() {
-                out.push(std::mem::take(&mut cur));
+    {
+        let mut step = |c: char| {
+            if c.is_alphanumeric() || c == '_' {
+                cur.push(c);
+            } else {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                if !c.is_whitespace() {
+                    out.push(c.to_string());
+                }
             }
-            if !c.is_whitespace() {
-                out.push(c.to_string());
+        };
+        for c in text.chars() {
+            if lower {
+                for lc in c.to_lowercase() {
+                    step(lc);
+                }
+            } else {
+                step(c);
             }
         }
     }
@@ -33,14 +76,118 @@ pub fn tokenize(text: &str) -> Vec<String> {
     out
 }
 
-/// Tokenizes and lowercases — the normal form for retrieval.
-pub fn tokenize_lower(text: &str) -> Vec<String> {
-    tokenize(&text.to_lowercase())
+/// Counts tokens without materialising them (dataset length accounting).
+///
+/// Equals `tokenize(text).len()` with zero allocation.
+pub fn token_count(text: &str) -> usize {
+    let mut n = 0usize;
+    let mut in_word = false;
+    for c in text.chars() {
+        if c.is_alphanumeric() || c == '_' {
+            if !in_word {
+                n += 1;
+                in_word = true;
+            }
+        } else {
+            in_word = false;
+            if !c.is_whitespace() {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Streams the lowercased tokens of `text` as interned symbols.
+///
+/// Resolving each symbol through the global interner yields exactly
+/// [`tokenize_lower`]`(text)` (property-tested in `tests/tokenize_syms.rs`),
+/// without ever materialising a `Vec<String>` or a lowercased copy of the
+/// input: the iterator keeps one scratch buffer that is reused for every
+/// token.
+///
+/// ```
+/// use dda_core::intern::resolve;
+/// let toks: Vec<String> = dda_core::tokenize::tokenize_syms("Count <= 1;")
+///     .map(|s| resolve(s).to_string())
+///     .collect();
+/// assert_eq!(toks, vec!["count", "<", "=", "1", ";"]);
+/// ```
+pub fn tokenize_syms(text: &str) -> SymTokens<'_> {
+    SymTokens {
+        chars: text.chars(),
+        lower: None,
+        stashed: None,
+        buf: String::new(),
+    }
+}
+
+/// Iterator returned by [`tokenize_syms`].
+#[derive(Debug, Clone)]
+pub struct SymTokens<'a> {
+    chars: std::str::Chars<'a>,
+    /// In-flight lowercase expansion of one input char (`İ` expands to two).
+    lower: Option<std::char::ToLowercase>,
+    /// A punctuation char that terminated a word and still awaits emission.
+    stashed: Option<char>,
+    /// Reusable scratch for the current word token.
+    buf: String,
+}
+
+impl SymTokens<'_> {
+    /// Next lowercased char, draining any pending expansion first.
+    fn next_lower(&mut self) -> Option<char> {
+        loop {
+            if let Some(exp) = &mut self.lower {
+                if let Some(c) = exp.next() {
+                    return Some(c);
+                }
+                self.lower = None;
+            }
+            self.lower = Some(self.chars.next()?.to_lowercase());
+        }
+    }
+}
+
+impl Iterator for SymTokens<'_> {
+    type Item = Sym;
+
+    fn next(&mut self) -> Option<Sym> {
+        self.buf.clear();
+        while let Some(c) = self.stashed.take().or_else(|| self.next_lower()) {
+            if c.is_alphanumeric() || c == '_' {
+                self.buf.push(c);
+            } else if !self.buf.is_empty() {
+                // A word just ended. A non-whitespace terminator is itself
+                // a token; it cannot be pushed back into the char stream,
+                // so it waits in `stashed` for the next call.
+                if !c.is_whitespace() {
+                    self.stashed = Some(c);
+                }
+                return Some(intern(&self.buf));
+            } else if !c.is_whitespace() {
+                self.buf.push(c);
+                return Some(intern(&self.buf));
+            }
+        }
+        if self.buf.is_empty() {
+            None
+        } else {
+            Some(intern(&self.buf))
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::intern::resolve;
+
+    fn via_syms(text: &str) -> Vec<String> {
+        tokenize_syms(text)
+            .map(|s| resolve(s).to_string())
+            .collect()
+    }
 
     #[test]
     fn splits_code() {
@@ -70,5 +217,48 @@ mod tests {
     fn empty_input() {
         assert!(tokenize("").is_empty());
         assert!(tokenize("   \n").is_empty());
+        assert!(via_syms("").is_empty());
+    }
+
+    #[test]
+    fn token_count_matches_tokenize() {
+        for t in [
+            "",
+            "   ",
+            "assign y=a&b;",
+            "count <= count + 2'd1;",
+            "a_b_c 12 !! x",
+            "Ünïcode mixed: ΣΔ text_4?",
+        ] {
+            assert_eq!(token_count(t), tokenize(t).len(), "input {t:?}");
+        }
+    }
+
+    #[test]
+    fn syms_match_tokenize_lower() {
+        for t in [
+            "assign Y = A & b;",
+            "count <= count + 2'd1;",
+            "  spaced\tout\ninput  ",
+            "!@#$",
+            "İstanbul MODULE_7",
+            "ΣΔ mixed Ünïcode",
+        ] {
+            assert_eq!(via_syms(t), tokenize_lower(t), "input {t:?}");
+        }
+    }
+
+    #[test]
+    fn syms_intern_consistently() {
+        let a: Vec<Sym> = tokenize_syms("clk rst clk").collect();
+        assert_eq!(a[0], a[2]);
+        assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    fn multi_char_lowercase_expansion() {
+        // 'İ' lowercases to "i\u{307}"; the combining mark is not
+        // alphanumeric, so it splits the word — both paths must agree.
+        assert_eq!(via_syms("İX"), tokenize_lower("İX"));
     }
 }

@@ -1,0 +1,62 @@
+//! Property tests: the streaming interned tokenizer is exactly the
+//! string-based tokenizer (satellite of the interned-token PR).
+
+use dda_core::intern::resolve;
+use dda_core::tokenize::{token_count, tokenize, tokenize_lower, tokenize_syms};
+use proptest::prelude::*;
+
+fn via_syms(text: &str) -> Vec<String> {
+    tokenize_syms(text)
+        .map(|s| resolve(s).to_string())
+        .collect()
+}
+
+proptest! {
+    /// Resolving `tokenize_syms` through the interner equals
+    /// `tokenize_lower`, on arbitrary printable inputs (incl. non-ASCII).
+    #[test]
+    fn syms_match_lower_on_printable(src in "\\PC{0,200}") {
+        prop_assert_eq!(via_syms(&src), tokenize_lower(&src));
+    }
+
+    /// Same equivalence on code-shaped inputs: identifiers, numbers,
+    /// operators, brackets, quotes, and whitespace (incl. newlines/tabs).
+    #[test]
+    fn syms_match_lower_on_code(
+        src in "[ \n\ta-zA-Z0-9_;()=+&|^~<>.,:@#'\"\\[\\]{}-]{0,160}",
+    ) {
+        prop_assert_eq!(via_syms(&src), tokenize_lower(&src));
+    }
+
+    /// The allocation-free counter agrees with the materialising tokenizer.
+    #[test]
+    fn token_count_matches_tokenize(src in "\\PC{0,200}") {
+        prop_assert_eq!(token_count(&src), tokenize(&src).len());
+    }
+
+    /// Lowercasing never changes the token *structure* on cased ASCII.
+    #[test]
+    fn lower_is_tokenwise_on_ascii(src in "[ A-Za-z0-9_;()=+-]{0,120}") {
+        let plain = tokenize(&src);
+        let lower = tokenize_lower(&src);
+        prop_assert_eq!(plain.len(), lower.len());
+        for (p, l) in plain.iter().zip(&lower) {
+            prop_assert_eq!(&p.to_lowercase(), l);
+        }
+    }
+
+    /// Tokenizing the same text twice yields the same symbols (interning
+    /// is stable), and symbol equality mirrors token equality.
+    #[test]
+    fn interning_is_stable(src in "[a-f0-9 _;]{0,80}") {
+        let a: Vec<_> = tokenize_syms(&src).collect();
+        let b: Vec<_> = tokenize_syms(&src).collect();
+        prop_assert_eq!(&a, &b);
+        let strs = via_syms(&src);
+        for i in 0..a.len() {
+            for j in 0..a.len() {
+                prop_assert_eq!(a[i] == a[j], strs[i] == strs[j]);
+            }
+        }
+    }
+}

@@ -8,7 +8,7 @@
 
 use dda_core::pipeline::{augment, PipelineOptions, StageSet};
 use dda_core::Dataset;
-use dda_slm::{pretraining_dataset, Slm, SlmProfile, PROGRESSIVE_ORDER};
+use dda_slm::{pretraining_dataset, Slm, SlmProfile, TrainOptions, PROGRESSIVE_ORDER};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -67,6 +67,10 @@ pub struct ZooOptions {
     pub corpus_modules: usize,
     /// Seed for corpus generation and augmentation.
     pub seed: u64,
+    /// Worker threads for per-document tokenisation during finetuning
+    /// (forwarded as [`TrainOptions::workers`]; the built models are
+    /// identical for any worker count).
+    pub train_workers: usize,
 }
 
 impl Default for ZooOptions {
@@ -74,6 +78,7 @@ impl Default for ZooOptions {
         ZooOptions {
             corpus_modules: 192,
             seed: 2024,
+            train_workers: 1,
         }
     }
 }
@@ -126,16 +131,20 @@ impl ModelZoo {
             name: "Llama 2-FT (General Aug) 13B".into(),
             ..SlmProfile::llama2(13.0)
         };
+        let topts = TrainOptions {
+            workers: opts.train_workers.max(1),
+        };
         let build = |profile: SlmProfile, finetune: &Dataset| -> Slm {
             let pre = pretraining_dataset(&profile);
-            Slm::finetune_with_pretraining(profile, &pre, finetune, &PROGRESSIVE_ORDER)
+            Slm::finetune_with_options(profile, &pre, finetune, &PROGRESSIVE_ORDER, &topts)
         };
+        let empty = Dataset::new();
         let models = vec![
-            (ModelId::Gpt35, Slm::pretrained(SlmProfile::gpt35())),
+            (ModelId::Gpt35, build(SlmProfile::gpt35(), &empty)),
             (ModelId::Ours7B, build(ours7, &full)),
             (ModelId::Ours13B, build(ours13, &full)),
             (ModelId::Thakur, build(SlmProfile::codegen16b(), &general)),
-            (ModelId::Llama2Pt, Slm::pretrained(SlmProfile::llama2(13.0))),
+            (ModelId::Llama2Pt, build(SlmProfile::llama2(13.0), &empty)),
             (ModelId::GeneralAug, build(general13, &general)),
         ];
         ModelZoo {
@@ -169,6 +178,7 @@ mod tests {
         ModelZoo::build(&ZooOptions {
             corpus_modules: 32,
             seed: 7,
+            ..ZooOptions::default()
         })
     }
 

@@ -17,6 +17,7 @@ fn generation_sweep_is_engine_invariant() {
     let zoo = ModelZoo::build(&ZooOptions {
         corpus_modules: 32,
         seed: 7,
+        ..ZooOptions::default()
     });
     let m = zoo.model(ModelId::Ours13B);
     let problems: Vec<_> = thakur_suite().into_iter().take(5).collect();

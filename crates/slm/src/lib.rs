@@ -31,9 +31,13 @@ pub mod corrupt;
 pub mod fixer;
 pub mod model;
 pub mod ngram;
+#[doc(hidden)]
+pub mod reference;
 pub mod script_spec;
 pub mod tfidf;
 
-pub use model::{pretraining_dataset, GenOptions, Skills, Slm, SlmProfile, PROGRESSIVE_ORDER};
+pub use model::{
+    pretraining_dataset, GenOptions, Skills, Slm, SlmProfile, TrainOptions, PROGRESSIVE_ORDER,
+};
 pub use ngram::NgramModel;
 pub use tfidf::TfIdfIndex;

@@ -25,12 +25,15 @@
 use crate::adapt::{adapt_interface, parse_interface};
 use crate::corrupt::corrupt;
 use crate::fixer::try_fix;
-use crate::ngram::NgramModel;
+use crate::ngram::{padded_syms, NgramModel};
 use crate::tfidf::TfIdfIndex;
 use dda_core::align::ALIGN_INSTRUCT;
 use dda_core::edascript::EDA_INSTRUCT;
+use dda_core::intern::Sym;
 use dda_core::repair::REPAIR_INSTRUCT;
-use dda_core::{Dataset, TaskKind};
+use dda_core::tokenize::tokenize_syms;
+use dda_core::{DataEntry, Dataset, TaskKind};
+use dda_runtime::{run_supervised, RunOptions, UnitOutcome};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -137,6 +140,23 @@ struct TrainDoc {
     output: String,
 }
 
+/// Finetuning options (how the training work is executed — never what it
+/// produces; every setting yields an identical model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainOptions {
+    /// Worker threads for per-document tokenisation (1 = in-line). The
+    /// fan-out runs on the `dda-runtime` supervised pool and merges
+    /// token streams in document order, so the built model is identical
+    /// for any worker count.
+    pub workers: usize,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions { workers: 1 }
+    }
+}
+
 /// A finetuned simulatable LM.
 pub struct Slm {
     profile: SlmProfile,
@@ -144,6 +164,9 @@ pub struct Slm {
     docs: Vec<TrainDoc>,
     index: TfIdfIndex,
     ngram: NgramModel,
+    /// Route retrieval through the linear-scan reference instead of the
+    /// postings list (equivalence testing only).
+    reference_retrieval: bool,
 }
 
 impl std::fmt::Debug for Slm {
@@ -187,24 +210,82 @@ impl Slm {
         finetune: &Dataset,
         order: &[TaskKind],
     ) -> Slm {
-        let mut docs = Vec::new();
-        let mut index = TfIdfIndex::new();
-        let mut ngram = NgramModel::new(3);
-        let mut ngram_budget = 2_000usize;
+        Slm::finetune_with_options(
+            profile,
+            pretraining,
+            finetune,
+            order,
+            &TrainOptions::default(),
+        )
+    }
+
+    /// [`Slm::finetune_with_pretraining`] with explicit [`TrainOptions`].
+    ///
+    /// With `workers > 1`, per-document tokenisation fans out over the
+    /// `dda-runtime` supervised pool; token streams merge back in document
+    /// order, so the resulting model is identical for any worker count
+    /// (checked by the `train_fanout` equivalence tests).
+    pub fn finetune_with_options(
+        profile: SlmProfile,
+        pretraining: &Dataset,
+        finetune: &Dataset,
+        order: &[TaskKind],
+        opts: &TrainOptions,
+    ) -> Slm {
+        /// The n-gram LM trains on the first this-many documents (the
+        /// historical training budget).
+        const NGRAM_BUDGET: usize = 2_000;
+        const NGRAM_ORDER: usize = 3;
+        let mut entries: Vec<&DataEntry> = Vec::new();
         for dataset in [pretraining, finetune] {
             for kind in order {
-                for e in dataset.entries(*kind) {
-                    index.add(&format!("{}\n{}", e.instruct, e.input));
-                    if ngram_budget > 0 {
-                        ngram.train(&e.output);
-                        ngram_budget -= 1;
-                    }
-                    docs.push(TrainDoc {
-                        instruct: e.instruct.clone(),
-                        output: e.output.clone(),
-                    });
-                }
+                entries.extend(dataset.entries(*kind).iter());
             }
+        }
+        // Per-document tokenisation is pure, so it can fan out; everything
+        // order-sensitive (term ids, doc ids, n-gram counts) happens in the
+        // sequential merge below.
+        let tokenize_one = |i: usize| -> (Vec<Sym>, Option<Vec<Sym>>) {
+            let e = entries[i];
+            // `instruct` and `input` were historically joined with '\n';
+            // whitespace always splits tokens, so chaining is equivalent.
+            let index_toks = tokenize_syms(&e.instruct)
+                .chain(tokenize_syms(&e.input))
+                .collect();
+            let ngram_toks = (i < NGRAM_BUDGET).then(|| padded_syms(&e.output, NGRAM_ORDER));
+            (index_toks, ngram_toks)
+        };
+        let tokenized: Vec<(Vec<Sym>, Option<Vec<Sym>>)> = if opts.workers > 1 {
+            let run = RunOptions {
+                workers: opts.workers,
+                ..RunOptions::default()
+            };
+            run_supervised(entries.len(), &run, |unit, _token| {
+                Ok::<_, dda_runtime::UnitError>(tokenize_one(unit))
+            })
+            .units
+            .into_iter()
+            .map(|u| match u.outcome {
+                UnitOutcome::Ok(v) => v,
+                // Tokenisation cannot fail, but stay total: redo in-line.
+                UnitOutcome::Quarantined { .. } => tokenize_one(u.unit),
+            })
+            .collect()
+        } else {
+            (0..entries.len()).map(tokenize_one).collect()
+        };
+        let mut docs = Vec::with_capacity(entries.len());
+        let mut index = TfIdfIndex::new();
+        let mut ngram = NgramModel::new(NGRAM_ORDER);
+        for (e, (index_toks, ngram_toks)) in entries.iter().zip(tokenized) {
+            index.add_tokens(&index_toks);
+            if let Some(toks) = ngram_toks {
+                ngram.train_padded(&toks);
+            }
+            docs.push(TrainDoc {
+                instruct: e.instruct.clone(),
+                output: e.output.clone(),
+            });
         }
         index.finish();
         let n_align = finetune.entries(TaskKind::NlVerilogGeneration).len();
@@ -227,7 +308,16 @@ impl Slm {
             docs,
             index,
             ngram,
+            reference_retrieval: false,
         }
+    }
+
+    /// Routes retrieval through the retained linear-scan reference instead
+    /// of the postings list. Equivalence testing only: the two paths return
+    /// identical hits, so generation output must not change.
+    #[doc(hidden)]
+    pub fn set_reference_retrieval(&mut self, on: bool) {
+        self.reference_retrieval = on;
     }
 
     /// A base model: the profile with its synthetic pretraining corpus and
@@ -301,7 +391,11 @@ impl Slm {
         // description on shared port tokens, but a tuned model does not
         // answer a design request with a next-token guess).
         let query = format!("{instruct}\n{input}");
-        let mut hits = self.index.query(&query, 32);
+        let mut hits = if self.reference_retrieval {
+            self.index.query_linear(&query, 32)
+        } else {
+            self.index.query(&query, 32)
+        };
         if hits.iter().any(|h| self.docs[h.doc].instruct == instruct) {
             hits.retain(|h| self.docs[h.doc].instruct == instruct);
         }

@@ -3,17 +3,27 @@
 //! Provides the loss curve behind the paper's Fig. 3 scaling-law argument:
 //! cross-entropy on held-out data falls as the training set grows. Also
 //! used as a cheap fluency score inside the simulatable LM.
+//!
+//! Context tables are keyed on windows of interned [`Sym`]s — hashing a
+//! `&[Sym]` (a few bytes) instead of a `Vec<String>` — and the per-context
+//! next-token counts live in a flat arena indexed by a dense context id.
+//! The pre-interning implementation is retained as
+//! [`reference::StringNgram`](crate::reference::StringNgram); the
+//! equivalence suites check both produce bit-identical cross-entropies.
 
-use dda_core::tokenize::tokenize_lower;
-use std::collections::HashMap;
+use dda_core::intern::{intern, Sym};
+use dda_core::tokenize::tokenize_syms;
+use std::collections::{HashMap, HashSet};
 
 /// An order-`N` token language model.
 #[derive(Debug, Clone)]
 pub struct NgramModel {
     order: usize,
-    /// context → (next-token counts, total).
-    counts: HashMap<Vec<String>, (HashMap<String, u64>, u64)>,
-    vocab: HashMap<String, ()>,
+    /// Context window → slot in `tables` (windows are `order - 1` long).
+    contexts: HashMap<Box<[Sym]>, u32>,
+    /// Flat per-context storage: (next-token counts, total).
+    tables: Vec<(HashMap<Sym, u64>, u64)>,
+    vocab: HashSet<Sym>,
     smoothing_k: f64,
     trained_tokens: u64,
 }
@@ -23,8 +33,9 @@ impl NgramModel {
     pub fn new(order: usize) -> Self {
         NgramModel {
             order: order.max(1),
-            counts: HashMap::new(),
-            vocab: HashMap::new(),
+            contexts: HashMap::new(),
+            tables: Vec::new(),
+            vocab: HashSet::new(),
             smoothing_k: 0.05,
             trained_tokens: 0,
         }
@@ -40,28 +51,47 @@ impl NgramModel {
         self.vocab.len()
     }
 
+    /// Model order (context length + 1).
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
     /// Trains on one text (token stream with boundary padding).
     pub fn train(&mut self, text: &str) {
-        let toks = padded(text, self.order);
+        let toks = padded_syms(text, self.order);
+        self.train_padded(&toks);
+    }
+
+    /// Trains on an already padded symbol stream, as produced by
+    /// [`padded_syms`] with this model's order — the parallel-training
+    /// entry point. `train(text)` ≡ `train_padded(&padded_syms(text, order))`.
+    pub fn train_padded(&mut self, toks: &[Sym]) {
         for w in toks.windows(self.order) {
             let (ctx, next) = w.split_at(self.order - 1);
-            let e = self
-                .counts
-                .entry(ctx.to_vec())
-                .or_insert_with(|| (HashMap::new(), 0));
-            *e.0.entry(next[0].clone()).or_insert(0) += 1;
+            let slot = match self.contexts.get(ctx) {
+                Some(slot) => *slot,
+                None => {
+                    let slot = self.tables.len() as u32;
+                    self.contexts.insert(ctx.into(), slot);
+                    self.tables.push((HashMap::new(), 0));
+                    slot
+                }
+            };
+            let e = &mut self.tables[slot as usize];
+            *e.0.entry(next[0]).or_insert(0) += 1;
             e.1 += 1;
-            self.vocab.entry(next[0].clone()).or_insert(());
+            self.vocab.insert(next[0]);
         }
         self.trained_tokens += toks.len().saturating_sub(self.order) as u64;
     }
 
     /// Probability of `next` given `ctx` (add-k smoothed).
-    fn prob(&self, ctx: &[String], next: &str) -> f64 {
+    fn prob(&self, ctx: &[Sym], next: Sym) -> f64 {
         let v = self.vocab.len().max(2) as f64;
-        match self.counts.get(ctx) {
-            Some((nexts, total)) => {
-                let c = nexts.get(next).copied().unwrap_or(0) as f64;
+        match self.contexts.get(ctx) {
+            Some(slot) => {
+                let (nexts, total) = &self.tables[*slot as usize];
+                let c = nexts.get(&next).copied().unwrap_or(0) as f64;
                 (c + self.smoothing_k) / (*total as f64 + self.smoothing_k * v)
             }
             None => 1.0 / v,
@@ -70,7 +100,7 @@ impl NgramModel {
 
     /// Cross-entropy (nats/token) of `text` under the model.
     pub fn cross_entropy(&self, text: &str) -> f64 {
-        let toks = padded(text, self.order);
+        let toks = padded_syms(text, self.order);
         if toks.len() < self.order {
             return (self.vocab.len().max(2) as f64).ln();
         }
@@ -78,7 +108,7 @@ impl NgramModel {
         let mut n = 0usize;
         for w in toks.windows(self.order) {
             let (ctx, next) = w.split_at(self.order - 1);
-            total += -self.prob(ctx, &next[0]).ln();
+            total += -self.prob(ctx, next[0]).ln();
             n += 1;
         }
         total / n.max(1) as f64
@@ -93,10 +123,12 @@ impl NgramModel {
     }
 }
 
-fn padded(text: &str, order: usize) -> Vec<String> {
-    let mut toks = vec!["<s>".to_owned(); order.saturating_sub(1)];
-    toks.extend(tokenize_lower(text));
-    toks.push("</s>".to_owned());
+/// Tokenizes `text` with the `<s>`/`</s>` boundary padding an order-`order`
+/// model trains and scores on.
+pub fn padded_syms(text: &str, order: usize) -> Vec<Sym> {
+    let mut toks = vec![intern("<s>"); order.saturating_sub(1)];
+    toks.extend(tokenize_syms(text));
+    toks.push(intern("</s>"));
     toks
 }
 
@@ -161,5 +193,41 @@ mod tests {
         m.train("a b");
         assert!(m.trained_tokens() >= 4);
         assert!(m.vocab_size() >= 2);
+    }
+
+    #[test]
+    fn train_padded_matches_train() {
+        let texts = ["assign y = a & b;", "always @(posedge clk) q <= d;"];
+        let mut a = NgramModel::new(3);
+        let mut b = NgramModel::new(3);
+        for t in texts {
+            a.train(t);
+            b.train_padded(&padded_syms(t, 3));
+        }
+        for t in texts.iter().chain(["q <= a;", "unseen text"].iter()) {
+            let (ca, cb) = (a.cross_entropy(t), b.cross_entropy(t));
+            assert_eq!(ca.to_bits(), cb.to_bits(), "{t:?}: {ca} vs {cb}");
+        }
+    }
+
+    #[test]
+    fn matches_string_reference_bit_for_bit() {
+        let texts = [
+            "always @(posedge clk) count <= count + 1;",
+            "assign y = a & b;",
+            "MODULE Mixed Case tokens 42;",
+        ];
+        let mut m = NgramModel::new(3);
+        let mut r = crate::reference::StringNgram::new(3);
+        for t in texts {
+            m.train(t);
+            r.train(t);
+        }
+        assert_eq!(m.vocab_size(), r.vocab_size());
+        assert_eq!(m.trained_tokens(), r.trained_tokens());
+        for t in texts.iter().chain(["count <= 1;", "zebra"].iter()) {
+            let (cm, cr) = (m.cross_entropy(t), r.cross_entropy(t));
+            assert_eq!(cm.to_bits(), cr.to_bits(), "{t:?}: {cm} vs {cr}");
+        }
     }
 }

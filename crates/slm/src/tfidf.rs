@@ -1,11 +1,30 @@
-//! Sparse TF-IDF retrieval index.
+//! Sparse TF-IDF retrieval index over an inverted postings list.
 //!
 //! The simulatable LM's "attention": finetuning builds an index over
 //! (instruct, input) pairs, and generation retrieves the best-matching
 //! training examples for a query. Cosine similarity over TF-IDF weighted
 //! token vectors.
+//!
+//! Tokens are interned [`Sym`]s (see `dda_core::intern`); documents are
+//! sparse `(term, weight)` vectors sorted by term id, and [`finish`]
+//! inverts them into a postings list (term → `(doc, weight)` in doc
+//! order). [`query`] walks only the postings of the query's terms,
+//! accumulating scores into a dense per-doc array and selecting the top-k
+//! hits without sorting the full candidate set. The pre-postings linear
+//! scan is retained as [`query_linear`] — the reference the equivalence
+//! suites and the `perfsnap` guard compare against.
+//!
+//! Determinism: all dot products accumulate term-by-term in ascending
+//! term-id order (both paths), so scores are bit-identical between the
+//! two implementations and across runs.
+//!
+//! [`finish`]: TfIdfIndex::finish
+//! [`query`]: TfIdfIndex::query
+//! [`query_linear`]: TfIdfIndex::query_linear
 
-use dda_core::tokenize::tokenize_lower;
+use dda_core::intern::Sym;
+use dda_core::tokenize::tokenize_syms;
+use std::cmp::Ordering;
 use std::collections::HashMap;
 
 /// A scored retrieval hit.
@@ -17,17 +36,28 @@ pub struct Hit {
     pub score: f64,
 }
 
+/// Best-score-first, ties broken by insertion order — the ordering both
+/// query paths sort hits by.
+fn hit_order(a: &Hit, b: &Hit) -> Ordering {
+    b.score.total_cmp(&a.score).then(a.doc.cmp(&b.doc))
+}
+
 /// TF-IDF index over text documents.
 #[derive(Debug, Clone, Default)]
 pub struct TfIdfIndex {
-    /// Per-document sparse term-frequency vectors (normalised at query).
-    docs: Vec<HashMap<u32, f64>>,
+    /// Per-document sparse `(term, tf)` vectors sorted by term id
+    /// (IDF-weighted in place by `finish`). Retained after `finish` as the
+    /// data the linear-scan reference walks.
+    docs: Vec<Vec<(u32, f64)>>,
     /// Document norms (computed after `finish`).
     norms: Vec<f64>,
-    /// Token → id.
-    vocab: HashMap<String, u32>,
-    /// Document frequency per token id.
+    /// Token symbol → dense term id (first-occurrence order).
+    vocab: HashMap<Sym, u32>,
+    /// Document frequency per term id.
     df: Vec<u32>,
+    /// Inverted index: term id → `(doc, weight)` in ascending doc order.
+    /// Built by `finish`.
+    postings: Vec<Vec<(u32, f64)>>,
     finished: bool,
 }
 
@@ -47,32 +77,44 @@ impl TfIdfIndex {
         self.docs.is_empty()
     }
 
-    fn token_id(&mut self, tok: &str) -> u32 {
-        if let Some(id) = self.vocab.get(tok) {
+    fn term_id(&mut self, sym: Sym) -> u32 {
+        if let Some(id) = self.vocab.get(&sym) {
             return *id;
         }
         let id = self.vocab.len() as u32;
-        self.vocab.insert(tok.to_owned(), id);
+        self.vocab.insert(sym, id);
         self.df.push(0);
         id
     }
 
     /// Adds a document; returns its index.
     pub fn add(&mut self, text: &str) -> usize {
+        let toks: Vec<Sym> = tokenize_syms(text).collect();
+        self.add_tokens(&toks)
+    }
+
+    /// Adds a pre-tokenized document (the parallel-training entry point);
+    /// returns its index.
+    ///
+    /// `add(text)` ≡ `add_tokens(&tokenize_syms(text).collect::<Vec<_>>())`.
+    pub fn add_tokens(&mut self, toks: &[Sym]) -> usize {
         assert!(!self.finished, "index is frozen after finish()");
-        let mut tf: HashMap<u32, f64> = HashMap::new();
-        for tok in tokenize_lower(text) {
-            let id = self.token_id(&tok);
+        let mut tf: HashMap<u32, f64> = HashMap::with_capacity(toks.len());
+        for &sym in toks {
+            let id = self.term_id(sym);
             *tf.entry(id).or_insert(0.0) += 1.0;
         }
-        for id in tf.keys() {
+        let mut doc: Vec<(u32, f64)> = tf.into_iter().collect();
+        doc.sort_unstable_by_key(|(id, _)| *id);
+        for (id, _) in &doc {
             self.df[*id as usize] += 1;
         }
-        self.docs.push(tf);
+        self.docs.push(doc);
         self.docs.len() - 1
     }
 
-    /// Freezes the index: applies IDF weighting and precomputes norms.
+    /// Freezes the index: applies IDF weighting, precomputes norms, and
+    /// builds the inverted postings list.
     pub fn finish(&mut self) {
         if self.finished {
             return;
@@ -88,29 +130,106 @@ impl TfIdfIndex {
         self.norms = self
             .docs
             .iter()
-            .map(|d| d.values().map(|w| w * w).sum::<f64>().sqrt())
+            .map(|d| d.iter().map(|(_, w)| w * w).sum::<f64>().sqrt())
             .collect();
+        // Invert: docs are visited in ascending id order, so each posting
+        // list comes out doc-sorted with no extra sort.
+        self.postings = vec![Vec::new(); self.df.len()];
+        for (i, doc) in self.docs.iter().enumerate() {
+            for (id, w) in doc {
+                self.postings[*id as usize].push((i as u32, *w));
+            }
+        }
     }
 
-    /// Scores `query` against all documents, best first.
+    /// TF-IDF weights of the query's known terms, sorted by term id, plus
+    /// the query norm. Shared by both query paths so their inputs — and
+    /// therefore their accumulation order — are identical.
+    fn query_weights(&self, query: &str) -> (Vec<(u32, f64)>, f64) {
+        let mut qtf: HashMap<u32, f64> = HashMap::new();
+        for sym in tokenize_syms(query) {
+            if let Some(id) = self.vocab.get(&sym) {
+                *qtf.entry(*id).or_insert(0.0) += 1.0;
+            }
+        }
+        let n = self.docs.len().max(1) as f64;
+        let mut terms: Vec<(u32, f64)> = qtf.into_iter().collect();
+        terms.sort_unstable_by_key(|(id, _)| *id);
+        for (id, w) in terms.iter_mut() {
+            let df = self.df[*id as usize].max(1) as f64;
+            *w = (1.0 + w.ln()) * ((n + 1.0) / df).ln();
+        }
+        let qnorm = terms.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
+        (terms, qnorm)
+    }
+
+    /// Scores `query` against the corpus through the postings list, best
+    /// first. Only documents sharing at least one term with the query are
+    /// touched. Output is identical to [`TfIdfIndex::query_linear`] —
+    /// same docs, bit-identical scores, same tie order.
     ///
     /// # Panics
     ///
     /// Panics if [`TfIdfIndex::finish`] has not been called.
     pub fn query(&self, query: &str, top: usize) -> Vec<Hit> {
         assert!(self.finished, "call finish() before query()");
-        let mut qtf: HashMap<u32, f64> = HashMap::new();
-        for tok in tokenize_lower(query) {
-            if let Some(id) = self.vocab.get(&tok) {
-                *qtf.entry(*id).or_insert(0.0) += 1.0;
+        let (terms, qnorm) = self.query_weights(query);
+        if qnorm == 0.0 {
+            return Vec::new();
+        }
+        // Dense accumulator + touched list: O(candidates), not O(corpus).
+        let mut acc = vec![0.0f64; self.docs.len()];
+        let mut touched: Vec<u32> = Vec::new();
+        for (id, qw) in &terms {
+            for (doc, dw) in &self.postings[*id as usize] {
+                let slot = &mut acc[*doc as usize];
+                if *slot == 0.0 {
+                    touched.push(*doc);
+                }
+                *slot += qw * dw;
             }
         }
-        let n = self.docs.len().max(1) as f64;
-        for (id, w) in qtf.iter_mut() {
-            let df = self.df[*id as usize].max(1) as f64;
-            *w = (1.0 + w.ln()) * ((n + 1.0) / df).ln();
+        // Candidates accumulated in first-touch order; sort by doc id so
+        // assembly order matches the linear scan before ranking.
+        touched.sort_unstable();
+        let mut hits: Vec<Hit> = touched
+            .into_iter()
+            .filter_map(|doc| {
+                let dot = acc[doc as usize];
+                let norm = self.norms[doc as usize];
+                if dot == 0.0 || norm == 0.0 {
+                    return None;
+                }
+                Some(Hit {
+                    doc: doc as usize,
+                    score: dot / (qnorm * norm),
+                })
+            })
+            .collect();
+        // Top-k selection: partition the best `top` forward, then order
+        // just those — O(c + k log k) instead of O(c log c).
+        if hits.len() > top && top > 0 {
+            hits.select_nth_unstable_by(top - 1, hit_order);
+            hits.truncate(top);
         }
-        let qnorm = qtf.values().map(|w| w * w).sum::<f64>().sqrt();
+        hits.sort_unstable_by(hit_order);
+        hits.truncate(top);
+        hits
+    }
+
+    /// The pre-postings reference: scores `query` by linearly scanning
+    /// every document's sparse vector, then fully sorting the hits.
+    ///
+    /// Retained (not `#[cfg(test)]`) because the equivalence property
+    /// tests, the criterion benches, and `perfsnap`'s speedup guard all
+    /// compare [`TfIdfIndex::query`] against it at runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`TfIdfIndex::finish`] has not been called.
+    pub fn query_linear(&self, query: &str, top: usize) -> Vec<Hit> {
+        assert!(self.finished, "call finish() before query()");
+        let (terms, qnorm) = self.query_weights(query);
         if qnorm == 0.0 {
             return Vec::new();
         }
@@ -119,10 +238,14 @@ impl TfIdfIndex {
             .iter()
             .enumerate()
             .filter_map(|(i, d)| {
-                let dot: f64 = qtf
-                    .iter()
-                    .filter_map(|(id, qw)| d.get(id).map(|dw| qw * dw))
-                    .sum();
+                // Same per-doc accumulation order as the postings path:
+                // ascending term id.
+                let mut dot = 0.0;
+                for (id, qw) in &terms {
+                    if let Ok(k) = d.binary_search_by_key(id, |(t, _)| *t) {
+                        dot += qw * d[k].1;
+                    }
+                }
                 if dot == 0.0 {
                     return None;
                 }
@@ -136,7 +259,7 @@ impl TfIdfIndex {
                 })
             })
             .collect();
-        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.doc.cmp(&b.doc)));
+        hits.sort_by(hit_order);
         hits.truncate(top);
         hits
     }
@@ -209,5 +332,59 @@ mod tests {
         let mut idx = TfIdfIndex::new();
         idx.add("a");
         idx.query("a", 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finish")]
+    fn linear_query_before_finish_panics() {
+        let mut idx = TfIdfIndex::new();
+        idx.add("a");
+        idx.query_linear("a", 1);
+    }
+
+    #[test]
+    fn postings_match_linear_reference() {
+        let idx = index(&[
+            "counter module increments on clock edge",
+            "multiplexer selects between inputs",
+            "module counter with reset",
+            "",
+            "counter counter counter",
+        ]);
+        for q in [
+            "counter",
+            "module counter reset",
+            "nothing indexed here",
+            "",
+            "multiplexer edge",
+        ] {
+            for top in [0, 1, 3, 10] {
+                assert_eq!(idx.query(q, top), idx.query_linear(q, top), "{q:?}/{top}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_tokens_matches_add() {
+        let mut a = TfIdfIndex::new();
+        let mut b = TfIdfIndex::new();
+        for d in ["counter with reset", "an adder", "counter again"] {
+            a.add(d);
+            let toks: Vec<_> = dda_core::tokenize::tokenize_syms(d).collect();
+            b.add_tokens(&toks);
+        }
+        a.finish();
+        b.finish();
+        assert_eq!(a.query("counter reset", 3), b.query("counter reset", 3));
+    }
+
+    #[test]
+    fn tie_break_is_insertion_order() {
+        let idx = index(&["x y", "x y", "x y"]);
+        let hits = idx.query("x y", 3);
+        assert_eq!(
+            hits.iter().map(|h| h.doc).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
     }
 }

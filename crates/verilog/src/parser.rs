@@ -152,12 +152,12 @@ impl Parser {
         self.tokens.get(self.pos).unwrap_or(&self.eof)
     }
 
-    fn bump(&mut self) -> Token {
-        let t = self.peek().clone();
+    fn bump(&mut self) -> &Token {
+        let i = self.pos;
         if self.pos < self.tokens.len() {
             self.pos += 1;
         }
-        t
+        self.tokens.get(i).unwrap_or(&self.eof)
     }
 
     fn at_op(&self, op: &str) -> bool {
@@ -186,7 +186,7 @@ impl Parser {
         }
     }
 
-    fn expect_op(&mut self, op: &'static str) -> Result<Token, ParseError> {
+    fn expect_op(&mut self, op: &'static str) -> Result<&Token, ParseError> {
         if self.at_op(op) {
             Ok(self.bump())
         } else {
@@ -194,7 +194,7 @@ impl Parser {
         }
     }
 
-    fn expect_kw(&mut self, kw: Keyword) -> Result<Token, ParseError> {
+    fn expect_kw(&mut self, kw: Keyword) -> Result<&Token, ParseError> {
         if self.at_kw(kw) {
             Ok(self.bump())
         } else {
@@ -399,62 +399,63 @@ impl Parser {
     /// Parses one item; multi-declarator `parameter a = 1, b = 2;` pushes
     /// extras directly and returns `None` handled by the caller.
     fn item_one(&mut self, items: &mut Vec<Item>) -> Result<Option<Item>, ParseError> {
-        let tok = self.peek().clone();
-        match &tok.kind {
-            TokenKind::Keyword(kw) => match kw {
-                Keyword::Input | Keyword::Output | Keyword::Inout => {
-                    Ok(Some(Item::Port(self.port_decl()?)))
+        let kw = match &self.peek().kind {
+            TokenKind::Keyword(kw) => *kw,
+            TokenKind::Ident(_) => return Ok(Some(Item::Instance(self.instance()?))),
+            _ => return Err(ParseError::new(self.peek(), "a module item")),
+        };
+        match kw {
+            Keyword::Input | Keyword::Output | Keyword::Inout => {
+                Ok(Some(Item::Port(self.port_decl()?)))
+            }
+            Keyword::Wire
+            | Keyword::Reg
+            | Keyword::Integer
+            | Keyword::Genvar
+            | Keyword::Supply0
+            | Keyword::Supply1 => Ok(Some(Item::Net(self.net_decl()?))),
+            Keyword::Parameter | Keyword::Localparam => {
+                for p in self.param_decls()? {
+                    items.push(Item::Param(p));
                 }
-                Keyword::Wire
-                | Keyword::Reg
-                | Keyword::Integer
-                | Keyword::Genvar
-                | Keyword::Supply0
-                | Keyword::Supply1 => Ok(Some(Item::Net(self.net_decl()?))),
-                Keyword::Parameter | Keyword::Localparam => {
-                    for p in self.param_decls()? {
-                        items.push(Item::Param(p));
+                Ok(None)
+            }
+            Keyword::Assign => Ok(Some(Item::Assign(self.cont_assign()?))),
+            Keyword::Always => Ok(Some(Item::Always(self.always_block()?))),
+            Keyword::Initial => {
+                let start = self.bump().span;
+                let body = self.stmt()?;
+                let span = start.to(body.span());
+                Ok(Some(Item::Initial(InitialBlock { body, span })))
+            }
+            Keyword::Function => Ok(Some(Item::Function(self.function_decl()?))),
+            Keyword::Task => {
+                // Tasks are accepted and skipped (not modelled).
+                let start = self.bump().span;
+                while !self.at_kw(Keyword::Endtask) {
+                    if matches!(self.peek().kind, TokenKind::Eof) {
+                        return Err(ParseError::new(self.peek(), "`endtask`"));
                     }
-                    Ok(None)
+                    self.bump();
                 }
-                Keyword::Assign => Ok(Some(Item::Assign(self.cont_assign()?))),
-                Keyword::Always => Ok(Some(Item::Always(self.always_block()?))),
-                Keyword::Initial => {
-                    let start = self.bump().span;
-                    let body = self.stmt()?;
-                    let span = start.to(body.span());
-                    Ok(Some(Item::Initial(InitialBlock { body, span })))
-                }
-                Keyword::Function => Ok(Some(Item::Function(self.function_decl()?))),
-                Keyword::Task => {
-                    // Tasks are accepted and skipped (not modelled).
-                    let start = self.bump().span;
-                    while !self.at_kw(Keyword::Endtask) {
-                        if matches!(self.peek().kind, TokenKind::Eof) {
-                            return Err(ParseError::new(self.peek(), "`endtask`"));
-                        }
-                        self.bump();
-                    }
-                    let end = self.bump().span;
-                    Ok(Some(Item::Initial(InitialBlock {
-                        body: Stmt::Null {
-                            span: start.to(end),
-                        },
+                let end = self.bump().span;
+                Ok(Some(Item::Initial(InitialBlock {
+                    body: Stmt::Null {
                         span: start.to(end),
-                    })))
-                }
-                Keyword::And | Keyword::Or | Keyword::Not => {
-                    Ok(Some(Item::Instance(self.gate_instance()?)))
-                }
-                _ => Err(ParseError::new(&tok, "a module item")),
-            },
-            TokenKind::Ident(_) => Ok(Some(Item::Instance(self.instance()?))),
-            _ => Err(ParseError::new(&tok, "a module item")),
+                    },
+                    span: start.to(end),
+                })))
+            }
+            Keyword::And | Keyword::Or | Keyword::Not => {
+                Ok(Some(Item::Instance(self.gate_instance()?)))
+            }
+            _ => Err(ParseError::new(self.peek(), "a module item")),
         }
     }
 
     fn port_decl(&mut self) -> Result<PortDecl, ParseError> {
         let tok = self.bump();
+        let start = tok.span;
         let dir = match tok.kind {
             TokenKind::Keyword(Keyword::Input) => PortDir::Input,
             TokenKind::Keyword(Keyword::Output) => PortDir::Output,
@@ -478,12 +479,13 @@ impl Parser {
             signed,
             range,
             names,
-            span: tok.span.to(end),
+            span: start.to(end),
         })
     }
 
     fn net_decl(&mut self) -> Result<NetDecl, ParseError> {
         let tok = self.bump();
+        let start = tok.span;
         let kind = match tok.kind {
             TokenKind::Keyword(Keyword::Wire) => NetKind::Wire,
             TokenKind::Keyword(Keyword::Reg) => NetKind::Reg,
@@ -515,12 +517,13 @@ impl Parser {
             signed,
             range,
             nets,
-            span: tok.span.to(end),
+            span: start.to(end),
         })
     }
 
     fn param_decls(&mut self) -> Result<Vec<ParamDecl>, ParseError> {
         let tok = self.bump();
+        let start = tok.span;
         let local = matches!(tok.kind, TokenKind::Keyword(Keyword::Localparam));
         let range = self.opt_range()?;
         let mut out = Vec::new();
@@ -533,7 +536,7 @@ impl Parser {
                 range: range.clone(),
                 name,
                 value,
-                span: tok.span,
+                span: start,
             });
             if !self.eat_op(",") {
                 break;
@@ -541,7 +544,7 @@ impl Parser {
         }
         let end = self.expect_op(";")?.span;
         for p in &mut out {
-            p.span = tok.span.to(end);
+            p.span = start.to(end);
         }
         Ok(out)
     }
@@ -662,6 +665,7 @@ impl Parser {
 
     fn gate_instance(&mut self) -> Result<Instance, ParseError> {
         let tok = self.bump();
+        let start = tok.span;
         let gate = match tok.kind {
             TokenKind::Keyword(Keyword::And) => "and",
             TokenKind::Keyword(Keyword::Or) => "or",
@@ -671,7 +675,7 @@ impl Parser {
         let name = if let TokenKind::Ident(_) = self.peek().kind {
             self.expect_ident()?
         } else {
-            Ident::spanned(format!("{gate}_inst"), tok.span)
+            Ident::spanned(format!("{gate}_inst"), start)
         };
         self.expect_op("(")?;
         let mut ports = Vec::new();
@@ -689,11 +693,11 @@ impl Parser {
         self.expect_op(")")?;
         let end = self.expect_op(";")?.span;
         Ok(Instance {
-            module: Ident::spanned(gate, tok.span),
+            module: Ident::spanned(gate, start),
             params: Vec::new(),
             name,
             ports,
-            span: tok.span.to(end),
+            span: start.to(end),
         })
     }
 
@@ -758,9 +762,24 @@ impl Parser {
     }
 
     fn stmt_inner(&mut self) -> Result<Stmt, ParseError> {
-        let tok = self.peek().clone();
-        match &tok.kind {
-            TokenKind::Keyword(Keyword::Begin) => {
+        /// What the next token starts, copied out of the peeked token so
+        /// the arms below can borrow the parser mutably. Only the system
+        /// task name is owned — everything else is `Copy`.
+        enum Head {
+            Kw(Keyword),
+            Op(&'static str),
+            Sys(String),
+            AssignStart,
+        }
+        let head = match &self.peek().kind {
+            TokenKind::Keyword(k) => Head::Kw(*k),
+            TokenKind::Op(o) => Head::Op(o),
+            TokenKind::SysIdent(name) => Head::Sys(name.clone()),
+            TokenKind::Ident(_) => Head::AssignStart,
+            _ => return Err(ParseError::new(self.peek(), "a statement")),
+        };
+        match head {
+            Head::Kw(Keyword::Begin) => {
                 let start = self.bump().span;
                 let name = if self.eat_op(":") {
                     Some(self.expect_ident()?)
@@ -781,7 +800,7 @@ impl Parser {
                     span: start.to(end),
                 })
             }
-            TokenKind::Keyword(Keyword::If) => {
+            Head::Kw(Keyword::If) => {
                 let start = self.bump().span;
                 self.expect_op("(")?;
                 let cond = self.expr()?;
@@ -801,7 +820,7 @@ impl Parser {
                     span: start.to(end),
                 })
             }
-            TokenKind::Keyword(k @ (Keyword::Case | Keyword::Casez | Keyword::Casex)) => {
+            Head::Kw(k @ (Keyword::Case | Keyword::Casez | Keyword::Casex)) => {
                 let kind = match k {
                     Keyword::Case => CaseKind::Exact,
                     Keyword::Casez => CaseKind::Z,
@@ -838,7 +857,7 @@ impl Parser {
                     span: start.to(end),
                 })
             }
-            TokenKind::Keyword(Keyword::For) => {
+            Head::Kw(Keyword::For) => {
                 let start = self.bump().span;
                 self.expect_op("(")?;
                 let init = Box::new(self.plain_assign()?);
@@ -857,7 +876,7 @@ impl Parser {
                     span,
                 })
             }
-            TokenKind::Keyword(Keyword::While) => {
+            Head::Kw(Keyword::While) => {
                 let start = self.bump().span;
                 self.expect_op("(")?;
                 let cond = self.expr()?;
@@ -866,7 +885,7 @@ impl Parser {
                 let span = start.to(body.span());
                 Ok(Stmt::While { cond, body, span })
             }
-            TokenKind::Keyword(Keyword::Repeat) => {
+            Head::Kw(Keyword::Repeat) => {
                 let start = self.bump().span;
                 self.expect_op("(")?;
                 let count = self.expr()?;
@@ -875,13 +894,13 @@ impl Parser {
                 let span = start.to(body.span());
                 Ok(Stmt::Repeat { count, body, span })
             }
-            TokenKind::Keyword(Keyword::Forever) => {
+            Head::Kw(Keyword::Forever) => {
                 let start = self.bump().span;
                 let body = Box::new(self.stmt()?);
                 let span = start.to(body.span());
                 Ok(Stmt::Forever { body, span })
             }
-            TokenKind::Keyword(Keyword::Wait) => {
+            Head::Kw(Keyword::Wait) => {
                 let start = self.bump().span;
                 self.expect_op("(")?;
                 let cond = self.expr()?;
@@ -893,7 +912,7 @@ impl Parser {
                     span: start.to(end),
                 })
             }
-            TokenKind::Keyword(Keyword::Disable) => {
+            Head::Kw(Keyword::Disable) => {
                 let start = self.bump().span;
                 let _ = self.expect_ident()?;
                 let end = self.expect_op(";")?.span;
@@ -901,7 +920,7 @@ impl Parser {
                     span: start.to(end),
                 })
             }
-            TokenKind::Op("#") => {
+            Head::Op("#") => {
                 let start = self.bump().span;
                 let amount = self.delay_value()?;
                 let (stmt, end) = self.opt_controlled_stmt(start)?;
@@ -911,7 +930,7 @@ impl Parser {
                     span: start.to(end),
                 })
             }
-            TokenKind::Op("@") => {
+            Head::Op("@") => {
                 let start = self.bump().span;
                 let sensitivity = self.sensitivity()?;
                 let (stmt, end) = self.opt_controlled_stmt(start)?;
@@ -921,12 +940,11 @@ impl Parser {
                     span: start.to(end),
                 })
             }
-            TokenKind::Op(";") => {
+            Head::Op(";") => {
                 let span = self.bump().span;
                 Ok(Stmt::Null { span })
             }
-            TokenKind::SysIdent(name) => {
-                let name = name.clone();
+            Head::Sys(name) => {
                 let start = self.bump().span;
                 let mut args = Vec::new();
                 if self.eat_op("(") {
@@ -947,11 +965,8 @@ impl Parser {
                     span: start.to(end),
                 })
             }
-            TokenKind::Ident(_) | TokenKind::Op("{") => {
-                let s = self.assign_stmt()?;
-                Ok(s)
-            }
-            _ => Err(ParseError::new(&tok, "a statement")),
+            Head::AssignStart | Head::Op("{") => self.assign_stmt(),
+            _ => Err(ParseError::new(self.peek(), "a statement")),
         }
     }
 
@@ -1216,20 +1231,38 @@ impl Parser {
     }
 
     fn primary(&mut self) -> Result<Expr, ParseError> {
-        let tok = self.peek().clone();
-        match &tok.kind {
-            TokenKind::Number(text) => {
+        /// Owned start of a primary, copied out of the peeked token so the
+        /// arms below can borrow the parser mutably. Payload arms clone
+        /// exactly the string the AST will own — never the whole token.
+        enum Head {
+            Num(Number),
+            Str(String),
+            Sys(String),
+            Id(String),
+            Op(&'static str),
+        }
+        let span = self.peek().span;
+        let head = match &self.peek().kind {
+            TokenKind::Number(text) => match decode_number(text) {
+                Some(num) => Head::Num(num),
+                None => return Err(ParseError::new(self.peek(), "a valid number literal")),
+            },
+            TokenKind::Str(s) => Head::Str(s.clone()),
+            TokenKind::SysIdent(name) => Head::Sys(format!("${name}")),
+            TokenKind::Ident(name) => Head::Id(name.clone()),
+            TokenKind::Op(o) => Head::Op(o),
+            _ => return Err(ParseError::new(self.peek(), "an expression")),
+        };
+        match head {
+            Head::Num(num) => {
                 self.bump();
-                let num = decode_number(text)
-                    .ok_or_else(|| ParseError::new(&tok, "a valid number literal"))?;
-                Ok(Expr::Number(num, tok.span))
+                Ok(Expr::Number(num, span))
             }
-            TokenKind::Str(s) => {
+            Head::Str(s) => {
                 self.bump();
-                Ok(Expr::Str(s.clone(), tok.span))
+                Ok(Expr::Str(s, span))
             }
-            TokenKind::SysIdent(name) => {
-                let name = format!("${name}");
+            Head::Sys(name) => {
                 self.bump();
                 let mut args = Vec::new();
                 if self.eat_op("(") {
@@ -1244,13 +1277,13 @@ impl Parser {
                     self.expect_op(")")?;
                 }
                 Ok(Expr::Call {
-                    name: Ident::spanned(name, tok.span),
+                    name: Ident::spanned(name, span),
                     args,
-                    span: tok.span,
+                    span,
                 })
             }
-            TokenKind::Ident(name) => {
-                let id = Ident::spanned(name.clone(), tok.span);
+            Head::Id(name) => {
+                let id = Ident::spanned(name, span);
                 self.bump();
                 if self.at_op("(") {
                     self.bump();
@@ -1265,7 +1298,7 @@ impl Parser {
                     }
                     let end = self.expect_op(")")?.span;
                     Ok(Expr::Call {
-                        span: tok.span.to(end),
+                        span: span.to(end),
                         name: id,
                         args,
                     })
@@ -1273,13 +1306,13 @@ impl Parser {
                     Ok(Expr::Ident(id))
                 }
             }
-            TokenKind::Op("(") => {
+            Head::Op("(") => {
                 self.bump();
                 let e = self.expr()?;
                 self.expect_op(")")?;
                 Ok(e)
             }
-            TokenKind::Op("{") => {
+            Head::Op("{") => {
                 let start = self.bump().span;
                 let first = self.expr()?;
                 if self.at_op("{") {
@@ -1304,7 +1337,7 @@ impl Parser {
                 let end = self.expect_op("}")?.span;
                 Ok(Expr::Concat(parts, start.to(end)))
             }
-            _ => Err(ParseError::new(&tok, "an expression")),
+            Head::Op(_) => Err(ParseError::new(self.peek(), "an expression")),
         }
     }
 }

@@ -113,7 +113,7 @@ impl Printer {
     fn item(&mut self, item: &Item) {
         match item {
             Item::Port(p) => {
-                let names: Vec<String> = p.names.iter().map(|n| n.name.clone()).collect();
+                let names: Vec<&str> = p.names.iter().map(|n| n.name.as_str()).collect();
                 self.line(&format!(
                     "{}{}{}{}{};",
                     p.dir,
