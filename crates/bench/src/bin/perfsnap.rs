@@ -1,13 +1,16 @@
-//! One-shot performance snapshot: simulator + model layer.
+//! One-shot performance snapshot: simulator + model layer + obs overhead.
 //!
 //! Times every stage of the simulator pipeline — lex, parse, elaborate,
 //! and the event loop under both execution engines — on the shared
 //! 128-bit pipeline workload, checks the engines agree, then times the
 //! interned-token model layer (tokenisation, TF-IDF index build,
 //! postings-list vs linear-scan retrieval at ~2k documents, and the
-//! symbol-keyed vs string-keyed n-gram) on a real augmented corpus, and
-//! writes the numbers to `BENCH_PR4.json` (the checked-in snapshot
-//! DESIGN.md §5d/§5e explain how to read).
+//! symbol-keyed vs string-keyed n-gram) on a real augmented corpus, then
+//! measures the `dda-obs` recorder's cost on the two instrumented hot
+//! paths (retrieval queries and simulator runs) with the recorder
+//! disabled vs enabled, and writes the numbers to `BENCH_PR5.json` (the
+//! checked-in snapshot DESIGN.md §5d/§5e/§5f explain how to read;
+//! `BENCH_PR3.json`/`BENCH_PR4.json` are the retained earlier snapshots).
 //!
 //! Usage: `cargo run --release -p dda-bench --bin perfsnap [--smoke]`
 //!
@@ -16,7 +19,8 @@
 //! itself still works. In both modes the binary *asserts* the postings
 //! path is no slower than half the linear reference, so a pathological
 //! retrieval regression fails the run rather than just recording a bad
-//! number.
+//! number; CI separately guards the obs section's enabled-recorder
+//! overhead.
 
 use dda_bench::{perf_workload, PERF_EVENTS_PER_CYCLE};
 use dda_core::tokenize::{tokenize_lower, tokenize_syms};
@@ -179,6 +183,75 @@ fn model_section(smoke: bool) -> ModelSection {
     }
 }
 
+/// Times the instrumented hot paths with the recorder disabled and
+/// enabled. The disabled state is the shipping default — each hook costs
+/// one relaxed atomic load — so `enabled_overhead_pct` bounds the cost of
+/// turning `--metrics` on, and the disabled timings land next to the
+/// model/sim sections for offline comparison against `BENCH_PR4.json`.
+fn obs_section(smoke: bool) -> String {
+    let (modules, target_docs, cycles, reps) = if smoke {
+        (8, 200, 200, 3)
+    } else {
+        (32, 1_000, 2_000, 7)
+    };
+    let docs = model_corpus(modules, target_docs);
+    let mut idx = TfIdfIndex::new();
+    for d in &docs {
+        idx.add(d);
+    }
+    idx.finish();
+    let queries: Vec<&str> = docs
+        .iter()
+        .step_by(8)
+        .map(|d| d.lines().next().unwrap_or(""))
+        .collect();
+    let query_workload = || {
+        queries
+            .iter()
+            .map(|q| idx.query(q, 32).len())
+            .sum::<usize>()
+    };
+    let sim_src = perf_workload(cycles);
+    let sim_sf = dda_verilog::parse(&sim_src).expect("workload parses");
+
+    assert!(!dda_obs::enabled(), "recorder must start disabled");
+    let (_, query_off_ms) = best_ms(reps, query_workload);
+    let (_, sim_off_ms) = best_ms(reps, || run_mode(&sim_sf, EvalMode::Bytecode));
+    dda_obs::enable();
+    let (hits, query_on_ms) = best_ms(reps, query_workload);
+    let (_, sim_on_ms) = best_ms(reps, || run_mode(&sim_sf, EvalMode::Bytecode));
+    dda_obs::disable();
+    let snap = dda_obs::snapshot();
+    // Counter sanity: every enabled-state query and sim run was counted.
+    assert_eq!(
+        snap.counter("slm.query.postings"),
+        (reps * queries.len()) as u64,
+        "query counter missed increments"
+    );
+    assert_eq!(
+        snap.counter("sim.run.bytecode"),
+        reps as u64,
+        "sim run counter missed increments"
+    );
+    assert!(hits > 0, "obs query workload returned no hits");
+    dda_obs::reset();
+
+    let pct = |on: f64, off: f64| (on - off) / off * 100.0;
+    let query_pct = pct(query_on_ms, query_off_ms);
+    let sim_pct = pct(sim_on_ms, sim_off_ms);
+    eprintln!(
+        "[perfsnap] obs: query {query_off_ms:.2} ms off / {query_on_ms:.2} ms on \
+         ({query_pct:+.2}%), sim {sim_off_ms:.2} ms off / {sim_on_ms:.2} ms on \
+         ({sim_pct:+.2}%)"
+    );
+    format!(
+        "\"obs\": {{\n    \
+           \"query_ms\": {{ \"disabled\": {query_off_ms:.3}, \"enabled\": {query_on_ms:.3} }},\n    \
+           \"sim_ms\": {{ \"disabled\": {sim_off_ms:.3}, \"enabled\": {sim_on_ms:.3} }},\n    \
+           \"enabled_overhead_pct\": {{ \"query\": {query_pct:.2}, \"sim\": {sim_pct:.2} }}\n  }}"
+    )
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (cycles, reps) = if smoke { (500, 2) } else { (20_000, 5) };
@@ -202,6 +275,7 @@ fn main() {
     let stats = cache::stats();
 
     let model = model_section(smoke);
+    let obs = obs_section(smoke);
     // Retrieval guard: the postings path must never fall below half the
     // linear reference's speed (CI runs this in --smoke mode; the real
     // snapshot shows an order of magnitude the other way).
@@ -221,7 +295,7 @@ fn main() {
            \"events_per_sec\": {{ \"ast\": {:.0}, \"bytecode\": {:.0} }},\n  \
            \"speedup_bytecode_over_ast\": {speedup:.2},\n  \
            \"frontend_cache_ms\": {{ \"cold\": {cold_ms:.3}, \"warm\": {warm_ms:.3}, \
-           \"hits\": {}, \"misses\": {} }},\n  {}\n  \
+           \"hits\": {}, \"misses\": {} }},\n  {}\n  {}\n  \
            \"smoke\": {smoke}\n}}\n",
         tokens.len(),
         eps(ast_ms),
@@ -229,6 +303,7 @@ fn main() {
         stats.hits,
         stats.misses,
         format_args!("{},", model.json),
+        format_args!("{obs},"),
     );
 
     eprintln!(
@@ -238,7 +313,7 @@ fn main() {
     if smoke {
         println!("{json}");
     } else {
-        std::fs::write("BENCH_PR4.json", &json).expect("write BENCH_PR4.json");
-        println!("wrote BENCH_PR4.json");
+        std::fs::write("BENCH_PR5.json", &json).expect("write BENCH_PR5.json");
+        println!("wrote BENCH_PR5.json");
     }
 }

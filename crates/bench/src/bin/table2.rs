@@ -31,6 +31,8 @@ fn arg_after(flag: &str) -> Option<usize> {
 }
 
 fn main() {
+    let flags = RunFlags::from_args();
+    flags.init_obs();
     let modules = arg_after("--modules").unwrap_or(256);
     let mut rng = SmallRng::seed_from_u64(2024);
     let corpus = dda_corpus::generate_corpus(modules, &mut rng);
@@ -44,7 +46,6 @@ fn main() {
         completion: CompletionOptions::default(),
         ..PipelineOptions::default()
     };
-    let flags = RunFlags::from_args();
     let (ds, report) = if flags.supervised() {
         let (ds, report, summary) =
             augment_supervised(&corpus, &opts, &flags.augment("table2", 2025))
@@ -93,4 +94,5 @@ fn main() {
         word >= max_other
     );
     println!("  EDA script entries = {eda} (paper: 200)");
+    flags.finish_obs();
 }

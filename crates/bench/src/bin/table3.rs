@@ -19,8 +19,9 @@ use dda_eval::report::{pct, pct_short, TextTable};
 use dda_eval::ModelId;
 
 fn main() {
-    let zoo = zoo_from_args();
     let flags = RunFlags::from_args();
+    flags.init_obs();
+    let zoo = zoo_from_args();
     let protocol = RepairProtocol {
         eval_mode: flags.eval_mode,
         ..RepairProtocol::default()
@@ -96,4 +97,5 @@ fn main() {
         pct(rates[3]),
         rates[2] > rates[3]
     );
+    flags.finish_obs();
 }

@@ -17,6 +17,8 @@ use dda_eval::script_eval::{eval_script_suite, ScriptCell, ScriptProtocol};
 use dda_eval::ModelId;
 
 fn main() {
+    let flags = RunFlags::from_args();
+    flags.init_obs();
     let zoo = zoo_from_args();
     let protocol = ScriptProtocol::default();
     let tasks = sc_suite();
@@ -39,7 +41,6 @@ fn main() {
     }
     let mut table = TextTable::new(header);
 
-    let flags = RunFlags::from_args();
     let mut per_model = Vec::new();
     for m in models {
         eprintln!("[table4] evaluating {m}...");
@@ -89,4 +90,5 @@ fn main() {
         "  Thakur levels solved in <=2 tries: {}/5",
         first_try(&per_model[1])
     );
+    flags.finish_obs();
 }

@@ -17,8 +17,9 @@ use dda_eval::report::{pct, pct_short, TextTable};
 use dda_eval::{eval_suite, eval_suite_supervised, success_rate, GenProtocol, ModelId};
 
 fn main() {
-    let zoo = zoo_from_args();
     let flags = RunFlags::from_args();
+    flags.init_obs();
+    let zoo = zoo_from_args();
     let protocol = GenProtocol {
         eval_mode: flags.eval_mode,
         ..GenProtocol::default()
@@ -164,4 +165,5 @@ fn main() {
         pct(ours13),
         cmp(ours13, gpt)
     );
+    flags.finish_obs();
 }

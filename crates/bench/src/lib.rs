@@ -4,6 +4,27 @@
 //! (`table1`–`table5`, `fig2`–`fig7`) and the Criterion benches. Each
 //! binary regenerates one table or figure of the paper; see DESIGN.md's
 //! per-experiment index for the mapping.
+//!
+//! The crate exports three pieces: the zoo constructors
+//! ([`standard_zoo`], [`quick_zoo`], [`zoo_from_args`]), the shared CLI
+//! flag parser [`RunFlags`] (workers / resume / eval-mode / observability),
+//! and [`log_summary`] for the engine's resume-and-retry counters.
+//!
+//! ## Example
+//!
+//! Every table binary's `main` opens and closes with the same bracket:
+//!
+//! ```
+//! use dda_bench::RunFlags;
+//!
+//! let flags = RunFlags::from_args(); // a doctest has no CLI flags
+//! assert!(!flags.supervised());
+//! assert_eq!(flags.workers, 1);
+//! flags.init_obs(); // no --metrics / --trace-out: the recorder stays off
+//! assert!(!dda_obs::enabled());
+//! // ... regenerate the table ...
+//! flags.finish_obs();
+//! ```
 
 #![warn(missing_docs)]
 
@@ -55,6 +76,12 @@ pub fn zoo_from_args() -> ModelZoo {
 /// testbench scoring (bytecode by default; `ast` reproduces the reference
 /// interpreter for differential runs). Verdicts and scores are identical
 /// across engines — only wall-clock differs.
+///
+/// `--trace-out PATH` and `--metrics` turn the `dda-obs` recorder on:
+/// the first streams structured JSONL events (plus end-of-run counter
+/// totals) to `PATH`, the second prints a metrics summary to stderr when
+/// the binary finishes. Without either flag the recorder stays disabled
+/// and every instrumentation site costs one relaxed atomic load.
 #[derive(Debug, Clone)]
 pub struct RunFlags {
     /// Worker threads per sweep (`--workers N`; default 1).
@@ -63,6 +90,11 @@ pub struct RunFlags {
     pub resume: Option<PathBuf>,
     /// Simulator engine (`--eval-mode ast|bytecode`; default bytecode).
     pub eval_mode: EvalMode,
+    /// JSONL trace destination (`--trace-out PATH`); enables the recorder.
+    pub trace_out: Option<PathBuf>,
+    /// Print an end-of-run metrics summary (`--metrics`); enables the
+    /// recorder.
+    pub metrics: bool,
 }
 
 impl RunFlags {
@@ -81,6 +113,42 @@ impl RunFlags {
                 Some("ast") => EvalMode::Ast,
                 _ => EvalMode::Bytecode,
             },
+            trace_out: after("--trace-out").map(PathBuf::from),
+            metrics: args.iter().any(|a| a == "--metrics"),
+        }
+    }
+
+    /// Enables the global `dda-obs` recorder when `--trace-out` or
+    /// `--metrics` asks for it; call once at the top of `main`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the `--trace-out` file cannot be created.
+    pub fn init_obs(&self) {
+        if let Some(path) = &self.trace_out {
+            dda_obs::open_trace(path).expect("create --trace-out file");
+        }
+        if self.metrics || self.trace_out.is_some() {
+            dda_obs::enable();
+        }
+    }
+
+    /// Finishes the run's observability: closes the trace file (appending
+    /// one `counter` event per live counter) and, under `--metrics`,
+    /// prints the [`dda_obs::report`] summary to stderr.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trace file cannot be flushed.
+    pub fn finish_obs(&self) {
+        if self.trace_out.is_some() {
+            dda_obs::close_trace().expect("flush --trace-out file");
+            if let Some(path) = &self.trace_out {
+                eprintln!("[obs] trace written to {}", path.display());
+            }
+        }
+        if self.metrics {
+            eprint!("{}", dda_obs::report::render(&dda_obs::snapshot()));
         }
     }
 

@@ -10,6 +10,26 @@
 //! and a self-checking testbench that reports `RESULT <pass> <total>`
 //! through `$display` — the functional pass rates in Tables 3 and 5 come
 //! from simulating those testbenches with [`dda_sim`].
+//!
+//! ## Module map
+//!
+//! * [`problem`] — the [`VerilogProblem`] record shared by both Verilog
+//!   suites, and the `RESULT`-line parser;
+//! * [`thakur`] — the 17-problem, 3-prompt-level generation suite;
+//! * [`rtllm`] — the 29-design RTLLM suite and its Table-5 subset;
+//! * [`sc`] — the five SiliconCompiler script-generation task levels.
+//!
+//! ## Example
+//!
+//! ```
+//! use dda_benchmarks::{rtllm_suite, sc_suite, thakur_suite};
+//!
+//! let thakur = thakur_suite();
+//! assert_eq!(thakur.len(), 17);
+//! assert!(thakur.iter().all(|p| p.prompts.len() == 3)); // low/middle/high
+//! assert_eq!(rtllm_suite().len(), 29);
+//! assert_eq!(sc_suite().len(), 5);
+//! ```
 
 #![warn(missing_docs)]
 

@@ -257,6 +257,29 @@ impl AugmentReport {
     }
 }
 
+/// Records one booked (module, stage) unit in the global observability
+/// recorder: a `pipeline.stage.<stage>.<outcome>` counter tick, an entry
+/// total, and one `stage` trace event. These counters increment at the
+/// exact sites that increment the [`StageTally`] buckets, so they always
+/// reconcile with the returned [`AugmentReport`]; the check is one relaxed
+/// atomic load when the recorder is disabled (the default).
+pub(crate) fn obs_stage(stage: Stage, module: &str, outcome: &str, entries: usize) {
+    if !dda_obs::enabled() {
+        return;
+    }
+    dda_obs::count(&format!("pipeline.stage.{stage}.{outcome}"), 1);
+    if entries > 0 {
+        dda_obs::count(&format!("pipeline.stage.{stage}.entries"), entries as u64);
+    }
+    dda_obs::emit(
+        dda_obs::Event::new("stage")
+            .str("module", module)
+            .str("stage", stage.to_string())
+            .str("outcome", outcome)
+            .u64("entries", entries as u64),
+    );
+}
+
 /// Extracts a printable message from a caught panic payload.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -293,6 +316,7 @@ pub(crate) fn book_stage(
         Ok(entries) if !entries.is_empty() => {
             tally.ok += 1;
             tally.entries += entries.len();
+            obs_stage(stage, &module.name, "ok", entries.len());
             for (k, e) in entries {
                 ds.push(k, e);
             }
@@ -300,6 +324,7 @@ pub(crate) fn book_stage(
         Ok(_) => match diagnose(&module.source) {
             Some(diagnostic) => {
                 tally.quarantined += 1;
+                obs_stage(stage, &module.name, "quarantined", 0);
                 quarantines.push(QuarantineRecord {
                     module: module.name.clone(),
                     stage,
@@ -307,10 +332,14 @@ pub(crate) fn book_stage(
                     panicked: false,
                 });
             }
-            None => tally.skipped += 1,
+            None => {
+                tally.skipped += 1;
+                obs_stage(stage, &module.name, "skipped", 0);
+            }
         },
         Err(diagnostic) => {
             tally.quarantined += 1;
+            obs_stage(stage, &module.name, "quarantined", 0);
             quarantines.push(QuarantineRecord {
                 module: module.name.clone(),
                 stage,
@@ -346,6 +375,10 @@ pub(crate) fn recycle_quarantines(
         }
     }
     report.recycled = extra.len();
+    if dda_obs::enabled() && report.recycled > 0 {
+        dda_obs::count("pipeline.recycled", report.recycled as u64);
+        dda_obs::emit(dda_obs::Event::new("recycle").u64("pairs", report.recycled as u64));
+    }
     for e in extra {
         ds.push(TaskKind::VerilogDebug, e);
     }
@@ -368,6 +401,7 @@ pub fn augment<R: Rng + ?Sized>(
     opts: &PipelineOptions,
     rng: &mut R,
 ) -> (Dataset, AugmentReport) {
+    let _run_span = dda_obs::span("pipeline.augment");
     let mut ds = Dataset::new();
     let mut report = AugmentReport {
         modules: corpus.len(),
@@ -385,6 +419,7 @@ pub fn augment<R: Rng + ?Sized>(
             );
         } else {
             report.completion.skipped += 1;
+            obs_stage(Stage::Completion, &m.name, "skipped", 0);
         }
         if opts.stages.alignment {
             book_stage(
@@ -397,6 +432,7 @@ pub fn augment<R: Rng + ?Sized>(
             );
         } else {
             report.alignment.skipped += 1;
+            obs_stage(Stage::Alignment, &m.name, "skipped", 0);
         }
         if opts.stages.repair {
             let file = format!("{}.v", m.name);
@@ -412,6 +448,7 @@ pub fn augment<R: Rng + ?Sized>(
             );
         } else {
             report.repair.skipped += 1;
+            obs_stage(Stage::Repair, &m.name, "skipped", 0);
         }
     }
 
@@ -424,12 +461,14 @@ pub fn augment<R: Rng + ?Sized>(
             Ok(entries) => {
                 report.eda_script.ok += 1;
                 report.eda_script.entries += entries.len();
+                obs_stage(Stage::EdaScript, "<eda-pool>", "ok", entries.len());
                 for (k, e) in entries {
                     ds.push(k, e);
                 }
             }
             Err(diagnostic) => {
                 report.eda_script.quarantined += 1;
+                obs_stage(Stage::EdaScript, "<eda-pool>", "quarantined", 0);
                 report.quarantines.push(QuarantineRecord {
                     module: "<eda-pool>".to_string(),
                     stage: Stage::EdaScript,
@@ -440,6 +479,7 @@ pub fn augment<R: Rng + ?Sized>(
         }
     } else {
         report.eda_script.skipped += 1;
+        obs_stage(Stage::EdaScript, "<eda-pool>", "skipped", 0);
     }
 
     ds.trim_by_token_len(opts.max_entry_tokens);

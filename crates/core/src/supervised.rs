@@ -33,8 +33,8 @@ use crate::dataset::{DataEntry, Dataset, TaskKind};
 use crate::edascript::generate_eda_entries;
 use crate::json;
 use crate::pipeline::{
-    book_stage, guarded, recycle_quarantines, AugmentReport, PipelineOptions, QuarantineRecord,
-    Stage,
+    book_stage, guarded, obs_stage, recycle_quarantines, AugmentReport, PipelineOptions,
+    QuarantineRecord, Stage,
 };
 use crate::repair::repair_entries;
 use dda_corpus::CorpusModule;
@@ -179,6 +179,7 @@ pub fn augment_supervised(
     opts: &PipelineOptions,
     sup: &SupervisedOptions,
 ) -> io::Result<(Dataset, AugmentReport, EngineSummary)> {
+    let _run_span = dda_obs::span("pipeline.augment_supervised");
     let units = corpus.len() + 1; // final unit = EDA pool
     let exec = |unit: usize, cancel: &CancelToken| -> Result<UnitYield, UnitError> {
         let mut rng = SmallRng::seed_from_u64(unit_seed(sup.seed, unit));
@@ -232,7 +233,10 @@ pub fn augment_supervised(
     let summary = engine.summary();
 
     // Assembly: book every unit in id order — the same order, and the
-    // same bookkeeping, as the sequential pipeline loop.
+    // same bookkeeping, as the sequential pipeline loop. Being
+    // single-threaded and scheduling-independent, it also makes the
+    // obs stage counters invariant across worker counts.
+    let _assembly_span = dda_obs::span("pipeline.assemble");
     let mut ds = Dataset::new();
     let mut report = AugmentReport {
         modules: corpus.len(),
@@ -257,7 +261,10 @@ pub fn augment_supervised(
                 UnitOutcome::Ok(UnitYield::Module(stages)) => {
                     for (i, stage) in Stage::PER_MODULE.into_iter().enumerate() {
                         match &stages[i] {
-                            None => tallies(&mut report, stage).skipped += 1,
+                            None => {
+                                tallies(&mut report, stage).skipped += 1;
+                                obs_stage(stage, &m.name, "skipped", 0);
+                            }
                             Some(outcome) => {
                                 let mut quarantines = std::mem::take(&mut report.quarantines);
                                 book_stage(
@@ -286,6 +293,7 @@ pub fn augment_supervised(
                     for (i, stage) in Stage::PER_MODULE.into_iter().enumerate() {
                         if enabled[i] {
                             tallies(&mut report, stage).quarantined += 1;
+                            obs_stage(stage, &m.name, "quarantined", 0);
                             report.quarantines.push(QuarantineRecord {
                                 module: m.name.clone(),
                                 stage,
@@ -294,22 +302,28 @@ pub fn augment_supervised(
                             });
                         } else {
                             tallies(&mut report, stage).skipped += 1;
+                            obs_stage(stage, &m.name, "skipped", 0);
                         }
                     }
                 }
             }
         } else {
             match &u.outcome {
-                UnitOutcome::Ok(UnitYield::Eda(None)) => report.eda_script.skipped += 1,
+                UnitOutcome::Ok(UnitYield::Eda(None)) => {
+                    report.eda_script.skipped += 1;
+                    obs_stage(Stage::EdaScript, "<eda-pool>", "skipped", 0);
+                }
                 UnitOutcome::Ok(UnitYield::Eda(Some(Ok(entries)))) => {
                     report.eda_script.ok += 1;
                     report.eda_script.entries += entries.len();
+                    obs_stage(Stage::EdaScript, "<eda-pool>", "ok", entries.len());
                     for (k, e) in entries {
                         ds.push(*k, e.clone());
                     }
                 }
                 UnitOutcome::Ok(UnitYield::Eda(Some(Err(diagnostic)))) => {
                     report.eda_script.quarantined += 1;
+                    obs_stage(Stage::EdaScript, "<eda-pool>", "quarantined", 0);
                     report.quarantines.push(QuarantineRecord {
                         module: "<eda-pool>".to_string(),
                         stage: Stage::EdaScript,
@@ -325,6 +339,7 @@ pub fn augment_supervised(
                     panicked,
                 } => {
                     report.eda_script.quarantined += 1;
+                    obs_stage(Stage::EdaScript, "<eda-pool>", "quarantined", 0);
                     report.quarantines.push(QuarantineRecord {
                         module: "<eda-pool>".to_string(),
                         stage: Stage::EdaScript,

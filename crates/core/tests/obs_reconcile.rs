@@ -1,0 +1,258 @@
+//! Observability reconciliation tests (the tentpole's acceptance bar):
+//! the counters a pipeline run records in `dda_obs` must reconcile
+//! *exactly* with the [`AugmentReport`] the run returns — per stage, per
+//! outcome bucket — and must be invariant to the supervised engine's
+//! worker count. The final test reconciles a run from its JSONL trace
+//! file alone, proving the trace carries the full accounting.
+//!
+//! The recorder is process-global, so every test takes `OBS_LOCK` and
+//! starts from `dda_obs::reset()`.
+
+use dda_core::chaos::{inject, Fault};
+use dda_core::pipeline::{augment, AugmentReport, PipelineOptions, Stage, StageSet};
+use dda_core::supervised::{augment_supervised, SupervisedOptions};
+use dda_corpus::{generate_corpus, CorpusModule};
+use dda_obs::{Snapshot, Value};
+use dda_runtime::RunOptions;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard};
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes recorder access and hands back a clean, enabled recorder.
+fn recorder() -> MutexGuard<'static, ()> {
+    let guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    dda_obs::reset();
+    dda_obs::enable();
+    guard
+}
+
+/// Small corpus with every third module truncated, so runs exercise the
+/// ok, quarantine, *and* recycle paths at once.
+fn mixed_corpus(n: usize, seed: u64) -> Vec<CorpusModule> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut corpus = generate_corpus(n, &mut rng);
+    for m in corpus.iter_mut().step_by(3) {
+        m.source = inject(&m.source, Fault::Truncation, &mut rng);
+    }
+    corpus
+}
+
+/// Small volumes so the sweep stays fast; all stages enabled.
+fn opts() -> PipelineOptions {
+    PipelineOptions {
+        repairs_per_module: 1,
+        eda_scripts: 4,
+        ..PipelineOptions::default()
+    }
+}
+
+const ALL_STAGES: [Stage; 4] = [
+    Stage::Completion,
+    Stage::Alignment,
+    Stage::Repair,
+    Stage::EdaScript,
+];
+
+/// Asserts the counter snapshot reconciles exactly with the report: each
+/// stage's ok/skipped/quarantined/entries counters match the tallies, the
+/// outcome buckets sum back to the stage's input units (conservation from
+/// the counters alone), and recycle totals agree.
+fn assert_reconciles(snap: &Snapshot, report: &AugmentReport) {
+    for stage in ALL_STAGES {
+        let t = report.stage(stage);
+        let c = |bucket: &str| snap.counter(&format!("pipeline.stage.{stage}.{bucket}"));
+        assert_eq!(c("ok"), t.ok as u64, "{stage} ok");
+        assert_eq!(c("skipped"), t.skipped as u64, "{stage} skipped");
+        assert_eq!(
+            c("quarantined"),
+            t.quarantined as u64,
+            "{stage} quarantined"
+        );
+        assert_eq!(c("entries"), t.entries as u64, "{stage} entries");
+        let units = if stage == Stage::EdaScript {
+            1
+        } else {
+            report.modules as u64
+        };
+        assert_eq!(
+            c("ok") + c("skipped") + c("quarantined"),
+            units,
+            "{stage} conservation"
+        );
+    }
+    assert_eq!(snap.counter("pipeline.recycled"), report.recycled as u64);
+}
+
+#[test]
+fn sequential_counters_reconcile_with_report() {
+    let _g = recorder();
+    let corpus = mixed_corpus(9, 7);
+    let mut rng = SmallRng::seed_from_u64(8);
+    let (_ds, report) = augment(&corpus, &opts(), &mut rng);
+    assert!(report.is_conserved(), "{report:?}");
+    // The fixture must actually exercise both failure paths.
+    assert!(!report.quarantines.is_empty(), "no quarantines provoked");
+    assert!(report.recycled > 0, "no recycled pairs minted");
+    assert_reconciles(&dda_obs::snapshot(), &report);
+    dda_obs::disable();
+}
+
+#[test]
+fn disabled_stage_counts_as_skipped() {
+    let _g = recorder();
+    let corpus = generate_corpus(5, &mut SmallRng::seed_from_u64(3));
+    let o = PipelineOptions {
+        stages: StageSet {
+            alignment: false,
+            ..StageSet::FULL
+        },
+        ..opts()
+    };
+    let (_ds, report) = augment(&corpus, &o, &mut SmallRng::seed_from_u64(4));
+    let snap = dda_obs::snapshot();
+    assert_eq!(snap.counter("pipeline.stage.alignment.skipped"), 5);
+    assert_eq!(snap.counter("pipeline.stage.alignment.ok"), 0);
+    assert_eq!(snap.counter("pipeline.stage.alignment.entries"), 0);
+    assert_reconciles(&snap, &report);
+    dda_obs::disable();
+}
+
+/// The supervised assembly loop folds engine results single-threaded in
+/// unit-id order, so the counters — unlike wall-clock spans or the
+/// `engine.workers` gauge — must be byte-identical at any worker count.
+#[test]
+fn supervised_counters_are_worker_invariant() {
+    let _g = recorder();
+    let corpus = mixed_corpus(8, 21);
+    let mut baseline: Option<(Vec<(String, u64)>, AugmentReport)> = None;
+    for workers in [1usize, 2, 8] {
+        dda_obs::reset();
+        let sup = SupervisedOptions {
+            run: RunOptions {
+                workers,
+                ..RunOptions::default()
+            },
+            ..SupervisedOptions::default()
+        };
+        let (_ds, report, summary) = augment_supervised(&corpus, &opts(), &sup).unwrap();
+        let snap = dda_obs::snapshot();
+        assert_reconciles(&snap, &report);
+        // Engine-level counters agree with the engine's own summary.
+        assert_eq!(snap.counter("engine.units.ok"), summary.ok as u64);
+        assert_eq!(
+            snap.counter("engine.units.quarantined"),
+            summary.quarantined as u64
+        );
+        assert_eq!(snap.gauge("engine.workers"), workers as i64);
+        match &baseline {
+            None => baseline = Some((snap.counters.clone(), report)),
+            Some((counters, first)) => {
+                assert_eq!(
+                    &snap.counters, counters,
+                    "counters drifted at workers={workers}"
+                );
+                assert_eq!(&report, first, "report drifted at workers={workers}");
+            }
+        }
+    }
+    dda_obs::disable();
+}
+
+/// A `--trace-out`-style run reconciles from the trace file *alone*: the
+/// live `stage` events rebuild every tally bucket, `recycle` events sum
+/// to the report's recycle count, and the trailing `counter` events match
+/// the in-memory snapshot — at each worker count.
+#[test]
+fn trace_file_alone_reconciles_with_report() {
+    let _g = recorder();
+    let dir = std::env::temp_dir().join(format!("dda-obs-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let corpus = mixed_corpus(6, 31);
+    for workers in [1usize, 2, 8] {
+        dda_obs::reset();
+        let path = dir.join(format!("trace-w{workers}.jsonl"));
+        dda_obs::open_trace(&path).unwrap();
+        let sup = SupervisedOptions {
+            run: RunOptions {
+                workers,
+                ..RunOptions::default()
+            },
+            ..SupervisedOptions::default()
+        };
+        let (_ds, report, _summary) = augment_supervised(&corpus, &opts(), &sup).unwrap();
+        let snap = dda_obs::snapshot();
+        dda_obs::close_trace().unwrap();
+
+        let events = dda_obs::read_trace(&path).unwrap();
+        assert!(!events.is_empty());
+        let get = |ev: &dda_obs::Event, name: &str| {
+            ev.field(name)
+                .and_then(Value::as_str)
+                .unwrap_or_else(|| panic!("missing field {name}"))
+                .to_owned()
+        };
+        let mut buckets: HashMap<(String, String), u64> = HashMap::new();
+        let mut entries: HashMap<String, u64> = HashMap::new();
+        for ev in events.iter().filter(|e| e.kind == "stage") {
+            let stage = get(ev, "stage");
+            *buckets
+                .entry((stage.clone(), get(ev, "outcome")))
+                .or_default() += 1;
+            *entries.entry(stage).or_default() +=
+                ev.field("entries").and_then(Value::as_u64).unwrap();
+        }
+        for stage in ALL_STAGES {
+            let t = report.stage(stage);
+            let name = stage.to_string();
+            let b = |o: &str| {
+                buckets
+                    .get(&(name.clone(), o.to_owned()))
+                    .copied()
+                    .unwrap_or(0)
+            };
+            assert_eq!(b("ok"), t.ok as u64, "trace {stage} ok (workers={workers})");
+            assert_eq!(b("skipped"), t.skipped as u64, "trace {stage} skipped");
+            assert_eq!(
+                b("quarantined"),
+                t.quarantined as u64,
+                "trace {stage} quarantined"
+            );
+            assert_eq!(
+                entries.get(&name).copied().unwrap_or(0),
+                t.entries as u64,
+                "trace {stage} entries"
+            );
+            let units = if stage == Stage::EdaScript {
+                1
+            } else {
+                report.modules as u64
+            };
+            assert_eq!(
+                b("ok") + b("skipped") + b("quarantined"),
+                units,
+                "trace {stage} conservation (workers={workers})"
+            );
+        }
+        let recycled: u64 = events
+            .iter()
+            .filter(|e| e.kind == "recycle")
+            .map(|e| e.field("pairs").and_then(Value::as_u64).unwrap())
+            .sum();
+        assert_eq!(recycled, report.recycled as u64);
+
+        // `close_trace` appended one `counter` event per live counter;
+        // the trace's totals must equal the in-memory snapshot's.
+        let tail: Vec<_> = events.iter().filter(|e| e.kind == "counter").collect();
+        assert_eq!(tail.len(), snap.counters.len());
+        for ev in tail {
+            let name = get(ev, "name");
+            let n = ev.field("n").and_then(Value::as_u64).unwrap();
+            assert_eq!(snap.counter(&name), n, "trace counter {name}");
+        }
+    }
+    dda_obs::disable();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -16,6 +16,22 @@
 //! * [`supervised`] — parallel, deadline-supervised, resumable variants
 //!   of the three sweeps, running on the `dda-runtime` engine;
 //! * [`report`] — plain-text table rendering for the regeneration binaries.
+//!
+//! ## Example
+//!
+//! Build a small model zoo and score one Thakur problem under the
+//! Table-5 pass@5 protocol (the table binaries do exactly this over the
+//! full suites):
+//!
+//! ```
+//! use dda_eval::{eval_suite, GenProtocol, ModelId, ModelZoo, ZooOptions};
+//!
+//! let zoo = ModelZoo::build(&ZooOptions { corpus_modules: 8, ..ZooOptions::default() });
+//! let suite = dda_benchmarks::thakur_suite();
+//! let rows = eval_suite(zoo.model(ModelId::Ours13B), &suite[..1], &GenProtocol::default());
+//! assert_eq!(rows.len(), 1);
+//! assert_eq!(rows[0].cells.len(), 3); // one cell per prompt detail level
+//! ```
 
 #![warn(missing_docs)]
 

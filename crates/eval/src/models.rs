@@ -105,6 +105,7 @@ impl ModelZoo {
     /// Builds the zoo: generates the corpus, runs the augmentation pipeline
     /// (full and completion-only variants), and finetunes every profile.
     pub fn build(opts: &ZooOptions) -> ModelZoo {
+        let _build_span = dda_obs::span("zoo.build");
         let mut rng = SmallRng::seed_from_u64(opts.seed);
         let corpus = dda_corpus::generate_corpus(opts.corpus_modules, &mut rng);
         let pipe = PipelineOptions::default();

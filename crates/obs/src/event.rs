@@ -1,0 +1,387 @@
+//! Structured trace events and their JSONL codec.
+//!
+//! One event per line: `{"ev": "<kind>", "<field>": <value>, ...}` with
+//! string, integer, float, and boolean field values. String escaping
+//! follows the same RFC 8259 minimal rules as `dda_core::json::escape`
+//! (re-implemented because this crate sits below `dda-core`; the core
+//! test suite asserts the two agree byte for byte).
+//!
+//! [`read_trace`] mirrors the runtime journal's durability contract: a
+//! torn **final** line (a run killed mid-write) is dropped silently, a
+//! malformed line anywhere else is a hard [`InvalidData`] error.
+//!
+//! [`InvalidData`]: std::io::ErrorKind::InvalidData
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, Read as _};
+use std::path::Path;
+
+/// A field value in a trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A string (escaped on encode).
+    Str(String),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer (encoded only for negatives; non-negative numbers
+    /// parse back as [`Value::U64`]).
+    I64(i64),
+    /// A finite float.
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// The string content, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric content as `u64`, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+}
+
+/// One structured trace event: a kind plus ordered `(name, value)` fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Event kind (the `"ev"` field), e.g. `"stage"`, `"span"`, `"counter"`.
+    pub kind: String,
+    /// Fields in encode order.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// Creates an event of `kind` with no fields.
+    pub fn new(kind: impl Into<String>) -> Event {
+        Event {
+            kind: kind.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends a string field.
+    #[must_use]
+    pub fn str(mut self, name: &str, v: impl Into<String>) -> Event {
+        self.fields.push((name.to_string(), Value::Str(v.into())));
+        self
+    }
+
+    /// Appends an unsigned-integer field.
+    #[must_use]
+    pub fn u64(mut self, name: &str, v: u64) -> Event {
+        self.fields.push((name.to_string(), Value::U64(v)));
+        self
+    }
+
+    /// Appends a float field.
+    #[must_use]
+    pub fn f64(mut self, name: &str, v: f64) -> Event {
+        self.fields.push((name.to_string(), Value::F64(v)));
+        self
+    }
+
+    /// Appends a boolean field.
+    #[must_use]
+    pub fn bool(mut self, name: &str, v: bool) -> Event {
+        self.fields.push((name.to_string(), Value::Bool(v)));
+        self
+    }
+
+    /// Looks a field up by name.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+}
+
+/// Escapes `s` per JSON string rules — byte-identical to
+/// `dda_core::json::escape`.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn encode_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Str(s) => {
+            out.push('"');
+            out.push_str(&escape(s));
+            out.push('"');
+        }
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(n) => {
+            // Finite by contract; a Display float is valid JSON.
+            let _ = write!(out, "{n}");
+        }
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+    }
+}
+
+/// Serializes one event to a single JSON line (no trailing newline).
+pub fn encode(ev: &Event) -> String {
+    let mut out = String::with_capacity(64);
+    out.push_str("{\"ev\": \"");
+    out.push_str(&escape(&ev.kind));
+    out.push('"');
+    for (name, v) in &ev.fields {
+        out.push_str(", \"");
+        out.push_str(&escape(name));
+        out.push_str("\": ");
+        encode_value(&mut out, v);
+    }
+    out.push('}');
+    out
+}
+
+fn skip_ws(chars: &[char], pos: &mut usize) {
+    while chars.get(*pos).is_some_and(|c| c.is_whitespace()) {
+        *pos += 1;
+    }
+}
+
+fn parse_string(chars: &[char], pos: &mut usize) -> Option<String> {
+    if chars.get(*pos) != Some(&'"') {
+        return None;
+    }
+    *pos += 1;
+    let mut s = String::new();
+    loop {
+        let c = *chars.get(*pos)?;
+        *pos += 1;
+        match c {
+            '"' => return Some(s),
+            '\\' => {
+                let e = *chars.get(*pos)?;
+                *pos += 1;
+                match e {
+                    'n' => s.push('\n'),
+                    'r' => s.push('\r'),
+                    't' => s.push('\t'),
+                    '"' => s.push('"'),
+                    '\\' => s.push('\\'),
+                    '/' => s.push('/'),
+                    'u' => {
+                        let hex: String = chars.get(*pos..*pos + 4)?.iter().collect();
+                        *pos += 4;
+                        let v = u32::from_str_radix(&hex, 16).ok()?;
+                        s.push(char::from_u32(v)?);
+                    }
+                    _ => return None,
+                }
+            }
+            c => s.push(c),
+        }
+    }
+}
+
+fn parse_value(chars: &[char], pos: &mut usize) -> Option<Value> {
+    skip_ws(chars, pos);
+    match chars.get(*pos)? {
+        '"' => parse_string(chars, pos).map(Value::Str),
+        't' | 'f' => {
+            let word: String = chars[*pos..]
+                .iter()
+                .take_while(|c| c.is_ascii_alphabetic())
+                .collect();
+            *pos += word.len();
+            match word.as_str() {
+                "true" => Some(Value::Bool(true)),
+                "false" => Some(Value::Bool(false)),
+                _ => None,
+            }
+        }
+        _ => {
+            let lit: String = chars[*pos..]
+                .iter()
+                .take_while(|c| matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+                .collect();
+            if lit.is_empty() {
+                return None;
+            }
+            *pos += lit.len();
+            if lit.contains(['.', 'e', 'E']) {
+                lit.parse().ok().map(Value::F64)
+            } else if lit.starts_with('-') {
+                lit.parse().ok().map(Value::I64)
+            } else {
+                lit.parse().ok().map(Value::U64)
+            }
+        }
+    }
+}
+
+/// Parses one JSONL event line; `None` when malformed (e.g. a torn write).
+pub fn parse(line: &str) -> Option<Event> {
+    let chars: Vec<char> = line.trim().chars().collect();
+    let mut pos = 0usize;
+    skip_ws(&chars, &mut pos);
+    if chars.get(pos) != Some(&'{') {
+        return None;
+    }
+    pos += 1;
+    let mut kind: Option<String> = None;
+    let mut fields = Vec::new();
+    loop {
+        skip_ws(&chars, &mut pos);
+        let name = parse_string(&chars, &mut pos)?;
+        skip_ws(&chars, &mut pos);
+        if chars.get(pos) != Some(&':') {
+            return None;
+        }
+        pos += 1;
+        let value = parse_value(&chars, &mut pos)?;
+        if name == "ev" {
+            kind = Some(value.as_str()?.to_string());
+        } else {
+            fields.push((name, value));
+        }
+        skip_ws(&chars, &mut pos);
+        match chars.get(pos) {
+            Some(',') => pos += 1,
+            Some('}') => {
+                pos += 1;
+                break;
+            }
+            _ => return None,
+        }
+    }
+    skip_ws(&chars, &mut pos);
+    if pos != chars.len() {
+        return None;
+    }
+    Some(Event {
+        kind: kind?,
+        fields,
+    })
+}
+
+/// Loads every event from a JSONL trace file at `path`.
+///
+/// A torn **final** line (a run killed mid-write) is dropped silently; a
+/// malformed line anywhere else is a hard error — the same durability
+/// contract as the runtime journal reader.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; reports corrupt non-final lines as
+/// [`std::io::ErrorKind::InvalidData`].
+pub fn read_trace(path: &Path) -> io::Result<Vec<Event>> {
+    let mut text = String::new();
+    File::open(path)?.read_to_string(&mut text)?;
+    let lines: Vec<&str> = text.lines().collect();
+    let mut out = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse(line) {
+            Some(ev) => out.push(ev),
+            None if i + 1 == lines.len() => break, // torn tail from a kill
+            None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}: corrupt trace line {}", path.display(), i + 1),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_parse_round_trips() {
+        let ev = Event::new("stage")
+            .str("module", "ctr \"q\" \\back\\")
+            .str("stage", "completion")
+            .u64("entries", 42)
+            .f64("score", 0.5)
+            .bool("panicked", false);
+        let line = encode(&ev);
+        let back = parse(&line).expect("parses");
+        assert_eq!(back, ev);
+        // A second encode is byte-stable.
+        assert_eq!(encode(&back), line);
+    }
+
+    #[test]
+    fn control_chars_and_unicode_survive() {
+        let ev = Event::new("e").str("m", "a\nb\t\u{1}§☃ モジュール");
+        let back = parse(&encode(&ev)).unwrap();
+        assert_eq!(back, ev);
+        assert!(encode(&ev).contains("\\u0001"));
+    }
+
+    #[test]
+    fn negative_and_float_values_parse() {
+        let line = r#"{"ev": "g", "v": -3, "f": 1.5e3, "b": true}"#;
+        let ev = parse(line).unwrap();
+        assert_eq!(ev.field("v"), Some(&Value::I64(-3)));
+        assert_eq!(ev.field("f"), Some(&Value::F64(1500.0)));
+        assert_eq!(ev.field("b"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "",
+            "not json",
+            "{\"ev\": ",
+            "{\"ev\": \"x\"} trailing",
+            "{\"name\": \"missing kind\"}",
+            "{\"ev\": \"x\", \"s\": \"dangling \\",
+        ] {
+            assert!(parse(bad).is_none(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn read_trace_drops_torn_tail_only() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("dda-obs-trace-{}.jsonl", std::process::id()));
+        let good = encode(&Event::new("a").u64("n", 1));
+        std::fs::write(&path, format!("{good}\n{{\"ev\": \"b\", \"half")).unwrap();
+        let evs = read_trace(&path).unwrap();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, "a");
+
+        // Corrupt interior line: hard error.
+        std::fs::write(&path, format!("garbage\n{good}\n")).unwrap();
+        let err = read_trace(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+}

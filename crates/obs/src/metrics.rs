@@ -1,0 +1,223 @@
+//! Counter/gauge/span registries keyed on interned metric names.
+//!
+//! Metric names are interned to dense `u32` [`Key`]s on first use — the
+//! same idiom as `dda_core::intern::Sym` — so the per-update cost after
+//! the first touch is one `HashMap` probe plus one `Vec` index, and the
+//! registries themselves are three dense vectors.
+
+use std::collections::HashMap;
+
+/// An interned metric name: a dense index into one recorder's registries.
+///
+/// Keys are only meaningful within the recorder that issued them (exactly
+/// like `Sym` and its `Interner`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Key(pub(crate) u32);
+
+/// Aggregate statistics for one named span, on the monotonic clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanStat {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total elapsed nanoseconds across all completions.
+    pub total_ns: u64,
+    /// Shortest single span, in nanoseconds.
+    pub min_ns: u64,
+    /// Longest single span, in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanStat {
+    /// Mean span duration in nanoseconds (0 when no spans completed).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    fn record(&mut self, ns: u64) {
+        if self.count == 0 || ns < self.min_ns {
+            self.min_ns = ns;
+        }
+        if ns > self.max_ns {
+            self.max_ns = ns;
+        }
+        self.count += 1;
+        self.total_ns += ns;
+    }
+}
+
+/// The mutable state behind one recorder: name interner + dense registries.
+#[derive(Debug, Default)]
+pub(crate) struct Metrics {
+    names: HashMap<String, Key>,
+    // Indexed by Key; a name owns one slot in each (unused slots stay 0).
+    by_key: Vec<String>,
+    counters: Vec<u64>,
+    gauges: Vec<i64>,
+    spans: Vec<SpanStat>,
+}
+
+impl Metrics {
+    pub(crate) fn key(&mut self, name: &str) -> Key {
+        if let Some(&k) = self.names.get(name) {
+            return k;
+        }
+        let k = Key(self.by_key.len() as u32);
+        self.names.insert(name.to_string(), k);
+        self.by_key.push(name.to_string());
+        self.counters.push(0);
+        self.gauges.push(0);
+        self.spans.push(SpanStat::default());
+        k
+    }
+
+    pub(crate) fn count(&mut self, key: Key, n: u64) {
+        self.counters[key.0 as usize] += n;
+    }
+
+    pub(crate) fn gauge(&mut self, key: Key, v: i64) {
+        self.gauges[key.0 as usize] = v;
+    }
+
+    pub(crate) fn span(&mut self, key: Key, ns: u64) {
+        self.spans[key.0 as usize].record(ns);
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.names.clear();
+        self.by_key.clear();
+        self.counters.clear();
+        self.gauges.clear();
+        self.spans.clear();
+    }
+
+    pub(crate) fn snapshot(&self) -> Snapshot {
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut spans = Vec::new();
+        for (i, name) in self.by_key.iter().enumerate() {
+            if self.counters[i] != 0 {
+                counters.push((name.clone(), self.counters[i]));
+            }
+            if self.gauges[i] != 0 {
+                gauges.push((name.clone(), self.gauges[i]));
+            }
+            if self.spans[i].count != 0 {
+                spans.push((name.clone(), self.spans[i]));
+            }
+        }
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        spans.sort_by(|a, b| a.0.cmp(&b.0));
+        Snapshot {
+            counters,
+            gauges,
+            spans,
+        }
+    }
+}
+
+/// A point-in-time copy of every non-zero metric, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, total)` for every counter incremented at least once.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge holding a non-zero value.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, aggregate)` for every span completed at least once.
+    pub spans: Vec<(String, SpanStat)>,
+}
+
+impl Snapshot {
+    /// Total of counter `name` (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Value of gauge `name` (0 when never set).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Aggregate for span `name`, when at least one span completed.
+    pub fn span(&self, name: &str) -> Option<&SpanStat> {
+        self.spans.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// Sum of all counters whose name starts with `prefix` — handy for
+    /// reconciling families like `pipeline.stage.completion.*`.
+    pub fn counter_prefix_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(n, _)| n.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_stable_and_dense() {
+        let mut m = Metrics::default();
+        let a = m.key("a");
+        let b = m.key("b");
+        assert_eq!(m.key("a"), a);
+        assert_ne!(a, b);
+        assert_eq!(a.0, 0);
+        assert_eq!(b.0, 1);
+    }
+
+    #[test]
+    fn counters_accumulate_and_snapshot_sorts() {
+        let mut m = Metrics::default();
+        let z = m.key("z.late");
+        let a = m.key("a.early");
+        m.count(z, 2);
+        m.count(a, 1);
+        m.count(z, 3);
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("a.early".to_string(), 1), ("z.late".to_string(), 5)]
+        );
+        assert_eq!(snap.counter("z.late"), 5);
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.counter_prefix_sum("z."), 5);
+    }
+
+    #[test]
+    fn span_stats_track_min_max_mean() {
+        let mut m = Metrics::default();
+        let k = m.key("phase");
+        m.span(k, 10);
+        m.span(k, 30);
+        m.span(k, 20);
+        let snap = m.snapshot();
+        let s = snap.span("phase").unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.total_ns, 60);
+        assert_eq!(s.min_ns, 10);
+        assert_eq!(s.max_ns, 30);
+        assert_eq!(s.mean_ns(), 20);
+    }
+
+    #[test]
+    fn gauges_hold_latest_value_and_reset_clears() {
+        let mut m = Metrics::default();
+        let k = m.key("workers");
+        m.gauge(k, 8);
+        m.gauge(k, 2);
+        assert_eq!(m.snapshot().gauge("workers"), 2);
+        m.reset();
+        assert!(m.snapshot().gauges.is_empty());
+        assert_eq!(m.key("workers").0, 0); // interner restarted
+    }
+}

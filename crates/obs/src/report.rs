@@ -1,0 +1,105 @@
+//! Plain-text end-of-run summary rendering for a metrics [`Snapshot`].
+
+use std::fmt::Write as _;
+
+use crate::metrics::Snapshot;
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders a snapshot as an aligned plain-text block: one `counters`
+/// section, one `gauges` section, and one `spans` section (count, total,
+/// mean, max per name), each sorted by name. Empty sections are omitted;
+/// an all-empty snapshot renders a single placeholder line.
+pub fn render(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    if snap.counters.is_empty() && snap.gauges.is_empty() && snap.spans.is_empty() {
+        return "metrics: (none recorded)\n".to_string();
+    }
+    let width = snap
+        .counters
+        .iter()
+        .map(|(n, _)| n.len())
+        .chain(snap.gauges.iter().map(|(n, _)| n.len()))
+        .chain(snap.spans.iter().map(|(n, _)| n.len()))
+        .max()
+        .unwrap_or(0);
+    if !snap.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, v) in &snap.counters {
+            let _ = writeln!(out, "  {name:<width$}  {v}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, v) in &snap.gauges {
+            let _ = writeln!(out, "  {name:<width$}  {v}");
+        }
+    }
+    if !snap.spans.is_empty() {
+        out.push_str("spans:\n");
+        for (name, s) in &snap.spans {
+            let _ = writeln!(
+                out,
+                "  {name:<width$}  n={} total={} mean={} max={}",
+                s.count,
+                fmt_ns(s.total_ns),
+                fmt_ns(s.mean_ns()),
+                fmt_ns(s.max_ns),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::SpanStat;
+
+    #[test]
+    fn renders_all_sections_sorted_and_aligned() {
+        let snap = Snapshot {
+            counters: vec![("a.ok".into(), 3), ("pipeline.quarantined".into(), 1)],
+            gauges: vec![("workers".into(), 8)],
+            spans: vec![(
+                "finetune".into(),
+                SpanStat {
+                    count: 2,
+                    total_ns: 3_000_000,
+                    min_ns: 1_000_000,
+                    max_ns: 2_000_000,
+                },
+            )],
+        };
+        let text = render(&snap);
+        assert!(text.contains("counters:\n"));
+        assert!(text.contains("a.ok"));
+        assert!(text.contains("pipeline.quarantined"));
+        assert!(text.contains("gauges:\n"));
+        assert!(text.contains("spans:\n"));
+        assert!(text.contains("n=2 total=3.00ms mean=1.50ms max=2.00ms"));
+    }
+
+    #[test]
+    fn empty_snapshot_has_placeholder() {
+        assert_eq!(render(&Snapshot::default()), "metrics: (none recorded)\n");
+    }
+
+    #[test]
+    fn duration_units_scale() {
+        assert_eq!(fmt_ns(12), "12ns");
+        assert_eq!(fmt_ns(1_500), "1.5us");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(1_500_000_000), "1.50s");
+    }
+}

@@ -6,7 +6,7 @@
 //! thread additionally trips tokens whose deadline has passed, so even
 //! code that only polls the flag (never the clock) gets cut off. Failures
 //! marked retryable are re-attempted under the seeded
-//! [`RetryPolicy`](crate::RetryPolicy) backoff schedule; exhausted or
+//! [`RetryPolicy`] backoff schedule; exhausted or
 //! non-retryable failures — including caught panics — escalate to
 //! [`UnitOutcome::Quarantined`], mirroring the pipeline's quarantine
 //! accounting so `ok + skipped + quarantined` stays conserved above us.
@@ -217,8 +217,9 @@ impl Inflight {
         for slot in &self.slots {
             let guard = slot.lock().unwrap();
             if let Some((token, at)) = guard.as_ref() {
-                if now >= *at {
+                if now >= *at && !token.is_cancelled() {
                     token.cancel();
+                    dda_obs::count("engine.watchdog.fired", 1);
                 }
             }
         }
@@ -325,6 +326,7 @@ where
     T: Send,
     F: Fn(usize, &CancelToken) -> Result<T, UnitError> + Sync,
 {
+    let _run_span = dda_obs::span("engine.run");
     let workers = opts.workers.max(1).min(units.max(1));
     let next = AtomicUsize::new(0);
     let retries = AtomicUsize::new(0);
@@ -372,11 +374,16 @@ where
                         None => CancelToken::new(),
                     };
                     inflight.arm(worker, &token);
+                    let attempt_span = dda_obs::span("engine.attempt");
                     let result = catch_unwind(AssertUnwindSafe(|| exec(unit, &token)));
+                    drop(attempt_span);
                     inflight.disarm(worker);
                     match result {
                         Ok(Ok(v)) => break UnitOutcome::Ok(v),
                         Ok(Err(e)) => {
+                            if token.is_expired() {
+                                dda_obs::count("engine.deadline.trip", 1);
+                            }
                             let diagnostic =
                                 if token.is_expired() && !e.diagnostic.contains("deadline") {
                                     format!("{DEADLINE_DIAGNOSTIC}: {}", e.diagnostic)
@@ -390,6 +397,7 @@ where
                                 && attempts < opts.retry.max_attempts
                             {
                                 retries.fetch_add(1, Ordering::Relaxed);
+                                dda_obs::count("engine.retry", 1);
                                 std::thread::sleep(opts.retry.backoff(unit, attempts));
                                 continue;
                             }
@@ -451,11 +459,19 @@ where
     if let Some(e) = io_error.into_inner().unwrap() {
         return Err(e);
     }
-    Ok(EngineReport {
+    let report = EngineReport {
         units: slots
             .into_iter()
             .map(|s| s.into_inner().unwrap().expect("every unit terminates"))
             .collect(),
         retries: retries.into_inner(),
-    })
+    };
+    if dda_obs::enabled() {
+        let s = report.summary();
+        dda_obs::count("engine.units.ok", s.ok as u64);
+        dda_obs::count("engine.units.quarantined", s.quarantined as u64);
+        dda_obs::count("engine.units.resumed", s.resumed as u64);
+        dda_obs::gauge("engine.workers", workers as i64);
+    }
+    Ok(report)
 }

@@ -98,9 +98,11 @@ pub fn shared_design(src: &str, top: &str) -> Result<Design, FrontendError> {
     });
     if let Some(v) = cached {
         HITS.with(|h| h.set(h.get() + 1));
+        dda_obs::count("sim.cache.hit", 1);
         return v;
     }
     MISSES.with(|m| m.set(m.get() + 1));
+    dda_obs::count("sim.cache.miss", 1);
     let value = compute(src, top);
     CACHE.with(|c| {
         let mut map = c.borrow_mut();

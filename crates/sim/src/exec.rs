@@ -511,7 +511,27 @@ impl Simulator {
         if !self.started {
             self.start(opts.eval_mode);
         }
+        if dda_obs::enabled() {
+            dda_obs::count(
+                match self.mode {
+                    EvalMode::Bytecode => "sim.run.bytecode",
+                    EvalMode::Ast => "sim.run.ast",
+                },
+                1,
+            );
+        }
         let mut steps: u64 = 0;
+        let result = self.run_loop(opts, &mut steps);
+        if dda_obs::enabled() && steps > 0 {
+            dda_obs::count("sim.steps", steps);
+        }
+        result
+    }
+
+    /// The event loop behind [`Sim::run`], split out so the retired-step
+    /// count is observable on every exit path (quiescence, `$finish`, and
+    /// budget trips alike).
+    fn run_loop(&mut self, opts: &SimOptions, steps: &mut u64) -> Result<SimResult, RunError> {
         loop {
             // One time step: drain active events and NBA deltas.
             let mut deltas = 0usize;
@@ -521,7 +541,7 @@ impl Simulator {
                 }
                 if let Some(p) = self.ready.pop_front() {
                     self.in_ready[p] = false;
-                    self.run_proc(p, &mut steps, opts)?;
+                    self.run_proc(p, steps, opts)?;
                     continue;
                 }
                 if !self.nba.is_empty() {

@@ -11,6 +11,11 @@
 //! `#delay`, `@(posedge ...)`, `$display`, `$finish`) are supported so the
 //! benchmark suites can self-check and report through captured output.
 //!
+//! Supporting modules: [`cache`] memoises elaborated designs across
+//! repeated testbench runs (its hit/miss counts feed `dda-obs`), [`ops`]
+//! holds the word-packed four-state value kernels, and [`vcd`] dumps
+//! waveforms for debugging.
+//!
 //! ## Example
 //!
 //! ```

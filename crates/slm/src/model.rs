@@ -236,6 +236,7 @@ impl Slm {
         /// historical training budget).
         const NGRAM_BUDGET: usize = 2_000;
         const NGRAM_ORDER: usize = 3;
+        let _train_span = dda_obs::span("slm.finetune");
         let mut entries: Vec<&DataEntry> = Vec::new();
         for dataset in [pretraining, finetune] {
             for kind in order {
@@ -255,7 +256,9 @@ impl Slm {
             let ngram_toks = (i < NGRAM_BUDGET).then(|| padded_syms(&e.output, NGRAM_ORDER));
             (index_toks, ngram_toks)
         };
+        dda_obs::count("slm.train.docs", entries.len() as u64);
         let tokenized: Vec<(Vec<Sym>, Option<Vec<Sym>>)> = if opts.workers > 1 {
+            let _fanout_span = dda_obs::span("slm.tokenize.fanout");
             let run = RunOptions {
                 workers: opts.workers,
                 ..RunOptions::default()

@@ -173,6 +173,7 @@ impl TfIdfIndex {
     /// Panics if [`TfIdfIndex::finish`] has not been called.
     pub fn query(&self, query: &str, top: usize) -> Vec<Hit> {
         assert!(self.finished, "call finish() before query()");
+        dda_obs::count("slm.query.postings", 1);
         let (terms, qnorm) = self.query_weights(query);
         if qnorm == 0.0 {
             return Vec::new();
@@ -229,6 +230,7 @@ impl TfIdfIndex {
     /// Panics if [`TfIdfIndex::finish`] has not been called.
     pub fn query_linear(&self, query: &str, top: usize) -> Vec<Hit> {
         assert!(self.finished, "call finish() before query()");
+        dda_obs::count("slm.query.linear", 1);
         let (terms, qnorm) = self.query_weights(query);
         if qnorm == 0.0 {
             return Vec::new();
