@@ -8,9 +8,12 @@
 //! symbol-keyed vs string-keyed n-gram) on a real augmented corpus, then
 //! measures the `dda-obs` recorder's cost on the two instrumented hot
 //! paths (retrieval queries and simulator runs) with the recorder
-//! disabled vs enabled, and writes the numbers to `BENCH_PR5.json` (the
-//! checked-in snapshot DESIGN.md §5d/§5e/§5f explain how to read;
-//! `BENCH_PR3.json`/`BENCH_PR4.json` are the retained earlier snapshots).
+//! disabled vs enabled, then runs a multi-client storm against an
+//! in-process `dda-serve` daemon (hot-cache and cache-miss profiles,
+//! recording req/s and p50/p99 round-trip latency), and writes the
+//! numbers to `BENCH_PR6.json` (the checked-in snapshot DESIGN.md
+//! §5d–§5g explain how to read; `BENCH_PR3.json`–`BENCH_PR5.json` are
+//! the retained earlier snapshots).
 //!
 //! Usage: `cargo run --release -p dda-bench --bin perfsnap [--smoke]`
 //!
@@ -252,6 +255,157 @@ fn obs_section(smoke: bool) -> String {
     )
 }
 
+/// Multi-client storm against a real in-process daemon: every client
+/// thread runs serial round trips (send → wait → next), so the recorded
+/// latency is the full client-observed path — frame codec, queue wait,
+/// handler, response frame. Two profiles: `hot` re-scores one design
+/// (the shared cache should absorb the frontend), `mixed` cycles through
+/// distinct designs (every one is a compile).
+fn serve_section(smoke: bool) -> String {
+    use dda_serve::client::Client;
+    use dda_serve::proto::{ReqBody, Request, RespBody};
+    use dda_serve::service::{ServeOptions, Server};
+
+    let (clients, per_client) = if smoke {
+        (2usize, 8u64)
+    } else {
+        (4usize, 100u64)
+    };
+    let workers = 4;
+    let path = std::env::temp_dir().join(format!("dda-perfsnap-{}.sock", std::process::id()));
+    let opts = ServeOptions {
+        workers,
+        queue_capacity: 256,
+        model_modules: 0,
+        ..ServeOptions::default()
+    };
+    let server = Server::start(&path, &opts).expect("daemon starts");
+
+    let score = |tag: u64| ReqBody::Score {
+        source: format!("module storm{tag}(input in, output out);\nassign out = in;\nendmodule\n"),
+        problem: None,
+        testbench: Some(format!(
+            "module tb;\nreg in; wire out;\nstorm{tag} dut(.in(in), .out(out));\n\
+             integer pass; integer total;\ninitial begin\n  pass = 0; total = 0;\n  \
+             in = 0; #1 total = total + 1; if (out === 1'b0) pass = pass + 1;\n  \
+             in = 1; #1 total = total + 1; if (out === 1'b1) pass = pass + 1;\n  \
+             $display(\"RESULT %0d %0d\", pass, total);\n  $finish;\nend\nendmodule\n"
+        )),
+        top: "tb".to_string(),
+    };
+
+    // tag scheme: profile "hot" always scores design 0; "mixed" cycles
+    // through per-client-distinct designs so every request compiles.
+    let run_profile = |mixed: bool| -> (Vec<f64>, f64) {
+        let start = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|cid| {
+                let path = path.clone();
+                let score_body: Vec<ReqBody> = (0..per_client)
+                    .map(|i| {
+                        if mixed {
+                            score(1 + cid as u64 * 10_000 + i)
+                        } else {
+                            score(0)
+                        }
+                    })
+                    .collect();
+                std::thread::spawn(move || -> Vec<f64> {
+                    let mut c = Client::connect(&path).expect("connect");
+                    score_body
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, body)| {
+                            let t0 = Instant::now();
+                            let resp = c
+                                .call(&Request {
+                                    id: i as u64,
+                                    priority: dda_runtime::Priority::Normal,
+                                    deadline_ms: Some(30_000),
+                                    body,
+                                })
+                                .expect("storm call");
+                            match resp.body {
+                                RespBody::Scored { verdict, .. } => {
+                                    assert_eq!(verdict, "scored", "storm request failed")
+                                }
+                                other => panic!("storm got {other:?}"),
+                            }
+                            t0.elapsed().as_secs_f64() * 1e3
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        let mut lat: Vec<f64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("storm client panicked"))
+            .collect();
+        let wall_s = start.elapsed().as_secs_f64();
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        (lat, wall_s)
+    };
+
+    let (hot_lat, hot_wall) = run_profile(false);
+    let (mixed_lat, mixed_wall) = run_profile(true);
+
+    // Drain through the wire like a real operator would.
+    let mut c = Client::connect(&path).expect("connect for stats");
+    let stats = match c
+        .call(&Request {
+            id: 0,
+            priority: dda_runtime::Priority::High,
+            deadline_ms: None,
+            body: ReqBody::Stats,
+        })
+        .expect("stats call")
+        .body
+    {
+        RespBody::Stats(s) => s,
+        other => panic!("expected stats, got {other:?}"),
+    };
+    assert_eq!(stats.panics, 0, "daemon panicked during the storm");
+    assert_eq!(stats.shed, 0, "storm overflowed the queue (cap 256)");
+    let _ = c.call(&Request {
+        id: 1,
+        priority: dda_runtime::Priority::High,
+        deadline_ms: None,
+        body: ReqBody::Shutdown,
+    });
+    server.join();
+
+    let pct = |lat: &[f64], p: f64| lat[((lat.len() - 1) as f64 * p) as usize];
+    let rps = |lat: &[f64], wall: f64| lat.len() as f64 / wall;
+    eprintln!(
+        "[perfsnap] serve: {clients} clients x {per_client} reqs, hot p50 {:.2} ms / p99 {:.2} ms \
+         ({:.0} req/s), mixed p50 {:.2} ms / p99 {:.2} ms ({:.0} req/s)",
+        pct(&hot_lat, 0.5),
+        pct(&hot_lat, 0.99),
+        rps(&hot_lat, hot_wall),
+        pct(&mixed_lat, 0.5),
+        pct(&mixed_lat, 0.99),
+        rps(&mixed_lat, mixed_wall),
+    );
+    format!(
+        "\"serve\": {{\n    \
+           \"config\": {{ \"workers\": {workers}, \"clients\": {clients}, \
+           \"requests_per_client\": {per_client} }},\n    \
+           \"hot_cache\": {{ \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"req_per_sec\": {:.1} }},\n    \
+           \"cache_miss\": {{ \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"req_per_sec\": {:.1} }},\n    \
+           \"daemon_stats\": {{ \"completed\": {}, \"shed\": {}, \"timed_out\": {}, \"panics\": {} }}\n  }}",
+        pct(&hot_lat, 0.5),
+        pct(&hot_lat, 0.99),
+        rps(&hot_lat, hot_wall),
+        pct(&mixed_lat, 0.5),
+        pct(&mixed_lat, 0.99),
+        rps(&mixed_lat, mixed_wall),
+        stats.completed,
+        stats.shed,
+        stats.timed_out,
+        stats.panics,
+    )
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (cycles, reps) = if smoke { (500, 2) } else { (20_000, 5) };
@@ -276,6 +430,7 @@ fn main() {
 
     let model = model_section(smoke);
     let obs = obs_section(smoke);
+    let serve = serve_section(smoke);
     // Retrieval guard: the postings path must never fall below half the
     // linear reference's speed (CI runs this in --smoke mode; the real
     // snapshot shows an order of magnitude the other way).
@@ -295,7 +450,7 @@ fn main() {
            \"events_per_sec\": {{ \"ast\": {:.0}, \"bytecode\": {:.0} }},\n  \
            \"speedup_bytecode_over_ast\": {speedup:.2},\n  \
            \"frontend_cache_ms\": {{ \"cold\": {cold_ms:.3}, \"warm\": {warm_ms:.3}, \
-           \"hits\": {}, \"misses\": {} }},\n  {}\n  {}\n  \
+           \"hits\": {}, \"misses\": {} }},\n  {}\n  {}\n  {}\n  \
            \"smoke\": {smoke}\n}}\n",
         tokens.len(),
         eps(ast_ms),
@@ -304,6 +459,7 @@ fn main() {
         stats.misses,
         format_args!("{},", model.json),
         format_args!("{obs},"),
+        format_args!("{serve},"),
     );
 
     eprintln!(
@@ -313,7 +469,7 @@ fn main() {
     if smoke {
         println!("{json}");
     } else {
-        std::fs::write("BENCH_PR5.json", &json).expect("write BENCH_PR5.json");
-        println!("wrote BENCH_PR5.json");
+        std::fs::write("BENCH_PR6.json", &json).expect("write BENCH_PR6.json");
+        println!("wrote BENCH_PR6.json");
     }
 }

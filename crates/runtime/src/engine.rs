@@ -18,6 +18,7 @@
 //! replaying it.
 
 use crate::cancel::CancelToken;
+use crate::inflight::Inflight;
 use crate::journal::Journal;
 use crate::retry::RetryPolicy;
 use std::io;
@@ -25,7 +26,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Options for one supervised run.
 #[derive(Debug, Clone)]
@@ -189,43 +190,6 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// In-flight attempt table shared with the watchdog: one slot per worker.
-struct Inflight {
-    slots: Vec<Mutex<Option<(CancelToken, Instant)>>>,
-}
-
-impl Inflight {
-    fn new(workers: usize) -> Inflight {
-        Inflight {
-            slots: (0..workers).map(|_| Mutex::new(None)).collect(),
-        }
-    }
-
-    fn arm(&self, worker: usize, token: &CancelToken) {
-        if let Some(at) = token.deadline() {
-            *self.slots[worker].lock().unwrap() = Some((token.clone(), at));
-        }
-    }
-
-    fn disarm(&self, worker: usize) {
-        *self.slots[worker].lock().unwrap() = None;
-    }
-
-    /// Trips every armed token whose deadline has passed.
-    fn sweep(&self) {
-        let now = Instant::now();
-        for slot in &self.slots {
-            let guard = slot.lock().unwrap();
-            if let Some((token, at)) = guard.as_ref() {
-                if now >= *at && !token.is_cancelled() {
-                    token.cancel();
-                    dda_obs::count("engine.watchdog.fired", 1);
-                }
-            }
-        }
-    }
-}
-
 /// Runs `units` work items on a supervised worker pool; see the module
 /// docs for the semantics. `exec` receives the unit id and the attempt's
 /// [`CancelToken`], and should poll the token from long-running loops.
@@ -379,7 +343,13 @@ where
                     drop(attempt_span);
                     inflight.disarm(worker);
                     match result {
-                        Ok(Ok(v)) => break UnitOutcome::Ok(v),
+                        Ok(Ok(v)) => {
+                            // Terminal-outcome counters: a trace file can
+                            // tell deadline kills from crashes from clean
+                            // completions without parsing diagnostics.
+                            dda_obs::count("engine.unit.completed", 1);
+                            break UnitOutcome::Ok(v);
+                        }
                         Ok(Err(e)) => {
                             if token.is_expired() {
                                 dda_obs::count("engine.deadline.trip", 1);
@@ -401,6 +371,14 @@ where
                                 std::thread::sleep(opts.retry.backoff(unit, attempts));
                                 continue;
                             }
+                            dda_obs::count(
+                                if token.is_expired() {
+                                    "engine.unit.timedout"
+                                } else {
+                                    "engine.unit.failed"
+                                },
+                                1,
+                            );
                             break UnitOutcome::Quarantined {
                                 diagnostic,
                                 panicked: e.panicked,
@@ -409,10 +387,11 @@ where
                         // Panics are deterministic in this codebase:
                         // escalate immediately rather than replaying them.
                         Err(payload) => {
+                            dda_obs::count("engine.unit.crashed", 1);
                             break UnitOutcome::Quarantined {
                                 diagnostic: panic_message(&*payload),
                                 panicked: true,
-                            }
+                            };
                         }
                     }
                 };

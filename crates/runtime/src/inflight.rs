@@ -1,0 +1,54 @@
+//! In-flight attempt table shared between a worker pool and its watchdog.
+//!
+//! One slot per worker holds the [`CancelToken`] of the attempt that
+//! worker is currently executing, together with its deadline instant. A
+//! watchdog thread periodically [`sweep`]s the table and trips every
+//! token whose deadline has passed — the second line of defence behind
+//! the token's own embedded deadline, covering code that only polls the
+//! cancellation flag and never reads the clock.
+//!
+//! [`sweep`]: Inflight::sweep
+
+use crate::cancel::CancelToken;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One slot per worker: the armed token and its deadline, if any.
+pub(crate) struct Inflight {
+    slots: Vec<Mutex<Option<(CancelToken, Instant)>>>,
+}
+
+impl Inflight {
+    pub(crate) fn new(workers: usize) -> Inflight {
+        Inflight {
+            slots: (0..workers).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Registers `token` as `worker`'s current attempt (no-op for tokens
+    /// without a deadline — there is nothing for the watchdog to do).
+    pub(crate) fn arm(&self, worker: usize, token: &CancelToken) {
+        if let Some(at) = token.deadline() {
+            *self.slots[worker].lock().unwrap() = Some((token.clone(), at));
+        }
+    }
+
+    /// Clears `worker`'s slot after its attempt finishes.
+    pub(crate) fn disarm(&self, worker: usize) {
+        *self.slots[worker].lock().unwrap() = None;
+    }
+
+    /// Trips every armed token whose deadline has passed.
+    pub(crate) fn sweep(&self) {
+        let now = Instant::now();
+        for slot in &self.slots {
+            let guard = slot.lock().unwrap();
+            if let Some((token, at)) = guard.as_ref() {
+                if now >= *at && !token.is_cancelled() {
+                    token.cancel();
+                    dda_obs::count("engine.watchdog.fired", 1);
+                }
+            }
+        }
+    }
+}

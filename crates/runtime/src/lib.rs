@@ -20,6 +20,12 @@
 //!   so output is byte-identical regardless of worker count, scheduling
 //!   order, or interruption point ([`engine`]).
 //!
+//! For resident daemons (the `chipdda serve` front-end) the batch engine
+//! is complemented by [`pool::ResidentPool`]: a long-lived worker pool
+//! with a bounded two-priority job queue, load-shedding admission
+//! control, starvation-free aging, per-job deadlines that include queue
+//! wait, panic-isolated workers, and graceful drain.
+//!
 //! This crate sits below `dda-core`/`dda-eval` in the dependency graph
 //! (it depends only on `std`), so both the pipeline and the evaluation
 //! harness can run on it.
@@ -46,7 +52,9 @@
 
 pub mod cancel;
 pub mod engine;
+mod inflight;
 pub mod journal;
+pub mod pool;
 pub mod retry;
 
 pub use cancel::CancelToken;
@@ -55,4 +63,5 @@ pub use engine::{
     UnitOutcome, UnitReport, DEADLINE_DIAGNOSTIC,
 };
 pub use journal::Journal;
+pub use pool::{PoolOptions, Priority, ResidentPool, SubmitError};
 pub use retry::RetryPolicy;

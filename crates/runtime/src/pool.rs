@@ -1,0 +1,607 @@
+//! A resident, overload-safe worker pool for long-lived services.
+//!
+//! [`run_supervised`](crate::run_supervised) is batch-shaped: it takes a
+//! fixed unit count, runs it to completion, and returns. A daemon needs
+//! the dual: a pool that outlives any one request, accepts work as it
+//! arrives, and stays well-behaved when work arrives faster than it can
+//! be done. [`ResidentPool`] provides that:
+//!
+//! * **admission control** — the job queue is bounded; a submit against a
+//!   full queue fails *immediately* with [`SubmitError::Overloaded`]
+//!   instead of buffering without bound. Callers (the `dda-serve`
+//!   front-end) turn that into a structured `overloaded` response, which
+//!   is the load-shedding contract: under storm the daemon degrades to
+//!   fast rejections, never to unbounded memory growth or seconds of
+//!   queueing latency.
+//! * **two-level priorities with starvation-free aging** — [`Priority::High`]
+//!   jobs are taken first, *unless* the oldest [`Priority::Normal`] job
+//!   has already waited longer than [`PoolOptions::age_limit`]; then the
+//!   aged job goes first. A sustained stream of high-priority work
+//!   therefore delays normal work by at most `age_limit` per job rather
+//!   than forever.
+//! * **per-job wall-clock deadlines** — each job receives a
+//!   [`CancelToken`] carrying whatever remains of its deadline *measured
+//!   from submission*, so time spent queueing counts against the budget
+//!   (a request that waited out its whole deadline in the queue starts
+//!   with an already-tripped token and can fail fast). A watchdog thread
+//!   sweeps in-flight tokens, so even flag-only pollers get cut off.
+//! * **panic isolation** — a panicking job is caught and counted; the
+//!   worker thread survives and takes the next job. (Service handlers
+//!   additionally catch their own panics to produce error responses;
+//!   this is the backstop that keeps the pool alive if that layer itself
+//!   fails.)
+//! * **graceful drain** — [`close`](ResidentPool::close) stops admission;
+//!   already-queued jobs still run; [`join`](ResidentPool::join) (or
+//!   drop) waits for the workers to finish them and exits cleanly.
+//!
+//! Counters (`pool.job.submitted/completed/timedout/panicked/shed` and
+//! the `pool.queue.depth` gauge) go to `dda-obs`.
+
+use crate::cancel::CancelToken;
+use crate::inflight::Inflight;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Scheduling class of a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Priority {
+    /// Taken ahead of [`Priority::Normal`] work (subject to aging).
+    High,
+    /// Default class; protected from starvation by the age limit.
+    Normal,
+}
+
+/// Configuration for a [`ResidentPool`].
+#[derive(Debug, Clone)]
+pub struct PoolOptions {
+    /// Worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Maximum queued (admitted, not yet running) jobs across both
+    /// priority levels; submits beyond this shed with
+    /// [`SubmitError::Overloaded`].
+    pub queue_capacity: usize,
+    /// A normal-priority job that has waited longer than this is taken
+    /// ahead of high-priority work (starvation-free aging).
+    pub age_limit: Duration,
+    /// How often the watchdog sweeps in-flight deadlines.
+    pub watchdog_interval: Duration,
+}
+
+impl Default for PoolOptions {
+    fn default() -> Self {
+        PoolOptions {
+            workers: 2,
+            queue_capacity: 64,
+            age_limit: Duration::from_millis(250),
+            watchdog_interval: Duration::from_millis(5),
+        }
+    }
+}
+
+/// Why a submit was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full; the caller should shed the request
+    /// (report `overloaded`) rather than retry in a tight loop.
+    Overloaded {
+        /// Queue depth observed at rejection time (== capacity).
+        depth: usize,
+    },
+    /// The pool is draining; no new work is admitted.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Overloaded { depth } => {
+                write!(f, "pool queue full ({depth} jobs queued)")
+            }
+            SubmitError::Closed => write!(f, "pool is draining"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+type Job = Box<dyn FnOnce(&CancelToken) + Send + 'static>;
+
+struct Queued {
+    job: Job,
+    /// Absolute wall-clock deadline (submission time + requested budget).
+    deadline: Option<Instant>,
+    enqueued: Instant,
+}
+
+struct QueueState {
+    high: VecDeque<Queued>,
+    normal: VecDeque<Queued>,
+    closed: bool,
+    /// Jobs currently executing (admission counts queued only, but drain
+    /// waits on this too).
+    running: usize,
+}
+
+impl QueueState {
+    fn depth(&self) -> usize {
+        self.high.len() + self.normal.len()
+    }
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    takeable: Condvar,
+    /// Signalled when a job finishes (drain waiters listen here).
+    idle: Condvar,
+    capacity: usize,
+    age_limit: Duration,
+    inflight: Inflight,
+    watchdog_done: AtomicBool,
+}
+
+/// A resident supervised worker pool; see the module docs.
+pub struct ResidentPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
+}
+
+impl ResidentPool {
+    /// Spawns the worker threads and the deadline watchdog.
+    pub fn new(opts: &PoolOptions) -> ResidentPool {
+        let workers = opts.workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                high: VecDeque::new(),
+                normal: VecDeque::new(),
+                closed: false,
+                running: 0,
+            }),
+            takeable: Condvar::new(),
+            idle: Condvar::new(),
+            capacity: opts.queue_capacity.max(1),
+            age_limit: opts.age_limit,
+            inflight: Inflight::new(workers),
+            watchdog_done: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(w, &shared))
+            })
+            .collect();
+        let watchdog = {
+            let shared = Arc::clone(&shared);
+            let interval = opts.watchdog_interval;
+            Some(std::thread::spawn(move || {
+                while !shared.watchdog_done.load(Ordering::Acquire) {
+                    shared.inflight.sweep();
+                    std::thread::sleep(interval);
+                }
+            }))
+        };
+        ResidentPool {
+            shared,
+            workers: handles,
+            watchdog,
+        }
+    }
+
+    /// Submits a job. `deadline` is the job's total wall-clock budget
+    /// measured from *now* — queue wait spends it, and the job's
+    /// [`CancelToken`] trips once it is gone.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Overloaded`] when the bounded queue is full (the
+    /// job is **not** admitted — shed it), [`SubmitError::Closed`] once
+    /// [`close`](ResidentPool::close) has been called.
+    pub fn submit<F>(
+        &self,
+        priority: Priority,
+        deadline: Option<Duration>,
+        job: F,
+    ) -> Result<(), SubmitError>
+    where
+        F: FnOnce(&CancelToken) + Send + 'static,
+    {
+        let now = Instant::now();
+        let queued = Queued {
+            job: Box::new(job),
+            deadline: deadline.map(|d| now + d),
+            enqueued: now,
+        };
+        let mut state = self.shared.state.lock().unwrap();
+        if state.closed {
+            return Err(SubmitError::Closed);
+        }
+        let depth = state.depth();
+        if depth >= self.shared.capacity {
+            dda_obs::count("pool.job.shed", 1);
+            return Err(SubmitError::Overloaded { depth });
+        }
+        match priority {
+            Priority::High => state.high.push_back(queued),
+            Priority::Normal => state.normal.push_back(queued),
+        }
+        dda_obs::count("pool.job.submitted", 1);
+        dda_obs::gauge("pool.queue.depth", state.depth() as i64);
+        drop(state);
+        self.shared.takeable.notify_one();
+        Ok(())
+    }
+
+    /// Queued (not yet running) jobs right now.
+    pub fn depth(&self) -> usize {
+        self.shared.state.lock().unwrap().depth()
+    }
+
+    /// Stops admission. Already-queued jobs still run; workers exit once
+    /// the queue drains. Idempotent, callable from any thread — including
+    /// a job running *on* the pool (the serve daemon's `shutdown` request
+    /// does exactly that).
+    pub fn close(&self) {
+        let mut state = self.shared.state.lock().unwrap();
+        state.closed = true;
+        drop(state);
+        self.shared.takeable.notify_all();
+    }
+
+    /// Blocks until every queued and running job has finished. Does not
+    /// require [`close`](ResidentPool::close) first — use it as a barrier
+    /// between test phases or before snapshotting counters.
+    pub fn quiesce(&self) {
+        let mut state = self.shared.state.lock().unwrap();
+        while state.depth() > 0 || state.running > 0 {
+            state = self.shared.idle.wait(state).unwrap();
+        }
+    }
+
+    /// Graceful drain: stops admission, runs the backlog dry, joins the
+    /// workers and the watchdog.
+    pub fn join(mut self) {
+        self.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        self.shared.watchdog_done.store(true, Ordering::Release);
+        if let Some(w) = self.watchdog.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ResidentPool {
+    fn drop(&mut self) {
+        // A dropped pool drains gracefully too, so tests and early-exit
+        // paths never leak worker threads.
+        self.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        self.shared.watchdog_done.store(true, Ordering::Release);
+        if let Some(w) = self.watchdog.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Takes the next job per the priority/aging policy, or `None` when the
+/// pool is draining and the queue is dry.
+fn take(shared: &Shared) -> Option<Queued> {
+    let mut state = shared.state.lock().unwrap();
+    loop {
+        if state.depth() > 0 {
+            // High first — unless the oldest normal job has aged past the
+            // limit, which bounds how long a high-priority storm can
+            // starve normal work.
+            let aged = state
+                .normal
+                .front()
+                .is_some_and(|q| q.enqueued.elapsed() > shared.age_limit);
+            let queued = if (state.high.is_empty() || aged) && !state.normal.is_empty() {
+                state.normal.pop_front()
+            } else {
+                state.high.pop_front()
+            }
+            .expect("depth > 0");
+            state.running += 1;
+            dda_obs::gauge("pool.queue.depth", state.depth() as i64);
+            return Some(queued);
+        }
+        if state.closed {
+            return None;
+        }
+        state = shared.takeable.wait(state).unwrap();
+    }
+}
+
+fn worker_loop(worker: usize, shared: &Shared) {
+    while let Some(queued) = take(shared) {
+        let token = match queued.deadline {
+            // Remaining budget after queueing; a job that waited out its
+            // whole deadline starts already cancelled and fails fast.
+            Some(at) => CancelToken::with_deadline(at.saturating_duration_since(Instant::now())),
+            None => CancelToken::new(),
+        };
+        shared.inflight.arm(worker, &token);
+        let result = catch_unwind(AssertUnwindSafe(|| (queued.job)(&token)));
+        shared.inflight.disarm(worker);
+        match result {
+            Ok(()) => {
+                dda_obs::count(
+                    if token.is_expired() {
+                        "pool.job.timedout"
+                    } else {
+                        "pool.job.completed"
+                    },
+                    1,
+                );
+            }
+            Err(_) => {
+                // The job's own panic isolation failed; swallow the
+                // payload, count it, keep the worker alive.
+                dda_obs::count("pool.job.panicked", 1);
+            }
+        }
+        let mut state = shared.state.lock().unwrap();
+        state.running -= 1;
+        drop(state);
+        shared.idle.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn small_pool(workers: usize, capacity: usize) -> ResidentPool {
+        ResidentPool::new(&PoolOptions {
+            workers,
+            queue_capacity: capacity,
+            ..PoolOptions::default()
+        })
+    }
+
+    #[test]
+    fn runs_submitted_jobs_and_drains() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool = small_pool(3, 64);
+        for _ in 0..20 {
+            let done = Arc::clone(&done);
+            pool.submit(Priority::Normal, None, move |_| {
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        pool.join();
+        assert_eq!(done.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn full_queue_sheds_instead_of_buffering() {
+        let pool = small_pool(1, 2);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        // Occupy the single worker...
+        let g = Arc::clone(&gate);
+        pool.submit(Priority::Normal, None, move |_| {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        })
+        .unwrap();
+        // ...wait until it is actually running (queue empty again)...
+        while pool.depth() > 0 {
+            std::thread::yield_now();
+        }
+        // ...fill the queue, then overflow it.
+        pool.submit(Priority::Normal, None, |_| {}).unwrap();
+        pool.submit(Priority::Normal, None, |_| {}).unwrap();
+        let err = pool.submit(Priority::Normal, None, |_| {}).unwrap_err();
+        assert!(
+            matches!(err, SubmitError::Overloaded { depth: 2 }),
+            "{err:?}"
+        );
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        pool.join();
+    }
+
+    #[test]
+    fn closed_pool_rejects_new_work_but_finishes_backlog() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool = small_pool(1, 64);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        pool.submit(Priority::Normal, None, move |_| {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        })
+        .unwrap();
+        for _ in 0..5 {
+            let done = Arc::clone(&done);
+            pool.submit(Priority::Normal, None, move |_| {
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        pool.close();
+        assert!(matches!(
+            pool.submit(Priority::Normal, None, |_| {}),
+            Err(SubmitError::Closed)
+        ));
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        pool.join();
+        assert_eq!(done.load(Ordering::Relaxed), 5, "backlog was dropped");
+    }
+
+    #[test]
+    fn high_priority_jumps_the_queue() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let pool = small_pool(1, 64);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        pool.submit(Priority::Normal, None, move |_| {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        })
+        .unwrap();
+        while pool.depth() > 0 {
+            std::thread::yield_now();
+        }
+        for (label, prio) in [
+            ("n1", Priority::Normal),
+            ("n2", Priority::Normal),
+            ("h1", Priority::High),
+        ] {
+            let order = Arc::clone(&order);
+            pool.submit(prio, None, move |_| {
+                order.lock().unwrap().push(label);
+            })
+            .unwrap();
+        }
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        pool.join();
+        assert_eq!(*order.lock().unwrap(), vec!["h1", "n1", "n2"]);
+    }
+
+    #[test]
+    fn aged_normal_job_beats_fresh_high_priority() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let pool = ResidentPool::new(&PoolOptions {
+            workers: 1,
+            queue_capacity: 64,
+            age_limit: Duration::from_millis(20),
+            ..PoolOptions::default()
+        });
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        pool.submit(Priority::Normal, None, move |_| {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        })
+        .unwrap();
+        while pool.depth() > 0 {
+            std::thread::yield_now();
+        }
+        let o = Arc::clone(&order);
+        pool.submit(Priority::Normal, None, move |_| {
+            o.lock().unwrap().push("aged-normal");
+        })
+        .unwrap();
+        // Let the normal job age past the limit, then stack high work on.
+        std::thread::sleep(Duration::from_millis(40));
+        let o = Arc::clone(&order);
+        pool.submit(Priority::High, None, move |_| {
+            o.lock().unwrap().push("high");
+        })
+        .unwrap();
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        pool.join();
+        assert_eq!(
+            order.lock().unwrap()[0],
+            "aged-normal",
+            "aging failed to prevent starvation"
+        );
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool = small_pool(1, 64);
+        pool.submit(Priority::Normal, None, |_| panic!("poisoned job"))
+            .unwrap();
+        let d = Arc::clone(&done);
+        pool.submit(Priority::Normal, None, move |_| {
+            d.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        pool.join();
+        assert_eq!(
+            done.load(Ordering::Relaxed),
+            1,
+            "worker died with the panic"
+        );
+    }
+
+    #[test]
+    fn queue_wait_spends_the_deadline() {
+        let pool = small_pool(1, 64);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        pool.submit(Priority::Normal, None, move |_| {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        })
+        .unwrap();
+        while pool.depth() > 0 {
+            std::thread::yield_now();
+        }
+        let expired = Arc::new(AtomicUsize::new(0));
+        let e = Arc::clone(&expired);
+        pool.submit(
+            Priority::Normal,
+            Some(Duration::from_millis(10)),
+            move |token| {
+                if token.is_cancelled() && token.is_expired() {
+                    e.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+        )
+        .unwrap();
+        // Hold the worker well past the job's deadline before releasing.
+        std::thread::sleep(Duration::from_millis(50));
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        pool.join();
+        assert_eq!(
+            expired.load(Ordering::Relaxed),
+            1,
+            "queue wait did not consume the deadline"
+        );
+    }
+
+    #[test]
+    fn quiesce_waits_for_running_work() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool = small_pool(2, 64);
+        for _ in 0..8 {
+            let d = Arc::clone(&done);
+            pool.submit(Priority::Normal, None, move |_| {
+                std::thread::sleep(Duration::from_millis(5));
+                d.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        pool.quiesce();
+        assert_eq!(done.load(Ordering::Relaxed), 8);
+        pool.join();
+    }
+}

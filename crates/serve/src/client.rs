@@ -1,0 +1,110 @@
+//! A minimal blocking client for the serve protocol.
+//!
+//! [`Client::call`] is the one-shot path (send a request, wait for its
+//! response). The split [`Client::send`]/[`Client::recv`] pair supports
+//! pipelining — several requests in flight on one connection — which the
+//! chaos battery and the storm benchmark both lean on. Responses to
+//! pipelined requests may arrive out of submission order (the pool
+//! schedules by priority and workers finish independently); match on
+//! [`Response::id`].
+
+use crate::proto::{ProtoError, Request, Response};
+use crate::wire::{read_frame, write_frame, WireError, MAX_FRAME};
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// Framing failure (torn/oversized frame from the server).
+    Wire(WireError),
+    /// The server's payload didn't decode as a response.
+    Proto(ProtoError),
+    /// The server closed the connection before answering.
+    Disconnected,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        ClientError::Wire(e)
+    }
+}
+
+/// A blocking connection to a serve daemon.
+pub struct Client {
+    stream: UnixStream,
+}
+
+impl Client {
+    /// Connects to the daemon's socket.
+    ///
+    /// # Errors
+    ///
+    /// Socket connect failures (daemon not running, wrong path, ...).
+    pub fn connect(path: &Path) -> Result<Client, ClientError> {
+        Ok(Client {
+            stream: UnixStream::connect(path)?,
+        })
+    }
+
+    /// Sends one request without waiting for its response (pipelining).
+    ///
+    /// # Errors
+    ///
+    /// Socket write failures.
+    pub fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, &req.to_line())?;
+        Ok(())
+    }
+
+    /// Receives the next response frame (blocking).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Disconnected`] on clean server close; wire/proto
+    /// errors otherwise.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        let line = read_frame(&mut self.stream, MAX_FRAME)?.ok_or(ClientError::Disconnected)?;
+        Response::from_line(&line).map_err(ClientError::Proto)
+    }
+
+    /// Sends a request and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; on a pipelined connection, use
+    /// [`send`](Client::send)/[`recv`](Client::recv) and match ids
+    /// instead.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.send(req)?;
+        self.recv()
+    }
+
+    /// Access to the raw stream — the chaos battery uses this to tear
+    /// frames and disconnect mid-request.
+    pub fn stream_mut(&mut self) -> &mut UnixStream {
+        &mut self.stream
+    }
+}

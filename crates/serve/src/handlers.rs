@@ -1,0 +1,344 @@
+//! Data-plane request execution.
+//!
+//! One [`HandlerCx`] is built at startup and shared (read-only) by every
+//! pool worker; [`execute`] maps a decoded [`ReqBody`] plus the worker's
+//! [`CancelToken`] to a [`RespBody`]. Handlers are pure with respect to
+//! the service: they touch only the context, the process-global design
+//! cache, and the token. Deadline enforcement happens at two levels —
+//! cooperative (the simulator polls the token mid-run) and a final check
+//! here so CPU-bound stages that finished after the deadline still
+//! report `deadline` rather than a stale success.
+
+use crate::proto::{ErrorCode, ReqBody, RespBody};
+use dda_core::pipeline::{self, PipelineOptions, StageSet};
+use dda_corpus::{CorpusModule, Family};
+use dda_eval::generation::{run_testbench_verdict_with, testbench_sim_options, TestbenchVerdict};
+use dda_runtime::CancelToken;
+use dda_slm::{GenOptions, Slm, SlmProfile, PROGRESSIVE_ORDER};
+use rand::{rngs::SmallRng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Read-only state shared by all workers.
+pub struct HandlerCx {
+    /// The resident model used by `generate`.
+    pub slm: Slm,
+    /// Benchmark problems by id (Thakur + RTLLM suites).
+    pub problems: BTreeMap<String, dda_benchmarks::VerilogProblem>,
+    /// Whether `poison` requests are honored (chaos tests only).
+    pub fault_injection: bool,
+}
+
+impl HandlerCx {
+    /// Builds the startup context: benchmark suites indexed by id, plus a
+    /// resident SLM. With `model_modules > 0` the model is finetuned on an
+    /// augmented corpus of that many generated modules (the paper's
+    /// pipeline, EDA stage off to keep startup fast); with `0` it stays
+    /// pretrained.
+    pub fn bootstrap(model_modules: usize, fault_injection: bool) -> HandlerCx {
+        let mut problems = BTreeMap::new();
+        for p in dda_benchmarks::thakur_suite()
+            .into_iter()
+            .chain(dda_benchmarks::rtllm_suite())
+        {
+            problems.insert(p.id.to_string(), p);
+        }
+        let profile = SlmProfile::llama2(13.0);
+        let slm = if model_modules == 0 {
+            Slm::pretrained(profile)
+        } else {
+            let mut rng = SmallRng::seed_from_u64(2024);
+            let corpus = dda_corpus::generate_corpus(model_modules, &mut rng);
+            let opts = PipelineOptions {
+                stages: StageSet {
+                    eda_script: false,
+                    ..StageSet::FULL
+                },
+                ..PipelineOptions::default()
+            };
+            let (ds, _report) = pipeline::augment(&corpus, &opts, &mut rng);
+            Slm::finetune(profile, &ds, &PROGRESSIVE_ORDER)
+        };
+        HandlerCx {
+            slm,
+            problems,
+            fault_injection,
+        }
+    }
+}
+
+fn deadline_error(token: &CancelToken) -> Option<RespBody> {
+    if token.is_cancelled() {
+        Some(RespBody::Error {
+            code: ErrorCode::Deadline,
+            message: "wall-clock deadline expired".to_string(),
+        })
+    } else {
+        None
+    }
+}
+
+/// Executes one data-plane request body on a worker thread.
+///
+/// Never panics for well-formed contexts except via `Poison` (and the
+/// service wraps the call in `catch_unwind` regardless, so even handler
+/// bugs become structured `panic` responses).
+pub fn execute(cx: &HandlerCx, body: &ReqBody, token: &CancelToken) -> RespBody {
+    if let Some(err) = deadline_error(token) {
+        return err;
+    }
+    let resp = match body {
+        ReqBody::Ping | ReqBody::Stats | ReqBody::Shutdown => RespBody::Error {
+            code: ErrorCode::BadRequest,
+            message: format!("`{}` is a control verb, not pool work", body.verb()),
+        },
+        ReqBody::Poison => {
+            if cx.fault_injection {
+                panic!("poison request (fault injection enabled)");
+            }
+            RespBody::Error {
+                code: ErrorCode::BadRequest,
+                message: "poison requires --fault-injection".to_string(),
+            }
+        }
+        ReqBody::Augment { name, source, seed } => run_augment(name, source, *seed),
+        ReqBody::Generate {
+            instruct,
+            prompt,
+            temperature,
+            seed,
+        } => {
+            let mut rng = SmallRng::seed_from_u64(*seed);
+            let opts = GenOptions {
+                temperature: *temperature,
+            };
+            RespBody::Generated {
+                output: cx.slm.generate(instruct, prompt, &opts, &mut rng),
+            }
+        }
+        ReqBody::Repair {
+            name,
+            source,
+            budget,
+        } => {
+            let file = format!("{name}.v");
+            let out = dda_slm::fixer::try_fix(&file, source, *budget as usize);
+            RespBody::Repaired {
+                source: out.source,
+                clean: out.clean,
+                cost: out.cost as u64,
+            }
+        }
+        ReqBody::Score {
+            source,
+            problem,
+            testbench,
+            top,
+        } => run_score(
+            cx,
+            source,
+            problem.as_deref(),
+            testbench.as_deref(),
+            top,
+            token,
+        ),
+    };
+    // CPU-bound stages (augment, repair) don't poll the token; surface an
+    // expired deadline instead of returning work the client gave up on.
+    deadline_error(token).unwrap_or(resp)
+}
+
+fn run_augment(name: &str, source: &str, seed: u64) -> RespBody {
+    let module = CorpusModule {
+        family: Family::WireBuf,
+        name: name.to_string(),
+        source: source.to_string(),
+    };
+    let opts = PipelineOptions {
+        stages: StageSet {
+            eda_script: false,
+            ..StageSet::FULL
+        },
+        ..PipelineOptions::default()
+    };
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let (ds, report) = pipeline::augment(std::slice::from_ref(&module), &opts, &mut rng);
+    let mut jsonl = String::new();
+    for (_kind, entry) in ds.iter() {
+        jsonl.push_str(&dda_core::json::to_json_line(entry));
+        jsonl.push('\n');
+    }
+    RespBody::Augmented {
+        entries: ds.len() as u64,
+        quarantined: report.quarantines.len() as u64,
+        jsonl,
+    }
+}
+
+fn run_score(
+    cx: &HandlerCx,
+    source: &str,
+    problem: Option<&str>,
+    testbench: Option<&str>,
+    top: &str,
+    token: &CancelToken,
+) -> RespBody {
+    let opts = testbench_sim_options(token);
+    let verdict = match (problem, testbench) {
+        (Some(id), None) => match cx.problems.get(id) {
+            Some(p) => run_testbench_verdict_with(p, source, &opts),
+            None => {
+                return RespBody::Error {
+                    code: ErrorCode::BadRequest,
+                    message: format!("unknown problem `{id}`"),
+                }
+            }
+        },
+        (None, Some(tb)) => score_inline(source, tb, top, &opts),
+        _ => {
+            return RespBody::Error {
+                code: ErrorCode::BadRequest,
+                message: "score needs exactly one of `problem` or `testbench`".to_string(),
+            }
+        }
+    };
+    // A wall-timeout verdict under an expired token is the deadline, not a
+    // slow design.
+    if verdict.is_timeout() {
+        if let Some(err) = deadline_error(token) {
+            return err;
+        }
+    }
+    let (verdict_s, detail) = match &verdict {
+        TestbenchVerdict::Scored(_) => ("scored", String::new()),
+        TestbenchVerdict::ParseError(m) => ("parse_error", m.clone()),
+        TestbenchVerdict::ElabError(m) => ("elab_error", m.clone()),
+        TestbenchVerdict::Timeout(m) => ("timeout", m.clone()),
+        TestbenchVerdict::Crash(m) => ("crash", m.clone()),
+    };
+    RespBody::Scored {
+        verdict: verdict_s.to_string(),
+        pass_rate: verdict.pass_rate(),
+        detail,
+    }
+}
+
+/// Scores a candidate against an inline testbench by hitting the shared
+/// design cache directly, mirroring `run_testbench_verdict_with` for
+/// sources that aren't part of a registered suite.
+fn score_inline(
+    source: &str,
+    testbench: &str,
+    top: &str,
+    opts: &dda_sim::SimOptions,
+) -> TestbenchVerdict {
+    use dda_sim::cache::{shared_design, FrontendError};
+    use dda_sim::Simulator;
+    let src = format!("{source}\n{testbench}");
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+        || -> Result<TestbenchVerdict, TestbenchVerdict> {
+            let design = shared_design(&src, top).map_err(|e| match e {
+                FrontendError::Parse(m) => TestbenchVerdict::ParseError(m),
+                FrontendError::Elab(e) => TestbenchVerdict::ElabError(e.message),
+            })?;
+            let mut sim = Simulator::from_design(design);
+            let result = sim
+                .run(opts)
+                .map_err(|e| TestbenchVerdict::Timeout(e.to_string()))?;
+            Ok(match dda_benchmarks::parse_result(&result.output) {
+                Some((pass, total)) if total > 0 => {
+                    TestbenchVerdict::Scored(pass as f64 / total as f64)
+                }
+                _ => TestbenchVerdict::Scored(0.0),
+            })
+        },
+    ));
+    match outcome {
+        Ok(Ok(v)) | Ok(Err(v)) => v,
+        Err(_) => TestbenchVerdict::Crash("simulator panic".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cx() -> HandlerCx {
+        HandlerCx::bootstrap(0, false)
+    }
+
+    #[test]
+    fn score_against_registered_problem() {
+        let cx = cx();
+        let p = cx.problems.values().next().unwrap();
+        let reference = p.reference.to_string();
+        let body = ReqBody::Score {
+            source: reference,
+            problem: Some(p.id.to_string()),
+            testbench: None,
+            top: "tb".to_string(),
+        };
+        match execute(&cx, &body, &CancelToken::new()) {
+            RespBody::Scored {
+                verdict, pass_rate, ..
+            } => {
+                assert_eq!(verdict, "scored");
+                assert!((pass_rate - 1.0).abs() < 1e-9, "reference must pass");
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn score_unknown_problem_is_bad_request() {
+        let body = ReqBody::Score {
+            source: "module m; endmodule".into(),
+            problem: Some("no_such_problem".into()),
+            testbench: None,
+            top: "tb".into(),
+        };
+        match execute(&cx(), &body, &CancelToken::new()) {
+            RespBody::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn augment_produces_entries() {
+        let body = ReqBody::Augment {
+            name: "wirebuf".into(),
+            source: "module wirebuf(input a, output y);\nassign y = a;\nendmodule\n".into(),
+            seed: 1,
+        };
+        match execute(&cx(), &body, &CancelToken::new()) {
+            RespBody::Augmented { entries, jsonl, .. } => {
+                assert!(entries > 0);
+                assert_eq!(jsonl.lines().count() as u64, entries);
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_token_short_circuits_to_deadline() {
+        let token = CancelToken::with_deadline(std::time::Duration::from_millis(0));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let body = ReqBody::Generate {
+            instruct: String::new(),
+            prompt: "a counter".into(),
+            temperature: 0.1,
+            seed: 3,
+        };
+        match execute(&cx(), &body, &token) {
+            RespBody::Error { code, .. } => assert_eq!(code, ErrorCode::Deadline),
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn poison_without_fault_injection_is_bad_request() {
+        match execute(&cx(), &ReqBody::Poison, &CancelToken::new()) {
+            RespBody::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+}

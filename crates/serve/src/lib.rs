@@ -1,0 +1,72 @@
+//! # dda-serve
+//!
+//! A resident, overload-safe service front-end for the augmentation and
+//! evaluation stack: `chipdda serve` starts a daemon that accepts
+//! `augment` / `generate` / `repair` / `score` requests as
+//! length-prefixed JSON frames over a Unix socket ([`wire`], [`proto`]),
+//! runs them on a bounded-priority worker pool
+//! ([`dda_runtime::ResidentPool`]), and shares one process-global design
+//! cache ([`dda_sim::cache`]) across every request, so repeated scoring
+//! of the same (candidate, testbench) pair pays the Verilog frontend
+//! once.
+//!
+//! Robustness is the point:
+//!
+//! * **admission control** — the queue is bounded; overflow requests get
+//!   an immediate `overloaded` response instead of unbounded buffering;
+//! * **deadlines** — each request's wall-clock budget (including queue
+//!   wait) rides a [`dda_runtime::CancelToken`] into the simulator's
+//!   exec loop; expiry yields a structured `deadline` error;
+//! * **priorities** — two levels with starvation-free aging;
+//! * **panic isolation** — a poisoned request returns a `panic` error;
+//!   the daemon and its workers survive;
+//! * **graceful drain** — `shutdown` stops admission, finishes admitted
+//!   work, writes every response, then exits.
+//!
+//! ## Example
+//!
+//! ```
+//! use dda_serve::proto::{ReqBody, Request, RespBody};
+//! use dda_serve::service::{ServeOptions, Server};
+//! use dda_serve::client::Client;
+//! use dda_runtime::Priority;
+//!
+//! let path = std::env::temp_dir().join(format!("dda-serve-doc-{}.sock", std::process::id()));
+//! let opts = ServeOptions { model_modules: 0, ..ServeOptions::default() };
+//! let server = Server::start(&path, &opts).unwrap();
+//!
+//! let mut client = Client::connect(&path).unwrap();
+//! let resp = client
+//!     .call(&Request {
+//!         id: 1,
+//!         priority: Priority::Normal,
+//!         deadline_ms: None,
+//!         body: ReqBody::Ping,
+//!     })
+//!     .unwrap();
+//! assert_eq!(resp.body, RespBody::Pong);
+//!
+//! let resp = client
+//!     .call(&Request {
+//!         id: 2,
+//!         priority: Priority::Normal,
+//!         deadline_ms: Some(5_000),
+//!         body: ReqBody::Shutdown,
+//!     })
+//!     .unwrap();
+//! assert_eq!(resp.body, RespBody::ShuttingDown);
+//! server.join();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod handlers;
+pub mod proto;
+pub mod service;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use proto::{ErrorCode, ReqBody, Request, RespBody, Response, StatsBody};
+pub use service::{ServeOptions, Server};
+pub use wire::{read_frame, write_frame, WireError, MAX_FRAME};

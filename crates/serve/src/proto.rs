@@ -1,0 +1,681 @@
+//! Typed request/response messages and their JSON object codec.
+//!
+//! One frame ([`crate::wire`]) carries one flat JSON object, reusing the
+//! `dda_obs::event` codec (the same escaping/parsing the trace files
+//! use, already cross-checked byte-for-byte against `dda_core::json`).
+//! Requests use the verb as the `"ev"` kind:
+//!
+//! ```json
+//! {"ev": "score", "id": 7, "priority": "high", "deadline_ms": 2000,
+//!  "source": "module simple_wire(...); ... endmodule", "problem": "simple_wire"}
+//! ```
+//!
+//! Responses are `"ev": "response"` objects echoing the request id and
+//! verb with a `status` of `"ok"` or `"error"`; errors carry a stable
+//! machine-readable `code` (see [`ErrorCode`]) plus a human message:
+//!
+//! ```json
+//! {"ev": "response", "id": 7, "verb": "score", "status": "ok",
+//!  "verdict": "scored", "pass_rate": 1}
+//! {"ev": "response", "id": 9, "verb": "augment", "status": "error",
+//!  "code": "overloaded", "message": "pool queue full (64 jobs queued)"}
+//! ```
+//!
+//! Decoding is strict where it matters (unknown verbs, missing required
+//! fields, wrong field types are [`ProtoError`]s that become structured
+//! `bad_request` responses, never panics) and lenient where it helps
+//! (unknown *extra* fields are ignored, so the protocol can grow).
+
+use dda_obs::event::{encode, parse, Event, Value};
+use dda_runtime::Priority;
+
+/// Ceiling on the simulator deadline a request may ask for, so one
+/// request cannot park a worker for minutes (`deadline_ms` is clamped to
+/// this at decode time).
+pub const MAX_DEADLINE_MS: u64 = 60_000;
+
+/// The work a request asks for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReqBody {
+    /// Liveness probe; answered inline, bypassing admission control.
+    Ping,
+    /// Service/cache/pool counters; answered inline.
+    Stats,
+    /// Begin graceful drain; answered inline, then the daemon stops
+    /// accepting, finishes admitted work, and exits.
+    Shutdown,
+    /// Run the augmentation pipeline over one Verilog module.
+    Augment {
+        /// Module (file-stem) name, used in diagnostics and repair pairs.
+        name: String,
+        /// Verilog source text.
+        source: String,
+        /// Pipeline RNG seed.
+        seed: u64,
+    },
+    /// Sample the service's SLM.
+    Generate {
+        /// Instruction (defaults to the NL→Verilog alignment instruct).
+        instruct: String,
+        /// Prompt / input text.
+        prompt: String,
+        /// Sampling temperature.
+        temperature: f64,
+        /// Sampling seed.
+        seed: u64,
+    },
+    /// Lint-guided repair search on a broken module.
+    Repair {
+        /// Module name (for diagnostics).
+        name: String,
+        /// Broken source.
+        source: String,
+        /// Checker-call budget.
+        budget: u64,
+    },
+    /// Score a candidate against a named benchmark problem's testbench,
+    /// or against an inline testbench.
+    Score {
+        /// Candidate module source.
+        source: String,
+        /// Benchmark problem id (`thakur`/`rtllm` suites); mutually
+        /// exclusive with `testbench`.
+        problem: Option<String>,
+        /// Inline self-checking testbench (prints `RESULT <pass> <total>`).
+        testbench: Option<String>,
+        /// Top module of the inline testbench (default `tb`).
+        top: String,
+    },
+    /// Deliberately panics the worker. Only honored when the service was
+    /// started with fault injection enabled (chaos tests / storm bench);
+    /// otherwise a `bad_request` error.
+    Poison,
+}
+
+impl ReqBody {
+    /// The wire verb for this body.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            ReqBody::Ping => "ping",
+            ReqBody::Stats => "stats",
+            ReqBody::Shutdown => "shutdown",
+            ReqBody::Augment { .. } => "augment",
+            ReqBody::Generate { .. } => "generate",
+            ReqBody::Repair { .. } => "repair",
+            ReqBody::Score { .. } => "score",
+            ReqBody::Poison => "poison",
+        }
+    }
+
+    /// Whether the service answers this verb inline on the connection
+    /// thread (control plane) rather than queueing it (data plane). The
+    /// control plane stays responsive under overload by construction.
+    pub fn is_control(&self) -> bool {
+        matches!(self, ReqBody::Ping | ReqBody::Stats | ReqBody::Shutdown)
+    }
+}
+
+/// One request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed on the response.
+    pub id: u64,
+    /// Scheduling class (default [`Priority::Normal`]).
+    pub priority: Priority,
+    /// Wall-clock budget in milliseconds, measured from admission
+    /// (`None` = the service default). Clamped to [`MAX_DEADLINE_MS`].
+    pub deadline_ms: Option<u64>,
+    /// The work itself.
+    pub body: ReqBody,
+}
+
+/// Machine-readable failure class on an error response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The bounded queue was full; the request was shed, not queued.
+    /// Back off and retry.
+    Overloaded,
+    /// The request was malformed (unknown verb, missing field, bad type,
+    /// unknown problem id, ...).
+    BadRequest,
+    /// The request's wall-clock deadline expired (in queue or mid-work).
+    Deadline,
+    /// The handler panicked; the panic was isolated and the daemon lives.
+    Panic,
+    /// The daemon is draining and no longer admits data-plane work.
+    Shutdown,
+}
+
+impl ErrorCode {
+    /// Stable wire string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::Deadline => "deadline",
+            ErrorCode::Panic => "panic",
+            ErrorCode::Shutdown => "shutdown",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "overloaded" => ErrorCode::Overloaded,
+            "bad_request" => ErrorCode::BadRequest,
+            "deadline" => ErrorCode::Deadline,
+            "panic" => ErrorCode::Panic,
+            "shutdown" => ErrorCode::Shutdown,
+            _ => return None,
+        })
+    }
+}
+
+/// Service/cache/pool counters returned by a `stats` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsBody {
+    /// Requests admitted to the queue since startup.
+    pub admitted: u64,
+    /// Data-plane requests answered successfully.
+    pub completed: u64,
+    /// Requests shed with `overloaded`.
+    pub shed: u64,
+    /// Requests that died to their deadline.
+    pub timed_out: u64,
+    /// Handler panics isolated.
+    pub panics: u64,
+    /// Queue depth at snapshot time.
+    pub queue_depth: u64,
+    /// Design-cache hits (both tiers).
+    pub cache_hits: u64,
+    /// Design-cache frontend computes.
+    pub cache_misses: u64,
+    /// Design-cache evictions from the global tier.
+    pub cache_evictions: u64,
+    /// Designs resident in the global cache tier.
+    pub cache_resident: u64,
+}
+
+/// Response payloads, one per verb (plus the error case).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RespBody {
+    /// `ping` answer.
+    Pong,
+    /// `stats` answer.
+    Stats(StatsBody),
+    /// `shutdown` acknowledged; drain begins.
+    ShuttingDown,
+    /// `augment` result.
+    Augmented {
+        /// Dataset entries produced.
+        entries: u64,
+        /// Units quarantined by the pipeline's panic isolation.
+        quarantined: u64,
+        /// The entries as JSONL (one `{"instruct", "input", "output"}`
+        /// object per line).
+        jsonl: String,
+    },
+    /// `generate` result.
+    Generated {
+        /// Sampled output.
+        output: String,
+    },
+    /// `repair` result.
+    Repaired {
+        /// Best source found.
+        source: String,
+        /// Whether it lints clean.
+        clean: bool,
+        /// Checker calls spent.
+        cost: u64,
+    },
+    /// `score` result.
+    Scored {
+        /// Verdict class: `scored`, `parse_error`, `elab_error`,
+        /// `timeout`, or `crash`.
+        verdict: String,
+        /// Functional pass rate in `[0, 1]` (zero for failure verdicts).
+        pass_rate: f64,
+        /// Failure detail (empty for `scored`).
+        detail: String,
+    },
+    /// Any verb's failure.
+    Error {
+        /// Failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// One response frame: the echoed id/verb plus the payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Correlation id echoed from the request (0 when the request was so
+    /// malformed no id could be recovered).
+    pub id: u64,
+    /// Echoed verb (`"?"` when unrecoverable).
+    pub verb: String,
+    /// Payload.
+    pub body: RespBody,
+}
+
+/// A decode failure; the service turns this into a `bad_request` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn bad(message: impl Into<String>) -> ProtoError {
+    ProtoError {
+        message: message.into(),
+    }
+}
+
+fn req_str(ev: &Event, name: &str) -> Result<String, ProtoError> {
+    match ev.field(name) {
+        Some(Value::Str(s)) => Ok(s.clone()),
+        Some(_) => Err(bad(format!("field `{name}` must be a string"))),
+        None => Err(bad(format!("missing field `{name}`"))),
+    }
+}
+
+fn opt_str(ev: &Event, name: &str) -> Result<Option<String>, ProtoError> {
+    match ev.field(name) {
+        Some(Value::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(bad(format!("field `{name}` must be a string"))),
+        None => Ok(None),
+    }
+}
+
+fn opt_u64(ev: &Event, name: &str) -> Result<Option<u64>, ProtoError> {
+    match ev.field(name) {
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| bad(format!("field `{name}` must be a non-negative integer"))),
+        None => Ok(None),
+    }
+}
+
+fn opt_f64(ev: &Event, name: &str) -> Result<Option<f64>, ProtoError> {
+    match ev.field(name) {
+        Some(Value::F64(v)) => Ok(Some(*v)),
+        Some(Value::U64(v)) => Ok(Some(*v as f64)),
+        Some(Value::I64(v)) => Ok(Some(*v as f64)),
+        Some(_) => Err(bad(format!("field `{name}` must be a number"))),
+        None => Ok(None),
+    }
+}
+
+impl Request {
+    /// Encodes to one JSON line (the frame payload).
+    pub fn to_line(&self) -> String {
+        let mut ev = Event::new(self.body.verb()).u64("id", self.id);
+        if self.priority == Priority::High {
+            ev = ev.str("priority", "high");
+        }
+        if let Some(ms) = self.deadline_ms {
+            ev = ev.u64("deadline_ms", ms);
+        }
+        ev = match &self.body {
+            ReqBody::Ping | ReqBody::Stats | ReqBody::Shutdown | ReqBody::Poison => ev,
+            ReqBody::Augment { name, source, seed } => ev
+                .str("name", name.clone())
+                .str("source", source.clone())
+                .u64("seed", *seed),
+            ReqBody::Generate {
+                instruct,
+                prompt,
+                temperature,
+                seed,
+            } => ev
+                .str("instruct", instruct.clone())
+                .str("prompt", prompt.clone())
+                .f64("temperature", *temperature)
+                .u64("seed", *seed),
+            ReqBody::Repair {
+                name,
+                source,
+                budget,
+            } => ev
+                .str("name", name.clone())
+                .str("source", source.clone())
+                .u64("budget", *budget),
+            ReqBody::Score {
+                source,
+                problem,
+                testbench,
+                top,
+            } => {
+                let mut ev = ev.str("source", source.clone());
+                if let Some(p) = problem {
+                    ev = ev.str("problem", p.clone());
+                }
+                if let Some(t) = testbench {
+                    ev = ev.str("testbench", t.clone());
+                }
+                ev.str("top", top.clone())
+            }
+        };
+        encode(&ev)
+    }
+
+    /// Decodes a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] for malformed JSON, unknown verbs, missing or
+    /// mistyped fields — the caller answers with `bad_request`.
+    pub fn from_line(line: &str) -> Result<Request, ProtoError> {
+        let ev = parse(line).ok_or_else(|| bad("invalid JSON object"))?;
+        let id = opt_u64(&ev, "id")?.ok_or_else(|| bad("missing field `id`"))?;
+        let priority = match opt_str(&ev, "priority")?.as_deref() {
+            None | Some("normal") => Priority::Normal,
+            Some("high") => Priority::High,
+            Some(other) => return Err(bad(format!("unknown priority `{other}`"))),
+        };
+        let deadline_ms = opt_u64(&ev, "deadline_ms")?.map(|ms| ms.min(MAX_DEADLINE_MS));
+        let body = match ev.kind.as_str() {
+            "ping" => ReqBody::Ping,
+            "stats" => ReqBody::Stats,
+            "shutdown" => ReqBody::Shutdown,
+            "poison" => ReqBody::Poison,
+            "augment" => ReqBody::Augment {
+                name: req_str(&ev, "name")?,
+                source: req_str(&ev, "source")?,
+                seed: opt_u64(&ev, "seed")?.unwrap_or(2024),
+            },
+            "generate" => ReqBody::Generate {
+                instruct: opt_str(&ev, "instruct")?
+                    .unwrap_or_else(|| dda_core::align::ALIGN_INSTRUCT.to_string()),
+                prompt: req_str(&ev, "prompt")?,
+                temperature: opt_f64(&ev, "temperature")?.unwrap_or(0.1),
+                seed: opt_u64(&ev, "seed")?.unwrap_or(99),
+            },
+            "repair" => ReqBody::Repair {
+                name: opt_str(&ev, "name")?.unwrap_or_else(|| "broken".to_string()),
+                source: req_str(&ev, "source")?,
+                budget: opt_u64(&ev, "budget")?.unwrap_or(200),
+            },
+            "score" => {
+                let problem = opt_str(&ev, "problem")?;
+                let testbench = opt_str(&ev, "testbench")?;
+                if problem.is_some() == testbench.is_some() {
+                    return Err(bad("score needs exactly one of `problem` or `testbench`"));
+                }
+                ReqBody::Score {
+                    source: req_str(&ev, "source")?,
+                    problem,
+                    testbench,
+                    top: opt_str(&ev, "top")?.unwrap_or_else(|| "tb".to_string()),
+                }
+            }
+            other => return Err(bad(format!("unknown verb `{other}`"))),
+        };
+        Ok(Request {
+            id,
+            priority,
+            deadline_ms,
+            body,
+        })
+    }
+}
+
+impl Response {
+    /// Convenience constructor for an error response.
+    pub fn error(
+        id: u64,
+        verb: impl Into<String>,
+        code: ErrorCode,
+        message: impl Into<String>,
+    ) -> Response {
+        Response {
+            id,
+            verb: verb.into(),
+            body: RespBody::Error {
+                code,
+                message: message.into(),
+            },
+        }
+    }
+
+    /// Encodes to one JSON line (the frame payload).
+    pub fn to_line(&self) -> String {
+        let ev = Event::new("response")
+            .u64("id", self.id)
+            .str("verb", self.verb.clone());
+        let ev = match &self.body {
+            RespBody::Error { code, message } => ev
+                .str("status", "error")
+                .str("code", code.as_str())
+                .str("message", message.clone()),
+            ok => {
+                let ev = ev.str("status", "ok");
+                match ok {
+                    RespBody::Pong | RespBody::ShuttingDown => ev,
+                    RespBody::Stats(s) => ev
+                        .u64("admitted", s.admitted)
+                        .u64("completed", s.completed)
+                        .u64("shed", s.shed)
+                        .u64("timed_out", s.timed_out)
+                        .u64("panics", s.panics)
+                        .u64("queue_depth", s.queue_depth)
+                        .u64("cache_hits", s.cache_hits)
+                        .u64("cache_misses", s.cache_misses)
+                        .u64("cache_evictions", s.cache_evictions)
+                        .u64("cache_resident", s.cache_resident),
+                    RespBody::Augmented {
+                        entries,
+                        quarantined,
+                        jsonl,
+                    } => ev
+                        .u64("entries", *entries)
+                        .u64("quarantined", *quarantined)
+                        .str("jsonl", jsonl.clone()),
+                    RespBody::Generated { output } => ev.str("output", output.clone()),
+                    RespBody::Repaired {
+                        source,
+                        clean,
+                        cost,
+                    } => ev
+                        .str("source", source.clone())
+                        .bool("clean", *clean)
+                        .u64("cost", *cost),
+                    RespBody::Scored {
+                        verdict,
+                        pass_rate,
+                        detail,
+                    } => ev
+                        .str("verdict", verdict.clone())
+                        .f64("pass_rate", *pass_rate)
+                        .str("detail", detail.clone()),
+                    RespBody::Error { .. } => unreachable!("handled above"),
+                }
+            }
+        };
+        encode(&ev)
+    }
+
+    /// Decodes a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] for anything that is not a well-formed response
+    /// object.
+    pub fn from_line(line: &str) -> Result<Response, ProtoError> {
+        let ev = parse(line).ok_or_else(|| bad("invalid JSON object"))?;
+        if ev.kind != "response" {
+            return Err(bad(format!("expected a response, got `{}`", ev.kind)));
+        }
+        let id = opt_u64(&ev, "id")?.ok_or_else(|| bad("missing field `id`"))?;
+        let verb = req_str(&ev, "verb")?;
+        let status = req_str(&ev, "status")?;
+        let body = match status.as_str() {
+            "error" => {
+                let code_s = req_str(&ev, "code")?;
+                RespBody::Error {
+                    code: ErrorCode::from_str(&code_s)
+                        .ok_or_else(|| bad(format!("unknown error code `{code_s}`")))?,
+                    message: req_str(&ev, "message")?,
+                }
+            }
+            "ok" => match verb.as_str() {
+                "ping" => RespBody::Pong,
+                "shutdown" => RespBody::ShuttingDown,
+                "stats" => RespBody::Stats(StatsBody {
+                    admitted: opt_u64(&ev, "admitted")?.unwrap_or(0),
+                    completed: opt_u64(&ev, "completed")?.unwrap_or(0),
+                    shed: opt_u64(&ev, "shed")?.unwrap_or(0),
+                    timed_out: opt_u64(&ev, "timed_out")?.unwrap_or(0),
+                    panics: opt_u64(&ev, "panics")?.unwrap_or(0),
+                    queue_depth: opt_u64(&ev, "queue_depth")?.unwrap_or(0),
+                    cache_hits: opt_u64(&ev, "cache_hits")?.unwrap_or(0),
+                    cache_misses: opt_u64(&ev, "cache_misses")?.unwrap_or(0),
+                    cache_evictions: opt_u64(&ev, "cache_evictions")?.unwrap_or(0),
+                    cache_resident: opt_u64(&ev, "cache_resident")?.unwrap_or(0),
+                }),
+                "augment" => RespBody::Augmented {
+                    entries: opt_u64(&ev, "entries")?.unwrap_or(0),
+                    quarantined: opt_u64(&ev, "quarantined")?.unwrap_or(0),
+                    jsonl: req_str(&ev, "jsonl")?,
+                },
+                "generate" => RespBody::Generated {
+                    output: req_str(&ev, "output")?,
+                },
+                "repair" => RespBody::Repaired {
+                    source: req_str(&ev, "source")?,
+                    clean: matches!(ev.field("clean"), Some(Value::Bool(true))),
+                    cost: opt_u64(&ev, "cost")?.unwrap_or(0),
+                },
+                "score" => RespBody::Scored {
+                    verdict: req_str(&ev, "verdict")?,
+                    pass_rate: opt_f64(&ev, "pass_rate")?.unwrap_or(0.0),
+                    detail: opt_str(&ev, "detail")?.unwrap_or_default(),
+                },
+                other => return Err(bad(format!("unknown response verb `{other}`"))),
+            },
+            other => return Err(bad(format!("unknown status `{other}`"))),
+        };
+        Ok(Response { id, verb, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let reqs = vec![
+            Request {
+                id: 1,
+                priority: Priority::Normal,
+                deadline_ms: None,
+                body: ReqBody::Ping,
+            },
+            Request {
+                id: 2,
+                priority: Priority::High,
+                deadline_ms: Some(1500),
+                body: ReqBody::Augment {
+                    name: "ctr".into(),
+                    source: "module ctr;\nendmodule\n".into(),
+                    seed: 7,
+                },
+            },
+            Request {
+                id: 3,
+                priority: Priority::Normal,
+                deadline_ms: Some(10),
+                body: ReqBody::Score {
+                    source: "module m(input a, output b);\nassign b = a;\nendmodule".into(),
+                    problem: Some("simple_wire".into()),
+                    testbench: None,
+                    top: "tb".into(),
+                },
+            },
+        ];
+        for r in reqs {
+            let back = Request::from_line(&r.to_line()).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resps = vec![
+            Response {
+                id: 1,
+                verb: "ping".into(),
+                body: RespBody::Pong,
+            },
+            Response {
+                id: 2,
+                verb: "score".into(),
+                body: RespBody::Scored {
+                    verdict: "scored".into(),
+                    pass_rate: 0.5,
+                    detail: String::new(),
+                },
+            },
+            Response::error(9, "augment", ErrorCode::Overloaded, "pool queue full"),
+        ];
+        for r in resps {
+            let back = Response::from_line(&r.to_line()).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_structured_errors() {
+        for bad_line in [
+            "",
+            "not json",
+            "{\"ev\": \"nope\", \"id\": 1}",
+            "{\"ev\": \"score\", \"id\": 1, \"source\": \"m\"}", // neither problem nor testbench
+            "{\"ev\": \"augment\", \"id\": 1}",                  // missing source
+            "{\"ev\": \"ping\"}",                                // missing id
+            "{\"ev\": \"ping\", \"id\": -3}",                    // negative id
+            "{\"ev\": \"ping\", \"id\": 1, \"priority\": \"urgent\"}",
+        ] {
+            assert!(
+                Request::from_line(bad_line).is_err(),
+                "accepted {bad_line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_is_clamped() {
+        let line = format!(
+            "{{\"ev\": \"ping\", \"id\": 1, \"deadline_ms\": {}}}",
+            u64::MAX
+        );
+        let r = Request::from_line(&line).unwrap();
+        assert_eq!(r.deadline_ms, Some(MAX_DEADLINE_MS));
+    }
+
+    #[test]
+    fn control_plane_classification() {
+        assert!(ReqBody::Ping.is_control());
+        assert!(ReqBody::Stats.is_control());
+        assert!(ReqBody::Shutdown.is_control());
+        assert!(!ReqBody::Poison.is_control());
+        assert!(!ReqBody::Generate {
+            instruct: String::new(),
+            prompt: String::new(),
+            temperature: 0.1,
+            seed: 0
+        }
+        .is_control());
+    }
+}

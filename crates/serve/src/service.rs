@@ -1,0 +1,420 @@
+//! The resident daemon: Unix-socket listener, admission control, and
+//! graceful drain.
+//!
+//! ## Request flow
+//!
+//! ```text
+//! client ──frame──▶ reader thread ──┬─ control verb (ping/stats/shutdown)
+//!                                   │       └─ answered inline, never queued
+//!                                   └─ data verb (augment/generate/repair/score)
+//!                                           └─ ResidentPool::submit
+//!                                                ├─ Overloaded ─▶ `overloaded` response (shed)
+//!                                                └─ admitted ─▶ worker runs the handler
+//!                                                     └─ response frame (panic ⇒ `panic` error)
+//! ```
+//!
+//! Each connection gets one reader thread; responses are written under a
+//! per-connection mutex, so pool workers and the reader interleave whole
+//! frames, never bytes. Because admitted jobs may finish out of order,
+//! responses carry the request's `id` — a pipelining client matches on it.
+//!
+//! ## Overload and shutdown semantics
+//!
+//! The queue is bounded ([`ServeOptions::queue_capacity`]): when it is
+//! full the daemon *sheds* — an immediate `overloaded` error, no
+//! buffering. The control plane bypasses the queue, so `ping` and
+//! `stats` stay responsive while the data plane is saturated.
+//!
+//! A `shutdown` request (or [`Server::stop`]) triggers graceful drain:
+//! stop accepting connections → close the pool (new submits get a
+//! `shutdown` error) → run the admitted backlog dry (their responses are
+//! written) → unblock and join the reader threads → unlink the socket.
+
+use crate::handlers::{execute, HandlerCx};
+use crate::proto::{ErrorCode, ReqBody, Request, RespBody, Response, StatsBody};
+use crate::wire::{read_frame, write_frame, WireError, MAX_FRAME};
+use dda_runtime::{PoolOptions, ResidentPool, SubmitError};
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Pool worker threads.
+    pub workers: usize,
+    /// Bounded queue capacity; submits beyond it are shed.
+    pub queue_capacity: usize,
+    /// Frame payload ceiling for this listener.
+    pub max_frame: usize,
+    /// Deadline applied to requests that don't carry `deadline_ms`.
+    pub default_deadline: Option<Duration>,
+    /// Starvation-free aging limit for normal-priority work.
+    pub age_limit: Duration,
+    /// Honor `poison` requests (chaos tests / storm bench only).
+    pub fault_injection: bool,
+    /// Corpus modules for the startup finetune (0 = pretrained model).
+    pub model_modules: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 2,
+            queue_capacity: 64,
+            max_frame: MAX_FRAME,
+            default_deadline: Some(Duration::from_secs(10)),
+            age_limit: Duration::from_millis(250),
+            fault_injection: false,
+            model_modules: 8,
+        }
+    }
+}
+
+#[derive(Default)]
+struct ServiceStats {
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    timed_out: AtomicU64,
+    panics: AtomicU64,
+}
+
+struct Inner {
+    pool: ResidentPool,
+    cx: HandlerCx,
+    stats: ServiceStats,
+    stop: AtomicBool,
+    /// Reader threads + shutdown handles for every accepted connection.
+    conns: Mutex<Vec<(UnixStream, JoinHandle<()>)>>,
+    default_deadline: Option<Duration>,
+    max_frame: usize,
+}
+
+impl Inner {
+    fn stats_body(&self) -> StatsBody {
+        let cache = dda_sim::cache::stats();
+        StatsBody {
+            admitted: self.stats.admitted.load(Ordering::Relaxed),
+            completed: self.stats.completed.load(Ordering::Relaxed),
+            shed: self.stats.shed.load(Ordering::Relaxed),
+            timed_out: self.stats.timed_out.load(Ordering::Relaxed),
+            panics: self.stats.panics.load(Ordering::Relaxed),
+            queue_depth: self.pool.depth() as u64,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            cache_resident: dda_sim::cache::resident() as u64,
+        }
+    }
+}
+
+/// A running daemon. Dropping it (or calling [`Server::join`]) drains
+/// gracefully.
+pub struct Server {
+    path: PathBuf,
+    inner: Arc<Inner>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the socket (unlinking any stale file at `path`), bootstraps
+    /// the handler context (startup finetune), spawns the pool and the
+    /// accept loop, and returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind/listen failures.
+    pub fn start(path: &Path, opts: &ServeOptions) -> io::Result<Server> {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        let cx = HandlerCx::bootstrap(opts.model_modules, opts.fault_injection);
+        let pool = ResidentPool::new(&PoolOptions {
+            workers: opts.workers,
+            queue_capacity: opts.queue_capacity,
+            age_limit: opts.age_limit,
+            ..PoolOptions::default()
+        });
+        let inner = Arc::new(Inner {
+            pool,
+            cx,
+            stats: ServiceStats::default(),
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            default_deadline: opts.default_deadline,
+            max_frame: opts.max_frame,
+        });
+        let accept = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || accept_loop(&listener, &inner))
+        };
+        dda_obs::count("serve.started", 1);
+        Ok(Server {
+            path: path.to_path_buf(),
+            inner,
+            accept: Some(accept),
+        })
+    }
+
+    /// The socket path this daemon listens on.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Requests shutdown programmatically (equivalent to a `shutdown`
+    /// request on the wire). Returns immediately; [`Server::join`] waits
+    /// for the drain.
+    pub fn stop(&self) {
+        self.inner.stop.store(true, Ordering::Release);
+    }
+
+    /// Blocks until the daemon has shut down (via a `shutdown` request or
+    /// [`Server::stop`]) and the drain has finished: backlog executed,
+    /// responses written, reader threads joined, socket unlinked.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+fn accept_loop(listener: &UnixListener, inner: &Arc<Inner>) {
+    while !inner.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                dda_obs::count("serve.conn.opened", 1);
+                let shutdown_handle = match stream.try_clone() {
+                    Ok(c) => c,
+                    Err(_) => continue,
+                };
+                let handle = {
+                    let inner = Arc::clone(inner);
+                    std::thread::spawn(move || connection_loop(stream, &inner))
+                };
+                let mut conns = inner.conns.lock().unwrap();
+                // Reap finished reader threads so a long-lived daemon's
+                // registry is bounded by *active* connections, not by every
+                // connection ever accepted.
+                conns.retain(|(_, h)| !h.is_finished());
+                conns.push((shutdown_handle, handle));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    drain(inner);
+}
+
+/// Graceful drain; see the module docs for the ordering rationale.
+fn drain(inner: &Arc<Inner>) {
+    inner.pool.close();
+    inner.pool.quiesce();
+    let conns = std::mem::take(&mut *inner.conns.lock().unwrap());
+    for (stream, _) in &conns {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+    for (_, handle) in conns {
+        let _ = handle.join();
+    }
+    dda_obs::count("serve.drained", 1);
+}
+
+type SharedWriter = Arc<Mutex<UnixStream>>;
+
+fn write_response(writer: &SharedWriter, resp: &Response) {
+    // A write failure means the client is gone; the daemon doesn't care.
+    let mut w = writer.lock().unwrap();
+    let _ = write_frame(&mut *w, &resp.to_line());
+}
+
+fn connection_loop(mut stream: UnixStream, inner: &Arc<Inner>) {
+    let writer: SharedWriter = match stream.try_clone() {
+        Ok(c) => Arc::new(Mutex::new(c)),
+        Err(_) => return,
+    };
+    let mut broken = false;
+    loop {
+        match read_frame(&mut stream, inner.max_frame) {
+            Ok(Some(line)) => {
+                if !handle_frame(&line, inner, &writer) {
+                    break;
+                }
+            }
+            Ok(None) => break, // clean close
+            Err(e) => {
+                dda_obs::count("serve.frame.bad", 1);
+                // Oversized leaves the unread body in the stream and a torn
+                // frame has no more bytes: either way the stream is not at a
+                // frame boundary anymore, so answer (best effort) and close.
+                if let WireError::Oversized { declared, max } = &e {
+                    write_response(
+                        &writer,
+                        &Response::error(
+                            0,
+                            "?",
+                            ErrorCode::BadRequest,
+                            format!("frame of {declared} bytes exceeds the {max}-byte limit"),
+                        ),
+                    );
+                }
+                broken = true;
+                break;
+            }
+        }
+    }
+    // A broken stream is closed for good — other clones of this socket
+    // (the writer, the registry's shutdown handle) must not keep it
+    // half-alive, and the peer deserves a prompt EOF. A *clean* EOF is
+    // different: a pipelining client may half-close its write side and
+    // still be owed responses for admitted work, so the socket stays open
+    // until those jobs finish (their writer clones drop) or the daemon
+    // drains.
+    if broken {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+    dda_obs::count("serve.conn.closed", 1);
+}
+
+/// Handles one decoded frame. Returns `false` when the connection should
+/// close (after a `shutdown` acknowledgement).
+fn handle_frame(line: &str, inner: &Arc<Inner>, writer: &SharedWriter) -> bool {
+    let req = match Request::from_line(line) {
+        Ok(r) => r,
+        Err(e) => {
+            // Malformed JSON is a *request*-level error: the frame itself
+            // was sound, so the connection stays usable.
+            write_response(
+                writer,
+                &Response::error(0, "?", ErrorCode::BadRequest, e.message),
+            );
+            return true;
+        }
+    };
+    let verb = req.body.verb();
+    if req.body.is_control() {
+        match req.body {
+            ReqBody::Ping => write_response(
+                writer,
+                &Response {
+                    id: req.id,
+                    verb: verb.into(),
+                    body: RespBody::Pong,
+                },
+            ),
+            ReqBody::Stats => write_response(
+                writer,
+                &Response {
+                    id: req.id,
+                    verb: verb.into(),
+                    body: RespBody::Stats(inner.stats_body()),
+                },
+            ),
+            ReqBody::Shutdown => {
+                write_response(
+                    writer,
+                    &Response {
+                        id: req.id,
+                        verb: verb.into(),
+                        body: RespBody::ShuttingDown,
+                    },
+                );
+                inner.stop.store(true, Ordering::Release);
+                return false;
+            }
+            _ => unreachable!("is_control"),
+        }
+        return true;
+    }
+
+    let deadline = req
+        .deadline_ms
+        .map(Duration::from_millis)
+        .or(inner.default_deadline);
+    let job = {
+        let inner = Arc::clone(inner);
+        let writer = Arc::clone(writer);
+        let body = req.body.clone();
+        let id = req.id;
+        move |token: &dda_runtime::CancelToken| {
+            let resp_body =
+                match catch_unwind(AssertUnwindSafe(|| execute(&inner.cx, &body, token))) {
+                    Ok(resp) => resp,
+                    Err(_) => {
+                        inner.stats.panics.fetch_add(1, Ordering::Relaxed);
+                        dda_obs::count("serve.request.panicked", 1);
+                        RespBody::Error {
+                            code: ErrorCode::Panic,
+                            message: "handler panicked; the panic was isolated".to_string(),
+                        }
+                    }
+                };
+            match &resp_body {
+                RespBody::Error {
+                    code: ErrorCode::Deadline,
+                    ..
+                } => {
+                    inner.stats.timed_out.fetch_add(1, Ordering::Relaxed);
+                    dda_obs::count("serve.request.timedout", 1);
+                }
+                RespBody::Error { .. } => {}
+                _ => {
+                    inner.stats.completed.fetch_add(1, Ordering::Relaxed);
+                    dda_obs::count("serve.request.completed", 1);
+                }
+            }
+            write_response(
+                &writer,
+                &Response {
+                    id,
+                    verb: body.verb().into(),
+                    body: resp_body,
+                },
+            );
+        }
+    };
+    match inner.pool.submit(req.priority, deadline, job) {
+        Ok(()) => {
+            inner.stats.admitted.fetch_add(1, Ordering::Relaxed);
+            dda_obs::count("serve.request.admitted", 1);
+        }
+        Err(SubmitError::Overloaded { depth }) => {
+            inner.stats.shed.fetch_add(1, Ordering::Relaxed);
+            dda_obs::count("serve.request.shed", 1);
+            write_response(
+                writer,
+                &Response::error(
+                    req.id,
+                    verb,
+                    ErrorCode::Overloaded,
+                    format!("pool queue full ({depth} jobs queued)"),
+                ),
+            );
+        }
+        Err(SubmitError::Closed) => {
+            write_response(
+                writer,
+                &Response::error(req.id, verb, ErrorCode::Shutdown, "daemon is draining"),
+            );
+        }
+    }
+    true
+}

@@ -1,0 +1,211 @@
+//! Length-prefixed frame codec for the serve wire protocol.
+//!
+//! A frame is a 4-byte big-endian payload length followed by exactly that
+//! many bytes of UTF-8 JSON (one object per frame; the object grammar
+//! lives in [`crate::proto`]). The length prefix makes framing
+//! unambiguous over a stream socket: no sentinel bytes, no escaping at
+//! the transport layer, and a reader always knows how much is left of a
+//! partially received frame.
+//!
+//! Robustness contract (exercised by the wire property tests and the
+//! service chaos battery):
+//!
+//! * an **oversized** declared length is rejected *before reading any
+//!   body byte* — a hostile or confused peer cannot make the server
+//!   allocate or consume unbounded memory ([`WireError::Oversized`]);
+//! * a **torn** frame (EOF mid-prefix or mid-body, e.g. a client killed
+//!   mid-write) is a structured [`WireError::Truncated`], never a hang
+//!   or a partial-payload delivery;
+//! * EOF *between* frames is a clean close (`Ok(None)`);
+//! * payloads must be valid UTF-8 ([`WireError::BadUtf8`]).
+
+use std::io::{self, Read, Write};
+
+/// Default ceiling on a frame payload, in bytes. Large enough for a full
+/// augmentation response (JSONL of every task kind for one module), small
+/// enough that a storm of max-size frames cannot exhaust memory.
+pub const MAX_FRAME: usize = 8 << 20;
+
+/// A transport-layer failure while reading a frame.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying socket/file error.
+    Io(io::Error),
+    /// The declared payload length exceeds the reader's limit; the body
+    /// was **not** read.
+    Oversized {
+        /// Declared payload length.
+        declared: usize,
+        /// The reader's limit.
+        max: usize,
+    },
+    /// The stream ended mid-prefix or mid-body.
+    Truncated {
+        /// Bytes expected (prefix or declared payload).
+        expected: usize,
+        /// Bytes actually received.
+        got: usize,
+    },
+    /// The payload was not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "io error: {e}"),
+            WireError::Oversized { declared, max } => {
+                write!(f, "frame of {declared} bytes exceeds the {max}-byte limit")
+            }
+            WireError::Truncated { expected, got } => {
+                write!(f, "torn frame: expected {expected} bytes, got {got}")
+            }
+            WireError::BadUtf8 => write!(f, "frame payload is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+/// Writes one frame: 4-byte big-endian length, then the payload bytes.
+///
+/// # Errors
+///
+/// Propagates socket errors; rejects payloads over `u32::MAX` bytes as
+/// [`io::ErrorKind::InvalidInput`].
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()
+}
+
+/// Reads exactly `buf.len()` bytes, reporting how many arrived before a
+/// clean EOF. Interrupted reads are retried.
+fn read_exact_counting(r: &mut impl Read, buf: &mut [u8]) -> io::Result<usize> {
+    let mut got = 0usize;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => break,
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(got)
+}
+
+/// Reads one frame. `Ok(None)` on clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// See [`WireError`]. An [`WireError::Oversized`] declared length is
+/// rejected without reading the body — after it, the stream is out of
+/// sync and the caller must close the connection.
+pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Option<String>, WireError> {
+    let mut prefix = [0u8; 4];
+    let got = read_exact_counting(r, &mut prefix)?;
+    if got == 0 {
+        return Ok(None);
+    }
+    if got < 4 {
+        return Err(WireError::Truncated { expected: 4, got });
+    }
+    let declared = u32::from_be_bytes(prefix) as usize;
+    if declared > max {
+        return Err(WireError::Oversized { declared, max });
+    }
+    let mut body = vec![0u8; declared];
+    let got = read_exact_counting(r, &mut body)?;
+    if got < declared {
+        return Err(WireError::Truncated {
+            expected: declared,
+            got,
+        });
+    }
+    String::from_utf8(body)
+        .map(Some)
+        .map_err(|_| WireError::BadUtf8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_round_trips() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"ev\": \"ping\"}").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut r, MAX_FRAME).unwrap().as_deref(),
+            Some("{\"ev\": \"ping\"}")
+        );
+        assert_eq!(read_frame(&mut r, MAX_FRAME).unwrap().as_deref(), Some(""));
+        assert!(read_frame(&mut r, MAX_FRAME).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frame_rejected_without_reading_body() {
+        // Declare 1 GiB but provide only 8 bytes of body; a reader that
+        // tried to consume the body would hit EOF, a reader that tried to
+        // allocate it would blow the test's memory budget.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(1u32 << 30).to_be_bytes());
+        buf.extend_from_slice(b"junkjunk");
+        let mut r = Cursor::new(&buf);
+        match read_frame(&mut r, 1024) {
+            Err(WireError::Oversized { declared, max }) => {
+                assert_eq!(declared, 1 << 30);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        // Bounded read: the body bytes are still unconsumed.
+        assert_eq!(r.position(), 4);
+    }
+
+    #[test]
+    fn torn_prefix_and_torn_body_are_truncated() {
+        let mut r = Cursor::new(vec![0u8, 0]);
+        assert!(matches!(
+            read_frame(&mut r, MAX_FRAME),
+            Err(WireError::Truncated {
+                expected: 4,
+                got: 2
+            })
+        ));
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&10u32.to_be_bytes());
+        buf.extend_from_slice(b"only5");
+        let mut r = Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut r, MAX_FRAME),
+            Err(WireError::Truncated {
+                expected: 10,
+                got: 5
+            })
+        ));
+    }
+
+    #[test]
+    fn non_utf8_payload_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&2u32.to_be_bytes());
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        let mut r = Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut r, MAX_FRAME),
+            Err(WireError::BadUtf8)
+        ));
+    }
+}

@@ -5,7 +5,7 @@
 //! allocation. This pass lowers each process / continuous-assign expression
 //! **once** (lazily, on first run) into a flat register program
 //! ([`ExprProg`]) whose operands are pre-resolved signal slot indices, and
-//! each statement into a [`CStmt`] tree whose children sit behind `Rc` so
+//! each statement into a [`CStmt`] tree whose children sit behind `Arc` so
 //! loop iterations re-push a pointer instead of cloning a subtree.
 //!
 //! Semantics are mirrored arm-for-arm from the interpreter, including its
@@ -26,7 +26,7 @@ use dda_verilog::consteval::is_const_expr;
 use dda_verilog::printer::print_expr;
 use dda_verilog::{Expr, LogicVec, PackedVec};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A flat register program for one expression evaluation.
 #[derive(Debug)]
@@ -109,7 +109,7 @@ pub(crate) enum Instr {
     /// hatch for calls, dynamic bounds, and other non-static shapes).
     Fallback {
         dst: usize,
-        expr: Rc<Expr>,
+        expr: Arc<Expr>,
         ctx: usize,
     },
 }
@@ -143,14 +143,14 @@ pub(crate) enum CTarget {
 #[derive(Debug)]
 pub(crate) struct CCaseArm {
     pub labels: Box<[ExprProg]>,
-    pub body: Rc<CStmt>,
+    pub body: Arc<CStmt>,
 }
 
-/// A compiled statement. Children are `Rc` so control flow re-pushes
+/// A compiled statement. Children are `Arc` so control flow re-pushes
 /// pointers; [`CStmt::Ast`] defers to the interpreter wholesale.
 #[derive(Debug)]
 pub(crate) enum CStmt {
-    Block(Box<[Rc<CStmt>]>),
+    Block(Box<[Arc<CStmt>]>),
     Null,
     Assign {
         rhs: ExprProg,
@@ -161,8 +161,8 @@ pub(crate) enum CStmt {
     },
     If {
         cond: ExprProg,
-        then_s: Rc<CStmt>,
-        else_s: Option<Rc<CStmt>>,
+        then_s: Arc<CStmt>,
+        else_s: Option<Arc<CStmt>>,
     },
     Case {
         wild_z: bool,
@@ -171,34 +171,34 @@ pub(crate) enum CStmt {
         arms: Box<[CCaseArm]>,
     },
     For {
-        init: Rc<CStmt>,
+        init: Arc<CStmt>,
         cond: ExprProg,
-        step: Rc<CStmt>,
-        body: Rc<CStmt>,
+        step: Arc<CStmt>,
+        body: Arc<CStmt>,
     },
     While {
         cond: ExprProg,
-        body: Rc<CStmt>,
+        body: Arc<CStmt>,
     },
     Repeat {
         count: ExprProg,
-        body: Rc<CStmt>,
+        body: Arc<CStmt>,
     },
     Forever {
-        body: Rc<CStmt>,
+        body: Arc<CStmt>,
     },
     Delay {
         amount: ExprProg,
-        stmt: Option<Rc<CStmt>>,
+        stmt: Option<Arc<CStmt>>,
     },
     Event {
-        watches: Rc<[SensWatch]>,
-        stmt: Option<Rc<CStmt>>,
+        watches: Arc<[SensWatch]>,
+        stmt: Option<Arc<CStmt>>,
     },
     Wait {
-        cond: Rc<ExprProg>,
-        watches: Rc<[SensWatch]>,
-        stmt: Option<Rc<CStmt>>,
+        cond: Arc<ExprProg>,
+        watches: Arc<[SensWatch]>,
+        stmt: Option<Arc<CStmt>>,
     },
     SysCall {
         name: String,
@@ -206,7 +206,7 @@ pub(crate) enum CStmt {
     },
     /// Interpreter fallback for statements the compiler cannot mirror
     /// exactly (dynamic lvalue bounds, non-static widths).
-    Ast(Rc<Stmt>),
+    Ast(Arc<Stmt>),
 }
 
 /// A compiled continuous assignment.
@@ -224,12 +224,12 @@ pub(crate) enum CCont {
 #[derive(Debug)]
 pub(crate) struct CProc {
     /// Compiled body for initial/always processes.
-    pub body: Option<Rc<CStmt>>,
+    pub body: Option<Arc<CStmt>>,
     /// Compiled continuous assignment, if this process is one.
     pub cont: Option<CCont>,
 }
 
-/// The design's full bytecode; cached on [`Design`] behind an `Rc` so every
+/// The design's full bytecode; cached on [`Design`] behind an `Arc` so every
 /// simulator cloned from the same elaboration shares one copy.
 #[derive(Debug)]
 pub(crate) struct CompiledDesign {
@@ -267,7 +267,7 @@ pub(crate) fn compile_design(design: &Design) -> CompiledDesign {
                     Some(b) => compile_stmt(&mut cx, b),
                     // A missing body degrades to an empty block, like the
                     // interpreter's `body_stmt`, so step counts match.
-                    None => Rc::new(CStmt::Block(Box::new([]))),
+                    None => Arc::new(CStmt::Block(Box::new([]))),
                 };
                 procs.push(CProc {
                     body: Some(body),
@@ -323,10 +323,10 @@ fn compile_cont(cx: &mut Cx<'_>, lhs: &Expr, rhs: &Expr) -> CCont {
     }
 }
 
-fn compile_stmt(cx: &mut Cx<'_>, s: &Stmt) -> Rc<CStmt> {
+fn compile_stmt(cx: &mut Cx<'_>, s: &Stmt) -> Arc<CStmt> {
     match try_compile_stmt(cx, s) {
-        Some(c) => Rc::new(c),
-        None => Rc::new(CStmt::Ast(Rc::new(s.clone()))),
+        Some(c) => Arc::new(c),
+        None => Arc::new(CStmt::Ast(Arc::new(s.clone()))),
     }
 }
 
@@ -427,9 +427,9 @@ fn try_compile_stmt(cx: &mut Cx<'_>, s: &Stmt) -> Option<CStmt> {
         Stmt::Wait { cond, stmt, .. } => {
             // Level watches depend only on which identifiers the condition
             // reads, so they are precomputed here instead of per suspend.
-            let watches: Rc<[SensWatch]> = crate::exec::level_watches(cond, cx.design()).into();
+            let watches: Arc<[SensWatch]> = crate::exec::level_watches(cond, cx.design()).into();
             CStmt::Wait {
-                cond: Rc::new(cx.prog(cond, 0)),
+                cond: Arc::new(cx.prog(cond, 0)),
                 watches,
                 stmt: stmt.as_ref().map(|st| compile_stmt(cx, st)),
             }
@@ -697,7 +697,7 @@ impl ExprCompiler<'_> {
         let dst = self.fresh();
         self.instrs.push(Instr::Fallback {
             dst,
-            expr: Rc::new(e.clone()),
+            expr: Arc::new(e.clone()),
             ctx,
         });
         (dst, None)

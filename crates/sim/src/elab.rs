@@ -14,7 +14,7 @@ use dda_verilog::{Expr, LogicVec, Span, Stmt};
 use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Elaboration failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -117,7 +117,7 @@ pub struct Process {
     /// Trigger discipline.
     pub kind: ProcessKind,
     /// Procedural body (absent for continuous assignments).
-    pub body: Option<Rc<Stmt>>,
+    pub body: Option<Arc<Stmt>>,
     /// Dotted instance path, used for `%m`.
     pub path: String,
 }
@@ -134,10 +134,18 @@ pub struct Design {
     /// Functions by flattened name.
     pub functions: HashMap<String, FunctionDecl>,
     /// Lazily built bytecode programs, shared by every clone made after the
-    /// first compilation (cloning an initialized `OnceCell` keeps its value,
-    /// and the payload is behind an `Rc`).
-    pub(crate) compiled: std::cell::OnceCell<std::rc::Rc<crate::compile::CompiledDesign>>,
+    /// first compilation (cloning an initialized `OnceLock` keeps its value,
+    /// and the payload is behind an `Arc`).
+    pub(crate) compiled: std::sync::OnceLock<std::sync::Arc<crate::compile::CompiledDesign>>,
 }
+
+/// The global design cache hands clones of one [`Design`] to concurrent
+/// service requests; this fails to compile if a non-thread-safe pointer
+/// (`Rc`, `Cell`, ...) ever sneaks back into the design graph.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Design>()
+};
 
 impl Design {
     /// Looks up a signal by hierarchical name.
@@ -146,9 +154,9 @@ impl Design {
     }
 
     /// The design's bytecode, compiling it on first use.
-    pub(crate) fn compiled(&self) -> std::rc::Rc<crate::compile::CompiledDesign> {
+    pub(crate) fn compiled(&self) -> std::sync::Arc<crate::compile::CompiledDesign> {
         self.compiled
-            .get_or_init(|| std::rc::Rc::new(crate::compile::compile_design(self)))
+            .get_or_init(|| std::sync::Arc::new(crate::compile::compile_design(self)))
             .clone()
     }
 }
@@ -453,7 +461,7 @@ impl Elaborator<'_> {
                         if is_reg {
                             self.design.processes.push(Process {
                                 kind: ProcessKind::Initial,
-                                body: Some(Rc::new(Stmt::Assign {
+                                body: Some(Arc::new(Stmt::Assign {
                                     lhs,
                                     rhs,
                                     kind: AssignKind::Blocking,
@@ -478,14 +486,14 @@ impl Elaborator<'_> {
                     };
                     self.design.processes.push(Process {
                         kind: ProcessKind::Always(sens),
-                        body: Some(Rc::new(ren.stmt(&a.body))),
+                        body: Some(Arc::new(ren.stmt(&a.body))),
                         path: prefix.trim_end_matches('.').to_owned(),
                     });
                 }
                 Item::Initial(i) => {
                     self.design.processes.push(Process {
                         kind: ProcessKind::Initial,
-                        body: Some(Rc::new(ren.stmt(&i.body))),
+                        body: Some(Arc::new(ren.stmt(&i.body))),
                         path: prefix.trim_end_matches('.').to_owned(),
                     });
                 }

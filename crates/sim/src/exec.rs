@@ -14,7 +14,7 @@
 //!   reference semantics.
 //! * **Bytecode** (the default) runs the flat programs produced by
 //!   [`crate::compile`]: signal slots are pre-resolved, expression trees are
-//!   register programs, and loop bodies re-push `Rc` pointers instead of
+//!   register programs, and loop bodies re-push `Arc` pointers instead of
 //!   cloning subtrees. Task-stack structure is kept 1:1 with the
 //!   interpreter so step budgets and event ordering match exactly.
 
@@ -29,7 +29,7 @@ use std::cell::Cell;
 use std::collections::{BTreeMap, VecDeque};
 use std::error::Error;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Which execution engine drives process bodies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -161,20 +161,20 @@ pub(crate) enum Task {
     /// Re-check a `wait` condition on resume.
     WaitCheck(Expr),
     /// Execute one compiled statement (bytecode mode).
-    CExec(Rc<CStmt>),
+    CExec(Arc<CStmt>),
     /// Loop continuations over compiled nodes: each holds the loop's own
-    /// [`CStmt`] so re-pushing is an `Rc` clone, not a subtree clone.
-    CLoopWhile(Rc<CStmt>),
-    CLoopFor(Rc<CStmt>),
+    /// [`CStmt`] so re-pushing is an `Arc` clone, not a subtree clone.
+    CLoopWhile(Arc<CStmt>),
+    CLoopFor(Arc<CStmt>),
     CLoopRepeat {
         remaining: u64,
-        node: Rc<CStmt>,
+        node: Arc<CStmt>,
     },
-    CLoopForever(Rc<CStmt>),
+    CLoopForever(Arc<CStmt>),
     /// Re-check a compiled `wait` condition on resume.
     CWaitCheck {
-        cond: Rc<ExprProg>,
-        watches: Rc<[SensWatch]>,
+        cond: Arc<ExprProg>,
+        watches: Arc<[SensWatch]>,
     },
 }
 
@@ -212,9 +212,9 @@ struct ProcRt {
     tasks: Vec<Task>,
     status: Status,
     /// Current wait set (event controls / always sensitivity).
-    watches: Rc<[SensWatch]>,
+    watches: Arc<[SensWatch]>,
     /// Re-arm sensitivity for `always @(...)` processes.
-    rearm: Option<Rc<[SensWatch]>>,
+    rearm: Option<Arc<[SensWatch]>>,
     /// `always` with no event control re-runs on completion.
     free_running: bool,
     is_initial: bool,
@@ -261,7 +261,7 @@ pub struct Simulator {
     procs: Vec<ProcRt>,
     /// AST `(lhs, rhs)` pair for continuous assignments (bytecode keeps its
     /// own compiled form; this is the fallback and the `Ast`-mode source).
-    cont: Vec<Option<Rc<(Expr, Expr)>>>,
+    cont: Vec<Option<Arc<(Expr, Expr)>>>,
     ready: VecDeque<usize>,
     in_ready: Vec<bool>,
     future: BTreeMap<u64, Vec<FutureEvent>>,
@@ -274,7 +274,7 @@ pub struct Simulator {
     started: bool,
     mode: EvalMode,
     /// The design's bytecode, installed at `start` in bytecode mode.
-    compiled: Option<Rc<CompiledDesign>>,
+    compiled: Option<Arc<CompiledDesign>>,
     /// Register file reused across [`Self::eval_prog`] calls (taken with
     /// `mem::take` during evaluation, so programs never observe each
     /// other's registers — they are written before read anyway).
@@ -373,7 +373,7 @@ impl Simulator {
             })
     }
 
-    fn make_proc(p: &Process, design: &Design) -> (ProcRt, Option<Rc<(Expr, Expr)>>) {
+    fn make_proc(p: &Process, design: &Design) -> (ProcRt, Option<Arc<(Expr, Expr)>>) {
         match &p.kind {
             ProcessKind::Initial => (
                 ProcRt {
@@ -388,7 +388,7 @@ impl Simulator {
                 None,
             ),
             ProcessKind::Always(sens) => {
-                let watches: Rc<[SensWatch]> = compile_sens(sens, design).into();
+                let watches: Arc<[SensWatch]> = compile_sens(sens, design).into();
                 let free_running = watches.is_empty();
                 (
                     ProcRt {
@@ -398,7 +398,7 @@ impl Simulator {
                         } else {
                             Status::WaitEvent
                         },
-                        watches: Rc::clone(&watches),
+                        watches: Arc::clone(&watches),
                         rearm: Some(watches),
                         free_running,
                         is_initial: false,
@@ -411,7 +411,7 @@ impl Simulator {
                 let mut reads = Vec::new();
                 collect_expr_reads(rhs, &mut reads);
                 collect_lhs_index_reads(lhs, &mut reads);
-                let watches: Rc<[SensWatch]> = reads
+                let watches: Arc<[SensWatch]> = reads
                     .iter()
                     .filter_map(|n| {
                         design.index.get(n).map(|id| SensWatch {
@@ -426,13 +426,13 @@ impl Simulator {
                     ProcRt {
                         tasks: Vec::new(),
                         status: Status::Ready,
-                        watches: Rc::clone(&watches),
+                        watches: Arc::clone(&watches),
                         rearm: Some(watches),
                         free_running: false,
                         is_initial: false,
                         path: p.path.clone(),
                     },
-                    Some(Rc::new((lhs.clone(), rhs.clone()))),
+                    Some(Arc::new((lhs.clone(), rhs.clone()))),
                 )
             }
         }
@@ -476,7 +476,7 @@ impl Simulator {
             // processes have no body and keep their empty task stack).
             for (i, cp) in compiled.procs.iter().enumerate() {
                 if let Some(b) = &cp.body {
-                    self.procs[i].tasks = vec![Task::CExec(Rc::clone(b))];
+                    self.procs[i].tasks = vec![Task::CExec(Arc::clone(b))];
                 }
             }
             self.compiled = Some(compiled);
@@ -697,7 +697,7 @@ impl Simulator {
     /// One evaluation of a continuous assignment, then re-suspend.
     fn run_cont(&mut self, p: usize) {
         if self.mode == EvalMode::Bytecode {
-            let compiled = Rc::clone(self.compiled.as_ref().expect("bytecode installed"));
+            let compiled = Arc::clone(self.compiled.as_ref().expect("bytecode installed"));
             if let Some(CCont::Prog { rhs, target }) = &compiled.procs[p].cont {
                 let v = self.eval_prog(rhs);
                 let wt = self.resolve_ctarget(target);
@@ -708,7 +708,7 @@ impl Simulator {
                 return;
             }
         }
-        let pair = Rc::clone(self.cont[p].as_ref().expect("continuous process"));
+        let pair = Arc::clone(self.cont[p].as_ref().expect("continuous process"));
         let (lhs, rhs) = (&pair.0, &pair.1);
         let w = self.natural_width(lhs, None);
         let v = self.eval(rhs, w, None);
@@ -788,8 +788,10 @@ impl Simulator {
                     unreachable!("CLoopWhile holds a While node");
                 };
                 if self.eval_prog(cond).truthy() == Some(true) {
-                    let body = Rc::clone(body);
-                    self.procs[p].tasks.push(Task::CLoopWhile(Rc::clone(&node)));
+                    let body = Arc::clone(body);
+                    self.procs[p]
+                        .tasks
+                        .push(Task::CLoopWhile(Arc::clone(&node)));
                     self.procs[p].tasks.push(Task::CExec(body));
                 }
                 Ok(true)
@@ -802,8 +804,8 @@ impl Simulator {
                     unreachable!("CLoopFor holds a For node");
                 };
                 if self.eval_prog(cond).truthy() == Some(true) {
-                    let (step, body) = (Rc::clone(step), Rc::clone(body));
-                    self.procs[p].tasks.push(Task::CLoopFor(Rc::clone(&node)));
+                    let (step, body) = (Arc::clone(step), Arc::clone(body));
+                    self.procs[p].tasks.push(Task::CLoopFor(Arc::clone(&node)));
                     self.procs[p].tasks.push(Task::CExec(step));
                     self.procs[p].tasks.push(Task::CExec(body));
                 }
@@ -814,10 +816,10 @@ impl Simulator {
                     let CStmt::Repeat { body, .. } = &*node else {
                         unreachable!("CLoopRepeat holds a Repeat node");
                     };
-                    let body = Rc::clone(body);
+                    let body = Arc::clone(body);
                     self.procs[p].tasks.push(Task::CLoopRepeat {
                         remaining: remaining - 1,
-                        node: Rc::clone(&node),
+                        node: Arc::clone(&node),
                     });
                     self.procs[p].tasks.push(Task::CExec(body));
                 }
@@ -827,10 +829,10 @@ impl Simulator {
                 let CStmt::Forever { body } = &*node else {
                     unreachable!("CLoopForever holds a Forever node");
                 };
-                let body = Rc::clone(body);
+                let body = Arc::clone(body);
                 self.procs[p]
                     .tasks
-                    .push(Task::CLoopForever(Rc::clone(&node)));
+                    .push(Task::CLoopForever(Arc::clone(&node)));
                 self.procs[p].tasks.push(Task::CExec(body));
                 Ok(true)
             }
@@ -840,7 +842,7 @@ impl Simulator {
                 } else {
                     self.procs[p].tasks.push(Task::CWaitCheck {
                         cond,
-                        watches: Rc::clone(&watches),
+                        watches: Arc::clone(&watches),
                     });
                     self.procs[p].watches = watches;
                     self.procs[p].status = Status::WaitEvent;
@@ -993,11 +995,11 @@ impl Simulator {
     /// Executes one compiled statement (bytecode mode). Task-push order
     /// matches [`Self::exec_stmt`] arm for arm so step counts and event
     /// ordering are identical across modes.
-    fn exec_cstmt(&mut self, p: usize, node: Rc<CStmt>) -> Result<bool, RunError> {
+    fn exec_cstmt(&mut self, p: usize, node: Arc<CStmt>) -> Result<bool, RunError> {
         match &*node {
             CStmt::Block(stmts) => {
                 for s in stmts.iter().rev() {
-                    self.procs[p].tasks.push(Task::CExec(Rc::clone(s)));
+                    self.procs[p].tasks.push(Task::CExec(Arc::clone(s)));
                 }
                 Ok(true)
             }
@@ -1024,9 +1026,9 @@ impl Simulator {
                 else_s,
             } => {
                 if self.eval_prog(cond).truthy() == Some(true) {
-                    self.procs[p].tasks.push(Task::CExec(Rc::clone(then_s)));
+                    self.procs[p].tasks.push(Task::CExec(Arc::clone(then_s)));
                 } else if let Some(e) = else_s {
-                    self.procs[p].tasks.push(Task::CExec(Rc::clone(e)));
+                    self.procs[p].tasks.push(Task::CExec(Arc::clone(e)));
                 }
                 Ok(true)
             }
@@ -1052,54 +1054,56 @@ impl Simulator {
                         }
                     }
                     if hit {
-                        self.procs[p].tasks.push(Task::CExec(Rc::clone(&arm.body)));
+                        self.procs[p].tasks.push(Task::CExec(Arc::clone(&arm.body)));
                         return Ok(true);
                     }
                 }
                 if let Some(d) = default {
-                    self.procs[p].tasks.push(Task::CExec(Rc::clone(d)));
+                    self.procs[p].tasks.push(Task::CExec(Arc::clone(d)));
                 }
                 Ok(true)
             }
             CStmt::For { init, .. } => {
-                self.procs[p].tasks.push(Task::CLoopFor(Rc::clone(&node)));
-                self.procs[p].tasks.push(Task::CExec(Rc::clone(init)));
+                self.procs[p].tasks.push(Task::CLoopFor(Arc::clone(&node)));
+                self.procs[p].tasks.push(Task::CExec(Arc::clone(init)));
                 Ok(true)
             }
             CStmt::While { .. } => {
-                self.procs[p].tasks.push(Task::CLoopWhile(Rc::clone(&node)));
+                self.procs[p]
+                    .tasks
+                    .push(Task::CLoopWhile(Arc::clone(&node)));
                 Ok(true)
             }
             CStmt::Repeat { count, .. } => {
                 let n = self.eval_prog(count).to_u64_ext().unwrap_or(0);
                 self.procs[p].tasks.push(Task::CLoopRepeat {
                     remaining: n,
-                    node: Rc::clone(&node),
+                    node: Arc::clone(&node),
                 });
                 Ok(true)
             }
             CStmt::Forever { .. } => {
                 self.procs[p]
                     .tasks
-                    .push(Task::CLoopForever(Rc::clone(&node)));
+                    .push(Task::CLoopForever(Arc::clone(&node)));
                 Ok(true)
             }
             CStmt::Delay { amount, stmt } => {
                 let d = self.eval_prog(amount).to_u64_ext().unwrap_or(0);
                 if let Some(s) = stmt {
-                    self.procs[p].tasks.push(Task::CExec(Rc::clone(s)));
+                    self.procs[p].tasks.push(Task::CExec(Arc::clone(s)));
                 }
                 self.schedule_wake(p, self.time + d);
                 Ok(false)
             }
             CStmt::Event { watches, stmt } => {
                 if let Some(s) = stmt {
-                    self.procs[p].tasks.push(Task::CExec(Rc::clone(s)));
+                    self.procs[p].tasks.push(Task::CExec(Arc::clone(s)));
                 }
                 if watches.is_empty() {
                     return Ok(true);
                 }
-                self.procs[p].watches = Rc::clone(watches);
+                self.procs[p].watches = Arc::clone(watches);
                 self.procs[p].status = Status::WaitEvent;
                 Ok(false)
             }
@@ -1109,16 +1113,16 @@ impl Simulator {
                 stmt,
             } => {
                 if let Some(s) = stmt {
-                    self.procs[p].tasks.push(Task::CExec(Rc::clone(s)));
+                    self.procs[p].tasks.push(Task::CExec(Arc::clone(s)));
                 }
                 if self.eval_prog(cond).truthy() == Some(true) {
                     Ok(true)
                 } else {
                     self.procs[p].tasks.push(Task::CWaitCheck {
-                        cond: Rc::clone(cond),
-                        watches: Rc::clone(watches),
+                        cond: Arc::clone(cond),
+                        watches: Arc::clone(watches),
                     });
-                    self.procs[p].watches = Rc::clone(watches);
+                    self.procs[p].watches = Arc::clone(watches);
                     self.procs[p].status = Status::WaitEvent;
                     Ok(false)
                 }

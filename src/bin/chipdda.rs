@@ -8,6 +8,8 @@
 //! chipdda augment <dir-or-file.v> ...   # emit JSONL datasets for Verilog inputs
 //! chipdda sc-check <script.py>          # SiliconCompiler script check + flow summary
 //! chipdda sc-describe <script.py>       # script → natural language (§3.3)
+//! chipdda serve --socket S [...]        # resident augmentation/eval daemon
+//! chipdda call <verb> --socket S [...]  # one request against a running daemon
 //! ```
 
 use chipdda::core::align::{describe_module, render_line_tagged};
@@ -35,6 +37,8 @@ fn main() -> ExitCode {
         "augment" => cmd_augment(&args[1..]),
         "sc-check" => cmd_sc_check(&args[1..]),
         "sc-describe" => cmd_sc_describe(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "call" => cmd_call(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -61,7 +65,25 @@ const USAGE: &str =
   break <file.v> [--max N]      inject repair-training faults (default max 4)
   augment <input.v ...> [--out DIR]  run the full pipeline, write JSONL per task
   sc-check <script.py>          check a SiliconCompiler script; run simulated flow
-  sc-describe <script.py>       describe a SiliconCompiler script in English";
+  sc-describe <script.py>       describe a SiliconCompiler script in English
+  serve --socket S              run the resident daemon (see --help-serve)
+  call <verb> --socket S        send one request to a running daemon
+
+serve options:
+  --socket PATH        Unix socket to listen on (required)
+  --workers N          pool worker threads (default 2)
+  --queue N            bounded queue capacity (default 64)
+  --deadline-ms N      default per-request deadline (default 10000)
+  --model-modules N    corpus size for the startup finetune; 0 = pretrained (default 8)
+  --fault-injection    honor `poison` requests (chaos testing only)
+
+call verbs (all take --socket PATH, optional --priority high, --deadline-ms N):
+  ping | stats | shutdown
+  augment <file.v> [--seed N]
+  generate --prompt TEXT [--instruct TEXT] [--temperature T] [--seed N]
+  repair <file.v> [--budget N]
+  score <file.v> (--problem ID | --testbench <tb.v> [--top NAME])
+  poison";
 
 type CmdResult = Result<ExitCode, Box<dyn std::error::Error>>;
 
@@ -246,5 +268,165 @@ fn cmd_sc_describe(args: &[String]) -> CmdResult {
     let src = fs::read_to_string(path)?;
     let script = chipdda::scscript::parse(&src)?;
     println!("{}", chipdda::scscript::describe(&script));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_serve(args: &[String]) -> CmdResult {
+    use chipdda::serve::service::{ServeOptions, Server};
+    let socket = flag_value(args, "--socket").ok_or("missing --socket PATH")?;
+    let defaults = ServeOptions::default();
+    let opts = ServeOptions {
+        workers: flag_value(args, "--workers")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(defaults.workers),
+        queue_capacity: flag_value(args, "--queue")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(defaults.queue_capacity),
+        default_deadline: flag_value(args, "--deadline-ms")
+            .and_then(|v| v.parse().ok())
+            .map(std::time::Duration::from_millis)
+            .or(defaults.default_deadline),
+        model_modules: flag_value(args, "--model-modules")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(defaults.model_modules),
+        fault_injection: args.iter().any(|a| a == "--fault-injection"),
+        ..defaults
+    };
+    eprintln!(
+        "chipdda serve: listening on {socket} ({} workers, queue {}); \
+         stop with `chipdda call shutdown --socket {socket}`",
+        opts.workers, opts.queue_capacity
+    );
+    let server = Server::start(Path::new(socket), &opts)?;
+    server.join(); // returns after a `shutdown` request has fully drained
+    eprintln!("chipdda serve: drained and stopped");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_call(args: &[String]) -> CmdResult {
+    use chipdda::runtime::Priority;
+    use chipdda::serve::client::Client;
+    use chipdda::serve::proto::{ReqBody, Request, RespBody};
+    let verb = args.first().ok_or("missing verb (see `chipdda help`)")?;
+    let rest = &args[1..];
+    let socket = flag_value(rest, "--socket").ok_or("missing --socket PATH")?;
+    let read_file = |what: &str| -> Result<String, Box<dyn std::error::Error>> {
+        Ok(fs::read_to_string(file_arg(rest, what)?)?)
+    };
+    let body = match verb.as_str() {
+        "ping" => ReqBody::Ping,
+        "stats" => ReqBody::Stats,
+        "shutdown" => ReqBody::Shutdown,
+        "poison" => ReqBody::Poison,
+        "augment" => ReqBody::Augment {
+            name: Path::new(file_arg(rest, "Verilog file")?)
+                .file_stem()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "module".into()),
+            source: read_file("Verilog file")?,
+            seed: flag_value(rest, "--seed")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(2024),
+        },
+        "generate" => ReqBody::Generate {
+            instruct: flag_value(rest, "--instruct")
+                .unwrap_or(chipdda::core::align::ALIGN_INSTRUCT)
+                .to_string(),
+            prompt: flag_value(rest, "--prompt")
+                .ok_or("generate needs --prompt TEXT")?
+                .to_string(),
+            temperature: flag_value(rest, "--temperature")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0.1),
+            seed: flag_value(rest, "--seed")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(99),
+        },
+        "repair" => ReqBody::Repair {
+            name: Path::new(file_arg(rest, "Verilog file")?)
+                .file_stem()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "broken".into()),
+            source: read_file("Verilog file")?,
+            budget: flag_value(rest, "--budget")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(200),
+        },
+        "score" => ReqBody::Score {
+            source: read_file("Verilog file")?,
+            problem: flag_value(rest, "--problem").map(str::to_owned),
+            testbench: match flag_value(rest, "--testbench") {
+                Some(tb_path) => Some(fs::read_to_string(tb_path)?),
+                None => None,
+            },
+            top: flag_value(rest, "--top").unwrap_or("tb").to_string(),
+        },
+        other => return Err(format!("unknown call verb `{other}`").into()),
+    };
+    let req = Request {
+        id: flag_value(rest, "--id")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1),
+        priority: if flag_value(rest, "--priority") == Some("high") {
+            Priority::High
+        } else {
+            Priority::Normal
+        },
+        deadline_ms: flag_value(rest, "--deadline-ms").and_then(|v| v.parse().ok()),
+        body,
+    };
+    let mut client = Client::connect(Path::new(socket))?;
+    let resp = client.call(&req)?;
+    match &resp.body {
+        RespBody::Pong => println!("pong (id {})", resp.id),
+        RespBody::ShuttingDown => println!("daemon is shutting down (id {})", resp.id),
+        RespBody::Stats(s) => {
+            println!("admitted   {}", s.admitted);
+            println!("completed  {}", s.completed);
+            println!("shed       {}", s.shed);
+            println!("timed_out  {}", s.timed_out);
+            println!("panics     {}", s.panics);
+            println!("queue      {}", s.queue_depth);
+            println!(
+                "cache      {} hits / {} misses / {} evictions / {} resident",
+                s.cache_hits, s.cache_misses, s.cache_evictions, s.cache_resident
+            );
+        }
+        RespBody::Augmented {
+            entries,
+            quarantined,
+            jsonl,
+        } => {
+            eprintln!("# {entries} entries, {quarantined} quarantined");
+            print!("{jsonl}");
+        }
+        RespBody::Generated { output } => print!("{output}"),
+        RespBody::Repaired {
+            source,
+            clean,
+            cost,
+        } => {
+            eprintln!(
+                "# {} after {cost} checker calls",
+                if *clean { "clean" } else { "still broken" }
+            );
+            print!("{source}");
+        }
+        RespBody::Scored {
+            verdict,
+            pass_rate,
+            detail,
+        } => {
+            if detail.is_empty() {
+                println!("{verdict}: pass rate {pass_rate:.3}");
+            } else {
+                println!("{verdict}: pass rate {pass_rate:.3} ({detail})");
+            }
+        }
+        RespBody::Error { code, message } => {
+            eprintln!("error [{}]: {message}", code.as_str());
+            return Ok(ExitCode::FAILURE);
+        }
+    }
     Ok(ExitCode::SUCCESS)
 }

@@ -18,6 +18,7 @@
 //! | [`slm`] | `dda-slm` | simulatable LM (finetune = index, generate = retrieve+adapt+corrupt) |
 //! | [`benchmarks`] | `dda-benchmarks` | Thakur-et-al., RTLLM, SiliconCompiler suites |
 //! | [`eval`] | `dda-eval` | pass@k harness regenerating Tables 3–5 |
+//! | [`serve`] | `dda-serve` | resident augmentation/eval daemon (`chipdda serve`) |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@ pub use dda_eval as eval;
 pub use dda_lint as lint;
 pub use dda_runtime as runtime;
 pub use dda_scscript as scscript;
+pub use dda_serve as serve;
 pub use dda_sim as sim;
 pub use dda_slm as slm;
 pub use dda_verilog as verilog;
