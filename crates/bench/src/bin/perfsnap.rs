@@ -10,10 +10,13 @@
 //! paths (retrieval queries and simulator runs) with the recorder
 //! disabled vs enabled, then runs a multi-client storm against an
 //! in-process `dda-serve` daemon (hot-cache and cache-miss profiles,
-//! recording req/s and p50/p99 round-trip latency), and writes the
-//! numbers to `BENCH_PR6.json` (the checked-in snapshot DESIGN.md
-//! §5d–§5g explain how to read; `BENCH_PR3.json`–`BENCH_PR5.json` are
-//! the retained earlier snapshots).
+//! recording req/s and p50/p99 round-trip latency), then times the
+//! `dda-fail` failpoint tax on the pool's submit→execute hot path (two
+//! sites per job; zero when compiled out, one relaxed atomic load per
+//! site when compiled in but disarmed), and writes the numbers to
+//! `BENCH_PR7.json` (the checked-in snapshot DESIGN.md §5d–§5h explain
+//! how to read; `BENCH_PR3.json`–`BENCH_PR6.json` are the retained
+//! earlier snapshots).
 //!
 //! Usage: `cargo run --release -p dda-bench --bin perfsnap [--smoke]`
 //!
@@ -406,6 +409,68 @@ fn serve_section(smoke: bool) -> String {
     )
 }
 
+/// Times the failpoint tax where it lives: the pool's submit→execute
+/// path crosses the `pool.submit` and `pool.exec` sites once per job, so
+/// per-job cost over a storm of no-op jobs bounds what the sites add. In
+/// the default build (`dda_fail::compiled() == false`) the macros expand
+/// to nothing and this records the true baseline — comparing it against
+/// the previous snapshot is the "compiled-out failpoints cost nothing"
+/// check. In a `--features failpoints` build it records the disarmed
+/// cost (one relaxed atomic load per site) and, additionally, the armed
+/// cost under an installed schedule with no matching rules (registry
+/// lock + hit-counter bump per site).
+fn fail_section(smoke: bool) -> String {
+    use dda_runtime::{PoolOptions, Priority, ResidentPool};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let (jobs, reps) = if smoke { (2_000u64, 3) } else { (20_000u64, 7) };
+    let storm = |(): ()| -> u64 {
+        let pool = ResidentPool::new(&PoolOptions {
+            workers: 1,
+            queue_capacity: jobs as usize + 8,
+            ..PoolOptions::default()
+        });
+        let done = Arc::new(AtomicU64::new(0));
+        for _ in 0..jobs {
+            let done = Arc::clone(&done);
+            pool.submit(Priority::Normal, None, move |_t| {
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .expect("fail-section storm job sheds");
+        }
+        pool.join();
+        done.load(Ordering::Relaxed)
+    };
+
+    let (done, disarmed_ms) = best_ms(reps, || storm(()));
+    assert_eq!(done, jobs, "fail-section storm lost jobs");
+    let ns_per_job = |ms: f64| ms * 1e6 / jobs as f64;
+
+    // Armed-but-idle cost is only observable when the sites exist.
+    let armed_json = if dda_fail::compiled() {
+        dda_fail::install(dda_fail::FaultSchedule::new(0)).expect("schedule installs");
+        let (done, armed_ms) = best_ms(reps, || storm(()));
+        dda_fail::deactivate();
+        assert_eq!(done, jobs, "armed fail-section storm lost jobs");
+        format!("{:.1}", ns_per_job(armed_ms))
+    } else {
+        "null".to_string()
+    };
+
+    eprintln!(
+        "[perfsnap] fail: compiled {}, submit+exec {:.1} ns/job disarmed, {armed_json} ns/job armed",
+        dda_fail::compiled(),
+        ns_per_job(disarmed_ms),
+    );
+    format!(
+        "\"fail\": {{ \"compiled\": {}, \"pool_noop_jobs\": {jobs}, \
+         \"submit_exec_ns_per_job\": {{ \"disarmed\": {:.1}, \"armed\": {armed_json} }} }}",
+        dda_fail::compiled(),
+        ns_per_job(disarmed_ms),
+    )
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (cycles, reps) = if smoke { (500, 2) } else { (20_000, 5) };
@@ -431,6 +496,7 @@ fn main() {
     let model = model_section(smoke);
     let obs = obs_section(smoke);
     let serve = serve_section(smoke);
+    let fail = fail_section(smoke);
     // Retrieval guard: the postings path must never fall below half the
     // linear reference's speed (CI runs this in --smoke mode; the real
     // snapshot shows an order of magnitude the other way).
@@ -450,7 +516,7 @@ fn main() {
            \"events_per_sec\": {{ \"ast\": {:.0}, \"bytecode\": {:.0} }},\n  \
            \"speedup_bytecode_over_ast\": {speedup:.2},\n  \
            \"frontend_cache_ms\": {{ \"cold\": {cold_ms:.3}, \"warm\": {warm_ms:.3}, \
-           \"hits\": {}, \"misses\": {} }},\n  {}\n  {}\n  {}\n  \
+           \"hits\": {}, \"misses\": {} }},\n  {}\n  {}\n  {}\n  {}\n  \
            \"smoke\": {smoke}\n}}\n",
         tokens.len(),
         eps(ast_ms),
@@ -460,6 +526,7 @@ fn main() {
         format_args!("{},", model.json),
         format_args!("{obs},"),
         format_args!("{serve},"),
+        format_args!("{fail},"),
     );
 
     eprintln!(
@@ -469,7 +536,7 @@ fn main() {
     if smoke {
         println!("{json}");
     } else {
-        std::fs::write("BENCH_PR6.json", &json).expect("write BENCH_PR6.json");
-        println!("wrote BENCH_PR6.json");
+        std::fs::write("BENCH_PR7.json", &json).expect("write BENCH_PR7.json");
+        println!("wrote BENCH_PR7.json");
     }
 }

@@ -61,12 +61,28 @@ impl Journal {
     ///
     /// Propagates filesystem errors.
     pub fn record(&mut self, unit: usize, payload: &str) -> io::Result<()> {
+        dda_fail::fail_io!("journal.append")?;
         let mut line = String::with_capacity(payload.len() + 32);
         let _ = write!(line, "{{\"unit\": {unit}, \"payload\": \"");
         escape_into(payload, &mut line);
         line.push_str("\"}\n");
         self.out.write_all(line.as_bytes())?;
         self.out.flush()
+    }
+
+    /// Forces everything recorded so far down to the storage device
+    /// (`fdatasync`), not just to the OS page cache.
+    /// [`record`](Journal::record) alone survives a process crash; `sync` is for
+    /// callers that must also survive a host crash before acknowledging
+    /// work (the serve request journal syncs before accepting).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn sync(&mut self) -> io::Result<()> {
+        dda_fail::fail_io!("journal.fsync")?;
+        self.out.flush()?;
+        self.out.get_ref().sync_data()
     }
 
     /// Loads every `(unit, payload)` record from `path`.
@@ -82,25 +98,67 @@ impl Journal {
     pub fn load(path: &Path) -> io::Result<Vec<(usize, String)>> {
         let mut text = String::new();
         File::open(path)?.read_to_string(&mut text)?;
-        let lines: Vec<&str> = text.lines().collect();
-        let mut out = Vec::with_capacity(lines.len());
-        for (i, line) in lines.iter().enumerate() {
-            if line.trim().is_empty() {
-                continue;
-            }
-            match parse_line(line) {
-                Some(rec) => out.push(rec),
-                None if i + 1 == lines.len() => break, // torn tail from a kill
-                None => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("{}: corrupt journal line {}", path.display(), i + 1),
-                    ))
-                }
+        Ok(parse_text(&text, path)?.0)
+    }
+
+    /// Crash-recovery open: loads the records like [`Journal::load`],
+    /// **truncates** a torn final line off the file, and reopens it for
+    /// appending. The truncation is what makes continued appending safe —
+    /// without it, the next record would be glued onto the torn bytes and
+    /// the merged line would read as interior corruption on the *next*
+    /// recovery. A missing file is an empty journal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; reports corrupt non-final lines as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn recover(path: &Path) -> io::Result<(Journal, Vec<(usize, String)>)> {
+        let mut records = Vec::new();
+        if path.exists() {
+            let mut text = String::new();
+            File::open(path)?.read_to_string(&mut text)?;
+            let (recs, good_len) = parse_text(&text, path)?;
+            records = recs;
+            if good_len < text.len() {
+                OpenOptions::new()
+                    .write(true)
+                    .open(path)?
+                    .set_len(good_len as u64)?;
             }
         }
-        Ok(out)
+        Ok((Journal::append(path)?, records))
     }
+}
+
+/// Parses journal text into records plus the byte length of the sound
+/// prefix (everything up to, but excluding, a torn final line).
+fn parse_text(text: &str, path: &Path) -> io::Result<(Vec<(usize, String)>, usize)> {
+    let pieces: Vec<&str> = text.split_inclusive('\n').collect();
+    let mut out = Vec::with_capacity(pieces.len());
+    let mut offset = 0usize;
+    let mut good_len = 0usize;
+    for (i, piece) in pieces.iter().enumerate() {
+        offset += piece.len();
+        let line = piece.trim_end_matches(['\n', '\r']);
+        if line.trim().is_empty() {
+            good_len = offset;
+            continue;
+        }
+        match parse_line(line) {
+            Some(rec) => {
+                out.push(rec);
+                good_len = offset;
+            }
+            None if i + 1 == pieces.len() => break, // torn tail from a kill
+            None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}: corrupt journal line {}", path.display(), i + 1),
+                ))
+            }
+        }
+    }
+    Ok((out, good_len))
 }
 
 /// Escapes `s` per JSON string rules into `out`.
@@ -223,11 +281,56 @@ mod tests {
     }
 
     #[test]
+    fn recover_truncates_the_torn_tail_so_appends_stay_parseable() {
+        let path = tmp("recover");
+        Journal::create(&path).unwrap().record(0, "done").unwrap();
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"unit\": 1, \"payload\": \"half").unwrap();
+        drop(f);
+        // Recover: the torn line is gone from disk, and appending after
+        // recovery starts at a clean record boundary.
+        let (mut j, records) = Journal::recover(&path).unwrap();
+        assert_eq!(records, vec![(0, "done".into())]);
+        j.record(2, "after").unwrap();
+        drop(j);
+        assert_eq!(
+            Journal::load(&path).unwrap(),
+            vec![(0, "done".into()), (2, "after".into())]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn recover_of_a_missing_file_is_an_empty_journal() {
+        let path = tmp("recover-missing");
+        let _ = std::fs::remove_file(&path);
+        let (mut j, records) = Journal::recover(&path).unwrap();
+        assert!(records.is_empty());
+        j.record(0, "first").unwrap();
+        drop(j);
+        assert_eq!(Journal::load(&path).unwrap(), vec![(0, "first".into())]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn corrupt_interior_line_is_a_hard_error() {
         let path = tmp("corrupt");
         std::fs::write(&path, "garbage\n{\"unit\": 0, \"payload\": \"x\"}\n").unwrap();
         let err = Journal::load(&path).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sync_flushes_buffered_records() {
+        let path = tmp("sync");
+        let mut j = Journal::create(&path).unwrap();
+        j.record(0, "durable").unwrap();
+        j.sync().unwrap();
+        // Visible on disk while the journal is still open for writing.
+        assert_eq!(Journal::load(&path).unwrap(), vec![(0, "durable".into())]);
+        drop(j);
         std::fs::remove_file(&path).ok();
     }
 

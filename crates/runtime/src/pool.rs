@@ -179,7 +179,17 @@ impl ResidentPool {
             let interval = opts.watchdog_interval;
             Some(std::thread::spawn(move || {
                 while !shared.watchdog_done.load(Ordering::Acquire) {
-                    shared.inflight.sweep();
+                    // A panicking sweep (possible only via fault
+                    // injection today, but cheap insurance regardless)
+                    // must not kill the watchdog: deadlines would
+                    // silently stop being enforced.
+                    let swept = catch_unwind(AssertUnwindSafe(|| {
+                        dda_fail::fail_point!("pool.watchdog");
+                        shared.inflight.sweep();
+                    }));
+                    if swept.is_err() {
+                        dda_obs::count("pool.watchdog.panicked", 1);
+                    }
                     std::thread::sleep(interval);
                 }
             }))
@@ -209,6 +219,14 @@ impl ResidentPool {
     where
         F: FnOnce(&CancelToken) + Send + 'static,
     {
+        // Failpoint before the queue lock so an injected panic can never
+        // poison the pool mutex; `return` sheds as a synthetic overload.
+        dda_fail::fail_point!(
+            "pool.submit",
+            Err(SubmitError::Overloaded {
+                depth: self.shared.capacity,
+            })
+        );
         let now = Instant::now();
         let queued = Queued {
             job: Box::new(job),
@@ -261,6 +279,30 @@ impl ResidentPool {
         }
     }
 
+    /// Crash-stop: stops admission and discards every queued-but-not-yet
+    /// -running job *without running it*, returning how many were
+    /// dropped. Jobs already executing finish (or panic) on their own.
+    ///
+    /// This models what a process crash does to the queue, which is
+    /// exactly what the serve supervisor needs: the dropped jobs are
+    /// journaled-but-unanswered requests, and the restart path replays
+    /// them. Idempotent; callable from any thread, including a job
+    /// running on the pool.
+    pub fn abort(&self) -> usize {
+        let mut state = self.shared.state.lock().unwrap();
+        state.closed = true;
+        let dropped = state.depth();
+        state.high.clear();
+        state.normal.clear();
+        drop(state);
+        self.shared.takeable.notify_all();
+        if dropped > 0 {
+            dda_obs::count("pool.job.dropped", dropped as u64);
+            dda_obs::gauge("pool.queue.depth", 0);
+        }
+        dropped
+    }
+
     /// Graceful drain: stops admission, runs the backlog dry, joins the
     /// workers and the watchdog.
     pub fn join(mut self) {
@@ -278,14 +320,24 @@ impl ResidentPool {
 impl Drop for ResidentPool {
     fn drop(&mut self) {
         // A dropped pool drains gracefully too, so tests and early-exit
-        // paths never leak worker threads.
+        // paths never leak worker threads. The pool may be dropped *from
+        // one of its own workers* (after `abort`, the last owner of the
+        // enclosing service state can be a job closure being consumed on
+        // a worker thread): a thread cannot join itself, so that handle
+        // is skipped — the thread exits on its own right after this drop.
         self.close();
+        let me = std::thread::current().id();
         for h in self.workers.drain(..) {
+            if h.thread().id() == me {
+                continue;
+            }
             let _ = h.join();
         }
         self.shared.watchdog_done.store(true, Ordering::Release);
         if let Some(w) = self.watchdog.take() {
-            let _ = w.join();
+            if w.thread().id() != me {
+                let _ = w.join();
+            }
         }
     }
 }
@@ -329,7 +381,10 @@ fn worker_loop(worker: usize, shared: &Shared) {
             None => CancelToken::new(),
         };
         shared.inflight.arm(worker, &token);
-        let result = catch_unwind(AssertUnwindSafe(|| (queued.job)(&token)));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            dda_fail::fail_point!("pool.exec");
+            (queued.job)(&token)
+        }));
         shared.inflight.disarm(worker);
         match result {
             Ok(()) => {
@@ -446,6 +501,44 @@ mod tests {
         cv.notify_all();
         pool.join();
         assert_eq!(done.load(Ordering::Relaxed), 5, "backlog was dropped");
+    }
+
+    #[test]
+    fn abort_discards_queue_without_running_it() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let pool = small_pool(1, 64);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        pool.submit(Priority::Normal, None, move |_| {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        })
+        .unwrap();
+        while pool.depth() > 0 {
+            std::thread::yield_now();
+        }
+        for _ in 0..5 {
+            let ran = Arc::clone(&ran);
+            pool.submit(Priority::Normal, None, move |_| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        let dropped = pool.abort();
+        assert_eq!(dropped, 5);
+        assert!(matches!(
+            pool.submit(Priority::Normal, None, |_| {}),
+            Err(SubmitError::Closed)
+        ));
+        assert_eq!(pool.abort(), 0, "abort is idempotent");
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        pool.join();
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "aborted jobs must not run");
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Property tests for [`dda_runtime::ResidentPool`] scheduling
+//! invariants under randomized high-priority storms.
+//!
+//! The two load-bearing promises:
+//!
+//! 1. **Priority**: while nothing has aged out, queued high-priority
+//!    jobs run before queued normal-priority jobs.
+//! 2. **Starvation-freedom (aging)**: a normal-priority job is never
+//!    stuck behind an unbounded storm of high-priority arrivals — once
+//!    it has waited past `age_limit`, it is taken ahead of them.
+//!
+//! The tests randomize storm sizes, worker counts, and job durations;
+//! the invariant checked is a *bound* (the normal job starts within
+//! `age_limit` plus one job-length plus scheduling slack), not an exact
+//! schedule, so the properties hold on loaded CI machines too.
+
+use dda_runtime::{PoolOptions, Priority, ResidentPool};
+use proptest::proptest;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Submits a storm of high-priority jobs around one normal-priority
+/// marker job and returns how long the marker waited to *start*, plus
+/// the number of high jobs that ran before it.
+fn run_storm(workers: usize, storm: usize, job_ms: u64, age_ms: u64) -> (Duration, usize) {
+    let pool = ResidentPool::new(&PoolOptions {
+        workers,
+        queue_capacity: storm + 8,
+        age_limit: Duration::from_millis(age_ms),
+        ..PoolOptions::default()
+    });
+    // Jam every worker so all the interesting jobs queue up behind them;
+    // the gate keeps the jam in place until the full storm is queued.
+    let gate = Arc::new(AtomicBool::new(false));
+    for _ in 0..workers {
+        let gate = Arc::clone(&gate);
+        pool.submit(Priority::High, None, move |_t| {
+            while !gate.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        })
+        .unwrap();
+    }
+
+    let started = Arc::new(Mutex::new(Vec::<(&'static str, Instant)>::new()));
+    let submit = |prio: Priority, tag: &'static str| {
+        let started = Arc::clone(&started);
+        pool.submit(prio, None, move |_t| {
+            started
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push((tag, Instant::now()));
+            std::thread::sleep(Duration::from_millis(job_ms));
+        })
+        .unwrap();
+    };
+
+    // Half the storm lands before the marker, half after: the marker must
+    // overtake the later half once it ages out.
+    for _ in 0..storm / 2 {
+        submit(Priority::High, "high");
+    }
+    submit(Priority::Normal, "marker");
+    let marker_queued = Instant::now();
+    for _ in 0..storm - storm / 2 {
+        submit(Priority::High, "high");
+    }
+
+    gate.store(true, Ordering::Release);
+    pool.join();
+
+    let order = started.lock().unwrap_or_else(|p| p.into_inner());
+    let marker_at = order
+        .iter()
+        .find(|(tag, _)| *tag == "marker")
+        .expect("the marker job must run")
+        .1;
+    let highs_before = order
+        .iter()
+        .filter(|(tag, at)| *tag == "high" && *at < marker_at)
+        .count();
+    (marker_at - marker_queued, highs_before)
+}
+
+proptest! {
+    #[test]
+    fn normal_jobs_age_out_of_a_high_priority_storm(
+        storm in 4usize..24,
+        workers in 1usize..3,
+        job_ms in 1u64..8,
+    ) {
+        let age_ms = 40u64;
+        let (waited, _highs_before) = run_storm(workers, storm, job_ms, age_ms);
+        // Once aged out, the marker is next: it still has to wait for the
+        // jobs already *running* to finish (one job length per worker's
+        // current job), plus scheduling slack for loaded machines.
+        let bound = Duration::from_millis(age_ms + job_ms + 150);
+        assert!(
+            waited <= bound,
+            "normal job starved {waited:?} (bound {bound:?}) \
+             under a {storm}-job high storm ({workers} workers, {job_ms}ms jobs)"
+        );
+    }
+
+    #[test]
+    fn high_priority_jumps_the_queue_before_aging_kicks_in(
+        storm in 2usize..12,
+        job_ms in 1u64..6,
+    ) {
+        // With a huge age limit, raw priority order is observable: every
+        // high job queued *before* the marker must also run before it.
+        let (_waited, highs_before) = run_storm(1, storm, job_ms, 60_000);
+        assert!(
+            highs_before >= storm / 2,
+            "only {highs_before} of {} pre-queued high jobs ran before the \
+             normal marker",
+            storm / 2
+        );
+    }
+}

@@ -1,4 +1,4 @@
-//! A minimal blocking client for the serve protocol.
+//! Blocking clients for the serve protocol.
 //!
 //! [`Client::call`] is the one-shot path (send a request, wait for its
 //! response). The split [`Client::send`]/[`Client::recv`] pair supports
@@ -7,12 +7,24 @@
 //! pipelined requests may arrive out of submission order (the pool
 //! schedules by priority and workers finish independently); match on
 //! [`Response::id`].
+//!
+//! [`RetryingClient`] wraps the raw client with the failure-absorbing
+//! policy a supervised daemon assumes its callers have: seeded jittered
+//! backoff ([`dda_runtime::RetryPolicy`]) on transport failures and on
+//! `overloaded`/`shutdown` responses, automatic reconnection (a daemon
+//! restart invalidates the old socket), and a circuit breaker that stops
+//! hammering a daemon that is clearly down. Because the daemon's
+//! handlers are deterministic and crash recovery may execute a request
+//! whose response frame was lost, re-sending after an ambiguous failure
+//! is safe — the retry just re-derives the same answer.
 
-use crate::proto::{ProtoError, Request, Response};
+use crate::proto::{ErrorCode, ProtoError, Request, RespBody, Response};
 use crate::wire::{read_frame, write_frame, WireError, MAX_FRAME};
+use dda_runtime::RetryPolicy;
 use std::io;
 use std::os::unix::net::UnixStream;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 /// A client-side failure.
 #[derive(Debug)]
@@ -25,6 +37,16 @@ pub enum ClientError {
     Proto(ProtoError),
     /// The server closed the connection before answering.
     Disconnected,
+    /// The circuit breaker is open: recent consecutive transport
+    /// failures crossed the threshold, so no attempt was made.
+    CircuitOpen,
+    /// Every retry attempt failed; `last` is the final failure.
+    Exhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The failure of the last attempt.
+        last: Box<ClientError>,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -34,6 +56,10 @@ impl std::fmt::Display for ClientError {
             ClientError::Wire(e) => write!(f, "wire error: {e}"),
             ClientError::Proto(e) => write!(f, "protocol error: {e}"),
             ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::CircuitOpen => write!(f, "circuit breaker open; request not attempted"),
+            ClientError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts; last error: {last}")
+            }
         }
     }
 }
@@ -106,5 +132,183 @@ impl Client {
     /// frames and disconnect mid-request.
     pub fn stream_mut(&mut self) -> &mut UnixStream {
         &mut self.stream
+    }
+}
+
+/// Retry and circuit-breaker configuration for [`RetryingClient`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryOptions {
+    /// Attempt budget and seeded backoff schedule.
+    pub policy: RetryPolicy,
+    /// Consecutive *transport* failures (connect/io/wire — not
+    /// `overloaded` responses, which prove the daemon is alive) that trip
+    /// the breaker open.
+    pub breaker_threshold: u32,
+    /// How long the breaker stays open before a half-open trial call.
+    pub breaker_cooldown: Duration,
+    /// Socket read timeout per attempt. A response can be lost without
+    /// the connection dying (the daemon crashed after accepting, or an
+    /// injected write fault ate the frame); without a timeout the client
+    /// would block in `recv` forever instead of retrying. `None` waits
+    /// indefinitely.
+    pub attempt_timeout: Option<Duration>,
+}
+
+impl Default for RetryOptions {
+    fn default() -> Self {
+        RetryOptions {
+            policy: RetryPolicy::default(),
+            breaker_threshold: 8,
+            breaker_cooldown: Duration::from_millis(250),
+            attempt_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// A reconnecting client with retries and a circuit breaker.
+///
+/// Each [`call`](RetryingClient::call) makes up to
+/// `policy.max_attempts` tries, sleeping the policy's seeded jittered
+/// backoff between them. An attempt is retried when it fails at the
+/// transport layer (connect refused, io/wire error, disconnect — the
+/// connection is dropped and the next attempt reconnects, which is how a
+/// supervisor-restarted daemon is picked up) or when the daemon answers
+/// `overloaded`/`shutdown` (alive but not accepting; backing off is the
+/// polite response to shedding). If the budget runs out on a structured
+/// `overloaded`/`shutdown` response, that response is returned `Ok` —
+/// the caller sees what the daemon said. If it runs out on a transport
+/// failure, [`ClientError::Exhausted`] carries the last error.
+///
+/// The breaker counts *consecutive transport failures across calls*;
+/// at `breaker_threshold` it opens and calls fail fast with
+/// [`ClientError::CircuitOpen`] (no socket traffic) until
+/// `breaker_cooldown` elapses, after which the next call is a half-open
+/// trial: success closes the breaker, failure re-opens it.
+pub struct RetryingClient {
+    path: PathBuf,
+    opts: RetryOptions,
+    conn: Option<Client>,
+    /// Per-call retry unit, so each call jitters independently.
+    unit: usize,
+    consecutive_failures: u32,
+    open_until: Option<Instant>,
+}
+
+impl RetryingClient {
+    /// Creates a client for the daemon at `path`. No connection is made
+    /// until the first call — the daemon may not even be up yet.
+    pub fn new(path: &Path, opts: RetryOptions) -> RetryingClient {
+        RetryingClient {
+            path: path.to_path_buf(),
+            opts,
+            conn: None,
+            unit: 0,
+            consecutive_failures: 0,
+            open_until: None,
+        }
+    }
+
+    /// Whether the circuit breaker is currently open (calls fail fast).
+    pub fn breaker_open(&self) -> bool {
+        self.open_until.is_some_and(|until| Instant::now() < until)
+    }
+
+    fn note_transport_failure(&mut self) {
+        self.conn = None;
+        self.consecutive_failures += 1;
+        if self.consecutive_failures >= self.opts.breaker_threshold {
+            self.open_until = Some(Instant::now() + self.opts.breaker_cooldown);
+            dda_obs::count("serve.client.breaker.opened", 1);
+        }
+    }
+
+    fn note_contact(&mut self) {
+        // Any decoded response — even `overloaded` — proves the daemon is
+        // alive, which is all the breaker tracks.
+        self.consecutive_failures = 0;
+        self.open_until = None;
+    }
+
+    /// Sends `req` with retries; see the type docs for the policy.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::CircuitOpen`] when failing fast;
+    /// [`ClientError::Exhausted`] when the attempt budget ran out on
+    /// transport failures.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        if self.breaker_open() {
+            return Err(ClientError::CircuitOpen);
+        }
+        let unit = self.unit;
+        self.unit += 1;
+        let attempts = self.opts.policy.max_attempts.max(1);
+        let mut last: Option<ClientError> = None;
+        for attempt in 1..=attempts {
+            if attempt > 1 {
+                std::thread::sleep(self.opts.policy.backoff(unit, attempt - 1));
+                dda_obs::count("serve.client.retry", 1);
+            }
+            let outcome = self.attempt(req);
+            match outcome {
+                Ok(resp) => {
+                    self.note_contact();
+                    let retryable = matches!(
+                        resp.body,
+                        RespBody::Error {
+                            code: ErrorCode::Overloaded | ErrorCode::Shutdown,
+                            ..
+                        }
+                    );
+                    if !retryable || attempt == attempts {
+                        // Out of budget on a structured shed/drain answer:
+                        // hand the daemon's own words to the caller.
+                        return Ok(resp);
+                    }
+                    if matches!(
+                        resp.body,
+                        RespBody::Error {
+                            code: ErrorCode::Shutdown,
+                            ..
+                        }
+                    ) {
+                        // Draining daemon: reconnect next attempt, maybe
+                        // to its supervised successor.
+                        self.conn = None;
+                    }
+                }
+                Err(e) => {
+                    self.note_transport_failure();
+                    if self.breaker_open() {
+                        return Err(ClientError::Exhausted {
+                            attempts: attempt,
+                            last: Box::new(e),
+                        });
+                    }
+                    last = Some(e);
+                }
+            }
+        }
+        Err(ClientError::Exhausted {
+            attempts,
+            last: Box::new(last.unwrap_or(ClientError::Disconnected)),
+        })
+    }
+
+    fn attempt(&mut self, req: &Request) -> Result<Response, ClientError> {
+        if self.conn.is_none() {
+            let mut conn = Client::connect(&self.path)?;
+            conn.stream_mut()
+                .set_read_timeout(self.opts.attempt_timeout)?;
+            self.conn = Some(conn);
+        }
+        let conn = self.conn.as_mut().expect("connection just established");
+        match conn.call(req) {
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
     }
 }

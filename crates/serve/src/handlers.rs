@@ -87,10 +87,12 @@ pub fn execute(cx: &HandlerCx, body: &ReqBody, token: &CancelToken) -> RespBody 
         return err;
     }
     let resp = match body {
-        ReqBody::Ping | ReqBody::Stats | ReqBody::Shutdown => RespBody::Error {
-            code: ErrorCode::BadRequest,
-            message: format!("`{}` is a control verb, not pool work", body.verb()),
-        },
+        ReqBody::Ping | ReqBody::Stats | ReqBody::Health | ReqBody::Ready | ReqBody::Shutdown => {
+            RespBody::Error {
+                code: ErrorCode::BadRequest,
+                message: format!("`{}` is a control verb, not pool work", body.verb()),
+            }
+        }
         ReqBody::Poison => {
             if cx.fault_injection {
                 panic!("poison request (fault injection enabled)");

@@ -1,0 +1,192 @@
+//! Crash-safe request journal for the serve daemon.
+//!
+//! The daemon records every **accepted** data-plane request *before*
+//! dispatching it to the pool, and records an **answered** mark once the
+//! response has been computed. The difference — accepted sequence
+//! numbers with no answered mark — is exactly the work a crash can lose:
+//! jobs sitting in the pool queue when the service loop died, or jobs
+//! admitted but never started. On restart the supervisor replays that
+//! pending set (see [`crate::service::Server`]), so an accepted request
+//! is executed even if the daemon dies before running it.
+//!
+//! The storage layer is the PR 2 write-ahead journal
+//! ([`dda_runtime::Journal`]: flushed JSONL, torn-final-line tolerant),
+//! with the unit number as the acceptance sequence and a one-letter
+//! payload tag:
+//!
+//! ```text
+//! {"unit": 17, "payload": "a {\"ev\": \"score\", \"id\": 3, ...}"}   accepted (wire line)
+//! {"unit": 17, "payload": "d"}                                      answered ("done")
+//! ```
+//!
+//! A record torn by a crash mid-write is dropped by
+//! [`dda_runtime::Journal::load`]; a torn `accepted` record means the
+//! request was never dispatched (the record is written before submit),
+//! and a torn `answered` record means the request replays — both safe,
+//! since handlers are deterministic and replay responses go nowhere.
+
+use dda_runtime::Journal;
+use std::io;
+use std::path::Path;
+
+/// Payload tag for an accepted-request record.
+const TAG_ACCEPTED: char = 'a';
+/// Payload tag for an answered (response computed) record.
+const TAG_ANSWERED: char = 'd';
+
+/// An append-only accepted/answered request journal; see the module docs.
+#[derive(Debug)]
+pub struct RequestJournal {
+    inner: Journal,
+    next_seq: u64,
+}
+
+impl RequestJournal {
+    /// Opens (or creates) the journal at `path` and returns it together
+    /// with the **pending** set: `(seq, wire line)` for every accepted
+    /// request without an answered mark, in acceptance order. New
+    /// acceptances continue the sequence after the highest recovered one.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors; corrupt (non-torn) journal contents surface as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn recover(path: &Path) -> io::Result<(RequestJournal, Vec<(u64, String)>)> {
+        // `Journal::recover` truncates a torn final record off the file,
+        // so this generation's appends start at a record boundary.
+        let (inner, records) = Journal::recover(path)?;
+        let mut pending: Vec<(u64, String)> = Vec::new();
+        let mut next_seq = 0u64;
+        for (unit, payload) in records {
+            let seq = unit as u64;
+            next_seq = next_seq.max(seq + 1);
+            let mut chars = payload.chars();
+            match chars.next() {
+                Some(TAG_ACCEPTED) => {
+                    let line = chars.as_str().strip_prefix(' ').unwrap_or(chars.as_str());
+                    pending.push((seq, line.to_string()));
+                }
+                Some(TAG_ANSWERED) => pending.retain(|(s, _)| *s != seq),
+                _ => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{}: unknown journal tag in {payload:?}", path.display()),
+                    ))
+                }
+            }
+        }
+        Ok((RequestJournal { inner, next_seq }, pending))
+    }
+
+    /// Records an accepted request (its raw wire line) and returns its
+    /// sequence number. Call **before** dispatching the work.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors (the request was *not* journaled).
+    pub fn record_accepted(&mut self, line: &str) -> io::Result<u64> {
+        let seq = self.next_seq;
+        self.inner
+            .record(seq as usize, &format!("{TAG_ACCEPTED} {line}"))?;
+        self.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// Marks `seq` answered: its response has been computed, so a
+    /// restart must not replay it.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors (the request stays pending and would replay).
+    pub fn record_answered(&mut self, seq: u64) -> io::Result<()> {
+        self.inner.record(seq as usize, &TAG_ANSWERED.to_string())
+    }
+
+    /// Forces journaled records to the storage device; see
+    /// [`dda_runtime::Journal::sync`].
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.inner.sync()
+    }
+
+    /// The next acceptance sequence number.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "dda-serve-reqjournal-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn pending_is_accepted_minus_answered() {
+        let path = tmp("pending");
+        {
+            let (mut j, pending) = RequestJournal::recover(&path).unwrap();
+            assert!(pending.is_empty());
+            assert_eq!(
+                j.record_accepted("{\"ev\": \"score\", \"id\": 1}").unwrap(),
+                0
+            );
+            assert_eq!(
+                j.record_accepted("{\"ev\": \"score\", \"id\": 2}").unwrap(),
+                1
+            );
+            assert_eq!(
+                j.record_accepted("{\"ev\": \"score\", \"id\": 3}").unwrap(),
+                2
+            );
+            j.record_answered(1).unwrap();
+        }
+        let (j, pending) = RequestJournal::recover(&path).unwrap();
+        assert_eq!(
+            pending,
+            vec![
+                (0, "{\"ev\": \"score\", \"id\": 1}".to_string()),
+                (2, "{\"ev\": \"score\", \"id\": 3}".to_string()),
+            ]
+        );
+        assert_eq!(j.next_seq(), 3, "sequence continues after recovery");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fully_answered_journal_recovers_empty() {
+        let path = tmp("answered");
+        {
+            let (mut j, _) = RequestJournal::recover(&path).unwrap();
+            for i in 0..4u64 {
+                let seq = j.record_accepted(&format!("line-{i}")).unwrap();
+                j.record_answered(seq).unwrap();
+            }
+            j.sync().unwrap();
+        }
+        let (_, pending) = RequestJournal::recover(&path).unwrap();
+        assert!(pending.is_empty(), "pending: {pending:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_fresh_journal() {
+        let path = tmp("fresh");
+        let (j, pending) = RequestJournal::recover(&path).unwrap();
+        assert!(pending.is_empty());
+        assert_eq!(j.next_seq(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -21,7 +21,17 @@
 //! * **panic isolation** — a poisoned request returns a `panic` error;
 //!   the daemon and its workers survive;
 //! * **graceful drain** — `shutdown` stops admission, finishes admitted
-//!   work, writes every response, then exits.
+//!   work, writes every response, then exits;
+//! * **crash safety** — with a request [`journal`], accepted work
+//!   survives a crash-stop: the next generation replays the
+//!   accepted-but-unanswered suffix ([`service`] docs);
+//! * **self-healing** — a [`supervisor`] restarts crashed generations
+//!   with seeded capped backoff, and [`client::RetryingClient`] gives
+//!   callers the matching retry + circuit-breaker policy;
+//! * **fault injection** — `dda-fail` failpoint sites thread the whole
+//!   stack (wire reads/writes, dispatch, pool, journal, design cache);
+//!   build with `--features failpoints` and drive them from a seeded
+//!   [`dda_fail::FaultSchedule`]. Compiled out otherwise, at zero cost.
 //!
 //! ## Example
 //!
@@ -62,11 +72,15 @@
 
 pub mod client;
 pub mod handlers;
+pub mod journal;
 pub mod proto;
 pub mod service;
+pub mod supervisor;
 pub mod wire;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryOptions, RetryingClient};
+pub use journal::RequestJournal;
 pub use proto::{ErrorCode, ReqBody, Request, RespBody, Response, StatsBody};
-pub use service::{ServeOptions, Server};
+pub use service::{ServeOptions, Server, ServerExit};
+pub use supervisor::{supervise, SupervisorOptions, SupervisorReport};
 pub use wire::{read_frame, write_frame, WireError, MAX_FRAME};

@@ -41,6 +41,12 @@ pub enum ReqBody {
     Ping,
     /// Service/cache/pool counters; answered inline.
     Stats,
+    /// Liveness + provenance probe: uptime, supervisor generation,
+    /// replay count, failpoint build flavor. Answered inline.
+    Health,
+    /// Readiness probe: whether the daemon is accepting data-plane work
+    /// (journal replay submitted, not draining). Answered inline.
+    Ready,
     /// Begin graceful drain; answered inline, then the daemon stops
     /// accepting, finishes admitted work, and exits.
     Shutdown,
@@ -98,6 +104,8 @@ impl ReqBody {
         match self {
             ReqBody::Ping => "ping",
             ReqBody::Stats => "stats",
+            ReqBody::Health => "health",
+            ReqBody::Ready => "ready",
             ReqBody::Shutdown => "shutdown",
             ReqBody::Augment { .. } => "augment",
             ReqBody::Generate { .. } => "generate",
@@ -111,7 +119,10 @@ impl ReqBody {
     /// thread (control plane) rather than queueing it (data plane). The
     /// control plane stays responsive under overload by construction.
     pub fn is_control(&self) -> bool {
-        matches!(self, ReqBody::Ping | ReqBody::Stats | ReqBody::Shutdown)
+        matches!(
+            self,
+            ReqBody::Ping | ReqBody::Stats | ReqBody::Health | ReqBody::Ready | ReqBody::Shutdown
+        )
     }
 }
 
@@ -193,6 +204,12 @@ pub struct StatsBody {
     pub cache_evictions: u64,
     /// Designs resident in the global cache tier.
     pub cache_resident: u64,
+    /// Admitted-but-unstarted jobs discarded by a crash-stop
+    /// ([`crate::service::Server::abort`] / an escaped dispatch panic).
+    /// Their requests sit unanswered in the journal until replay.
+    pub dropped: u64,
+    /// Journaled requests re-executed by startup replay this generation.
+    pub replayed: u64,
 }
 
 /// Response payloads, one per verb (plus the error case).
@@ -204,6 +221,23 @@ pub enum RespBody {
     Stats(StatsBody),
     /// `shutdown` acknowledged; drain begins.
     ShuttingDown,
+    /// `health` answer.
+    Health {
+        /// Milliseconds since this service generation started.
+        uptime_ms: u64,
+        /// Supervisor restart generation (0 = first start).
+        generation: u64,
+        /// Journaled requests replayed when this generation started.
+        replayed: u64,
+        /// Whether the daemon was built with `dda-fail` failpoints.
+        failpoints: bool,
+    },
+    /// `ready` answer.
+    Ready {
+        /// Whether data-plane work is being accepted (startup replay
+        /// fully submitted and not draining/crashed).
+        ready: bool,
+    },
     /// `augment` result.
     Augmented {
         /// Dataset entries produced.
@@ -327,7 +361,12 @@ impl Request {
             ev = ev.u64("deadline_ms", ms);
         }
         ev = match &self.body {
-            ReqBody::Ping | ReqBody::Stats | ReqBody::Shutdown | ReqBody::Poison => ev,
+            ReqBody::Ping
+            | ReqBody::Stats
+            | ReqBody::Health
+            | ReqBody::Ready
+            | ReqBody::Shutdown
+            | ReqBody::Poison => ev,
             ReqBody::Augment { name, source, seed } => ev
                 .str("name", name.clone())
                 .str("source", source.clone())
@@ -387,6 +426,8 @@ impl Request {
         let body = match ev.kind.as_str() {
             "ping" => ReqBody::Ping,
             "stats" => ReqBody::Stats,
+            "health" => ReqBody::Health,
+            "ready" => ReqBody::Ready,
             "shutdown" => ReqBody::Shutdown,
             "poison" => ReqBody::Poison,
             "augment" => ReqBody::Augment {
@@ -472,7 +513,20 @@ impl Response {
                         .u64("cache_hits", s.cache_hits)
                         .u64("cache_misses", s.cache_misses)
                         .u64("cache_evictions", s.cache_evictions)
-                        .u64("cache_resident", s.cache_resident),
+                        .u64("cache_resident", s.cache_resident)
+                        .u64("dropped", s.dropped)
+                        .u64("replayed", s.replayed),
+                    RespBody::Health {
+                        uptime_ms,
+                        generation,
+                        replayed,
+                        failpoints,
+                    } => ev
+                        .u64("uptime_ms", *uptime_ms)
+                        .u64("generation", *generation)
+                        .u64("replayed", *replayed)
+                        .bool("failpoints", *failpoints),
+                    RespBody::Ready { ready } => ev.bool("ready", *ready),
                     RespBody::Augmented {
                         entries,
                         quarantined,
@@ -542,7 +596,18 @@ impl Response {
                     cache_misses: opt_u64(&ev, "cache_misses")?.unwrap_or(0),
                     cache_evictions: opt_u64(&ev, "cache_evictions")?.unwrap_or(0),
                     cache_resident: opt_u64(&ev, "cache_resident")?.unwrap_or(0),
+                    dropped: opt_u64(&ev, "dropped")?.unwrap_or(0),
+                    replayed: opt_u64(&ev, "replayed")?.unwrap_or(0),
                 }),
+                "health" => RespBody::Health {
+                    uptime_ms: opt_u64(&ev, "uptime_ms")?.unwrap_or(0),
+                    generation: opt_u64(&ev, "generation")?.unwrap_or(0),
+                    replayed: opt_u64(&ev, "replayed")?.unwrap_or(0),
+                    failpoints: matches!(ev.field("failpoints"), Some(Value::Bool(true))),
+                },
+                "ready" => RespBody::Ready {
+                    ready: matches!(ev.field("ready"), Some(Value::Bool(true))),
+                },
                 "augment" => RespBody::Augmented {
                     entries: opt_u64(&ev, "entries")?.unwrap_or(0),
                     quarantined: opt_u64(&ev, "quarantined")?.unwrap_or(0),
@@ -665,9 +730,50 @@ mod tests {
     }
 
     #[test]
+    fn health_and_ready_round_trip() {
+        for r in [
+            Request {
+                id: 4,
+                priority: Priority::Normal,
+                deadline_ms: None,
+                body: ReqBody::Health,
+            },
+            Request {
+                id: 5,
+                priority: Priority::High,
+                deadline_ms: None,
+                body: ReqBody::Ready,
+            },
+        ] {
+            assert_eq!(Request::from_line(&r.to_line()).unwrap(), r);
+        }
+        for resp in [
+            Response {
+                id: 4,
+                verb: "health".into(),
+                body: RespBody::Health {
+                    uptime_ms: 1234,
+                    generation: 2,
+                    replayed: 7,
+                    failpoints: true,
+                },
+            },
+            Response {
+                id: 5,
+                verb: "ready".into(),
+                body: RespBody::Ready { ready: false },
+            },
+        ] {
+            assert_eq!(Response::from_line(&resp.to_line()).unwrap(), resp);
+        }
+    }
+
+    #[test]
     fn control_plane_classification() {
         assert!(ReqBody::Ping.is_control());
         assert!(ReqBody::Stats.is_control());
+        assert!(ReqBody::Health.is_control());
+        assert!(ReqBody::Ready.is_control());
         assert!(ReqBody::Shutdown.is_control());
         assert!(!ReqBody::Poison.is_control());
         assert!(!ReqBody::Generate {

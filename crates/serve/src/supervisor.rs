@@ -1,0 +1,102 @@
+//! Crash supervision: restart a crashed daemon with capped backoff.
+//!
+//! [`supervise`] runs [`crate::service::Server`] generations in a loop.
+//! A graceful drain ([`ServerExit::Drained`]) ends supervision; a
+//! crash-stop ([`ServerExit::Crashed`]) sleeps a seeded, capped
+//! exponential backoff ([`dda_runtime::RetryPolicy`] — deterministic,
+//! so a chaos schedule replays with the same restart cadence) and starts
+//! the next generation. With [`crate::service::ServeOptions::journal`]
+//! set, each restart replays the accepted-but-unanswered requests the
+//! previous generation dropped, which is what makes the daemon
+//! *self-healing* rather than merely *restarting*: admitted work
+//! survives the crash.
+//!
+//! The restart budget is bounded ([`SupervisorOptions::max_restarts`]):
+//! a daemon that keeps crashing is eventually left down — crash loops
+//! should page a human, not spin a core.
+
+use crate::service::{ServeOptions, Server, ServerExit};
+use dda_runtime::RetryPolicy;
+use std::io;
+use std::path::Path;
+
+/// Restart policy for [`supervise`].
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorOptions {
+    /// Crash restarts allowed after the initial start (0 disables
+    /// self-healing: the first crash ends supervision).
+    pub max_restarts: u32,
+    /// Backoff slept between a crash and its restart; the delay grows
+    /// exponentially with the number of restarts already spent and is
+    /// clamped at `backoff.max_backoff`. (`max_attempts` is ignored —
+    /// the restart budget is `max_restarts`.)
+    pub backoff: RetryPolicy,
+}
+
+impl Default for SupervisorOptions {
+    fn default() -> Self {
+        SupervisorOptions {
+            max_restarts: 8,
+            backoff: RetryPolicy::default(),
+        }
+    }
+}
+
+/// What a [`supervise`] run did, for logs and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorReport {
+    /// Server generations run (initial start + restarts).
+    pub generations: u64,
+    /// Crash restarts performed.
+    pub restarts: u32,
+    /// How the final generation ended. [`ServerExit::Crashed`] here
+    /// means the restart budget ran out (or a restart itself failed).
+    pub exit: ServerExit,
+}
+
+/// Runs daemon generations at `path` until one drains gracefully or the
+/// restart budget is exhausted. Blocks for the daemon's whole lifetime;
+/// run it on its own thread when the caller also needs to talk to the
+/// daemon.
+///
+/// # Errors
+///
+/// Initial bind/bootstrap failures, and restart failures other than the
+/// crashed socket file (which the probe-bind path reclaims). A restart
+/// failure is an error — unlike a crash, there is no generation left to
+/// limp along on.
+pub fn supervise(
+    path: &Path,
+    opts: &ServeOptions,
+    sup: &SupervisorOptions,
+) -> io::Result<SupervisorReport> {
+    let mut restarts: u32 = 0;
+    let mut server = Server::start(path, opts)?;
+    loop {
+        match server.join_outcome() {
+            ServerExit::Drained => {
+                return Ok(SupervisorReport {
+                    generations: u64::from(restarts) + 1,
+                    restarts,
+                    exit: ServerExit::Drained,
+                })
+            }
+            ServerExit::Crashed => {
+                if restarts >= sup.max_restarts {
+                    dda_obs::count("serve.supervisor.gave_up", 1);
+                    return Ok(SupervisorReport {
+                        generations: u64::from(restarts) + 1,
+                        restarts,
+                        exit: ServerExit::Crashed,
+                    });
+                }
+                restarts += 1;
+                // Seeded backoff: generation-indexed, so a replayed chaos
+                // schedule reproduces the exact restart cadence.
+                std::thread::sleep(sup.backoff.backoff(0, restarts));
+                dda_obs::count("serve.supervisor.restarted", 1);
+                server = Server::start_generation(path, opts, u64::from(restarts))?;
+            }
+        }
+    }
+}

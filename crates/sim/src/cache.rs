@@ -200,7 +200,13 @@ pub fn shared_design(src: &str, top: &str) -> Result<Design, FrontendError> {
         return v;
     }
     let shard = &shards()[(key % SHARDS as u64) as usize];
-    let mut guard = shard.lock().unwrap();
+    // Injected stall *before* the lock: models a slow thread losing the
+    // herd race without suspending everyone behind a held shard mutex.
+    dda_fail::fail_point!("sim.cache.lock");
+    // Poison-tolerant: an injected panic mid-eviction (chaos builds)
+    // leaves the shard consistent — entries are removed one `swap_remove`
+    // at a time — so later requests may keep using it.
+    let mut guard = shard.lock().unwrap_or_else(|p| p.into_inner());
     guard.clock += 1;
     let stamp = guard.clock;
     if let Some(e) = guard
@@ -221,6 +227,7 @@ pub fn shared_design(src: &str, top: &str) -> Result<Design, FrontendError> {
     // block on the lock, then take the hit path above).
     let value = compute(src, top);
     while guard.entries.len() >= SHARD_CAP {
+        dda_fail::fail_point!("sim.cache.evict");
         let oldest = guard
             .entries
             .iter()
@@ -272,7 +279,7 @@ pub fn stats() -> CacheStats {
 pub fn resident() -> usize {
     shards()
         .iter()
-        .map(|s| s.lock().unwrap().entries.len())
+        .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).entries.len())
         .sum()
 }
 
@@ -281,7 +288,11 @@ pub fn resident() -> usize {
 /// deterministic miss-then-hit sequences.
 pub fn clear() {
     for shard in shards() {
-        shard.lock().unwrap().entries.clear();
+        shard
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .entries
+            .clear();
     }
     L1.with(|l1| l1.borrow_mut().0.clear());
 }

@@ -10,6 +10,7 @@
 //! chipdda sc-describe <script.py>       # script → natural language (§3.3)
 //! chipdda serve --socket S [...]        # resident augmentation/eval daemon
 //! chipdda call <verb> --socket S [...]  # one request against a running daemon
+//! chipdda chaos --seed N [--socket S]   # deterministic fault-injection runs
 //! ```
 
 use chipdda::core::align::{describe_module, render_line_tagged};
@@ -39,6 +40,7 @@ fn main() -> ExitCode {
         "sc-describe" => cmd_sc_describe(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "call" => cmd_call(&args[1..]),
+        "chaos" => cmd_chaos(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -68,6 +70,8 @@ const USAGE: &str =
   sc-describe <script.py>       describe a SiliconCompiler script in English
   serve --socket S              run the resident daemon (see --help-serve)
   call <verb> --socket S        send one request to a running daemon
+  chaos --seed N [--socket S]   print a fault schedule; with --socket, run a
+                                supervised daemon under it (failpoints builds)
 
 serve options:
   --socket PATH        Unix socket to listen on (required)
@@ -75,10 +79,21 @@ serve options:
   --queue N            bounded queue capacity (default 64)
   --deadline-ms N      default per-request deadline (default 10000)
   --model-modules N    corpus size for the startup finetune; 0 = pretrained (default 8)
+  --journal PATH       crash-safe request journal; accepted-but-unanswered
+                       requests replay when the daemon restarts
+  --durable            fsync the journal on every acceptance
+  --supervised         restart a crashed service loop in-process
+  --max-restarts N     supervised crash-restart budget (default 8)
   --fault-injection    honor `poison` requests (chaos testing only)
 
+chaos options (accepts every serve option too):
+  --seed N             generate the deterministic schedule for seed N
+  --spec SPEC          use an exact schedule spec (as printed by a red test)
+  --socket PATH        run a --supervised daemon under the armed schedule;
+                       requires a `--features failpoints` build
+
 call verbs (all take --socket PATH, optional --priority high, --deadline-ms N):
-  ping | stats | shutdown
+  ping | stats | health | ready | shutdown
   augment <file.v> [--seed N]
   generate --prompt TEXT [--instruct TEXT] [--temperature T] [--seed N]
   repair <file.v> [--budget N]
@@ -271,11 +286,11 @@ fn cmd_sc_describe(args: &[String]) -> CmdResult {
     Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_serve(args: &[String]) -> CmdResult {
-    use chipdda::serve::service::{ServeOptions, Server};
-    let socket = flag_value(args, "--socket").ok_or("missing --socket PATH")?;
+/// Parses the serve option flags shared by `serve` and `chaos`.
+fn serve_opts_from(args: &[String]) -> chipdda::serve::service::ServeOptions {
+    use chipdda::serve::service::ServeOptions;
     let defaults = ServeOptions::default();
-    let opts = ServeOptions {
+    ServeOptions {
         workers: flag_value(args, "--workers")
             .and_then(|v| v.parse().ok())
             .unwrap_or(defaults.workers),
@@ -289,18 +304,92 @@ fn cmd_serve(args: &[String]) -> CmdResult {
         model_modules: flag_value(args, "--model-modules")
             .and_then(|v| v.parse().ok())
             .unwrap_or(defaults.model_modules),
+        journal: flag_value(args, "--journal").map(std::path::PathBuf::from),
+        durable_journal: args.iter().any(|a| a == "--durable"),
         fault_injection: args.iter().any(|a| a == "--fault-injection"),
         ..defaults
-    };
+    }
+}
+
+/// Runs a supervised daemon lifetime and reports how it went.
+fn run_supervised(socket: &str, args: &[String], label: &str) -> CmdResult {
+    use chipdda::serve::service::ServerExit;
+    use chipdda::serve::supervisor::{supervise, SupervisorOptions};
+    let opts = serve_opts_from(args);
+    let mut sup = SupervisorOptions::default();
+    if let Some(n) = flag_value(args, "--max-restarts").and_then(|v| v.parse().ok()) {
+        sup.max_restarts = n;
+    }
+    let report = supervise(Path::new(socket), &opts, &sup)?;
+    eprintln!(
+        "{label}: {} generation(s), {} crash restart(s), {}",
+        report.generations,
+        report.restarts,
+        match report.exit {
+            ServerExit::Drained => "drained cleanly",
+            ServerExit::Crashed => "crashed with the restart budget exhausted",
+        }
+    );
+    Ok(if report.exit == ServerExit::Drained {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_serve(args: &[String]) -> CmdResult {
+    use chipdda::serve::service::Server;
+    let socket = flag_value(args, "--socket").ok_or("missing --socket PATH")?;
+    let opts = serve_opts_from(args);
     eprintln!(
         "chipdda serve: listening on {socket} ({} workers, queue {}); \
          stop with `chipdda call shutdown --socket {socket}`",
         opts.workers, opts.queue_capacity
     );
+    if args.iter().any(|a| a == "--supervised") {
+        return run_supervised(socket, args, "chipdda serve");
+    }
     let server = Server::start(Path::new(socket), &opts)?;
     server.join(); // returns after a `shutdown` request has fully drained
     eprintln!("chipdda serve: drained and stopped");
     Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_chaos(args: &[String]) -> CmdResult {
+    use chipdda::fail::{self, FaultSchedule};
+    let schedule = match (flag_value(args, "--spec"), flag_value(args, "--seed")) {
+        (Some(spec), _) => FaultSchedule::parse(spec)?,
+        (None, Some(seed)) => {
+            let seed: u64 = seed.parse().map_err(|_| "bad --seed (want a u64)")?;
+            FaultSchedule::generate(seed, fail::SITES)
+        }
+        (None, None) => return Err("chaos needs --seed N or --spec SPEC".into()),
+    };
+    let spec = schedule.to_spec();
+    let Some(socket) = flag_value(args, "--socket") else {
+        // Dry run: print the schedule a red CI seed expands to, in the
+        // exact spec grammar `--spec` accepts for a replay.
+        println!("{spec}");
+        return Ok(ExitCode::SUCCESS);
+    };
+    if !fail::compiled() {
+        return Err("this binary has no failpoints compiled in; \
+             rebuild with `cargo build --features failpoints`"
+            .into());
+    }
+    fail::install(schedule)?;
+    eprintln!("chipdda chaos: armed schedule {spec}");
+    eprintln!("chipdda chaos: supervised daemon on {socket}");
+    let outcome = run_supervised(socket, args, "chipdda chaos");
+    // Read the counters before deactivate() clears the registry.
+    let fired = fail::fired_total();
+    let hits = fail::hit_counts();
+    fail::deactivate();
+    eprintln!("chipdda chaos: {fired} fault(s) fired; site hits:");
+    for (site, count) in hits {
+        eprintln!("chipdda chaos:   {site:<18} {count}");
+    }
+    outcome
 }
 
 fn cmd_call(args: &[String]) -> CmdResult {
@@ -316,6 +405,8 @@ fn cmd_call(args: &[String]) -> CmdResult {
     let body = match verb.as_str() {
         "ping" => ReqBody::Ping,
         "stats" => ReqBody::Stats,
+        "health" => ReqBody::Health,
+        "ready" => ReqBody::Ready,
         "shutdown" => ReqBody::Shutdown,
         "poison" => ReqBody::Poison,
         "augment" => ReqBody::Augment {
@@ -380,12 +471,29 @@ fn cmd_call(args: &[String]) -> CmdResult {
     match &resp.body {
         RespBody::Pong => println!("pong (id {})", resp.id),
         RespBody::ShuttingDown => println!("daemon is shutting down (id {})", resp.id),
+        RespBody::Health {
+            uptime_ms,
+            generation,
+            replayed,
+            failpoints,
+        } => println!(
+            "up {uptime_ms} ms, generation {generation}, {replayed} replayed, failpoints {}",
+            if *failpoints { "compiled" } else { "absent" }
+        ),
+        RespBody::Ready { ready } => {
+            println!("{}", if *ready { "ready" } else { "not ready" });
+            if !ready {
+                return Ok(ExitCode::FAILURE);
+            }
+        }
         RespBody::Stats(s) => {
             println!("admitted   {}", s.admitted);
             println!("completed  {}", s.completed);
             println!("shed       {}", s.shed);
             println!("timed_out  {}", s.timed_out);
             println!("panics     {}", s.panics);
+            println!("dropped    {}", s.dropped);
+            println!("replayed   {}", s.replayed);
             println!("queue      {}", s.queue_depth);
             println!(
                 "cache      {} hits / {} misses / {} evictions / {} resident",

@@ -19,6 +19,7 @@
 //! | [`benchmarks`] | `dda-benchmarks` | Thakur-et-al., RTLLM, SiliconCompiler suites |
 //! | [`eval`] | `dda-eval` | pass@k harness regenerating Tables 3–5 |
 //! | [`serve`] | `dda-serve` | resident augmentation/eval daemon (`chipdda serve`) |
+//! | [`fail`] | `dda-fail` | deterministic fault injection (`chipdda chaos`, `--features failpoints`) |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@ pub use dda_benchmarks as benchmarks;
 pub use dda_core as core;
 pub use dda_corpus as corpus;
 pub use dda_eval as eval;
+pub use dda_fail as fail;
 pub use dda_lint as lint;
 pub use dda_runtime as runtime;
 pub use dda_scscript as scscript;
