@@ -72,9 +72,11 @@ pub fn zoo_from_args() -> ModelZoo {
 /// run. Without both flags the binaries keep their original sequential
 /// code paths, so default output stays byte-identical release to release.
 ///
-/// `--eval-mode ast|bytecode` selects the simulator engine used for
+/// `--eval-mode ast|bytecode|batch` selects the simulator engine used for
 /// testbench scoring (bytecode by default; `ast` reproduces the reference
-/// interpreter for differential runs). Verdicts and scores are identical
+/// interpreter for differential runs; `batch` lane-vectorizes repeat
+/// scoring — pair it with `--runs-per-batch R` to lockstep R copies of a
+/// candidate through one simulation). Verdicts and scores are identical
 /// across engines — only wall-clock differs.
 ///
 /// `--trace-out PATH` and `--metrics` turn the `dda-obs` recorder on:
@@ -88,8 +90,13 @@ pub struct RunFlags {
     pub workers: usize,
     /// Journal path stem (`--resume PATH`); one journal per sweep label.
     pub resume: Option<PathBuf>,
-    /// Simulator engine (`--eval-mode ast|bytecode`; default bytecode).
+    /// Simulator engine (`--eval-mode ast|bytecode|batch`; default
+    /// bytecode).
     pub eval_mode: EvalMode,
+    /// Lanes per batched testbench run (`--runs-per-batch R`; default 1 =
+    /// sequential scoring). Clamped to [`dda_sim::MAX_BATCH_LANES`] by the
+    /// sweeps.
+    pub runs_per_batch: usize,
     /// JSONL trace destination (`--trace-out PATH`); enables the recorder.
     pub trace_out: Option<PathBuf>,
     /// Print an end-of-run metrics summary (`--metrics`); enables the
@@ -111,8 +118,13 @@ impl RunFlags {
             resume: after("--resume").map(PathBuf::from),
             eval_mode: match after("--eval-mode").map(String::as_str) {
                 Some("ast") => EvalMode::Ast,
+                Some("batch") => EvalMode::Batch,
                 _ => EvalMode::Bytecode,
             },
+            runs_per_batch: after("--runs-per-batch")
+                .and_then(|v| v.parse().ok())
+                .filter(|&r: &usize| r >= 1)
+                .unwrap_or(1),
             trace_out: after("--trace-out").map(PathBuf::from),
             metrics: args.iter().any(|a| a == "--metrics"),
         }

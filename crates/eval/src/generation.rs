@@ -11,7 +11,7 @@ use dda_benchmarks::{parse_result, VerilogProblem};
 use dda_core::align::ALIGN_INSTRUCT;
 use dda_runtime::CancelToken;
 use dda_sim::cache::{shared_design, FrontendError};
-use dda_sim::{EvalMode, SimOptions, Simulator};
+use dda_sim::{run_batch, EvalMode, SimOptions, Simulator, MAX_BATCH_LANES};
 use dda_slm::{GenOptions, Slm};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -60,6 +60,12 @@ pub struct GenProtocol {
     /// Simulator execution engine (bytecode by default; `Ast` reproduces
     /// the reference interpreter for differential runs).
     pub eval_mode: EvalMode,
+    /// Simulation lanes per batched testbench run (`--runs-per-batch R`).
+    /// At 1 (the default) every sample scores through the sequential
+    /// scalar path. Above 1, identical candidate sources are scored `R`
+    /// at a time through [`dda_sim::run_batch`]; lane results are
+    /// bit-identical to the sequential path, so cells never change.
+    pub runs_per_batch: usize,
 }
 
 impl Default for GenProtocol {
@@ -69,6 +75,7 @@ impl Default for GenProtocol {
             temperature: 0.1,
             seed: 99,
             eval_mode: EvalMode::default(),
+            runs_per_batch: 1,
         }
     }
 }
@@ -173,6 +180,100 @@ pub fn run_testbench_verdict_with(
     }
 }
 
+/// Scores `runs` copies of the same `generated` candidate against the
+/// problem's testbench in one batched simulation ([`run_batch`] lanes),
+/// returning one verdict per lane.
+///
+/// Lanes are unseeded, so each shares the scalar engine's default
+/// `$random` stream and the verdicts are bit-identical to `runs`
+/// sequential [`run_testbench_verdict_with`] calls. Identical lanes stay
+/// on the batch engine's uniform fast path, which is where the pass@k
+/// sweep's ~R× throughput gain comes from. Frontend failures and caught
+/// panics replicate across all lanes (one bad candidate fails the same
+/// way however many times it is scored).
+pub fn run_testbench_verdicts_batched(
+    problem: &VerilogProblem,
+    generated: &str,
+    runs: usize,
+    opts: &SimOptions,
+) -> Vec<TestbenchVerdict> {
+    let src = format!("{generated}\n{}", problem.testbench);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+        || -> Result<Vec<TestbenchVerdict>, TestbenchVerdict> {
+            let design = shared_design(&src, "tb").map_err(|e| match e {
+                FrontendError::Parse(m) => TestbenchVerdict::ParseError(m),
+                FrontendError::Elab(e) => TestbenchVerdict::ElabError(e.message),
+            })?;
+            let seeds = vec![None; runs];
+            Ok(run_batch(&design, &seeds, opts)
+                .into_iter()
+                .map(|lane| match lane {
+                    Ok(result) => match parse_result(&result.output) {
+                        Some((pass, total)) if total > 0 => {
+                            TestbenchVerdict::Scored(pass as f64 / total as f64)
+                        }
+                        _ => TestbenchVerdict::Scored(0.0),
+                    },
+                    Err(e) => TestbenchVerdict::Timeout(e.to_string()),
+                })
+                .collect())
+        },
+    ));
+    match outcome {
+        Ok(Ok(v)) => v,
+        Ok(Err(v)) => vec![v; runs],
+        Err(payload) => vec![TestbenchVerdict::Crash(panic_message(&payload)); runs],
+    }
+}
+
+/// Best pass rate over a set of lint-clean candidates, scored `R` lanes
+/// at a time when the protocol asks for batching. Shared by the
+/// generation and repair sweeps; the `runs_per_batch == 1` path is the
+/// original sequential loop, untouched.
+pub(crate) fn best_rate_batched(
+    problem: &VerilogProblem,
+    clean: &[String],
+    runs_per_batch: usize,
+    opts: &SimOptions,
+) -> f64 {
+    let mut best: f64 = 0.0;
+    if runs_per_batch <= 1 {
+        for out in clean {
+            let rate = run_testbench_verdict_with(problem, out, opts).pass_rate();
+            if rate > best {
+                best = rate;
+            }
+        }
+        return best;
+    }
+    // Group identical candidates (pass@k at low temperature repeats
+    // sources often) and score each group's copies R lanes per batch.
+    // The simulator is deterministic, so copy-counts cannot change the
+    // max — but every copy still runs, keeping verdict totals and obs
+    // counters faithful to the sequential protocol.
+    let r = runs_per_batch.min(MAX_BATCH_LANES);
+    let mut groups: Vec<(&str, usize)> = Vec::new();
+    for out in clean {
+        match groups.iter_mut().find(|(src, _)| *src == out.as_str()) {
+            Some((_, n)) => *n += 1,
+            None => groups.push((out.as_str(), 1)),
+        }
+    }
+    for (src, mut remaining) in groups {
+        while remaining > 0 {
+            let lanes = remaining.min(r);
+            for v in run_testbench_verdicts_batched(problem, src, lanes, opts) {
+                let rate = v.pass_rate();
+                if rate > best {
+                    best = rate;
+                }
+            }
+            remaining -= lanes;
+        }
+    }
+    best
+}
+
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -214,7 +315,7 @@ pub fn eval_cell_with(
         temperature: protocol.temperature,
     };
     let mut syntax_errors = 0;
-    let mut best_function: f64 = 0.0;
+    let mut clean: Vec<String> = Vec::new();
     for i in 0..protocol.k {
         let mut rng = SmallRng::seed_from_u64(
             protocol
@@ -231,13 +332,11 @@ pub fn eval_cell_with(
             syntax_errors += 1;
             continue;
         }
-        let mut sim_opts = testbench_sim_options(cancel);
-        sim_opts.eval_mode = protocol.eval_mode;
-        let rate = run_testbench_verdict_with(problem, &out, &sim_opts).pass_rate();
-        if rate > best_function {
-            best_function = rate;
-        }
+        clean.push(out);
     }
+    let mut sim_opts = testbench_sim_options(cancel);
+    sim_opts.eval_mode = protocol.eval_mode;
+    let best_function = best_rate_batched(problem, &clean, protocol.runs_per_batch, &sim_opts);
     GenCell {
         syntax_errors,
         best_function,
@@ -328,6 +427,48 @@ mod tests {
         // The reference still scores through the verdict path.
         let v = run_testbench_verdict(p, p.reference);
         assert_eq!(v, TestbenchVerdict::Scored(1.0));
+    }
+
+    #[test]
+    fn batched_scoring_matches_sequential() {
+        let p = &thakur_suite()[0];
+        let constant = "module simple_wire(input in, output out);\nassign out = 1'b0;\nendmodule\n";
+        let opts = testbench_sim_options(&CancelToken::new());
+        // Verdict level: every lane equals the sequential verdict.
+        for candidate in [p.reference, constant] {
+            let seq = run_testbench_verdict_with(p, candidate, &opts);
+            let lanes = run_testbench_verdicts_batched(p, candidate, 4, &opts);
+            assert_eq!(lanes.len(), 4);
+            for v in lanes {
+                assert_eq!(v, seq);
+            }
+        }
+        // Frontend failures replicate across all lanes.
+        let bad = run_testbench_verdicts_batched(p, "module garbage(; endmodule", 3, &opts);
+        assert_eq!(bad.len(), 3);
+        assert!(bad
+            .iter()
+            .all(|v| matches!(v, TestbenchVerdict::ParseError(_))));
+        // Cell level: duplicated candidates group and chunk into R-lane
+        // batches without changing the best rate.
+        let clean: Vec<String> = [
+            constant,
+            p.reference,
+            constant,
+            constant,
+            p.reference,
+            constant,
+            constant,
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let seq = best_rate_batched(p, &clean, 1, &opts);
+        assert!((seq - 1.0).abs() < 1e-9);
+        for r in [2, 4, 64, MAX_BATCH_LANES + 9] {
+            assert_eq!(best_rate_batched(p, &clean, r, &opts), seq);
+        }
+        assert_eq!(best_rate_batched(p, &[], 4, &opts), 0.0);
     }
 
     #[test]

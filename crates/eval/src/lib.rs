@@ -48,7 +48,7 @@ pub use agent::{agent_episode, agent_vs_single, AgentOutcome, AgentProtocol};
 pub use dda_sim::EvalMode;
 pub use generation::{
     eval_cell, eval_suite, run_testbench, run_testbench_verdict, run_testbench_verdict_with,
-    success_rate, GenCell, GenProtocol, GenRow, TestbenchVerdict,
+    run_testbench_verdicts_batched, success_rate, GenCell, GenProtocol, GenRow, TestbenchVerdict,
 };
 pub use models::{ModelId, ModelZoo, ZooOptions};
 pub use repair_eval::{eval_repair, eval_repair_suite, RepairCell, RepairProtocol};

@@ -12,7 +12,10 @@
 use crate::proto::{ErrorCode, ReqBody, RespBody};
 use dda_core::pipeline::{self, PipelineOptions, StageSet};
 use dda_corpus::{CorpusModule, Family};
-use dda_eval::generation::{run_testbench_verdict_with, testbench_sim_options, TestbenchVerdict};
+use dda_eval::generation::{
+    run_testbench_verdict_with, run_testbench_verdicts_batched, testbench_sim_options,
+    TestbenchVerdict,
+};
 use dda_runtime::CancelToken;
 use dda_slm::{GenOptions, Slm, SlmProfile, PROGRESSIVE_ORDER};
 use rand::{rngs::SmallRng, SeedableRng};
@@ -135,12 +138,14 @@ pub fn execute(cx: &HandlerCx, body: &ReqBody, token: &CancelToken) -> RespBody 
             problem,
             testbench,
             top,
+            runs,
         } => run_score(
             cx,
             source,
             problem.as_deref(),
             testbench.as_deref(),
             top,
+            *runs,
             token,
         ),
     };
@@ -182,11 +187,20 @@ fn run_score(
     problem: Option<&str>,
     testbench: Option<&str>,
     top: &str,
+    runs: u64,
     token: &CancelToken,
 ) -> RespBody {
     let opts = testbench_sim_options(token);
+    // `runs > 1` lockstep-scores that many identical lanes on the batch
+    // engine; every lane's verdict is bit-identical to the scalar run, so
+    // the response carries the first verdict plus the lane count.
+    let lanes = runs.clamp(1, dda_sim::MAX_BATCH_LANES as u64) as usize;
     let verdict = match (problem, testbench) {
         (Some(id), None) => match cx.problems.get(id) {
+            Some(p) if lanes > 1 => run_testbench_verdicts_batched(p, source, lanes, &opts)
+                .into_iter()
+                .next()
+                .expect("one verdict per requested lane"),
             Some(p) => run_testbench_verdict_with(p, source, &opts),
             None => {
                 return RespBody::Error {
@@ -195,7 +209,7 @@ fn run_score(
                 }
             }
         },
-        (None, Some(tb)) => score_inline(source, tb, top, &opts),
+        (None, Some(tb)) => score_inline(source, tb, top, lanes, &opts),
         _ => {
             return RespBody::Error {
                 code: ErrorCode::BadRequest,
@@ -221,16 +235,20 @@ fn run_score(
         verdict: verdict_s.to_string(),
         pass_rate: verdict.pass_rate(),
         detail,
+        lanes: lanes as u64,
     }
 }
 
 /// Scores a candidate against an inline testbench by hitting the shared
 /// design cache directly, mirroring `run_testbench_verdict_with` for
-/// sources that aren't part of a registered suite.
+/// sources that aren't part of a registered suite. With `lanes > 1` the
+/// copies run lockstep on the batch engine; lane verdicts are identical,
+/// so the first is returned.
 fn score_inline(
     source: &str,
     testbench: &str,
     top: &str,
+    lanes: usize,
     opts: &dda_sim::SimOptions,
 ) -> TestbenchVerdict {
     use dda_sim::cache::{shared_design, FrontendError};
@@ -242,10 +260,15 @@ fn score_inline(
                 FrontendError::Parse(m) => TestbenchVerdict::ParseError(m),
                 FrontendError::Elab(e) => TestbenchVerdict::ElabError(e.message),
             })?;
-            let mut sim = Simulator::from_design(design);
-            let result = sim
-                .run(opts)
-                .map_err(|e| TestbenchVerdict::Timeout(e.to_string()))?;
+            let run = if lanes > 1 {
+                dda_sim::run_batch(&design, &vec![None; lanes], opts)
+                    .into_iter()
+                    .next()
+                    .expect("one result per requested lane")
+            } else {
+                Simulator::from_design(design).run(opts)
+            };
+            let result = run.map_err(|e| TestbenchVerdict::Timeout(e.to_string()))?;
             Ok(match dda_benchmarks::parse_result(&result.output) {
                 Some((pass, total)) if total > 0 => {
                     TestbenchVerdict::Scored(pass as f64 / total as f64)
@@ -278,15 +301,101 @@ mod tests {
             problem: Some(p.id.to_string()),
             testbench: None,
             top: "tb".to_string(),
+            runs: 1,
         };
         match execute(&cx, &body, &CancelToken::new()) {
             RespBody::Scored {
-                verdict, pass_rate, ..
+                verdict,
+                pass_rate,
+                lanes,
+                ..
             } => {
                 assert_eq!(verdict, "scored");
+                assert_eq!(lanes, 1);
                 assert!((pass_rate - 1.0).abs() < 1e-9, "reference must pass");
             }
             other => panic!("unexpected response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batched_score_matches_scalar() {
+        let cx = cx();
+        let p = cx.problems.values().next().unwrap();
+        let score = |runs: u64| ReqBody::Score {
+            source: p.reference.to_string(),
+            problem: Some(p.id.to_string()),
+            testbench: None,
+            top: "tb".to_string(),
+            runs,
+        };
+        let scalar = execute(&cx, &score(1), &CancelToken::new());
+        match execute(&cx, &score(8), &CancelToken::new()) {
+            RespBody::Scored {
+                verdict,
+                pass_rate,
+                detail,
+                lanes,
+            } => {
+                assert_eq!(lanes, 8);
+                match scalar {
+                    RespBody::Scored {
+                        verdict: sv,
+                        pass_rate: sp,
+                        detail: sd,
+                        lanes: sl,
+                    } => {
+                        assert_eq!((verdict, pass_rate, detail), (sv, sp, sd));
+                        assert_eq!(sl, 1);
+                    }
+                    other => panic!("unexpected scalar response: {other:?}"),
+                }
+            }
+            other => panic!("unexpected batched response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batched_inline_score_matches_scalar() {
+        let cx = cx();
+        let source = "module bw(input in, output out);\nassign out = in;\nendmodule\n";
+        let tb = "module tb;\nreg in; wire out;\nbw dut(.in(in), .out(out));\n\
+                  integer pass; integer total;\ninitial begin\n  pass = 0; total = 0;\n  \
+                  in = 0; #1 total = total + 1; if (out === 1'b0) pass = pass + 1;\n  \
+                  in = 1; #1 total = total + 1; if (out === 1'b1) pass = pass + 1;\n  \
+                  $display(\"RESULT %0d %0d\", pass, total);\n  $finish;\nend\nendmodule\n";
+        let score = |runs: u64| ReqBody::Score {
+            source: source.to_string(),
+            problem: None,
+            testbench: Some(tb.to_string()),
+            top: "tb".to_string(),
+            runs,
+        };
+        for runs in [4u64, 64] {
+            match (
+                execute(&cx, &score(1), &CancelToken::new()),
+                execute(&cx, &score(runs), &CancelToken::new()),
+            ) {
+                (
+                    RespBody::Scored {
+                        verdict: sv,
+                        pass_rate: sp,
+                        detail: sd,
+                        ..
+                    },
+                    RespBody::Scored {
+                        verdict,
+                        pass_rate,
+                        detail,
+                        lanes,
+                    },
+                ) => {
+                    assert_eq!(lanes, runs);
+                    assert_eq!((verdict, pass_rate, detail), (sv, sp, sd));
+                    assert!((pass_rate - 1.0).abs() < 1e-9);
+                }
+                other => panic!("unexpected responses: {other:?}"),
+            }
         }
     }
 
@@ -297,6 +406,7 @@ mod tests {
             problem: Some("no_such_problem".into()),
             testbench: None,
             top: "tb".into(),
+            runs: 1,
         };
         match execute(&cx(), &body, &CancelToken::new()) {
             RespBody::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),

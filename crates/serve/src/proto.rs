@@ -91,6 +91,12 @@ pub enum ReqBody {
         testbench: Option<String>,
         /// Top module of the inline testbench (default `tb`).
         top: String,
+        /// Simulation lanes to score in one batched run (default 1 =
+        /// scalar scoring; clamped to [`dda_sim::MAX_BATCH_LANES`] at
+        /// decode time). Lane results are bit-identical to scalar runs;
+        /// the field exists to exercise and benchmark the batch engine
+        /// through the daemon.
+        runs: u64,
     },
     /// Deliberately panics the worker. Only honored when the service was
     /// started with fault injection enabled (chaos tests / storm bench);
@@ -271,6 +277,9 @@ pub enum RespBody {
         pass_rate: f64,
         /// Failure detail (empty for `scored`).
         detail: String,
+        /// Simulation lanes actually scored (1 for scalar runs; echoes a
+        /// batched request's `runs`).
+        lanes: u64,
     },
     /// Any verb's failure.
     Error {
@@ -394,6 +403,7 @@ impl Request {
                 problem,
                 testbench,
                 top,
+                runs,
             } => {
                 let mut ev = ev.str("source", source.clone());
                 if let Some(p) = problem {
@@ -401,6 +411,11 @@ impl Request {
                 }
                 if let Some(t) = testbench {
                     ev = ev.str("testbench", t.clone());
+                }
+                // `runs: 1` stays off the wire so pre-batch frames (and
+                // their goldens) are byte-identical.
+                if *runs != 1 {
+                    ev = ev.u64("runs", *runs);
                 }
                 ev.str("top", top.clone())
             }
@@ -458,6 +473,9 @@ impl Request {
                     problem,
                     testbench,
                     top: opt_str(&ev, "top")?.unwrap_or_else(|| "tb".to_string()),
+                    runs: opt_u64(&ev, "runs")?
+                        .unwrap_or(1)
+                        .clamp(1, dda_sim::MAX_BATCH_LANES as u64),
                 }
             }
             other => return Err(bad(format!("unknown verb `{other}`"))),
@@ -548,10 +566,18 @@ impl Response {
                         verdict,
                         pass_rate,
                         detail,
-                    } => ev
-                        .str("verdict", verdict.clone())
-                        .f64("pass_rate", *pass_rate)
-                        .str("detail", detail.clone()),
+                        lanes,
+                    } => {
+                        let ev = ev
+                            .str("verdict", verdict.clone())
+                            .f64("pass_rate", *pass_rate)
+                            .str("detail", detail.clone());
+                        if *lanes != 1 {
+                            ev.u64("lanes", *lanes)
+                        } else {
+                            ev
+                        }
+                    }
                     RespBody::Error { .. } => unreachable!("handled above"),
                 }
             }
@@ -625,6 +651,7 @@ impl Response {
                     verdict: req_str(&ev, "verdict")?,
                     pass_rate: opt_f64(&ev, "pass_rate")?.unwrap_or(0.0),
                     detail: opt_str(&ev, "detail")?.unwrap_or_default(),
+                    lanes: opt_u64(&ev, "lanes")?.unwrap_or(1),
                 },
                 other => return Err(bad(format!("unknown response verb `{other}`"))),
             },
@@ -666,6 +693,19 @@ mod tests {
                     problem: Some("simple_wire".into()),
                     testbench: None,
                     top: "tb".into(),
+                    runs: 1,
+                },
+            },
+            Request {
+                id: 4,
+                priority: Priority::Normal,
+                deadline_ms: None,
+                body: ReqBody::Score {
+                    source: "module m(input a, output b);\nassign b = a;\nendmodule".into(),
+                    problem: Some("simple_wire".into()),
+                    testbench: None,
+                    top: "tb".into(),
+                    runs: 8,
                 },
             },
         ];
@@ -690,6 +730,17 @@ mod tests {
                     verdict: "scored".into(),
                     pass_rate: 0.5,
                     detail: String::new(),
+                    lanes: 1,
+                },
+            },
+            Response {
+                id: 3,
+                verb: "score".into(),
+                body: RespBody::Scored {
+                    verdict: "scored".into(),
+                    pass_rate: 1.0,
+                    detail: String::new(),
+                    lanes: 8,
                 },
             },
             Response::error(9, "augment", ErrorCode::Overloaded, "pool queue full"),
@@ -716,6 +767,34 @@ mod tests {
                 Request::from_line(bad_line).is_err(),
                 "accepted {bad_line:?}"
             );
+        }
+    }
+
+    #[test]
+    fn score_runs_is_lenient_and_clamped() {
+        // Absent on old-client frames: defaults to 1 (scalar scoring).
+        let line = "{\"ev\": \"score\", \"id\": 1, \"source\": \"m\", \"problem\": \"p\"}";
+        match Request::from_line(line).unwrap().body {
+            ReqBody::Score { runs, .. } => assert_eq!(runs, 1),
+            other => panic!("{other:?}"),
+        }
+        // Oversized asks clamp to the engine's lane ceiling; zero means 1.
+        for (asked, want) in [(0u64, 1u64), (7, 7), (10_000, 64)] {
+            let line = format!(
+                "{{\"ev\": \"score\", \"id\": 1, \"source\": \"m\", \
+                 \"problem\": \"p\", \"runs\": {asked}}}"
+            );
+            match Request::from_line(&line).unwrap().body {
+                ReqBody::Score { runs, .. } => assert_eq!(runs, want, "asked {asked}"),
+                other => panic!("{other:?}"),
+            }
+        }
+        // Old-server responses without `lanes` decode to 1.
+        let line = "{\"ev\": \"response\", \"id\": 1, \"verb\": \"score\", \
+                    \"status\": \"ok\", \"verdict\": \"scored\", \"pass_rate\": 1}";
+        match Response::from_line(line).unwrap().body {
+            RespBody::Scored { lanes, .. } => assert_eq!(lanes, 1),
+            other => panic!("{other:?}"),
         }
     }
 

@@ -64,6 +64,7 @@ fn quick_score(tag: usize) -> ReqBody {
              $display(\"RESULT %0d %0d\", pass, total);\n  $finish;\nend\nendmodule\n"
         )),
         top: "tb".to_string(),
+        runs: 1,
     }
 }
 

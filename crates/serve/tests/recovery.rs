@@ -86,6 +86,7 @@ fn quick_score(tag: usize) -> ReqBody {
              $display(\"RESULT %0d %0d\", pass, total);\n  $finish;\nend\nendmodule\n"
         )),
         top: "tb".to_string(),
+        runs: 1,
     }
 }
 
@@ -103,6 +104,7 @@ fn slow_score(tag: usize) -> ReqBody {
              $display(\"RESULT 1 1\");\n  $finish;\nend\nendmodule\n"
         )),
         top: "tb".to_string(),
+        runs: 1,
     }
 }
 

@@ -58,6 +58,7 @@ fn quick_score(tag: usize) -> ReqBody {
              $display(\"RESULT %0d %0d\", pass, total);\n  $finish;\nend\nendmodule\n"
         )),
         top: "tb".to_string(),
+        runs: 1,
     }
 }
 
@@ -74,6 +75,7 @@ fn slow_score(tag: usize) -> ReqBody {
              $display(\"RESULT 1 1\");\n  $finish;\nend\nendmodule\n"
         )),
         top: "tb".to_string(),
+        runs: 1,
     }
 }
 

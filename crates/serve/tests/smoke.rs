@@ -38,6 +38,7 @@ fn mixed_request(client: u64, i: u64) -> Request {
                  $display(\"RESULT %0d %0d\", pass, total);\n  $finish;\nend\nendmodule\n"
             )),
             top: "tb".to_string(),
+            runs: 1,
         },
         1 => ReqBody::Generate {
             instruct: "give me the Verilog module of this description.".to_string(),

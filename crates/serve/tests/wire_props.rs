@@ -137,9 +137,16 @@ proptest! {
         prop_assert_eq!(back, req);
     }
 
-    /// Score requests round-trip with inline testbenches.
+    /// Score requests round-trip with inline testbenches, at every legal
+    /// batch width (the decoder clamps `runs` into [1, 64], so only
+    /// in-range values are codec-exact).
     #[test]
-    fn score_round_trip(source in "\\PC{0,120}", tb in "\\PC{0,120}", top in "[a-z_]{1,12}") {
+    fn score_round_trip(
+        source in "\\PC{0,120}",
+        tb in "\\PC{0,120}",
+        top in "[a-z_]{1,12}",
+        runs in 1u64..65,
+    ) {
         let req = Request {
             id: 1,
             priority: Priority::Normal,
@@ -149,6 +156,7 @@ proptest! {
                 problem: None,
                 testbench: Some(tb),
                 top,
+                runs,
             },
         };
         let back = Request::from_line(&req.to_line()).unwrap();

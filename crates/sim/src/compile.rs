@@ -26,6 +26,7 @@ use dda_verilog::consteval::is_const_expr;
 use dda_verilog::printer::print_expr;
 use dda_verilog::{Expr, LogicVec, PackedVec};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// A flat register program for one expression evaluation.
@@ -111,6 +112,39 @@ pub(crate) enum Instr {
         dst: usize,
         expr: Arc<Expr>,
         ctx: usize,
+    },
+    /// Fused load+binary superinstruction (peephole, see [`fuse_prog`]):
+    /// the signal value feeds the operator without staging in a register.
+    /// `swapped` puts the load on the right-hand side.
+    LoadBin {
+        dst: usize,
+        sig: SigId,
+        op: BinaryOp,
+        b: usize,
+        swapped: bool,
+        signed: bool,
+    },
+    /// Fused binary-with-immediate superinstruction (peephole): shifts and
+    /// masks by constants skip the per-eval `Const` register clone.
+    /// `swapped` puts the immediate on the left-hand side.
+    BinImm {
+        dst: usize,
+        op: BinaryOp,
+        a: usize,
+        imm: PackedVec,
+        swapped: bool,
+        signed: bool,
+    },
+    /// Fused compare+select superinstruction (peephole): the comparison
+    /// drives the mux directly, skipping the 1-bit condition register.
+    CmpMux {
+        dst: usize,
+        op: BinaryOp,
+        a: usize,
+        b: usize,
+        signed: bool,
+        t: usize,
+        f: usize,
     },
 }
 
@@ -282,6 +316,244 @@ pub(crate) fn compile_design(design: &Design) -> CompiledDesign {
     }
 }
 
+/// Process-global switch for the superinstruction peepholes. On by
+/// default; [`set_fusion`] exists for A/B measurement and debugging.
+///
+/// Note the switch is consulted at *compile* time: designs whose bytecode
+/// is already cached (the shared design cache, or a `Design` whose
+/// `compiled()` cell is populated) keep the programs they were compiled
+/// with. Benchmarks comparing both settings must compile fresh designs.
+static FUSION: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables superinstruction fusion for subsequent compiles.
+pub fn set_fusion(enabled: bool) {
+    FUSION.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether superinstruction fusion is currently enabled.
+pub fn fusion_enabled() -> bool {
+    FUSION.load(Ordering::Relaxed)
+}
+
+/// Peephole pass producing fused superinstructions.
+///
+/// Programs are SSA by construction (`ExprCompiler` allocates a fresh
+/// register per value), so each register has exactly one defining
+/// instruction and a countable number of readers. Three rewrites, each
+/// applied only when the producer's value has exactly one reader (and is
+/// not the program result):
+///
+/// * **compare+select** — a comparison feeding a `Mux` condition becomes
+///   [`Instr::CmpMux`].
+/// * **load+bin** — a full-signal `Load` feeding a `Bin` operand becomes
+///   [`Instr::LoadBin`].
+/// * **const+bin** — a `Const` feeding a `Bin` operand (shift amounts,
+///   masks, addends) becomes [`Instr::BinImm`].
+///
+/// All rewrites reorder nothing observable: instruction programs are pure
+/// over the store, and `$random` (the only stateful instruction) is never
+/// part of a fused pair, so values and side-effect order are identical to
+/// the unfused program. The Ast-vs-Bytecode equivalence batteries run with
+/// fusion on and guard exactly that.
+fn fuse_prog(prog: ExprProg) -> ExprProg {
+    let instrs = prog.instrs;
+    let n = instrs.len();
+    let mut uses = vec![0u32; prog.nregs.max(prog.out + 1)];
+    let mut def: Vec<Option<usize>> = vec![None; uses.len()];
+    uses[prog.out] += 1;
+    for (i, ins) in instrs.iter().enumerate() {
+        for r in instr_operands(ins) {
+            uses[r] += 1;
+        }
+        def[instr_dst(ins)] = Some(i);
+    }
+    let once = |r: usize| uses[r] == 1;
+    let mut deleted = vec![false; n];
+    let mut fused: Vec<Option<Instr>> = (0..n).map(|_| None).collect();
+    // Pass 1: compare+select. Claims the compare before the load/const
+    // peepholes can, matching the listed priority.
+    for i in 0..n {
+        let Instr::Mux { dst, cond, t, f } = &instrs[i] else {
+            continue;
+        };
+        let Some(j) = def[*cond] else { continue };
+        if !once(*cond) || deleted[j] {
+            continue;
+        }
+        if let Instr::Bin {
+            op, a, b, signed, ..
+        } = &instrs[j]
+        {
+            if is_cmp_op(*op) {
+                deleted[j] = true;
+                fused[i] = Some(Instr::CmpMux {
+                    dst: *dst,
+                    op: *op,
+                    a: *a,
+                    b: *b,
+                    signed: *signed,
+                    t: *t,
+                    f: *f,
+                });
+            }
+        }
+    }
+    // Pass 2: load+bin and const+bin on the surviving plain Bins.
+    for i in 0..n {
+        if deleted[i] || fused[i].is_some() {
+            continue;
+        }
+        let Instr::Bin {
+            dst,
+            op,
+            a,
+            b,
+            signed,
+        } = &instrs[i]
+        else {
+            continue;
+        };
+        let (dst, op, a, b, signed) = (*dst, *op, *a, *b, *signed);
+        let candidate = |r: usize, deleted: &[bool], fused: &[Option<Instr>]| -> Option<usize> {
+            let j = def[r]?;
+            (once(r) && !deleted[j] && fused[j].is_none()).then_some(j)
+        };
+        let mut pick: Option<(usize, Instr)> = None;
+        if let Some(j) = candidate(a, &deleted, &fused) {
+            if let Instr::Load { sig, .. } = &instrs[j] {
+                pick = Some((
+                    j,
+                    Instr::LoadBin {
+                        dst,
+                        sig: *sig,
+                        op,
+                        b,
+                        swapped: false,
+                        signed,
+                    },
+                ));
+            }
+        }
+        if pick.is_none() {
+            if let Some(j) = candidate(b, &deleted, &fused) {
+                match &instrs[j] {
+                    Instr::Load { sig, .. } => {
+                        pick = Some((
+                            j,
+                            Instr::LoadBin {
+                                dst,
+                                sig: *sig,
+                                op,
+                                b: a,
+                                swapped: true,
+                                signed,
+                            },
+                        ));
+                    }
+                    Instr::Const { v, .. } => {
+                        pick = Some((
+                            j,
+                            Instr::BinImm {
+                                dst,
+                                op,
+                                a,
+                                imm: v.clone(),
+                                swapped: false,
+                                signed,
+                            },
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if pick.is_none() {
+            if let Some(j) = candidate(a, &deleted, &fused) {
+                if let Instr::Const { v, .. } = &instrs[j] {
+                    pick = Some((
+                        j,
+                        Instr::BinImm {
+                            dst,
+                            op,
+                            a: b,
+                            imm: v.clone(),
+                            swapped: true,
+                            signed,
+                        },
+                    ));
+                }
+            }
+        }
+        if let Some((j, ins)) = pick {
+            deleted[j] = true;
+            fused[i] = Some(ins);
+        }
+    }
+    let out: Vec<Instr> = instrs
+        .into_vec()
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| !deleted[*i])
+        .map(|(i, ins)| fused[i].take().unwrap_or(ins))
+        .collect();
+    ExprProg {
+        instrs: out.into_boxed_slice(),
+        out: prog.out,
+        nregs: prog.nregs,
+    }
+}
+
+fn is_cmp_op(op: BinaryOp) -> bool {
+    use BinaryOp::*;
+    matches!(op, Eq | Ne | CaseEq | CaseNe | Lt | Gt | Le | Ge)
+}
+
+fn instr_dst(ins: &Instr) -> usize {
+    match ins {
+        Instr::Const { dst, .. }
+        | Instr::Load { dst, .. }
+        | Instr::LoadBit { dst, .. }
+        | Instr::LoadSlice { dst, .. }
+        | Instr::LoadWordConst { dst, .. }
+        | Instr::LoadWord { dst, .. }
+        | Instr::LoadBitDyn { dst, .. }
+        | Instr::SliceReg { dst, .. }
+        | Instr::Resize { dst, .. }
+        | Instr::Un { dst, .. }
+        | Instr::Bin { dst, .. }
+        | Instr::Mux { dst, .. }
+        | Instr::Concat { dst, .. }
+        | Instr::Repl { dst, .. }
+        | Instr::Rand { dst }
+        | Instr::Time { dst }
+        | Instr::Fallback { dst, .. }
+        | Instr::LoadBin { dst, .. }
+        | Instr::BinImm { dst, .. }
+        | Instr::CmpMux { dst, .. } => *dst,
+    }
+}
+
+fn instr_operands(ins: &Instr) -> Vec<usize> {
+    match ins {
+        Instr::Const { .. }
+        | Instr::Load { .. }
+        | Instr::LoadBit { .. }
+        | Instr::LoadSlice { .. }
+        | Instr::LoadWordConst { .. }
+        | Instr::Rand { .. }
+        | Instr::Time { .. }
+        | Instr::Fallback { .. } => Vec::new(),
+        Instr::LoadWord { idx, .. } | Instr::LoadBitDyn { idx, .. } => vec![*idx],
+        Instr::SliceReg { a, .. } | Instr::Resize { a, .. } | Instr::Un { a, .. } => vec![*a],
+        Instr::Bin { a, b, .. } => vec![*a, *b],
+        Instr::Mux { cond, t, f, .. } => vec![*cond, *t, *f],
+        Instr::Concat { parts, .. } | Instr::Repl { parts, .. } => parts.to_vec(),
+        Instr::LoadBin { b, .. } => vec![*b],
+        Instr::BinImm { a, .. } => vec![*a],
+        Instr::CmpMux { a, b, t, f, .. } => vec![*a, *b, *t, *f],
+    }
+}
+
 struct Cx<'a> {
     probe: &'a Simulator,
     nregs: usize,
@@ -296,10 +568,15 @@ impl Cx<'_> {
         };
         let (out, _) = c.compile(e, ctx);
         self.nregs = self.nregs.max(c.next);
-        ExprProg {
+        let prog = ExprProg {
             instrs: c.instrs.into_boxed_slice(),
             out,
             nregs: c.next,
+        };
+        if fusion_enabled() {
+            fuse_prog(prog)
+        } else {
+            prog
         }
     }
 
@@ -1160,6 +1437,60 @@ impl fmt::Display for ExprProg {
                 Instr::Fallback { dst, expr, ctx } => {
                     writeln!(f, "r{dst} <- interp[{ctx}] {}", print_expr(expr))?
                 }
+                Instr::LoadBin {
+                    dst,
+                    sig,
+                    op,
+                    b,
+                    swapped,
+                    signed,
+                } => {
+                    let (lhs, rhs) = if *swapped {
+                        (format!("r{b}"), format!("s{sig}"))
+                    } else {
+                        (format!("s{sig}"), format!("r{b}"))
+                    };
+                    writeln!(
+                        f,
+                        "r{dst} <- loadbin {lhs} {} {rhs}{}",
+                        op.as_str(),
+                        if *signed { " signed" } else { "" }
+                    )?
+                }
+                Instr::BinImm {
+                    dst,
+                    op,
+                    a,
+                    imm,
+                    swapped,
+                    signed,
+                } => {
+                    let (lhs, rhs) = if *swapped {
+                        (format!("{imm}"), format!("r{a}"))
+                    } else {
+                        (format!("r{a}"), format!("{imm}"))
+                    };
+                    writeln!(
+                        f,
+                        "r{dst} <- binimm {lhs} {} {rhs}{}",
+                        op.as_str(),
+                        if *signed { " signed" } else { "" }
+                    )?
+                }
+                Instr::CmpMux {
+                    dst,
+                    op,
+                    a,
+                    b,
+                    signed,
+                    t,
+                    f: fr,
+                } => writeln!(
+                    f,
+                    "r{dst} <- cmpmux (r{a} {} r{b}{}) ? r{t} : r{fr}",
+                    op.as_str(),
+                    if *signed { " signed" } else { "" }
+                )?,
             }
         }
         write!(f, "ret r{}", self.out)

@@ -40,6 +40,12 @@ pub enum EvalMode {
     /// checked against the interpreter by the dual-mode tests).
     #[default]
     Bytecode,
+    /// Batch-vectorized lockstep execution across R same-design runs (see
+    /// [`crate::batch::BatchSim`]). A scalar [`Simulator`] asked to run in
+    /// this mode silently executes single-lane bytecode — the mode only
+    /// changes behaviour for the batch driver, which retires diverged
+    /// lanes back onto the scalar engine.
+    Batch,
 }
 
 /// Limits for one simulation run.
@@ -134,7 +140,7 @@ impl Error for RunError {}
 /// period balances overhead (one atomic load per poll) against detection
 /// latency for slow-burn bodies whose individual statements are
 /// expensive (wide-vector ops run ~µs–ms per statement).
-const WALL_POLL_PERIOD: u64 = 1024;
+pub(crate) const WALL_POLL_PERIOD: u64 = 1024;
 
 #[derive(Debug, Clone)]
 #[allow(clippy::large_enum_variant)]
@@ -202,9 +208,9 @@ enum Status {
 /// optional edge requirement.
 #[derive(Debug, Clone)]
 pub(crate) struct SensWatch {
-    sig: SigId,
-    bit: Option<usize>,
-    edge: Option<Edge>,
+    pub(crate) sig: SigId,
+    pub(crate) bit: Option<usize>,
+    pub(crate) edge: Option<Edge>,
 }
 
 #[derive(Debug)]
@@ -279,6 +285,11 @@ pub struct Simulator {
     /// `mem::take` during evaluation, so programs never observe each
     /// other's registers — they are written before read anyway).
     scratch: Vec<PackedVec>,
+    /// Recycled future-map buckets (see [`SimArena`]): `BTreeMap` nodes
+    /// cannot retain capacity across inserts, but their `Vec` payloads can.
+    bucket_pool: Vec<Vec<FutureEvent>>,
+    /// Fused superinstructions executed (reported to dda-obs per run).
+    pub(crate) fused_hits: u64,
     vcd: Option<crate::vcd::VcdRecorder>,
 }
 
@@ -333,6 +344,8 @@ impl Simulator {
             mode: EvalMode::default(),
             compiled: None,
             scratch: Vec::new(),
+            bucket_pool: Vec::new(),
+            fused_hits: 0,
             vcd: None,
         }
     }
@@ -468,10 +481,18 @@ impl Simulator {
 
     fn start(&mut self, mode: EvalMode) {
         self.started = true;
-        self.mode = mode;
-        if mode == EvalMode::Bytecode {
+        // A scalar simulator asked for batch mode runs plain bytecode: the
+        // batch driver owns lane orchestration, and its retired lanes land
+        // here expecting bytecode semantics.
+        self.mode = if mode == EvalMode::Batch {
+            EvalMode::Bytecode
+        } else {
+            mode
+        };
+        if self.mode == EvalMode::Bytecode {
             let compiled = self.design.compiled();
-            self.scratch = vec![PackedVec::default(); compiled.nregs];
+            self.scratch.clear();
+            self.scratch.resize(compiled.nregs, PackedVec::default());
             // Swap the AST body seeds for their compiled forms (continuous
             // processes have no body and keep their empty task stack).
             for (i, cp) in compiled.procs.iter().enumerate() {
@@ -514,7 +535,7 @@ impl Simulator {
         if dda_obs::enabled() {
             dda_obs::count(
                 match self.mode {
-                    EvalMode::Bytecode => "sim.run.bytecode",
+                    EvalMode::Bytecode | EvalMode::Batch => "sim.run.bytecode",
                     EvalMode::Ast => "sim.run.ast",
                 },
                 1,
@@ -522,9 +543,15 @@ impl Simulator {
         }
         let mut steps: u64 = 0;
         let result = self.run_loop(opts, &mut steps);
-        if dda_obs::enabled() && steps > 0 {
-            dda_obs::count("sim.steps", steps);
+        if dda_obs::enabled() {
+            if steps > 0 {
+                dda_obs::count("sim.steps", steps);
+            }
+            if self.fused_hits > 0 {
+                dda_obs::count("sim.fused.hits", self.fused_hits);
+            }
         }
+        self.fused_hits = 0;
         result
     }
 
@@ -578,8 +605,8 @@ impl Simulator {
             // retire statements.
             self.check_wall(opts)?;
             self.time = t;
-            let events = self.future.remove(&t).unwrap_or_default();
-            for ev in events {
+            let mut events = self.future.remove(&t).unwrap_or_default();
+            for ev in events.drain(..) {
                 match ev {
                     FutureEvent::Wake(p) => {
                         if self.procs[p].status == Status::WaitTime {
@@ -589,6 +616,9 @@ impl Simulator {
                     }
                     FutureEvent::Nba(t, v) => self.nba.push((t, v)),
                 }
+            }
+            if self.bucket_pool.len() < 64 {
+                self.bucket_pool.push(events);
             }
         }
         Ok(SimResult {
@@ -660,7 +690,7 @@ impl Simulator {
                     return Ok(());
                 }
                 let task = match self.mode {
-                    EvalMode::Bytecode => {
+                    EvalMode::Bytecode | EvalMode::Batch => {
                         let body = self
                             .compiled
                             .as_ref()
@@ -1160,10 +1190,8 @@ impl Simulator {
                 Ok(true)
             }
             (AssignKind::NonBlocking, Some(d)) => {
-                self.future
-                    .entry(self.time + d)
-                    .or_default()
-                    .push(FutureEvent::Nba(target, value));
+                let t = self.time + d;
+                self.future_push(t, FutureEvent::Nba(target, value));
                 Ok(true)
             }
         }
@@ -1244,44 +1272,60 @@ impl Simulator {
                     a,
                     b,
                     signed,
+                } => (*dst, apply_bin(*op, &regs[*a], &regs[*b], *signed)),
+                Instr::LoadBin {
+                    dst,
+                    sig,
+                    op,
+                    b,
+                    swapped,
+                    signed,
                 } => {
-                    use BinaryOp::*;
-                    let (x, y) = (&regs[*a], &regs[*b]);
-                    let v = match op {
-                        Add => x.add(y),
-                        Sub => x.sub(y),
-                        Mul => x.mul(y),
-                        Div => x.div(y),
-                        Mod => x.rem(y),
-                        Pow => x.pow(y),
-                        Shl => x.shl(y),
-                        Shr => x.shr(y),
-                        AShr => {
-                            if *signed {
-                                x.ashr(y)
-                            } else {
-                                x.shr(y)
-                            }
-                        }
-                        Eq => x.log_eq(y),
-                        Ne => x.log_ne(y),
-                        CaseEq => PackedVec::from_bool(x.case_eq(y)),
-                        CaseNe => PackedVec::from_bool(!x.case_eq(y)),
-                        Lt => x.cmp_lt(y, *signed),
-                        Gt => y.cmp_lt(x, *signed),
-                        Le => y.cmp_lt(x, *signed).log_not(),
-                        Ge => x.cmp_lt(y, *signed).log_not(),
-                        BitAnd => x.bit_and(y),
-                        BitOr => x.bit_or(y),
-                        BitXor => x.bit_xor(y),
-                        BitXnor => x.bit_xnor(y),
-                        LogicAnd => x.log_and(y),
-                        LogicOr => x.log_or(y),
+                    self.fused_hits += 1;
+                    let s = &self.store[*sig];
+                    let v = if *swapped {
+                        apply_bin(*op, &regs[*b], s, *signed)
+                    } else {
+                        apply_bin(*op, s, &regs[*b], *signed)
+                    };
+                    (*dst, v)
+                }
+                Instr::BinImm {
+                    dst,
+                    op,
+                    a,
+                    imm,
+                    swapped,
+                    signed,
+                } => {
+                    self.fused_hits += 1;
+                    let v = if *swapped {
+                        apply_bin(*op, imm, &regs[*a], *signed)
+                    } else {
+                        apply_bin(*op, &regs[*a], imm, *signed)
                     };
                     (*dst, v)
                 }
                 Instr::Mux { dst, cond, t, f } => {
                     let v = match regs[*cond].truthy() {
+                        Some(true) => regs[*t].clone(),
+                        Some(false) => regs[*f].clone(),
+                        None => regs[*t].ternary_merge(&regs[*f]),
+                    };
+                    (*dst, v)
+                }
+                Instr::CmpMux {
+                    dst,
+                    op,
+                    a,
+                    b,
+                    signed,
+                    t,
+                    f,
+                } => {
+                    self.fused_hits += 1;
+                    let cond = apply_bin(*op, &regs[*a], &regs[*b], *signed);
+                    let v = match cond.truthy() {
                         Some(true) => regs[*t].clone(),
                         Some(false) => regs[*f].clone(),
                         None => regs[*t].ternary_merge(&regs[*f]),
@@ -1371,7 +1415,21 @@ impl Simulator {
 
     fn schedule_wake(&mut self, p: usize, t: u64) {
         self.procs[p].status = Status::WaitTime;
-        self.future.entry(t).or_default().push(FutureEvent::Wake(p));
+        self.future_push(t, FutureEvent::Wake(p));
+    }
+
+    /// Inserts a future event, reusing a pooled bucket for new time slots
+    /// so repeated runs through a [`SimArena`] stop allocating.
+    fn future_push(&mut self, t: u64, ev: FutureEvent) {
+        use std::collections::btree_map::Entry;
+        match self.future.entry(t) {
+            Entry::Occupied(mut e) => e.get_mut().push(ev),
+            Entry::Vacant(e) => {
+                let mut bucket = self.bucket_pool.pop().unwrap_or_default();
+                bucket.push(ev);
+                e.insert(bucket);
+            }
+        }
     }
 
     fn exec_syscall(&mut self, p: usize, name: &str, args: &[Expr]) {
@@ -1422,7 +1480,7 @@ impl Simulator {
         }
     }
 
-    fn format_args(&self, args: &[Expr]) -> String {
+    pub(crate) fn format_args(&self, args: &[Expr]) -> String {
         let mut out = String::new();
         if args.is_empty() {
             return out;
@@ -1699,7 +1757,184 @@ impl Simulator {
     }
 }
 
-fn watch_matches(w: &SensWatch, old: &PackedVec, new: &PackedVec) -> bool {
+/// Applies a compiled binary operator exactly as the bytecode engine does
+/// (shared by the scalar `Bin` arm, the fused superinstructions, and the
+/// batch engine's per-lane lifts).
+pub(crate) fn apply_bin(op: BinaryOp, x: &PackedVec, y: &PackedVec, signed: bool) -> PackedVec {
+    use BinaryOp::*;
+    match op {
+        Add => x.add(y),
+        Sub => x.sub(y),
+        Mul => x.mul(y),
+        Div => x.div(y),
+        Mod => x.rem(y),
+        Pow => x.pow(y),
+        Shl => x.shl(y),
+        Shr => x.shr(y),
+        AShr => {
+            if signed {
+                x.ashr(y)
+            } else {
+                x.shr(y)
+            }
+        }
+        Eq => x.log_eq(y),
+        Ne => x.log_ne(y),
+        CaseEq => PackedVec::from_bool(x.case_eq(y)),
+        CaseNe => PackedVec::from_bool(!x.case_eq(y)),
+        Lt => x.cmp_lt(y, signed),
+        Gt => y.cmp_lt(x, signed),
+        Le => y.cmp_lt(x, signed).log_not(),
+        Ge => x.cmp_lt(y, signed).log_not(),
+        BitAnd => x.bit_and(y),
+        BitOr => x.bit_or(y),
+        BitXor => x.bit_xor(y),
+        BitXnor => x.bit_xnor(y),
+        LogicAnd => x.log_and(y),
+        LogicOr => x.log_or(y),
+    }
+}
+
+/// Initial scheduling configuration of one process, as [`Simulator`]'s
+/// `make_proc` derives it — shared with the batch driver so lane processes
+/// arm identically to scalar ones.
+pub(crate) struct ProcSeed {
+    pub(crate) ready: bool,
+    pub(crate) watches: Arc<[SensWatch]>,
+    pub(crate) rearm: Option<Arc<[SensWatch]>>,
+    pub(crate) free_running: bool,
+    pub(crate) is_initial: bool,
+    pub(crate) is_continuous: bool,
+}
+
+pub(crate) fn proc_seed(p: &Process, design: &Design) -> ProcSeed {
+    match &p.kind {
+        ProcessKind::Initial => ProcSeed {
+            ready: true,
+            watches: Vec::new().into(),
+            rearm: None,
+            free_running: false,
+            is_initial: true,
+            is_continuous: false,
+        },
+        ProcessKind::Always(sens) => {
+            let watches: Arc<[SensWatch]> = compile_sens(sens, design).into();
+            let free_running = watches.is_empty();
+            ProcSeed {
+                ready: free_running,
+                watches: Arc::clone(&watches),
+                rearm: Some(watches),
+                free_running,
+                is_initial: false,
+                is_continuous: false,
+            }
+        }
+        ProcessKind::Continuous { lhs, rhs } => {
+            let mut reads = Vec::new();
+            collect_expr_reads(rhs, &mut reads);
+            collect_lhs_index_reads(lhs, &mut reads);
+            let watches: Arc<[SensWatch]> = reads
+                .iter()
+                .filter_map(|n| {
+                    design.index.get(n).map(|id| SensWatch {
+                        sig: *id,
+                        bit: None,
+                        edge: None,
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into();
+            ProcSeed {
+                ready: true,
+                watches: Arc::clone(&watches),
+                rearm: Some(watches),
+                free_running: false,
+                is_initial: false,
+                is_continuous: true,
+            }
+        }
+    }
+}
+
+/// Recycled scheduler allocations for back-to-back runs of fresh
+/// [`Simulator`]s over the same (or different) designs.
+///
+/// A pass@k sweep builds one simulator per candidate; each run grows the
+/// ready deque, the future-map buckets, and the NBA/pending vectors from
+/// empty. An arena lends those containers to a simulator before `run` and
+/// reclaims them (cleared, capacity kept) afterwards, so steady-state sweep
+/// iterations stop hitting the allocator for scheduler state.
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sf = dda_verilog::parse(
+///     "module t; initial $finish; endmodule")?;
+/// let mut arena = dda_sim::SimArena::new();
+/// for _ in 0..3 {
+///     let mut sim = dda_sim::Simulator::new(&sf, "t")?;
+///     arena.lend(&mut sim);
+///     let r = sim.run(&dda_sim::SimOptions::default())?;
+///     arena.reclaim(&mut sim);
+///     assert!(r.finished);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct SimArena {
+    ready: VecDeque<usize>,
+    buckets: Vec<Vec<FutureEvent>>,
+    nba: Vec<(WriteTarget, PackedVec)>,
+    pending: Vec<(SigId, PackedVec, PackedVec)>,
+    scratch: Vec<PackedVec>,
+}
+
+/// How many future-map buckets the arena keeps between runs.
+const ARENA_BUCKET_CAP: usize = 64;
+
+impl SimArena {
+    /// An empty arena; containers grow on first use and are kept after.
+    pub fn new() -> SimArena {
+        SimArena::default()
+    }
+
+    /// Moves the arena's containers into `sim`. Call before `run` on a
+    /// freshly built simulator.
+    pub fn lend(&mut self, sim: &mut Simulator) {
+        std::mem::swap(&mut sim.ready, &mut self.ready);
+        std::mem::swap(&mut sim.bucket_pool, &mut self.buckets);
+        std::mem::swap(&mut sim.nba, &mut self.nba);
+        std::mem::swap(&mut sim.pending, &mut self.pending);
+        std::mem::swap(&mut sim.scratch, &mut self.scratch);
+    }
+
+    /// Takes the containers back (cleared, capacity retained) so the next
+    /// simulator reuses their allocations.
+    pub fn reclaim(&mut self, sim: &mut Simulator) {
+        std::mem::swap(&mut sim.ready, &mut self.ready);
+        std::mem::swap(&mut sim.bucket_pool, &mut self.buckets);
+        std::mem::swap(&mut sim.nba, &mut self.nba);
+        std::mem::swap(&mut sim.pending, &mut self.pending);
+        std::mem::swap(&mut sim.scratch, &mut self.scratch);
+        self.ready.clear();
+        self.nba.clear();
+        self.pending.clear();
+        // Registers hold run values; drop them but keep the outer buffer.
+        self.scratch.clear();
+        // Buckets still parked in the future map (quiescent runs leave
+        // none; budget trips can) join the pool up to the cap.
+        for (_, mut b) in std::mem::take(&mut sim.future) {
+            if self.buckets.len() >= ARENA_BUCKET_CAP {
+                break;
+            }
+            b.clear();
+            self.buckets.push(b);
+        }
+        self.buckets.truncate(ARENA_BUCKET_CAP);
+    }
+}
+
+pub(crate) fn watch_matches(w: &SensWatch, old: &PackedVec, new: &PackedVec) -> bool {
     match w.edge {
         None => {
             if let Some(b) = w.bit {

@@ -1,0 +1,218 @@
+//! Observability reconciliation for the batch engine (PR-8 satellite):
+//! the counters a batched run records in `dda_obs` — batches launched,
+//! lanes launched, divergence fallbacks, fused-instruction hits — must
+//! reconcile *exactly* with the [`BatchReport`] the run returns, on the
+//! uniform fast path, under forced divergence, and on the static-scan
+//! fallback. A final test guards the fusion switch itself: compiling with
+//! fusion off must produce identical results and zero fused hits.
+//!
+//! The recorder is process-global, so every test takes `OBS_LOCK` and
+//! starts from `dda_obs::reset()` (the same discipline as
+//! `crates/core/tests/obs_reconcile.rs`).
+
+use dda_sim::{
+    elaborate, fusion_enabled, set_fusion, BatchReport, BatchSim, Design, SimOptions, SimResult,
+    Simulator,
+};
+use std::sync::{Mutex, MutexGuard};
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes recorder access and hands back a clean, enabled recorder.
+fn recorder() -> MutexGuard<'static, ()> {
+    let guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    dda_obs::reset();
+    dda_obs::enable();
+    guard
+}
+
+fn design(src: &str, top: &str) -> Design {
+    let sf = dda_verilog::parse(src).expect("parses");
+    elaborate(&sf, top).expect("elaborates")
+}
+
+fn scalar_run(d: &Design) -> SimResult {
+    Simulator::from_design(d.clone())
+        .run(&SimOptions::default())
+        .expect("scalar run")
+}
+
+/// Deterministic clocked fixture whose expressions hit all three fusion
+/// peepholes: a comparison feeding a ternary (compare+select), signal
+/// loads feeding adds (load+bin), and constant addends (const+bin).
+const FUSABLE_SRC: &str = "module tb;\n\
+     reg clk = 0; reg [7:0] a = 3, b = 7; reg [15:0] acc = 0;\n\
+     always #5 clk = ~clk;\n\
+     always @(posedge clk) begin\n\
+       acc <= acc + ((a < b) ? {8'd0, a} : {8'd0, b}) + 16'd3;\n\
+       a <= a + 8'd5;\n\
+       b <= b + 8'd1;\n\
+     end\n\
+     initial begin #105 $display(\"acc=%0d a=%0d b=%0d\", acc, a, b); $finish; end\n\
+     endmodule";
+
+/// Uniform fast path: one batch, R lanes, no fallbacks, and the
+/// fused-hit count equals a single scalar run's — lockstep executes each
+/// fused instruction once for the whole batch, not once per lane.
+#[test]
+fn uniform_batch_counters_reconcile_with_report() {
+    let d = design(FUSABLE_SRC, "tb");
+    let _g = recorder();
+
+    let want = scalar_run(&d);
+    let scalar_snap = dda_obs::snapshot();
+    let scalar_fused = scalar_snap.counter("sim.fused.hits");
+    assert!(scalar_fused > 0, "fixture must hit fused superinstructions");
+    assert_eq!(scalar_snap.counter("sim.run.bytecode"), 1);
+    assert_eq!(scalar_snap.counter("sim.run.batch"), 0);
+
+    dda_obs::reset();
+    dda_obs::enable();
+    let mut batch = BatchSim::new(d.clone(), vec![None; 6]);
+    let results = batch.run(&SimOptions::default());
+    for (lane, got) in results.iter().enumerate() {
+        assert_eq!(got.as_ref().expect("lane runs"), &want, "lane {lane}");
+    }
+    assert_eq!(
+        batch.report(),
+        &BatchReport {
+            lanes: 6,
+            lockstep_completed: 6,
+            diverged: 0,
+            unsupported: false,
+        }
+    );
+
+    let snap = dda_obs::snapshot();
+    assert_eq!(snap.counter("sim.run.batch"), 1);
+    assert_eq!(snap.counter("sim.batch.lanes"), 6);
+    assert_eq!(snap.counter("sim.batch.fallback"), 0);
+    assert_eq!(
+        snap.counter("sim.run.bytecode"),
+        0,
+        "no lane retired, so no scalar reruns"
+    );
+    assert_eq!(
+        snap.counter("sim.fused.hits"),
+        scalar_fused,
+        "uniform lockstep executes each fused instruction once per batch"
+    );
+    dda_obs::disable();
+}
+
+/// Forced divergence: distinct `$random` seeds branch differently, so
+/// disagreeing lanes retire to the scalar engine. The fallback counter
+/// must equal the report's `diverged`, and each retired lane shows up as
+/// exactly one scalar bytecode rerun.
+#[test]
+fn diverging_batch_fallbacks_reconcile_with_report() {
+    let src = "module tb;\n\
+         reg [31:0] r;\n\
+         initial begin\n\
+           r = $random;\n\
+           if (r[0]) $display(\"odd %h\", r);\n\
+           else $display(\"even %h\", r);\n\
+           $finish;\n\
+         end\n\
+         endmodule";
+    let d = design(src, "tb");
+    let _g = recorder();
+
+    let seeds: Vec<Option<u64>> = (0..8).map(Some).collect();
+    let mut batch = BatchSim::new(d, seeds);
+    let results = batch.run(&SimOptions::default());
+    assert_eq!(results.len(), 8);
+    for (lane, got) in results.iter().enumerate() {
+        assert!(got.is_ok(), "lane {lane}: {got:?}");
+    }
+    let report = batch.report().clone();
+    assert!(!report.unsupported);
+    assert_eq!(report.lanes, 8);
+    assert_eq!(report.lockstep_completed + report.diverged, 8);
+    assert!(report.diverged > 0, "fixture must force a divergent branch");
+
+    let snap = dda_obs::snapshot();
+    assert_eq!(snap.counter("sim.run.batch"), 1);
+    assert_eq!(snap.counter("sim.batch.lanes"), 8);
+    assert_eq!(snap.counter("sim.batch.fallback"), report.diverged as u64);
+    assert_eq!(
+        snap.counter("sim.run.bytecode"),
+        report.diverged as u64,
+        "each retired lane reruns exactly once on the scalar engine"
+    );
+    dda_obs::disable();
+}
+
+/// Static-scan fallback (`$monitor`): every lane runs scalar, and the
+/// fallback counter says so — `lanes` fallbacks, `lanes` scalar reruns,
+/// zero fused hits from the (never-started) lockstep core.
+#[test]
+fn unsupported_design_fallback_reconciles_with_report() {
+    let src = "module tb;\n\
+         reg [3:0] n = 0;\n\
+         initial begin $monitor(\"n=%0d\", n); n = 1; #1 n = 2; #1 $finish; end\n\
+         endmodule";
+    let d = design(src, "tb");
+    let _g = recorder();
+
+    let mut batch = BatchSim::new(d, vec![None, Some(1), Some(2)]);
+    let results = batch.run(&SimOptions::default());
+    assert_eq!(results.len(), 3);
+    for got in &results {
+        assert!(got.is_ok(), "{got:?}");
+    }
+    assert_eq!(
+        batch.report(),
+        &BatchReport {
+            lanes: 3,
+            lockstep_completed: 0,
+            diverged: 0,
+            unsupported: true,
+        }
+    );
+
+    let snap = dda_obs::snapshot();
+    assert_eq!(snap.counter("sim.run.batch"), 1);
+    assert_eq!(snap.counter("sim.batch.lanes"), 3);
+    assert_eq!(snap.counter("sim.batch.fallback"), 3);
+    assert_eq!(snap.counter("sim.run.bytecode"), 3);
+    dda_obs::disable();
+}
+
+/// Restores fusion even when an assertion in the test body fails, so a
+/// red test can't leak a fusion-off compiler into the other tests.
+struct FusionOn;
+impl Drop for FusionOn {
+    fn drop(&mut self) {
+        set_fusion(true);
+    }
+}
+
+/// The fusion switch itself: a design compiled with fusion off must
+/// produce a bit-identical result with zero fused hits, and the switch is
+/// consulted at compile time (fresh designs per setting). Runs under
+/// `OBS_LOCK` because flipping the process-global switch mid-compile
+/// would perturb the fused-hit reconciliation above.
+#[test]
+fn fusion_off_is_equivalent_and_records_no_hits() {
+    let _g = recorder();
+    assert!(fusion_enabled(), "fusion ships enabled");
+
+    let fused = scalar_run(&design(FUSABLE_SRC, "tb"));
+    let fused_snap = dda_obs::snapshot();
+    assert!(fused_snap.counter("sim.fused.hits") > 0);
+
+    dda_obs::reset();
+    dda_obs::enable();
+    set_fusion(false);
+    let _restore = FusionOn;
+    let plain = scalar_run(&design(FUSABLE_SRC, "tb"));
+    let plain_snap = dda_obs::snapshot();
+    assert_eq!(
+        plain_snap.counter("sim.fused.hits"),
+        0,
+        "fusion-off compile must emit no superinstructions"
+    );
+    assert_eq!(plain, fused, "fusion changed observable behaviour");
+    dda_obs::disable();
+}

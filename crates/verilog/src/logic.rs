@@ -1211,6 +1211,420 @@ impl PackedVec {
     }
 }
 
+/// Maximum lane count of a [`PackedBatch`]; divergence masks are one `u64`.
+pub const MAX_BATCH_LANES: usize = 64;
+
+/// A batch of `lanes` equal-width four-state vectors advanced in lockstep.
+///
+/// Two representations, switched transparently:
+///
+/// - **Uniform** — every lane holds the identical value, so operations run
+///   once for all lanes. This is the common case for batched pass@k runs of
+///   a deterministic design, and is where the ~R× throughput comes from.
+/// - **Varied** — word-major interleaved bitplanes: word `w` of lane `l`
+///   lives at index `w * lanes + l`, so the inner loop of a bitwise op
+///   advances 64 bits across all R lanes over consecutive memory.
+///
+/// Bitwise AND/OR/XOR/XNOR/NOT are vectorized over the interleaved words
+/// using the exact same plane combinators as [`PackedVec`]; every other
+/// operation lifts the scalar op per lane via [`PackedBatch::map1`] /
+/// [`PackedBatch::map2`], which guarantees bit-identity with sequential
+/// execution by construction. [`PackedBatch::from_lanes`] re-canonicalizes
+/// to `Uniform` whenever all lanes agree, so converging values fall back
+/// onto the fast path.
+#[derive(Debug, Clone)]
+pub struct PackedBatch {
+    width: usize,
+    lanes: usize,
+    repr: BatchRepr,
+}
+
+#[derive(Debug, Clone)]
+enum BatchRepr {
+    Uniform(PackedVec),
+    Varied { aval: Vec<u64>, bval: Vec<u64> },
+}
+
+impl PackedBatch {
+    /// Broadcasts one value to all `lanes` lanes.
+    pub fn splat(value: &PackedVec, lanes: usize) -> PackedBatch {
+        Self::splat_owned(value.clone(), lanes)
+    }
+
+    fn splat_owned(value: PackedVec, lanes: usize) -> PackedBatch {
+        assert!((1..=MAX_BATCH_LANES).contains(&lanes));
+        PackedBatch {
+            width: value.width(),
+            lanes,
+            repr: BatchRepr::Uniform(value),
+        }
+    }
+
+    /// Builds a batch from per-lane values (all widths must agree).
+    /// Collapses to the uniform representation when every lane is equal.
+    pub fn from_lanes(values: &[PackedVec]) -> PackedBatch {
+        assert!(!values.is_empty() && values.len() <= MAX_BATCH_LANES);
+        let width = values[0].width();
+        assert!(values.iter().all(|v| v.width() == width));
+        if values.iter().all(|v| *v == values[0]) {
+            return Self::splat_owned(values[0].clone(), values.len());
+        }
+        let lanes = values.len();
+        let n = nwords_for(width);
+        let mut aval = vec![0u64; n * lanes];
+        let mut bval = vec![0u64; n * lanes];
+        for (l, v) in values.iter().enumerate() {
+            let (pa, pb) = v.planes();
+            for w in 0..n {
+                aval[w * lanes + l] = pa[w];
+                bval[w * lanes + l] = pb[w];
+            }
+        }
+        PackedBatch {
+            width,
+            lanes,
+            repr: BatchRepr::Varied { aval, bval },
+        }
+    }
+
+    /// Builds a batch by evaluating `f` once per lane.
+    pub fn from_fn(lanes: usize, f: impl FnMut(usize) -> PackedVec) -> PackedBatch {
+        let values: Vec<PackedVec> = (0..lanes).map(f).collect();
+        Self::from_lanes(&values)
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Width in bits (shared by every lane).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// `true` when the batch is in the uniform (all-lanes-equal) form.
+    pub fn is_uniform(&self) -> bool {
+        matches!(self.repr, BatchRepr::Uniform(_))
+    }
+
+    /// The shared value when uniform.
+    pub fn as_uniform(&self) -> Option<&PackedVec> {
+        match &self.repr {
+            BatchRepr::Uniform(v) => Some(v),
+            BatchRepr::Varied { .. } => None,
+        }
+    }
+
+    /// Extracts lane `l` as a scalar vector.
+    pub fn lane(&self, l: usize) -> PackedVec {
+        assert!(l < self.lanes);
+        match &self.repr {
+            BatchRepr::Uniform(v) => v.clone(),
+            BatchRepr::Varied { aval, bval } => {
+                let n = nwords_for(self.width);
+                let mut out = PackedVec::zeros(self.width);
+                for w in 0..n {
+                    out.aval.words_mut(n)[w] = aval[w * self.lanes + l];
+                    out.bval.words_mut(n)[w] = bval[w * self.lanes + l];
+                }
+                out
+            }
+        }
+    }
+
+    /// Overwrites lane `l` (width must match the batch width).
+    pub fn set_lane(&mut self, l: usize, value: &PackedVec) {
+        assert!(l < self.lanes);
+        assert_eq!(value.width(), self.width);
+        if let BatchRepr::Uniform(v) = &self.repr {
+            if v == value {
+                return;
+            }
+        }
+        self.make_varied();
+        let BatchRepr::Varied { aval, bval } = &mut self.repr else {
+            unreachable!()
+        };
+        let n = nwords_for(self.width);
+        let (pa, pb) = value.planes();
+        for w in 0..n {
+            aval[w * self.lanes + l] = pa[w];
+            bval[w * self.lanes + l] = pb[w];
+        }
+    }
+
+    fn make_varied(&mut self) {
+        if let BatchRepr::Uniform(v) = &self.repr {
+            let n = nwords_for(self.width);
+            let (pa, pb) = v.planes();
+            let mut aval = vec![0u64; n * self.lanes];
+            let mut bval = vec![0u64; n * self.lanes];
+            for w in 0..n {
+                for l in 0..self.lanes {
+                    aval[w * self.lanes + l] = pa[w];
+                    bval[w * self.lanes + l] = pb[w];
+                }
+            }
+            self.repr = BatchRepr::Varied { aval, bval };
+        }
+    }
+
+    /// Word `w` of lane `l` in both planes, zero past the batch width
+    /// (matching the scalar canonical-zero convention).
+    fn word_lane(&self, w: usize, l: usize) -> (u64, u64) {
+        match &self.repr {
+            BatchRepr::Uniform(v) => {
+                let (pa, pb) = v.planes();
+                (
+                    pa.get(w).copied().unwrap_or(0),
+                    pb.get(w).copied().unwrap_or(0),
+                )
+            }
+            BatchRepr::Varied { aval, bval } => {
+                if w >= nwords_for(self.width) {
+                    (0, 0)
+                } else {
+                    (aval[w * self.lanes + l], bval[w * self.lanes + l])
+                }
+            }
+        }
+    }
+
+    /// Lifts a unary scalar op across all lanes (one call when uniform).
+    pub fn map1(&self, f: impl Fn(&PackedVec) -> PackedVec) -> PackedBatch {
+        match &self.repr {
+            BatchRepr::Uniform(v) => Self::splat_owned(f(v), self.lanes),
+            BatchRepr::Varied { .. } => Self::from_fn(self.lanes, |l| f(&self.lane(l))),
+        }
+    }
+
+    /// Lifts a binary scalar op across all lanes (one call when both
+    /// operands are uniform).
+    pub fn map2(
+        &self,
+        other: &PackedBatch,
+        f: impl Fn(&PackedVec, &PackedVec) -> PackedVec,
+    ) -> PackedBatch {
+        assert_eq!(self.lanes, other.lanes);
+        if let (BatchRepr::Uniform(a), BatchRepr::Uniform(b)) = (&self.repr, &other.repr) {
+            return Self::splat_owned(f(a, b), self.lanes);
+        }
+        Self::from_fn(self.lanes, |l| f(&self.lane(l), &other.lane(l)))
+    }
+
+    fn binary_bitwise_batch(
+        a: &PackedBatch,
+        b: &PackedBatch,
+        f: impl Fn(u64, u64, u64, u64) -> (u64, u64),
+    ) -> PackedBatch {
+        assert_eq!(a.lanes, b.lanes);
+        if let (BatchRepr::Uniform(x), BatchRepr::Uniform(y)) = (&a.repr, &b.repr) {
+            return Self::splat_owned(PackedVec::binary_bitwise(x, y, f), a.lanes);
+        }
+        let lanes = a.lanes;
+        let width = a.width.max(b.width);
+        let n = nwords_for(width);
+        let mut oa = vec![0u64; n * lanes];
+        let mut ob = vec![0u64; n * lanes];
+        for w in 0..n {
+            // One pass over the interleaved row advances 64 bits × R lanes.
+            for l in 0..lanes {
+                let (xa, xb) = a.word_lane(w, l);
+                let (ya, yb) = b.word_lane(w, l);
+                let (ra, rb) = f(xa, xb, ya, yb);
+                oa[w * lanes + l] = ra;
+                ob[w * lanes + l] = rb;
+            }
+        }
+        if n > 0 {
+            let m = top_mask(width);
+            for l in 0..lanes {
+                oa[(n - 1) * lanes + l] &= m;
+                ob[(n - 1) * lanes + l] &= m;
+            }
+        }
+        PackedBatch {
+            width,
+            lanes,
+            repr: BatchRepr::Varied { aval: oa, bval: ob },
+        }
+    }
+
+    /// Batched bitwise AND (vectorized over interleaved lane words).
+    pub fn bit_and(&self, other: &PackedBatch) -> PackedBatch {
+        Self::binary_bitwise_batch(self, other, |xa, xb, ya, yb| {
+            let r_one = (xa & !xb) & (ya & !yb);
+            let r_zero = (!xa & !xb) | (!ya & !yb);
+            let r_x = !(r_one | r_zero);
+            (r_one | r_x, r_x)
+        })
+    }
+
+    /// Batched bitwise OR.
+    pub fn bit_or(&self, other: &PackedBatch) -> PackedBatch {
+        Self::binary_bitwise_batch(self, other, |xa, xb, ya, yb| {
+            let r_one = (xa & !xb) | (ya & !yb);
+            let r_zero = (!xa & !xb) & (!ya & !yb);
+            let r_x = !(r_one | r_zero);
+            (r_one | r_x, r_x)
+        })
+    }
+
+    /// Batched bitwise XOR.
+    pub fn bit_xor(&self, other: &PackedBatch) -> PackedBatch {
+        Self::binary_bitwise_batch(self, other, |xa, xb, ya, yb| {
+            let known = !xb & !yb;
+            let val = xa ^ ya;
+            ((known & val) | !known, !known)
+        })
+    }
+
+    /// Batched bitwise XNOR.
+    pub fn bit_xnor(&self, other: &PackedBatch) -> PackedBatch {
+        Self::binary_bitwise_batch(self, other, |xa, xb, ya, yb| {
+            let known = !xb & !yb;
+            let val = !(xa ^ ya);
+            ((known & val) | !known, !known)
+        })
+    }
+
+    /// Batched bitwise NOT (`a' = !a | b`, keeping the unknown plane).
+    pub fn bit_not(&self) -> PackedBatch {
+        match &self.repr {
+            BatchRepr::Uniform(v) => Self::splat_owned(v.bit_not(), self.lanes),
+            BatchRepr::Varied { aval, bval } => {
+                let n = nwords_for(self.width);
+                let lanes = self.lanes;
+                let mut oa = vec![0u64; n * lanes];
+                for i in 0..n * lanes {
+                    oa[i] = !aval[i] | bval[i];
+                }
+                if n > 0 {
+                    let m = top_mask(self.width);
+                    for l in 0..lanes {
+                        oa[(n - 1) * lanes + l] &= m;
+                    }
+                }
+                PackedBatch {
+                    width: self.width,
+                    lanes,
+                    repr: BatchRepr::Varied {
+                        aval: oa,
+                        bval: bval.clone(),
+                    },
+                }
+            }
+        }
+    }
+
+    /// Truth value of lane `l` — mirrors [`PackedVec::truthy`].
+    pub fn truthy_lane(&self, l: usize) -> Option<bool> {
+        match &self.repr {
+            BatchRepr::Uniform(v) => v.truthy(),
+            BatchRepr::Varied { aval, bval } => {
+                let n = nwords_for(self.width);
+                let mut any_unknown = false;
+                for w in 0..n {
+                    let (a, b) = (aval[w * self.lanes + l], bval[w * self.lanes + l]);
+                    if a & !b != 0 {
+                        return Some(true);
+                    }
+                    if a | b != 0 {
+                        any_unknown = true;
+                    }
+                }
+                if any_unknown {
+                    None
+                } else {
+                    Some(false)
+                }
+            }
+        }
+    }
+
+    /// Bit `idx` of lane `l`, `x` when out of range.
+    pub fn lane_bit(&self, l: usize, idx: usize) -> LogicBit {
+        match &self.repr {
+            BatchRepr::Uniform(v) => v.bit(idx),
+            BatchRepr::Varied { aval, bval } => {
+                if idx >= self.width {
+                    return LogicBit::X;
+                }
+                let i = (idx / 64) * self.lanes + l;
+                let sh = idx % 64;
+                decode(aval[i] >> sh & 1 == 1, bval[i] >> sh & 1 == 1)
+            }
+        }
+    }
+
+    /// `true` when lane `l` of both batches holds the same value.
+    pub fn lane_eq(&self, other: &PackedBatch, l: usize) -> bool {
+        if self.width != other.width {
+            return false;
+        }
+        if let (BatchRepr::Uniform(a), BatchRepr::Uniform(b)) = (&self.repr, &other.repr) {
+            return a == b;
+        }
+        let n = nwords_for(self.width);
+        (0..n).all(|w| self.word_lane(w, l) == other.word_lane(w, l))
+    }
+
+    /// Per-lane inequality mask against `other` (bit `l` set when lane `l`
+    /// differs). Widths must match.
+    pub fn ne_mask(&self, other: &PackedBatch) -> u64 {
+        debug_assert_eq!(self.lanes, other.lanes);
+        let all = Self::all_lanes_mask(self.lanes);
+        if self.width != other.width {
+            return all;
+        }
+        if let (BatchRepr::Uniform(a), BatchRepr::Uniform(b)) = (&self.repr, &other.repr) {
+            return if a == b { 0 } else { all };
+        }
+        let mut mask = 0u64;
+        for l in 0..self.lanes {
+            if !self.lane_eq(other, l) {
+                mask |= 1u64 << l;
+            }
+        }
+        mask
+    }
+
+    /// Mask with the low `lanes` bits set.
+    pub fn all_lanes_mask(lanes: usize) -> u64 {
+        if lanes >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << lanes) - 1
+        }
+    }
+
+    /// In-place batched [`PackedVec::set_range`] from a source batch.
+    pub fn set_range_batch(&mut self, lo: usize, width: usize, src: &PackedBatch) {
+        assert_eq!(self.lanes, src.lanes);
+        if let (BatchRepr::Uniform(dst), BatchRepr::Uniform(s)) = (&self.repr, &src.repr) {
+            let mut v = dst.clone();
+            v.set_range(lo, width, s);
+            self.repr = BatchRepr::Uniform(v);
+            return;
+        }
+        let updated = Self::from_fn(self.lanes, |l| {
+            let mut v = self.lane(l);
+            v.set_range(lo, width, &src.lane(l));
+            v
+        });
+        *self = updated;
+    }
+}
+
+impl PartialEq for PackedBatch {
+    fn eq(&self, other: &Self) -> bool {
+        self.lanes == other.lanes
+            && self.width == other.width
+            && (0..self.lanes).all(|l| self.lane_eq(other, l))
+    }
+}
+
 impl From<&LogicVec> for PackedVec {
     fn from(lv: &LogicVec) -> Self {
         PackedVec::from_logic(lv)
@@ -1458,5 +1872,62 @@ mod tests {
         assert_eq!(pv("x0").truthy(), None);
         assert_eq!(pv("x1").truthy(), Some(true));
         assert_eq!(pv("00").truthy(), Some(false));
+    }
+
+    #[test]
+    fn batch_splat_and_lanes_round_trip() {
+        let v = pv("1x0z");
+        let b = PackedBatch::splat(&v, 4);
+        assert!(b.is_uniform());
+        for l in 0..4 {
+            assert_eq!(b.lane(l), v);
+        }
+        let vals = [pv("0001"), pv("0010"), pv("01xz"), pv("0001")];
+        let b = PackedBatch::from_lanes(&vals);
+        assert!(!b.is_uniform());
+        for (l, v) in vals.iter().enumerate() {
+            assert_eq!(b.lane(l), *v);
+            assert_eq!(b.truthy_lane(l), v.truthy());
+        }
+        // Collapsing back to a uniform batch when all lanes agree.
+        let u = PackedBatch::from_lanes(&[pv("10"), pv("10"), pv("10")]);
+        assert!(u.is_uniform());
+    }
+
+    #[test]
+    fn batch_bitwise_matches_scalar_per_lane() {
+        let xs = [pv("1x0z1"), pv("00000"), pv("zzzzz"), pv("10101")];
+        let ys = [pv("110xz"), pv("1x1x1"), pv("01010"), pv("xxxxx")];
+        let bx = PackedBatch::from_lanes(&xs);
+        let by = PackedBatch::from_lanes(&ys);
+        for l in 0..4 {
+            assert_eq!(bx.bit_and(&by).lane(l), xs[l].bit_and(&ys[l]));
+            assert_eq!(bx.bit_or(&by).lane(l), xs[l].bit_or(&ys[l]));
+            assert_eq!(bx.bit_xor(&by).lane(l), xs[l].bit_xor(&ys[l]));
+            assert_eq!(bx.bit_xnor(&by).lane(l), xs[l].bit_xnor(&ys[l]));
+            assert_eq!(bx.bit_not().lane(l), xs[l].bit_not());
+        }
+    }
+
+    #[test]
+    fn batch_ne_mask_and_set_lane() {
+        let mut b = PackedBatch::splat(&pv("0000"), 3);
+        let before = b.clone();
+        assert_eq!(b.ne_mask(&before), 0);
+        b.set_lane(1, &pv("0101"));
+        assert_eq!(b.ne_mask(&before), 0b010);
+        assert_eq!(b.lane(0), pv("0000"));
+        assert_eq!(b.lane(1), pv("0101"));
+        assert_eq!(b.lane_bit(1, 0), LogicBit::One);
+        assert_eq!(b.lane_bit(1, 1), LogicBit::Zero);
+    }
+
+    #[test]
+    fn batch_map2_lifts_arithmetic() {
+        let xs = [pv("0011"), pv("0111")];
+        let ys = [pv("0001"), pv("0010")];
+        let b = PackedBatch::from_lanes(&xs).map2(&PackedBatch::from_lanes(&ys), |a, c| a.add(c));
+        assert_eq!(b.lane(0), pv("0100"));
+        assert_eq!(b.lane(1), pv("1001"));
     }
 }

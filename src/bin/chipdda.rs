@@ -97,7 +97,9 @@ call verbs (all take --socket PATH, optional --priority high, --deadline-ms N):
   augment <file.v> [--seed N]
   generate --prompt TEXT [--instruct TEXT] [--temperature T] [--seed N]
   repair <file.v> [--budget N]
-  score <file.v> (--problem ID | --testbench <tb.v> [--top NAME])
+  score <file.v> (--problem ID | --testbench <tb.v> [--top NAME]) [--runs R]
+                       --runs R scores R identical lanes in one batched
+                       simulation (1-64; results match scalar scoring)
   poison";
 
 type CmdResult = Result<ExitCode, Box<dyn std::error::Error>>;
@@ -451,6 +453,9 @@ fn cmd_call(args: &[String]) -> CmdResult {
                 None => None,
             },
             top: flag_value(rest, "--top").unwrap_or("tb").to_string(),
+            runs: flag_value(rest, "--runs")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1),
         },
         other => return Err(format!("unknown call verb `{other}`").into()),
     };
@@ -524,11 +529,17 @@ fn cmd_call(args: &[String]) -> CmdResult {
             verdict,
             pass_rate,
             detail,
+            lanes,
         } => {
-            if detail.is_empty() {
-                println!("{verdict}: pass rate {pass_rate:.3}");
+            let lanes_note = if *lanes > 1 {
+                format!(" [{lanes} lanes]")
             } else {
-                println!("{verdict}: pass rate {pass_rate:.3} ({detail})");
+                String::new()
+            };
+            if detail.is_empty() {
+                println!("{verdict}: pass rate {pass_rate:.3}{lanes_note}");
+            } else {
+                println!("{verdict}: pass rate {pass_rate:.3}{lanes_note} ({detail})");
             }
         }
         RespBody::Error { code, message } => {
