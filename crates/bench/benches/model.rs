@@ -71,7 +71,7 @@ fn bench_retrieval(c: &mut Criterion) {
         b.iter(|| {
             queries
                 .iter()
-                .map(|q| idx.query(std::hint::black_box(q), 32).len())
+                .map(|q| idx.try_query(std::hint::black_box(q), 32).unwrap().len())
                 .sum::<usize>()
         })
     });
@@ -79,7 +79,11 @@ fn bench_retrieval(c: &mut Criterion) {
         b.iter(|| {
             queries
                 .iter()
-                .map(|q| idx.query_linear(std::hint::black_box(q), 32).len())
+                .map(|q| {
+                    idx.try_query_linear(std::hint::black_box(q), 32)
+                        .unwrap()
+                        .len()
+                })
                 .sum::<usize>()
         })
     });

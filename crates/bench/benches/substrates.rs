@@ -63,7 +63,8 @@ fn bench_retrieval(c: &mut Criterion) {
     c.bench_function("tfidf_query_256_docs", |b| {
         b.iter(|| {
             std::hint::black_box(
-                idx.query("a four bit counter with synchronous reset and enable", 8),
+                idx.try_query("a four bit counter with synchronous reset and enable", 8)
+                    .unwrap(),
             )
         })
     });

@@ -17,9 +17,13 @@
 //! p50/p99 round-trip latency), then times the `dda-fail` failpoint tax
 //! on the pool's submit→execute hot path (two sites per job; zero when
 //! compiled out, one relaxed atomic load per site when compiled in but
-//! disarmed), and writes the numbers to `BENCH_PR8.json` (the checked-in
-//! snapshot DESIGN.md §5d–§5i explain how to read;
-//! `BENCH_PR3.json`–`BENCH_PR7.json` are the retained earlier
+//! disarmed), then scale-tests the sharded incremental retrieval index
+//! (`ShardedTfIdf`) at 100k and 1M synthetic documents — build time,
+//! warm query p50/p99 and incremental-add p50 per shard count, with the
+//! multi-shard pruned query path asserted identical to the single-shard
+//! dense pass — and writes the numbers to `BENCH_PR9.json` (the
+//! checked-in snapshot DESIGN.md §5d–§5j explain how to read;
+//! `BENCH_PR3.json`–`BENCH_PR8.json` are the retained earlier
 //! snapshots).
 //!
 //! Usage: `cargo run --release -p dda-bench --bin perfsnap [--smoke]`
@@ -123,13 +127,13 @@ fn model_section(smoke: bool) -> ModelSection {
     let (fast_hits, post_ms) = best_ms(reps, || {
         queries
             .iter()
-            .map(|q| idx.query(q, 32).len())
+            .map(|q| idx.try_query(q, 32).unwrap().len())
             .sum::<usize>()
     });
     let (ref_hits, lin_ms) = best_ms(reps, || {
         queries
             .iter()
-            .map(|q| idx.query_linear(q, 32).len())
+            .map(|q| idx.try_query_linear(q, 32).unwrap().len())
             .sum::<usize>()
     });
     assert_eq!(fast_hits, ref_hits, "query paths disagree on hit counts");
@@ -243,7 +247,7 @@ fn obs_section(smoke: bool) -> String {
     let query_workload = || {
         queries
             .iter()
-            .map(|q| idx.query(q, 32).len())
+            .map(|q| idx.try_query(q, 32).unwrap().len())
             .sum::<usize>()
     };
     let sim_src = perf_workload(cycles);
@@ -613,6 +617,148 @@ fn fail_section(smoke: bool) -> String {
     )
 }
 
+/// Scale-tests the sharded incremental retrieval index at serving scale:
+/// synthetic corpora of 100k and 1M documents (smoke: 2k) built from
+/// cycled `dda-corpus` modules, each measured per shard count. Reported
+/// per `(scale, shards)`: sequential-insert build time, warm-norm query
+/// p50/p99 (top-10 over 64 module-shaped queries), and single-document
+/// incremental-add p50. Headlines per scale: the multi-shard pruned
+/// query's speedup over the single-shard dense pass, and how many times
+/// faster absorbing one document incrementally is than rebuilding the
+/// index — both asserted in the full run at 100k (≥ 2x and ≥ 10x), the
+/// same bars CI re-checks against the checked-in `BENCH_PR9.json`. Every
+/// multi-shard configuration's hits are asserted identical to the
+/// single-shard results, so the speedup can never come from answer
+/// drift.
+fn retrieval_section(smoke: bool) -> String {
+    use dda_slm::{ShardHit, ShardedTfIdf};
+
+    let (scales, reps, adds): (&[usize], usize, usize) = if smoke {
+        (&[2_000], 2, 64)
+    } else {
+        (&[100_000, 1_000_000], 3, 256)
+    };
+    const SHARD_COUNTS: [usize; 3] = [1, 4, 16];
+    const TOP: usize = 10;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(2024);
+    let base = dda_corpus::generate_corpus(1024, &mut rng);
+    let queries: Vec<String> = (0..64)
+        .map(|q| {
+            let m = &base[(q * 17) % base.len()];
+            format!("{} {}", m.name, m.source.lines().next().unwrap_or(""))
+        })
+        .collect();
+
+    let mut scales_json = String::new();
+    for &n in scales {
+        let docs: Vec<(u64, String)> = (0..n)
+            .map(|i| {
+                let m = &base[i % base.len()];
+                // A unique token per document keeps a million documents
+                // from being 1024 exact duplicates while preserving the
+                // term-frequency shape of real corpus modules.
+                (i as u64, format!("{} d{} {}", m.name, i, m.source))
+            })
+            .collect();
+        let mut per_shard = String::new();
+        let mut single_p50 = f64::NAN;
+        let mut single_hits: Vec<Vec<ShardHit>> = Vec::new();
+        let mut query_speedup = f64::NAN;
+        let mut add_speedup = f64::NAN;
+        for shards in SHARD_COUNTS {
+            let (mut idx, build_ms) = time_ms(|| {
+                let mut idx = ShardedTfIdf::new(shards);
+                for (id, d) in &docs {
+                    idx.insert(*id, d).expect("synthetic ids are unique");
+                }
+                idx
+            });
+            // First query after a mutation refreshes the norm cache;
+            // report that cost separately and measure queries warm, the
+            // steady state a resident daemon serves from.
+            let (_, norms_ms) = time_ms(|| idx.query("warm", TOP));
+            let mut lat = Vec::with_capacity(reps * queries.len());
+            for _ in 0..reps {
+                for q in &queries {
+                    let (hits, ms) = time_ms(|| idx.query(q, TOP));
+                    assert!(!hits.is_empty(), "scale query returned nothing");
+                    lat.push(ms);
+                }
+            }
+            lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let p50 = lat[lat.len() / 2];
+            let p99 = lat[(lat.len() - 1) * 99 / 100];
+            let hits_now: Vec<Vec<ShardHit>> = queries.iter().map(|q| idx.query(q, TOP)).collect();
+            if shards == 1 {
+                single_p50 = p50;
+                single_hits = hits_now;
+            } else {
+                assert_eq!(
+                    single_hits, hits_now,
+                    "{shards}-shard results diverge from single-shard at {n} docs"
+                );
+            }
+            let mut add_lat: Vec<f64> = (0..adds)
+                .map(|i| {
+                    let m = &base[i % base.len()];
+                    let text = format!("{} x{} {}", m.name, i, m.source);
+                    let (_, ms) = time_ms(|| {
+                        idx.insert((n + i) as u64, &text)
+                            .expect("add ids are fresh")
+                    });
+                    ms
+                })
+                .collect();
+            add_lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let add_p50 = add_lat[add_lat.len() / 2];
+            if shards == SHARD_COUNTS[SHARD_COUNTS.len() - 1] {
+                query_speedup = single_p50 / p50;
+                add_speedup = build_ms / add_p50;
+            }
+            eprintln!(
+                "[perfsnap] retrieval: {n} docs / {shards} shard(s): build {:.1} s, \
+                 norms {norms_ms:.0} ms, query p50 {p50:.3} ms / p99 {p99:.3} ms, \
+                 add p50 {add_p50:.4} ms",
+                build_ms / 1e3,
+            );
+            if !per_shard.is_empty() {
+                per_shard.push_str(",\n      ");
+            }
+            per_shard.push_str(&format!(
+                "{{ \"shards\": {shards}, \"build_ms\": {build_ms:.1}, \
+                 \"norms_refresh_ms\": {norms_ms:.1}, \"query_p50_ms\": {p50:.4}, \
+                 \"query_p99_ms\": {p99:.4}, \"incremental_add_p50_ms\": {add_p50:.4} }}"
+            ));
+        }
+        if !smoke && n == 100_000 {
+            // The acceptance bars live in the full snapshot (smoke
+            // corpora are noise-dominated); CI re-asserts them against
+            // the checked-in BENCH_PR9.json.
+            assert!(
+                query_speedup >= 2.0,
+                "16-shard pruned query only {query_speedup:.2}x the single-shard \
+                 dense pass at 100k docs — below the 2x bar"
+            );
+            assert!(
+                add_speedup >= 10.0,
+                "incremental add only {add_speedup:.2}x faster than a rebuild \
+                 at 100k docs — below the 10x bar"
+            );
+        }
+        if !scales_json.is_empty() {
+            scales_json.push_str(",\n    ");
+        }
+        scales_json.push_str(&format!(
+            "{{ \"docs\": {n}, \"queries\": {}, \"top\": {TOP},\n      \
+             \"per_shard_count\": [\n      {per_shard}\n      ],\n      \
+             \"sharded_query_speedup_vs_single\": {query_speedup:.2},\n      \
+             \"incremental_add_speedup_vs_rebuild\": {add_speedup:.1} }}",
+            queries.len(),
+        ));
+    }
+    format!("\"retrieval\": {{ \"scales\": [\n    {scales_json}\n  ] }}")
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (cycles, reps) = if smoke { (500, 2) } else { (20_000, 5) };
@@ -640,6 +786,7 @@ fn main() {
     let batch = batch_section(smoke);
     let serve = serve_section(smoke);
     let fail = fail_section(smoke);
+    let retrieval = retrieval_section(smoke);
     // Retrieval guard: the postings path must never fall below half the
     // linear reference's speed (CI runs this in --smoke mode; the real
     // snapshot shows an order of magnitude the other way).
@@ -659,7 +806,7 @@ fn main() {
            \"events_per_sec\": {{ \"ast\": {:.0}, \"bytecode\": {:.0} }},\n  \
            \"speedup_bytecode_over_ast\": {speedup:.2},\n  \
            \"frontend_cache_ms\": {{ \"cold\": {cold_ms:.3}, \"warm\": {warm_ms:.3}, \
-           \"hits\": {}, \"misses\": {} }},\n  {}\n  {}\n  {}\n  {}\n  {}\n  \
+           \"hits\": {}, \"misses\": {} }},\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  \
            \"smoke\": {smoke}\n}}\n",
         tokens.len(),
         eps(ast_ms),
@@ -671,6 +818,7 @@ fn main() {
         format_args!("{batch},"),
         format_args!("{serve},"),
         format_args!("{fail},"),
+        format_args!("{retrieval},"),
     );
 
     eprintln!(
@@ -680,7 +828,7 @@ fn main() {
     if smoke {
         println!("{json}");
     } else {
-        std::fs::write("BENCH_PR8.json", &json).expect("write BENCH_PR8.json");
-        println!("wrote BENCH_PR8.json");
+        std::fs::write("BENCH_PR9.json", &json).expect("write BENCH_PR9.json");
+        println!("wrote BENCH_PR9.json");
     }
 }

@@ -4,7 +4,7 @@
 //!
 //! Usage: `cargo run --release -p dda-bench --bin table3
 //! [--quick] [--workers N] [--resume PATH]
-//! [--eval-mode ast|bytecode|batch] [--runs-per-batch R]`
+//! [--eval-mode ast|bytecode|batch] [--runs-per-batch R] [--rag-k K]`
 //!
 //! `--workers`/`--resume` run each per-model sweep on the supervised
 //! runtime engine (parallel workers plus a per-sweep write-ahead
@@ -13,13 +13,36 @@
 //! `--runs-per-batch R` lockstep-scores R copies of each repair per
 //! simulation on the batch engine; all engines produce identical verdicts
 //! (only wall-clock differs).
+//!
+//! `--rag-k K` appends a RAG-vs-no-RAG ablation: each model is re-run
+//! with the K nearest corpus modules (sharded retrieval over a generated
+//! corpus, the daemon's `retrieve` layout) injected as few-shot context,
+//! and per-model pass@5 success deltas are printed. Without the flag the
+//! output is byte-identical to the retrieval-free table.
 
 use dda_bench::{log_summary, zoo_from_args, RunFlags};
 use dda_benchmarks::rtllm_suite;
 use dda_eval::eval_repair_suite_supervised;
-use dda_eval::repair_eval::{eval_repair_suite, repair_success_rate, RepairProtocol};
+use dda_eval::rag::RagIndex;
+use dda_eval::repair_eval::{
+    eval_repair_suite, eval_repair_suite_rag, repair_success_rate, RepairProtocol,
+};
 use dda_eval::report::{pct, pct_short, TextTable};
 use dda_eval::ModelId;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Generated corpus modules behind the `--rag-k` retrieval index (seeded
+/// like the serving daemon's resident index).
+const RAG_CORPUS_MODULES: usize = 64;
+
+fn rag_k_from_args() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--rag-k")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
 
 fn main() {
     let flags = RunFlags::from_args();
@@ -101,5 +124,42 @@ fn main() {
         pct(rates[3]),
         rates[2] > rates[3]
     );
+
+    if let Some(rag_k) = rag_k_from_args() {
+        let mut rng = SmallRng::seed_from_u64(4242);
+        let rag = RagIndex::build(dda_corpus::generate_corpus(RAG_CORPUS_MODULES, &mut rng));
+        println!(
+            "\nRAG ablation: k={rag_k} nearest of {} corpus modules as few-shot context",
+            rag.len()
+        );
+        let mut rag_table = TextTable::new(vec![
+            "Model".to_owned(),
+            "success (no RAG)".to_owned(),
+            "success (RAG)".to_owned(),
+            "delta".to_owned(),
+            "cells improved".to_owned(),
+        ]);
+        for (mi, m) in models.iter().enumerate() {
+            eprintln!("[table3] evaluating {m} with RAG k={rag_k}...");
+            let rag_rows = eval_repair_suite_rag(zoo.model(*m), &suite, &protocol, &rag, rag_k);
+            let plain_rate = rates[mi];
+            let rag_rate = repair_success_rate(&rag_rows);
+            let improved = rag_rows
+                .iter()
+                .zip(&per_model[mi])
+                .filter(|((_, r), (_, p))| {
+                    r.best_function > p.best_function + 1e-12 || r.syntax_errors < p.syntax_errors
+                })
+                .count();
+            rag_table.row(vec![
+                m.to_string(),
+                pct(plain_rate),
+                pct(rag_rate),
+                format!("{:+.1} pp", (rag_rate - plain_rate) * 100.0),
+                format!("{improved}/{}", suite.len()),
+            ]);
+        }
+        println!("{}", rag_table.render());
+    }
     flags.finish_obs();
 }

@@ -39,6 +39,7 @@ pub mod ablation;
 pub mod agent;
 pub mod generation;
 pub mod models;
+pub mod rag;
 pub mod repair_eval;
 pub mod report;
 pub mod script_eval;
@@ -51,7 +52,11 @@ pub use generation::{
     run_testbench_verdicts_batched, success_rate, GenCell, GenProtocol, GenRow, TestbenchVerdict,
 };
 pub use models::{ModelId, ModelZoo, ZooOptions};
-pub use repair_eval::{eval_repair, eval_repair_suite, RepairCell, RepairProtocol};
+pub use rag::{RagIndex, RAG_SHARDS};
+pub use repair_eval::{
+    eval_repair, eval_repair_rag, eval_repair_suite, eval_repair_suite_rag, RepairCell,
+    RepairProtocol,
+};
 pub use report::TextTable;
 pub use script_eval::{eval_script, eval_script_suite, ScriptCell, ScriptProtocol};
 pub use supervised::{

@@ -1,0 +1,89 @@
+//! Retrieval-augmented evaluation: a corpus-backed [`RagIndex`] that
+//! turns a broken file (or any query text) into few-shot context for
+//! [`dda_slm::Slm::generate_with_context`].
+//!
+//! The index is a [`ShardedTfIdf`] over generated corpus modules (name +
+//! source), the same structure `chipdda serve` keeps resident for its
+//! `retrieve` verb. `context_for` returns the k nearest module sources,
+//! best first; an empty context (k = 0, or an empty index) makes the
+//! downstream generation bit-identical to the retrieval-free path, so
+//! RAG-vs-no-RAG deltas in Table 3 measure retrieval alone.
+
+use dda_corpus::CorpusModule;
+use dda_slm::ShardedTfIdf;
+
+/// Shard count for evaluation-side retrieval: matches the serving
+/// daemon's layout so eval and serve exercise the same merge path.
+pub const RAG_SHARDS: usize = 4;
+
+/// A retrieval index over corpus modules for few-shot augmentation.
+#[derive(Debug)]
+pub struct RagIndex {
+    modules: Vec<CorpusModule>,
+    index: ShardedTfIdf,
+}
+
+impl RagIndex {
+    /// Builds the index over `modules` (hit ids are vec indices).
+    pub fn build(modules: Vec<CorpusModule>) -> RagIndex {
+        let mut index = ShardedTfIdf::new(RAG_SHARDS);
+        for (i, m) in modules.iter().enumerate() {
+            index
+                .insert(i as u64, &format!("{} {}", m.name, m.source))
+                .expect("vec indices are unique");
+        }
+        RagIndex { modules, index }
+    }
+
+    /// Modules behind the index.
+    pub fn len(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Whether the index holds no modules.
+    pub fn is_empty(&self) -> bool {
+        self.modules.is_empty()
+    }
+
+    /// The k nearest module sources for `query`, best first. `k = 0`
+    /// returns an empty context (the no-RAG baseline).
+    pub fn context_for(&self, query: &str, k: usize) -> Vec<String> {
+        self.index
+            .query(query, k)
+            .into_iter()
+            .map(|h| self.modules[h.id as usize].source.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn corpus(n: usize) -> Vec<CorpusModule> {
+        let mut rng = SmallRng::seed_from_u64(7);
+        dda_corpus::generate_corpus(n, &mut rng)
+    }
+
+    #[test]
+    fn self_query_retrieves_the_module_itself() {
+        let modules = corpus(20);
+        let rag = RagIndex::build(modules.clone());
+        assert_eq!(rag.len(), 20);
+        let target = &modules[3];
+        let ctx = rag.context_for(&format!("{} {}", target.name, target.source), 2);
+        assert_eq!(ctx.len(), 2);
+        assert_eq!(ctx[0], target.source, "self-query must win retrieval");
+    }
+
+    #[test]
+    fn k_zero_is_the_no_rag_baseline() {
+        let rag = RagIndex::build(corpus(8));
+        assert!(rag.context_for("a counter with enable", 0).is_empty());
+        assert!(RagIndex::build(Vec::new())
+            .context_for("anything", 5)
+            .is_empty());
+    }
+}

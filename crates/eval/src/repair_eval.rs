@@ -110,7 +110,42 @@ pub fn eval_repair_with(
     protocol: &RepairProtocol,
     cancel: &CancelToken,
 ) -> RepairCell {
+    eval_repair_ctx(model, problem, protocol, None, cancel)
+}
+
+/// [`eval_repair`] with retrieval augmentation: the `k` corpus modules
+/// nearest the broken input (diagnostics + wrong file) are injected as
+/// few-shot context through [`Slm::generate_with_context`]. `k = 0` is
+/// bit-identical to [`eval_repair`], so Table 3's RAG-vs-no-RAG delta
+/// isolates retrieval.
+pub fn eval_repair_rag(
+    model: &Slm,
+    problem: &VerilogProblem,
+    protocol: &RepairProtocol,
+    rag: &crate::rag::RagIndex,
+    rag_k: usize,
+) -> RepairCell {
+    eval_repair_ctx(
+        model,
+        problem,
+        protocol,
+        Some((rag, rag_k)),
+        &CancelToken::new(),
+    )
+}
+
+fn eval_repair_ctx(
+    model: &Slm,
+    problem: &VerilogProblem,
+    protocol: &RepairProtocol,
+    rag: Option<(&crate::rag::RagIndex, usize)>,
+    cancel: &CancelToken,
+) -> RepairCell {
     let (input, _) = broken_input(problem, protocol);
+    let context = match rag {
+        Some((index, k)) => index.context_for(&input, k),
+        None => Vec::new(),
+    };
     let opts = GenOptions {
         temperature: protocol.temperature,
     };
@@ -122,7 +157,7 @@ pub fn eval_repair_with(
                 ^ hash_id(problem.id)
                 ^ hash_id(&model.profile().name).rotate_left(17),
         );
-        let out = model.generate(REPAIR_INSTRUCT, &input, &opts, &mut rng);
+        let out = model.generate_with_context(REPAIR_INSTRUCT, &input, &context, &opts, &mut rng);
         if !dda_lint::check_source("fix.v", &out).is_clean() {
             syntax_errors += 1;
             continue;
@@ -136,6 +171,21 @@ pub fn eval_repair_with(
         syntax_errors,
         best_function,
     }
+}
+
+/// Per-problem rows for a model over a suite with retrieval augmentation
+/// (see [`eval_repair_rag`]).
+pub fn eval_repair_suite_rag(
+    model: &Slm,
+    problems: &[VerilogProblem],
+    protocol: &RepairProtocol,
+    rag: &crate::rag::RagIndex,
+    rag_k: usize,
+) -> Vec<(&'static str, RepairCell)> {
+    problems
+        .iter()
+        .map(|p| (p.id, eval_repair_rag(model, p, protocol, rag, rag_k)))
+        .collect()
 }
 
 /// Per-problem rows for a model over a suite.
@@ -249,6 +299,83 @@ mod tests {
                 assert_eq!(batched, sequential, "{id} diverged at R={r}");
             }
         }
+    }
+
+    #[test]
+    fn rag_k_zero_matches_plain_eval_bitwise() {
+        let model = dda_slm::Slm::finetune(
+            SlmProfile {
+                name: "mid-fixer".into(),
+                floor_repair: 0.5,
+                ..SlmProfile::llama2(13.0)
+            },
+            &dda_core::Dataset::new(),
+            &PROGRESSIVE_ORDER,
+        );
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let rag = crate::rag::RagIndex::build(dda_corpus::generate_corpus(12, &mut rng));
+        let suite = rtllm_suite();
+        let protocol = RepairProtocol::default();
+        for id in ["adder_8bit", "mux", "counter_12"] {
+            let p = suite.iter().find(|p| p.id == id).unwrap();
+            let plain = eval_repair(&model, p, &protocol);
+            let k0 = eval_repair_rag(&model, p, &protocol, &rag, 0);
+            assert_eq!(plain.syntax_errors, k0.syntax_errors, "{id}");
+            assert_eq!(
+                plain.best_function.to_bits(),
+                k0.best_function.to_bits(),
+                "{id}: k=0 must be the no-RAG baseline to the bit"
+            );
+        }
+    }
+
+    #[test]
+    fn rag_context_never_hurts_repair_cells() {
+        let model = dda_slm::Slm::finetune(
+            SlmProfile {
+                name: "mid-fixer".into(),
+                floor_repair: 0.5,
+                ..SlmProfile::llama2(13.0)
+            },
+            &dda_core::Dataset::new(),
+            &PROGRESSIVE_ORDER,
+        );
+        // Index the suite's own references: retrieval can surface the
+        // worked example for each broken file.
+        let suite = rtllm_suite();
+        let modules: Vec<dda_corpus::CorpusModule> = suite
+            .iter()
+            .map(|p| dda_corpus::CorpusModule {
+                family: dda_corpus::Family::WireBuf,
+                name: p.id.to_string(),
+                source: p.reference.to_string(),
+            })
+            .collect();
+        let rag = crate::rag::RagIndex::build(modules);
+        let protocol = RepairProtocol::default();
+        let mut lifted = 0usize;
+        for p in suite.iter().take(8) {
+            let plain = eval_repair(&model, p, &protocol);
+            let with_rag = eval_repair_rag(&model, p, &protocol, &rag, 2);
+            assert!(
+                with_rag.syntax_errors <= plain.syntax_errors,
+                "{}: RAG added syntax errors ({} > {})",
+                p.id,
+                with_rag.syntax_errors,
+                plain.syntax_errors
+            );
+            assert!(
+                with_rag.best_function >= plain.best_function - 1e-12,
+                "{}: RAG lowered function rate",
+                p.id
+            );
+            if with_rag.best_function > plain.best_function + 1e-12
+                || with_rag.syntax_errors < plain.syntax_errors
+            {
+                lifted += 1;
+            }
+        }
+        assert!(lifted > 0, "reference-backed RAG lifted no cell");
     }
 
     #[test]

@@ -57,6 +57,12 @@ use std::fmt;
 /// | `sim.cache.evict` | design-cache LRU eviction | `sleep` |
 /// | `journal.append` | journal line append | `ioerr` |
 /// | `journal.fsync` | journal durability sync | `ioerr` |
+/// | `slm.shard.merge` | sharded retrieval, pre-merge of per-shard top-k | `panic` (caught per-request), `sleep` |
+/// | `slm.shard.compact` | shard compaction, before any mutation | `panic` (index stays consistent), `sleep` |
+///
+/// New sites append at the END of this list: [`FaultSchedule::generate`]
+/// draws one ordered stream across the sites, so appending keeps every
+/// earlier site's generated rules byte-identical for any pinned seed.
 pub const SITES: &[&str] = &[
     "pool.submit",
     "pool.exec",
@@ -68,6 +74,8 @@ pub const SITES: &[&str] = &[
     "sim.cache.evict",
     "journal.append",
     "journal.fsync",
+    "slm.shard.merge",
+    "slm.shard.compact",
 ];
 
 /// Whether the failpoint machinery was compiled into this build.

@@ -17,9 +17,20 @@ use dda_eval::generation::{
     TestbenchVerdict,
 };
 use dda_runtime::CancelToken;
-use dda_slm::{GenOptions, Slm, SlmProfile, PROGRESSIVE_ORDER};
+use dda_slm::{GenOptions, ShardedTfIdf, Slm, SlmProfile, PROGRESSIVE_ORDER};
 use rand::{rngs::SmallRng, SeedableRng};
 use std::collections::BTreeMap;
+
+/// Shard count for the resident retrieval index: enough shards that the
+/// daemon's `retrieve` path always exercises the multi-shard merge (and
+/// its `slm.shard.merge` failpoint), small enough that bootstrap stays
+/// instant.
+pub const RETRIEVE_SHARDS: usize = 4;
+
+/// Floor on the retrieval corpus size, one module per generator family,
+/// so `retrieve` has every design family to draw from even when the
+/// daemon runs a pretrained model (`--model-modules 0`).
+const RETRIEVE_CORPUS_MIN: usize = 49;
 
 /// Read-only state shared by all workers.
 pub struct HandlerCx {
@@ -27,6 +38,11 @@ pub struct HandlerCx {
     pub slm: Slm,
     /// Benchmark problems by id (Thakur + RTLLM suites).
     pub problems: BTreeMap<String, dda_benchmarks::VerilogProblem>,
+    /// Corpus modules behind the retrieval index; [`ShardedTfIdf`] hit
+    /// ids are indices into this vec.
+    pub retrieve_corpus: Vec<CorpusModule>,
+    /// Sharded index over `retrieve_corpus` (name + source text).
+    pub retrieval: ShardedTfIdf,
     /// Whether `poison` requests are honored (chaos tests only).
     pub fault_injection: bool,
 }
@@ -61,9 +77,22 @@ impl HandlerCx {
             let (ds, _report) = pipeline::augment(&corpus, &opts, &mut rng);
             Slm::finetune(profile, &ds, &PROGRESSIVE_ORDER)
         };
+        // Retrieval corpus: its own RNG stream so the model above stays
+        // byte-identical to pre-retrieval daemons.
+        let mut rrng = SmallRng::seed_from_u64(4242);
+        let retrieve_corpus =
+            dda_corpus::generate_corpus(model_modules.max(RETRIEVE_CORPUS_MIN), &mut rrng);
+        let mut retrieval = ShardedTfIdf::new(RETRIEVE_SHARDS);
+        for (i, m) in retrieve_corpus.iter().enumerate() {
+            retrieval
+                .insert(i as u64, &format!("{} {}", m.name, m.source))
+                .expect("corpus ids are unique by construction");
+        }
         HandlerCx {
             slm,
             problems,
+            retrieve_corpus,
+            retrieval,
             fault_injection,
         }
     }
@@ -133,6 +162,7 @@ pub fn execute(cx: &HandlerCx, body: &ReqBody, token: &CancelToken) -> RespBody 
                 cost: out.cost as u64,
             }
         }
+        ReqBody::Retrieve { query, k } => run_retrieve(cx, query, *k),
         ReqBody::Score {
             source,
             problem,
@@ -177,6 +207,30 @@ fn run_augment(name: &str, source: &str, seed: u64) -> RespBody {
     RespBody::Augmented {
         entries: ds.len() as u64,
         quarantined: report.quarantines.len() as u64,
+        jsonl,
+    }
+}
+
+/// K-nearest corpus modules for a free-text query, best first. The
+/// sharded query path runs the `slm.shard.merge` failpoint site, so
+/// chaos schedules can kill a worker mid-merge; the index is read-only
+/// here, so a replayed request always sees the same state.
+fn run_retrieve(cx: &HandlerCx, query: &str, k: u64) -> RespBody {
+    let k = k.clamp(1, crate::proto::MAX_RETRIEVE_K) as usize;
+    let hits = cx.retrieval.query(query, k);
+    let mut jsonl = String::new();
+    for h in &hits {
+        let m = &cx.retrieve_corpus[h.id as usize];
+        jsonl.push_str(&format!(
+            "{{\"id\": {}, \"score\": {}, \"name\": \"{}\", \"source\": \"{}\"}}\n",
+            h.id,
+            h.score,
+            dda_core::json::escape(&m.name),
+            dda_core::json::escape(&m.source),
+        ));
+    }
+    RespBody::Retrieved {
+        count: hits.len() as u64,
         jsonl,
     }
 }
@@ -442,6 +496,48 @@ mod tests {
         };
         match execute(&cx(), &body, &token) {
             RespBody::Error { code, .. } => assert_eq!(code, ErrorCode::Deadline),
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retrieve_returns_ranked_known_modules() {
+        let cx = cx();
+        assert!(cx.retrieve_corpus.len() >= 49);
+        assert_eq!(cx.retrieval.shard_count(), RETRIEVE_SHARDS);
+        // Query with a module's own name + source: that module must win.
+        let target = &cx.retrieve_corpus[7];
+        let query = format!("{} {}", target.name, target.source);
+        let body = ReqBody::Retrieve { query, k: 3 };
+        match execute(&cx, &body, &CancelToken::new()) {
+            RespBody::Retrieved { count, jsonl } => {
+                assert_eq!(count, 3);
+                assert_eq!(jsonl.lines().count(), 3);
+                let first = jsonl.lines().next().unwrap();
+                assert!(
+                    first.starts_with("{\"id\": 7, "),
+                    "self-query must rank the module itself first: {first}"
+                );
+                assert!(first.contains(&format!(
+                    "\"name\": \"{}\"",
+                    dda_core::json::escape(&target.name)
+                )));
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retrieve_with_unknown_terms_is_empty_ok() {
+        let body = ReqBody::Retrieve {
+            query: "zzz qqq xyzzy".into(),
+            k: 5,
+        };
+        match execute(&cx(), &body, &CancelToken::new()) {
+            RespBody::Retrieved { count, jsonl } => {
+                assert_eq!(count, 0);
+                assert!(jsonl.is_empty());
+            }
             other => panic!("unexpected response: {other:?}"),
         }
     }

@@ -34,6 +34,10 @@ use dda_runtime::Priority;
 /// this at decode time).
 pub const MAX_DEADLINE_MS: u64 = 60_000;
 
+/// Ceiling on the hit count a `retrieve` request may ask for (`k` is
+/// clamped to this at decode time, and zero means 1).
+pub const MAX_RETRIEVE_K: u64 = 64;
+
 /// The work a request asks for.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ReqBody {
@@ -98,6 +102,15 @@ pub enum ReqBody {
         /// through the daemon.
         runs: u64,
     },
+    /// K-nearest corpus modules for a free-text query, from the resident
+    /// sharded retrieval index (RAG candidates for few-shot prompting).
+    Retrieve {
+        /// Free-text query (a description, an interface, a broken file).
+        query: String,
+        /// How many hits to return (clamped to [`MAX_RETRIEVE_K`] at
+        /// decode time).
+        k: u64,
+    },
     /// Deliberately panics the worker. Only honored when the service was
     /// started with fault injection enabled (chaos tests / storm bench);
     /// otherwise a `bad_request` error.
@@ -117,6 +130,7 @@ impl ReqBody {
             ReqBody::Generate { .. } => "generate",
             ReqBody::Repair { .. } => "repair",
             ReqBody::Score { .. } => "score",
+            ReqBody::Retrieve { .. } => "retrieve",
             ReqBody::Poison => "poison",
         }
     }
@@ -281,6 +295,14 @@ pub enum RespBody {
         /// batched request's `runs`).
         lanes: u64,
     },
+    /// `retrieve` result.
+    Retrieved {
+        /// Hits returned (may be fewer than the requested `k`).
+        count: u64,
+        /// The hits as JSONL (one `{"id", "score", "name", "source"}`
+        /// object per line, best first).
+        jsonl: String,
+    },
     /// Any verb's failure.
     Error {
         /// Failure class.
@@ -419,6 +441,7 @@ impl Request {
                 }
                 ev.str("top", top.clone())
             }
+            ReqBody::Retrieve { query, k } => ev.str("query", query.clone()).u64("k", *k),
         };
         encode(&ev)
     }
@@ -478,6 +501,10 @@ impl Request {
                         .clamp(1, dda_sim::MAX_BATCH_LANES as u64),
                 }
             }
+            "retrieve" => ReqBody::Retrieve {
+                query: req_str(&ev, "query")?,
+                k: opt_u64(&ev, "k")?.unwrap_or(5).clamp(1, MAX_RETRIEVE_K),
+            },
             other => return Err(bad(format!("unknown verb `{other}`"))),
         };
         Ok(Request {
@@ -578,6 +605,9 @@ impl Response {
                             ev
                         }
                     }
+                    RespBody::Retrieved { count, jsonl } => {
+                        ev.u64("count", *count).str("jsonl", jsonl.clone())
+                    }
                     RespBody::Error { .. } => unreachable!("handled above"),
                 }
             }
@@ -653,6 +683,10 @@ impl Response {
                     detail: opt_str(&ev, "detail")?.unwrap_or_default(),
                     lanes: opt_u64(&ev, "lanes")?.unwrap_or(1),
                 },
+                "retrieve" => RespBody::Retrieved {
+                    count: opt_u64(&ev, "count")?.unwrap_or(0),
+                    jsonl: req_str(&ev, "jsonl")?,
+                },
                 other => return Err(bad(format!("unknown response verb `{other}`"))),
             },
             other => return Err(bad(format!("unknown status `{other}`"))),
@@ -708,6 +742,15 @@ mod tests {
                     runs: 8,
                 },
             },
+            Request {
+                id: 5,
+                priority: Priority::Normal,
+                deadline_ms: Some(250),
+                body: ReqBody::Retrieve {
+                    query: "an eight bit counter with enable".into(),
+                    k: 3,
+                },
+            },
         ];
         for r in reqs {
             let back = Request::from_line(&r.to_line()).unwrap();
@@ -743,6 +786,16 @@ mod tests {
                     lanes: 8,
                 },
             },
+            Response {
+                id: 4,
+                verb: "retrieve".into(),
+                body: RespBody::Retrieved {
+                    count: 2,
+                    jsonl: "{\"id\": 7, \"score\": 0.5, \"name\": \"ctr\", \
+                            \"source\": \"module ctr;\\nendmodule\\n\"}\n"
+                        .into(),
+                },
+            },
             Response::error(9, "augment", ErrorCode::Overloaded, "pool queue full"),
         ];
         for r in resps {
@@ -759,8 +812,10 @@ mod tests {
             "{\"ev\": \"nope\", \"id\": 1}",
             "{\"ev\": \"score\", \"id\": 1, \"source\": \"m\"}", // neither problem nor testbench
             "{\"ev\": \"augment\", \"id\": 1}",                  // missing source
-            "{\"ev\": \"ping\"}",                                // missing id
-            "{\"ev\": \"ping\", \"id\": -3}",                    // negative id
+            "{\"ev\": \"retrieve\", \"id\": 1}",                 // missing query
+            "{\"ev\": \"retrieve\", \"id\": 1, \"query\": \"q\", \"k\": -1}",
+            "{\"ev\": \"ping\"}",             // missing id
+            "{\"ev\": \"ping\", \"id\": -3}", // negative id
             "{\"ev\": \"ping\", \"id\": 1, \"priority\": \"urgent\"}",
         ] {
             assert!(
@@ -795,6 +850,23 @@ mod tests {
         match Response::from_line(line).unwrap().body {
             RespBody::Scored { lanes, .. } => assert_eq!(lanes, 1),
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn retrieve_k_is_lenient_and_clamped() {
+        // Absent: defaults to 5; zero means 1; oversized clamps.
+        for (line_k, want) in [(None, 5u64), (Some(0), 1), (Some(9), 9), (Some(10_000), 64)] {
+            let line = match line_k {
+                None => "{\"ev\": \"retrieve\", \"id\": 1, \"query\": \"q\"}".to_string(),
+                Some(k) => {
+                    format!("{{\"ev\": \"retrieve\", \"id\": 1, \"query\": \"q\", \"k\": {k}}}")
+                }
+            };
+            match Request::from_line(&line).unwrap().body {
+                ReqBody::Retrieve { k, .. } => assert_eq!(k, want, "asked {line_k:?}"),
+                other => panic!("{other:?}"),
+            }
         }
     }
 
@@ -855,6 +927,11 @@ mod tests {
         assert!(ReqBody::Ready.is_control());
         assert!(ReqBody::Shutdown.is_control());
         assert!(!ReqBody::Poison.is_control());
+        assert!(!ReqBody::Retrieve {
+            query: String::new(),
+            k: 5
+        }
+        .is_control());
         assert!(!ReqBody::Generate {
             instruct: String::new(),
             prompt: String::new(),

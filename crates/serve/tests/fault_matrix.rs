@@ -103,6 +103,20 @@ fn patient_client(path: &Path, seed: u64) -> RetryingClient {
 /// Runs one full supervised daemon lifetime under `schedule` and checks
 /// the invariants. Returns with the registry deactivated.
 fn run_schedule(name: &str, schedule: FaultSchedule, requests: u64) {
+    run_schedule_with(name, schedule, requests, |seed, i| {
+        quick_score(10_000 + (seed as usize % 1000) * 100 + i as usize)
+    })
+}
+
+/// [`run_schedule`] with a caller-chosen request body per call index, so
+/// sweeps can drive verbs other than `score` (e.g. `retrieve`) through
+/// the same invariants.
+fn run_schedule_with(
+    name: &str,
+    schedule: FaultSchedule,
+    requests: u64,
+    make: impl Fn(u64, u64) -> ReqBody,
+) {
     let seed = schedule.seed;
     let spec = schedule.to_spec();
     dda_obs::enable();
@@ -135,16 +149,13 @@ fn run_schedule(name: &str, schedule: FaultSchedule, requests: u64) {
     // overwhelming majority score cleanly (generated panic rules are
     // one-shot `OnHit`, so they can taint at most a few calls).
     let mut rc = patient_client(&path, seed ^ 0x5EED);
-    let mut scored = 0u64;
+    let mut answered_ok = 0u64;
     for i in 0..requests {
         let resp = rc
-            .call(&req(
-                i,
-                quick_score(10_000 + (seed as usize % 1000) * 100 + i as usize),
-            ))
+            .call(&req(i, make(seed, i)))
             .unwrap_or_else(|e| panic!("seed {seed}: request {i} lost: {e}\nspec: {spec}"));
         match resp.body {
-            RespBody::Scored { .. } => scored += 1,
+            RespBody::Scored { .. } | RespBody::Retrieved { .. } => answered_ok += 1,
             RespBody::Error {
                 code: ErrorCode::Panic | ErrorCode::Deadline,
                 ..
@@ -153,8 +164,8 @@ fn run_schedule(name: &str, schedule: FaultSchedule, requests: u64) {
         }
     }
     assert!(
-        scored + 4 >= requests,
-        "seed {seed}: only {scored}/{requests} requests scored cleanly\nspec: {spec}"
+        answered_ok + 4 >= requests,
+        "seed {seed}: only {answered_ok}/{requests} requests answered cleanly\nspec: {spec}"
     );
 
     // Drain: a shutdown may be swallowed by a crash, so keep asking until
@@ -241,6 +252,41 @@ fn seeded_schedule_sweep_holds_core_invariants() {
         }
         run_schedule(&format!("sweep{seed}"), schedule, 10);
     }
+}
+
+/// Pinned like [`SWEEP_SEEDS`], chosen by probing `chipdda chaos --seed`:
+/// its generated schedule puts `panic@hit:0` on `slm.shard.merge` (the
+/// daemon's first retrieval query dies mid-merge) plus a bounded
+/// `journal.append` crash, and converges.
+const RETRIEVE_SWEEP_SEED: u64 = 29;
+
+/// The `retrieve` verb under an injected shard-merge panic and a daemon
+/// crash: the merge failpoint fires inside the read-only sharded index,
+/// so the panicked request is answered with a structured `panic`, every
+/// other request gets real hits, and the accounting still reconciles.
+#[test]
+fn retrieve_survives_pinned_shard_merge_faults() {
+    let _gate = GATE.lock().unwrap_or_else(|p| p.into_inner());
+    let schedule = FaultSchedule::generate(RETRIEVE_SWEEP_SEED, dda_fail::SITES);
+    let spec = schedule.to_spec();
+    assert!(
+        spec.contains("slm.shard.merge=panic@hit:0"),
+        "pinned seed no longer targets the shard merge: {spec}"
+    );
+    let reparsed = FaultSchedule::parse(&spec).unwrap();
+    for site in dda_fail::SITES {
+        for hit in 0..256u64 {
+            assert_eq!(
+                schedule.decide(site, hit),
+                reparsed.decide(site, hit),
+                "seed {RETRIEVE_SWEEP_SEED}: schedule does not replay from its spec"
+            );
+        }
+    }
+    run_schedule_with("retrsweep", schedule, 10, |_seed, i| ReqBody::Retrieve {
+        query: format!("a counter with enable and synchronous reset {i}"),
+        k: 3,
+    });
 }
 
 #[test]

@@ -5,10 +5,12 @@
 //! paper's evaluation, built so that generation quality is an emergent
 //! function of the training dataset rather than of GPU-trained weights.
 //!
-//! Components: [`tfidf`] retrieval, an [`ngram`] language model (the
-//! Fig. 3 loss metric), a token-level [`corrupt`](corrupt::corrupt)ion
-//! channel, prompt [`adapt`]ation, a lint-guided [`fixer`], and the
-//! [`Slm`] that ties them together per [`SlmProfile`].
+//! Components: [`tfidf`] retrieval (plus [`sharded`] — incremental,
+//! shard-parallel retrieval at serving scale), an [`ngram`] language
+//! model (the Fig. 3 loss metric), a token-level
+//! [`corrupt`](corrupt::corrupt)ion channel, prompt [`adapt`]ation, a
+//! lint-guided [`fixer`], and the [`Slm`] that ties them together per
+//! [`SlmProfile`].
 //!
 //! ## Example
 //!
@@ -34,10 +36,12 @@ pub mod ngram;
 #[doc(hidden)]
 pub mod reference;
 pub mod script_spec;
+pub mod sharded;
 pub mod tfidf;
 
 pub use model::{
     pretraining_dataset, GenOptions, Skills, Slm, SlmProfile, TrainOptions, PROGRESSIVE_ORDER,
 };
 pub use ngram::NgramModel;
-pub use tfidf::TfIdfIndex;
+pub use sharded::{ShardHit, ShardedTfIdf};
+pub use tfidf::{IndexError, TfIdfIndex};

@@ -366,7 +366,7 @@ impl Slm {
         rng: &mut R,
     ) -> String {
         if instruct == REPAIR_INSTRUCT {
-            return self.generate_repair(input, opts, rng);
+            return self.generate_repair(input, &[], opts, rng);
         }
         if instruct == EDA_INSTRUCT {
             // A model with EDA-script skill inverts the describer and
@@ -394,10 +394,19 @@ impl Slm {
         // description on shared port tokens, but a tuned model does not
         // answer a design request with a next-token guess).
         let query = format!("{instruct}\n{input}");
+        // The hot path goes through the postings index, always; the
+        // linear scan exists only for the equivalence batteries behind
+        // the doc-hidden `set_reference_retrieval` toggle (the obs
+        // regression test in `tests/hot_path_obs.rs` pins this: counter
+        // `slm.query.linear` stays 0 across a normal sweep).
         let mut hits = if self.reference_retrieval {
-            self.index.query_linear(&query, 32)
+            self.index
+                .try_query_linear(&query, 32)
+                .expect("finetune() finished the index")
         } else {
-            self.index.query(&query, 32)
+            self.index
+                .try_query(&query, 32)
+                .expect("finetune() finished the index")
         };
         if hits.iter().any(|h| self.docs[h.doc].instruct == instruct) {
             hits.retain(|h| self.docs[h.doc].instruct == instruct);
@@ -519,9 +528,36 @@ impl Slm {
         }
     }
 
+    /// [`generate`](Self::generate) with retrieved few-shot `context`
+    /// documents prepended to the prompt (the RAG path: AutoVCoder-style
+    /// retrieval-augmented generation, fed by
+    /// [`ShardedTfIdf`](crate::ShardedTfIdf) over the training corpus).
+    ///
+    /// With an empty `context` this is bit-identical to `generate` — the
+    /// no-RAG column of table3 is the plain path, not a degraded one.
+    /// Context currently conditions the **repair** task (the table3 RAG
+    /// column): reference modules token-similar to the broken file raise
+    /// the chance the model sees the fix and the lint-search budget it
+    /// spends, scaled by how much of the broken file the best context
+    /// document covers. Other instructs ignore the context.
+    pub fn generate_with_context<R: Rng + ?Sized>(
+        &self,
+        instruct: &str,
+        input: &str,
+        context: &[String],
+        opts: &GenOptions,
+        rng: &mut R,
+    ) -> String {
+        if instruct == REPAIR_INSTRUCT {
+            return self.generate_repair(input, context, opts, rng);
+        }
+        self.generate(instruct, input, opts, rng)
+    }
+
     fn generate_repair<R: Rng + ?Sized>(
         &self,
         input: &str,
+        context: &[String],
         opts: &GenOptions,
         rng: &mut R,
     ) -> String {
@@ -539,8 +575,15 @@ impl Slm {
             .filter(|n| n.ends_with(".v"))
             .unwrap_or("input.v")
             .to_owned();
-        let attempt_prob = (self.skills.repair * (self.profile.capacity_b / 13.0).sqrt().min(1.25))
-            .clamp(0.0, 0.98);
+        // Few-shot context moves the effective repair skill: a reference
+        // module covering most of the broken file's tokens is the
+        // worked example the paper's Fig. 6 prompt supplies. Empty
+        // context contributes exactly 0.0, keeping the no-RAG path
+        // bit-identical.
+        let ctx_quality = context_affinity(wrong, context);
+        let eff_repair = self.skills.repair + (1.0 - self.skills.repair) * 0.35 * ctx_quality;
+        let attempt_prob =
+            (eff_repair * (self.profile.capacity_b / 13.0).sqrt().min(1.25)).clamp(0.0, 0.98);
         // Whether a given model can see the fix for a given broken file is
         // (nearly) deterministic — resampling at temperature 0.1 does not
         // rescue a model that lacks the skill. The hash keys on the broken
@@ -558,8 +601,7 @@ impl Slm {
         let resample_luck = rng.gen::<f64>() < attempt_prob * 0.1;
         if roll < attempt_prob || resample_luck {
             let budget = 150
-                + (1500.0 * self.skills.repair * (self.profile.capacity_b / 13.0).sqrt().min(1.5))
-                    as usize;
+                + (1500.0 * eff_repair * (self.profile.capacity_b / 13.0).sqrt().min(1.5)) as usize;
             let fix = try_fix(&file_name, wrong, budget);
             if fix.clean {
                 return fix.source;
@@ -587,6 +629,28 @@ impl Slm {
         let body = if rng.gen_bool(0.5) { "  // TODO\n" } else { "" };
         format!("module {name}({ports});\n{body}endmodule\n")
     }
+}
+
+/// How well the best `context` document covers `target`'s tokens:
+/// `max_d |tokens(target) ∩ tokens(d)| / |tokens(target)|`, in `[0, 1]`.
+/// Containment rather than Jaccard — a long reference module that fully
+/// covers a short broken file is a perfect worked example, not a diluted
+/// one. Returns exactly `0.0` for an empty context or target.
+fn context_affinity(target: &str, context: &[String]) -> f64 {
+    if context.is_empty() {
+        return 0.0;
+    }
+    let target_toks: std::collections::HashSet<Sym> = tokenize_syms(target).collect();
+    if target_toks.is_empty() {
+        return 0.0;
+    }
+    let mut best = 0.0f64;
+    for doc in context {
+        let doc_toks: std::collections::HashSet<Sym> = tokenize_syms(doc).collect();
+        let covered = target_toks.intersection(&doc_toks).count();
+        best = best.max(covered as f64 / target_toks.len() as f64);
+    }
+    best
 }
 
 /// Builds the synthetic pretraining dataset implied by a profile: a seeded
@@ -804,6 +868,69 @@ mod tests {
             &mut rng,
         );
         assert!(out.contains("module widget"), "{out}");
+    }
+
+    #[test]
+    fn empty_context_matches_plain_generation_bitwise() {
+        let model = Slm::finetune(
+            SlmProfile::llama2(13.0),
+            &full_dataset(16, 12),
+            &PROGRESSIVE_ORDER,
+        );
+        let cases = [
+            (ALIGN_INSTRUCT, "a counter with synchronous reset"),
+            (
+                REPAIR_INSTRUCT,
+                "module m(input a, output y)\nassign y = a;\nendmodule\n",
+            ),
+        ];
+        for (instruct, input) in cases {
+            let mut r1 = SmallRng::seed_from_u64(13);
+            let mut r2 = SmallRng::seed_from_u64(13);
+            let plain = model.generate(instruct, input, &GenOptions::default(), &mut r1);
+            let ctx =
+                model.generate_with_context(instruct, input, &[], &GenOptions::default(), &mut r2);
+            assert_eq!(plain, ctx, "empty context must be a no-op for {instruct:?}");
+        }
+    }
+
+    #[test]
+    fn relevant_context_lifts_repair_and_never_hurts() {
+        // A mid-skill repairer: the few-shot boost moves the attempt
+        // threshold enough to flip some deterministic per-file rolls.
+        let model = Slm::finetune(
+            SlmProfile {
+                floor_repair: 0.5,
+                ..SlmProfile::llama2(13.0)
+            },
+            &Dataset::new(),
+            &PROGRESSIVE_ORDER,
+        );
+        let mut flips = 0;
+        for i in 0..16 {
+            let wrong = format!("module m{i}(input a, output y)\nassign y = ~a;\nendmodule\n");
+            let reference = format!("module m{i}(input a, output y);\nassign y = ~a;\nendmodule\n");
+            let mut r1 = SmallRng::seed_from_u64(14);
+            let mut r2 = SmallRng::seed_from_u64(14);
+            let plain = model.generate(REPAIR_INSTRUCT, &wrong, &GenOptions::default(), &mut r1);
+            let ctx = model.generate_with_context(
+                REPAIR_INSTRUCT,
+                &wrong,
+                &[reference],
+                &GenOptions::default(),
+                &mut r2,
+            );
+            let plain_ok = dda_lint::check_source("o.v", &plain).is_clean();
+            let ctx_ok = dda_lint::check_source("o.v", &ctx).is_clean();
+            assert!(
+                ctx_ok || !plain_ok,
+                "worked-example context broke a repair the plain path got ({i})"
+            );
+            if ctx_ok && !plain_ok {
+                flips += 1;
+            }
+        }
+        assert!(flips > 0, "context never flipped any repair");
     }
 
     #[test]

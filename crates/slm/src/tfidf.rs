@@ -8,24 +8,56 @@
 //! Tokens are interned [`Sym`]s (see `dda_core::intern`); documents are
 //! sparse `(term, weight)` vectors sorted by term id, and [`finish`]
 //! inverts them into a postings list (term → `(doc, weight)` in doc
-//! order). [`query`] walks only the postings of the query's terms,
+//! order). [`try_query`] walks only the postings of the query's terms,
 //! accumulating scores into a dense per-doc array and selecting the top-k
 //! hits without sorting the full candidate set. The pre-postings linear
-//! scan is retained as [`query_linear`] — the reference the equivalence
-//! suites and the `perfsnap` guard compare against.
+//! scan is retained as [`try_query_linear`] — the reference the
+//! equivalence suites and the `perfsnap` guard compare against. Querying
+//! before `finish` is a typed [`IndexError::NotFinished`]; the old
+//! panicking `query`/`query_linear` entry points survive as
+//! `#[deprecated]` shims.
 //!
 //! Determinism: all dot products accumulate term-by-term in ascending
 //! term-id order (both paths), so scores are bit-identical between the
 //! two implementations and across runs.
 //!
 //! [`finish`]: TfIdfIndex::finish
-//! [`query`]: TfIdfIndex::query
-//! [`query_linear`]: TfIdfIndex::query_linear
+//! [`try_query`]: TfIdfIndex::try_query
+//! [`try_query_linear`]: TfIdfIndex::try_query_linear
 
 use dda_core::intern::Sym;
 use dda_core::tokenize::tokenize_syms;
 use std::cmp::Ordering;
 use std::collections::HashMap;
+use std::fmt;
+
+/// Typed errors from the retrieval indexes.
+///
+/// [`TfIdfIndex`] queries used to panic on an unfinished index; the
+/// fallible entry points ([`TfIdfIndex::try_query`],
+/// [`TfIdfIndex::try_query_linear`]) return `NotFinished` instead so
+/// callers that drive the index from untrusted request streams (the serve
+/// daemon above all) can answer with a structured error. The sharded
+/// index ([`crate::ShardedTfIdf`]) is fallible from day one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IndexError {
+    /// A query arrived before [`TfIdfIndex::finish`] froze the index.
+    NotFinished,
+    /// An insert reused a document id already live in the index.
+    DuplicateId(u64),
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::NotFinished => write!(f, "call finish() before query()"),
+            IndexError::DuplicateId(id) => write!(f, "document id {id} is already indexed"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
 
 /// A scored retrieval hit.
 #[derive(Debug, Clone, PartialEq)]
@@ -165,18 +197,21 @@ impl TfIdfIndex {
 
     /// Scores `query` against the corpus through the postings list, best
     /// first. Only documents sharing at least one term with the query are
-    /// touched. Output is identical to [`TfIdfIndex::query_linear`] —
+    /// touched. Output is identical to [`TfIdfIndex::try_query_linear`] —
     /// same docs, bit-identical scores, same tie order.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if [`TfIdfIndex::finish`] has not been called.
-    pub fn query(&self, query: &str, top: usize) -> Vec<Hit> {
-        assert!(self.finished, "call finish() before query()");
+    /// [`IndexError::NotFinished`] if [`TfIdfIndex::finish`] has not been
+    /// called.
+    pub fn try_query(&self, query: &str, top: usize) -> Result<Vec<Hit>, IndexError> {
+        if !self.finished {
+            return Err(IndexError::NotFinished);
+        }
         dda_obs::count("slm.query.postings", 1);
         let (terms, qnorm) = self.query_weights(query);
         if qnorm == 0.0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         // Dense accumulator + touched list: O(candidates), not O(corpus).
         let mut acc = vec![0.0f64; self.docs.len()];
@@ -215,7 +250,7 @@ impl TfIdfIndex {
         }
         hits.sort_unstable_by(hit_order);
         hits.truncate(top);
-        hits
+        Ok(hits)
     }
 
     /// The pre-postings reference: scores `query` by linearly scanning
@@ -223,17 +258,20 @@ impl TfIdfIndex {
     ///
     /// Retained (not `#[cfg(test)]`) because the equivalence property
     /// tests, the criterion benches, and `perfsnap`'s speedup guard all
-    /// compare [`TfIdfIndex::query`] against it at runtime.
+    /// compare [`TfIdfIndex::try_query`] against it at runtime.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if [`TfIdfIndex::finish`] has not been called.
-    pub fn query_linear(&self, query: &str, top: usize) -> Vec<Hit> {
-        assert!(self.finished, "call finish() before query()");
+    /// [`IndexError::NotFinished`] if [`TfIdfIndex::finish`] has not been
+    /// called.
+    pub fn try_query_linear(&self, query: &str, top: usize) -> Result<Vec<Hit>, IndexError> {
+        if !self.finished {
+            return Err(IndexError::NotFinished);
+        }
         dda_obs::count("slm.query.linear", 1);
         let (terms, qnorm) = self.query_weights(query);
         if qnorm == 0.0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let mut hits: Vec<Hit> = self
             .docs
@@ -263,7 +301,34 @@ impl TfIdfIndex {
             .collect();
         hits.sort_by(hit_order);
         hits.truncate(top);
-        hits
+        Ok(hits)
+    }
+
+    /// Panicking shim over [`TfIdfIndex::try_query`], kept for old callers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`TfIdfIndex::finish`] has not been called.
+    #[deprecated(note = "use try_query(); an unfinished index is now a typed IndexError")]
+    pub fn query(&self, query: &str, top: usize) -> Vec<Hit> {
+        match self.try_query(query, top) {
+            Ok(hits) => hits,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Panicking shim over [`TfIdfIndex::try_query_linear`], kept for old
+    /// callers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`TfIdfIndex::finish`] has not been called.
+    #[deprecated(note = "use try_query_linear(); an unfinished index is now a typed IndexError")]
+    pub fn query_linear(&self, query: &str, top: usize) -> Vec<Hit> {
+        match self.try_query_linear(query, top) {
+            Ok(hits) => hits,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -280,6 +345,10 @@ mod tests {
         idx
     }
 
+    fn q(idx: &TfIdfIndex, query: &str, top: usize) -> Vec<Hit> {
+        idx.try_query(query, top).unwrap()
+    }
+
     #[test]
     fn exact_match_scores_highest() {
         let idx = index(&[
@@ -287,7 +356,7 @@ mod tests {
             "a four to one multiplexer",
             "an eight bit ripple adder",
         ]);
-        let hits = idx.query("a counter with reset and enable", 3);
+        let hits = q(&idx, "a counter with reset and enable", 3);
         assert_eq!(hits[0].doc, 0);
         assert!(hits[0].score > 0.99);
     }
@@ -298,7 +367,7 @@ mod tests {
             "counter module increments on clock edge",
             "multiplexer selects between inputs",
         ]);
-        let hits = idx.query("build me a counter that increments", 2);
+        let hits = q(&idx, "build me a counter that increments", 2);
         assert_eq!(hits[0].doc, 0);
         assert!(hits[0].score > hits.get(1).map(|h| h.score).unwrap_or(0.0));
     }
@@ -312,25 +381,38 @@ mod tests {
         ]);
         // "gray" is rare; a query containing it must pick doc 0 even though
         // "module" appears everywhere.
-        let hits = idx.query("gray module", 3);
+        let hits = q(&idx, "gray module", 3);
         assert_eq!(hits[0].doc, 0);
     }
 
     #[test]
     fn no_overlap_returns_empty() {
         let idx = index(&["alpha beta", "gamma delta"]);
-        assert!(idx.query("zeta", 5).is_empty());
+        assert!(q(&idx, "zeta", 5).is_empty());
     }
 
     #[test]
     fn top_truncates() {
         let idx = index(&["x a", "x b", "x c", "x d"]);
-        assert_eq!(idx.query("x", 2).len(), 2);
+        assert_eq!(q(&idx, "x", 2).len(), 2);
+    }
+
+    #[test]
+    fn query_before_finish_is_typed_error() {
+        let mut idx = TfIdfIndex::new();
+        idx.add("a");
+        assert_eq!(idx.try_query("a", 1), Err(IndexError::NotFinished));
+        assert_eq!(idx.try_query_linear("a", 1), Err(IndexError::NotFinished));
+        assert_eq!(
+            IndexError::NotFinished.to_string(),
+            "call finish() before query()"
+        );
     }
 
     #[test]
     #[should_panic(expected = "finish")]
-    fn query_before_finish_panics() {
+    #[allow(deprecated)]
+    fn deprecated_query_shim_still_panics() {
         let mut idx = TfIdfIndex::new();
         idx.add("a");
         idx.query("a", 1);
@@ -338,10 +420,25 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "finish")]
-    fn linear_query_before_finish_panics() {
+    #[allow(deprecated)]
+    fn deprecated_linear_shim_still_panics() {
         let mut idx = TfIdfIndex::new();
         idx.add("a");
         idx.query_linear("a", 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_fallible_paths() {
+        let idx = index(&["counter with reset", "an adder"]);
+        assert_eq!(
+            idx.query("counter", 2),
+            idx.try_query("counter", 2).unwrap()
+        );
+        assert_eq!(
+            idx.query_linear("counter", 2),
+            idx.try_query_linear("counter", 2).unwrap()
+        );
     }
 
     #[test]
@@ -361,7 +458,11 @@ mod tests {
             "multiplexer edge",
         ] {
             for top in [0, 1, 3, 10] {
-                assert_eq!(idx.query(q, top), idx.query_linear(q, top), "{q:?}/{top}");
+                assert_eq!(
+                    idx.try_query(q, top).unwrap(),
+                    idx.try_query_linear(q, top).unwrap(),
+                    "{q:?}/{top}"
+                );
             }
         }
     }
@@ -377,13 +478,16 @@ mod tests {
         }
         a.finish();
         b.finish();
-        assert_eq!(a.query("counter reset", 3), b.query("counter reset", 3));
+        assert_eq!(
+            a.try_query("counter reset", 3).unwrap(),
+            b.try_query("counter reset", 3).unwrap()
+        );
     }
 
     #[test]
     fn tie_break_is_insertion_order() {
         let idx = index(&["x y", "x y", "x y"]);
-        let hits = idx.query("x y", 3);
+        let hits = q(&idx, "x y", 3);
         assert_eq!(
             hits.iter().map(|h| h.doc).collect::<Vec<_>>(),
             vec![0, 1, 2]

@@ -1,0 +1,61 @@
+//! Regression: the generation hot path never touches the linear scan.
+//!
+//! `TfIdfIndex::try_query_linear` is an equivalence reference, reachable
+//! only through the doc-hidden `set_reference_retrieval` toggle. This
+//! battery runs a normal finetune + generation sweep with the recorder
+//! enabled and pins the `slm.query.linear` counter at 0 while the
+//! postings counter moves — in its own integration binary (and a single
+//! test, since the counters are process-global) so nothing else can
+//! leak reference queries into the assertion.
+
+use dda_core::align::ALIGN_INSTRUCT;
+use dda_core::pipeline::{augment, PipelineOptions};
+use dda_core::repair::REPAIR_INSTRUCT;
+use dda_slm::{GenOptions, Slm, SlmProfile, PROGRESSIVE_ORDER};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn normal_sweep_never_hits_linear_scan() {
+    dda_obs::enable();
+    dda_obs::reset();
+    let mut rng = SmallRng::seed_from_u64(11);
+    let corpus = dda_corpus::generate_corpus(6, &mut rng);
+    let (data, _report) = augment(&corpus, &PipelineOptions::default(), &mut rng);
+    let mut model = Slm::finetune(SlmProfile::llama2(13.0), &data, &PROGRESSIVE_ORDER);
+
+    let opts = GenOptions::default();
+    for input in [
+        "a counter with synchronous reset",
+        "a four to one multiplexer",
+        "an eight bit adder with carry out",
+    ] {
+        model.generate(ALIGN_INSTRUCT, input, &opts, &mut rng);
+    }
+    model.generate(
+        REPAIR_INSTRUCT,
+        "module broken(input clk);\nendmodule\n",
+        &opts,
+        &mut rng,
+    );
+
+    let snap = dda_obs::snapshot();
+    assert_eq!(
+        snap.counter("slm.query.linear"),
+        0,
+        "the linear-scan reference leaked into the hot path"
+    );
+    assert!(
+        snap.counter("slm.query.postings") > 0,
+        "the sweep should have exercised the postings index"
+    );
+
+    // Sanity-check the regression has teeth: the doc-hidden reference
+    // toggle is the one route to the linear scan, and it does count.
+    model.set_reference_retrieval(true);
+    model.generate(ALIGN_INSTRUCT, "a gray code counter", &opts, &mut rng);
+    assert!(
+        dda_obs::snapshot().counter("slm.query.linear") > 0,
+        "reference retrieval must use the linear scan"
+    );
+}

@@ -43,7 +43,7 @@ proptest! {
         top in 0usize..8,
     ) {
         let idx = build(&docs);
-        assert_hits_identical(&idx.query(&query, top), &idx.query_linear(&query, top));
+        assert_hits_identical(&idx.try_query(&query, top).unwrap(), &idx.try_query_linear(&query, top).unwrap());
     }
 
     /// Same, on corpora full of duplicate documents (maximal tie stress).
@@ -56,7 +56,7 @@ proptest! {
     ) {
         let docs = vec![doc; copies];
         let idx = build(&docs);
-        assert_hits_identical(&idx.query(&query, top), &idx.query_linear(&query, top));
+        assert_hits_identical(&idx.try_query(&query, top).unwrap(), &idx.try_query_linear(&query, top).unwrap());
     }
 
     /// The interned n-gram model is bit-identical to the retained
@@ -89,25 +89,28 @@ proptest! {
 #[test]
 fn query_on_empty_corpus_returns_nothing() {
     let idx = build(&[]);
-    assert!(idx.query("anything at all", 8).is_empty());
-    assert!(idx.query_linear("anything at all", 8).is_empty());
+    assert!(idx.try_query("anything at all", 8).unwrap().is_empty());
+    assert!(idx
+        .try_query_linear("anything at all", 8)
+        .unwrap()
+        .is_empty());
 }
 
 #[test]
 fn query_with_no_overlap_matches_reference() {
     let idx = build(&["alpha beta".into(), "gamma delta".into(), String::new()]);
-    let fast = idx.query("omega psi chi", 8);
+    let fast = idx.try_query("omega psi chi", 8).unwrap();
     assert!(fast.is_empty());
-    assert_hits_identical(&fast, &idx.query_linear("omega psi chi", 8));
+    assert_hits_identical(&fast, &idx.try_query_linear("omega psi chi", 8).unwrap());
 }
 
 #[test]
 fn empty_docs_never_match() {
     let idx = build(&[String::new(), "a b c".into(), String::new()]);
-    let fast = idx.query("a", 8);
+    let fast = idx.try_query("a", 8).unwrap();
     assert_eq!(fast.len(), 1);
     assert_eq!(fast[0].doc, 1);
-    assert_hits_identical(&fast, &idx.query_linear("a", 8));
+    assert_hits_identical(&fast, &idx.try_query_linear("a", 8).unwrap());
 }
 
 /// Builds one SLM from a real augmented corpus with the given worker count.

@@ -1,0 +1,169 @@
+//! Equivalence battery for [`ShardedTfIdf`]: any interleaving of
+//! add/remove/query is **bit-identical** (hits, scores, tie order) to a
+//! from-scratch rebuild of the surviving corpus at that point — across
+//! shard counts 1/4/16 and worker counts 1/2/8, sequential and
+//! parallel paths alike.
+//!
+//! The determinism contract under test (see `dda_slm::sharded` docs):
+//! raw tf storage + query-time idf from exact integer `(df, n)` state,
+//! canonical string-sorted accumulation order, and a total `(score
+//! desc, id asc)` ranking make every configuration agree to the bit.
+
+use dda_runtime::RunOptions;
+use dda_slm::{ShardHit, ShardedTfIdf};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+const SHARD_COUNTS: &[usize] = &[1, 4, 16];
+const WORKER_COUNTS: &[usize] = &[1, 2, 8];
+
+const WORDS: &[&str] = &[
+    "module", "counter", "reset", "clock", "adder", "mux", "enable", "wire", "assign", "always",
+];
+
+#[derive(Debug, Clone)]
+enum Op {
+    Add(u64, String),
+    Remove(u64),
+    Query(String, usize),
+}
+
+fn text(rng: &mut SmallRng) -> String {
+    let n = rng.gen_range(0..8);
+    (0..n)
+        .map(|_| WORDS[rng.gen_range(0..WORDS.len())])
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// A random interleaving biased toward adds so queries have something
+/// to rank; ids collide on purpose (duplicate inserts, double removes,
+/// remove-then-reinsert all get exercised).
+fn gen_ops(rng: &mut SmallRng) -> Vec<Op> {
+    let n = rng.gen_range(4..20);
+    (0..n)
+        .map(|_| match rng.gen_range(0u8..5) {
+            0 | 1 => Op::Add(rng.gen_range(0..12), text(rng)),
+            2 => Op::Remove(rng.gen_range(0..12)),
+            _ => Op::Query(text(rng), rng.gen_range(0..6)),
+        })
+        .collect()
+}
+
+fn assert_bit_identical(a: &[ShardHit], b: &[ShardHit], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: hit counts differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.id, y.id, "{ctx}: doc order diverged");
+        assert_eq!(
+            x.score.to_bits(),
+            y.score.to_bits(),
+            "{ctx}: score bits for id {} ({} vs {})",
+            x.id,
+            x.score,
+            y.score
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn interleavings_match_rebuild_across_configs(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ops = gen_ops(&mut rng);
+        // Canonical answers per query point, from the single-shard
+        // sequential replay; every other configuration must agree.
+        let mut canonical: Vec<Vec<ShardHit>> = Vec::new();
+        for (ci, &shards) in SHARD_COUNTS.iter().enumerate() {
+            let mut idx = ShardedTfIdf::new(shards);
+            let mut live: BTreeMap<u64, String> = BTreeMap::new();
+            let mut qi = 0usize;
+            for (oi, op) in ops.iter().enumerate() {
+                match op {
+                    Op::Add(id, text) => {
+                        let expect_dup = live.contains_key(id);
+                        let got = idx.insert(*id, text);
+                        assert_eq!(got.is_err(), expect_dup, "op {oi}: duplicate detection");
+                        if !expect_dup {
+                            live.insert(*id, text.clone());
+                        }
+                    }
+                    Op::Remove(id) => {
+                        let expect = live.remove(id).is_some();
+                        assert_eq!(idx.remove(*id), expect, "op {oi}: remove result");
+                    }
+                    Op::Query(q, top) => {
+                        // Cycle worker counts so every 1/2/8 × shard
+                        // combination is exercised across query points.
+                        let workers = WORKER_COUNTS[qi % WORKER_COUNTS.len()];
+                        let opts = RunOptions { workers, ..RunOptions::default() };
+                        let ctx = format!("seed {seed} op {oi} shards {shards} workers {workers}");
+                        let sequential = idx.query(q, *top);
+                        let parallel = idx.query_parallel(q, *top, &opts);
+                        assert_bit_identical(&sequential, &parallel, &format!("{ctx}: parallel"));
+                        // From-scratch rebuild of the surviving corpus,
+                        // through the parallel builder.
+                        let docs: Vec<(u64, String)> =
+                            live.iter().map(|(id, t)| (*id, t.clone())).collect();
+                        let rebuilt = ShardedTfIdf::build_parallel(&docs, shards, &opts).unwrap();
+                        assert_bit_identical(
+                            &sequential,
+                            &rebuilt.query(q, *top),
+                            &format!("{ctx}: rebuild"),
+                        );
+                        if ci == 0 {
+                            canonical.push(sequential);
+                        } else {
+                            assert_bit_identical(
+                                &canonical[qi],
+                                &sequential,
+                                &format!("{ctx}: cross-shard"),
+                            );
+                        }
+                        qi += 1;
+                    }
+                }
+            }
+            // Live-set accounting survives the interleaving.
+            assert_eq!(idx.len(), live.len(), "seed {seed} shards {shards}: live count");
+            for id in live.keys() {
+                assert!(idx.contains(*id));
+            }
+        }
+    }
+
+    /// Removing everything and re-adding it lands back on the rebuilt
+    /// answer — compaction (forced by the churn) never shifts a bit.
+    #[test]
+    fn churn_with_compaction_matches_rebuild(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0DE);
+        let docs: Vec<(u64, String)> = (0..24u64).map(|id| (id, text(&mut rng))).collect();
+        for &shards in SHARD_COUNTS {
+            let mut idx = ShardedTfIdf::new(shards);
+            for (id, t) in &docs {
+                idx.insert(*id, t).unwrap();
+            }
+            // Heavy churn: remove two thirds, re-add half of those.
+            for id in 0..16u64 {
+                assert!(idx.remove(id));
+            }
+            for (id, t) in docs.iter().take(8) {
+                idx.insert(*id, t).unwrap();
+            }
+            let survivors: Vec<(u64, String)> = docs
+                .iter()
+                .filter(|(id, _)| *id < 8 || *id >= 16)
+                .cloned()
+                .collect();
+            let rebuilt =
+                ShardedTfIdf::build_parallel(&survivors, shards, &RunOptions::default()).unwrap();
+            let q = text(&mut rng);
+            assert_bit_identical(
+                &idx.query(&q, 10),
+                &rebuilt.query(&q, 10),
+                &format!("seed {seed} shards {shards} churn"),
+            );
+        }
+    }
+}

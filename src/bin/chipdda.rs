@@ -100,6 +100,8 @@ call verbs (all take --socket PATH, optional --priority high, --deadline-ms N):
   score <file.v> (--problem ID | --testbench <tb.v> [--top NAME]) [--runs R]
                        --runs R scores R identical lanes in one batched
                        simulation (1-64; results match scalar scoring)
+  retrieve --query TEXT [-k N]  k nearest corpus modules from the resident
+                       sharded index, as JSONL (best first; default k 5)
   poison";
 
 type CmdResult = Result<ExitCode, Box<dyn std::error::Error>>;
@@ -457,6 +459,15 @@ fn cmd_call(args: &[String]) -> CmdResult {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(1),
         },
+        "retrieve" => ReqBody::Retrieve {
+            query: flag_value(rest, "--query")
+                .ok_or("retrieve needs --query TEXT")?
+                .to_string(),
+            k: flag_value(rest, "-k")
+                .or_else(|| flag_value(rest, "--k"))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(5),
+        },
         other => return Err(format!("unknown call verb `{other}`").into()),
     };
     let req = Request {
@@ -514,6 +525,10 @@ fn cmd_call(args: &[String]) -> CmdResult {
             print!("{jsonl}");
         }
         RespBody::Generated { output } => print!("{output}"),
+        RespBody::Retrieved { count, jsonl } => {
+            eprintln!("# {count} hit(s), best first");
+            print!("{jsonl}");
+        }
         RespBody::Repaired {
             source,
             clean,
