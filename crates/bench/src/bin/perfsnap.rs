@@ -21,10 +21,13 @@
 //! (`ShardedTfIdf`) at 100k and 1M synthetic documents — build time,
 //! warm query p50/p99 and incremental-add p50 per shard count, with the
 //! multi-shard pruned query path asserted identical to the single-shard
-//! dense pass — and writes the numbers to `BENCH_PR9.json` (the
-//! checked-in snapshot DESIGN.md §5d–§5j explain how to read;
-//! `BENCH_PR3.json`–`BENCH_PR8.json` are the retained earlier
-//! snapshots).
+//! dense pass — then times the parallel tool-in-the-loop repair agent
+//! (sequential reference vs the 8-worker supervised batch vs early-exit,
+//! with the modeled external-call stall of DESIGN.md §5k, outcomes
+//! asserted identical across all three) — and writes the numbers to
+//! `BENCH_PR10.json` (the checked-in snapshot DESIGN.md §5d–§5k explain
+//! how to read; `BENCH_PR3.json`–`BENCH_PR9.json` are the retained
+//! earlier snapshots).
 //!
 //! Usage: `cargo run --release -p dda-bench --bin perfsnap [--smoke]`
 //!
@@ -626,7 +629,7 @@ fn fail_section(smoke: bool) -> String {
 /// query's speedup over the single-shard dense pass, and how many times
 /// faster absorbing one document incrementally is than rebuilding the
 /// index — both asserted in the full run at 100k (≥ 2x and ≥ 10x), the
-/// same bars CI re-checks against the checked-in `BENCH_PR9.json`. Every
+/// same bars CI re-checks against the checked-in `BENCH_PR10.json`. Every
 /// multi-shard configuration's hits are asserted identical to the
 /// single-shard results, so the speedup can never come from answer
 /// drift.
@@ -733,7 +736,7 @@ fn retrieval_section(smoke: bool) -> String {
         if !smoke && n == 100_000 {
             // The acceptance bars live in the full snapshot (smoke
             // corpora are noise-dominated); CI re-asserts them against
-            // the checked-in BENCH_PR9.json.
+            // the checked-in BENCH_PR10.json.
             assert!(
                 query_speedup >= 2.0,
                 "16-shard pruned query only {query_speedup:.2}x the single-shard \
@@ -757,6 +760,100 @@ fn retrieval_section(smoke: bool) -> String {
         ));
     }
     format!("\"retrieval\": {{ \"scales\": [\n    {scales_json}\n  ] }}")
+}
+
+/// Times the parallel supervised repair agent (DESIGN.md §5k): every
+/// Thakur problem at its most detailed prompt level, k = 5 chains, run
+/// three ways — the sequential reference, the 8-worker supervised batch
+/// with early-exit off (asserted bit-identical to the reference), and
+/// early-exit on (asserted winner-identical). Chains carry the modeled
+/// 2 ms external-call stall, so the speedup measures overlapped tool/LLM
+/// waits — what batch parallelism buys a deployed agent — not core
+/// count. The full run asserts the ≥ 2x speedup bar that `table6` and CI
+/// re-check against the checked-in `BENCH_PR10.json`.
+fn agent_section(smoke: bool) -> String {
+    use dda_eval::{
+        agent_batch, agent_batch_sequential, AgentBatchOptions, AgentProtocol, ModelId,
+    };
+
+    const WORKERS: usize = 8;
+    const TOOL_WAIT_MS: u64 = 2;
+    let zoo = dda_bench::quick_zoo();
+    let model = zoo.model(ModelId::Ours13B);
+    let suite = dda_benchmarks::thakur_suite();
+    let problems: Vec<_> = if smoke {
+        suite.iter().take(4).collect()
+    } else {
+        suite.iter().collect()
+    };
+    let opts = AgentBatchOptions {
+        k: 5,
+        protocol: AgentProtocol {
+            tool_wait: std::time::Duration::from_millis(TOOL_WAIT_MS),
+            ..AgentProtocol::default()
+        },
+        ..AgentBatchOptions::default()
+    };
+    let par_opts = AgentBatchOptions {
+        workers: WORKERS,
+        ..opts.clone()
+    };
+    let early_opts = AgentBatchOptions {
+        early_exit: true,
+        ..par_opts.clone()
+    };
+
+    let mut fixed = 0usize;
+    let mut rounds_total = 0usize;
+    let (mut seq_ms, mut par_ms, mut early_ms) = (0.0f64, 0.0f64, 0.0f64);
+    for p in &problems {
+        let level = p.prompts.len() - 1;
+        let (reference, s) = time_ms(|| agent_batch_sequential(model, p, level, &[], &opts));
+        seq_ms += s;
+        let (parallel, pms) = time_ms(|| agent_batch(model, p, level, &[], &par_opts));
+        par_ms += pms;
+        assert_eq!(
+            reference, parallel,
+            "{}: parallel batch drifted from the sequential reference",
+            p.id
+        );
+        let (early, e) = time_ms(|| agent_batch(model, p, level, &[], &early_opts));
+        early_ms += e;
+        assert_eq!(
+            reference.winner, early.winner,
+            "{}: early-exit changed the winner",
+            p.id
+        );
+        fixed += usize::from(reference.passed());
+        rounds_total += reference.rounds_total;
+    }
+    let speedup = seq_ms / par_ms;
+    let pass_at_5 = fixed as f64 / problems.len() as f64;
+    if !smoke {
+        // Smoke timings are noise-dominated; the real bar lives in the
+        // full snapshot and is re-checked by CI and by `table6`.
+        assert!(
+            speedup >= 2.0,
+            "parallel agent only {speedup:.2}x the sequential reference at \
+             {WORKERS} workers — below the 2x bar"
+        );
+    }
+    eprintln!(
+        "[perfsnap] agent: {} problems, k=5: seq {seq_ms:.0} ms, \
+         par({WORKERS}) {par_ms:.0} ms ({speedup:.2}x), early-exit {early_ms:.0} ms, \
+         pass@5 {:.0}%",
+        problems.len(),
+        pass_at_5 * 100.0
+    );
+    format!(
+        "\"agent\": {{ \"problems\": {}, \"k\": 5, \"rounds_budget\": {}, \
+         \"workers\": {WORKERS}, \"tool_wait_ms\": {TOOL_WAIT_MS}, \
+         \"pass_at_5\": {pass_at_5:.4}, \"rounds_total\": {rounds_total}, \
+         \"sequential_ms\": {seq_ms:.1}, \"parallel_ms\": {par_ms:.1}, \
+         \"early_exit_ms\": {early_ms:.1}, \"speedup\": {speedup:.2} }}",
+        problems.len(),
+        opts.protocol.max_feedback_iters,
+    )
 }
 
 fn main() {
@@ -787,6 +884,7 @@ fn main() {
     let serve = serve_section(smoke);
     let fail = fail_section(smoke);
     let retrieval = retrieval_section(smoke);
+    let agent = agent_section(smoke);
     // Retrieval guard: the postings path must never fall below half the
     // linear reference's speed (CI runs this in --smoke mode; the real
     // snapshot shows an order of magnitude the other way).
@@ -806,7 +904,7 @@ fn main() {
            \"events_per_sec\": {{ \"ast\": {:.0}, \"bytecode\": {:.0} }},\n  \
            \"speedup_bytecode_over_ast\": {speedup:.2},\n  \
            \"frontend_cache_ms\": {{ \"cold\": {cold_ms:.3}, \"warm\": {warm_ms:.3}, \
-           \"hits\": {}, \"misses\": {} }},\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  \
+           \"hits\": {}, \"misses\": {} }},\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  \
            \"smoke\": {smoke}\n}}\n",
         tokens.len(),
         eps(ast_ms),
@@ -819,6 +917,7 @@ fn main() {
         format_args!("{serve},"),
         format_args!("{fail},"),
         format_args!("{retrieval},"),
+        format_args!("{agent},"),
     );
 
     eprintln!(
@@ -828,7 +927,7 @@ fn main() {
     if smoke {
         println!("{json}");
     } else {
-        std::fs::write("BENCH_PR9.json", &json).expect("write BENCH_PR9.json");
-        println!("wrote BENCH_PR9.json");
+        std::fs::write("BENCH_PR10.json", &json).expect("write BENCH_PR10.json");
+        println!("wrote BENCH_PR10.json");
     }
 }

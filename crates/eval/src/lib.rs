@@ -12,7 +12,9 @@
 //! * [`ablation`] — data-composition (Fig. 7/§4.2.2), mutation-cap,
 //!   training-order, and corpus-size ablations;
 //! * [`agent`] — the Fig. 1 EDA-tool agent loop (generate → tool feedback
-//!   → repair → retry) and its comparison against single-shot generation;
+//!   → repair → retry): the sequential episode, its comparison against
+//!   single-shot generation, and the parallel supervised pass@k chain
+//!   batch with deterministic early-exit;
 //! * [`supervised`] — parallel, deadline-supervised, resumable variants
 //!   of the three sweeps, running on the `dda-runtime` engine;
 //! * [`report`] — plain-text table rendering for the regeneration binaries.
@@ -45,7 +47,10 @@ pub mod report;
 pub mod script_eval;
 pub mod supervised;
 
-pub use agent::{agent_episode, agent_vs_single, AgentOutcome, AgentProtocol};
+pub use agent::{
+    agent_batch, agent_batch_sequential, agent_episode, agent_vs_single, AgentBatchOptions,
+    AgentBatchOutcome, AgentOutcome, AgentProtocol, ChainOutcome,
+};
 pub use dda_sim::EvalMode;
 pub use generation::{
     eval_cell, eval_suite, run_testbench, run_testbench_verdict, run_testbench_verdict_with,

@@ -39,7 +39,7 @@
 //! dda_fail::deactivate();
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::fmt;
 
@@ -59,6 +59,7 @@ use std::fmt;
 /// | `journal.fsync` | journal durability sync | `ioerr` |
 /// | `slm.shard.merge` | sharded retrieval, pre-merge of per-shard top-k | `panic` (caught per-request), `sleep` |
 /// | `slm.shard.compact` | shard compaction, before any mutation | `panic` (index stays consistent), `sleep` |
+/// | `eval.agent.round` | agent chain, top of each tool-feedback round | `panic` (quarantines the chain), `sleep` |
 ///
 /// New sites append at the END of this list: [`FaultSchedule::generate`]
 /// draws one ordered stream across the sites, so appending keeps every
@@ -76,6 +77,7 @@ pub const SITES: &[&str] = &[
     "journal.fsync",
     "slm.shard.merge",
     "slm.shard.compact",
+    "eval.agent.round",
 ];
 
 /// Whether the failpoint machinery was compiled into this build.

@@ -11,7 +11,7 @@ use std::io::{self, BufWriter, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::event::{encode, Event};
 use crate::metrics::{Metrics, Snapshot};
@@ -177,6 +177,23 @@ pub struct SpanGuard<'a> {
     recorder: &'a Recorder,
     name: &'static str,
     start: Option<Instant>,
+}
+
+impl SpanGuard<'_> {
+    /// Ends the span now, records it, and hands the measured wall-clock
+    /// duration back (`None` if the recorder was disabled at span start).
+    ///
+    /// Use this instead of a plain drop when the elapsed time should also
+    /// land somewhere the aggregate registry cannot reach — e.g. as a
+    /// field on a trace [`Event`], the way the agent batch
+    /// stamps each chain's wall-clock onto its `agent.chain` trace line.
+    pub fn finish(mut self) -> Option<Duration> {
+        let elapsed = self.start.take().map(|s| s.elapsed());
+        if let Some(d) = elapsed {
+            self.recorder.record_span(self.name, d.as_nanos() as u64);
+        }
+        elapsed
+    }
 }
 
 impl Drop for SpanGuard<'_> {

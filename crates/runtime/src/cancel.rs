@@ -19,6 +19,33 @@ struct Inner {
     cancelled: AtomicBool,
     /// Wall-clock instant after which the token reads as cancelled.
     deadline: Option<Instant>,
+    /// Parent link: a child token also trips when any ancestor trips.
+    parent: Option<Arc<Inner>>,
+}
+
+impl Inner {
+    fn tripped(&self) -> bool {
+        if self.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        if matches!(self.deadline, Some(at) if Instant::now() >= at) {
+            return true;
+        }
+        match &self.parent {
+            Some(p) => p.tripped(),
+            None => false,
+        }
+    }
+
+    fn expired(&self) -> bool {
+        if matches!(self.deadline, Some(at) if Instant::now() >= at) {
+            return true;
+        }
+        match &self.parent {
+            Some(p) => p.expired(),
+            None => false,
+        }
+    }
 }
 
 /// A shared cancellation flag with an optional wall-clock deadline.
@@ -40,6 +67,7 @@ impl CancelToken {
             inner: Arc::new(Inner {
                 cancelled: AtomicBool::new(false),
                 deadline: None,
+                parent: None,
             }),
         }
     }
@@ -50,6 +78,40 @@ impl CancelToken {
             inner: Arc::new(Inner {
                 cancelled: AtomicBool::new(false),
                 deadline: Some(Instant::now() + timeout),
+                parent: None,
+            }),
+        }
+    }
+
+    /// A child token linked to this one: it trips when this token (or any
+    /// ancestor) trips, but [`cancel`]ing the child leaves the parent —
+    /// and the child's siblings — untouched.
+    ///
+    /// This is how a group supervisor composes a shared stop signal with
+    /// per-member cancellation: hand each member a child of the group
+    /// token, and cut individual members loose without stopping the rest.
+    /// The agent batch's early-exit does exactly that to cancel losing
+    /// chains while the winning chain's deadline still applies.
+    ///
+    /// [`cancel`]: CancelToken::cancel
+    pub fn child(&self) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+                parent: Some(Arc::clone(&self.inner)),
+            }),
+        }
+    }
+
+    /// [`child`](CancelToken::child) with its own deadline `timeout` from
+    /// now, in addition to whatever the parent carries.
+    pub fn child_with_deadline(&self, timeout: Duration) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + timeout),
+                parent: Some(Arc::clone(&self.inner)),
             }),
         }
     }
@@ -59,21 +121,17 @@ impl CancelToken {
         self.inner.cancelled.store(true, Ordering::Release);
     }
 
-    /// Whether the token has tripped (manual cancel or expired deadline).
+    /// Whether the token has tripped (manual cancel, expired deadline, or
+    /// — for [`child`](CancelToken::child) tokens — a tripped ancestor).
     pub fn is_cancelled(&self) -> bool {
-        if self.inner.cancelled.load(Ordering::Acquire) {
-            return true;
-        }
-        match self.inner.deadline {
-            Some(at) => Instant::now() >= at,
-            None => false,
-        }
+        self.inner.tripped()
     }
 
-    /// Whether the embedded deadline (if any) has passed. Distinguishes a
-    /// wall-timeout from a supervisor-initiated cancellation.
+    /// Whether a deadline along the token's parent chain (if any) has
+    /// passed. Distinguishes a wall-timeout from a supervisor-initiated
+    /// cancellation.
     pub fn is_expired(&self) -> bool {
-        matches!(self.inner.deadline, Some(at) if Instant::now() >= at)
+        self.inner.expired()
     }
 
     /// The embedded deadline instant, if one was set.
@@ -125,6 +183,36 @@ mod tests {
         assert!(t.is_cancelled());
         assert!(t.is_expired());
         assert_eq!(t.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn child_observes_parent_cancel_but_not_vice_versa() {
+        let parent = CancelToken::new();
+        let a = parent.child();
+        let b = parent.child();
+        a.cancel();
+        assert!(a.is_cancelled(), "own cancel trips the child");
+        assert!(!parent.is_cancelled(), "child cancel must not leak up");
+        assert!(!b.is_cancelled(), "child cancel must not leak sideways");
+        parent.cancel();
+        assert!(b.is_cancelled(), "parent cancel reaches every child");
+    }
+
+    #[test]
+    fn child_deadline_composes_with_parent_state() {
+        let parent = CancelToken::new();
+        let c = parent.child_with_deadline(Duration::from_millis(20));
+        assert!(!c.is_cancelled());
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(c.is_cancelled());
+        assert!(c.is_expired(), "own deadline counts as expiry");
+        assert!(!parent.is_cancelled());
+
+        let parent = CancelToken::with_deadline(Duration::from_millis(20));
+        let c = parent.child();
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(c.is_cancelled(), "parent deadline reaches the child");
+        assert!(c.is_expired(), "parent expiry is expiry for the child");
     }
 
     #[test]

@@ -16,6 +16,7 @@ use dda_eval::generation::{
     run_testbench_verdict_with, run_testbench_verdicts_batched, testbench_sim_options,
     TestbenchVerdict,
 };
+use dda_eval::{agent_batch, AgentBatchOptions, AgentProtocol};
 use dda_runtime::CancelToken;
 use dda_slm::{GenOptions, ShardedTfIdf, Slm, SlmProfile, PROGRESSIVE_ORDER};
 use rand::{rngs::SmallRng, SeedableRng};
@@ -163,6 +164,27 @@ pub fn execute(cx: &HandlerCx, body: &ReqBody, token: &CancelToken) -> RespBody 
             }
         }
         ReqBody::Retrieve { query, k } => run_retrieve(cx, query, *k),
+        ReqBody::Agent {
+            problem,
+            level,
+            k,
+            rounds,
+            early_exit,
+            rag_k,
+            runs,
+            seed,
+        } => run_agent(
+            cx,
+            problem,
+            *level,
+            *k,
+            *rounds,
+            *early_exit,
+            *rag_k,
+            *runs,
+            *seed,
+            token,
+        ),
         ReqBody::Score {
             source,
             problem,
@@ -231,6 +253,76 @@ fn run_retrieve(cx: &HandlerCx, query: &str, k: u64) -> RespBody {
     }
     RespBody::Retrieved {
         count: hits.len() as u64,
+        jsonl,
+    }
+}
+
+/// Runs one pass@k tool-in-the-loop agent batch on the worker thread.
+///
+/// The daemon runs chains sequentially (`workers: 1`) — parallelism in
+/// the daemon comes from the request pool, not nested engines — so one
+/// `agent` request costs one worker, and the outcome is the sequential
+/// reference outcome by construction. The request deadline carries into
+/// the batch as the per-chain deadline; with `rag_k > 0` each chain's
+/// repair prompts pull that many context documents from the resident
+/// retrieval index (queried with the problem prompt itself).
+#[allow(clippy::too_many_arguments)]
+fn run_agent(
+    cx: &HandlerCx,
+    problem: &str,
+    level: u64,
+    k: u64,
+    rounds: u64,
+    early_exit: bool,
+    rag_k: u64,
+    runs: u64,
+    seed: u64,
+    token: &CancelToken,
+) -> RespBody {
+    let Some(p) = cx.problems.get(problem) else {
+        return RespBody::Error {
+            code: ErrorCode::BadRequest,
+            message: format!("unknown problem `{problem}`"),
+        };
+    };
+    let level = (level as usize).min(p.prompts.len().saturating_sub(1));
+    let context: Vec<String> = if rag_k > 0 {
+        cx.retrieval
+            .query(&p.prompts[level], rag_k as usize)
+            .into_iter()
+            .map(|h| cx.retrieve_corpus[h.id as usize].source.clone())
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let opts = AgentBatchOptions {
+        k: k as usize,
+        protocol: AgentProtocol {
+            max_feedback_iters: rounds as usize,
+            seed,
+            ..AgentProtocol::default()
+        },
+        workers: 1,
+        early_exit,
+        chain_deadline: token.remaining(),
+        runs_per_batch: runs as usize,
+        ..AgentBatchOptions::default()
+    };
+    let out = agent_batch(&cx.slm, p, level, &context, &opts);
+    let mut jsonl = String::new();
+    for c in &out.chains {
+        jsonl.push_str(&format!(
+            "{{\"chain\": {}, \"rounds\": {}, \"lint\": {}, \"function\": {}, \
+             \"repaired\": {}, \"cancelled\": {}}}\n",
+            c.chain, c.rounds, c.lint_clean, c.function, c.repaired_by_loop, c.cancelled,
+        ));
+    }
+    RespBody::AgentReport {
+        passed: out.passed(),
+        winner: out.winner.map(|w| w as u64),
+        chains: out.chains.len() as u64,
+        rounds_total: out.rounds_total as u64,
+        quarantined: out.quarantined as u64,
         jsonl,
     }
 }
@@ -538,6 +630,107 @@ mod tests {
                 assert_eq!(count, 0);
                 assert!(jsonl.is_empty());
             }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn agent_report_reconciles_with_library_outcome() {
+        let cx = cx();
+        let p = cx.problems.values().next().unwrap();
+        let body = ReqBody::Agent {
+            problem: p.id.to_string(),
+            level: 2,
+            k: 2,
+            rounds: 1,
+            early_exit: false,
+            rag_k: 0,
+            runs: 1,
+            seed: crate::proto::DEFAULT_AGENT_SEED,
+        };
+        let resp = execute(&cx, &body, &CancelToken::new());
+        // The daemon runs the sequential-reference configuration, so the
+        // report must equal a direct library call with the same knobs
+        // (the daemon clamps the level to the problem's prompt count).
+        let level = 2usize.min(p.prompts.len() - 1);
+        let want = agent_batch(
+            &cx.slm,
+            p,
+            level,
+            &[],
+            &AgentBatchOptions {
+                k: 2,
+                protocol: AgentProtocol {
+                    max_feedback_iters: 1,
+                    ..AgentProtocol::default()
+                },
+                ..AgentBatchOptions::default()
+            },
+        );
+        match resp {
+            RespBody::AgentReport {
+                passed,
+                winner,
+                chains,
+                rounds_total,
+                quarantined,
+                jsonl,
+            } => {
+                assert_eq!(passed, want.passed());
+                assert_eq!(winner, want.winner.map(|w| w as u64));
+                assert_eq!(chains, want.chains.len() as u64);
+                assert_eq!(rounds_total, want.rounds_total as u64);
+                assert_eq!(quarantined, 0);
+                assert_eq!(jsonl.lines().count() as u64, chains);
+                for (line, c) in jsonl.lines().zip(&want.chains) {
+                    assert!(
+                        line.contains(&format!("\"rounds\": {}", c.rounds)),
+                        "chain {} detail drifted: {line}",
+                        c.chain
+                    );
+                }
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn agent_with_rag_context_still_reports_every_chain() {
+        let cx = cx();
+        let p = cx.problems.values().next().unwrap();
+        let body = ReqBody::Agent {
+            problem: p.id.to_string(),
+            level: 0,
+            k: 2,
+            rounds: 1,
+            early_exit: true,
+            rag_k: 2,
+            runs: 4,
+            seed: 7,
+        };
+        match execute(&cx, &body, &CancelToken::new()) {
+            RespBody::AgentReport { chains, jsonl, .. } => {
+                assert_eq!(chains, 2);
+                assert_eq!(jsonl.lines().count(), 2);
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn agent_unknown_problem_is_bad_request() {
+        let body = ReqBody::Agent {
+            problem: "no_such_problem".into(),
+            level: 2,
+            k: 1,
+            rounds: 0,
+            early_exit: false,
+            rag_k: 0,
+            runs: 1,
+            seed: 1,
+        };
+        match execute(&cx(), &body, &CancelToken::new()) {
+            RespBody::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
             other => panic!("unexpected response: {other:?}"),
         }
     }

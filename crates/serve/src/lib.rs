@@ -68,7 +68,7 @@
 //! server.join();
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod client;
 pub mod handlers;

@@ -38,6 +38,27 @@ pub const MAX_DEADLINE_MS: u64 = 60_000;
 /// clamped to this at decode time, and zero means 1).
 pub const MAX_RETRIEVE_K: u64 = 64;
 
+/// Ceiling on the candidate chains an `agent` request may ask for (`k`
+/// is clamped to this at decode time, and zero means 1).
+pub const MAX_AGENT_K: u64 = 16;
+
+/// Ceiling on the tool-feedback rounds an `agent` request may ask for
+/// (`rounds` is clamped to this at decode time).
+pub const MAX_AGENT_ROUNDS: u64 = 8;
+
+/// Default chains per `agent` request (the paper's pass@5 protocol).
+pub const DEFAULT_AGENT_K: u64 = 5;
+
+/// Default tool-feedback round budget per `agent` chain.
+pub const DEFAULT_AGENT_ROUNDS: u64 = 3;
+
+/// Default prompt detail level for `agent` requests (the most detailed
+/// of the three levels each benchmark problem carries).
+pub const DEFAULT_AGENT_LEVEL: u64 = 2;
+
+/// Default `agent` sampling seed (matches `dda_eval::AgentProtocol`).
+pub const DEFAULT_AGENT_SEED: u64 = 7331;
+
 /// The work a request asks for.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ReqBody {
@@ -111,6 +132,32 @@ pub enum ReqBody {
         /// decode time).
         k: u64,
     },
+    /// Run a pass@k tool-in-the-loop agent batch against a named
+    /// benchmark problem: k candidate chains of generate → lint →
+    /// simulate → feed-diagnostics → repair on the supervised engine
+    /// (see `dda_eval::agent_batch`).
+    Agent {
+        /// Benchmark problem id (`thakur`/`rtllm` suites).
+        problem: String,
+        /// Prompt detail level (default [`DEFAULT_AGENT_LEVEL`]).
+        level: u64,
+        /// Candidate chains (clamped to [`MAX_AGENT_K`]).
+        k: u64,
+        /// Tool-feedback rounds per chain after the first draft (clamped
+        /// to [`MAX_AGENT_ROUNDS`]).
+        rounds: u64,
+        /// Commit the lowest-indexed passing chain early and cancel the
+        /// chains above it (default off = every chain runs).
+        early_exit: bool,
+        /// Few-shot context documents pulled from the resident retrieval
+        /// index into each chain's repair prompts (0 = no RAG).
+        rag_k: u64,
+        /// Lockstep lanes per candidate scoring (default 1 = scalar;
+        /// clamped to [`dda_sim::MAX_BATCH_LANES`]).
+        runs: u64,
+        /// Chain RNG seed (default [`DEFAULT_AGENT_SEED`]).
+        seed: u64,
+    },
     /// Deliberately panics the worker. Only honored when the service was
     /// started with fault injection enabled (chaos tests / storm bench);
     /// otherwise a `bad_request` error.
@@ -131,6 +178,7 @@ impl ReqBody {
             ReqBody::Repair { .. } => "repair",
             ReqBody::Score { .. } => "score",
             ReqBody::Retrieve { .. } => "retrieve",
+            ReqBody::Agent { .. } => "agent",
             ReqBody::Poison => "poison",
         }
     }
@@ -303,6 +351,25 @@ pub enum RespBody {
         /// object per line, best first).
         jsonl: String,
     },
+    /// `agent` result.
+    AgentReport {
+        /// Whether any chain passed the problem's testbench.
+        passed: bool,
+        /// Lowest-indexed passing chain, when one exists.
+        winner: Option<u64>,
+        /// Chains run (echoes the request's clamped `k`).
+        chains: u64,
+        /// Tool-feedback rounds summed over the committed chains — the
+        /// batch's deterministic work measure.
+        rounds_total: u64,
+        /// Chains lost to panics or per-chain deadline trips (0 on a
+        /// healthy run; omitted from the wire when 0).
+        quarantined: u64,
+        /// Per-chain detail as JSONL (one `{"chain", "rounds", "lint",
+        /// "function", "repaired", "cancelled"}` object per line, in
+        /// chain order).
+        jsonl: String,
+    },
     /// Any verb's failure.
     Error {
         /// Failure class.
@@ -442,6 +509,43 @@ impl Request {
                 ev.str("top", top.clone())
             }
             ReqBody::Retrieve { query, k } => ev.str("query", query.clone()).u64("k", *k),
+            ReqBody::Agent {
+                problem,
+                level,
+                k,
+                rounds,
+                early_exit,
+                rag_k,
+                runs,
+                seed,
+            } => {
+                // Default-valued knobs stay off the wire so the common
+                // frame (paper protocol, no RAG, scalar scoring) is
+                // minimal and byte-stable.
+                let mut ev = ev.str("problem", problem.clone());
+                if *level != DEFAULT_AGENT_LEVEL {
+                    ev = ev.u64("level", *level);
+                }
+                if *k != DEFAULT_AGENT_K {
+                    ev = ev.u64("k", *k);
+                }
+                if *rounds != DEFAULT_AGENT_ROUNDS {
+                    ev = ev.u64("rounds", *rounds);
+                }
+                if *early_exit {
+                    ev = ev.bool("early_exit", true);
+                }
+                if *rag_k != 0 {
+                    ev = ev.u64("rag_k", *rag_k);
+                }
+                if *runs != 1 {
+                    ev = ev.u64("runs", *runs);
+                }
+                if *seed != DEFAULT_AGENT_SEED {
+                    ev = ev.u64("seed", *seed);
+                }
+                ev
+            }
         };
         encode(&ev)
     }
@@ -504,6 +608,22 @@ impl Request {
             "retrieve" => ReqBody::Retrieve {
                 query: req_str(&ev, "query")?,
                 k: opt_u64(&ev, "k")?.unwrap_or(5).clamp(1, MAX_RETRIEVE_K),
+            },
+            "agent" => ReqBody::Agent {
+                problem: req_str(&ev, "problem")?,
+                level: opt_u64(&ev, "level")?.unwrap_or(DEFAULT_AGENT_LEVEL),
+                k: opt_u64(&ev, "k")?
+                    .unwrap_or(DEFAULT_AGENT_K)
+                    .clamp(1, MAX_AGENT_K),
+                rounds: opt_u64(&ev, "rounds")?
+                    .unwrap_or(DEFAULT_AGENT_ROUNDS)
+                    .min(MAX_AGENT_ROUNDS),
+                early_exit: matches!(ev.field("early_exit"), Some(Value::Bool(true))),
+                rag_k: opt_u64(&ev, "rag_k")?.unwrap_or(0).min(MAX_RETRIEVE_K),
+                runs: opt_u64(&ev, "runs")?
+                    .unwrap_or(1)
+                    .clamp(1, dda_sim::MAX_BATCH_LANES as u64),
+                seed: opt_u64(&ev, "seed")?.unwrap_or(DEFAULT_AGENT_SEED),
             },
             other => return Err(bad(format!("unknown verb `{other}`"))),
         };
@@ -608,6 +728,24 @@ impl Response {
                     RespBody::Retrieved { count, jsonl } => {
                         ev.u64("count", *count).str("jsonl", jsonl.clone())
                     }
+                    RespBody::AgentReport {
+                        passed,
+                        winner,
+                        chains,
+                        rounds_total,
+                        quarantined,
+                        jsonl,
+                    } => {
+                        let mut ev = ev.bool("passed", *passed);
+                        if let Some(w) = winner {
+                            ev = ev.u64("winner", *w);
+                        }
+                        ev = ev.u64("chains", *chains).u64("rounds_total", *rounds_total);
+                        if *quarantined != 0 {
+                            ev = ev.u64("quarantined", *quarantined);
+                        }
+                        ev.str("jsonl", jsonl.clone())
+                    }
                     RespBody::Error { .. } => unreachable!("handled above"),
                 }
             }
@@ -687,6 +825,14 @@ impl Response {
                     count: opt_u64(&ev, "count")?.unwrap_or(0),
                     jsonl: req_str(&ev, "jsonl")?,
                 },
+                "agent" => RespBody::AgentReport {
+                    passed: matches!(ev.field("passed"), Some(Value::Bool(true))),
+                    winner: opt_u64(&ev, "winner")?,
+                    chains: opt_u64(&ev, "chains")?.unwrap_or(0),
+                    rounds_total: opt_u64(&ev, "rounds_total")?.unwrap_or(0),
+                    quarantined: opt_u64(&ev, "quarantined")?.unwrap_or(0),
+                    jsonl: req_str(&ev, "jsonl")?,
+                },
                 other => return Err(bad(format!("unknown response verb `{other}`"))),
             },
             other => return Err(bad(format!("unknown status `{other}`"))),
@@ -751,6 +897,36 @@ mod tests {
                     k: 3,
                 },
             },
+            Request {
+                id: 6,
+                priority: Priority::Normal,
+                deadline_ms: None,
+                body: ReqBody::Agent {
+                    problem: "simple_wire".into(),
+                    level: DEFAULT_AGENT_LEVEL,
+                    k: DEFAULT_AGENT_K,
+                    rounds: DEFAULT_AGENT_ROUNDS,
+                    early_exit: false,
+                    rag_k: 0,
+                    runs: 1,
+                    seed: DEFAULT_AGENT_SEED,
+                },
+            },
+            Request {
+                id: 7,
+                priority: Priority::High,
+                deadline_ms: Some(5000),
+                body: ReqBody::Agent {
+                    problem: "counter".into(),
+                    level: 1,
+                    k: 3,
+                    rounds: 2,
+                    early_exit: true,
+                    rag_k: 4,
+                    runs: 8,
+                    seed: 42,
+                },
+            },
         ];
         for r in reqs {
             let back = Request::from_line(&r.to_line()).unwrap();
@@ -794,6 +970,32 @@ mod tests {
                     jsonl: "{\"id\": 7, \"score\": 0.5, \"name\": \"ctr\", \
                             \"source\": \"module ctr;\\nendmodule\\n\"}\n"
                         .into(),
+                },
+            },
+            Response {
+                id: 5,
+                verb: "agent".into(),
+                body: RespBody::AgentReport {
+                    passed: true,
+                    winner: Some(2),
+                    chains: 5,
+                    rounds_total: 9,
+                    quarantined: 0,
+                    jsonl: "{\"chain\": 0, \"rounds\": 3, \"lint\": true, \
+                            \"function\": 0.5, \"repaired\": true, \"cancelled\": false}\n"
+                        .into(),
+                },
+            },
+            Response {
+                id: 6,
+                verb: "agent".into(),
+                body: RespBody::AgentReport {
+                    passed: false,
+                    winner: None,
+                    chains: 2,
+                    rounds_total: 8,
+                    quarantined: 1,
+                    jsonl: String::new(),
                 },
             },
             Response::error(9, "augment", ErrorCode::Overloaded, "pool queue full"),
@@ -871,6 +1073,74 @@ mod tests {
     }
 
     #[test]
+    fn agent_defaults_are_lenient_and_clamped() {
+        // A bare frame gets the paper protocol: level 2, pass@5, 3
+        // rounds, no early-exit, no RAG, scalar scoring, seed 7331.
+        let line = "{\"ev\": \"agent\", \"id\": 1, \"problem\": \"p\"}";
+        match Request::from_line(line).unwrap().body {
+            ReqBody::Agent {
+                level,
+                k,
+                rounds,
+                early_exit,
+                rag_k,
+                runs,
+                seed,
+                ..
+            } => {
+                assert_eq!(level, DEFAULT_AGENT_LEVEL);
+                assert_eq!(k, DEFAULT_AGENT_K);
+                assert_eq!(rounds, DEFAULT_AGENT_ROUNDS);
+                assert!(!early_exit);
+                assert_eq!(rag_k, 0);
+                assert_eq!(runs, 1);
+                assert_eq!(seed, DEFAULT_AGENT_SEED);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Default-valued fields stay off the wire.
+        let req = Request {
+            id: 1,
+            priority: Priority::Normal,
+            deadline_ms: None,
+            body: ReqBody::Agent {
+                problem: "p".into(),
+                level: DEFAULT_AGENT_LEVEL,
+                k: DEFAULT_AGENT_K,
+                rounds: DEFAULT_AGENT_ROUNDS,
+                early_exit: false,
+                rag_k: 0,
+                runs: 1,
+                seed: DEFAULT_AGENT_SEED,
+            },
+        };
+        let wire = req.to_line();
+        for absent in ["level", "rounds", "early_exit", "rag_k", "runs", "seed"] {
+            assert!(!wire.contains(absent), "`{absent}` leaked onto {wire}");
+        }
+        // Oversized asks clamp; zero k means 1.
+        let line = "{\"ev\": \"agent\", \"id\": 1, \"problem\": \"p\", \
+                    \"k\": 0, \"rounds\": 99, \"rag_k\": 10000, \"runs\": 10000}";
+        match Request::from_line(line).unwrap().body {
+            ReqBody::Agent {
+                k,
+                rounds,
+                rag_k,
+                runs,
+                ..
+            } => {
+                assert_eq!(k, 1);
+                assert_eq!(rounds, MAX_AGENT_ROUNDS);
+                assert_eq!(rag_k, MAX_RETRIEVE_K);
+                assert_eq!(runs, dda_sim::MAX_BATCH_LANES as u64);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Missing problem is a structured error.
+        assert!(Request::from_line("{\"ev\": \"agent\", \"id\": 1}").is_err());
+    }
+
+    #[test]
     fn deadline_is_clamped() {
         let line = format!(
             "{{\"ev\": \"ping\", \"id\": 1, \"deadline_ms\": {}}}",
@@ -937,6 +1207,17 @@ mod tests {
             prompt: String::new(),
             temperature: 0.1,
             seed: 0
+        }
+        .is_control());
+        assert!(!ReqBody::Agent {
+            problem: String::new(),
+            level: DEFAULT_AGENT_LEVEL,
+            k: DEFAULT_AGENT_K,
+            rounds: DEFAULT_AGENT_ROUNDS,
+            early_exit: false,
+            rag_k: 0,
+            runs: 1,
+            seed: DEFAULT_AGENT_SEED,
         }
         .is_control());
     }

@@ -155,7 +155,9 @@ fn run_schedule_with(
             .call(&req(i, make(seed, i)))
             .unwrap_or_else(|e| panic!("seed {seed}: request {i} lost: {e}\nspec: {spec}"));
         match resp.body {
-            RespBody::Scored { .. } | RespBody::Retrieved { .. } => answered_ok += 1,
+            RespBody::Scored { .. } | RespBody::Retrieved { .. } | RespBody::AgentReport { .. } => {
+                answered_ok += 1
+            }
             RespBody::Error {
                 code: ErrorCode::Panic | ErrorCode::Deadline,
                 ..
@@ -286,6 +288,47 @@ fn retrieve_survives_pinned_shard_merge_faults() {
     run_schedule_with("retrsweep", schedule, 10, |_seed, i| ReqBody::Retrieve {
         query: format!("a counter with enable and synchronous reset {i}"),
         k: 3,
+    });
+}
+
+/// Pinned like [`SWEEP_SEEDS`]: seed 1's generated schedule panics the
+/// 4th agent round (`eval.agent.round=panic@hit:3`), sleeps every pool
+/// submit, and drops a bounded connection write, and converges.
+const AGENT_SWEEP_SEED: u64 = 1;
+
+/// The `agent` verb under an injected mid-round panic: the failpoint
+/// fires inside a chain on the agent's own supervised engine, so the
+/// chain books as quarantined and the request is still answered with a
+/// structured report — the fault never escapes to the daemon pool — and
+/// the accounting reconciles.
+#[test]
+fn agent_survives_pinned_round_faults() {
+    let _gate = GATE.lock().unwrap_or_else(|p| p.into_inner());
+    let schedule = FaultSchedule::generate(AGENT_SWEEP_SEED, dda_fail::SITES);
+    let spec = schedule.to_spec();
+    assert!(
+        spec.contains("eval.agent.round=panic@hit:3"),
+        "pinned seed no longer targets the agent round: {spec}"
+    );
+    let reparsed = FaultSchedule::parse(&spec).unwrap();
+    for site in dda_fail::SITES {
+        for hit in 0..256u64 {
+            assert_eq!(
+                schedule.decide(site, hit),
+                reparsed.decide(site, hit),
+                "seed {AGENT_SWEEP_SEED}: schedule does not replay from its spec"
+            );
+        }
+    }
+    run_schedule_with("agentsweep", schedule, 8, |_seed, i| ReqBody::Agent {
+        problem: "basic4".into(),
+        level: 2,
+        k: 2,
+        rounds: 1,
+        early_exit: i % 2 == 1,
+        rag_k: 0,
+        runs: 1,
+        seed: 7331 ^ i,
     });
 }
 

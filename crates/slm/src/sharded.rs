@@ -76,6 +76,7 @@
 //! [`remove`]: ShardedTfIdf::remove
 //! [`query`]: ShardedTfIdf::query
 //! [`query_parallel`]: ShardedTfIdf::query_parallel
+#![deny(missing_docs)]
 
 use crate::tfidf::IndexError;
 use dda_core::intern::{resolve, Sym};
@@ -563,6 +564,13 @@ impl ShardedTfIdf {
     /// Adds a document under a caller-assigned id. O(doc terms) — no
     /// rebuild of any kind.
     ///
+    /// ```
+    /// let mut idx = dda_slm::ShardedTfIdf::new(4);
+    /// idx.insert(1, "an eight bit counter").unwrap();
+    /// assert!(idx.insert(1, "same id again").is_err());
+    /// assert_eq!(idx.len(), 1);
+    /// ```
+    ///
     /// # Errors
     ///
     /// [`IndexError::DuplicateId`] if `id` is already live.
@@ -579,6 +587,14 @@ impl ShardedTfIdf {
 
     /// Tombstones a document; `false` if `id` is not live. Compacts the
     /// owning shard when its tombstone ratio crosses the threshold.
+    ///
+    /// ```
+    /// let mut idx = dda_slm::ShardedTfIdf::new(2);
+    /// idx.insert(3, "a simple shift register").unwrap();
+    /// assert!(idx.remove(3));
+    /// assert!(!idx.remove(3)); // already gone
+    /// assert!(idx.query("shift register", 5).is_empty());
+    /// ```
     pub fn remove(&mut self, id: u64) -> bool {
         let s = (splitmix64(id) % self.shards.len() as u64) as usize;
         if !self.shards[s].remove_doc(id) {
@@ -1044,6 +1060,15 @@ impl ShardedTfIdf {
     /// heap threaded through the shards, so each shard prunes against
     /// the best documents found so far anywhere. Both paths are
     /// bit-identical.
+    ///
+    /// ```
+    /// let mut idx = dda_slm::ShardedTfIdf::new(4);
+    /// idx.insert(7, "a counter with reset and enable").unwrap();
+    /// idx.insert(9, "a four to one multiplexer").unwrap();
+    /// let hits = idx.query("counter reset", 2);
+    /// assert_eq!(hits[0].id, 7);
+    /// assert!(hits[0].score > 0.0);
+    /// ```
     pub fn query(&self, query: &str, top: usize) -> Vec<ShardHit> {
         dda_obs::count("slm.query.sharded", 1);
         let (terms, qnorm) = self.query_terms(query);

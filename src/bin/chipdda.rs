@@ -102,6 +102,11 @@ call verbs (all take --socket PATH, optional --priority high, --deadline-ms N):
                        simulation (1-64; results match scalar scoring)
   retrieve --query TEXT [-k N]  k nearest corpus modules from the resident
                        sharded index, as JSONL (best first; default k 5)
+  agent --problem ID [--level L] [-k N] [--rounds N] [--early-exit]
+                       [--rag-k N] [--runs R] [--seed N]
+                       pass@k tool-in-the-loop repair chains against a
+                       benchmark problem (defaults: level 2, k 5, rounds 3;
+                       --rag-k pulls context from the resident index)
   poison";
 
 type CmdResult = Result<ExitCode, Box<dyn std::error::Error>>;
@@ -468,6 +473,36 @@ fn cmd_call(args: &[String]) -> CmdResult {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(5),
         },
+        "agent" => {
+            use chipdda::serve::proto::{
+                DEFAULT_AGENT_K, DEFAULT_AGENT_LEVEL, DEFAULT_AGENT_ROUNDS, DEFAULT_AGENT_SEED,
+            };
+            ReqBody::Agent {
+                problem: flag_value(rest, "--problem")
+                    .ok_or("agent needs --problem ID")?
+                    .to_string(),
+                level: flag_value(rest, "--level")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(DEFAULT_AGENT_LEVEL),
+                k: flag_value(rest, "-k")
+                    .or_else(|| flag_value(rest, "--k"))
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(DEFAULT_AGENT_K),
+                rounds: flag_value(rest, "--rounds")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(DEFAULT_AGENT_ROUNDS),
+                early_exit: rest.iter().any(|a| a == "--early-exit"),
+                rag_k: flag_value(rest, "--rag-k")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0),
+                runs: flag_value(rest, "--runs")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(1),
+                seed: flag_value(rest, "--seed")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(DEFAULT_AGENT_SEED),
+            }
+        }
         other => return Err(format!("unknown call verb `{other}`").into()),
     };
     let req = Request {
@@ -555,6 +590,32 @@ fn cmd_call(args: &[String]) -> CmdResult {
                 println!("{verdict}: pass rate {pass_rate:.3}{lanes_note}");
             } else {
                 println!("{verdict}: pass rate {pass_rate:.3}{lanes_note} ({detail})");
+            }
+        }
+        RespBody::AgentReport {
+            passed,
+            winner,
+            chains,
+            rounds_total,
+            quarantined,
+            jsonl,
+        } => {
+            let winner_note = match winner {
+                Some(w) => format!(", winner chain {w}"),
+                None => String::new(),
+            };
+            let quarantine_note = if *quarantined > 0 {
+                format!(", {quarantined} quarantined")
+            } else {
+                String::new()
+            };
+            eprintln!(
+                "# {} ({chains} chains, {rounds_total} rounds{winner_note}{quarantine_note})",
+                if *passed { "passed" } else { "failed" }
+            );
+            print!("{jsonl}");
+            if !passed {
+                return Ok(ExitCode::FAILURE);
             }
         }
         RespBody::Error { code, message } => {
